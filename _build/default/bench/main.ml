@@ -1,0 +1,677 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+   The paper (Lomet & Salzberg, SIGMOD '92) is a design paper whose only
+   figures are structural (Figures 1 and 2) and whose performance claims are
+   qualitative; each experiment below turns one claim or figure into a
+   measured table. Run `dune exec bench/main.exe -- --help` for the list. *)
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Btc = Pitree_baseline.Bt_coupling
+module Btl = Pitree_baseline.Bt_treelatch
+module Tsb = Pitree_tsb.Tsb
+module Hb = Pitree_hb.Hb
+module Latch = Pitree_sync.Latch
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Log_manager = Pitree_wal.Log_manager
+module Recovery = Pitree_wal.Recovery
+module Crash_point = Pitree_txn.Crash_point
+module Wellformed = Pitree_core.Wellformed
+module Kv = Pitree_harness.Kv
+module Workload = Pitree_harness.Workload
+module Driver = Pitree_harness.Driver
+module Table = Pitree_harness.Table
+module Rng = Pitree_util.Rng
+
+let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
+    ?(consolidation = true) () =
+  Env.create { Env.page_size; pool_capacity = pool; page_oriented_undo; consolidation }
+
+type engine = Eblink | Ecoupling | Etreelatch
+
+let engines = [ Eblink; Ecoupling; Etreelatch ]
+
+let instance engine =
+  let env = mk_env () in
+  let inst =
+    match engine with
+    | Eblink -> Kv.blink (Blink.create env ~name:"bench")
+    | Ecoupling -> Kv.coupling (Btc.create env ~name:"bench")
+    | Etreelatch -> Kv.treelatch (Btl.create env ~name:"bench")
+  in
+  (env, inst)
+
+let fmt_ops = Table.fmt_f
+
+(* ------------------------------------------------------------------ *)
+(* E1-E3: throughput scaling across engines (the Srinivasan & Carey
+   claim: B-link-style approaches have the highest concurrency).        *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_experiment ~title ~spec ~preload ~ops =
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.concat_map
+      (fun engine ->
+        List.map
+          (fun domains ->
+            let env, inst = instance engine in
+            Driver.preload inst spec ~n:preload;
+            ignore (Env.drain env);
+            let r = Driver.run ~domains ~ops_per_domain:(ops / domains) ~seed:42L inst spec in
+            ignore (Env.drain env);
+            [
+              Kv.name inst;
+              string_of_int domains;
+              fmt_ops r.Driver.ops_per_s;
+              Printf.sprintf "%.0f" r.Driver.mean_ns;
+              string_of_int r.Driver.p99_ns;
+            ])
+          domain_counts)
+      engines
+  in
+  Table.print ~title ~header:[ "engine"; "domains"; "ops/s"; "mean ns"; "p99 ns" ] rows
+
+let e1 () =
+  scaling_experiment
+    ~title:"E1: insert-heavy throughput vs domains (100% insert, uniform keys)"
+    ~spec:(Workload.spec ~key_space:200_000 ~read_pct:0 ~insert_pct:100 ~delete_pct:0 ())
+    ~preload:5_000 ~ops:24_000
+
+let e2 () =
+  scaling_experiment
+    ~title:"E2: search-only throughput vs domains (100% read, uniform keys)"
+    ~spec:(Workload.spec ~key_space:20_000 ~read_pct:100 ())
+    ~preload:20_000 ~ops:24_000
+
+let e3 () =
+  scaling_experiment
+    ~title:"E3: mixed 70/20/10 read/insert/delete, zipf(0.9) skew"
+    ~spec:
+      (Workload.spec ~key_space:50_000 ~read_pct:70 ~insert_pct:20 ~delete_pct:10
+         ~dist:(Workload.Zipf 0.9) ())
+    ~preload:10_000 ~ops:24_000
+
+(* ------------------------------------------------------------------ *)
+(* E4: latch footprint of structure changes — decomposed atomic actions
+   hold exclusive latches on O(1) nodes; path-coupling and tree-latch
+   baselines hold them far longer (paper innovation 3).                 *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  let spec = Workload.spec ~key_space:200_000 ~read_pct:0 ~insert_pct:100 ~delete_pct:0 () in
+  let ops = 20_000 in
+  let rows =
+    List.map
+      (fun engine ->
+        let env, inst = instance engine in
+        Driver.preload inst spec ~n:2_000;
+        ignore (Env.drain env);
+        Latch.reset_global_stats ();
+        let r = Driver.run ~domains:4 ~ops_per_domain:(ops / 4) ~seed:7L inst spec in
+        ignore (Env.drain env);
+        let s = Latch.global_stats () in
+        let per_op v = float_of_int v /. float_of_int ops in
+        [
+          Kv.name inst;
+          fmt_ops r.Driver.ops_per_s;
+          Printf.sprintf "%.2f" (per_op s.Latch.acquisitions);
+          Printf.sprintf "%.3f" (per_op s.Latch.contended);
+          Printf.sprintf "%.0f" (per_op s.Latch.wait_ns);
+          Printf.sprintf "%.0f" (per_op s.Latch.hold_ns);
+        ])
+      engines
+  in
+  Table.print
+    ~title:
+      "E4: latch footprint under insert load, 4 domains (per-op latch \
+       acquisitions / contended / wait ns / X+U hold ns)"
+    ~header:[ "engine"; "ops/s"; "acq/op"; "cont/op"; "wait ns/op"; "hold ns/op" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5: crash matrix — crash at every named point inside/between atomic
+   actions; recovery takes no special measures; completion is lazy
+   (paper innovation 4, section 5.1).                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  let points =
+    [
+      ("blink.split.linked", 5);
+      ("blink.split.committed", 5);
+      ("blink.root.grown", 1);
+      ("blink.post.latched", 5);
+      ("blink.post.updated", 5);
+      ("blink.post.done", 5);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (point, after) ->
+        Crash_point.disarm_all ();
+        let env = mk_env ~page_size:256 () in
+        let t = Blink.create env ~name:"t" in
+        Crash_point.arm point ~after;
+        let crashed = ref false in
+        (try
+           for i = 0 to 3_999 do
+             Blink.insert t ~key:(Printf.sprintf "key%06d" i) ~value:"v"
+           done
+         with Crash_point.Crash_requested _ -> crashed := true);
+        Crash_point.disarm_all ();
+        (* Simulate the worst case: the log tail happened to reach disk at
+           the instant of the failure, so interrupted atomic actions leave
+           durable work that recovery must roll back. *)
+        Log_manager.flush_all (Env.log env);
+        Env.crash env;
+        let t0 = Unix.gettimeofday () in
+        let report = Env.recover env in
+        let recovery_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let t = Option.get (Blink.open_existing env ~name:"t") in
+        let wf = Wellformed.ok (Blink.verify t) in
+        (* Count lazy completions triggered by post-recovery searches. *)
+        Blink.reset_stats t;
+        for i = 0 to 3_999 do
+          ignore (Blink.find t (Printf.sprintf "key%06d" i))
+        done;
+        ignore (Env.drain env);
+        let s = Blink.stats t in
+        [
+          point;
+          (if !crashed then "yes" else "no-crash");
+          Printf.sprintf "%.1f" recovery_ms;
+          string_of_int report.Recovery.redone;
+          string_of_int (List.length report.Recovery.loser_txns);
+          (if wf then "yes" else "NO");
+          string_of_int s.Blink.side_traversals;
+          string_of_int s.Blink.postings_completed;
+        ])
+      points
+  in
+  Table.print
+    ~title:
+      "E5: crash injection matrix (recovery does no SMO-specific work; \
+       interrupted changes complete lazily via later searches)"
+    ~header:
+      [ "crash point"; "crashed"; "recov ms"; "redone"; "losers"; "well-formed";
+        "side-steps after"; "lazy completions" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6: CNS vs CP invariants (section 5.2): consolidation reclaims space
+   at the cost of latch coupling.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  let run consolidation =
+    let env = mk_env ~page_size:512 ~consolidation () in
+    let t = Blink.create env ~name:"t" in
+    let n = 8_000 in
+    for i = 0 to n - 1 do
+      Blink.insert t ~key:(Printf.sprintf "key%06d" i) ~value:(String.make 16 'v')
+    done;
+    ignore (Env.drain env);
+    let nodes_full = Blink.node_count t in
+    Latch.reset_global_stats ();
+    Blink.reset_stats t;
+    for i = 0 to n - 1 do
+      ignore (Blink.delete t (Printf.sprintf "key%06d" i))
+    done;
+    for _ = 1 to 20 do
+      ignore (Env.drain env)
+    done;
+    let nodes_after = Blink.node_count t in
+    let latches = Latch.global_stats () in
+    let s = Blink.stats t in
+    [
+      (if consolidation then "CP (consolidate)" else "CNS (no consolidate)");
+      string_of_int nodes_full;
+      string_of_int nodes_after;
+      string_of_int s.Blink.consolidations;
+      Printf.sprintf "%.2f" (float_of_int latches.Latch.acquisitions /. float_of_int n);
+      (if Wellformed.ok (Blink.verify t) then "yes" else "NO");
+    ]
+  in
+  Table.print
+    ~title:"E6: CNS vs CP — delete the whole tree, observe reclamation vs latch cost"
+    ~header:
+      [ "mode"; "nodes before"; "nodes after"; "consolidations"; "latch acq/op";
+        "well-formed" ]
+    [ run false; run true ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: Figure 1 — TSB-tree time and key splits; history remains
+   reachable through copied pointers.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  let rows =
+    List.map
+      (fun rounds ->
+        let env = mk_env ~page_size:512 ~consolidation:false () in
+        let t = Tsb.create env ~name:"v" in
+        let keys = 16 in
+        let stamps = ref [] in
+        for r = 1 to rounds do
+          for i = 0 to keys - 1 do
+            let ts =
+              Tsb.put t ~key:(Printf.sprintf "acct%02d" i)
+                ~value:(Printf.sprintf "r%04d" r)
+            in
+            if r mod 17 = 0 then stamps := (i, r, ts) :: !stamps
+          done
+        done;
+        ignore (Env.drain env);
+        let s = Tsb.stats t in
+        (* Sampled as-of correctness across the whole history. *)
+        let ok = ref 0 and bad = ref 0 in
+        List.iter
+          (fun (i, r, ts) ->
+            match Tsb.get_asof t (Printf.sprintf "acct%02d" i) ~time:ts with
+            | Some v when v = Printf.sprintf "r%04d" r -> incr ok
+            | _ -> incr bad)
+          !stamps;
+        let wf = Wellformed.ok (Tsb.verify t) in
+        [
+          string_of_int (rounds * keys);
+          string_of_int s.Tsb.time_splits;
+          string_of_int s.Tsb.key_splits;
+          string_of_int s.Tsb.history_nodes;
+          Printf.sprintf "%d/%d" !ok (!ok + !bad);
+          (if wf then "yes" else "NO");
+        ])
+      [ 50; 200; 800 ]
+  in
+  Table.print
+    ~title:
+      "E7 (Figure 1): TSB-tree — versions force time splits; history stays \
+       reachable through copied history/key pointers"
+    ~header:
+      [ "versions"; "time splits"; "key splits"; "history nodes"; "as-of checks";
+        "well-formed" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E8: Figure 2 — hB-tree with kd-tree sibling terms; clipping and
+   multi-parent statistics; region query correctness.                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  let rows =
+    List.map
+      (fun (dims, n) ->
+        let env = mk_env ~page_size:512 ~consolidation:false () in
+        let t = Hb.create env ~name:"h" ~dims in
+        let rng = Rng.create 99L in
+        let pts =
+          Array.init n (fun i ->
+              ignore i;
+              Array.init dims (fun _ -> Rng.float rng 1.0))
+        in
+        Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+        ignore (Env.drain env);
+        let s = Hb.stats t in
+        (* Region-query correctness vs brute force. *)
+        let low = Array.make dims 0.25 and high = Array.make dims 0.75 in
+        let inside p =
+          let rec go i = i >= dims || (p.(i) >= 0.25 && p.(i) < 0.75 && go (i + 1)) in
+          go 0
+        in
+        let expect = Array.to_list pts |> List.filter inside |> List.length in
+        let got = Hb.query t ~low ~high ~init:0 ~f:(fun n _ _ -> n + 1) in
+        let wf = Wellformed.ok (Hb.verify t) in
+        [
+          string_of_int dims;
+          string_of_int n;
+          string_of_int s.Hb.data_splits;
+          string_of_int s.Hb.index_splits;
+          string_of_int s.Hb.clipped_postings;
+          string_of_int s.Hb.multi_parent_marks;
+          Printf.sprintf "%d/%d" got expect;
+          (if wf then "yes" else "NO");
+        ])
+      [ (2, 4_000); (3, 6_000); (4, 6_000) ]
+  in
+  Table.print
+    ~title:
+      "E8 (Figure 2): hB-tree — kd sibling terms, clipping, multi-parent \
+       marking; region queries vs brute force"
+    ~header:
+      [ "dims"; "points"; "data splits"; "index splits"; "clipped"; "multi-parent";
+        "region query"; "well-formed" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E9: move locks (section 4.2): under page-oriented UNDO a split waits
+   for updaters of the node, admits readers, blocks new updaters.       *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  let env = mk_env ~page_size:256 ~page_oriented_undo:true () in
+  let t = Blink.create env ~name:"t" in
+  (* Fill one leaf nearly full. *)
+  let n0 = ref 0 in
+  (try
+     while true do
+       if Blink.height t > 1 then raise Exit;
+       Blink.insert t ~key:(Printf.sprintf "key%06d" !n0) ~value:(String.make 24 'v');
+       incr n0
+     done
+   with Exit -> ());
+  ignore (Env.drain env);
+  (* Transaction T1 updates a record and stays open (holds IX on the
+     node it touched). *)
+  let mgr = Env.txns env in
+  let t1 = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn:t1 t ~key:"key000001" ~value:(String.make 24 'w');
+  (* A concurrent autocommit insert that needs a split of that node must
+     wait for T1; readers keep running meanwhile. *)
+  let split_done = Atomic.make 0.0 in
+  let writer =
+    Domain.spawn (fun () ->
+        (* Keys sorting right after T1's record land in the same leaf and
+           overflow it, forcing a split of the node T1 holds IX on. *)
+        let t0 = Unix.gettimeofday () in
+        for j = 0 to 5 do
+          Blink.insert t
+            ~key:(Printf.sprintf "key000001a%d" j)
+            ~value:(String.make 48 'z')
+        done;
+        Atomic.set split_done (Unix.gettimeofday () -. t0))
+  in
+  Thread.delay 0.05;
+  let blocked_at_50ms = Atomic.get split_done = 0.0 in
+  (* Reads tolerated while the mover waits (move locks are compatible with
+     readers). *)
+  let t_read0 = Unix.gettimeofday () in
+  let read_ok = Blink.find t "key000001" <> None in
+  let read_ms = (Unix.gettimeofday () -. t_read0) *. 1000.0 in
+  Thread.delay 0.05;
+  Txn_mgr.commit mgr t1;
+  Domain.join writer;
+  ignore (Env.drain env);
+  let split_wait_ms = Atomic.get split_done *. 1000.0 in
+  Table.print
+    ~title:
+      "E9: move locks under page-oriented UNDO — the split waits for the \
+       updating transaction; readers are not blocked"
+    ~header:[ "observation"; "value" ]
+    [
+      [ "splitter blocked while T1 active (50ms in)"; (if blocked_at_50ms then "yes" else "NO") ];
+      [ "reader proceeded during block"; (if read_ok then "yes" else "NO") ];
+      [ "reader latency (ms)"; Printf.sprintf "%.2f" read_ms ];
+      [ "splitter total wait (ms, ~100 expected)"; Printf.sprintf "%.1f" split_wait_ms ];
+      [ "tree well-formed after"; (if Wellformed.ok (Blink.verify t) then "yes" else "NO") ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: relative durability (section 4.3.1): atomic actions do not force
+   the log; their commit rides on the next user commit.                 *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  let count_forces ~relative =
+    let env = mk_env () in
+    let mgr = Env.txns env in
+    let log = Env.log env in
+    let before = (Log_manager.stats log).Log_manager.forces in
+    for _ = 1 to 1000 do
+      let kind = if relative then Txn.System else Txn.User in
+      let txn = Txn_mgr.begin_txn mgr kind in
+      Txn_mgr.commit mgr txn
+    done;
+    (* One closing user commit carries the batch to durability. *)
+    let txn = Txn_mgr.begin_txn mgr Txn.User in
+    Txn_mgr.commit mgr txn;
+    (Log_manager.stats log).Log_manager.forces - before
+  in
+  let sys = count_forces ~relative:true in
+  let usr = count_forces ~relative:false in
+  Table.print
+    ~title:
+      "E10: relative durability — log forces for 1000 structure-change \
+       actions (+1 user commit)"
+    ~header:[ "commit discipline"; "log forces" ]
+    [
+      [ "atomic actions (no force, section 4.3.1)"; string_of_int sys ];
+      [ "if they were user transactions"; string_of_int usr ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: saved-path state (section 5.2): postings reuse the remembered
+   path, verified by state identifiers, instead of re-searching from
+   the root.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  let run consolidation =
+    let env = mk_env ~page_size:512 ~consolidation () in
+    let t = Blink.create env ~name:"t" in
+    for i = 0 to 14_999 do
+      Blink.insert t ~key:(Printf.sprintf "key%06d" i) ~value:"v"
+    done;
+    ignore (Env.drain env);
+    let s = Blink.stats t in
+    let total = s.Blink.path_reuse_hits + s.Blink.full_retraversals in
+    [
+      (if consolidation then "CP" else "CNS");
+      string_of_int s.Blink.postings_completed;
+      string_of_int s.Blink.path_reuse_hits;
+      string_of_int s.Blink.full_retraversals;
+      (if total = 0 then "-"
+       else
+         Printf.sprintf "%.1f%%"
+           (100.0 *. float_of_int s.Blink.path_reuse_hits /. float_of_int total));
+    ]
+  in
+  Table.print
+    ~title:
+      "E11: saved-path reuse in posting actions (state identifiers verify \
+       the remembered path, section 5.2)"
+    ~header:[ "mode"; "postings"; "path reused"; "root re-traversals"; "reuse rate" ]
+    [ run false; run true ]
+
+(* ------------------------------------------------------------------ *)
+(* E12 (ablation): move-lock granularity under page-oriented UNDO
+   (section 4.2.2 discusses both realizations). Mixed updaters +
+   splitters; finer locks mean fewer split waits.                        *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  let run granularity =
+    let env = mk_env ~page_size:512 ~page_oriented_undo:true () in
+    let t = Blink.create env ~name:"t" in
+    Blink.set_move_granularity t granularity;
+    let inst = Kv.blink t in
+    let spec =
+      Workload.spec ~key_space:20_000 ~read_pct:20 ~insert_pct:70 ~delete_pct:10
+        ~dist:(Workload.Zipf 0.9) ()
+    in
+    Driver.preload inst spec ~n:5_000;
+    ignore (Env.drain env);
+    let r = Driver.run ~domains:4 ~ops_per_domain:4_000 ~seed:12L inst spec in
+    ignore (Env.drain env);
+    let s = Blink.stats t in
+    [
+      (match granularity with `Node -> "node-granule Move lock" | `Record -> "per-record U locks");
+      fmt_ops r.Driver.ops_per_s;
+      string_of_int s.Blink.leaf_splits;
+      string_of_int s.Blink.lock_restarts;
+      (if Wellformed.ok (Blink.verify t) then "yes" else "NO");
+    ]
+  in
+  Table.print
+    ~title:
+      "E12 (ablation): move-lock realization (section 4.2.2) — node granule        vs per-record locks, page-oriented UNDO, 4 domains"
+    ~header:[ "realization"; "ops/s"; "leaf splits"; "lock backoffs"; "well-formed" ]
+    [ run `Node; run `Record ]
+
+(* ------------------------------------------------------------------ *)
+(* E13 (ablation): page size — split frequency vs per-op cost.           *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  let rows =
+    List.map
+      (fun page_size ->
+        let env = mk_env ~page_size () in
+        let t = Blink.create env ~name:"t" in
+        let n = 20_000 in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to n - 1 do
+          Blink.insert t ~key:(Printf.sprintf "key%08d" i) ~value:(String.make 16 'v')
+        done;
+        ignore (Env.drain env);
+        let dt = Unix.gettimeofday () -. t0 in
+        let s = Blink.stats t in
+        [
+          string_of_int page_size;
+          fmt_ops (float_of_int n /. dt);
+          string_of_int (Blink.height t);
+          string_of_int (Blink.node_count t);
+          string_of_int s.Blink.leaf_splits;
+          string_of_int (s.Blink.postings_completed + s.Blink.postings_noop);
+        ])
+      [ 256; 512; 1024; 4096; 16384 ]
+  in
+  Table.print
+    ~title:"E13 (ablation): page size — 20k sequential inserts"
+    ~header:[ "page B"; "inserts/s"; "height"; "nodes"; "leaf splits"; "posting actions" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E14 (ablation): access skew — hot-key contention across engines.      *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  let rows =
+    List.concat_map
+      (fun theta ->
+        List.map
+          (fun engine ->
+            let env, inst = instance engine in
+            let spec =
+              Workload.spec ~key_space:50_000 ~read_pct:50 ~insert_pct:50
+                ~delete_pct:0
+                ~dist:(if theta = 0.0 then Workload.Uniform else Workload.Zipf theta)
+                ()
+            in
+            Driver.preload inst spec ~n:10_000;
+            ignore (Env.drain env);
+            let r = Driver.run ~domains:4 ~ops_per_domain:4_000 ~seed:5L inst spec in
+            ignore (Env.drain env);
+            [
+              (if theta = 0.0 then "uniform" else Printf.sprintf "zipf %.2f" theta);
+              Kv.name inst;
+              fmt_ops r.Driver.ops_per_s;
+              string_of_int r.Driver.p99_ns;
+            ])
+          engines)
+      [ 0.0; 0.9; 1.2 ]
+  in
+  Table.print
+    ~title:"E14 (ablation): access skew, 50/50 read/insert, 4 domains"
+    ~header:[ "distribution"; "engine"; "ops/s"; "p99 ns" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel): per-operation latencies.                 *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let env = mk_env () in
+  let t = Blink.create env ~name:"m" in
+  for i = 0 to 49_999 do
+    Blink.insert t ~key:(Printf.sprintf "key%08d" i) ~value:(String.make 16 'v')
+  done;
+  ignore (Env.drain env);
+  let rng = Rng.create 5L in
+  let next_insert = ref 50_000 in
+  let tests =
+    [
+      Test.make ~name:"blink.find(hit)"
+        (Staged.stage (fun () ->
+             ignore (Blink.find t (Printf.sprintf "key%08d" (Rng.int rng 50_000)))));
+      Test.make ~name:"blink.find(miss)"
+        (Staged.stage (fun () -> ignore (Blink.find t "nope")));
+      Test.make ~name:"blink.insert(new)"
+        (Staged.stage (fun () ->
+             let i = !next_insert in
+             incr next_insert;
+             Blink.insert t ~key:(Printf.sprintf "key%08d" i) ~value:"v"));
+      Test.make ~name:"blink.range(100)"
+        (Staged.stage (fun () ->
+             let lo = Rng.int rng 40_000 in
+             ignore
+               (Blink.range t
+                  ~low:(Printf.sprintf "key%08d" lo)
+                  ~high:(Printf.sprintf "key%08d" (lo + 100))
+                  ~init:0
+                  ~f:(fun n _ _ -> n + 1))));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"micro" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | _ -> "?"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Table.print ~title:"Micro-benchmarks (Bechamel, ns/op)"
+    ~header:[ "operation"; "ns/op" ]
+    (List.sort compare !rows);
+  (* Recovery replay rate: synthetic restart over the loaded tree's log. *)
+  let n_records = Log_manager.last_lsn (Env.log env) in
+  Env.crash env;
+  let t0 = Unix.gettimeofday () in
+  let _ = Env.recover env in
+  let dt = Unix.gettimeofday () -. t0 in
+  Table.print ~title:"Recovery replay rate" ~header:[ "metric"; "value" ]
+    [
+      [ "log records"; string_of_int n_records ];
+      [ "restart time (ms)"; Printf.sprintf "%.1f" (dt *. 1000.0) ];
+      [ "records/s"; fmt_ops (float_of_int n_records /. dt) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--help" ] | [ "-h" ] ->
+      print_endline "usage: bench/main.exe [e1 .. e14 | micro | all]";
+      List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
+  | [] | [ "all" ] ->
+      List.iter
+        (fun (name, f) ->
+          Printf.printf "\n### running %s ...\n%!" name;
+          f ())
+        experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None -> Printf.eprintf "unknown experiment %S\n" name)
+        names

@@ -1,0 +1,266 @@
+(* pitree: a small CLI for poking at the Pi-tree engines.
+
+   The environments here are in-memory (the disk substrate is crash-faithful
+   rather than file-persistent by default), so each invocation builds its
+   own database; commands are demonstrations and smoke tools:
+
+     pitree demo                    # load, query, crash, recover, verify
+     pitree load -n 50000           # bulk load + verify + stats
+     pitree crash-test -p POINT     # inject a crash at a named point
+     pitree workload --domains 4    # mixed workload throughput
+     pitree dump -n 50              # print a small tree's structure
+     pitree persist --dir DIR       # file-backed DB; --reopen recovers it
+                                    # in a fresh process *)
+
+open Cmdliner
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Wellformed = Pitree_core.Wellformed
+module Crash_point = Pitree_txn.Crash_point
+module Kv = Pitree_harness.Kv
+module Workload = Pitree_harness.Workload
+module Driver = Pitree_harness.Driver
+
+let mk_env page_size consolidation page_oriented_undo =
+  Env.create
+    {
+      Env.page_size;
+      pool_capacity = 65536;
+      page_oriented_undo;
+      consolidation;
+    }
+
+let key i = Printf.sprintf "key%08d" i
+
+let print_stats t =
+  let s = Blink.stats t in
+  Printf.printf
+    "stats: inserts=%d searches=%d leaf_splits=%d index_splits=%d \
+     root_splits=%d side_traversals=%d postings=%d/%d consolidations=%d\n"
+    s.Blink.inserts s.Blink.searches s.Blink.leaf_splits s.Blink.index_splits
+    s.Blink.root_splits s.Blink.side_traversals s.Blink.postings_completed
+    s.Blink.postings_scheduled s.Blink.consolidations
+
+let verify_and_report t =
+  let report = Blink.verify t in
+  Format.printf "%a@." Wellformed.pp_report report;
+  if Wellformed.ok report then 0 else 1
+
+(* --- demo --- *)
+
+let demo () =
+  let env = mk_env 512 true false in
+  let t = Blink.create env ~name:"demo" in
+  Printf.printf "loading 10000 records...\n%!";
+  for i = 0 to 9_999 do
+    Blink.insert t ~key:(key i) ~value:(Printf.sprintf "value-%d" i)
+  done;
+  ignore (Env.drain env);
+  Printf.printf "height=%d nodes=%d count=%d\n" (Blink.height t)
+    (Blink.node_count t) (Blink.count t);
+  Printf.printf "find key00004242 -> %s\n"
+    (Option.value (Blink.find t "key00004242") ~default:"<missing>");
+  Printf.printf "simulating power failure...\n%!";
+  Env.crash env;
+  let report = Env.recover env in
+  Format.printf "%a@." Pitree_wal.Recovery.pp_report report;
+  let t = Option.get (Blink.open_existing env ~name:"demo") in
+  Printf.printf "after recovery: count=%d find key00004242 -> %s\n"
+    (Blink.count t)
+    (Option.value (Blink.find t "key00004242") ~default:"<missing>");
+  print_stats t;
+  verify_and_report t
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Load, query, crash, recover, verify.")
+    Term.(const demo $ const ())
+
+(* --- load --- *)
+
+let load n page_size consolidation =
+  let env = mk_env page_size consolidation false in
+  let t = Blink.create env ~name:"t" in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key i) ~value:(Printf.sprintf "v%d" i)
+  done;
+  ignore (Env.drain env);
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "loaded %d records in %.2fs (%.0f/s); height=%d nodes=%d\n" n dt
+    (float_of_int n /. dt) (Blink.height t) (Blink.node_count t);
+  print_stats t;
+  verify_and_report t
+
+let n_arg =
+  Arg.(value & opt int 50_000 & info [ "n" ] ~docv:"N" ~doc:"Records to load.")
+
+let page_arg =
+  Arg.(value & opt int 4096 & info [ "page-size" ] ~docv:"BYTES" ~doc:"Page size.")
+
+let consolidation_arg =
+  Arg.(value & opt bool true & info [ "consolidation" ] ~doc:"CP vs CNS invariant.")
+
+let load_cmd =
+  Cmd.v (Cmd.info "load" ~doc:"Bulk load a B-link Pi-tree; verify and print stats.")
+    Term.(const load $ n_arg $ page_arg $ consolidation_arg)
+
+(* --- crash-test --- *)
+
+let crash_test point after n =
+  Crash_point.disarm_all ();
+  let env = mk_env 512 true false in
+  let t = Blink.create env ~name:"t" in
+  Crash_point.arm point ~after;
+  let crashed = ref false in
+  (try
+     for i = 0 to n - 1 do
+       Blink.insert t ~key:(key i) ~value:"v"
+     done
+   with Crash_point.Crash_requested p ->
+     crashed := true;
+     Printf.printf "crashed at %s\n" p);
+  Crash_point.disarm_all ();
+  if not !crashed then Printf.printf "point %S never fired\n" point;
+  Env.crash env;
+  let report = Env.recover env in
+  Format.printf "%a@." Pitree_wal.Recovery.pp_report report;
+  let t = Option.get (Blink.open_existing env ~name:"t") in
+  Printf.printf "recovered: count=%d\n" (Blink.count t);
+  verify_and_report t
+
+let point_arg =
+  Arg.(
+    value
+    & opt string "blink.split.committed"
+    & info [ "p"; "point" ] ~docv:"POINT"
+        ~doc:
+          "Crash point: blink.split.linked, blink.split.committed, \
+           blink.root.grown, blink.post.latched, blink.post.updated, \
+           blink.post.done, blink.consolidate.linked.")
+
+let after_arg =
+  Arg.(value & opt int 3 & info [ "after" ] ~doc:"Fire on the (N+1)-th hit.")
+
+let crash_cmd =
+  Cmd.v
+    (Cmd.info "crash-test" ~doc:"Inject a crash at a named structure-change point.")
+    Term.(const crash_test $ point_arg $ after_arg $ n_arg)
+
+(* --- workload --- *)
+
+let workload domains ops reads inserts deletes zipf =
+  let env = mk_env 1024 true false in
+  let t = Blink.create env ~name:"t" in
+  let inst = Kv.blink t in
+  let dist = if zipf > 0.0 then Workload.Zipf zipf else Workload.Uniform in
+  let spec =
+    Workload.spec ~key_space:100_000 ~read_pct:reads ~insert_pct:inserts
+      ~delete_pct:deletes ~dist ()
+  in
+  Driver.preload inst spec ~n:20_000;
+  ignore (Env.drain env);
+  let r = Driver.run ~domains ~ops_per_domain:(ops / domains) ~seed:1L inst spec in
+  Format.printf "%a@." Driver.pp_result r;
+  verify_and_report t
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~doc:"Worker domains.")
+
+let ops_arg = Arg.(value & opt int 40_000 & info [ "ops" ] ~doc:"Total operations.")
+let reads_arg = Arg.(value & opt int 70 & info [ "reads" ] ~doc:"Read percent.")
+let inserts_arg = Arg.(value & opt int 20 & info [ "inserts" ] ~doc:"Insert percent.")
+let deletes_arg = Arg.(value & opt int 10 & info [ "deletes" ] ~doc:"Delete percent.")
+let zipf_arg = Arg.(value & opt float 0.9 & info [ "zipf" ] ~doc:"Zipf theta (0 = uniform).")
+
+let workload_cmd =
+  Cmd.v (Cmd.info "workload" ~doc:"Run a mixed workload across domains.")
+    Term.(
+      const workload $ domains_arg $ ops_arg $ reads_arg $ inserts_arg
+      $ deletes_arg $ zipf_arg)
+
+(* --- dump --- *)
+
+let dump n =
+  let env = mk_env 256 true false in
+  let t = Blink.create env ~name:"t" in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(Printf.sprintf "k%03d" i) ~value:(string_of_int i)
+  done;
+  ignore (Env.drain env);
+  Blink.dump t Format.std_formatter;
+  Format.print_newline ();
+  0
+
+let dump_n_arg =
+  Arg.(value & opt int 40 & info [ "n" ] ~doc:"Records (keep small: prints the tree).")
+
+let dump_cmd =
+  Cmd.v (Cmd.info "dump" ~doc:"Print a small tree's node structure.")
+    Term.(const dump $ dump_n_arg)
+
+(* --- persist --- *)
+
+let persist dir n reopen =
+  let pages = Filename.concat dir "pages.db" in
+  let wal = Filename.concat dir "wal.log" in
+  let cfg =
+    { Env.page_size = 4096; pool_capacity = 65536; page_oriented_undo = false; consolidation = true }
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if reopen then begin
+    let env =
+      Env.open_from ~disk:(Pitree_storage.Disk.file ~page_size:4096 ~path:pages)
+        ~log_path:wal cfg
+    in
+    let report = Env.recover env in
+    Format.printf "%a@." Pitree_wal.Recovery.pp_report report;
+    match Blink.open_existing env ~name:"t" with
+    | None ->
+        print_endline "no tree found (run without --reopen first)";
+        1
+    | Some t ->
+        Printf.printf "reopened: count=%d height=%d
+" (Blink.count t) (Blink.height t);
+        let rc = verify_and_report t in
+        Env.close env;
+        rc
+  end
+  else begin
+    let env =
+      Env.create ~disk:(Pitree_storage.Disk.file ~page_size:4096 ~path:pages)
+        ~log_path:wal cfg
+    in
+    let t = Blink.create env ~name:"t" in
+    for i = 0 to n - 1 do
+      Blink.insert t ~key:(key i) ~value:(Printf.sprintf "v%d" i)
+    done;
+    ignore (Env.drain env);
+    Printf.printf "persisted %d records under %s (rerun with --reopen)
+" n dir;
+    Env.close env;
+    0
+  end
+
+let dir_arg =
+  Arg.(value & opt string "/tmp/pitree-db" & info [ "dir" ] ~docv:"DIR" ~doc:"Database directory.")
+
+let reopen_arg =
+  Arg.(value & flag & info [ "reopen" ] ~doc:"Reopen an existing database instead of creating one.")
+
+let persist_n_arg =
+  Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Records to load on create.")
+
+let persist_cmd =
+  Cmd.v
+    (Cmd.info "persist"
+       ~doc:"Create a file-backed database, or --reopen one from a previous run (cross-process recovery).")
+    Term.(const persist $ dir_arg $ persist_n_arg $ reopen_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "pitree" ~version:"1.0.0"
+       ~doc:"Pi-tree index structures with concurrency and recovery (Lomet & Salzberg, SIGMOD 1992).")
+    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; persist_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/bank_ledger.ml: Format List Option Pitree_core Pitree_env Pitree_tsb Printf

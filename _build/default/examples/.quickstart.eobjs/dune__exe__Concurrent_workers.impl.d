@@ -1,0 +1,1 @@
+examples/concurrent_workers.ml: Domain Format Int64 List Pitree_blink Pitree_core Pitree_env Pitree_util Printf Unix

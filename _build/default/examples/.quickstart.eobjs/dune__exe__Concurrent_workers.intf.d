@@ -1,0 +1,1 @@
+examples/concurrent_workers.mli:

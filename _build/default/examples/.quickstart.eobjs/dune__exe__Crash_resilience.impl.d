@@ -1,0 +1,1 @@
+examples/crash_resilience.ml: Format List Option Pitree_blink Pitree_core Pitree_env Pitree_txn Pitree_wal Printf

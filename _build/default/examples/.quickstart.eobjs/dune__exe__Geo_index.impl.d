@@ -1,0 +1,1 @@
+examples/geo_index.ml: Array Format List Pitree_core Pitree_env Pitree_hb Pitree_util Printf String

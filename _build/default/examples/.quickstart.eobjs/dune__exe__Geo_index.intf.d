@@ -1,0 +1,1 @@
+examples/geo_index.mli:

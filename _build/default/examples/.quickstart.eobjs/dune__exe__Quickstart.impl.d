@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Pitree_blink Pitree_core Pitree_env Pitree_txn Printf

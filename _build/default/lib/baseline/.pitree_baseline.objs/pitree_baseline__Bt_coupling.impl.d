@@ -1,0 +1,1 @@
+lib/baseline/bt_coupling.ml: Array Atomic List Option Pitree_blink Pitree_env Pitree_storage Pitree_sync Pitree_txn Pitree_wal String

@@ -1,0 +1,1 @@
+lib/baseline/bt_coupling.mli: Pitree_env

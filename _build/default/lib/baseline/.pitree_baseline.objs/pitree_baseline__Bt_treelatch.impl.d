@@ -1,0 +1,1 @@
+lib/baseline/bt_treelatch.ml: Atomic List Option Pitree_blink Pitree_env Pitree_storage Pitree_sync Pitree_txn Pitree_wal String

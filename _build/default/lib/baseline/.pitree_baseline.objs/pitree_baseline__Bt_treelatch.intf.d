@@ -1,0 +1,1 @@
+lib/baseline/bt_treelatch.mli: Pitree_env

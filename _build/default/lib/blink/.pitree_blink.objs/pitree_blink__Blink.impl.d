@@ -1,0 +1,1 @@
+lib/blink/blink.ml: Atomic Format Hashtbl List Mutex Node Option Pitree_core Pitree_env Pitree_lock Pitree_storage Pitree_sync Pitree_txn Pitree_wal Printf String

@@ -1,0 +1,1 @@
+lib/blink/blink.mli: Format Pitree_core Pitree_env Pitree_storage Pitree_txn

@@ -1,0 +1,1 @@
+lib/blink/cursor.ml: Blink Node Pitree_storage

@@ -1,0 +1,1 @@
+lib/blink/cursor.mli: Blink

@@ -1,0 +1,1 @@
+lib/blink/node.ml: Buffer Pitree_storage Pitree_util Printf String

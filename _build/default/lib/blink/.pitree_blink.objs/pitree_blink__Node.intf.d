@@ -1,0 +1,1 @@
+lib/blink/node.mli: Pitree_storage

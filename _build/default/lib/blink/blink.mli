@@ -1,0 +1,146 @@
+(** The B-link instance of the Pi-tree: a concurrent, recoverable key-value
+    index (the paper's flagship structure, sections 2.2.1, 3, 5).
+
+    {2 Protocol summary}
+
+    - {b Searches} descend from the (immovable) root following index terms,
+      side-stepping along sibling pointers when the key lies beyond a node's
+      fence. Under the CNS invariant one latch is held at a time; under CP
+      (consolidation possible) latches are coupled (section 5.2).
+    - {b Node splits} are atomic actions: allocate, move the upper half,
+      link the sibling, commit — then {e schedule} the posting of the index
+      term as a {e separate} atomic action (section 3.2.1). Searchers can
+      run between the two; they see a well-formed tree and reach the new
+      node through the side pointer.
+    - {b Index-term posting} follows section 5.3 literally: Search (reusing
+      the saved path, verified by state identifiers), Verify Split (the
+      posting is re-tested — it may already be done, or no longer needed),
+      Space Test (index-node splits and root growth happen here), Update
+      Node.
+    - {b Node consolidation} (when enabled) merges an under-utilized node
+      into its containing (left) sibling when both are referenced by the
+      same parent, in a single atomic action spanning two levels
+      (section 3.3), then de-allocates it as a logged node update
+      (section 5.2.2, strategy (b)).
+    - {b Crashes} between atomic actions need no special recovery: the
+      posting is re-discovered by the next traversal that follows the side
+      pointer and scheduled again (section 5.1).
+    - Under {b page-oriented UNDO} ([Env.config.page_oriented_undo]),
+      record moves take {e move locks} (node-granule, compatible with
+      readers), and a leaf split triggered by a transaction that already
+      updated the node runs {e inside} that transaction, with the posting
+      deferred to commit (section 4.2).
+
+    Operations auto-commit in a private user transaction unless [?txn] is
+    supplied. Record-level X locks (plus node-level IX) are taken for
+    updates; plain [find] is latch-consistent and takes no locks. *)
+
+type t
+
+val create : Pitree_env.Env.t -> name:string -> t
+(** Create (and catalog) a fresh empty tree. *)
+
+val open_existing : Pitree_env.Env.t -> name:string -> t option
+(** Reattach to a tree created earlier (e.g. after recovery). *)
+
+val register_for_recovery : Pitree_env.Env.t -> root:int -> unit
+(** Pre-register this tree's logical-undo handler before running
+    [Env.recover] in a fresh process over a file-persisted database whose
+    log may contain in-flight user transactions (non-page-oriented UNDO
+    compensations go through the access method, so the handler must exist
+    before rollback runs). Unnecessary for in-process crash/recover, where
+    handlers registered at [create]/[open_existing] persist. *)
+
+val env : t -> Pitree_env.Env.t
+val name : t -> string
+val root : t -> int
+
+val set_move_granularity : t -> [ `Node | `Record ] -> unit
+(** How move locks are realized under page-oriented UNDO (section 4.2.2):
+    [`Node] (default) takes one node-granule Move lock — simple, and once
+    granted no update activity can alter the locking required; [`Record]
+    takes one U lock per record to be moved — finer (updaters of the
+    non-moved half are not blocked), at the cost of the re-examination
+    loop when a lock must be waited for. Applies to independent split
+    actions; in-transaction splits always use the node granule (their move
+    lock outlives the action, where only the node granule can also fence
+    off space-consuming inserts). *)
+
+val move_granularity : t -> [ `Node | `Record ]
+
+(** {2 Operations} *)
+
+val insert : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> unit
+(** Insert or overwrite. *)
+
+val delete : ?txn:Pitree_txn.Txn.t -> t -> string -> bool
+(** Delete; [false] if the key was absent. *)
+
+val find : t -> string -> string option
+(** Latch-consistent point lookup (no database locks). *)
+
+val find_locked : txn:Pitree_txn.Txn.t -> t -> string -> string option
+(** Point lookup taking an S record lock held to end of [txn] (repeatable
+    read). *)
+
+val range : t -> ?low:string -> ?high:string -> init:'a ->
+  f:('a -> string -> string -> 'a) -> 'a
+(** Fold over records with [low <= key < high] in key order, walking leaves
+    through sibling pointers. Latch-consistent per leaf. *)
+
+val count : t -> int
+(** Number of records (full scan). *)
+
+(** {2 Maintenance and inspection} *)
+
+val verify : t -> Pitree_core.Wellformed.report
+(** Run the six well-formedness conditions over the whole tree (quiesced). *)
+
+val height : t -> int
+val node_count : t -> int
+
+type stats = {
+  searches : int;
+  inserts : int;
+  deletes : int;
+  leaf_splits : int;
+  index_splits : int;
+  root_splits : int;
+  side_traversals : int;
+  postings_scheduled : int;
+  postings_completed : int;
+  postings_noop : int;  (** posting actions that re-tested and found nothing to do *)
+  consolidations : int;
+  consolidations_skipped : int;
+  path_reuse_hits : int;   (** posting searches satisfied by the saved path *)
+  full_retraversals : int; (** posting searches that had to restart at the root *)
+  lock_restarts : int;     (** no-wait rule backoffs (section 4.1.2) *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val pending_postings : t -> int
+(** Postings currently queued (deduplicated). *)
+
+val dump : t -> Format.formatter -> unit
+(** Debug rendering of the whole tree. *)
+
+(**/**)
+
+(** Internal access for {!Cursor} (same library); not part of the public
+    API. *)
+module Internal : sig
+  val leaf_for : t -> string -> Pitree_storage.Buffer_pool.frame
+  (** Pin + S-latch the leaf directly containing the key. *)
+
+  val pin_pid : t -> int -> Pitree_storage.Buffer_pool.frame option
+  (** Pin + S-latch an arbitrary page by pid ([None] if unreachable). *)
+
+  val release_s : t -> Pitree_storage.Buffer_pool.frame -> unit
+
+  val step_right : t -> Pitree_storage.Buffer_pool.frame ->
+    Pitree_storage.Buffer_pool.frame option
+  (** Move to the right sibling (latch-coupled under CP); releases the
+      argument frame either way. *)
+end

@@ -1,0 +1,96 @@
+module Page = Pitree_storage.Page
+module Buffer_pool = Pitree_storage.Buffer_pool
+
+type position =
+  | Before of string  (** next record is the first with key >= this *)
+  | After of { pid : int; state_id : int; key : string }
+      (** resume after [key]; [pid]/[state_id] remember the leaf
+          (section 5.2 saved state) *)
+
+type t = { tree : Blink.t; mutable pos : position }
+
+let seek tree key = { tree; pos = Before key }
+let first tree = { tree; pos = Before "" }
+
+(* Scan the S-latched leaf [fr] for the first entry admitted by [admit];
+   walk right as needed. Returns the record and the frame (still latched)
+   it came from, or [None] with everything released. *)
+let rec scan_from t fr ~admit =
+  let p = fr.Buffer_pool.page in
+  let n = Node.entry_count p in
+  let start =
+    match Node.find p (admit : string) with
+    | `Found i -> i + 1 (* strictly after the resume key *)
+    | `Not_found i -> i
+  in
+  if start < n then begin
+    let k, v = Node.record p start in
+    Some (k, v, fr)
+  end
+  else
+    match Blink.Internal.step_right t fr with
+    | None -> None
+    | Some sfr -> scan_from t sfr ~admit
+
+(* Like scan_from but inclusive (for Before positions). *)
+let rec scan_incl t fr ~from_key =
+  let p = fr.Buffer_pool.page in
+  let n = Node.entry_count p in
+  let start =
+    match Node.find p from_key with `Found i -> i | `Not_found i -> i
+  in
+  if start < n then begin
+    let k, v = Node.record p start in
+    Some (k, v, fr)
+  end
+  else
+    match Blink.Internal.step_right t fr with
+    | None -> None
+    | Some sfr -> scan_incl t sfr ~from_key
+
+let fetch t =
+  match t.pos with
+  | Before key ->
+      let fr = Blink.Internal.leaf_for t.tree key in
+      scan_incl t.tree fr ~from_key:key
+  | After { pid; state_id; key } -> (
+      (* Saved-state fast path: unchanged state identifier means the leaf
+         (and our slot arithmetic) is exactly as we left it. *)
+      match Blink.Internal.pin_pid t.tree pid with
+      | Some fr when Page.lsn fr.Buffer_pool.page = state_id ->
+          scan_from t.tree fr ~admit:key
+      | Some fr ->
+          Blink.Internal.release_s t.tree fr;
+          let fr = Blink.Internal.leaf_for t.tree key in
+          scan_from t.tree fr ~admit:key
+      | None ->
+          let fr = Blink.Internal.leaf_for t.tree key in
+          scan_from t.tree fr ~admit:key)
+
+let next t =
+  match fetch t with
+  | None -> None
+  | Some (k, v, fr) ->
+      t.pos <-
+        After { pid = Page.id fr.Buffer_pool.page; state_id = Page.lsn fr.Buffer_pool.page; key = k };
+      Blink.Internal.release_s t.tree fr;
+      Some (k, v)
+
+let peek t =
+  match fetch t with
+  | None -> None
+  | Some (k, v, fr) ->
+      Blink.Internal.release_s t.tree fr;
+      Some (k, v)
+
+let close _ = ()
+
+let fold_until t ~limit ~init ~f =
+  let rec go acc remaining =
+    if remaining <= 0 then acc
+    else
+      match next t with
+      | None -> acc
+      | Some (k, v) -> go (f acc k v) (remaining - 1)
+  in
+  go init limit

@@ -1,0 +1,40 @@
+(** Forward cursors over a B-link Pi-tree.
+
+    A cursor is positioned between records and moves forward in key order,
+    walking the leaf level through sibling pointers — so it observes
+    exactly the intermediate states the Pi-tree guarantees are well-formed,
+    and it keeps working while splits, postings and consolidations run
+    underneath it.
+
+    Positioning is remembered as (leaf pid, page LSN, last key): on [next],
+    if the leaf's state identifier is unchanged the cursor resumes in
+    place (section 5.2's saved-state discipline); otherwise it re-seeks the
+    last key — so a cursor never misses a record that was present for the
+    whole scan, and never returns a key twice. Records inserted or deleted
+    concurrently may or may not be observed (ordinary cursor stability).
+
+    Cursors take no locks; each step is latch-consistent. *)
+
+type t
+
+val seek : Blink.t -> string -> t
+(** Position before the first record with key >= the argument. *)
+
+val first : Blink.t -> t
+(** Position before the smallest record. *)
+
+val next : t -> (string * string) option
+(** The next record in key order, advancing the cursor; [None] at the end.
+    The cursor stays usable after [None] (new larger keys become
+    visible). *)
+
+val peek : t -> (string * string) option
+(** Like [next] without advancing. *)
+
+val close : t -> unit
+(** Release the cursor's resources (idempotent; cursors hold no latches
+    between calls, so this only drops the position). *)
+
+val fold_until :
+  t -> limit:int -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+(** Apply [f] to at most [limit] successive records. *)

@@ -1,0 +1,139 @@
+module Page = Pitree_storage.Page
+module Codec = Pitree_util.Codec
+
+(* --- fence --- *)
+
+type fence = {
+  low : string option;
+  high : string option;
+  resp_high : string option;
+}
+
+let whole_fence = { low = None; high = None; resp_high = None }
+
+let put_bound b = function
+  | None -> Codec.put_u8 b 0
+  | Some s ->
+      Codec.put_u8 b 1;
+      Codec.put_bytes b s
+
+let get_bound r =
+  match Codec.get_u8 r with
+  | 0 -> None
+  | 1 -> Some (Codec.get_bytes r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad fence bound tag %d" n))
+
+let fence_cell { low; high; resp_high } =
+  let b = Buffer.create 24 in
+  put_bound b low;
+  put_bound b high;
+  put_bound b resp_high;
+  Buffer.contents b
+
+let fence page =
+  let r = Codec.reader (Page.get page 0) in
+  let low = get_bound r in
+  let high = get_bound r in
+  let resp_high = get_bound r in
+  { low; high; resp_high }
+
+let contains page key =
+  match (fence page).high with
+  | None -> true
+  | Some high -> String.compare key high < 0
+
+(* --- entries --- *)
+
+let entry_cell ~key ~payload =
+  let b = Buffer.create (String.length key + String.length payload + 8) in
+  Codec.put_bytes b key;
+  Codec.put_bytes b payload;
+  Buffer.contents b
+
+let entry_of_cell cell =
+  let r = Codec.reader cell in
+  let key = Codec.get_bytes r in
+  let payload = Codec.get_bytes r in
+  (key, payload)
+
+let entry_count page = Page.slot_count page - 1
+
+let slot_of_entry i = i + 1
+
+let entry page i = entry_of_cell (Page.get page (slot_of_entry i))
+
+let entry_key page i =
+  (* Decode just the key (prefix of the cell). *)
+  let cell = Page.get page (slot_of_entry i) in
+  Codec.get_bytes (Codec.reader cell)
+
+(* --- search --- *)
+
+let find page key =
+  let n = entry_count page in
+  let rec bs lo hi =
+    (* invariant: entries [0,lo) < key, entries [hi,n) > key *)
+    if lo >= hi then `Not_found lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = String.compare (entry_key page mid) key in
+      if c = 0 then `Found mid else if c < 0 then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 n
+
+let floor_entry page key =
+  match find page key with
+  | `Found i -> Some i
+  | `Not_found 0 -> None
+  | `Not_found i -> Some (i - 1)
+
+(* --- index terms --- *)
+
+let index_term_cell ~sep ~child =
+  let b = Buffer.create (String.length sep + 8) in
+  Codec.put_u32 b child;
+  Buffer.contents b |> fun payload -> entry_cell ~key:sep ~payload
+
+let index_term page i =
+  let sep, payload = entry page i in
+  (sep, Codec.get_u32 (Codec.reader payload))
+
+let find_child_term page child =
+  let n = entry_count page in
+  let rec go i =
+    if i >= n then None
+    else
+      let _, c = index_term page i in
+      if c = child then Some i else go (i + 1)
+  in
+  go 0
+
+(* --- leaf records --- *)
+
+let record_cell ~key ~value = entry_cell ~key ~payload:value
+let record = entry
+
+(* --- helpers --- *)
+
+(* Smallest s >= 1 such that the first s entries carry at least half the
+   payload bytes; entries [s, n) move to the new sibling. *)
+let split_point page =
+  let n = entry_count page in
+  assert (n >= 2);
+  let size i = String.length (Page.get page (slot_of_entry i)) in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + size i
+  done;
+  let half = !total / 2 in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc + size i in
+      if acc >= half then i + 1 else go (i + 1) acc
+  in
+  min (n - 1) (go 0 0)
+
+let utilization page =
+  let capacity = Page.size page - Page.header_size in
+  float_of_int (Page.used_space page) /. float_of_int capacity

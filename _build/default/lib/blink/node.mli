@@ -1,0 +1,99 @@
+(** On-page layout of B-link Pi-tree nodes.
+
+    Every tree node (leaf or index) reserves {b slot 0} for its {e fence
+    cell}, which encodes the upper bound of the space the node directly
+    contains ([None] = +infinity, i.e. the rightmost node of its level). The
+    node's sibling term (paper section 2.1.1) is the pair (fence, side
+    pointer): "the space at and above my fence is delegated to the node my
+    side pointer references".
+
+    Slots 1.. hold the node's {e entries}, sorted strictly by key:
+    - leaf (level 0): (key, value) records;
+    - index (level >= 1): (separator, child pid) index terms. A term
+      (k, c) means child [c] is approximately responsible for keys >= [k]
+      within this node (section 2.2.1); the leftmost term of a level uses
+      the empty separator [""].
+
+    This module is pure layout: no latching, no logging. Mutations happen
+    via [Page_op]s built from the encoders here. *)
+
+module Page = Pitree_storage.Page
+
+(** {2 Fence}
+
+    The fence cell records three bounds ([None] = infinity):
+    - [low]: lower bound of the node's space (never changes after creation,
+      except that the root's is -inf);
+    - [high]: upper bound of the {e directly contained} space — the
+      delegation boundary, moved down by splits and up by consolidations;
+    - [resp_high]: upper bound of the space the node is {e responsible} for
+      (paper section 2.1.1) — what it answers for, directly or through its
+      sibling chain. Set at creation; extended by consolidation when the
+      node absorbs a contained sibling's responsibility.
+
+    So: directly contained = [low, high); responsible = [low, resp_high);
+    the sibling term = ([high, resp_high), side pointer). *)
+
+type fence = {
+  low : string option;
+  high : string option;
+  resp_high : string option;
+}
+
+val fence_cell : fence -> string
+val fence : Page.t -> fence
+val whole_fence : fence
+(** Root fence: responsible for everything. *)
+
+val contains : Page.t -> string -> bool
+(** Does the node directly contain [key] (key < high)? (Arrival at the node
+    already implies [key >= low].) *)
+
+(** {2 Entries} *)
+
+val entry_cell : key:string -> payload:string -> string
+val entry_of_cell : string -> string * string
+
+val entry_count : Page.t -> int
+val entry : Page.t -> int -> string * string
+(** [entry p i] decodes the [i]-th entry (0-based among entries; slot
+    [i+1]). *)
+
+val slot_of_entry : int -> int
+(** Entry index -> page slot (adds 1 for the fence). *)
+
+(** {2 Search} *)
+
+val find : Page.t -> string -> [ `Found of int | `Not_found of int ]
+(** Binary search among entries. [`Found i]: entry [i] has exactly this
+    key. [`Not_found i]: the key would be inserted at entry position [i]. *)
+
+val floor_entry : Page.t -> string -> int option
+(** Index of the entry with the largest key [<=] the argument (the index
+    term to follow during descent). [None] if all entries order above the
+    key. *)
+
+(** {2 Index terms} *)
+
+val index_term_cell : sep:string -> child:int -> string
+val index_term : Page.t -> int -> string * int
+(** [index_term p i] is the [i]-th entry decoded as (separator, child). *)
+
+val find_child_term : Page.t -> int -> int option
+(** Entry index of the index term whose child pointer equals the given pid
+    (used by Verify Split, section 5.3). *)
+
+(** {2 Leaf records} *)
+
+val record_cell : key:string -> value:string -> string
+val record : Page.t -> int -> string * string
+
+(** {2 Node-level helpers} *)
+
+val split_point : Page.t -> int
+(** Entry index at which to split so the byte payload divides about
+    evenly; guaranteed in [1, entry_count - 1] (callers must ensure the node
+    has at least 2 entries). *)
+
+val utilization : Page.t -> float
+(** Fraction of the page's payload capacity in use. *)

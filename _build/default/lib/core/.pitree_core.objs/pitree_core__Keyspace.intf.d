@@ -1,0 +1,1 @@
+lib/core/keyspace.mli: Format

@@ -1,0 +1,1 @@
+lib/core/saved_path.ml: Format List

@@ -1,0 +1,1 @@
+lib/core/wellformed.ml: Format Hashtbl Keyspace List Printf Queue

@@ -1,0 +1,1 @@
+lib/core/wellformed.mli: Format Keyspace

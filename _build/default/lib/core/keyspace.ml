@@ -1,0 +1,91 @@
+module type S = sig
+  type point
+  type subspace
+
+  val whole : subspace
+  val contains : subspace -> point -> bool
+  val subset : subspace -> subspace -> bool
+  val is_empty : subspace -> bool
+  val covers : subspace list -> subspace -> bool
+  val pp_point : Format.formatter -> point -> unit
+  val pp_subspace : Format.formatter -> subspace -> unit
+end
+
+module Interval = struct
+  type bound = string option
+  type itv = { low : bound; high : bound }
+
+  type point = string
+  type subspace = itv
+
+  let whole = { low = None; high = None }
+  let make ~low ~high = { low; high }
+
+  (* Low bounds: None is -infinity. *)
+  let compare_bound_low a b =
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> String.compare x y
+
+  (* High bounds: None is +infinity. *)
+  let compare_bound_high a b =
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> 1
+    | Some _, None -> -1
+    | Some x, Some y -> String.compare x y
+
+  let contains { low; high } p =
+    (match low with None -> true | Some l -> String.compare l p <= 0)
+    && match high with None -> true | Some h -> String.compare p h < 0
+
+  let is_empty { low; high } =
+    match (low, high) with
+    | Some l, Some h -> String.compare l h >= 0
+    | _ -> false
+
+  let subset a b =
+    is_empty a
+    || (compare_bound_low b.low a.low <= 0 && compare_bound_high a.high b.high <= 0)
+
+  (* Exact for intervals: sort parts by low bound and sweep. *)
+  let covers parts s =
+    if is_empty s then true
+    else begin
+      let parts = List.filter (fun p -> not (is_empty p)) parts in
+      let parts =
+        List.sort (fun a b -> compare_bound_low a.low b.low) parts
+      in
+      (* [cursor] is the low end of the yet-uncovered remainder of [s]. *)
+      let rec sweep cursor = function
+        | [] -> false
+        | p :: rest ->
+            if compare_bound_low p.low cursor > 0 then false
+            else
+              (* p starts at or before cursor; it extends coverage to
+                 p.high. *)
+              let reach = p.high in
+              if compare_bound_high s.high reach <= 0 then true
+              else
+                let new_cursor =
+                  match reach with
+                  | None -> assert false (* covered above *)
+                  | Some h -> (Some h : bound)
+                in
+                if compare_bound_low new_cursor cursor > 0 then sweep new_cursor rest
+                else sweep cursor rest
+      in
+      sweep s.low parts
+    end
+
+  let pp_point ppf p = Format.fprintf ppf "%S" p
+
+  let pp_bound inf ppf = function
+    | None -> Format.pp_print_string ppf inf
+    | Some s -> Format.fprintf ppf "%S" s
+
+  let pp_subspace ppf { low; high } =
+    Format.fprintf ppf "[%a,%a)" (pp_bound "-inf") low (pp_bound "+inf") high
+end

@@ -1,0 +1,53 @@
+(** Key-space abstraction (paper section 2.1.1).
+
+    A Pi-tree is parameterized by a search space. Each node is responsible
+    for a {e subspace} of it; a node meets that responsibility by directly
+    containing entries or by delegating parts of the subspace to siblings.
+    The concrete engines instantiate this signature:
+
+    - B-link trees: points are byte-string keys; subspaces are half-open
+      key intervals [low, high).
+    - TSB-trees: points are (key, time) pairs; subspaces are rectangles in
+      key x time.
+    - hB-trees: points are k-dimensional vectors; subspaces are "holey
+      bricks" — a bounding box minus extracted boxes.
+
+    [covers] powers the generic well-formedness checker (section 2.1.3,
+    condition 4). Engines with complex spaces may implement it by point
+    sampling. *)
+
+module type S = sig
+  type point
+  type subspace
+
+  val whole : subspace
+  (** The entire search space (what the root is responsible for). *)
+
+  val contains : subspace -> point -> bool
+
+  val subset : subspace -> subspace -> bool
+  (** [subset a b]: is [a] a subspace of [b]? *)
+
+  val is_empty : subspace -> bool
+
+  val covers : subspace list -> subspace -> bool
+  (** [covers parts s]: does the union of [parts] contain [s]? *)
+
+  val pp_point : Format.formatter -> point -> unit
+  val pp_subspace : Format.formatter -> subspace -> unit
+end
+
+(** Half-open byte-string key intervals — the B-link instance, also reused
+    by the baselines. [None] bounds are infinities. *)
+module Interval : sig
+  type bound = string option
+  (** [None] as low = -inf; as high = +inf. *)
+
+  type itv = { low : bound; high : bound }
+
+  include S with type point = string and type subspace = itv
+
+  val make : low:bound -> high:bound -> itv
+  val compare_bound_low : bound -> bound -> int
+  val compare_bound_high : bound -> bound -> int
+end

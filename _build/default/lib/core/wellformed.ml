@@ -1,0 +1,139 @@
+type error = { node : int; condition : int; message : string }
+
+type report = { nodes_visited : int; levels : int; errors : error list }
+
+let ok r = r.errors = []
+
+let pp_report ppf r =
+  if ok r then
+    Format.fprintf ppf "well-formed: %d nodes, %d levels" r.nodes_visited r.levels
+  else begin
+    Format.fprintf ppf "NOT well-formed (%d nodes, %d levels):@," r.nodes_visited
+      r.levels;
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  node %d violates condition %d: %s@," e.node
+          e.condition e.message)
+      r.errors
+  end
+
+module Make (K : Keyspace.S) = struct
+  type node_view = {
+    id : int;
+    level : int;
+    responsible : K.subspace;
+    directly_contained : K.subspace;
+    index_terms : (K.subspace * int) list;
+    sibling_terms : (K.subspace * int) list;
+  }
+
+  let check ~root ~read =
+    let errors = ref [] in
+    let err node condition fmt =
+      Format.kasprintf
+        (fun message -> errors := { node; condition; message } :: !errors)
+        fmt
+    in
+    let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let max_level = ref 0 in
+    (* Walk breadth-first. [claimed] is the space the referencing term says
+       this node answers for (the whole space at the root). *)
+    let queue = Queue.create () in
+    Queue.add (root, K.whole, `Root) queue;
+    let visit_count = ref 0 in
+    while not (Queue.is_empty queue) do
+      let pid, claimed, origin = Queue.pop queue in
+      match read pid with
+      | None ->
+          let from =
+            match origin with
+            | `Root -> "as root"
+            | `Index p -> Printf.sprintf "via index term in %d" p
+            | `Sibling p -> Printf.sprintf "via sibling term in %d" p
+          in
+          err pid 1 "pointer (%s) reaches a de-allocated page" from
+      | Some view ->
+          if view.level > !max_level then max_level := view.level;
+          (* Per-reference checks run on every path to the node (clipped
+             children have several); the structural per-node checks run
+             once. *)
+          let first_visit = not (Hashtbl.mem visited pid) in
+          Hashtbl.replace visited pid ();
+          if first_visit then incr visit_count;
+          (* Conditions 2/3/6, referenced-node side: the term's space must
+             be one the node is responsible for. *)
+          if not (K.subset claimed view.responsible) then
+            err pid
+              (match origin with `Root -> 6 | `Index _ -> 3 | `Sibling _ -> 2)
+              "referenced for %a but only responsible for %a" K.pp_subspace
+              claimed K.pp_subspace view.responsible;
+          if first_visit then begin
+            (* Condition 1: the node meets its responsibility, directly or
+               by delegation. *)
+            let delegated = List.map fst view.sibling_terms in
+            if not (K.covers (view.directly_contained :: delegated) view.responsible)
+            then
+              err pid 1
+                "responsible space %a not covered by directly-contained %a + %d sibling terms"
+                K.pp_subspace view.responsible K.pp_subspace
+                view.directly_contained
+                (List.length view.sibling_terms);
+            (* Condition 2, containing-node side: a sibling term describes a
+               subspace of its containing node. *)
+            List.iter
+              (fun (space, _) ->
+                if not (K.subset space view.responsible) then
+                  err pid 2 "sibling term space %a escapes responsibility %a"
+                    K.pp_subspace space K.pp_subspace view.responsible)
+              view.sibling_terms;
+            (* Condition 5: level 0 nodes are data nodes (have no index
+               terms); index nodes live above. *)
+            if view.level = 0 && view.index_terms <> [] then
+              err pid 5 "data node carries %d index terms"
+                (List.length view.index_terms);
+            (* Note: an index node with NO index terms is legal as long as
+               its sibling terms cover its space (condition 4 below) — it
+               can arise in hB-trees when a split delegates every child
+               away; searches simply side-step through it. *)
+            (* Condition 4: index+sibling terms cover the directly
+               contained space. *)
+            if view.level > 0 then begin
+              let parts =
+                List.map fst view.index_terms @ List.map fst view.sibling_terms
+              in
+              if not (K.covers parts view.directly_contained) then
+                err pid 4
+                  "index+sibling terms do not cover directly contained %a"
+                  K.pp_subspace view.directly_contained
+            end;
+            (* Children must be one level down; siblings at the same
+               level. *)
+            List.iter
+              (fun (space, child) ->
+                match read child with
+                | None -> err pid 3 "index term reaches de-allocated page %d" child
+                | Some c ->
+                    if c.level <> view.level - 1 then
+                      err pid 3 "index term to %d crosses levels (%d -> %d)"
+                        child view.level c.level;
+                    Queue.add (child, space, `Index pid) queue)
+              view.index_terms;
+            List.iter
+              (fun (space, sib) ->
+                match read sib with
+                | None ->
+                    err pid 2 "sibling term reaches de-allocated page %d" sib
+                | Some s ->
+                    if s.level <> view.level then
+                      err pid 2 "sibling term to %d crosses levels" sib;
+                    Queue.add (sib, space, `Sibling pid) queue)
+              view.sibling_terms
+          end
+    done;
+    (* Condition 6 (root responsibility for the whole space) was seeded into
+       the walk; additionally the root must exist. *)
+    (match read root with
+    | None -> err root 6 "root is de-allocated"
+    | Some _ -> ());
+    { nodes_visited = !visit_count; levels = !max_level + 1; errors = List.rev !errors }
+end

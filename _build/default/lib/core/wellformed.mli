@@ -1,0 +1,58 @@
+(** Generic Pi-tree well-formedness checker (paper section 2.1.3).
+
+    An engine exposes each node as a {!node_view}; the checker walks the
+    whole structure from the root and verifies the six conditions:
+
+    + each node is responsible for a subspace of the search space;
+    + each sibling term describes a subspace of its containing node for
+      which the referenced node is responsible;
+    + each index term describes a subspace of the index node for which the
+      referenced node is responsible;
+    + the union of index-term and sibling-term spaces contains the space an
+      index node is responsible for;
+    + the lowest-level nodes are data nodes;
+    + a root exists that is responsible for the entire search space.
+
+    Plus the pointer rule: no pointer may reach a de-allocated node.
+
+    Responsibility is reconstructed during the walk: the root is responsible
+    for the whole space; a node reached by a term is responsible for (at
+    least) the term's space. With clipping (hB-trees) a node can be reached
+    from several parents; its responsibility is then checked against each
+    referencing term independently.
+
+    The checker is for tests, the CLI [verify] command and experiment E5;
+    it takes no latches and must run on a quiesced tree. *)
+
+type error = { node : int; condition : int; message : string }
+
+type report = {
+  nodes_visited : int;
+  levels : int;
+  errors : error list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+val ok : report -> bool
+
+module Make (K : Keyspace.S) : sig
+  type node_view = {
+    id : int;
+    level : int;
+    responsible : K.subspace;
+        (** the space the node is responsible for, directly or through
+            delegation to siblings *)
+    directly_contained : K.subspace;
+        (** the space for which the node holds entries itself *)
+    index_terms : (K.subspace * int) list;  (** (space, child pid) *)
+    sibling_terms : (K.subspace * int) list;  (** (space, sibling pid) *)
+  }
+
+  val check : root:int -> read:(int -> node_view option) -> report
+  (** [read pid] returns [None] for a de-allocated page — reaching one via
+      any term is an error. Checks per reference: the term's space is a
+      subspace of the referenced node's [responsible] space; and per node:
+      [directly_contained] plus the sibling-term spaces cover [responsible],
+      sibling-term spaces stay inside [responsible], and (for index nodes)
+      index+sibling terms cover [directly_contained]. *)
+end

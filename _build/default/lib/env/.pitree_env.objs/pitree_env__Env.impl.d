@@ -1,0 +1,1 @@
+lib/env/env.ml: Buffer Fun List Mutex Pitree_lock Pitree_storage Pitree_sync Pitree_txn Pitree_util Pitree_wal Queue

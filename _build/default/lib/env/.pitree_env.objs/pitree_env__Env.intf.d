@@ -1,0 +1,1 @@
+lib/env/env.mli: Pitree_lock Pitree_storage Pitree_txn Pitree_wal

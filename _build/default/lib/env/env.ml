@@ -1,0 +1,334 @@
+module Page = Pitree_storage.Page
+module Disk = Pitree_storage.Disk
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Latch = Pitree_sync.Latch
+module Latch_order = Pitree_sync.Latch_order
+module Lsn = Pitree_wal.Lsn
+module Log_manager = Pitree_wal.Log_manager
+module Log_record = Pitree_wal.Log_record
+module Page_op = Pitree_wal.Page_op
+module Recovery = Pitree_wal.Recovery
+module Lock_manager = Pitree_lock.Lock_manager
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Atomic_action = Pitree_txn.Atomic_action
+module Codec = Pitree_util.Codec
+
+type config = {
+  page_size : int;
+  pool_capacity : int;
+  page_oriented_undo : bool;
+  consolidation : bool;
+}
+
+let default_config =
+  { page_size = 4096; pool_capacity = 4096; page_oriented_undo = false; consolidation = true }
+
+type stats = {
+  pages_allocated : int;
+  pages_deallocated : int;
+  completions_run : int;
+}
+
+type t = {
+  cfg : config;
+  disk : Disk.t;
+  log_ref : Log_manager.t ref;
+  mutable pool_v : Buffer_pool.t;
+  mutable locks_v : Lock_manager.t;
+  mutable txns_v : Txn_mgr.t;
+  mutable crashed : bool;
+  tasks : (unit -> unit) Queue.t;
+  tasks_mu : Mutex.t;
+  mutable allocs : int;
+  mutable deallocs : int;
+  mutable completions : int;
+}
+
+let meta_pid = 1
+
+let config t = t.cfg
+let pool t = t.pool_v
+let log t = !(t.log_ref)
+let locks t = t.locks_v
+let txns t = t.txns_v
+
+let enc_u32 v =
+  let b = Buffer.create 4 in
+  Codec.put_u32 b v;
+  Buffer.contents b
+
+let dec_u32 s = Codec.get_u32 (Codec.reader s)
+
+(* Catalog cell: name, root pid, kind, level. Cell 0 of the meta page is the
+   next-unallocated-pid counter; catalog entries occupy cells 1..n. *)
+let enc_catalog ~name ~root ~kind ~level =
+  let b = Buffer.create 32 in
+  Codec.put_bytes b name;
+  Codec.put_u32 b root;
+  Codec.put_u8 b (Page.kind_to_int kind);
+  Codec.put_u8 b level;
+  Buffer.contents b
+
+let dec_catalog s =
+  let r = Codec.reader s in
+  let name = Codec.get_bytes r in
+  let root = Codec.get_u32 r in
+  (name, root)
+
+let fresh_volatile t =
+  t.pool_v <-
+    Buffer_pool.create ~capacity:t.cfg.pool_capacity ~disk:t.disk
+      ~wal_flush:(fun lsn -> Log_manager.flush !(t.log_ref) lsn)
+      ();
+  t.locks_v <- Lock_manager.create ();
+  t.txns_v <- Txn_mgr.create ~log:!(t.log_ref) ~pool:t.pool_v ~locks:t.locks_v ()
+
+let checkpoint t =
+  Buffer_pool.flush_all t.pool_v;
+  let log = !(t.log_ref) in
+  let lsn =
+    Log_manager.append log ~prev:Lsn.null ~txn:0
+      (Log_record.Checkpoint { active = Txn_mgr.active t.txns_v })
+  in
+  Log_manager.flush log lsn;
+  Log_manager.set_redo_start log lsn;
+  (* Bound log memory: everything before the redo point AND before the
+     oldest live transaction's Begin can never be read again. *)
+  let keep_from =
+    match Txn_mgr.oldest_first_lsn t.txns_v with
+    | Some oldest -> min lsn oldest
+    | None -> lsn
+  in
+  ignore (Log_manager.truncate log ~keep_from)
+
+let make_skeleton disk log_ref cfg =
+  let pool =
+    Buffer_pool.create ~capacity:cfg.pool_capacity ~disk
+      ~wal_flush:(fun lsn -> Log_manager.flush !log_ref lsn)
+      ()
+  in
+  let locks = Lock_manager.create () in
+  let txns = Txn_mgr.create ~log:!log_ref ~pool ~locks () in
+  {
+    cfg;
+    disk;
+    log_ref;
+    pool_v = pool;
+    locks_v = locks;
+    txns_v = txns;
+    crashed = false;
+    tasks = Queue.create ();
+    tasks_mu = Mutex.create ();
+    allocs = 0;
+    deallocs = 0;
+    completions = 0;
+  }
+
+let create ?disk ?log_path cfg =
+  let disk =
+    match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
+  in
+  let log_ref = ref (Log_manager.create ?path:log_path ()) in
+  let t = make_skeleton disk log_ref cfg in
+  (* Format the meta page inside an atomic action. *)
+  Atomic_action.run t.txns_v (fun txn ->
+      let fr = Buffer_pool.pin_new t.pool_v meta_pid in
+      ignore
+        (Txn_mgr.update t.txns_v txn fr
+           (Page_op.Format { kind = Page.Meta; level = 0 }));
+      ignore
+        (Txn_mgr.update t.txns_v txn fr
+           (Page_op.Insert_slot { slot = 0; cell = enc_u32 (meta_pid + 1) }));
+      Buffer_pool.unpin t.pool_v fr);
+  checkpoint t;
+  t
+
+let open_from ?disk ~log_path cfg =
+  let disk =
+    match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
+  in
+  let log_ref = ref (Log_manager.create ~path:log_path ()) in
+  let t = make_skeleton disk log_ref cfg in
+  t.crashed <- true;
+  t
+
+(* --- page allocation --- *)
+
+let with_meta_x t f =
+  let fr = Buffer_pool.pin t.pool_v meta_pid in
+  Latch.acquire fr.Buffer_pool.latch Latch.X;
+  Latch_order.acquired Latch_order.space_map_rank;
+  Fun.protect
+    ~finally:(fun () ->
+      Latch.release fr.Buffer_pool.latch Latch.X;
+      Latch_order.released Latch_order.space_map_rank;
+      Buffer_pool.unpin t.pool_v fr)
+    (fun () -> f fr)
+
+let alloc_page t txn ~kind ~level =
+  let mgr = t.txns_v in
+  t.allocs <- t.allocs + 1;
+  with_meta_x t (fun meta ->
+      let head = Page.aux_ptr meta.Buffer_pool.page in
+      if head <> Page.nil then begin
+        (* Pop the free list. The free page's cell 0 holds the next link. *)
+        let fr = Buffer_pool.pin t.pool_v head in
+        let next = dec_u32 (Page.get fr.Buffer_pool.page 0) in
+        ignore
+          (Txn_mgr.update mgr txn meta
+             (Page_op.Set_aux_ptr { old_ptr = head; new_ptr = next }));
+        ignore
+          (Txn_mgr.update mgr txn fr
+             (Page_op.Delete_slot { slot = 0; cell = enc_u32 next }));
+        ignore
+          (Txn_mgr.update mgr txn fr
+             (Page_op.Reformat
+                { old_kind = Page.Free; new_kind = kind; old_level = 0; new_level = level }));
+        fr
+      end
+      else begin
+        let next_pid = dec_u32 (Page.get meta.Buffer_pool.page 0) in
+        ignore
+          (Txn_mgr.update mgr txn meta
+             (Page_op.Replace_slot
+                { slot = 0; old_cell = enc_u32 next_pid; new_cell = enc_u32 (next_pid + 1) }));
+        let fr = Buffer_pool.pin_new t.pool_v next_pid in
+        ignore (Txn_mgr.update mgr txn fr (Page_op.Format { kind; level }));
+        fr
+      end)
+
+let dealloc_page t txn fr =
+  let mgr = t.txns_v in
+  t.deallocs <- t.deallocs + 1;
+  let page = fr.Buffer_pool.page in
+  (* Strip the node down to a bare page with invertible operations, in an
+     order whose exact reverse (undo) rebuilds it. *)
+  let cells = Page.fold page ~init:[] ~f:(fun acc _ c -> c :: acc) in
+  if cells <> [] then
+    ignore (Txn_mgr.update mgr txn fr (Page_op.Clear { cells = List.rev cells }));
+  if Page.side_ptr page <> Page.nil then
+    ignore
+      (Txn_mgr.update mgr txn fr
+         (Page_op.Set_side_ptr { old_ptr = Page.side_ptr page; new_ptr = Page.nil }));
+  if Page.aux_ptr page <> Page.nil then
+    ignore
+      (Txn_mgr.update mgr txn fr
+         (Page_op.Set_aux_ptr { old_ptr = Page.aux_ptr page; new_ptr = Page.nil }));
+  if Page.flags page <> 0 then
+    ignore
+      (Txn_mgr.update mgr txn fr
+         (Page_op.Set_flags { old_flags = Page.flags page; new_flags = 0 }));
+  ignore
+    (Txn_mgr.update mgr txn fr
+       (Page_op.Reformat
+          {
+            old_kind = Page.kind page;
+            new_kind = Page.Free;
+            old_level = Page.level page;
+            new_level = 0;
+          }));
+  with_meta_x t (fun meta ->
+      let head = Page.aux_ptr meta.Buffer_pool.page in
+      ignore
+        (Txn_mgr.update mgr txn fr
+           (Page_op.Insert_slot { slot = 0; cell = enc_u32 head }));
+      ignore
+        (Txn_mgr.update mgr txn meta
+           (Page_op.Set_aux_ptr { old_ptr = head; new_ptr = Page.id page })))
+
+(* --- catalog --- *)
+
+let create_tree t ~name ~kind ~level =
+  Atomic_action.run t.txns_v (fun txn ->
+      let root = alloc_page t txn ~kind ~level in
+      let root_pid = Page.id root.Buffer_pool.page in
+      Buffer_pool.unpin t.pool_v root;
+      with_meta_x t (fun meta ->
+          let slot = Page.slot_count meta.Buffer_pool.page in
+          ignore
+            (Txn_mgr.update t.txns_v txn meta
+               (Page_op.Insert_slot
+                  { slot; cell = enc_catalog ~name ~root:root_pid ~kind ~level })));
+      root_pid)
+
+let list_trees t =
+  let fr = Buffer_pool.pin t.pool_v meta_pid in
+  Latch.acquire fr.Buffer_pool.latch Latch.S;
+  let out =
+    Page.fold fr.Buffer_pool.page ~init:[] ~f:(fun acc i cell ->
+        if i = 0 then acc else dec_catalog cell :: acc)
+  in
+  Latch.release fr.Buffer_pool.latch Latch.S;
+  Buffer_pool.unpin t.pool_v fr;
+  List.rev out
+
+let find_tree t ~name =
+  List.assoc_opt name (list_trees t)
+
+(* --- crash / recover --- *)
+
+let crash t =
+  Buffer_pool.crash t.pool_v;
+  t.log_ref := Log_manager.crash !(t.log_ref);
+  Txn_mgr.crash t.txns_v;
+  Mutex.lock t.tasks_mu;
+  Queue.clear t.tasks;
+  Mutex.unlock t.tasks_mu;
+  t.crashed <- true
+
+let recover t =
+  if not t.crashed then invalid_arg "Env.recover: not crashed";
+  fresh_volatile t;
+  (* Transaction ids must not collide with ids already in the log — and the
+     transaction manager must be usable BEFORE recovery runs, because
+     logical undo may execute compensations through the access method,
+     which can start fresh atomic actions (e.g. a split so a restored
+     record fits). *)
+  t.txns_v <-
+    Txn_mgr.create
+      ~first_id:(Log_manager.max_txn_id !(t.log_ref) + 1)
+      ~log:!(t.log_ref) ~pool:t.pool_v ~locks:t.locks_v ();
+  t.crashed <- false;
+  Recovery.run ~log:!(t.log_ref) ~pool:t.pool_v
+
+let close t =
+  checkpoint t;
+  t.disk.Disk.close ()
+
+(* --- completion queue --- *)
+
+let schedule t task =
+  Mutex.lock t.tasks_mu;
+  Queue.add task t.tasks;
+  Mutex.unlock t.tasks_mu
+
+let drain t =
+  let ran = ref 0 in
+  let rec loop () =
+    Mutex.lock t.tasks_mu;
+    let task = if Queue.is_empty t.tasks then None else Some (Queue.pop t.tasks) in
+    Mutex.unlock t.tasks_mu;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        incr ran;
+        t.completions <- t.completions + 1;
+        loop ()
+  in
+  loop ();
+  !ran
+
+let pending t =
+  Mutex.lock t.tasks_mu;
+  let n = Queue.length t.tasks in
+  Mutex.unlock t.tasks_mu;
+  n
+
+let stats t =
+  {
+    pages_allocated = t.allocs;
+    pages_deallocated = t.deallocs;
+    completions_run = t.completions;
+  }

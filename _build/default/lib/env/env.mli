@@ -1,0 +1,123 @@
+(** The database environment: disk, buffer pool, log, lock manager,
+    transaction manager, page allocator, catalog and the completion queue,
+    with a crash/recover lifecycle.
+
+    One [Env.t] hosts any number of index trees (B-link, TSB, hB, baselines)
+    sharing the same substrate — as in the paper, where the access method
+    sits inside a full DBMS.
+
+    {2 Crash model}
+
+    [crash] models a power failure: the buffer pool, lock table, live
+    transactions and pending completion tasks vanish; the durable state is
+    exactly the flushed pages plus the flushed log prefix. [recover] then
+    runs restart recovery (analysis/redo/undo). Structure changes interrupted
+    between atomic actions are NOT completed by recovery — they are completed
+    lazily when later traversals stumble on them (paper section 5.1), which
+    is the behaviour experiment E5 measures. *)
+
+type config = {
+  page_size : int;
+  pool_capacity : int;
+  page_oriented_undo : bool;
+      (** when true, leaf-node record moves require move locks and may need
+          to run inside the updating transaction (section 4.2) *)
+  consolidation : bool;
+      (** CP invariant (consolidation possible) vs CNS (section 5.2) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?disk:Pitree_storage.Disk.t -> ?log_path:string -> config -> t
+(** Fresh database: formats the meta page and takes an initial checkpoint.
+    [disk] defaults to a new crash-faithful in-memory disk; [log_path]
+    backs the write-ahead log with an append-only file, making the
+    database recoverable across process restarts (pair it with
+    [Pitree_storage.Disk.file]). *)
+
+val open_from : ?disk:Pitree_storage.Disk.t -> log_path:string -> config -> t
+(** Reattach to a database persisted by a previous process: the log is
+    reloaded from [log_path] and the environment starts in the crashed
+    state — call {!recover} (which replays the log against [disk]) before
+    use. *)
+
+val config : t -> config
+val pool : t -> Pitree_storage.Buffer_pool.t
+val log : t -> Pitree_wal.Log_manager.t
+val locks : t -> Pitree_lock.Lock_manager.t
+val txns : t -> Pitree_txn.Txn_mgr.t
+
+val crash : t -> unit
+(** Simulated power failure (see module doc). The environment is unusable
+    until {!recover}. *)
+
+val recover : t -> Pitree_wal.Recovery.report
+(** Restart: rebuild volatile state and run recovery. *)
+
+val checkpoint : t -> unit
+(** Sharp checkpoint: flush all dirty pages, log a checkpoint record, force
+    the log, move the redo point. *)
+
+val close : t -> unit
+(** Clean shutdown: checkpoint and release the disk. *)
+
+(** {2 Page allocation}
+
+    Allocation updates the meta page (our space-management information) and
+    is fully logged inside the caller's transaction, so an aborted action
+    releases its pages. Per section 4.1.1, space-management information is
+    latched {e last}: call these while holding whatever node latches the
+    structure change needs, never acquire node latches afterwards. *)
+
+val alloc_page :
+  t -> Pitree_txn.Txn.t -> kind:Pitree_storage.Page.kind -> level:int ->
+  Pitree_storage.Buffer_pool.frame
+(** Returns the new page's frame, pinned and already formatted (logged).
+    No other thread can reach the page until the caller links it into a
+    tree, so it needs no latch yet. Caller unpins. *)
+
+val dealloc_page : t -> Pitree_txn.Txn.t -> Pitree_storage.Buffer_pool.frame -> unit
+(** Reformat the page as free (a logged node update — its state identifier
+    changes, per section 5.2.2 strategy (b)) and push it on the free list.
+    Caller holds the frame's X latch and has already removed every pointer
+    to the page. *)
+
+(** {2 Catalog} *)
+
+val create_tree :
+  t -> name:string -> kind:Pitree_storage.Page.kind -> level:int -> int
+(** Allocate an (immovable) root page and register [name]. Returns the root
+    page id, which doubles as the tree id. The root is never moved or
+    de-allocated (section 5.2.2), so this id is stable for the database's
+    lifetime. *)
+
+val find_tree : t -> name:string -> int option
+val list_trees : t -> (string * int) list
+
+(** {2 Completion queue}
+
+    Pending structure-change completions (index-term postings, node
+    consolidations) discovered during normal processing. Volatile by design:
+    a crash empties it, and the work is re-discovered by later traversals. *)
+
+val schedule : t -> (unit -> unit) -> unit
+
+val drain : t -> int
+(** Run pending completion tasks until the queue is empty; returns how many
+    ran. Tasks run outside any latch. A task raising
+    [Crash_point.Crash_requested] propagates (the rest stay queued, then are
+    lost to the crash, as intended). *)
+
+val pending : t -> int
+
+(** {2 Statistics} *)
+
+type stats = {
+  pages_allocated : int;
+  pages_deallocated : int;
+  completions_run : int;
+}
+
+val stats : t -> stats

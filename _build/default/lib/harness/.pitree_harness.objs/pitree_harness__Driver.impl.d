@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Domain Fmt Kv List Pitree_util String Unix Workload

@@ -1,0 +1,1 @@
+lib/harness/kv.ml: Pitree_baseline Pitree_blink

@@ -1,0 +1,1 @@
+lib/harness/kv.mli: Pitree_baseline Pitree_blink

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Char Int64 Option Pitree_util Printf String

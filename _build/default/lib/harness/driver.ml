@@ -1,0 +1,67 @@
+module Histogram = Pitree_util.Histogram
+
+type result = {
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_s : float;
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf "%d domains: %.0f ops/s (mean %.0fns p50 %dns p99 %dns, %d ops in %.2fs)"
+    r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.total_ops r.elapsed_s
+
+let now () = Unix.gettimeofday ()
+
+let preload inst spec ~n =
+  let value = String.make spec.Workload.value_len 'P' in
+  for i = 0 to n - 1 do
+    Kv.insert inst ~key:(Workload.key_of i) ~value
+  done
+
+let apply inst = function
+  | Workload.Find k -> ignore (Kv.find inst k)
+  | Workload.Insert (k, v) -> ignore (Kv.insert inst ~key:k ~value:v)
+  | Workload.Delete k -> ignore (Kv.delete inst k)
+
+let worker inst spec ~seed ~worker:w ~workers ~ops =
+  let g = Workload.gen spec ~seed ~worker:w ~workers in
+  let h = Histogram.create () in
+  for _ = 1 to ops do
+    let op = Workload.next g in
+    let t0 = Unix.gettimeofday () in
+    apply inst op;
+    let dt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    Histogram.record h dt
+  done;
+  h
+
+let run ~domains ~ops_per_domain ~seed inst spec =
+  let t0 = now () in
+  let hists =
+    if domains = 1 then [ worker inst spec ~seed ~worker:0 ~workers:1 ~ops:ops_per_domain ]
+    else begin
+      let handles =
+        List.init domains (fun w ->
+            Domain.spawn (fun () ->
+                worker inst spec ~seed ~worker:w ~workers:domains
+                  ~ops:ops_per_domain))
+      in
+      List.map Domain.join handles
+    end
+  in
+  let elapsed = now () -. t0 in
+  let h = List.fold_left Histogram.merge (Histogram.create ()) hists in
+  let total = domains * ops_per_domain in
+  {
+    domains;
+    total_ops = total;
+    elapsed_s = elapsed;
+    ops_per_s = float_of_int total /. elapsed;
+    mean_ns = Histogram.mean h;
+    p50_ns = Histogram.percentile h 50.0;
+    p99_ns = Histogram.percentile h 99.0;
+  }

@@ -1,0 +1,30 @@
+(** Multi-domain benchmark driver.
+
+    Spawns worker domains that each execute a fixed number of workload
+    operations against one engine instance, measuring wall-clock throughput
+    and per-operation latency (merged histogram). This is the engine room
+    of experiments E1-E4. *)
+
+type result = {
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_s : float;
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val preload : Kv.instance -> Workload.spec -> n:int -> unit
+(** Insert keys 0..n-1 (of the spec's canonical encoding) so measurements
+    run against a warm tree. *)
+
+val run :
+  domains:int ->
+  ops_per_domain:int ->
+  seed:int64 ->
+  Kv.instance ->
+  Workload.spec ->
+  result

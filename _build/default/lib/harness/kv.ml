@@ -1,0 +1,46 @@
+module type S = sig
+  type t
+
+  val engine_name : string
+  val insert : t -> key:string -> value:string -> unit
+  val delete : t -> string -> bool
+  val find : t -> string -> string option
+end
+
+type instance = Inst : (module S with type t = 'a) * 'a -> instance
+
+let name (Inst ((module M), _)) = M.engine_name
+let insert (Inst ((module M), t)) ~key ~value = M.insert t ~key ~value
+let delete (Inst ((module M), t)) key = M.delete t key
+let find (Inst ((module M), t)) key = M.find t key
+
+module Blink_kv = struct
+  type t = Pitree_blink.Blink.t
+
+  let engine_name = "pi-tree (b-link)"
+  let insert t ~key ~value = Pitree_blink.Blink.insert t ~key ~value
+  let delete t k = Pitree_blink.Blink.delete t k
+  let find = Pitree_blink.Blink.find
+end
+
+module Coupling_kv = struct
+  type t = Pitree_baseline.Bt_coupling.t
+
+  let engine_name = "lock-coupling"
+  let insert = Pitree_baseline.Bt_coupling.insert
+  let delete = Pitree_baseline.Bt_coupling.delete
+  let find = Pitree_baseline.Bt_coupling.find
+end
+
+module Treelatch_kv = struct
+  type t = Pitree_baseline.Bt_treelatch.t
+
+  let engine_name = "tree-latch (serial SMO)"
+  let insert = Pitree_baseline.Bt_treelatch.insert
+  let delete = Pitree_baseline.Bt_treelatch.delete
+  let find = Pitree_baseline.Bt_treelatch.find
+end
+
+let blink t = Inst ((module Blink_kv), t)
+let coupling t = Inst ((module Coupling_kv), t)
+let treelatch t = Inst ((module Treelatch_kv), t)

@@ -1,0 +1,22 @@
+(** Uniform key-value interface over the three index engines, so the
+    benchmark driver and comparison experiments treat them identically. *)
+
+module type S = sig
+  type t
+
+  val engine_name : string
+  val insert : t -> key:string -> value:string -> unit
+  val delete : t -> string -> bool
+  val find : t -> string -> string option
+end
+
+type instance = Inst : (module S with type t = 'a) * 'a -> instance
+
+val name : instance -> string
+val insert : instance -> key:string -> value:string -> unit
+val delete : instance -> string -> bool
+val find : instance -> string -> string option
+
+val blink : Pitree_blink.Blink.t -> instance
+val coupling : Pitree_baseline.Bt_coupling.t -> instance
+val treelatch : Pitree_baseline.Bt_treelatch.t -> instance

@@ -1,0 +1,21 @@
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun c cell -> pad cell (List.nth widths c)) row)
+  in
+  let rule = String.make (String.length (line header)) '-' in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (line header) rule;
+  List.iter (fun row -> print_endline (line row)) rows;
+  flush stdout
+
+let fmt_f v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else if v >= 100.0 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v

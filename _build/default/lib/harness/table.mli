@@ -1,0 +1,7 @@
+(** Plain-text aligned tables for the benchmark reports. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** Renders to stdout with a title line, column alignment and a rule. *)
+
+val fmt_f : float -> string
+(** Compact float formatting (3 significant-ish digits, k/M suffixes). *)

@@ -1,0 +1,58 @@
+module Rng = Pitree_util.Rng
+module Zipf_s = Pitree_util.Zipf
+
+type op = Find of string | Insert of string * string | Delete of string
+
+type dist = Uniform | Zipf of float | Sequential
+
+type spec = {
+  key_space : int;
+  value_len : int;
+  read_pct : int;
+  insert_pct : int;
+  delete_pct : int;
+  dist : dist;
+}
+
+let spec ?(key_space = 100_000) ?(value_len = 16) ?(read_pct = 100)
+    ?(insert_pct = 0) ?(delete_pct = 0) ?(dist = Uniform) () =
+  if read_pct + insert_pct + delete_pct <> 100 then
+    invalid_arg "Workload.spec: mix must sum to 100";
+  { key_space; value_len; read_pct; insert_pct; delete_pct; dist }
+
+let key_of i = Printf.sprintf "k%010d" i
+
+type gen = {
+  spec : spec;
+  rng : Rng.t;
+  zipf : Zipf_s.t option;
+  mutable seq : int;  (* next sequential key, strided by worker *)
+  stride : int;
+}
+
+let gen spec ~seed ~worker ~workers =
+  let rng = Rng.create (Int64.add seed (Int64.of_int (worker * 7919))) in
+  let zipf =
+    match spec.dist with
+    | Zipf theta -> Some (Zipf_s.create ~n:spec.key_space ~theta)
+    | Uniform | Sequential -> None
+  in
+  { spec; rng; zipf; seq = worker; stride = workers }
+
+let pick_key g =
+  match g.spec.dist with
+  | Uniform -> Rng.int g.rng g.spec.key_space
+  | Zipf _ -> Zipf_s.sample (Option.get g.zipf) g.rng
+  | Sequential ->
+      let k = g.seq in
+      g.seq <- g.seq + g.stride;
+      k
+
+let value g = String.make g.spec.value_len (Char.chr (65 + Rng.int g.rng 26))
+
+let next g =
+  let r = Rng.int g.rng 100 in
+  let k = key_of (pick_key g) in
+  if r < g.spec.read_pct then Find k
+  else if r < g.spec.read_pct + g.spec.insert_pct then Insert (k, value g)
+  else Delete k

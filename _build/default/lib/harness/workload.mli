@@ -1,0 +1,38 @@
+(** Workload generation for the experiments: operation mixes over keyed
+    records with configurable skew, as in the B-tree concurrency study the
+    paper cites for its performance claim (Srinivasan & Carey, SIGMOD '91). *)
+
+type op =
+  | Find of string
+  | Insert of string * string
+  | Delete of string
+
+type dist =
+  | Uniform
+  | Zipf of float  (** theta; 0.99 = classic hot-key skew *)
+  | Sequential  (** monotonically increasing keys — the splitting storm *)
+
+type spec = {
+  key_space : int;  (** distinct keys addressed by the workload *)
+  value_len : int;
+  read_pct : int;
+  insert_pct : int;
+  delete_pct : int;  (** the three must sum to 100 *)
+  dist : dist;
+}
+
+val spec :
+  ?key_space:int -> ?value_len:int -> ?read_pct:int -> ?insert_pct:int ->
+  ?delete_pct:int -> ?dist:dist -> unit -> spec
+(** Defaults: 100k keys, 16-byte values, 100/0/0 read-only, uniform. Raises
+    [Invalid_argument] when the mix does not sum to 100. *)
+
+val key_of : int -> string
+(** The canonical fixed-width key encoding used by all experiments. *)
+
+type gen
+(** Per-worker generator (owns its RNG and sequential counter share). *)
+
+val gen : spec -> seed:int64 -> worker:int -> workers:int -> gen
+
+val next : gen -> op

@@ -1,0 +1,1 @@
+lib/hb/hb.ml: Array Atomic Buffer Hashtbl Hb_space Hkd List Mutex Option Pitree_core Pitree_env Pitree_storage Pitree_sync Pitree_txn Pitree_util Pitree_wal Printf String

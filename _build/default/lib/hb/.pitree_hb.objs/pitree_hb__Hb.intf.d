@@ -1,0 +1,1 @@
+lib/hb/hb.mli: Pitree_core Pitree_env

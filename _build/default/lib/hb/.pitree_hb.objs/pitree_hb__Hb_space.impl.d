@@ -1,0 +1,1 @@
+lib/hb/hb_space.ml: Array Format List Pitree_util Printf String

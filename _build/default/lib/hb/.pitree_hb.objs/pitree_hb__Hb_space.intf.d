@@ -1,0 +1,1 @@
+lib/hb/hb_space.mli: Format Pitree_core

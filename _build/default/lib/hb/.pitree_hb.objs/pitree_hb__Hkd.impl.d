@@ -1,0 +1,1 @@
+lib/hb/hkd.ml: Array Buffer Format Hb_space List Pitree_util Printf

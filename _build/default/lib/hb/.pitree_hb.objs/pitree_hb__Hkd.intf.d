@@ -1,0 +1,1 @@
+lib/hb/hkd.mli: Format Hb_space

@@ -1,0 +1,109 @@
+module Rng = Pitree_util.Rng
+
+type brick = { low : float array; high : float array }
+
+type holey = { outer : brick; holes : brick list }
+
+let dims b = Array.length b.low
+
+let whole_brick k =
+  { low = Array.make k neg_infinity; high = Array.make k infinity }
+
+let brick_contains b p =
+  let k = dims b in
+  let rec go i = i >= k || (b.low.(i) <= p.(i) && p.(i) < b.high.(i) && go (i + 1)) in
+  go 0
+
+let brick_is_empty b =
+  let k = dims b in
+  let rec go i = i < k && (b.low.(i) >= b.high.(i) || go (i + 1)) in
+  go 0
+
+let brick_subset a b =
+  brick_is_empty a
+  ||
+  let k = dims a in
+  let rec go i = i >= k || (b.low.(i) <= a.low.(i) && a.high.(i) <= b.high.(i) && go (i + 1)) in
+  go 0
+
+let brick_inter a b =
+  {
+    low = Array.init (dims a) (fun i -> max a.low.(i) b.low.(i));
+    high = Array.init (dims a) (fun i -> min a.high.(i) b.high.(i));
+  }
+
+let brick_intersects a b = not (brick_is_empty (brick_inter a b))
+
+let pp_brick ppf b =
+  let bound v = if v = infinity then "+inf" else if v = neg_infinity then "-inf" else Printf.sprintf "%.3f" v in
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.init (dims b) (fun i -> Printf.sprintf "%s,%s" (bound b.low.(i)) (bound b.high.(i)))))
+
+let split_brick b ~dim ~coord =
+  let lo = { low = Array.copy b.low; high = Array.copy b.high } in
+  let hi = { low = Array.copy b.low; high = Array.copy b.high } in
+  lo.high.(dim) <- coord;
+  hi.low.(dim) <- coord;
+  (lo, hi)
+
+module Make (D : sig
+  val k : int
+end) =
+struct
+  type point = float array
+  type subspace = holey
+
+  let whole = { outer = whole_brick D.k; holes = [] }
+
+  let contains { outer; holes } p =
+    brick_contains outer p && not (List.exists (fun h -> brick_contains h p) holes)
+
+  let is_empty { outer; holes } =
+    brick_is_empty outer
+    || List.exists (fun h -> brick_subset outer h) holes
+
+  (* Deterministic sampler over a brick, clamped to the unit cube where a
+     bound is infinite (test workloads live in [0,1)^k). *)
+  let sample_brick rng b =
+    Array.init D.k (fun i ->
+        let lo = if b.low.(i) = neg_infinity then 0.0 else b.low.(i) in
+        let hi = if b.high.(i) = infinity then 1.0 else b.high.(i) in
+        if hi <= lo then lo else lo +. Rng.float rng (hi -. lo))
+
+  let samples = 256
+
+  let subset a b =
+    is_empty a
+    ||
+    let rng = Rng.create 0x5B5EDL in
+    let ok = ref true in
+    let tries = ref 0 in
+    while !ok && !tries < samples do
+      incr tries;
+      let p = sample_brick rng a.outer in
+      if contains a p && not (contains b p) then ok := false
+    done;
+    !ok
+
+  let covers parts s =
+    is_empty s
+    ||
+    let rng = Rng.create 0xC0FFEEL in
+    let ok = ref true in
+    let tries = ref 0 in
+    while !ok && !tries < samples do
+      incr tries;
+      let p = sample_brick rng s.outer in
+      if contains s p && not (List.exists (fun part -> contains part p) parts) then
+        ok := false
+    done;
+    !ok
+
+  let pp_point ppf p =
+    Format.fprintf ppf "(%s)"
+      (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.3f") p)))
+
+  let pp_subspace ppf { outer; holes } =
+    Format.fprintf ppf "%a minus %d holes" pp_brick outer (List.length holes)
+end

@@ -1,0 +1,32 @@
+(** The multiattribute key space of the hB-tree: k-dimensional points,
+    bricks (axis-aligned boxes) and holey bricks (a brick minus extracted
+    bricks — paper section 2.2.3).
+
+    Implements {!Pitree_core.Keyspace.S} so the generic well-formedness
+    checker runs over hB-trees too. Exact containment/subset tests on holey
+    bricks are awkward; [subset] and [covers] use deterministic Monte-Carlo
+    sampling over the unit cube (documented, and sound for the test/bench
+    workloads, which live in [0,1)^k). *)
+
+type brick = { low : float array; high : float array }
+(** Half-open box; [neg_infinity]/[infinity] bounds allowed. *)
+
+type holey = { outer : brick; holes : brick list }
+
+val dims : brick -> int
+val whole_brick : int -> brick
+val brick_contains : brick -> float array -> bool
+val brick_subset : brick -> brick -> bool
+val brick_intersects : brick -> brick -> bool
+val brick_inter : brick -> brick -> brick
+(** Intersection (may be empty). *)
+
+val brick_is_empty : brick -> bool
+val pp_brick : Format.formatter -> brick -> unit
+
+val split_brick : brick -> dim:int -> coord:float -> brick * brick
+(** (low side, high side). *)
+
+module Make (D : sig
+  val k : int
+end) : Pitree_core.Keyspace.S with type point = float array and type subspace = holey

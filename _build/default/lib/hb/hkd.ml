@@ -1,0 +1,175 @@
+module Codec = Pitree_util.Codec
+open Hb_space
+
+type target = Here | Sibling of int | Child of int
+
+type t =
+  | Leaf of target
+  | Split of { dim : int; coord : float; left : t; right : t }
+
+let rec encode_into b = function
+  | Leaf Here -> Codec.put_u8 b 0
+  | Leaf (Sibling s) ->
+      Codec.put_u8 b 1;
+      Codec.put_u32 b s
+  | Leaf (Child c) ->
+      Codec.put_u8 b 2;
+      Codec.put_u32 b c
+  | Split { dim; coord; left; right } ->
+      Codec.put_u8 b 3;
+      Codec.put_u8 b dim;
+      Codec.put_float b coord;
+      encode_into b left;
+      encode_into b right
+
+let encode t =
+  let b = Buffer.create 64 in
+  encode_into b t;
+  Buffer.contents b
+
+let rec decode_from r =
+  match Codec.get_u8 r with
+  | 0 -> Leaf Here
+  | 1 -> Leaf (Sibling (Codec.get_u32 r))
+  | 2 -> Leaf (Child (Codec.get_u32 r))
+  | 3 ->
+      let dim = Codec.get_u8 r in
+      let coord = Codec.get_float r in
+      let left = decode_from r in
+      let right = decode_from r in
+      Split { dim; coord; left; right }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad kd tag %d" n))
+
+let decode s = decode_from (Codec.reader s)
+
+let rec size = function
+  | Leaf _ -> 1
+  | Split { left; right; _ } -> size left + size right
+
+let rec walk t p =
+  match t with
+  | Leaf tgt -> tgt
+  | Split { dim; coord; left; right } ->
+      if p.(dim) < coord then walk left p else walk right p
+
+let rec leaf_regions t brick =
+  match t with
+  | Leaf tgt -> [ (brick, tgt) ]
+  | Split { dim; coord; left; right } ->
+      let lo, hi = split_brick brick ~dim ~coord in
+      leaf_regions left lo @ leaf_regions right hi
+
+let rec replace_target t ~from ~to_ =
+  match t with
+  | Leaf tgt -> if tgt = from then Leaf to_ else t
+  | Split s ->
+      Split
+        {
+          s with
+          left = replace_target s.left ~from ~to_;
+          right = replace_target s.right ~from ~to_;
+        }
+
+let rec simplify = function
+  | Leaf _ as l -> l
+  | Split { dim; coord; left; right } -> (
+      match (simplify left, simplify right) with
+      | (Leaf a as l), Leaf b when a = b -> l
+      | left, right -> Split { dim; coord; left; right })
+
+let rec targets acc = function
+  | Leaf tgt -> tgt :: acc
+  | Split { left; right; _ } -> targets (targets acc left) right
+
+let children t =
+  targets [] t
+  |> List.filter_map (function Child c -> Some c | Here | Sibling _ -> None)
+  |> List.sort_uniq compare
+
+let siblings t =
+  targets [] t
+  |> List.filter_map (function Sibling s -> Some s | Here | Child _ -> None)
+  |> List.sort_uniq compare
+
+(* Build the minimal split path inside [region] isolating [brick], putting
+   [inner] there and [outer] on every shaved side. *)
+let isolate ~region ~brick ~inner ~outer =
+  let k = dims region in
+  let rec go region dim =
+    if dim >= k then inner
+    else begin
+      let after_low =
+        if brick.low.(dim) > region.low.(dim) then
+          let _, hi = split_brick region ~dim ~coord:brick.low.(dim) in
+          Split { dim; coord = brick.low.(dim); left = Leaf outer; right = go_high hi dim }
+        else go_high region dim
+      in
+      after_low
+    end
+  and go_high region dim =
+    if brick.high.(dim) < region.high.(dim) then
+      let lo, _ = split_brick region ~dim ~coord:brick.high.(dim) in
+      Split { dim; coord = brick.high.(dim); left = go lo (dim + 1); right = Leaf outer }
+    else go region (dim + 1)
+  in
+  go region 0
+
+let carve t ~region ~brick target =
+  let rec go t region brick =
+    if brick_is_empty brick then t
+    else
+      match t with
+      | Split { dim; coord; left; right } ->
+          let rlo, rhi = split_brick region ~dim ~coord in
+          if brick.high.(dim) <= coord then
+            Split { dim; coord; left = go left rlo brick; right }
+          else if brick.low.(dim) >= coord then
+            Split { dim; coord; left; right = go right rhi brick }
+          else begin
+            (* The brick straddles the split: clip it (section 3.2.2). *)
+            let blo, bhi = split_brick brick ~dim ~coord in
+            Split { dim; coord; left = go left rlo blo; right = go right rhi bhi }
+          end
+      | Leaf (Sibling _) ->
+          (* This space is already delegated away; the sibling, not this
+             node, answers for it — never carve over it. *)
+          t
+      | Leaf old ->
+          let piece = brick_inter brick region in
+          if brick_is_empty piece then t
+          else if brick_subset region piece then Leaf target
+          else isolate ~region ~brick:piece ~inner:(Leaf target) ~outer:old
+  in
+  go t region brick
+
+let prune t ~region ~box =
+  let rec go t region =
+    match t with
+    | Leaf _ -> t
+    | Split { dim; coord; left; right } ->
+        let rlo, rhi = split_brick region ~dim ~coord in
+        let lo_live = brick_intersects rlo box in
+        let hi_live = brick_intersects rhi box in
+        if lo_live && hi_live then
+          Split { dim; coord; left = go left rlo; right = go right rhi }
+        else if lo_live then go left rlo
+        else go right rhi
+  in
+  go t region
+
+let region_of_target t brick target =
+  let rec go t brick =
+    match t with
+    | Leaf tgt -> if tgt = target then Some brick else None
+    | Split { dim; coord; left; right } ->
+        let lo, hi = split_brick brick ~dim ~coord in
+        (match go left lo with Some r -> Some r | None -> go right hi)
+  in
+  go t brick
+
+let rec pp ppf = function
+  | Leaf Here -> Format.pp_print_string ppf "."
+  | Leaf (Sibling s) -> Format.fprintf ppf "S%d" s
+  | Leaf (Child c) -> Format.fprintf ppf "C%d" c
+  | Split { dim; coord; left; right } ->
+      Format.fprintf ppf "(d%d<%.3f %a %a)" dim coord pp left pp right

@@ -1,0 +1,64 @@
+(** The intra-node kd-trees of the hB-tree (paper section 2.2.3, Figure 2).
+
+    Each hB node carries a little kd-tree describing how its brick is
+    partitioned among: space whose contents live {e here}, space delegated
+    to {e sibling} nodes (the Pi-tree sibling terms — these replace the
+    "external markers" of the original hB paper, as this paper prescribes),
+    and — in index nodes — space assigned to {e child} nodes.
+
+    The tree is serialized into one page cell; structure changes replace it
+    with a logged whole-cell operation (physiological logging at kd-tree
+    granularity). *)
+
+type target = Here | Sibling of int | Child of int
+
+type t =
+  | Leaf of target
+  | Split of { dim : int; coord : float; left : t; right : t }
+      (** [left]: points with [p.(dim) < coord]. *)
+
+val encode : t -> string
+val decode : string -> t
+
+val size : t -> int
+(** Number of leaves. *)
+
+val walk : t -> float array -> target
+(** Route a point to its target. *)
+
+val leaf_regions : t -> Hb_space.brick -> (Hb_space.brick * target) list
+(** All (region, target) leaves, given the node's brick. *)
+
+val replace_target : t -> from:target -> to_:target -> t
+(** Substitute every occurrence. *)
+
+val simplify : t -> t
+(** Collapse splits whose two children are leaves with the same target
+    (arises after consolidation folds delegated space back to [Here], and
+    after clipped terms reroute to one child). Routing is unchanged. *)
+
+val children : t -> int list
+(** Distinct child pids, in-order. *)
+
+val siblings : t -> int list
+
+val carve : t -> region:Hb_space.brick -> brick:Hb_space.brick -> target -> t
+(** [carve kd ~region ~brick target] splices [target] over [brick] into the
+    tree (whose root covers [region]): descends existing splits (CLIPPING
+    the brick when it straddles one — the clipped target then appears under
+    both sides, paper section 3.2.2) and at each reached leaf builds the
+    minimal split path isolating [brick], preserving the old target on the
+    remainder. *)
+
+val prune : t -> region:Hb_space.brick -> box:Hb_space.brick -> t
+(** Restrict the tree (rooted over [region]) to [box]: splits outside the
+    box collapse to the surviving side; leaves keep their targets. A child
+    whose region straddles the box boundary survives in BOTH prunings of
+    the two halves — this is how a hyperplane index-node split clips index
+    terms (paper section 3.2.2). *)
+
+val region_of_target : t -> Hb_space.brick -> target -> Hb_space.brick option
+(** The region of the (unique) leaf carrying this target, if any. Used to
+    recover a sibling's delegated brick during index-term posting. *)
+
+val pp : Format.formatter -> t -> unit

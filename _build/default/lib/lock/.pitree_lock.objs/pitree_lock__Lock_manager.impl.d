@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Condition Fmt Hashtbl List Lock_mode Mutex Option

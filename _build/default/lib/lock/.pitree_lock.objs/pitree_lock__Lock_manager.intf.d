@@ -1,0 +1,1 @@
+lib/lock/lock_manager.mli: Format Lock_mode

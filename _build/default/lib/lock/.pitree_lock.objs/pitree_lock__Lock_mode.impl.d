@@ -1,0 +1,1 @@
+lib/lock/lock_mode.ml: Format

@@ -1,0 +1,272 @@
+type resource =
+  | Record of { tree : int; key : string }
+  | Node of { tree : int; page : int }
+  | Tree of int
+
+let pp_resource ppf = function
+  | Record { tree; key } -> Fmt.pf ppf "rec(%d,%S)" tree key
+  | Node { tree; page } -> Fmt.pf ppf "node(%d,%d)" tree page
+  | Tree t -> Fmt.pf ppf "tree(%d)" t
+
+exception Deadlock of { owner : int }
+
+type waiter = {
+  w_owner : int;
+  w_mode : Lock_mode.t;
+  mutable w_granted : bool;
+  mutable w_aborted : bool;
+}
+
+type queue = {
+  mutable granted : (int * Lock_mode.t) list;  (* owner -> mode, one entry per owner *)
+  mutable waiting : waiter list;  (* FIFO: head is oldest *)
+  cond : Condition.t;
+}
+
+type t = {
+  mu : Mutex.t;
+  table : (resource, queue) Hashtbl.t;
+  owned : (int, resource list) Hashtbl.t;  (* owner -> resources held *)
+  blocked_on : (int, resource) Hashtbl.t;  (* waiting owner -> resource *)
+  mutable acquisitions : int;
+  mutable wait_events : int;
+  mutable deadlock_count : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    table = Hashtbl.create 256;
+    owned = Hashtbl.create 64;
+    blocked_on = Hashtbl.create 16;
+    acquisitions = 0;
+    wait_events = 0;
+    deadlock_count = 0;
+  }
+
+let queue_of t res =
+  match Hashtbl.find_opt t.table res with
+  | Some q -> q
+  | None ->
+      let q = { granted = []; waiting = []; cond = Condition.create () } in
+      Hashtbl.replace t.table res q;
+      q
+
+let note_owned t owner res =
+  let l = Option.value (Hashtbl.find_opt t.owned owner) ~default:[] in
+  if not (List.mem res l) then Hashtbl.replace t.owned owner (res :: l)
+
+(* Compatibility of [mode] with every granted hold except [owner]'s own. *)
+let compatible_with_granted q ~owner mode =
+  List.for_all
+    (fun (o, m) -> o = owner || Lock_mode.compatible mode m)
+    q.granted
+
+(* A fresh (non-conversion) request must also respect the FIFO queue: it may
+   not overtake earlier waiters. Conversions skip this check. *)
+let no_earlier_waiter q ~owner =
+  not (List.exists (fun w -> (not w.w_granted) && w.w_owner <> owner) q.waiting)
+
+(* Would owner [o], by waiting on [res], create a cycle in the waits-for
+   graph? Caller holds [t.mu]. *)
+let creates_cycle t ~owner res mode =
+  (* Owners that [owner] would wait for: incompatible granted holders plus
+     earlier waiters it may not overtake. *)
+  let direct_blockers res mode ~owner =
+    match Hashtbl.find_opt t.table res with
+    | None -> []
+    | Some q ->
+        let holders =
+          List.filter_map
+            (fun (o, m) ->
+              if o <> owner && not (Lock_mode.compatible mode m) then Some o
+              else None)
+            q.granted
+        in
+        let earlier =
+          List.filter_map
+            (fun w ->
+              if (not w.w_granted) && w.w_owner <> owner then Some w.w_owner
+              else None)
+            q.waiting
+        in
+        holders @ earlier
+  in
+  let rec dfs visited o =
+    if o = owner then true
+    else if List.mem o visited then false
+    else
+      match Hashtbl.find_opt t.blocked_on o with
+      | None -> false
+      | Some res' -> (
+          match Hashtbl.find_opt t.table res' with
+          | None -> false
+          | Some q' -> (
+              match List.find_opt (fun w -> w.w_owner = o && not w.w_granted) q'.waiting with
+              | None -> false
+              | Some w ->
+                  let next = direct_blockers res' w.w_mode ~owner:o in
+                  List.exists (dfs (o :: visited)) next))
+  in
+  List.exists (dfs []) (direct_blockers res mode ~owner)
+
+let current_hold q owner =
+  List.assoc_opt owner q.granted
+
+let set_hold q owner mode =
+  q.granted <- (owner, mode) :: List.remove_assoc owner q.granted
+
+let acquire_inner t ~owner res mode ~block =
+  Mutex.lock t.mu;
+  let q = queue_of t res in
+  let requested =
+    match current_hold q owner with
+    | Some held ->
+        if Lock_mode.strength held >= Lock_mode.strength (Lock_mode.sup held mode)
+        then None  (* already strong enough *)
+        else Some (Lock_mode.sup held mode)
+    | None -> Some mode
+  in
+  match requested with
+  | None ->
+      Mutex.unlock t.mu;
+      true
+  | Some want ->
+      let is_conversion = current_hold q owner <> None in
+      let grantable () =
+        compatible_with_granted q ~owner want
+        && (is_conversion || no_earlier_waiter q ~owner)
+      in
+      if grantable () then begin
+        set_hold q owner want;
+        note_owned t owner res;
+        t.acquisitions <- t.acquisitions + 1;
+        Mutex.unlock t.mu;
+        true
+      end
+      else if not block then begin
+        Mutex.unlock t.mu;
+        false
+      end
+      else begin
+        (* Deadlock check before waiting. *)
+        if creates_cycle t ~owner res want then begin
+          t.deadlock_count <- t.deadlock_count + 1;
+          Mutex.unlock t.mu;
+          raise (Deadlock { owner })
+        end;
+        let w = { w_owner = owner; w_mode = want; w_granted = false; w_aborted = false } in
+        (* Conversions wait at the head so they are considered first. *)
+        if is_conversion then q.waiting <- w :: q.waiting
+        else q.waiting <- q.waiting @ [ w ];
+        Hashtbl.replace t.blocked_on owner res;
+        t.wait_events <- t.wait_events + 1;
+        let rec wait_loop () =
+          if w.w_granted then ()
+          else begin
+            Condition.wait q.cond t.mu;
+            wait_loop ()
+          end
+        in
+        (* The releaser performs the grant (sets w_granted and updates
+           q.granted) so that FIFO order is respected at wake-up time. *)
+        (try wait_loop ()
+         with e ->
+           q.waiting <- List.filter (fun w' -> w' != w) q.waiting;
+           Hashtbl.remove t.blocked_on owner;
+           Mutex.unlock t.mu;
+           raise e);
+        Hashtbl.remove t.blocked_on owner;
+        note_owned t owner res;
+        t.acquisitions <- t.acquisitions + 1;
+        Mutex.unlock t.mu;
+        true
+      end
+
+(* Caller holds [t.mu]: grant every waiter that can now proceed, in FIFO
+   order, stopping at the first fresh request that must keep waiting. *)
+let pump t res q =
+  ignore t;
+  ignore res;
+  let rec go = function
+    | [] -> []
+    | w :: rest ->
+        if w.w_granted then w :: go rest
+        else
+          let is_conversion = List.mem_assoc w.w_owner q.granted in
+          if compatible_with_granted q ~owner:w.w_owner w.w_mode then begin
+            let new_mode =
+              match current_hold q w.w_owner with
+              | Some held -> Lock_mode.sup held w.w_mode
+              | None -> w.w_mode
+            in
+            set_hold q w.w_owner new_mode;
+            w.w_granted <- true;
+            w :: go rest
+          end
+          else if is_conversion then (* conversion blocks the queue head *)
+            w :: rest
+          else w :: rest  (* strict FIFO: nothing later may overtake *)
+  in
+  q.waiting <- List.filter (fun w -> not w.w_granted) (go q.waiting);
+  Condition.broadcast q.cond
+
+let acquire t ~owner res mode = ignore (acquire_inner t ~owner res mode ~block:true)
+let try_acquire t ~owner res mode = acquire_inner t ~owner res mode ~block:false
+
+let release_one t owner res =
+  match Hashtbl.find_opt t.table res with
+  | None -> ()
+  | Some q ->
+      q.granted <- List.remove_assoc owner q.granted;
+      pump t res q;
+      if q.granted = [] && q.waiting = [] then Hashtbl.remove t.table res
+
+let release t ~owner res =
+  Mutex.lock t.mu;
+  release_one t owner res;
+  (match Hashtbl.find_opt t.owned owner with
+  | Some l -> Hashtbl.replace t.owned owner (List.filter (fun r -> r <> res) l)
+  | None -> ());
+  Mutex.unlock t.mu
+
+let release_all t ~owner =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.owned owner with
+  | Some l ->
+      List.iter (fun res -> release_one t owner res) l;
+      Hashtbl.remove t.owned owner
+  | None -> ());
+  Mutex.unlock t.mu
+
+let held t ~owner res =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.table res with
+    | None -> None
+    | Some q -> current_hold q owner
+  in
+  Mutex.unlock t.mu;
+  r
+
+let holders t res =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.table res with None -> [] | Some q -> q.granted
+  in
+  Mutex.unlock t.mu;
+  r
+
+type stats = { acquisitions : int; waits : int; deadlocks : int }
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      acquisitions = t.acquisitions;
+      waits = t.wait_events;
+      deadlocks = t.deadlock_count;
+    }
+  in
+  Mutex.unlock t.mu;
+  s

@@ -1,0 +1,51 @@
+(** The database lock manager.
+
+    Locks protect logical content (records, node contents being moved, whole
+    trees) on behalf of transactions; they are held to the end of the owning
+    transaction or atomic action and are the only waits subject to deadlock
+    {e detection}. Latches, by contrast, avoid deadlock by ordering and are
+    invisible to this module — which is why the engines obey the paper's
+    {b no-wait rule} (section 4.1.2): never wait here while holding a latch
+    that a lock holder might need; use {!try_acquire} in those positions and
+    back off on failure.
+
+    Deadlocks are detected with a waits-for graph at block time; the
+    requester is chosen as victim and receives {!Deadlock}. *)
+
+type resource =
+  | Record of { tree : int; key : string }
+  | Node of { tree : int; page : int }
+      (** granule for move locks, and for node-size move-lock realization *)
+  | Tree of int
+
+val pp_resource : Format.formatter -> resource -> unit
+
+exception Deadlock of { owner : int }
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> owner:int -> resource -> Lock_mode.t -> unit
+(** Blocks until granted. Re-entrant: if [owner] already holds the resource
+    the request converts the hold to [Lock_mode.sup held requested]
+    (conversions are granted ahead of the FIFO queue). Raises {!Deadlock}
+    when waiting would close a cycle. *)
+
+val try_acquire : t -> owner:int -> resource -> Lock_mode.t -> bool
+(** Non-blocking; [true] on grant or conversion. *)
+
+val release : t -> owner:int -> resource -> unit
+(** Drop [owner]'s hold on [resource] (all modes). *)
+
+val release_all : t -> owner:int -> unit
+(** End-of-transaction release of every lock owned by [owner]. *)
+
+val held : t -> owner:int -> resource -> Lock_mode.t option
+
+val holders : t -> resource -> (int * Lock_mode.t) list
+(** Snapshot of granted holds (diagnostics/tests). *)
+
+type stats = { acquisitions : int; waits : int; deadlocks : int }
+
+val stats : t -> stats

@@ -1,0 +1,28 @@
+type t = IS | IX | S | U | X | Move
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S | U | Move) | (IX | S | U | Move), IS -> true
+  | IX, IX -> true
+  | S, (S | U | Move) | (U | Move), S -> true
+  | U, U | U, Move | Move, U -> false
+  | Move, Move -> false
+  | IX, (S | U | Move) | (S | U | Move), IX -> false
+  | X, _ | _, X -> false
+
+let strength = function IS -> 0 | IX -> 1 | S -> 2 | U -> 3 | Move -> 4 | X -> 5
+
+let sup a b =
+  match (a, b) with
+  | IX, (S | U | Move) | (S | U | Move), IX -> X
+  | _ -> if strength a >= strength b then a else b
+
+let to_string = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | U -> "U"
+  | X -> "X"
+  | Move -> "MOVE"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,27 @@
+(** Database lock modes, including the paper's {b move lock} (section 4.2.2).
+
+    A move lock is taken on a node whose records are about to be relocated by
+    a structure change under page-oriented UNDO. It must:
+    - wait for all transactions updating records to be moved (conflicts with
+      X, U and other Move holders);
+    - block updates to moved records and space-consuming updates that would
+      make the move impossible to undo (same conflicts);
+    - admit readers ("since reads do not require undo, concurrent reads can
+      be tolerated" — compatible with S and IS).
+
+    IS/IX are included for completeness of the matrix; the index engines use
+    S, U, X and Move. *)
+
+type t = IS | IX | S | U | X | Move
+
+val compatible : t -> t -> bool
+(** Symmetric compatibility matrix. *)
+
+val sup : t -> t -> t
+(** Least mode at least as strong as both (used for lock conversion). Total
+    along the strength order IS < IX < S < U < Move < X; [sup] of
+    incomparable pairs (e.g. IX and S) escalates to [X]. *)
+
+val strength : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

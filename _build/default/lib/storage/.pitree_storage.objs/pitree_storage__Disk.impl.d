@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Bytes Hashtbl Mutex Unix

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Array Bytes Char Format Int64 Pitree_util Printf String

@@ -1,0 +1,161 @@
+module Latch = Pitree_sync.Latch
+
+type frame = {
+  page : Page.t;
+  latch : Latch.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable tick : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; flushes : int }
+
+type t = {
+  disk : Disk.t;
+  cap : int;
+  table : (int, frame) Hashtbl.t;
+  mu : Mutex.t;
+  wal_flush : int -> unit;
+  mutable clock : int;
+  mutable dead : bool;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
+}
+
+exception Pool_exhausted
+
+let create ?(capacity = 1024) ~disk ~wal_flush () =
+  if capacity < 8 then invalid_arg "Buffer_pool.create: capacity < 8";
+  {
+    disk;
+    cap = capacity;
+    table = Hashtbl.create capacity;
+    mu = Mutex.create ();
+    wal_flush;
+    clock = 0;
+    dead = false;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    flushes = 0;
+  }
+
+let capacity t = t.cap
+
+let check_alive t = if t.dead then failwith "Buffer_pool: used after crash"
+
+(* Caller holds [t.mu]. *)
+let write_out t fr =
+  if fr.dirty then begin
+    t.wal_flush (Page.lsn fr.page);
+    t.disk.Disk.write (Page.id fr.page) (Page.raw fr.page);
+    fr.dirty <- false;
+    t.flushes <- t.flushes + 1
+  end
+
+(* Caller holds [t.mu]. Evict the least-recently-used unpinned frame. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun pid fr ->
+      if fr.pins = 0 then
+        match !victim with
+        | Some (_, best) when best.tick <= fr.tick -> ()
+        | _ -> victim := Some (pid, fr))
+    t.table;
+  match !victim with
+  | None -> raise Pool_exhausted
+  | Some (pid, fr) ->
+      write_out t fr;
+      Hashtbl.remove t.table pid;
+      t.evictions <- t.evictions + 1
+
+(* Caller holds [t.mu]. *)
+let install t pid page =
+  if Hashtbl.length t.table >= t.cap then evict_one t;
+  let fr =
+    {
+      page;
+      latch = Latch.create ~name:(Printf.sprintf "page-%d" pid) ();
+      dirty = false;
+      pins = 1;
+      tick = t.clock;
+    }
+  in
+  Hashtbl.replace t.table pid fr;
+  fr
+
+let pin_common t pid ~read =
+  Mutex.lock t.mu;
+  check_alive t;
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.table pid with
+  | Some fr ->
+      fr.pins <- fr.pins + 1;
+      fr.tick <- t.clock;
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mu;
+      fr
+  | None -> (
+      t.misses <- t.misses + 1;
+      let build_and_install () =
+        let page =
+          if read then begin
+            let buf = Bytes.make t.disk.Disk.page_size '\000' in
+            t.disk.Disk.read pid buf;
+            Page.of_bytes ~id:pid buf
+          end
+          else
+            (* Freshly allocated page: pre-format minimally so Page accessors
+               are safe until the caller's logged Format operation runs. *)
+            Page.create ~size:t.disk.Disk.page_size ~id:pid ~kind:Page.Free
+              ~level:0
+        in
+        install t pid page
+      in
+      match build_and_install () with
+      | fr ->
+          Mutex.unlock t.mu;
+          fr
+      | exception e ->
+          Mutex.unlock t.mu;
+          raise e)
+
+let pin t pid = pin_common t pid ~read:true
+let pin_new t pid = pin_common t pid ~read:false
+
+let unpin t fr =
+  Mutex.lock t.mu;
+  assert (fr.pins > 0);
+  fr.pins <- fr.pins - 1;
+  Mutex.unlock t.mu
+
+let mark_dirty fr = fr.dirty <- true
+
+let flush_page t fr =
+  Mutex.lock t.mu;
+  check_alive t;
+  write_out t fr;
+  Mutex.unlock t.mu
+
+let flush_all t =
+  Mutex.lock t.mu;
+  check_alive t;
+  Hashtbl.iter (fun _ fr -> write_out t fr) t.table;
+  Mutex.unlock t.mu
+
+let crash t =
+  Mutex.lock t.mu;
+  Hashtbl.reset t.table;
+  t.dead <- true;
+  Mutex.unlock t.mu
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions; flushes = t.flushes }
+  in
+  Mutex.unlock t.mu;
+  s

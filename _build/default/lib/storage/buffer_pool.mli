@@ -1,0 +1,63 @@
+(** Buffer pool: the volatile page cache, enforcing write-ahead logging.
+
+    Frames hold page images plus the page's latch. The discipline callers
+    must follow:
+
+    + [pin] before touching a page; [unpin] when the reference is dropped.
+    + latch only while pinned (an unpinned frame may be evicted and its
+      latch abandoned).
+    + never write page bytes without logging through the WAL layer, which
+      advances the page LSN; the pool refuses to evict a dirty page whose
+      LSN has not been flushed by calling the [wal_flush] callback first
+      (the WAL protocol).
+
+    [crash] models power failure: every frame vanishes, clean or dirty. *)
+
+type t
+
+type frame = private {
+  page : Page.t;
+  latch : Pitree_sync.Latch.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable tick : int;  (** LRU clock *)
+}
+
+exception Pool_exhausted
+(** Raised when every frame is pinned and a new page must be brought in.
+    Size the pool above the maximum number of simultaneously pinned pages
+    (ops pin O(tree height) pages). *)
+
+val create : ?capacity:int -> disk:Disk.t -> wal_flush:(int -> unit) -> unit -> t
+(** [wal_flush lsn] must make the log durable up to and including [lsn]
+    before returning; the pool invokes it before writing any dirty page. *)
+
+val capacity : t -> int
+
+val pin : t -> int -> frame
+(** Pin page [pid], reading it from disk on a miss. Raises [Not_found] if
+    the page does not exist on disk (caller bug or corrupt pointer). *)
+
+val pin_new : t -> int -> frame
+(** Pin a frame for a page known not to require a disk read (freshly
+    allocated). The page buffer is zeroed; the caller must format it via a
+    logged operation. *)
+
+val unpin : t -> frame -> unit
+
+val mark_dirty : frame -> unit
+
+val flush_page : t -> frame -> unit
+(** WAL-flush then write this page to disk; clears [dirty]. *)
+
+val flush_all : t -> unit
+(** Flush every dirty resident page (used by checkpoints and clean
+    shutdown). *)
+
+val crash : t -> unit
+(** Discard all frames without flushing. The pool is unusable afterwards;
+    open a fresh one to recover. *)
+
+type stats = { hits : int; misses : int; evictions : int; flushes : int }
+
+val stats : t -> stats

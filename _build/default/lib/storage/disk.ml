@@ -1,0 +1,93 @@
+type t = {
+  page_size : int;
+  read : int -> bytes -> unit;
+  write : int -> bytes -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+  read_count : unit -> int;
+  write_count : unit -> int;
+}
+
+let in_memory ~page_size =
+  let store : (int, bytes) Hashtbl.t = Hashtbl.create 1024 in
+  let mu = Mutex.create () in
+  let reads = ref 0 and writes = ref 0 in
+  let read pid buf =
+    Mutex.lock mu;
+    incr reads;
+    match Hashtbl.find_opt store pid with
+    | Some b ->
+        Bytes.blit b 0 buf 0 page_size;
+        Mutex.unlock mu
+    | None ->
+        Mutex.unlock mu;
+        raise Not_found
+  in
+  let write pid buf =
+    Mutex.lock mu;
+    incr writes;
+    (match Hashtbl.find_opt store pid with
+    | Some b -> Bytes.blit buf 0 b 0 page_size
+    | None -> Hashtbl.replace store pid (Bytes.sub buf 0 page_size));
+    Mutex.unlock mu
+  in
+  {
+    page_size;
+    read;
+    write;
+    sync = (fun () -> ());
+    close = (fun () -> ());
+    read_count = (fun () -> !reads);
+    write_count = (fun () -> !writes);
+  }
+
+let file ~page_size ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let mu = Mutex.create () in
+  let reads = ref 0 and writes = ref 0 in
+  let read pid buf =
+    Mutex.lock mu;
+    incr reads;
+    let off = pid * page_size in
+    let len = (Unix.fstat fd).Unix.st_size in
+    if off + page_size > len then begin
+      Mutex.unlock mu;
+      raise Not_found
+    end;
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec fill pos =
+      if pos < page_size then begin
+        let n = Unix.read fd buf pos (page_size - pos) in
+        if n = 0 then begin
+          Mutex.unlock mu;
+          raise Not_found
+        end;
+        fill (pos + n)
+      end
+    in
+    fill 0;
+    Mutex.unlock mu;
+    (* A hole in the file (all zeroes) means the page was never written. *)
+    if Bytes.get_uint16_le buf 0 = 0 then raise Not_found
+  in
+  let write pid buf =
+    Mutex.lock mu;
+    incr writes;
+    ignore (Unix.lseek fd (pid * page_size) Unix.SEEK_SET);
+    let rec push pos =
+      if pos < page_size then
+        let n = Unix.write fd buf pos (page_size - pos) in
+        push (pos + n)
+    in
+    push 0;
+    Mutex.unlock mu
+  in
+  {
+    page_size;
+    read;
+    write;
+    sync = (fun () -> Unix.fsync fd);
+    close = (fun () -> Unix.close fd);
+    read_count = (fun () -> !reads);
+    write_count = (fun () -> !writes);
+  }

@@ -1,0 +1,30 @@
+(** Durable page stores.
+
+    A disk is the durable medium under the buffer pool: pages written here
+    survive a crash; everything else does not. Two implementations:
+
+    - {!in_memory}: a crash-faithful store for tests and benchmarks. Writes
+      are durable immediately (the volatile layer in the system is the
+      buffer pool above, which decides {e when} to write, honoring WAL).
+    - {!file}: a real file via [Unix], for the persistence examples.
+
+    Implementations are thread-safe. *)
+
+type t = {
+  page_size : int;
+  read : int -> bytes -> unit;
+      (** [read pid buf] fills [buf] with page [pid]'s durable image.
+          Raises [Not_found] when the page was never written. *)
+  write : int -> bytes -> unit;  (** durably store page [pid] *)
+  sync : unit -> unit;
+  close : unit -> unit;
+  read_count : unit -> int;
+  write_count : unit -> int;
+}
+
+val in_memory : page_size:int -> t
+
+val file : page_size:int -> path:string -> t
+(** Opens (creating if needed) [path]. Page [pid] lives at byte offset
+    [pid * page_size]. A page that was never written reads back as all
+    zeroes and is reported via [Not_found] (detected by a zero magic). *)

@@ -1,0 +1,1 @@
+lib/sync/latch.ml: Atomic Condition Format Mutex Unix

@@ -1,0 +1,1 @@
+lib/sync/latch.mli: Format

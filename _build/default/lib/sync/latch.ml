@@ -1,0 +1,196 @@
+type mode = S | U | X
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf (match m with S -> "S" | U -> "U" | X -> "X")
+
+type stats = {
+  acquisitions : int;
+  contended : int;
+  wait_ns : int;
+  hold_ns : int;
+}
+
+(* Global aggregates, updated lock-free so that per-frame latches need no
+   registry. *)
+let g_acquisitions = Atomic.make 0
+let g_contended = Atomic.make 0
+let g_wait_ns = Atomic.make 0
+let g_hold_ns = Atomic.make 0
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type t = {
+  name : string;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable readers : int;
+  mutable u_held : bool;
+  mutable x_held : bool;
+  mutable u_wants_x : bool;     (* promotion pending: blocks new S grants *)
+  mutable acquired_at : int;    (* ns timestamp of current U/X grant *)
+  mutable acquisitions : int;
+  mutable contended : int;
+  mutable wait_ns : int;
+  mutable hold_ns : int;
+}
+
+let create ?(name = "latch") () =
+  {
+    name;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    readers = 0;
+    u_held = false;
+    x_held = false;
+    u_wants_x = false;
+    acquired_at = 0;
+    acquisitions = 0;
+    contended = 0;
+    wait_ns = 0;
+    hold_ns = 0;
+  }
+
+let name t = t.name
+
+let grantable t = function
+  | S -> (not t.x_held) && not t.u_wants_x
+  | U -> (not t.u_held) && not t.x_held
+  | X -> t.readers = 0 && (not t.u_held) && not t.x_held
+
+let grant t mode =
+  (match mode with
+  | S -> t.readers <- t.readers + 1
+  | U ->
+      t.u_held <- true;
+      t.acquired_at <- now_ns ()
+  | X ->
+      t.x_held <- true;
+      t.acquired_at <- now_ns ());
+  t.acquisitions <- t.acquisitions + 1;
+  Atomic.incr g_acquisitions
+
+let acquire t mode =
+  Mutex.lock t.mu;
+  if grantable t mode then grant t mode
+  else begin
+    let t0 = now_ns () in
+    t.contended <- t.contended + 1;
+    Atomic.incr g_contended;
+    while not (grantable t mode) do
+      Condition.wait t.cond t.mu
+    done;
+    let dt = now_ns () - t0 in
+    t.wait_ns <- t.wait_ns + dt;
+    ignore (Atomic.fetch_and_add g_wait_ns dt);
+    grant t mode
+  end;
+  Mutex.unlock t.mu
+
+let try_acquire t mode =
+  Mutex.lock t.mu;
+  let ok = grantable t mode in
+  if ok then grant t mode;
+  Mutex.unlock t.mu;
+  ok
+
+let promote t =
+  Mutex.lock t.mu;
+  if not t.u_held then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Latch.promote: caller does not hold a U latch"
+  end;
+  t.u_wants_x <- true;
+  if t.readers > 0 then begin
+    let t0 = now_ns () in
+    t.contended <- t.contended + 1;
+    Atomic.incr g_contended;
+    while t.readers > 0 do
+      Condition.wait t.cond t.mu
+    done;
+    let dt = now_ns () - t0 in
+    t.wait_ns <- t.wait_ns + dt;
+    ignore (Atomic.fetch_and_add g_wait_ns dt)
+  end;
+  t.u_held <- false;
+  t.x_held <- true;
+  t.u_wants_x <- false;
+  (* The hold interval continues: keep [acquired_at] from the U grant so
+     hold time covers U-then-X as one critical section. *)
+  Mutex.unlock t.mu
+
+let demote t =
+  Mutex.lock t.mu;
+  if not t.x_held then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Latch.demote: caller does not hold an X latch"
+  end;
+  t.x_held <- false;
+  t.u_held <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let finish_hold t =
+  let dt = now_ns () - t.acquired_at in
+  t.hold_ns <- t.hold_ns + dt;
+  ignore (Atomic.fetch_and_add g_hold_ns dt)
+
+let release t mode =
+  Mutex.lock t.mu;
+  (match mode with
+  | S ->
+      if t.readers <= 0 then begin
+        Mutex.unlock t.mu;
+        invalid_arg "Latch.release: no S hold"
+      end;
+      t.readers <- t.readers - 1
+  | U ->
+      if not t.u_held then begin
+        Mutex.unlock t.mu;
+        invalid_arg "Latch.release: no U hold"
+      end;
+      t.u_held <- false;
+      finish_hold t
+  | X ->
+      if not t.x_held then begin
+        Mutex.unlock t.mu;
+        invalid_arg "Latch.release: no X hold"
+      end;
+      t.x_held <- false;
+      finish_hold t);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      acquisitions = t.acquisitions;
+      contended = t.contended;
+      wait_ns = t.wait_ns;
+      hold_ns = t.hold_ns;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let reset_stats t =
+  Mutex.lock t.mu;
+  t.acquisitions <- 0;
+  t.contended <- 0;
+  t.wait_ns <- 0;
+  t.hold_ns <- 0;
+  Mutex.unlock t.mu
+
+let global_stats () =
+  {
+    acquisitions = Atomic.get g_acquisitions;
+    contended = Atomic.get g_contended;
+    wait_ns = Atomic.get g_wait_ns;
+    hold_ns = Atomic.get g_hold_ns;
+  }
+
+let reset_global_stats () =
+  Atomic.set g_acquisitions 0;
+  Atomic.set g_contended 0;
+  Atomic.set g_wait_ns 0;
+  Atomic.set g_hold_ns 0

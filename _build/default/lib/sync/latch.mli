@@ -1,0 +1,64 @@
+(** S/U/X latches (paper section 4.1).
+
+    Latches are short-term semaphores used for physical consistency of index
+    nodes. They never interact with the database lock manager. Deadlock is
+    avoided by the holder's acquisition ORDER, not by detection: parents are
+    latched before children, containing nodes before contained nodes, space
+    management information last (section 4.1.1). [Latch_order] provides a
+    debug checker for this discipline.
+
+    Modes:
+    - [S]hare: concurrent with other S and with one U holder.
+    - [U]pdate: concurrent with S; conflicts with U and X. The only mode
+      from which promotion to X is permitted ("whenever a node might be
+      written, a U latch is used").
+    - [X] (exclusive): conflicts with everything.
+
+    The same agent must not re-acquire a latch it already holds (latches are
+    not re-entrant); promotion is the one sanctioned exception. *)
+
+type mode = S | U | X
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val acquire : t -> mode -> unit
+(** Blocks until the latch is granted in [mode]. *)
+
+val try_acquire : t -> mode -> bool
+(** Non-blocking variant; [true] on success. *)
+
+val promote : t -> unit
+(** Promote the caller's U latch to X; blocks until concurrent readers
+    drain. Per section 4.1.1 the caller must not hold latches on
+    higher-ordered resources when promoting. Raises [Invalid_argument] if
+    the caller did not announce a U hold. *)
+
+val demote : t -> unit
+(** Demote the caller's X latch to U (lets readers in while retaining the
+    right to write again). *)
+
+val release : t -> mode -> unit
+(** Release one hold in [mode]. Releasing a mode that is not held raises
+    [Invalid_argument]. *)
+
+(** {2 Statistics} — feed experiment E4 (latch hold/wait times). *)
+
+type stats = {
+  acquisitions : int;
+  contended : int;       (** acquisitions that had to wait *)
+  wait_ns : int;         (** total nanoseconds spent waiting *)
+  hold_ns : int;         (** total nanoseconds X or U latches were held *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val global_stats : unit -> stats
+(** Aggregate over all latches created since [reset_global_stats]. *)
+
+val reset_global_stats : unit -> unit

@@ -1,0 +1,44 @@
+let enabled_flag = Atomic.make false
+let violation_count = Atomic.make 0
+
+let enable b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let space_map_rank = max_int
+
+let rank_of_level ~root_level level = root_level - level
+
+(* Per-domain stack of held ranks. A plain list is fine: traversals hold at
+   most a handful of latches. *)
+let held : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let violate () = Atomic.incr violation_count
+
+let acquired rank =
+  if Atomic.get enabled_flag then begin
+    let stack = Domain.DLS.get held in
+    (* Non-decreasing rank required: acquiring a rank smaller than one
+       already held means "child before parent" somewhere. *)
+    if List.exists (fun r -> r > rank) !stack then violate ();
+    stack := rank :: !stack
+  end
+
+let released rank =
+  if Atomic.get enabled_flag then begin
+    let stack = Domain.DLS.get held in
+    let rec remove = function
+      | [] -> []
+      | r :: rest -> if r = rank then rest else r :: remove rest
+    in
+    stack := remove !stack
+  end
+
+let promoting rank =
+  if Atomic.get enabled_flag then begin
+    let stack = Domain.DLS.get held in
+    if List.exists (fun r -> r > rank) !stack then violate ()
+  end
+
+let violations () = Atomic.get violation_count
+let reset () = Atomic.set violation_count 0

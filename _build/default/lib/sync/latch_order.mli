@@ -1,0 +1,38 @@
+(** Debug checker for the latch-ordering discipline of section 4.1.1.
+
+    Deadlock among latches is avoided by keeping the "potential delay" graph
+    acyclic: resources are ranked and latched in non-decreasing rank. In a
+    Pi-tree the rank of a node is its depth (parents before children); nodes
+    reached by side pointers share their container's rank (containing before
+    contained is enforced by traversal direction, which the checker cannot
+    see, so equal ranks are admitted); space-management information ranks
+    last.
+
+    The checker keeps a per-domain stack of held ranks. It never blocks or
+    fails the caller: violations are counted (and logged at debug level) so
+    tests can assert a zero count after exercising the protocol. Disabled
+    checkers cost one atomic load per call. *)
+
+val enable : bool -> unit
+val enabled : unit -> bool
+
+val rank_of_level : root_level:int -> int -> int
+(** [rank_of_level ~root_level level] ranks tree levels so that higher tree
+    levels (nearer the root) get smaller ranks. *)
+
+val space_map_rank : int
+(** Strictly greater than any tree rank. *)
+
+val acquired : int -> unit
+(** Record that the current domain acquired a latch of the given rank,
+    checking it against the deepest rank held. *)
+
+val released : int -> unit
+(** Record a release (removes one occurrence of the rank). *)
+
+val promoting : int -> unit
+(** Record a U->X promotion at the given rank; per section 4.1.1 this is a
+    violation if the domain holds any latch of strictly greater rank. *)
+
+val violations : unit -> int
+val reset : unit -> unit

@@ -1,0 +1,1 @@
+lib/tsb/tnode.ml: Buffer Pitree_blink Pitree_storage Pitree_util Printf String

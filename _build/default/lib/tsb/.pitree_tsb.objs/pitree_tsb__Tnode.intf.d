@@ -1,0 +1,1 @@
+lib/tsb/tnode.mli: Pitree_blink Pitree_storage

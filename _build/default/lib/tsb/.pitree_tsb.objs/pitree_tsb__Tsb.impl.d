@@ -1,0 +1,1 @@
+lib/tsb/tsb.ml: Array Atomic Hashtbl List Mutex Option Pitree_blink Pitree_core Pitree_env Pitree_lock Pitree_storage Pitree_sync Pitree_txn Pitree_util Pitree_wal Printf String Tnode

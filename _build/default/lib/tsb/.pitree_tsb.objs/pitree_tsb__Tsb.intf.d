@@ -1,0 +1,1 @@
+lib/tsb/tsb.mli: Pitree_core Pitree_env Pitree_txn

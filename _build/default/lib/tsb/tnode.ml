@@ -1,0 +1,114 @@
+module Page = Pitree_storage.Page
+module Codec = Pitree_util.Codec
+module Bnode = Pitree_blink.Node
+
+let history_flag = 1
+
+type time_cell = { t_low : int; t_high : int option }
+
+(* Fixed width (16 bytes): a history node's time cell must be exactly the
+   size of the current node's, so that a time split can always copy a full
+   node's contents into the fresh history page. +inf is the max_int
+   sentinel. *)
+let time_cell { t_low; t_high } =
+  let b = Buffer.create 16 in
+  Codec.put_int b t_low;
+  Codec.put_int b (match t_high with None -> max_int | Some t -> t);
+  Buffer.contents b
+
+let time_of page =
+  let r = Codec.reader (Page.get page 1) in
+  let t_low = Codec.get_int r in
+  let th = Codec.get_int r in
+  { t_low; t_high = (if th = max_int then None else Some th) }
+
+type version = Value of string | Tombstone
+
+let version_cell ~composite v =
+  let b = Buffer.create 16 in
+  (match v with
+  | Tombstone -> Codec.put_u8 b 0
+  | Value s ->
+      Codec.put_u8 b 1;
+      Codec.put_bytes b s);
+  Bnode.entry_cell ~key:composite ~payload:(Buffer.contents b)
+
+let version_of_payload payload =
+  let r = Codec.reader payload in
+  match Codec.get_u8 r with
+  | 0 -> Tombstone
+  | 1 -> Value (Codec.get_bytes r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad version tag %d" n))
+
+(* Entries start at slot 2 (fence, time cell, then entries). *)
+let base = 2
+
+let entry_count page = Page.slot_count page - base
+let slot_of_entry i = i + base
+let entry page i = Bnode.entry_of_cell (Page.get page (slot_of_entry i))
+
+let entry_key page i =
+  Codec.get_bytes (Codec.reader (Page.get page (slot_of_entry i)))
+
+let find page key =
+  let n = entry_count page in
+  let rec bs lo hi =
+    if lo >= hi then `Not_found lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = String.compare (entry_key page mid) key in
+      if c = 0 then `Found mid else if c < 0 then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 n
+
+let floor_entry page key =
+  match find page key with
+  | `Found i -> Some i
+  | `Not_found 0 -> None
+  | `Not_found i -> Some (i - 1)
+
+let index_term_cell ~sep ~child =
+  let b = Buffer.create 8 in
+  Codec.put_u32 b child;
+  Bnode.entry_cell ~key:sep ~payload:(Buffer.contents b)
+
+let index_term page i =
+  let sep, payload = entry page i in
+  (sep, Codec.get_u32 (Codec.reader payload))
+
+let find_child_term page child =
+  let n = entry_count page in
+  let rec go i =
+    if i >= n then None
+    else
+      let _, c = index_term page i in
+      if c = child then Some i else go (i + 1)
+  in
+  go 0
+
+(* Same encoding and slot as B-link fences. *)
+let fence = Bnode.fence
+
+let fence_cell = Bnode.fence_cell
+
+let contains page key =
+  match (fence page).Bnode.high with
+  | None -> true
+  | Some high -> String.compare key high < 0
+
+let split_point page =
+  let n = entry_count page in
+  assert (n >= 2);
+  let size i = String.length (Page.get page (slot_of_entry i)) in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + size i
+  done;
+  let half = !total / 2 in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc + size i in
+      if acc >= half then i + 1 else go (i + 1) acc
+  in
+  min (n - 1) (go 0 0)

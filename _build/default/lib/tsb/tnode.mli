@@ -1,0 +1,59 @@
+(** On-page layout of TSB-tree nodes (paper section 2.2.2, Figure 1).
+
+    TSB nodes index {e versions}: the entry sort key is the order-preserving
+    composite (key, write-time) of [Pitree_util.Ordkey]. Layout:
+
+    - slot 0: key-space fence, exactly as in B-link nodes
+      ([Pitree_blink.Node.fence]) but over composite keys;
+    - slot 1: the {b time cell}: [t_low, t_high) — the time slice this node
+      covers ([t_high = None] for current nodes, which extend to "now");
+    - slots 2..: entries sorted by composite key. In leaves the payload is
+      a version: a live value or a deletion tombstone. In index nodes the
+      payload is a child pointer.
+
+    Page header reuse: [side_ptr] is the key sibling (as in B-link);
+    [aux_ptr] is the {b history sibling pointer} — the newest history node
+    holding this node's earlier time slice. History nodes chain through
+    their own [aux_ptr] to older slices and carry flag {!history_flag}. *)
+
+module Page = Pitree_storage.Page
+
+val history_flag : int
+
+(** {2 Time cell (slot 1)} *)
+
+type time_cell = { t_low : int; t_high : int option }
+
+val time_cell : time_cell -> string
+val time_of : Page.t -> time_cell
+
+(** {2 Versions} *)
+
+type version = Value of string | Tombstone
+
+val version_cell : composite:string -> version -> string
+val version_of_payload : string -> version
+
+(** {2 Entries (slots 2..)} *)
+
+val entry_count : Page.t -> int
+val slot_of_entry : int -> int
+val entry : Page.t -> int -> string * string
+(** (composite, payload) *)
+
+val entry_key : Page.t -> int -> string
+
+val find : Page.t -> string -> [ `Found of int | `Not_found of int ]
+val floor_entry : Page.t -> string -> int option
+
+val index_term_cell : sep:string -> child:int -> string
+val index_term : Page.t -> int -> string * int
+val find_child_term : Page.t -> int -> int option
+
+val fence : Page.t -> Pitree_blink.Node.fence
+val fence_cell : Pitree_blink.Node.fence -> string
+val contains : Page.t -> string -> bool
+
+val split_point : Page.t -> int
+(** Byte-balanced split entry index in [1, n-1] (requires >= 2 entries);
+    callers snap it to a key boundary. *)

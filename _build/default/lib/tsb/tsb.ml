@@ -1,0 +1,1005 @@
+module Page = Pitree_storage.Page
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Latch = Pitree_sync.Latch
+module Page_op = Pitree_wal.Page_op
+module Lsn = Pitree_wal.Lsn
+module Log_record = Pitree_wal.Log_record
+module Log_manager = Pitree_wal.Log_manager
+module Logical = Pitree_wal.Logical
+module Lock_mode = Pitree_lock.Lock_mode
+module Lock_manager = Pitree_lock.Lock_manager
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Atomic_action = Pitree_txn.Atomic_action
+module Crash_point = Pitree_txn.Crash_point
+module Env = Pitree_env.Env
+module Wellformed = Pitree_core.Wellformed
+module Keyspace = Pitree_core.Keyspace
+module Ordkey = Pitree_util.Ordkey
+module Bnode = Pitree_blink.Node
+
+type stats = {
+  puts : int;
+  time_splits : int;
+  key_splits : int;
+  root_splits : int;
+  history_nodes : int;
+  side_traversals : int;
+  postings_completed : int;
+}
+
+type t = {
+  env : Env.t;
+  name : string;
+  root : int;
+  clock : int Atomic.t;
+  c_puts : int Atomic.t;
+  c_time_splits : int Atomic.t;
+  c_key_splits : int Atomic.t;
+  c_root_splits : int Atomic.t;
+  c_history_nodes : int Atomic.t;
+  c_side : int Atomic.t;
+  c_posted : int Atomic.t;
+  pending : (int, unit) Hashtbl.t;
+  pending_mu : Mutex.t;
+}
+
+let env t = t.env
+
+let pool t = Env.pool t.env
+let mgr t = Env.txns t.env
+let locks t = Env.locks t.env
+
+let pin t pid = Buffer_pool.pin (pool t) pid
+let unpin t fr = Buffer_pool.unpin (pool t) fr
+let page fr = fr.Buffer_pool.page
+let latch fr m = Latch.acquire fr.Buffer_pool.latch m
+let unlatch fr m = Latch.release fr.Buffer_pool.latch m
+let promote fr = Latch.promote fr.Buffer_pool.latch
+let update t txn fr op = ignore (Txn_mgr.update (mgr t) txn fr op)
+
+let is_history p = Page.flags p land Tnode.history_flag <> 0
+
+let dummy_time = Tnode.time_cell { Tnode.t_low = 0; t_high = None }
+
+(* ---------- traversal (CNS: one latch at a time) ---------- *)
+
+let post_action :
+    (t -> level:int -> address:int -> key:string -> unit) ref =
+  ref (fun _ ~level:_ ~address:_ ~key:_ -> assert false)
+
+let maybe_schedule_posting t ~level ~sibling ~key =
+  Mutex.lock t.pending_mu;
+  let fresh = not (Hashtbl.mem t.pending sibling) in
+  if fresh then Hashtbl.replace t.pending sibling ();
+  Mutex.unlock t.pending_mu;
+  if fresh then
+    Env.schedule t.env (fun () ->
+        Mutex.lock t.pending_mu;
+        Hashtbl.remove t.pending sibling;
+        Mutex.unlock t.pending_mu;
+        !post_action t ~level:(level + 1) ~address:sibling ~key)
+
+let rec side_step t ~ckey ~m fr =
+  let p = page fr in
+  if Tnode.contains p ckey then fr
+  else begin
+    Atomic.incr t.c_side;
+    let sib = Page.side_ptr p in
+    assert (sib <> Page.nil);
+    maybe_schedule_posting t ~level:(Page.level p) ~sibling:sib ~key:ckey;
+    let sfr = pin t sib in
+    unlatch fr m;
+    unpin t fr;
+    latch sfr m;
+    side_step t ~ckey ~m sfr
+  end
+
+(* Descend by composite key to [target] level; CNS single-latch. *)
+let rec descend_from t ~ckey ~target ~mode fr =
+  let p = page fr in
+  let level = Page.level p in
+  let m = if level > target then Latch.S else mode in
+  let fr = side_step t ~ckey ~m fr in
+  let p = page fr in
+  if level = target then fr
+  else begin
+    let i =
+      match Tnode.floor_entry p ckey with
+      | Some i -> i
+      | None -> assert false
+    in
+    let _, child = Tnode.index_term p i in
+    let cfr = pin t child in
+    unlatch fr m;
+    unpin t fr;
+    latch cfr (if level - 1 > target then Latch.S else mode);
+    descend_from t ~ckey ~target ~mode cfr
+  end
+
+let rec descend t ~ckey ~target ~mode =
+  let fr = pin t t.root in
+  let above = Page.level (page fr) > target in
+  let m = if above then Latch.S else mode in
+  latch fr m;
+  if Page.level (page fr) > target <> above then begin
+    unlatch fr m;
+    unpin t fr;
+    descend t ~ckey ~target ~mode
+  end
+  else descend_from t ~ckey ~target ~mode fr
+
+(* ---------- splits ---------- *)
+
+(* Alive = the newest version of each user key in this node (tombstones
+   included: they mask older versions). Entry i is alive iff it is the last
+   entry of its key's contiguous run. *)
+let alive_flags p =
+  let n = Tnode.entry_count p in
+  Array.init n (fun i ->
+      if i = n - 1 then true
+      else
+        let k, _ = Ordkey.decompose (Tnode.entry_key p i) in
+        let k', _ = Ordkey.decompose (Tnode.entry_key p (i + 1)) in
+        not (String.equal k k'))
+
+(* Time split (section 2.2.2): the node's entire contents go to a fresh
+   history node prepended to the history chain; the current node keeps only
+   alive versions and a raised t_low. One atomic action, no index change. *)
+let time_split t txn fr =
+  let p = page fr in
+  let ts = Atomic.fetch_and_add t.clock 1 in
+  let n = Tnode.entry_count p in
+  let tc = Tnode.time_of p in
+  let hfr = Env.alloc_page t.env txn ~kind:Page.Data ~level:0 in
+  update t txn hfr (Page_op.Insert_slot { slot = 0; cell = Page.get p 0 });
+  update t txn hfr
+    (Page_op.Insert_slot
+       {
+         slot = 1;
+         cell = Tnode.time_cell { Tnode.t_low = tc.Tnode.t_low; t_high = Some ts };
+       });
+  for i = 0 to n - 1 do
+    update t txn hfr
+      (Page_op.Insert_slot
+         { slot = Tnode.slot_of_entry i; cell = Page.get p (Tnode.slot_of_entry i) })
+  done;
+  update t txn hfr
+    (Page_op.Set_flags { old_flags = 0; new_flags = Tnode.history_flag });
+  if Page.aux_ptr p <> Page.nil then
+    update t txn hfr
+      (Page_op.Set_aux_ptr { old_ptr = Page.nil; new_ptr = Page.aux_ptr p });
+  (* Trim the current node to its alive versions and link the history
+     node. *)
+  let alive = alive_flags p in
+  for i = n - 1 downto 0 do
+    if not alive.(i) then
+      update t txn fr
+        (Page_op.Delete_slot
+           { slot = Tnode.slot_of_entry i; cell = Page.get p (Tnode.slot_of_entry i) })
+  done;
+  update t txn fr
+    (Page_op.Replace_slot
+       {
+         slot = 1;
+         old_cell = Tnode.time_cell tc;
+         new_cell = Tnode.time_cell { Tnode.t_low = ts; t_high = None };
+       });
+  update t txn fr
+    (Page_op.Set_aux_ptr { old_ptr = Page.aux_ptr p; new_ptr = Page.id (page hfr) });
+  Atomic.incr t.c_time_splits;
+  Atomic.incr t.c_history_nodes;
+  Crash_point.hit "tsb.timesplit.linked";
+  unpin t hfr
+
+(* Snap a split entry index to the start of its user key's version run;
+   returns None when the node holds a single key. *)
+let key_boundary p s =
+  let n = Tnode.entry_count p in
+  let user i = fst (Ordkey.decompose (Tnode.entry_key p i)) in
+  let rec back i = if i > 0 && String.equal (user i) (user (i - 1)) then back (i - 1) else i in
+  let s = back (max 1 (min s (n - 1))) in
+  if s > 0 then Some s
+  else
+    let k0 = user 0 in
+    let rec fwd i = if i < n && String.equal (user i) k0 then fwd (i + 1) else i in
+    let s = fwd 1 in
+    if s < n then Some s else None
+
+(* Key split: the ordinary B-link split over composite keys, on a key
+   boundary, copying BOTH the key sibling pointer and the history sibling
+   pointer into the new node (Figure 1). Returns (sep, sibling pid) or None
+   if the node cannot key-split. *)
+let key_split t txn fr =
+  let p = page fr in
+  let n = Tnode.entry_count p in
+  if n < 2 then None
+  else
+    match key_boundary p (Tnode.split_point p) with
+    | None -> None
+    | Some s ->
+        let user_key = fst (Ordkey.decompose (Tnode.entry_key p s)) in
+        let sep = Ordkey.composite user_key 0 in
+        let f = Tnode.fence p in
+        let qfr = Env.alloc_page t.env txn ~kind:(Page.kind p) ~level:(Page.level p) in
+        update t txn qfr
+          (Page_op.Insert_slot
+             {
+               slot = 0;
+               cell =
+                 Tnode.fence_cell
+                   { Bnode.low = Some sep; high = f.Bnode.high; resp_high = f.Bnode.resp_high };
+             });
+        update t txn qfr (Page_op.Insert_slot { slot = 1; cell = Page.get p 1 });
+        for i = s to n - 1 do
+          update t txn qfr
+            (Page_op.Insert_slot
+               {
+                 slot = Tnode.slot_of_entry (i - s);
+                 cell = Page.get p (Tnode.slot_of_entry i);
+               })
+        done;
+        if Page.side_ptr p <> Page.nil then
+          update t txn qfr
+            (Page_op.Set_side_ptr { old_ptr = Page.nil; new_ptr = Page.side_ptr p });
+        (* The copy of the history pointer makes the new node responsible
+           for the entire history of its key space (Figure 1). *)
+        if Page.aux_ptr p <> Page.nil then
+          update t txn qfr
+            (Page_op.Set_aux_ptr { old_ptr = Page.nil; new_ptr = Page.aux_ptr p });
+        for i = n - 1 downto s do
+          update t txn fr
+            (Page_op.Delete_slot
+               { slot = Tnode.slot_of_entry i; cell = Page.get p (Tnode.slot_of_entry i) })
+        done;
+        update t txn fr
+          (Page_op.Replace_slot
+             {
+               slot = 0;
+               old_cell = Tnode.fence_cell f;
+               new_cell =
+                 Tnode.fence_cell
+                   { Bnode.low = f.Bnode.low; high = Some sep; resp_high = f.Bnode.resp_high };
+             });
+        update t txn fr
+          (Page_op.Set_side_ptr { old_ptr = Page.side_ptr p; new_ptr = Page.id (page qfr) });
+        Atomic.incr t.c_key_splits;
+        Crash_point.hit "tsb.keysplit.linked";
+        let qpid = Page.id (page qfr) in
+        unpin t qfr;
+        Some (sep, qpid)
+
+(* Root growth: contents (and, for a leaf root, the history pointer) move
+   down to a fresh left child; the immovable root becomes an index node. *)
+let grow_root t txn fr ~sep ~right =
+  let p = page fr in
+  let lfr = Env.alloc_page t.env txn ~kind:(Page.kind p) ~level:(Page.level p) in
+  let n = Tnode.entry_count p in
+  update t txn lfr (Page_op.Insert_slot { slot = 0; cell = Page.get p 0 });
+  update t txn lfr (Page_op.Insert_slot { slot = 1; cell = Page.get p 1 });
+  for i = 0 to n - 1 do
+    update t txn lfr
+      (Page_op.Insert_slot
+         { slot = Tnode.slot_of_entry i; cell = Page.get p (Tnode.slot_of_entry i) })
+  done;
+  update t txn lfr
+    (Page_op.Set_side_ptr { old_ptr = Page.nil; new_ptr = right });
+  if Page.aux_ptr p <> Page.nil then begin
+    update t txn lfr
+      (Page_op.Set_aux_ptr { old_ptr = Page.nil; new_ptr = Page.aux_ptr p });
+    update t txn fr
+      (Page_op.Set_aux_ptr { old_ptr = Page.aux_ptr p; new_ptr = Page.nil })
+  end;
+  let cells = Page.fold p ~init:[] ~f:(fun acc _ c -> c :: acc) in
+  update t txn fr (Page_op.Clear { cells = List.rev cells });
+  update t txn fr
+    (Page_op.Set_side_ptr { old_ptr = Page.side_ptr p; new_ptr = Page.nil });
+  update t txn fr
+    (Page_op.Reformat
+       {
+         old_kind = Page.kind p;
+         new_kind = Page.Index;
+         old_level = Page.level p;
+         new_level = Page.level p + 1;
+       });
+  update t txn fr
+    (Page_op.Insert_slot { slot = 0; cell = Tnode.fence_cell Bnode.whole_fence });
+  update t txn fr (Page_op.Insert_slot { slot = 1; cell = dummy_time });
+  update t txn fr
+    (Page_op.Insert_slot
+       { slot = 2; cell = Tnode.index_term_cell ~sep:"" ~child:(Page.id (page lfr)) });
+  update t txn fr
+    (Page_op.Insert_slot { slot = 3; cell = Tnode.index_term_cell ~sep ~child:right });
+  Atomic.incr t.c_root_splits;
+  unpin t lfr
+
+(* Make room in the full leaf that owns [ckey]. One atomic action; re-tests
+   state after re-descending (idempotent completion discipline). *)
+let split_current t ~ckey ~need =
+  Atomic_action.run (mgr t) (fun txn ->
+      let fr = descend t ~ckey ~target:0 ~mode:Latch.U in
+      let p = page fr in
+      if Page.will_fit p (need + Page.slot_overhead) then begin
+        unlatch fr Latch.U;
+        unpin t fr
+      end
+      else begin
+        promote fr;
+        let n = Tnode.entry_count p in
+        let alive = alive_flags p in
+        let dead_bytes =
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            if not alive.(i) then
+              acc := !acc + String.length (Page.get p (Tnode.slot_of_entry i))
+          done;
+          !acc
+        in
+        let garbage_heavy = 2 * dead_bytes >= Page.used_space p - dead_bytes in
+        let did_time = ref false in
+        if garbage_heavy && dead_bytes > 0 then begin
+          time_split t txn fr;
+          did_time := true
+        end
+        else begin
+          match key_split t txn fr with
+          | Some (sep, q) ->
+              if Page.id p = t.root then grow_root t txn fr ~sep ~right:q
+              else
+                Txn.add_on_commit txn (fun () ->
+                    maybe_schedule_posting t ~level:0 ~sibling:q ~key:sep)
+          | None ->
+              if n >= 1 && dead_bytes > 0 then begin
+                time_split t txn fr;
+                did_time := true
+              end
+              else if n >= 1 then begin
+                (* Single key, everything alive: push the whole node to
+                   history anyway; the current node retains the newest
+                   version only. *)
+                time_split t txn fr;
+                did_time := true
+              end
+        end;
+        ignore !did_time;
+        unlatch fr Latch.X;
+        unpin t fr
+      end)
+
+(* ---------- index posting (section 5.3, simplified search) ---------- *)
+
+let index_need sep = String.length (Tnode.index_term_cell ~sep ~child:0)
+
+let rec ensure_space_index t txn fr ~poskey ~need =
+  let p = page fr in
+  if Page.will_fit p (need + Page.slot_overhead) then fr
+  else if Page.id p = t.root then begin
+    match index_split t txn fr with
+    | None -> failwith "tsb: cannot split index root"
+    | Some (sep, q) ->
+        grow_root t txn fr ~sep ~right:q;
+        (* Re-descend one level. *)
+        let child =
+          if String.compare poskey sep < 0 then
+            let _, c = Tnode.index_term p 0 in
+            c
+          else q
+        in
+        let cfr = pin t child in
+        latch cfr Latch.X;
+        unlatch fr Latch.X;
+        unpin t fr;
+        ensure_space_index t txn cfr ~poskey ~need
+  end
+  else
+    match index_split t txn fr with
+    | None -> failwith "tsb: cannot split index node"
+    | Some (sep, q) ->
+        maybe_schedule_posting t ~level:(Page.level p) ~sibling:q ~key:sep;
+        if String.compare poskey sep < 0 then
+          ensure_space_index t txn fr ~poskey ~need
+        else begin
+          let qfr = pin t q in
+          latch qfr Latch.X;
+          unlatch fr Latch.X;
+          unpin t fr;
+          ensure_space_index t txn qfr ~poskey ~need
+        end
+
+(* Index-node split over composites: same as key_split but without history
+   pointers and with arbitrary separators. *)
+and index_split t txn fr =
+  let p = page fr in
+  let n = Tnode.entry_count p in
+  if n < 2 then None
+  else begin
+    let s = Tnode.split_point p in
+    let sep = Tnode.entry_key p s in
+    let f = Tnode.fence p in
+    let qfr = Env.alloc_page t.env txn ~kind:Page.Index ~level:(Page.level p) in
+    update t txn qfr
+      (Page_op.Insert_slot
+         {
+           slot = 0;
+           cell =
+             Tnode.fence_cell
+               { Bnode.low = Some sep; high = f.Bnode.high; resp_high = f.Bnode.resp_high };
+         });
+    update t txn qfr (Page_op.Insert_slot { slot = 1; cell = dummy_time });
+    for i = s to n - 1 do
+      update t txn qfr
+        (Page_op.Insert_slot
+           { slot = Tnode.slot_of_entry (i - s); cell = Page.get p (Tnode.slot_of_entry i) })
+    done;
+    if Page.side_ptr p <> Page.nil then
+      update t txn qfr
+        (Page_op.Set_side_ptr { old_ptr = Page.nil; new_ptr = Page.side_ptr p });
+    for i = n - 1 downto s do
+      update t txn fr
+        (Page_op.Delete_slot
+           { slot = Tnode.slot_of_entry i; cell = Page.get p (Tnode.slot_of_entry i) })
+    done;
+    update t txn fr
+      (Page_op.Replace_slot
+         {
+           slot = 0;
+           old_cell = Tnode.fence_cell f;
+           new_cell =
+             Tnode.fence_cell
+               { Bnode.low = f.Bnode.low; high = Some sep; resp_high = f.Bnode.resp_high };
+         });
+    update t txn fr
+      (Page_op.Set_side_ptr { old_ptr = Page.side_ptr p; new_ptr = Page.id (page qfr) });
+    Atomic.incr t.c_key_splits;
+    let qpid = Page.id (page qfr) in
+    unpin t qfr;
+    Some (sep, qpid)
+  end
+
+let do_post_action t ~level ~address ~key =
+  Atomic_action.run (mgr t) (fun txn ->
+      let fr = descend t ~ckey:key ~target:level ~mode:Latch.U in
+      if Tnode.find_child_term (page fr) address <> None then begin
+        unlatch fr Latch.U;
+        unpin t fr
+      end
+      else begin
+        match Tnode.floor_entry (page fr) key with
+        | None ->
+            unlatch fr Latch.U;
+            unpin t fr
+        | Some i ->
+            let _, child = Tnode.index_term (page fr) i in
+            let cfr = pin t child in
+            latch cfr Latch.S;
+            let cp = page cfr in
+            if Tnode.contains cp key then begin
+              unlatch cfr Latch.S;
+              unpin t cfr;
+              unlatch fr Latch.U;
+              unpin t fr
+            end
+            else begin
+              let sib = Page.side_ptr cp in
+              let sep =
+                match (Tnode.fence cp).Bnode.high with
+                | Some h -> h
+                | None -> assert false
+              in
+              unlatch cfr Latch.S;
+              unpin t cfr;
+              if Tnode.find_child_term (page fr) sib <> None then begin
+                unlatch fr Latch.U;
+                unpin t fr
+              end
+              else begin
+                promote fr;
+                let fr =
+                  ensure_space_index t txn fr ~poskey:sep ~need:(index_need sep)
+                in
+                (match Tnode.find (page fr) sep with
+                | `Found _ -> ()
+                | `Not_found j ->
+                    update t txn fr
+                      (Page_op.Insert_slot
+                         {
+                           slot = Tnode.slot_of_entry j;
+                           cell = Tnode.index_term_cell ~sep ~child:sib;
+                         });
+                    Atomic.incr t.c_posted);
+                unlatch fr Latch.X;
+                unpin t fr
+              end
+            end
+      end)
+
+let () = ()
+
+(* ---------- creation / registration ---------- *)
+
+let record_res t key = Lock_manager.Record { tree = t.root; key }
+
+let logical_undo t ~comp ~txn ~prev ~undo_next =
+  let ckey =
+    match comp with
+    | Logical.Remove { key } -> key
+    | Logical.Put { cell } -> fst (Bnode.entry_of_cell cell)
+  in
+  let fr = descend t ~ckey ~target:0 ~mode:Latch.U in
+  let p = page fr in
+  let apply_clr op =
+    let lsn =
+      Log_manager.append (Env.log t.env) ~prev ~txn:txn
+        (Log_record.Clr { page = Page.id p; op; undo_next })
+    in
+    Page_op.redo p op;
+    Page.set_lsn p lsn;
+    Buffer_pool.mark_dirty fr;
+    lsn
+  in
+  let r =
+    match comp with
+    | Logical.Remove _ -> (
+        match Tnode.find p ckey with
+        | `Found i ->
+            promote fr;
+            let cell = Page.get p (Tnode.slot_of_entry i) in
+            let lsn =
+              apply_clr (Page_op.Delete_slot { slot = Tnode.slot_of_entry i; cell })
+            in
+            unlatch fr Latch.X;
+            unpin t fr;
+            lsn
+        | `Not_found _ ->
+            unlatch fr Latch.U;
+            unpin t fr;
+            Lsn.null)
+    | Logical.Put { cell } -> (
+        match Tnode.find p ckey with
+        | `Found _ ->
+            unlatch fr Latch.U;
+            unpin t fr;
+            Lsn.null
+        | `Not_found i ->
+            promote fr;
+            let lsn =
+              apply_clr (Page_op.Insert_slot { slot = Tnode.slot_of_entry i; cell })
+            in
+            unlatch fr Latch.X;
+            unpin t fr;
+            lsn)
+  in
+  r
+
+let attach env ~name ~root =
+  let t =
+    {
+      env;
+      name;
+      root;
+      clock = Atomic.make 1;
+      c_puts = Atomic.make 0;
+      c_time_splits = Atomic.make 0;
+      c_key_splits = Atomic.make 0;
+      c_root_splits = Atomic.make 0;
+      c_history_nodes = Atomic.make 0;
+      c_side = Atomic.make 0;
+      c_posted = Atomic.make 0;
+      pending = Hashtbl.create 16;
+      pending_mu = Mutex.create ();
+    }
+  in
+  Logical.register_tree root (fun ~tree:_ ~comp ~txn ~prev ~undo_next ->
+      logical_undo t ~comp ~txn ~prev ~undo_next);
+  t
+
+(* The tree clock must move past every timestamp ever issued; scan the
+   current leaf level for the maximum on open. *)
+let recover_clock t =
+  let rec leftmost fr =
+    let p = page fr in
+    if Page.level p = 0 then fr
+    else begin
+      let _, child = Tnode.index_term p 0 in
+      let cfr = pin t child in
+      unpin t fr;
+      leftmost cfr
+    end
+  in
+  let rec walk fr acc =
+    let p = page fr in
+    let acc =
+      let m = ref acc in
+      for i = 0 to Tnode.entry_count p - 1 do
+        let _, time = Ordkey.decompose (Tnode.entry_key p i) in
+        if time > !m then m := time
+      done;
+      !m
+    in
+    let sib = Page.side_ptr p in
+    unpin t fr;
+    if sib = Page.nil then acc else walk (pin t sib) acc
+  in
+  let top = pin t t.root in
+  let max_time = walk (leftmost top) 0 in
+  Atomic.set t.clock (max_time + 1)
+
+let create env ~name =
+  let root = Env.create_tree env ~name:("tsb:" ^ name) ~kind:Page.Data ~level:0 in
+  let t = attach env ~name ~root in
+  Atomic_action.run (mgr t) (fun txn ->
+      let fr = pin t root in
+      latch fr Latch.X;
+      update t txn fr
+        (Page_op.Insert_slot { slot = 0; cell = Tnode.fence_cell Bnode.whole_fence });
+      update t txn fr
+        (Page_op.Insert_slot
+           { slot = 1; cell = Tnode.time_cell { Tnode.t_low = 0; t_high = None } });
+      unlatch fr Latch.X;
+      unpin t fr);
+  t
+
+let open_existing env ~name =
+  match Env.find_tree env ~name:("tsb:" ^ name) with
+  | None -> None
+  | Some root ->
+      let t = attach env ~name ~root in
+      recover_clock t;
+      Some t
+
+(* ---------- writes ---------- *)
+
+let with_autocommit t txn f =
+  match txn with
+  | Some txn -> f txn
+  | None ->
+      let txn = Txn_mgr.begin_txn (mgr t) Txn.User in
+      (match f txn with
+      | v ->
+          Txn_mgr.commit (mgr t) txn;
+          ignore (Env.drain t.env);
+          v
+      | exception (Crash_point.Crash_requested _ as e) -> raise e
+      | exception e ->
+          if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
+          raise e)
+
+let write_version t txn ~key version =
+  let time = Atomic.fetch_and_add t.clock 1 in
+  let ckey = Ordkey.composite key time in
+  let cell = Tnode.version_cell ~composite:ckey version in
+  let rec attempt tries =
+    if tries > 200 then failwith "tsb.put: too many restarts";
+    let fr = descend t ~ckey ~target:0 ~mode:Latch.U in
+    let p = page fr in
+    if
+      not
+        (Lock_manager.try_acquire (locks t) ~owner:txn.Txn.id (record_res t key)
+           Lock_mode.X)
+    then begin
+      unlatch fr Latch.U;
+      unpin t fr;
+      Lock_manager.acquire (locks t) ~owner:txn.Txn.id (record_res t key) Lock_mode.X;
+      attempt (tries + 1)
+    end
+    else
+      match Tnode.find p ckey with
+      | `Found _ -> failwith "tsb: duplicate timestamp"
+      | `Not_found i ->
+          if Page.will_fit p (String.length cell + Page.slot_overhead) then begin
+            promote fr;
+            let lundo =
+              if txn.Txn.kind = Txn.User && not (Env.config t.env).Env.page_oriented_undo
+              then Some { Log_record.tree = t.root; comp = Logical.Remove { key = ckey } }
+              else None
+            in
+            ignore
+              (Txn_mgr.update ?lundo (mgr t) txn fr
+                 (Page_op.Insert_slot { slot = Tnode.slot_of_entry i; cell }));
+            unlatch fr Latch.X;
+            unpin t fr
+          end
+          else begin
+            unlatch fr Latch.U;
+            unpin t fr;
+            split_current t ~ckey ~need:(String.length cell);
+            attempt (tries + 1)
+          end
+  in
+  attempt 0;
+  time
+
+let put ?txn t ~key ~value =
+  Atomic.incr t.c_puts;
+  with_autocommit t txn (fun txn -> write_version t txn ~key (Tnode.Value value))
+
+let remove ?txn t key =
+  with_autocommit t txn (fun txn -> write_version t txn ~key Tnode.Tombstone)
+
+let now t = Atomic.get t.clock - 1
+
+(* ---------- reads ---------- *)
+
+(* Search the current node, then the history chain (newest slice first),
+   for the newest version of [key] stamped <= [time]. The caller holds no
+   latches on [fr] paths; history nodes are immutable so plain pins are
+   safe once reached. *)
+let version_in_page p ~key ~time =
+  match Tnode.floor_entry p (Ordkey.composite key time) with
+  | None -> None
+  | Some i ->
+      let ck = Tnode.entry_key p i in
+      if Ordkey.belongs_to ck ~key then
+        let _, payload = Tnode.entry p i in
+        let _, stamp = Ordkey.decompose ck in
+        Some (stamp, Tnode.version_of_payload payload)
+      else None
+
+let lookup_asof t ~key ~time =
+  let ckey = Ordkey.composite key time in
+  let fr = descend t ~ckey ~target:0 ~mode:Latch.S in
+  let p = page fr in
+  let current = version_in_page p ~key ~time in
+  let chain = Page.aux_ptr p in
+  unlatch fr Latch.S;
+  unpin t fr;
+  match current with
+  | Some v -> Some v
+  | None ->
+      (* Walk the history sibling chain, newest first (Figure 1: the
+         current node is responsible for all previous time through its
+         historical pointers). *)
+      let rec walk pid =
+        if pid = Page.nil then None
+        else begin
+          let hfr = pin t pid in
+          let hp = page hfr in
+          let v = version_in_page hp ~key ~time in
+          let next = Page.aux_ptr hp in
+          unpin t hfr;
+          match v with Some _ -> v | None -> walk next
+        end
+      in
+      walk chain
+
+let get_asof t key ~time =
+  match lookup_asof t ~key ~time with
+  | Some (_, Tnode.Value v) -> Some v
+  | Some (_, Tnode.Tombstone) | None -> None
+
+let get t key = get_asof t key ~time:max_int
+
+let history t key =
+  let ckey = Ordkey.composite key max_int in
+  let fr = descend t ~ckey ~target:0 ~mode:Latch.S in
+  let collect p acc =
+    let rec go i acc =
+      if i >= Tnode.entry_count p then acc
+      else
+        let ck = Tnode.entry_key p i in
+        if Ordkey.belongs_to ck ~key then
+          let _, stamp = Ordkey.decompose ck in
+          let _, payload = Tnode.entry p i in
+          go (i + 1) ((stamp, Tnode.version_of_payload payload) :: acc)
+        else go (i + 1) acc
+    in
+    match Tnode.find p (Ordkey.composite key 0) with
+    | `Found i | `Not_found i -> go i acc
+  in
+  let p = page fr in
+  let acc = collect p [] in
+  let chain = Page.aux_ptr p in
+  unlatch fr Latch.S;
+  unpin t fr;
+  let rec walk pid acc =
+    if pid = Page.nil then acc
+    else begin
+      let hfr = pin t pid in
+      let acc = collect (page hfr) acc in
+      let next = Page.aux_ptr (page hfr) in
+      unpin t hfr;
+      walk next acc
+    end
+  in
+  let all = walk chain acc in
+  (* Alive versions are duplicated into each history slice; dedup by
+     stamp. *)
+  let seen = Hashtbl.create 16 in
+  all
+  |> List.filter (fun (stamp, _) ->
+         if Hashtbl.mem seen stamp then false
+         else begin
+           Hashtbl.replace seen stamp ();
+           true
+         end)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (stamp, v) ->
+         (stamp, match v with Tnode.Value s -> Some s | Tnode.Tombstone -> None))
+
+let range_asof t ~time ?low ?high ~init ~f =
+  let start = Ordkey.composite (Option.value low ~default:"") 0 in
+  let beyond k = match high with None -> false | Some h -> String.compare k h >= 0 in
+  let before k = match low with None -> false | Some l -> String.compare k l < 0 in
+  (* Collect the distinct user keys present at the current level (every key
+     ever written retains at least its newest version there), then resolve
+     each as of [time]. *)
+  let fr = descend t ~ckey:start ~target:0 ~mode:Latch.S in
+  let rec leaves fr acc =
+    let p = page fr in
+    let acc =
+      let a = ref acc in
+      for i = 0 to Tnode.entry_count p - 1 do
+        let k, _ = Ordkey.decompose (Tnode.entry_key p i) in
+        if (not (before k)) && not (beyond k) then
+          match !a with
+          | k' :: _ when String.equal k' k -> ()
+          | _ -> a := k :: !a
+      done;
+      !a
+    in
+    let sib = Page.side_ptr p in
+    let fhigh = (Tnode.fence p).Bnode.high in
+    unlatch fr Latch.S;
+    unpin t fr;
+    let continue_ =
+      sib <> Page.nil
+      &&
+      match (fhigh, high) with
+      | None, _ -> false
+      | Some _, None -> true
+      | Some fh, Some h ->
+          let fk, _ = Ordkey.decompose fh in
+          String.compare fk h < 0
+    in
+    if continue_ then begin
+      let sfr = pin t sib in
+      latch sfr Latch.S;
+      leaves sfr acc
+    end
+    else acc
+  in
+  let keys = List.rev (leaves fr []) in
+  List.fold_left
+    (fun acc k ->
+      match get_asof t k ~time with Some v -> f acc k v | None -> acc)
+    init keys
+
+(* ---------- inspection ---------- *)
+
+module WF = Wellformed.Make (Keyspace.Interval)
+
+let read_view t pid =
+  match pin t pid with
+  | exception Not_found -> None
+  | fr ->
+      let p = page fr in
+      let view =
+        match Page.kind p with
+        | Page.Free | Page.Meta -> None
+        | Page.Data | Page.Index ->
+            if is_history p then None
+            else begin
+              let f = Tnode.fence p in
+              let responsible =
+                Keyspace.Interval.make ~low:f.Bnode.low ~high:f.Bnode.resp_high
+              in
+              let directly = Keyspace.Interval.make ~low:f.Bnode.low ~high:f.Bnode.high in
+              let sibling_terms =
+                if Page.side_ptr p = Page.nil then []
+                else
+                  [
+                    ( Keyspace.Interval.make ~low:f.Bnode.high ~high:f.Bnode.resp_high,
+                      Page.side_ptr p );
+                  ]
+              in
+              let index_terms =
+                if Page.kind p <> Page.Index then []
+                else
+                  Tnode.(
+                    let n = entry_count p in
+                    let rec terms i acc =
+                      if i >= n then List.rev acc
+                      else
+                        let sep, child = index_term p i in
+                        let low = if i = 0 then f.Bnode.low else Some sep in
+                        let high =
+                          if i = n - 1 then f.Bnode.high
+                          else Some (fst (index_term p (i + 1)))
+                        in
+                        terms (i + 1) ((Keyspace.Interval.make ~low ~high, child) :: acc)
+                    in
+                    terms 0 [])
+              in
+              Some
+                {
+                  WF.id = pid;
+                  level = Page.level p;
+                  responsible;
+                  directly_contained = directly;
+                  index_terms;
+                  sibling_terms;
+                }
+            end
+      in
+      unpin t fr;
+      view
+
+(* History-chain sanity: every chain node is a history node; time slices
+   are ordered oldest-outward and contiguous with the referencing node. *)
+let check_chains t =
+  let errors = ref [] in
+  let err node message =
+    errors := { Wellformed.node; condition = 2; message } :: !errors
+  in
+  let rec leaf_walk pid =
+    if pid <> Page.nil then begin
+      let fr = pin t pid in
+      let p = page fr in
+      if Page.level p = 0 then begin
+        let rec chain pid expected_high =
+          if pid <> Page.nil then begin
+            let hfr = pin t pid in
+            let hp = page hfr in
+            if not (is_history hp) then
+              err pid "history chain reaches a non-history node";
+            let tc = Tnode.time_of hp in
+            (match (tc.Tnode.t_high, expected_high) with
+            | Some th, Some exp when th <> exp ->
+                err pid
+                  (Printf.sprintf "time slice not contiguous: t_high=%d expected %d" th exp)
+            | None, _ -> err pid "history node with open time slice"
+            | _ -> ());
+            let next = Page.aux_ptr hp in
+            let nlow = tc.Tnode.t_low in
+            unpin t hfr;
+            chain next (Some nlow)
+          end
+        in
+        let tc = Tnode.time_of p in
+        chain (Page.aux_ptr p) (Some tc.Tnode.t_low)
+      end;
+      let next = Page.side_ptr p in
+      let lvl = Page.level p in
+      unpin t fr;
+      if lvl = 0 then leaf_walk next
+    end
+  in
+  (* Find the leftmost leaf. *)
+  let rec leftmost pid =
+    let fr = pin t pid in
+    let p = page fr in
+    if Page.level p = 0 then begin
+      unpin t fr;
+      pid
+    end
+    else begin
+      let _, child = Tnode.index_term p 0 in
+      unpin t fr;
+      leftmost child
+    end
+  in
+  leaf_walk (leftmost t.root);
+  !errors
+
+let verify t =
+  let report = WF.check ~root:t.root ~read:(read_view t) in
+  let chain_errors = check_chains t in
+  {
+    report with
+    Wellformed.errors = report.Wellformed.errors @ chain_errors;
+  }
+
+let stats t =
+  {
+    puts = Atomic.get t.c_puts;
+    time_splits = Atomic.get t.c_time_splits;
+    key_splits = Atomic.get t.c_key_splits;
+    root_splits = Atomic.get t.c_root_splits;
+    history_nodes = Atomic.get t.c_history_nodes;
+    side_traversals = Atomic.get t.c_side;
+    postings_completed = Atomic.get t.c_posted;
+  }
+
+(* Tie the posting knot. *)
+let () =
+  post_action := fun t ~level ~address ~key -> do_post_action t ~level ~address ~key

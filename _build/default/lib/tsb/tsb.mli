@@ -1,0 +1,76 @@
+(** The TSB-tree (Time-Split B-tree) instance of the Pi-tree
+    (paper section 2.2.2, Figure 1; Lomet & Salzberg, SIGMOD '89).
+
+    A multiversion index: every write creates a new {e version} stamped with
+    a monotonically increasing tree time; reads can ask for the current
+    value or the value {e as of} any past time.
+
+    Structure, exactly as in Figure 1:
+    - {b current nodes} form a B-link tree over (key, time) composites and
+      are responsible for their key range at {e all} times — recent versions
+      directly, older ones through their {b history sibling pointer};
+    - a {b time split} moves the node's full contents into a fresh history
+      node (prepended to the history chain) and retains only the newest
+      version of each key; history nodes are immutable and never split
+      again;
+    - a {b key split} is the ordinary B-link split (always on a key
+      boundary, so one key's versions never straddle current nodes); the
+      new current node receives {e copies of the old history pointer and
+      the old key pointer}, making it responsible for the entire history of
+      its key space.
+
+    Concurrency and recovery follow the same Pi-tree protocol as the B-link
+    engine: splits are independent atomic actions; index-term posting for
+    key splits is a separate, lazily-completable atomic action; time splits
+    change no parent, so they complete in one action. The engine runs under
+    the CNS invariant (history is never consolidated). *)
+
+type t
+
+val create : Pitree_env.Env.t -> name:string -> t
+val open_existing : Pitree_env.Env.t -> name:string -> t option
+val env : t -> Pitree_env.Env.t
+
+(** {2 Writes} — each returns the version's timestamp. *)
+
+val put : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> int
+val remove : ?txn:Pitree_txn.Txn.t -> t -> string -> int
+(** Writes a deletion tombstone (the key's history remains queryable). *)
+
+val now : t -> int
+(** The latest timestamp issued. *)
+
+(** {2 Reads} *)
+
+val get : t -> string -> string option
+(** Current value ([None] if never written or tombstoned). *)
+
+val get_asof : t -> string -> time:int -> string option
+(** The value visible at [time] (inclusive). *)
+
+val history : t -> string -> (int * string option) list
+(** All versions of a key, oldest first; [None] marks a tombstone. *)
+
+val range_asof :
+  t -> time:int -> ?low:string -> ?high:string -> init:'a ->
+  f:('a -> string -> string -> 'a) -> 'a
+(** Snapshot scan: fold over the keys with a live value as of [time]. *)
+
+(** {2 Inspection} *)
+
+val verify : t -> Pitree_core.Wellformed.report
+(** Well-formedness of the current-node B-link structure over the composite
+    key space, plus history-chain sanity (time slices ordered and
+    contiguous). Chain defects are reported as condition-2 errors. *)
+
+type stats = {
+  puts : int;
+  time_splits : int;
+  key_splits : int;
+  root_splits : int;
+  history_nodes : int;  (** created since open *)
+  side_traversals : int;
+  postings_completed : int;
+}
+
+val stats : t -> stats

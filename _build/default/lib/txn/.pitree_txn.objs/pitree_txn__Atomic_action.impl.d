@@ -1,0 +1,1 @@
+lib/txn/atomic_action.ml: Crash_point Txn Txn_mgr

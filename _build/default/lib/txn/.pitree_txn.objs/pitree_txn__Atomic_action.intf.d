@@ -1,0 +1,1 @@
+lib/txn/atomic_action.mli: Txn Txn_mgr

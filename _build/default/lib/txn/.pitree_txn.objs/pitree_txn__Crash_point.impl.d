@@ -1,0 +1,1 @@
+lib/txn/crash_point.ml: Hashtbl Mutex

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Fmt Pitree_wal

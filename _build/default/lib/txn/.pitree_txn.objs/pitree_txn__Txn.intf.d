@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Format Pitree_wal

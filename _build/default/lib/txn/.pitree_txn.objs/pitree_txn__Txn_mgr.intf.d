@@ -1,0 +1,1 @@
+lib/txn/txn_mgr.mli: Pitree_lock Pitree_storage Pitree_wal Txn

@@ -1,0 +1,15 @@
+let run mgr f =
+  let txn = Txn_mgr.begin_txn mgr Txn.System in
+  match f txn with
+  | v ->
+      Txn_mgr.commit mgr txn;
+      v
+  | exception (Crash_point.Crash_requested _ as e) ->
+      (* Simulated power failure: leave the action dangling in the log for
+         recovery to roll back. *)
+      raise e
+  | exception e ->
+      Txn_mgr.abort mgr txn;
+      raise e
+
+let run_if mgr f = run mgr f

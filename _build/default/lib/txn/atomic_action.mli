@@ -1,0 +1,26 @@
+(** Atomic actions (paper sections 4, 5).
+
+    An atomic action is a short, independent unit of structure change: it is
+    serializable against other update actions (via latches and, where records
+    move, locks), has the all-or-nothing property (via the recovery method),
+    and leaves the Pi-tree well-formed. Searchers may observe the tree
+    {e between} atomic actions — those intermediate states are well-formed
+    too.
+
+    Implemented as {e system transactions} (section 4.3.2, option ii):
+    recovery rolls back any atomic action whose commit is not durable, with
+    no structure-change-specific code. *)
+
+val run : Txn_mgr.t -> (Txn.t -> 'a) -> 'a
+(** [run mgr f] executes [f] inside a fresh system transaction, committing
+    on return (without forcing the log — relative durability). Any exception
+    aborts the action (all its page updates are undone with CLRs) and is
+    re-raised. [Crash_point.Crash_requested] is NOT caught: it propagates
+    with the action left {e unfinished} in the log, exactly like a power
+    failure at that instant. *)
+
+val run_if : Txn_mgr.t -> (Txn.t -> 'a option) -> 'a option
+(** Like {!run}, but [f] may conclude the action is no longer needed (the
+    tree state is re-tested inside the action — idempotent completion,
+    section 5.1) by returning [None]; the action still commits (it may have
+    performed no updates). *)

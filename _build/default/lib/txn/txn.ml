@@ -1,0 +1,22 @@
+type kind = User | System
+
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  kind : kind;
+  first_lsn : Pitree_wal.Lsn.t;  (* the Begin record *)
+  mutable last_lsn : Pitree_wal.Lsn.t;
+  mutable state : state;
+  mutable updated_nodes : (int * int) list;
+  mutable on_commit : (unit -> unit) list;
+}
+
+let is_active t = t.state = Active
+
+let add_on_commit t f = t.on_commit <- f :: t.on_commit
+
+let pp ppf t =
+  Fmt.pf ppf "txn#%d(%s,%s)" t.id
+    (match t.kind with User -> "user" | System -> "sys")
+    (match t.state with Active -> "active" | Committed -> "committed" | Aborted -> "aborted")

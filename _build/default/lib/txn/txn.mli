@@ -1,0 +1,39 @@
+(** Transaction descriptors.
+
+    Two kinds, with identical logging machinery but different commit
+    durability and different relationships to structure changes:
+
+    - [User]: a database transaction. Commit forces the log. Its database
+      locks are held to commit/abort (strict two-phase).
+    - [System]: one of the paper's independent {e atomic actions} — a node
+      split, an index-term posting, a node consolidation. Its commit is
+      relatively durable (no log force, section 4.3.1); its locks are
+      two-phase but released at the end of the action. *)
+
+type kind = User | System
+
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  kind : kind;
+  first_lsn : Pitree_wal.Lsn.t;
+      (** the Begin record's LSN — rollback never needs anything older, so
+          log truncation must keep every record at or above the oldest
+          active transaction's [first_lsn] *)
+  mutable last_lsn : Pitree_wal.Lsn.t;
+  mutable state : state;
+  mutable updated_nodes : (int * int) list;
+      (** (tree, page) pairs whose records this transaction updated; consulted
+          by the split logic to decide whether a leaf split can run as an
+          independent atomic action (section 4.2.1). *)
+  mutable on_commit : (unit -> unit) list;
+      (** callbacks run after a successful commit — e.g. scheduling the
+          index-term posting for a split performed inside this transaction
+          (section 4.2.2: posting may not occur unless/until T commits). *)
+}
+
+val is_active : t -> bool
+
+val add_on_commit : t -> (unit -> unit) -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+module Lsn = Pitree_wal.Lsn
+module Log_manager = Pitree_wal.Log_manager
+module Log_record = Pitree_wal.Log_record
+module Page_op = Pitree_wal.Page_op
+module Recovery = Pitree_wal.Recovery
+module Page = Pitree_storage.Page
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Lock_manager = Pitree_lock.Lock_manager
+
+type t = {
+  log : Log_manager.t;
+  pool : Buffer_pool.t;
+  locks : Lock_manager.t;
+  mu : Mutex.t;
+  mutable next_id : int;
+  live : (int, Txn.t) Hashtbl.t;
+}
+
+let create ?(first_id = 1) ~log ~pool ~locks () =
+  { log; pool; locks; mu = Mutex.create (); next_id = first_id; live = Hashtbl.create 64 }
+
+let log t = t.log
+let pool t = t.pool
+let locks t = t.locks
+
+let begin_txn t kind =
+  Mutex.lock t.mu;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Mutex.unlock t.mu;
+  let lkind = match kind with Txn.User -> Log_record.User | Txn.System -> Log_record.System in
+  let lsn = Log_manager.append t.log ~prev:Lsn.null ~txn:id (Log_record.Begin { kind = lkind }) in
+  let txn =
+    {
+      Txn.id;
+      kind;
+      first_lsn = lsn;
+      last_lsn = lsn;
+      state = Txn.Active;
+      updated_nodes = [];
+      on_commit = [];
+    }
+  in
+  Mutex.lock t.mu;
+  Hashtbl.replace t.live id txn;
+  Mutex.unlock t.mu;
+  txn
+
+let update ?lundo t txn fr op =
+  assert (Txn.is_active txn);
+  let pid = Page.id fr.Buffer_pool.page in
+  (* Apply before logging: a failing operation (e.g. Page_full from an
+     engine bug) must leave neither the page nor the log touched, or
+     rollback would try to undo an op that never happened. This does not
+     violate WAL: the caller holds the page pinned and X-latched, so the
+     page cannot reach disk between the in-buffer change and the append
+     below. *)
+  Page_op.redo fr.Buffer_pool.page op;
+  let lsn =
+    Log_manager.append t.log ~prev:txn.Txn.last_lsn ~txn:txn.Txn.id
+      (Log_record.Update { page = pid; op; lundo })
+  in
+  txn.Txn.last_lsn <- lsn;
+  Page.set_lsn fr.Buffer_pool.page lsn;
+  Buffer_pool.mark_dirty fr;
+  lsn
+
+let finish t txn =
+  Mutex.lock t.mu;
+  Hashtbl.remove t.live txn.Txn.id;
+  Mutex.unlock t.mu;
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id
+
+let commit t txn =
+  assert (Txn.is_active txn);
+  let commit_lsn =
+    Log_manager.append t.log ~prev:txn.Txn.last_lsn ~txn:txn.Txn.id Log_record.Commit
+  in
+  (* Relative durability (section 4.3.1): an atomic action's commit record
+     is NOT forced; it becomes durable with the next user-transaction commit
+     that shares the log. *)
+  (match txn.Txn.kind with
+  | Txn.User -> Log_manager.flush t.log commit_lsn
+  | Txn.System -> ());
+  let end_lsn =
+    Log_manager.append t.log ~prev:commit_lsn ~txn:txn.Txn.id Log_record.End
+  in
+  txn.Txn.last_lsn <- end_lsn;
+  txn.Txn.state <- Txn.Committed;
+  finish t txn;
+  (* Deferred work that was contingent on commit (e.g. scheduling the
+     posting of an index term for an in-transaction leaf split). *)
+  List.iter (fun f -> f ()) (List.rev txn.Txn.on_commit);
+  txn.Txn.on_commit <- []
+
+let abort t txn =
+  assert (Txn.is_active txn);
+  let abort_lsn =
+    Log_manager.append t.log ~prev:txn.Txn.last_lsn ~txn:txn.Txn.id Log_record.Abort
+  in
+  let last_clr =
+    Recovery.rollback ~prev:abort_lsn ~log:t.log ~pool:t.pool ~txn:txn.Txn.id
+      ~from_lsn:txn.Txn.last_lsn ()
+  in
+  let end_prev = if Lsn.is_null last_clr then abort_lsn else last_clr in
+  let end_lsn = Log_manager.append t.log ~prev:end_prev ~txn:txn.Txn.id Log_record.End in
+  txn.Txn.last_lsn <- end_lsn;
+  txn.Txn.state <- Txn.Aborted;
+  finish t txn
+
+let active t =
+  Mutex.lock t.mu;
+  let l =
+    Hashtbl.fold (fun id txn acc -> (id, txn.Txn.last_lsn) :: acc) t.live []
+  in
+  Mutex.unlock t.mu;
+  l
+
+let oldest_first_lsn t =
+  Mutex.lock t.mu;
+  let v =
+    Hashtbl.fold
+      (fun _ txn acc -> min acc txn.Txn.first_lsn)
+      t.live max_int
+  in
+  Mutex.unlock t.mu;
+  if v = max_int then None else Some v
+
+let active_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.live in
+  Mutex.unlock t.mu;
+  n
+
+let crash t =
+  Mutex.lock t.mu;
+  Hashtbl.reset t.live;
+  Mutex.unlock t.mu

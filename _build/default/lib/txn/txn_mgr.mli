@@ -1,0 +1,57 @@
+(** The transaction manager: ties transactions to the log, the buffer pool
+    and the lock manager.
+
+    {!update} is the single gate through which all page changes flow: it
+    appends the Update record, applies the operation to the in-buffer page,
+    stamps the page LSN (advancing the node's state identifier) and marks
+    the frame dirty — the WAL protocol by construction. The caller must hold
+    the frame's X latch. *)
+
+type t
+
+val create :
+  ?first_id:int ->
+  log:Pitree_wal.Log_manager.t ->
+  pool:Pitree_storage.Buffer_pool.t ->
+  locks:Pitree_lock.Lock_manager.t ->
+  unit ->
+  t
+(** [first_id] (default 1) seeds the transaction-id counter; after recovery
+    it must exceed every id present in the log. *)
+
+val log : t -> Pitree_wal.Log_manager.t
+val pool : t -> Pitree_storage.Buffer_pool.t
+val locks : t -> Pitree_lock.Lock_manager.t
+
+val begin_txn : t -> Txn.kind -> Txn.t
+
+val update :
+  ?lundo:Pitree_wal.Log_record.lundo ->
+  t -> Txn.t -> Pitree_storage.Buffer_pool.frame -> Pitree_wal.Page_op.t ->
+  Pitree_wal.Lsn.t
+(** Logged page write (see module doc). Returns the record's LSN, which is
+    now also the page's LSN. [lundo] attaches a logical-undo descriptor
+    (non-page-oriented UNDO; see {!Pitree_wal.Logical}). *)
+
+val commit : t -> Txn.t -> unit
+(** Appends Commit (+End). Forces the log for [User] transactions only —
+    a [System] commit is relatively durable. Releases the transaction's
+    locks. *)
+
+val abort : t -> Txn.t -> unit
+(** Appends Abort, undoes all the transaction's updates (writing CLRs),
+    appends End, releases locks. *)
+
+val active : t -> (int * Pitree_wal.Lsn.t) list
+(** Live transactions and their last LSNs (checkpoint input). *)
+
+val active_count : t -> int
+
+val oldest_first_lsn : t -> Pitree_wal.Lsn.t option
+(** The oldest Begin LSN among live transactions ([None] if idle) — the
+    lower bound on what rollback could still need; log truncation must
+    not pass it. *)
+
+val crash : t -> unit
+(** Forget all volatile transaction state (part of simulated power
+    failure). *)

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Array Buffer Bytes Char Int32 Int64 Lazy Printf String

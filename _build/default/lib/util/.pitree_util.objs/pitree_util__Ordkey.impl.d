@@ -1,0 +1,1 @@
+lib/util/ordkey.ml: Buffer Char Codec Int64 String

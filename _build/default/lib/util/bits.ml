@@ -1,0 +1,19 @@
+let clz x =
+  if x = 0 then 64
+  else begin
+    let x = Int64.of_int x in
+    let n = ref 0 in
+    let x = ref x in
+    if Int64.shift_right_logical !x 32 = 0L then (n := !n + 32; x := Int64.shift_left !x 32);
+    if Int64.shift_right_logical !x 48 = 0L then (n := !n + 16; x := Int64.shift_left !x 16);
+    if Int64.shift_right_logical !x 56 = 0L then (n := !n + 8; x := Int64.shift_left !x 8);
+    if Int64.shift_right_logical !x 60 = 0L then (n := !n + 4; x := Int64.shift_left !x 4);
+    if Int64.shift_right_logical !x 62 = 0L then (n := !n + 2; x := Int64.shift_left !x 2);
+    if Int64.shift_right_logical !x 63 = 0L then incr n;
+    !n
+  end
+
+let next_pow2 v =
+  if v < 1 then invalid_arg "Bits.next_pow2";
+  let rec go p = if p >= v then p else go (p * 2) in
+  go 1

@@ -1,0 +1,8 @@
+(** Small bit tricks shared across the library. *)
+
+val clz : int -> int
+(** Count of leading zero bits treating the argument as a 64-bit word.
+    [clz 0 = 64]. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two >= the argument (argument must be >= 1). *)

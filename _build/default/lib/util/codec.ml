@@ -1,0 +1,86 @@
+exception Corrupt of string
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let put_u16 b v = Buffer.add_uint16_le b (v land 0xffff)
+let put_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let put_i64 b v = Buffer.add_int64_le b v
+let put_int b v = put_i64 b (Int64.of_int v)
+
+let put_bytes b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_float b f = put_i64 b (Int64.bits_of_float f)
+
+type reader = { src : string; mutable off : int }
+
+let reader ?(pos = 0) src = { src; off = pos }
+let pos r = r.off
+let remaining r = String.length r.src - r.off
+
+let need r n =
+  if r.off + n > String.length r.src then
+    raise (Corrupt (Printf.sprintf "short read: need %d at %d, have %d" n r.off (String.length r.src)))
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.off] in
+  r.off <- r.off + 1;
+  v
+
+let get_u16 r =
+  need r 2;
+  let v = String.get_uint16_le r.src r.off in
+  r.off <- r.off + 2;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.src r.off) land 0xffffffff in
+  r.off <- r.off + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.src r.off in
+  r.off <- r.off + 8;
+  v
+
+let get_int r = Int64.to_int (get_i64 r)
+
+let get_bytes r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.src r.off n in
+  r.off <- r.off + n;
+  s
+
+let get_float r = Int64.float_of_bits (get_i64 r)
+
+let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xffff)
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let set_i64 b off v = Bytes.set_int64_le b off v
+let read_u16 b off = Bytes.get_uint16_le b off
+let read_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let read_i64 b off = Bytes.get_int64_le b off
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl) in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl

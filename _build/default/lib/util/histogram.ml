@@ -1,0 +1,54 @@
+let buckets = 64
+
+type t = {
+  counts : int array;          (* counts.(i) counts samples in [2^(i-1), 2^i) *)
+  mutable n : int;
+  mutable sum : int;
+  mutable max_v : int;
+}
+
+let create () = { counts = Array.make buckets 0; n = 0; sum = 0; max_v = 0 }
+
+let bucket_of v = if v <= 0 then 0 else min (buckets - 1) (64 - Bits.clz v)
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+let max_value t = t.max_v
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let target = int_of_float (Float.of_int t.n *. p /. 100.0) in
+    let target = if target >= t.n then t.n - 1 else target in
+    let rec go i seen =
+      if i >= buckets then t.max_v
+      else
+        let seen = seen + t.counts.(i) in
+        if seen > target then (if i = 0 then 0 else 1 lsl i) else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let merge a b =
+  let r = create () in
+  Array.blit a.counts 0 r.counts 0 buckets;
+  Array.iteri (fun i c -> r.counts.(i) <- r.counts.(i) + c) b.counts;
+  r.n <- a.n + b.n;
+  r.sum <- a.sum + b.sum;
+  r.max_v <- max a.max_v b.max_v;
+  r
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.n <- 0;
+  t.sum <- 0;
+  t.max_v <- 0

@@ -1,0 +1,23 @@
+(** Latency/size histogram with power-of-two buckets.
+
+    Cheap enough to record per-operation latencies on the hot path of the
+    benchmark driver; mergeable across worker domains. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+(** [record t v] counts the non-negative sample [v] (negative samples are
+    clamped to 0). *)
+
+val count : t -> int
+val total : t -> int
+val mean : t -> float
+val max_value : t -> int
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,100]; approximate (bucket upper bound). *)
+
+val merge : t -> t -> t
+(** Pure merge of two histograms (inputs unchanged). *)
+
+val reset : t -> unit

@@ -1,0 +1,50 @@
+let escape key =
+  let b = Buffer.create (String.length key + 2) in
+  String.iter
+    (fun c ->
+      Buffer.add_char b c;
+      if c = '\x00' then Buffer.add_char b '\x01')
+    key;
+  Buffer.add_string b "\x00\x00";
+  Buffer.contents b
+
+let prefix = escape
+
+let composite key time =
+  let b = Buffer.create (String.length key + 10) in
+  Buffer.add_string b (escape key);
+  let t = Int64.of_int time in
+  for shift = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical t (8 * shift)) 0xffL)))
+  done;
+  Buffer.contents b
+
+let decompose s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec scan i =
+    if i + 1 >= n then raise (Codec.Corrupt "Ordkey: missing terminator")
+    else if s.[i] = '\x00' then
+      if s.[i + 1] = '\x00' then i + 2
+      else if s.[i + 1] = '\x01' then begin
+        Buffer.add_char b '\x00';
+        scan (i + 2)
+      end
+      else raise (Codec.Corrupt "Ordkey: bad escape")
+    else begin
+      Buffer.add_char b s.[i];
+      scan (i + 1)
+    end
+  in
+  let time_off = scan 0 in
+  if n - time_off <> 8 then raise (Codec.Corrupt "Ordkey: bad time width");
+  let t = ref 0L in
+  for i = time_off to n - 1 do
+    t := Int64.logor (Int64.shift_left !t 8) (Int64.of_int (Char.code s.[i]))
+  done;
+  (Buffer.contents b, Int64.to_int !t)
+
+let belongs_to s ~key =
+  let p = prefix key in
+  String.length s = String.length p + 8 && String.sub s 0 (String.length p) = p

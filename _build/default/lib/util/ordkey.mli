@@ -1,0 +1,25 @@
+(** Order-preserving composite (key, time) encoding for multiversion
+    indexes.
+
+    The TSB-tree stores every version of a record under a single sort key
+    so that versions of one key are contiguous and ordered by time. The
+    encoding must be {e order-preserving} under plain byte comparison and
+    unambiguous for keys containing NUL bytes, so the key part is escaped
+    (00 -> 00 01) and terminated (00 00) before the fixed-width big-endian
+    timestamp. *)
+
+val composite : string -> int -> string
+(** [composite key time]: escaped key, terminator, 8-byte big-endian
+    [time]. Comparing composites = comparing (key, time) lexicographically. *)
+
+val decompose : string -> string * int
+(** Inverse of {!composite}. Raises [Pitree_util.Codec.Corrupt] on
+    malformed input. *)
+
+val prefix : string -> string
+(** [prefix key]: the escaped+terminated key with no timestamp — the
+    smallest possible composite for [key] is [prefix key ^ eight zero
+    bytes], and every composite of [key] starts with [prefix key]. *)
+
+val belongs_to : string -> key:string -> bool
+(** Does this composite encode a version of [key]? *)

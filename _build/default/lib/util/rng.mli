@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every randomized component of the library (workload generators, property
+    tests, crash-injection schedules) draws from an explicit [Rng.t] so that
+    runs are reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A generator statistically independent of the parent's subsequent
+    output (for handing to worker domains). *)

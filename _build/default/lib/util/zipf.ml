@@ -1,0 +1,47 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+  if theta = 0.0 then { n; theta; alpha = 0.0; zetan = 0.0; eta = 0.0 }
+  else begin
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta }
+  end
+
+let sample t rng =
+  if t.theta = 0.0 then Rng.int rng t.n
+  else begin
+    let u = Rng.float rng 1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    else
+      let r =
+        float_of_int t.n
+        *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+      in
+      let r = int_of_float r in
+      if r >= t.n then t.n - 1 else if r < 0 then 0 else r
+  end
+
+let n t = t.n

@@ -1,0 +1,17 @@
+(** Zipfian key-popularity sampler.
+
+    Used by the workload generator to model skewed access, the regime in which
+    the concurrency differences between index methods are largest. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [0, n).
+    [theta = 0.] degenerates to uniform; typical skew is [0.99].
+    Raises [Invalid_argument] if [n <= 0] or [theta < 0.]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank; rank 0 is the most popular. Uses the rejection-free
+    approximation of Gray et al. (SIGMOD '94). *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Array Buffer Bytes List Log_record Lsn Mutex Pitree_util Printf String Unix

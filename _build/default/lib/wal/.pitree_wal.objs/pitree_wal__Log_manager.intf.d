@@ -1,0 +1,1 @@
+lib/wal/log_manager.mli: Log_record Lsn

@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Buffer Fmt Format Int32 List Logical Lsn Page_op Pitree_util Printf String

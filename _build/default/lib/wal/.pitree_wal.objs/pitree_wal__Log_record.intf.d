@@ -1,0 +1,1 @@
+lib/wal/log_record.mli: Format Logical Lsn Page_op

@@ -1,0 +1,1 @@
+lib/wal/logical.ml: Hashtbl Lsn Mutex Pitree_util Printf

@@ -1,0 +1,1 @@
+lib/wal/logical.mli: Buffer Lsn Pitree_util

@@ -1,0 +1,1 @@
+lib/wal/lsn.mli: Format

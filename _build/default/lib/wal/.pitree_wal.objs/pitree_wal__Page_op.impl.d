@@ -1,0 +1,1 @@
+lib/wal/page_op.ml: Bytes Fmt List Pitree_storage Pitree_util Printf String

@@ -1,0 +1,1 @@
+lib/wal/page_op.mli: Buffer Format Pitree_storage Pitree_util

@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Fmt Hashtbl List Log_manager Log_record Logical Lsn Option Page_op Pitree_storage Pitree_sync Printf

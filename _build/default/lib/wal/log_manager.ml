@@ -1,0 +1,271 @@
+type backing = {
+  fd : Unix.file_descr;
+  path : string;
+  mutable file_end : int;  (* byte offset of the durable tail *)
+}
+
+type t = {
+  mu : Mutex.t;
+  mutable records : string array;
+      (* encoded window; lsn n at index n-1-purged *)
+  mutable count : int;  (* total LSNs ever appended *)
+  mutable purged : int;  (* records discarded from the front by truncation *)
+  mutable max_txn : int;  (* highest txn id ever appended (survives purges) *)
+  mutable durable : Lsn.t;
+  mutable redo_from : Lsn.t;
+  mutable forces : int;
+  mutable bytes : int;
+  backing : backing option;
+}
+
+let ckpt_path path = path ^ ".ckpt"
+
+(* Load the durable prefix of a log file: framed records back to back; a
+   torn tail (short or CRC-corrupt final record) is discarded, exactly as a
+   real log manager does on restart. *)
+let load_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.make size '\000' in
+  let rec fill off =
+    if off < size then
+      let n = Unix.read fd buf off (size - off) in
+      if n = 0 then off else fill (off + n)
+    else off
+  in
+  let got = fill 0 in
+  let data = Bytes.sub_string buf 0 got in
+  let records = ref [] in
+  let off = ref 0 in
+  (try
+     while !off < got do
+       let r = Pitree_util.Codec.reader ~pos:!off data in
+       let len = Pitree_util.Codec.get_u32 r in
+       let total = 4 + len + 4 in
+       if !off + total > got then raise Exit;
+       let framed = String.sub data !off total in
+       (* Validate CRC before accepting. *)
+       ignore (Log_record.decode framed);
+       records := framed :: !records;
+       off := !off + total
+     done
+   with Exit | Pitree_util.Codec.Corrupt _ -> ());
+  (* Truncate any torn tail so future appends start clean. *)
+  if !off < got then Unix.ftruncate fd !off;
+  (fd, List.rev !records, !off)
+
+let create ?path () =
+  match path with
+  | None ->
+      {
+        mu = Mutex.create ();
+        records = Array.make 1024 "";
+        count = 0;
+        purged = 0;
+        max_txn = 0;
+        durable = Lsn.null;
+        redo_from = 1;
+        forces = 0;
+        bytes = 0;
+        backing = None;
+      }
+  | Some path ->
+      let fd, recs, file_end = load_file path in
+      let n = List.length recs in
+      let arr = Array.make (max 1024 n) "" in
+      List.iteri (fun i s -> arr.(i) <- s) recs;
+      let redo_from =
+        match open_in_bin (ckpt_path path) with
+        | ic ->
+            let v = try int_of_string (input_line ic) with _ -> 1 in
+            close_in ic;
+            if v >= 1 && v <= n then v else 1
+        | exception Sys_error _ -> 1
+      in
+      {
+        mu = Mutex.create ();
+        records = arr;
+        count = n;
+        purged = 0;
+        max_txn =
+          List.fold_left
+            (fun acc s -> max acc (Log_record.decode s).Log_record.txn)
+            0 recs;
+        durable = n;
+        redo_from;
+        forces = 0;
+        bytes = List.fold_left (fun a s -> a + String.length s) 0 recs;
+        backing = Some { fd; path; file_end };
+      }
+
+let window t = t.count - t.purged
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.records) "" in
+  Array.blit t.records 0 bigger 0 (window t);
+  t.records <- bigger
+
+let append t ~prev ~txn body =
+  Mutex.lock t.mu;
+  let lsn = t.count + 1 in
+  let encoded = Log_record.encode { Log_record.lsn; prev; txn; body } in
+  if window t >= Array.length t.records then grow t;
+  t.records.(window t) <- encoded;
+  t.count <- t.count + 1;
+  if txn > t.max_txn then t.max_txn <- txn;
+  t.bytes <- t.bytes + String.length encoded;
+  Mutex.unlock t.mu;
+  lsn
+
+(* Caller holds [t.mu]. Push records (durable, upto] to the backing file. *)
+let write_out t upto =
+  match t.backing with
+  | None -> ()
+  | Some b ->
+      let buf = Buffer.create 4096 in
+      for i = t.durable to upto - 1 do
+        Buffer.add_string buf t.records.(i - t.purged)
+      done;
+      let s = Buffer.contents buf in
+      if String.length s > 0 then begin
+        ignore (Unix.lseek b.fd b.file_end Unix.SEEK_SET);
+        let bytes = Bytes.of_string s in
+        let rec push off =
+          if off < Bytes.length bytes then
+            push (off + Unix.write b.fd bytes off (Bytes.length bytes - off))
+        in
+        push 0;
+        Unix.fsync b.fd;
+        b.file_end <- b.file_end + String.length s
+      end
+
+let flush t lsn =
+  Mutex.lock t.mu;
+  if lsn > t.durable then begin
+    let upto = min lsn t.count in
+    write_out t upto;
+    t.durable <- upto;
+    t.forces <- t.forces + 1
+  end;
+  Mutex.unlock t.mu
+
+let flush_all t =
+  Mutex.lock t.mu;
+  if t.count > t.durable then begin
+    write_out t t.count;
+    t.durable <- t.count;
+    t.forces <- t.forces + 1
+  end;
+  Mutex.unlock t.mu
+
+let last_lsn t =
+  Mutex.lock t.mu;
+  let v = t.count in
+  Mutex.unlock t.mu;
+  v
+
+let flushed_lsn t =
+  Mutex.lock t.mu;
+  let v = t.durable in
+  Mutex.unlock t.mu;
+  v
+
+let read t lsn =
+  Mutex.lock t.mu;
+  if lsn < 1 || lsn > t.count then begin
+    Mutex.unlock t.mu;
+    invalid_arg (Printf.sprintf "Log_manager.read: bad lsn %d (count %d)" lsn t.count)
+  end;
+  if lsn <= t.purged then begin
+    Mutex.unlock t.mu;
+    invalid_arg (Printf.sprintf "Log_manager.read: lsn %d was truncated" lsn)
+  end;
+  let s = t.records.(lsn - 1 - t.purged) in
+  Mutex.unlock t.mu;
+  Log_record.decode s
+
+let iter_from t lsn f =
+  let get i =
+    Mutex.lock t.mu;
+    let s =
+      if i > t.purged && i <= t.count then Some t.records.(i - 1 - t.purged)
+      else None
+    in
+    Mutex.unlock t.mu;
+    s
+  in
+  let rec go i =
+    match get i with
+    | None -> ()
+    | Some s ->
+        f (Log_record.decode s);
+        go (i + 1)
+  in
+  go (max (t.purged + 1) (max 1 lsn))
+
+let max_txn_id t =
+  Mutex.lock t.mu;
+  let v = t.max_txn in
+  Mutex.unlock t.mu;
+  v
+
+(* Discard records with lsn < keep_from from the in-memory window. Only
+   durable, pre-redo-point records may go (a file-backed log keeps its file
+   as the archive). Returns how many records were discarded. *)
+let truncate t ~keep_from =
+  Mutex.lock t.mu;
+  let keep_from = min keep_from (min (t.durable + 1) t.redo_from) in
+  let n = max 0 (keep_from - 1 - t.purged) in
+  if n > 0 then begin
+    let w = window t in
+    Array.blit t.records n t.records 0 (w - n);
+    Array.fill t.records (w - n) n "";
+    t.purged <- t.purged + n
+  end;
+  Mutex.unlock t.mu;
+  n
+
+let redo_start t = t.redo_from
+
+let set_redo_start t lsn =
+  t.redo_from <- lsn;
+  match t.backing with
+  | None -> ()
+  | Some b ->
+      let oc = open_out_bin (ckpt_path b.path) in
+      output_string oc (string_of_int lsn);
+      close_out oc
+
+let crash t =
+  Mutex.lock t.mu;
+  let fresh =
+    match t.backing with
+    | None ->
+        let fresh = create () in
+        let kept = t.durable - t.purged in
+        fresh.count <- t.durable;
+        fresh.purged <- t.purged;
+        fresh.max_txn <- t.max_txn;
+        fresh.durable <- t.durable;
+        fresh.records <- Array.make (max 1024 kept) "";
+        Array.blit t.records 0 fresh.records 0 kept;
+        fresh.redo_from <- (if t.redo_from <= t.durable then t.redo_from else 1);
+        fresh.bytes <-
+          Array.fold_left (fun acc s -> acc + String.length s) 0
+            (Array.sub fresh.records 0 kept);
+        fresh
+    | Some b ->
+        (* Power failure: only the file survives. Reopen it. *)
+        Unix.close b.fd;
+        create ~path:b.path ()
+  in
+  Mutex.unlock t.mu;
+  fresh
+
+type stats = { appends : int; forces : int; bytes : int }
+
+let stats t =
+  Mutex.lock t.mu;
+  let s = { appends = t.count; forces = t.forces; bytes = t.bytes } in
+  Mutex.unlock t.mu;
+  s

@@ -1,0 +1,63 @@
+(** The log manager: an append-only record store with an explicit
+    durability boundary.
+
+    Records are stored encoded; the volatile tail ([flushed_lsn], last_lsn]
+    is lost by {!crash}, which models exactly what a power failure preserves.
+    User-transaction commits force the log; atomic-action commits do not
+    (relative durability, section 4.3.1) — the force counter feeds
+    experiment E10.
+
+    LSNs are 1-based and dense: record [n] is the [n]-th append. *)
+
+type t
+
+val create : ?path:string -> unit -> t
+(** In-memory by default. With [path], the durable prefix is backed by an
+    append-only file: [flush] writes and fsyncs, restart ({!create} on the
+    same path) reloads the prefix (discarding a torn tail), and the redo
+    point persists in a [path ^ ".ckpt"] sidecar — so recovery works across
+    process restarts, not just simulated crashes. *)
+
+val append : t -> prev:Lsn.t -> txn:int -> Log_record.body -> Lsn.t
+(** Assigns the next LSN, encodes and stores the record. *)
+
+val flush : t -> Lsn.t -> unit
+(** Make everything up to [lsn] durable. No-op if already durable. *)
+
+val flush_all : t -> unit
+
+val last_lsn : t -> Lsn.t
+val flushed_lsn : t -> Lsn.t
+
+val read : t -> Lsn.t -> Log_record.t
+(** Raises [Invalid_argument] for an LSN that was never appended. *)
+
+val iter_from : t -> Lsn.t -> (Log_record.t -> unit) -> unit
+(** [iter_from t lsn f] applies [f] to records [lsn], [lsn+1], ... in order. *)
+
+val redo_start : t -> Lsn.t
+(** Where recovery's redo pass begins: just after the last sharp
+    checkpoint, else LSN 1. *)
+
+val set_redo_start : t -> Lsn.t -> unit
+
+val truncate : t -> keep_from:Lsn.t -> int
+(** Discard in-memory records with LSN below [keep_from], clamped so that
+    nothing undurable or at/after the redo point is lost; the caller must
+    also keep everything the oldest active transaction could still undo
+    (see [Txn_mgr.oldest_first_lsn]). Returns the number of records
+    discarded. Reading a truncated LSN raises [Invalid_argument]. A
+    file-backed log keeps its file intact as the archive. *)
+
+val max_txn_id : t -> int
+(** Highest transaction id ever appended (tracked across truncation). *)
+
+val crash : t -> t
+(** A new manager holding only the durable prefix (the volatile tail is
+    discarded), preserving [redo_start] if it is still durable. For a
+    file-backed log this literally reopens the file. The old manager must
+    not be used afterwards. *)
+
+type stats = { appends : int; forces : int; bytes : int }
+
+val stats : t -> stats

@@ -1,0 +1,131 @@
+module Codec = Pitree_util.Codec
+
+type txn_kind = User | System
+
+let pp_txn_kind ppf k =
+  Format.pp_print_string ppf (match k with User -> "user" | System -> "system")
+
+type lundo = { tree : int; comp : Logical.comp }
+
+type body =
+  | Begin of { kind : txn_kind }
+  | Commit
+  | Abort
+  | End
+  | Update of { page : int; op : Page_op.t; lundo : lundo option }
+  | Clr of { page : int; op : Page_op.t; undo_next : Lsn.t }
+  | Checkpoint of { active : (int * Lsn.t) list }
+
+type t = { lsn : Lsn.t; prev : Lsn.t; txn : int; body : body }
+
+let body_tag = function
+  | Begin _ -> 1
+  | Commit -> 2
+  | Abort -> 3
+  | End -> 4
+  | Update _ -> 5
+  | Clr _ -> 6
+  | Checkpoint _ -> 7
+
+let encode t =
+  let b = Buffer.create 64 in
+  Codec.put_int b t.lsn;
+  Codec.put_int b t.prev;
+  Codec.put_int b t.txn;
+  Codec.put_u8 b (body_tag t.body);
+  (match t.body with
+  | Begin { kind } -> Codec.put_u8 b (match kind with User -> 0 | System -> 1)
+  | Commit | Abort | End -> ()
+  | Update { page; op; lundo } ->
+      Codec.put_u32 b page;
+      (match lundo with
+      | None -> Codec.put_u8 b 0
+      | Some { tree; comp } ->
+          Codec.put_u8 b 1;
+          Codec.put_u32 b tree;
+          Logical.encode b comp);
+      Page_op.encode b op
+  | Clr { page; op; undo_next } ->
+      Codec.put_u32 b page;
+      Codec.put_int b undo_next;
+      Page_op.encode b op
+  | Checkpoint { active } ->
+      Codec.put_u32 b (List.length active);
+      List.iter
+        (fun (txn, lsn) ->
+          Codec.put_int b txn;
+          Codec.put_int b lsn)
+        active);
+  let payload = Buffer.contents b in
+  let framed = Buffer.create (String.length payload + 8) in
+  Codec.put_u32 framed (String.length payload);
+  Buffer.add_string framed payload;
+  Codec.put_u32 framed (Int32.to_int (Codec.crc32 payload) land 0xffffffff);
+  Buffer.contents framed
+
+let decode s =
+  let r = Codec.reader s in
+  let len = Codec.get_u32 r in
+  if Codec.remaining r < len + 4 then raise (Codec.Corrupt "log record truncated");
+  let payload = String.sub s (Codec.pos r) len in
+  let r2 = Codec.reader ~pos:(Codec.pos r + len) s in
+  let crc = Codec.get_u32 r2 in
+  if crc <> Int32.to_int (Codec.crc32 payload) land 0xffffffff then
+    raise (Codec.Corrupt "log record CRC mismatch");
+  let r = Codec.reader payload in
+  let lsn = Codec.get_int r in
+  let prev = Codec.get_int r in
+  let txn = Codec.get_int r in
+  let body =
+    match Codec.get_u8 r with
+    | 1 ->
+        let kind = if Codec.get_u8 r = 0 then User else System in
+        Begin { kind }
+    | 2 -> Commit
+    | 3 -> Abort
+    | 4 -> End
+    | 5 ->
+        let page = Codec.get_u32 r in
+        let lundo =
+          match Codec.get_u8 r with
+          | 0 -> None
+          | 1 ->
+              let tree = Codec.get_u32 r in
+              let comp = Logical.decode r in
+              Some { tree; comp }
+          | n -> raise (Codec.Corrupt (Printf.sprintf "bad lundo tag %d" n))
+        in
+        let op = Page_op.decode r in
+        Update { page; op; lundo }
+    | 6 ->
+        let page = Codec.get_u32 r in
+        let undo_next = Codec.get_int r in
+        let op = Page_op.decode r in
+        Clr { page; op; undo_next }
+    | 7 ->
+        let n = Codec.get_u32 r in
+        let active =
+          List.init n (fun _ ->
+              let txn = Codec.get_int r in
+              let lsn = Codec.get_int r in
+              (txn, lsn))
+        in
+        Checkpoint { active }
+    | n -> raise (Codec.Corrupt (Printf.sprintf "bad log body tag %d" n))
+  in
+  { lsn; prev; txn; body }
+
+let pp ppf t =
+  let body ppf = function
+    | Begin { kind } -> Fmt.pf ppf "begin(%a)" pp_txn_kind kind
+    | Commit -> Fmt.string ppf "commit"
+    | Abort -> Fmt.string ppf "abort"
+    | End -> Fmt.string ppf "end"
+    | Update { page; op; lundo } ->
+        Fmt.pf ppf "update p%d %a%s" page Page_op.pp op
+          (match lundo with None -> "" | Some _ -> " +lundo")
+    | Clr { page; op; undo_next } ->
+        Fmt.pf ppf "clr p%d %a undo_next=%d" page Page_op.pp op undo_next
+    | Checkpoint { active } -> Fmt.pf ppf "checkpoint(%d active)" (List.length active)
+  in
+  Fmt.pf ppf "[%d txn=%d prev=%d %a]" t.lsn t.txn t.prev body t.body

@@ -1,0 +1,43 @@
+(** Log records.
+
+    A record belongs to a {e transaction} in the broad sense: either a user
+    database transaction or one of the paper's independent {e atomic actions}
+    (identified to the recovery manager as a "system transaction",
+    section 4.3.2 option (ii)). Records of one transaction are backchained
+    through [prev] so rollback can walk them without scanning.
+
+    [Clr] records are compensation log records: redo-only descriptions of an
+    undo step. [undo_next] points at the next record of the transaction still
+    requiring undo, which makes rollback idempotent across repeated
+    crashes. *)
+
+type txn_kind =
+  | User  (** database transaction; commit forces the log *)
+  | System
+      (** atomic action; commit is only {e relatively} durable — no force
+          (section 4.3.1) *)
+
+val pp_txn_kind : Format.formatter -> txn_kind -> unit
+
+type lundo = { tree : int; comp : Logical.comp }
+(** Logical-undo descriptor attached to leaf-record updates of user
+    transactions under non-page-oriented UNDO (see {!Logical}). *)
+
+type body =
+  | Begin of { kind : txn_kind }
+  | Commit
+  | Abort  (** rollback decided; CLRs follow *)
+  | End  (** rollback or commit processing finished *)
+  | Update of { page : int; op : Page_op.t; lundo : lundo option }
+  | Clr of { page : int; op : Page_op.t; undo_next : Lsn.t }
+  | Checkpoint of { active : (int * Lsn.t) list }
+      (** sharp checkpoint: all dirty pages were flushed first; [active]
+          lists live transactions and their last LSN *)
+
+type t = { lsn : Lsn.t; prev : Lsn.t; txn : int; body : body }
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Pitree_util.Codec.Corrupt] on framing/CRC errors. *)
+
+val pp : Format.formatter -> t -> unit

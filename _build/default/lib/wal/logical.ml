@@ -1,0 +1,34 @@
+module Codec = Pitree_util.Codec
+
+type comp = Remove of { key : string } | Put of { cell : string }
+
+let encode b = function
+  | Remove { key } ->
+      Codec.put_u8 b 0;
+      Codec.put_bytes b key
+  | Put { cell } ->
+      Codec.put_u8 b 1;
+      Codec.put_bytes b cell
+
+let decode r =
+  match Codec.get_u8 r with
+  | 0 -> Remove { key = Codec.get_bytes r }
+  | 1 -> Put { cell = Codec.get_bytes r }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad comp tag %d" n))
+
+type handler =
+  tree:int -> comp:comp -> txn:int -> prev:Lsn.t -> undo_next:Lsn.t -> Lsn.t
+
+let mu = Mutex.create ()
+let registered : (int, handler) Hashtbl.t = Hashtbl.create 8
+
+let register_tree tree h =
+  Mutex.lock mu;
+  Hashtbl.replace registered tree h;
+  Mutex.unlock mu
+
+let handler_for tree =
+  Mutex.lock mu;
+  let h = Hashtbl.find_opt registered tree in
+  Mutex.unlock mu;
+  h

@@ -1,0 +1,45 @@
+(** Logical (access-method) undo support.
+
+    Under page-oriented UNDO, a record's undo happens on the page of the
+    original update, and move locks keep structure changes away from
+    uncommitted records (paper section 4.2). Under {e non}-page-oriented
+    UNDO, independent atomic actions may freely move uncommitted records
+    between nodes (section 6: "even data node splitting can occur outside of
+    the database transaction") — so rolling back a record update must locate
+    the record {e through the access method}, wherever it lives now.
+
+    A leaf update that needs this logs a {!comp}ensation descriptor next to
+    its physical redo operation. Rollback dispatches it to the handler the
+    access method registered here; the handler re-traverses the tree,
+    applies the compensation to whatever page now holds the key, and logs it
+    as a CLR (so repeated crashes never undo twice). The handler may trigger
+    ordinary structure changes (e.g. a split so a restored record fits).
+
+    The registry is global: linking an access method registers its handler,
+    which is exactly what restart recovery needs. *)
+
+type comp =
+  | Remove of { key : string }  (** undo of an insert: take the key out *)
+  | Put of { cell : string }
+      (** undo of a delete or replace: restore this record cell (insert or
+          overwrite, keyed by the cell's embedded key) *)
+
+val encode : Buffer.t -> comp -> unit
+val decode : Pitree_util.Codec.reader -> comp
+
+type handler =
+  tree:int ->
+  comp:comp ->
+  txn:int ->
+  prev:Lsn.t ->
+  undo_next:Lsn.t ->
+  Lsn.t
+(** Perform the compensation for [tree], logging CLR(s) for [txn] chained
+    after [prev] with the given [undo_next]. Returns the last CLR's LSN
+    ([Lsn.null] if the compensation turned out to be a no-op). *)
+
+val register_tree : int -> handler -> unit
+(** Register the handler for one tree (keyed by its root page id / tree
+    id). Each access method registers every tree it opens or creates. *)
+
+val handler_for : int -> handler option

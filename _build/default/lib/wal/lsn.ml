@@ -1,0 +1,6 @@
+type t = int
+
+let null = 0
+let is_null t = t = 0
+let compare = Int.compare
+let pp = Format.pp_print_int

@@ -1,0 +1,12 @@
+(** Log sequence numbers.
+
+    Monotonically increasing positions in the log, also used as page state
+    identifiers (paper section 5.2). [null] (= 0) orders before every real
+    LSN. *)
+
+type t = int
+
+val null : t
+val is_null : t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+module Page = Pitree_storage.Page
+module Codec = Pitree_util.Codec
+
+type t =
+  | Format of { kind : Page.kind; level : int }
+  | Reformat of {
+      old_kind : Page.kind;
+      new_kind : Page.kind;
+      old_level : int;
+      new_level : int;
+    }
+  | Insert_slot of { slot : int; cell : string }
+  | Delete_slot of { slot : int; cell : string }
+  | Replace_slot of { slot : int; old_cell : string; new_cell : string }
+  | Set_side_ptr of { old_ptr : int; new_ptr : int }
+  | Set_aux_ptr of { old_ptr : int; new_ptr : int }
+  | Set_flags of { old_flags : int; new_flags : int }
+  | Clear of { cells : string list }
+  | Restore of { cells : string list }
+
+let redo page op =
+  match op with
+  | Format { kind; level } ->
+      let fresh = Page.create ~size:(Page.size page) ~id:(Page.id page) ~kind ~level in
+      Bytes.blit (Page.raw fresh) 0 (Page.raw page) 0 (Page.size page)
+  | Reformat { new_kind; new_level; _ } ->
+      Page.set_kind page new_kind;
+      Page.set_level page new_level
+  | Insert_slot { slot; cell } -> Page.insert page slot cell
+  | Delete_slot { slot; cell = _ } -> ignore (Page.delete page slot)
+  | Replace_slot { slot; new_cell; _ } -> Page.replace page slot new_cell
+  | Set_side_ptr { new_ptr; _ } -> Page.set_side_ptr page new_ptr
+  | Set_aux_ptr { new_ptr; _ } -> Page.set_aux_ptr page new_ptr
+  | Set_flags { new_flags; _ } -> Page.set_flags page new_flags
+  | Clear _ -> Page.clear page
+  | Restore { cells } ->
+      List.iteri (fun i cell -> Page.insert page i cell) cells
+
+let invert = function
+  | Format _ -> Format { kind = Page.Free; level = 0 }
+  | Reformat { old_kind; new_kind; old_level; new_level } ->
+      Reformat
+        { old_kind = new_kind; new_kind = old_kind; old_level = new_level; new_level = old_level }
+  | Insert_slot { slot; cell } -> Delete_slot { slot; cell }
+  | Delete_slot { slot; cell } -> Insert_slot { slot; cell }
+  | Replace_slot { slot; old_cell; new_cell } ->
+      Replace_slot { slot; old_cell = new_cell; new_cell = old_cell }
+  | Set_side_ptr { old_ptr; new_ptr } ->
+      Set_side_ptr { old_ptr = new_ptr; new_ptr = old_ptr }
+  | Set_aux_ptr { old_ptr; new_ptr } ->
+      Set_aux_ptr { old_ptr = new_ptr; new_ptr = old_ptr }
+  | Set_flags { old_flags; new_flags } ->
+      Set_flags { old_flags = new_flags; new_flags = old_flags }
+  | Clear { cells } -> Restore { cells }
+  | Restore { cells } -> Clear { cells }
+
+(* Encoding tags. *)
+let tag = function
+  | Format _ -> 1
+  | Reformat _ -> 2
+  | Insert_slot _ -> 3
+  | Delete_slot _ -> 4
+  | Replace_slot _ -> 5
+  | Set_side_ptr _ -> 6
+  | Set_aux_ptr _ -> 7
+  | Set_flags _ -> 8
+  | Clear _ -> 9
+  | Restore _ -> 10
+
+let put_cells b cells =
+  Codec.put_u32 b (List.length cells);
+  List.iter (Codec.put_bytes b) cells
+
+let get_cells r =
+  let n = Codec.get_u32 r in
+  List.init n (fun _ -> Codec.get_bytes r)
+
+let encode b op =
+  Codec.put_u8 b (tag op);
+  match op with
+  | Format { kind; level } ->
+      Codec.put_u8 b (Page.kind_to_int kind);
+      Codec.put_u8 b level
+  | Reformat { old_kind; new_kind; old_level; new_level } ->
+      Codec.put_u8 b (Page.kind_to_int old_kind);
+      Codec.put_u8 b (Page.kind_to_int new_kind);
+      Codec.put_u8 b old_level;
+      Codec.put_u8 b new_level
+  | Insert_slot { slot; cell } ->
+      Codec.put_u32 b slot;
+      Codec.put_bytes b cell
+  | Delete_slot { slot; cell } ->
+      Codec.put_u32 b slot;
+      Codec.put_bytes b cell
+  | Replace_slot { slot; old_cell; new_cell } ->
+      Codec.put_u32 b slot;
+      Codec.put_bytes b old_cell;
+      Codec.put_bytes b new_cell
+  | Set_side_ptr { old_ptr; new_ptr } ->
+      Codec.put_u32 b old_ptr;
+      Codec.put_u32 b new_ptr
+  | Set_aux_ptr { old_ptr; new_ptr } ->
+      Codec.put_u32 b old_ptr;
+      Codec.put_u32 b new_ptr
+  | Set_flags { old_flags; new_flags } ->
+      Codec.put_u32 b old_flags;
+      Codec.put_u32 b new_flags
+  | Clear { cells } -> put_cells b cells
+  | Restore { cells } -> put_cells b cells
+
+let decode r =
+  match Codec.get_u8 r with
+  | 1 ->
+      let kind = Page.kind_of_int (Codec.get_u8 r) in
+      let level = Codec.get_u8 r in
+      Format { kind; level }
+  | 2 ->
+      let old_kind = Page.kind_of_int (Codec.get_u8 r) in
+      let new_kind = Page.kind_of_int (Codec.get_u8 r) in
+      let old_level = Codec.get_u8 r in
+      let new_level = Codec.get_u8 r in
+      Reformat { old_kind; new_kind; old_level; new_level }
+  | 3 ->
+      let slot = Codec.get_u32 r in
+      let cell = Codec.get_bytes r in
+      Insert_slot { slot; cell }
+  | 4 ->
+      let slot = Codec.get_u32 r in
+      let cell = Codec.get_bytes r in
+      Delete_slot { slot; cell }
+  | 5 ->
+      let slot = Codec.get_u32 r in
+      let old_cell = Codec.get_bytes r in
+      let new_cell = Codec.get_bytes r in
+      Replace_slot { slot; old_cell; new_cell }
+  | 6 ->
+      let old_ptr = Codec.get_u32 r in
+      let new_ptr = Codec.get_u32 r in
+      Set_side_ptr { old_ptr; new_ptr }
+  | 7 ->
+      let old_ptr = Codec.get_u32 r in
+      let new_ptr = Codec.get_u32 r in
+      Set_aux_ptr { old_ptr; new_ptr }
+  | 8 ->
+      let old_flags = Codec.get_u32 r in
+      let new_flags = Codec.get_u32 r in
+      Set_flags { old_flags; new_flags }
+  | 9 -> Clear { cells = get_cells r }
+  | 10 -> Restore { cells = get_cells r }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad page_op tag %d" n))
+
+let pp ppf = function
+  | Format { kind; level } ->
+      Fmt.pf ppf "format(%a,l%d)" Page.pp_kind kind level
+  | Reformat { new_kind; new_level; _ } ->
+      Fmt.pf ppf "reformat(->%a,l%d)" Page.pp_kind new_kind new_level
+  | Insert_slot { slot; cell } -> Fmt.pf ppf "ins(%d,%dB)" slot (String.length cell)
+  | Delete_slot { slot; _ } -> Fmt.pf ppf "del(%d)" slot
+  | Replace_slot { slot; _ } -> Fmt.pf ppf "repl(%d)" slot
+  | Set_side_ptr { new_ptr; _ } -> Fmt.pf ppf "side->%d" new_ptr
+  | Set_aux_ptr { new_ptr; _ } -> Fmt.pf ppf "aux->%d" new_ptr
+  | Set_flags { new_flags; _ } -> Fmt.pf ppf "flags->%d" new_flags
+  | Clear { cells } -> Fmt.pf ppf "clear(%d)" (List.length cells)
+  | Restore { cells } -> Fmt.pf ppf "restore(%d)" (List.length cells)

@@ -1,0 +1,43 @@
+(** Physiological page operations: the unit of logging.
+
+    Each operation describes one change to one page, carrying enough
+    information to be both redone and undone page-locally. This is exactly
+    what the paper's "page-oriented UNDO" recovery regime assumes: the undo
+    of an update happens on the same page as the original update.
+
+    Operations are applied with {!redo}; their page-local inverses come from
+    {!invert} (used to generate compensation log records during rollback). *)
+
+type t =
+  | Format of { kind : Pitree_storage.Page.kind; level : int }
+      (** Initialize a freshly allocated page. Inverse: format as [Free]. *)
+  | Reformat of {
+      old_kind : Pitree_storage.Page.kind;
+      new_kind : Pitree_storage.Page.kind;
+      old_level : int;
+      new_level : int;
+    }  (** Change header kind/level in place, keeping cells. *)
+  | Insert_slot of { slot : int; cell : string }
+  | Delete_slot of { slot : int; cell : string }
+      (** [cell] is the deleted content, needed to undo. *)
+  | Replace_slot of { slot : int; old_cell : string; new_cell : string }
+  | Set_side_ptr of { old_ptr : int; new_ptr : int }
+  | Set_aux_ptr of { old_ptr : int; new_ptr : int }
+  | Set_flags of { old_flags : int; new_flags : int }
+  | Clear of { cells : string list }
+      (** Drop all cells (e.g. moving the old root's content out during a
+          root split); [cells] is the prior content, for undo. *)
+  | Restore of { cells : string list }  (** Inverse of [Clear]. *)
+
+val redo : Pitree_storage.Page.t -> t -> unit
+(** Apply the operation's forward effect. Does NOT touch the page LSN; the
+    caller stamps it with the log record's LSN. *)
+
+val invert : t -> t
+(** The page-local inverse. [redo p (invert op)] after [redo p op] restores
+    the page's logical content. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : Pitree_util.Codec.reader -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+module Page = Pitree_storage.Page
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Latch = Pitree_sync.Latch
+
+type report = {
+  analyzed : int;
+  redone : int;
+  skipped : int;
+  loser_txns : int list;
+  clrs_written : int;
+  committed_unended : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>recovery: analyzed=%d redone=%d skipped=%d losers=[%a] clrs=%d ended=%d@]"
+    r.analyzed r.redone r.skipped
+    Fmt.(list ~sep:(any ",") int)
+    r.loser_txns r.clrs_written r.committed_unended
+
+(* Pin the page, creating an empty frame when it has no durable image yet
+   (its Format record is about to be redone). *)
+let pin_or_new pool pid =
+  match Buffer_pool.pin pool pid with
+  | fr -> fr
+  | exception Not_found -> Buffer_pool.pin_new pool pid
+
+(* Apply one undo step for [record] (an Update), writing a CLR. Returns the
+   CLR's lsn. [prev] is the transaction's latest log record, to backchain. *)
+let undo_update ~log ~pool ~txn ~prev ~page:pid ~op ~undo_next =
+  let inverse = Page_op.invert op in
+  let clr_lsn =
+    Log_manager.append log ~prev ~txn
+      (Log_record.Clr { page = pid; op = inverse; undo_next })
+  in
+  let fr = pin_or_new pool pid in
+  Latch.acquire fr.Buffer_pool.latch Latch.X;
+  Page_op.redo fr.Buffer_pool.page inverse;
+  Page.set_lsn fr.Buffer_pool.page clr_lsn;
+  Buffer_pool.mark_dirty fr;
+  Latch.release fr.Buffer_pool.latch Latch.X;
+  Buffer_pool.unpin pool fr;
+  clr_lsn
+
+let rollback ?prev ~log ~pool ~txn ~from_lsn () =
+  let rec go cur prev last_clr =
+    if Lsn.is_null cur then last_clr
+    else
+      let r = Log_manager.read log cur in
+      assert (r.Log_record.txn = txn);
+      match r.Log_record.body with
+      | Log_record.Update { page; op; lundo = None } ->
+          let clr =
+            undo_update ~log ~pool ~txn ~prev ~page ~op
+              ~undo_next:r.Log_record.prev
+          in
+          go r.Log_record.prev clr clr
+      | Log_record.Update { lundo = Some { Log_record.tree; comp }; _ } ->
+          (* Non-page-oriented undo: compensate through the access method
+             (the record may have been moved by committed structure
+             changes). *)
+          let h =
+            match Logical.handler_for tree with
+            | Some h -> h
+            | None ->
+                failwith
+                  (Printf.sprintf
+                     "Recovery: logical-undo record for tree %d but no \
+                      access-method handler registered"
+                     tree)
+          in
+          let clr = h ~tree ~comp ~txn ~prev ~undo_next:r.Log_record.prev in
+          if Lsn.is_null clr then go r.Log_record.prev prev last_clr
+          else go r.Log_record.prev clr clr
+      | Log_record.Clr { undo_next; _ } ->
+          (* Already-undone tail: jump past it. *)
+          go undo_next prev last_clr
+      | Log_record.Begin _ -> last_clr
+      | Log_record.Commit | Log_record.Abort | Log_record.End
+      | Log_record.Checkpoint _ ->
+          go r.Log_record.prev prev last_clr
+  in
+  go from_lsn (Option.value prev ~default:from_lsn) Lsn.null
+
+type att_entry = { mutable last : Lsn.t; mutable committed : bool }
+
+let run ~log ~pool =
+  (* --- Analysis --- *)
+  let att : (int, att_entry) Hashtbl.t = Hashtbl.create 64 in
+  let analyzed = ref 0 in
+  let start = Log_manager.redo_start log in
+  (* Seed the ATT from the checkpoint record, if redo starts at one. *)
+  (if start > 1 then
+     match (Log_manager.read log start).Log_record.body with
+     | Log_record.Checkpoint { active } ->
+         List.iter
+           (fun (txn, lsn) ->
+             Hashtbl.replace att txn { last = lsn; committed = false })
+           active
+     | _ -> ());
+  Log_manager.iter_from log start (fun r ->
+      incr analyzed;
+      let entry txn =
+        match Hashtbl.find_opt att txn with
+        | Some e -> e
+        | None ->
+            let e = { last = Lsn.null; committed = false } in
+            Hashtbl.replace att txn e;
+            e
+      in
+      match r.Log_record.body with
+      | Log_record.Begin _ -> (entry r.Log_record.txn).last <- r.Log_record.lsn
+      | Log_record.Update _ | Log_record.Clr _ ->
+          (entry r.Log_record.txn).last <- r.Log_record.lsn
+      | Log_record.Commit -> (entry r.Log_record.txn).committed <- true
+      | Log_record.Abort -> (entry r.Log_record.txn).last <- r.Log_record.lsn
+      | Log_record.End -> Hashtbl.remove att r.Log_record.txn
+      | Log_record.Checkpoint _ -> ());
+  (* --- Redo (repeating history) --- *)
+  let redone = ref 0 and skipped = ref 0 in
+  Log_manager.iter_from log start (fun r ->
+      match r.Log_record.body with
+      | Log_record.Update { page; op; _ } | Log_record.Clr { page; op; _ } ->
+          let fr = pin_or_new pool page in
+          if Page.lsn fr.Buffer_pool.page < r.Log_record.lsn then begin
+            Page_op.redo fr.Buffer_pool.page op;
+            Page.set_lsn fr.Buffer_pool.page r.Log_record.lsn;
+            Buffer_pool.mark_dirty fr;
+            incr redone
+          end
+          else incr skipped;
+          Buffer_pool.unpin pool fr
+      | _ -> ());
+  (* --- Undo losers --- *)
+  let losers = ref [] and ended = ref 0 and clrs = ref 0 in
+  Hashtbl.iter
+    (fun txn e ->
+      if e.committed then begin
+        (* Winner missing its End record: close it out. *)
+        ignore (Log_manager.append log ~prev:e.last ~txn Log_record.End);
+        incr ended
+      end
+      else losers := (txn, e) :: !losers)
+    att;
+  let clr_count_before = Log_manager.last_lsn log in
+  List.iter
+    (fun (txn, e) ->
+      let abort_lsn = Log_manager.append log ~prev:e.last ~txn Log_record.Abort in
+      let last_clr =
+        rollback ~prev:abort_lsn ~log ~pool ~txn ~from_lsn:e.last ()
+      in
+      let end_prev = if Lsn.is_null last_clr then abort_lsn else last_clr in
+      ignore (Log_manager.append log ~prev:end_prev ~txn Log_record.End))
+    !losers;
+  clrs := Log_manager.last_lsn log - clr_count_before - (2 * List.length !losers);
+  Log_manager.flush_all log;
+  {
+    analyzed = !analyzed;
+    redone = !redone;
+    skipped = !skipped;
+    loser_txns = List.map fst !losers;
+    clrs_written = !clrs;
+    committed_unended = !ended;
+  }

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Pitree_baseline Pitree_blink Pitree_env Pitree_util Printf

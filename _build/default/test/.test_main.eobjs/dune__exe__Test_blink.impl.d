@@ -1,0 +1,1 @@
+test/test_blink.ml: Alcotest Array Gen Hashtbl List Pitree_blink Pitree_core Pitree_env Pitree_txn Pitree_util Printf QCheck QCheck_alcotest String Test

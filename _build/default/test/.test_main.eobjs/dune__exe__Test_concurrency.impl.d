@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Atomic Domain Hashtbl Int64 List Pitree_baseline Pitree_blink Pitree_core Pitree_env Pitree_harness Pitree_util Printf String

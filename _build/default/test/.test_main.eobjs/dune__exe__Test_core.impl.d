@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Char Gen List Pitree_core QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Hashtbl List Pitree_blink Pitree_core Pitree_env Pitree_txn Pitree_wal Printf

@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Domain Gen Hashtbl List Option Pitree_blink Pitree_env Pitree_util Printf QCheck QCheck_alcotest String Test

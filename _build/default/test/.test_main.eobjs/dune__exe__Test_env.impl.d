@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest List Pitree_env Pitree_storage Pitree_sync Pitree_txn Pitree_wal

@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Array Gen Hashtbl Int64 List Option Pitree_core Pitree_env Pitree_hb Pitree_txn Pitree_util Printf QCheck QCheck_alcotest Test

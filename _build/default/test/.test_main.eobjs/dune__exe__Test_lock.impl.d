@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Atomic Gen List Option Pitree_lock QCheck QCheck_alcotest Test Thread

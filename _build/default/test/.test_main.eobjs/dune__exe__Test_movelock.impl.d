@@ -1,0 +1,1 @@
+test/test_movelock.ml: Alcotest Atomic Domain Pitree_blink Pitree_core Pitree_env Pitree_txn Printf String Thread

@@ -1,0 +1,1 @@
+test/test_mv_concurrency.ml: Alcotest Atomic Domain Gen Hashtbl Int64 List Option Pitree_core Pitree_env Pitree_hb Pitree_tsb Pitree_util Printf QCheck QCheck_alcotest Test

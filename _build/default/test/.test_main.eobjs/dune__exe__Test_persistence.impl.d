@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Filename Fun Option Pitree_blink Pitree_core Pitree_env Pitree_storage Pitree_tsb Pitree_wal Printf Sys Unix

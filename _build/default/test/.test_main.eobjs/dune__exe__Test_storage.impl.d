@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Filename Gen List Pitree_storage Pitree_sync Pitree_util Printf QCheck QCheck_alcotest String Sys Test

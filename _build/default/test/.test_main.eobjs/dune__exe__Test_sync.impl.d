@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Atomic List Pitree_sync Thread

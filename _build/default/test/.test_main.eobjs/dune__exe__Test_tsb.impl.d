@@ -1,0 +1,1 @@
+test/test_tsb.ml: Alcotest Hashtbl List Pitree_core Pitree_env Pitree_tsb Pitree_txn Pitree_util Printf

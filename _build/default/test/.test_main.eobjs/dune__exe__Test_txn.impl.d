@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest List Pitree_lock Pitree_storage Pitree_txn Pitree_wal

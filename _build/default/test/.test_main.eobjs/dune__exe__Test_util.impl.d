@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Char Fun List Pitree_util Printf QCheck QCheck_alcotest String

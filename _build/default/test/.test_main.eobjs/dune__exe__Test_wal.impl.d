@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Buffer Bytes Char Gen List Pitree_blink Pitree_core Pitree_env Pitree_storage Pitree_txn Pitree_util Pitree_wal Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,139 @@
+(* Tests for the comparison baselines: lock-coupling B+tree and tree-latch
+   (serial SMO) B+tree. *)
+
+module Env = Pitree_env.Env
+module Btc = Pitree_baseline.Bt_coupling
+module Btl = Pitree_baseline.Bt_treelatch
+
+let cfg () =
+  {
+    Env.page_size = 256;
+    pool_capacity = 4096;
+    page_oriented_undo = false;
+    consolidation = false;
+  }
+
+let key i = Printf.sprintf "key%06d" i
+let value i = Printf.sprintf "val%06d" i
+
+let test_coupling_basic () =
+  let env = Env.create (cfg ()) in
+  let t = Btc.create env ~name:"c" in
+  Alcotest.(check (option string)) "empty" None (Btc.find t "x");
+  Btc.insert t ~key:"a" ~value:"1";
+  Btc.insert t ~key:"a" ~value:"2";
+  Alcotest.(check (option string)) "overwrite" (Some "2") (Btc.find t "a");
+  Alcotest.(check int) "count" 1 (Btc.count t)
+
+let test_coupling_many () =
+  let env = Env.create (cfg ()) in
+  let t = Btc.create env ~name:"c" in
+  let n = 2000 in
+  let rng = Pitree_util.Rng.create 9L in
+  let keys = Array.init n key in
+  Pitree_util.Rng.shuffle rng keys;
+  Array.iter (fun k -> Btc.insert t ~key:k ~value:("v" ^ k)) keys;
+  Alcotest.(check int) "count" n (Btc.count t);
+  Alcotest.(check bool) "grew" true (Btc.height t > 1);
+  Array.iter
+    (fun k ->
+      match Btc.find t k with
+      | Some v when v = "v" ^ k -> ()
+      | _ -> Alcotest.failf "lost %s" k)
+    keys;
+  let s = Btc.stats t in
+  Alcotest.(check bool) "splits" true (s.Btc.splits > 10);
+  Alcotest.(check bool) "unsafe retention tracked" true (s.Btc.unsafe_retained >= 0)
+
+let test_coupling_delete () =
+  let env = Env.create (cfg ()) in
+  let t = Btc.create env ~name:"c" in
+  for i = 0 to 499 do
+    Btc.insert t ~key:(key i) ~value:(value i)
+  done;
+  for i = 0 to 499 do
+    if i mod 3 = 0 then
+      Alcotest.(check bool) "deleted" true (Btc.delete t (key i))
+  done;
+  Alcotest.(check bool) "absent" false (Btc.delete t "zz");
+  for i = 0 to 499 do
+    let expect = if i mod 3 = 0 then None else Some (value i) in
+    Alcotest.(check (option string)) (key i) expect (Btc.find t (key i))
+  done
+
+let test_treelatch_basic () =
+  let env = Env.create (cfg ()) in
+  let t = Btl.create env ~name:"l" in
+  Btl.insert t ~key:"a" ~value:"1";
+  Btl.insert t ~key:"b" ~value:"2";
+  Btl.insert t ~key:"a" ~value:"3";
+  Alcotest.(check (option string)) "a" (Some "3") (Btl.find t "a");
+  Alcotest.(check (option string)) "b" (Some "2") (Btl.find t "b");
+  Alcotest.(check int) "count" 2 (Btl.count t)
+
+let test_treelatch_many () =
+  let env = Env.create (cfg ()) in
+  let t = Btl.create env ~name:"l" in
+  let n = 2000 in
+  let rng = Pitree_util.Rng.create 10L in
+  let keys = Array.init n key in
+  Pitree_util.Rng.shuffle rng keys;
+  Array.iter (fun k -> Btl.insert t ~key:k ~value:("v" ^ k)) keys;
+  Alcotest.(check int) "count" n (Btl.count t);
+  Alcotest.(check bool) "grew" true (Btl.height t > 1);
+  Array.iter
+    (fun k ->
+      match Btl.find t k with
+      | Some v when v = "v" ^ k -> ()
+      | _ -> Alcotest.failf "lost %s" k)
+    keys;
+  Alcotest.(check bool) "splits" true ((Btl.stats t).Btl.splits > 10)
+
+let test_treelatch_delete () =
+  let env = Env.create (cfg ()) in
+  let t = Btl.create env ~name:"l" in
+  for i = 0 to 299 do
+    Btl.insert t ~key:(key i) ~value:(value i)
+  done;
+  for i = 0 to 299 do
+    if i mod 2 = 1 then ignore (Btl.delete t (key i))
+  done;
+  Alcotest.(check int) "count" 150 (Btl.count t)
+
+let test_same_env_coexistence () =
+  (* All three engines share one environment (one pool, one log, one lock
+     manager) — as in the paper's DBMS setting. *)
+  let env = Env.create (cfg ()) in
+  let b = Pitree_blink.Blink.create env ~name:"b" in
+  let c = Btc.create env ~name:"c" in
+  let l = Btl.create env ~name:"l" in
+  for i = 0 to 299 do
+    Pitree_blink.Blink.insert b ~key:(key i) ~value:"b";
+    Btc.insert c ~key:(key i) ~value:"c";
+    Btl.insert l ~key:(key i) ~value:"l"
+  done;
+  ignore (Env.drain env);
+  Alcotest.(check (option string)) "b" (Some "b") (Pitree_blink.Blink.find b (key 7));
+  Alcotest.(check (option string)) "c" (Some "c") (Btc.find c (key 7));
+  Alcotest.(check (option string)) "l" (Some "l") (Btl.find l (key 7));
+  Alcotest.(check int) "b count" 300 (Pitree_blink.Blink.count b);
+  Alcotest.(check int) "c count" 300 (Btc.count c);
+  Alcotest.(check int) "l count" 300 (Btl.count l)
+
+let suites =
+  [
+    ( "baseline.coupling",
+      [
+        Alcotest.test_case "basic" `Quick test_coupling_basic;
+        Alcotest.test_case "many" `Quick test_coupling_many;
+        Alcotest.test_case "delete" `Quick test_coupling_delete;
+      ] );
+    ( "baseline.treelatch",
+      [
+        Alcotest.test_case "basic" `Quick test_treelatch_basic;
+        Alcotest.test_case "many" `Quick test_treelatch_many;
+        Alcotest.test_case "delete" `Quick test_treelatch_delete;
+      ] );
+    ( "baseline.shared-env",
+      [ Alcotest.test_case "coexistence" `Quick test_same_env_coexistence ] );
+  ]

@@ -1,0 +1,252 @@
+(* Cursor tests: forward iteration stability under concurrent structure
+   changes, saved-state resumption, boundary cases. *)
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Cursor = Pitree_blink.Cursor
+module Rng = Pitree_util.Rng
+
+let cfg ?(consolidation = true) () =
+  { Env.page_size = 256; pool_capacity = 4096; page_oriented_undo = false; consolidation }
+
+let key i = Printf.sprintf "key%06d" i
+
+let mk ?consolidation () =
+  let env = Env.create (cfg ?consolidation ()) in
+  (env, Blink.create env ~name:"t")
+
+let test_empty () =
+  let _, t = mk () in
+  let c = Cursor.first t in
+  Alcotest.(check bool) "empty" true (Cursor.next c = None);
+  Alcotest.(check bool) "still empty" true (Cursor.next c = None);
+  Cursor.close c
+
+let test_full_scan () =
+  let env, t = mk () in
+  let n = 1_000 in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key i) ~value:(string_of_int i)
+  done;
+  ignore (Env.drain env);
+  let c = Cursor.first t in
+  let rec collect acc =
+    match Cursor.next c with None -> List.rev acc | Some (k, _) -> collect (k :: acc)
+  in
+  let keys = collect [] in
+  Alcotest.(check int) "all records" n (List.length keys);
+  Alcotest.(check string) "first" (key 0) (List.hd keys);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly sorted" true (sorted keys)
+
+let test_seek () =
+  let _, t = mk () in
+  for i = 0 to 99 do
+    Blink.insert t ~key:(key (2 * i)) ~value:"v"
+  done;
+  (* Seek to a present key. *)
+  let c = Cursor.seek t (key 10) in
+  Alcotest.(check (option string)) "exact seek" (Some (key 10))
+    (Option.map fst (Cursor.next c));
+  (* Seek between keys lands on the successor. *)
+  let c = Cursor.seek t (key 11) in
+  Alcotest.(check (option string)) "gap seek" (Some (key 12))
+    (Option.map fst (Cursor.next c));
+  (* Seek past the end. *)
+  let c = Cursor.seek t "zzz" in
+  Alcotest.(check bool) "past end" true (Cursor.next c = None)
+
+let test_peek_does_not_advance () =
+  let _, t = mk () in
+  Blink.insert t ~key:"a" ~value:"1";
+  Blink.insert t ~key:"b" ~value:"2";
+  let c = Cursor.first t in
+  Alcotest.(check (option string)) "peek a" (Some "a") (Option.map fst (Cursor.peek c));
+  Alcotest.(check (option string)) "peek again" (Some "a") (Option.map fst (Cursor.peek c));
+  Alcotest.(check (option string)) "next a" (Some "a") (Option.map fst (Cursor.next c));
+  Alcotest.(check (option string)) "next b" (Some "b") (Option.map fst (Cursor.next c))
+
+let test_sees_new_tail () =
+  (* After returning None, a cursor picks up later insertions of larger
+     keys. *)
+  let _, t = mk () in
+  Blink.insert t ~key:"a" ~value:"1";
+  let c = Cursor.first t in
+  ignore (Cursor.next c);
+  Alcotest.(check bool) "exhausted" true (Cursor.next c = None);
+  Blink.insert t ~key:"b" ~value:"2";
+  Alcotest.(check (option string)) "new tail visible" (Some "b")
+    (Option.map fst (Cursor.next c))
+
+let test_stable_under_splits () =
+  (* Interleave scanning with insertions that split the leaves the cursor
+     is walking: pre-existing keys must each be returned exactly once. *)
+  let env, t = mk () in
+  let n = 600 in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key (2 * i)) ~value:"old"
+  done;
+  ignore (Env.drain env);
+  let c = Cursor.first t in
+  let seen = Hashtbl.create 64 in
+  let olds = ref 0 in
+  let inserted = ref n in
+  let rec walk () =
+    match Cursor.next c with
+    | None -> ()
+    | Some (k, v) ->
+        if Hashtbl.mem seen k then Alcotest.failf "duplicate %s" k;
+        Hashtbl.replace seen k ();
+        if v = "old" then incr olds;
+        (* Every few steps, stuff odd keys BEHIND and AHEAD of the cursor
+           to force splits of already-visited and upcoming leaves. *)
+        if Hashtbl.length seen mod 13 = 0 then begin
+          Blink.insert t ~key:(key ((2 * !inserted) + 1)) ~value:"new";
+          incr inserted;
+          Blink.insert t ~key:(k ^ "!") ~value:"new"
+        end;
+        walk ()
+  in
+  walk ();
+  Alcotest.(check int) "every pre-existing key seen once" n !olds
+
+let test_stable_under_consolidation () =
+  (* Deletions + consolidations while scanning: the cursor re-seeks when
+     its remembered leaf is consolidated away. *)
+  let env, t = mk ~consolidation:true () in
+  let n = 800 in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key i) ~value:"v"
+  done;
+  ignore (Env.drain env);
+  let c = Cursor.first t in
+  let seen = ref 0 in
+  let rec walk () =
+    match Cursor.next c with
+    | None -> ()
+    | Some (k, _) ->
+        incr seen;
+        (* Delete a key far ahead, then drain (runs consolidations). *)
+        let i = int_of_string (String.sub k 3 6) in
+        if i mod 10 = 0 && i + 300 < n then begin
+          ignore (Blink.delete t (key (i + 300)));
+          ignore (Env.drain env)
+        end;
+        walk ()
+  in
+  walk ();
+  (* Everything not deleted before the cursor passed it must be seen; the
+     count is bounded by [n] and at least [n] minus deletions. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sane count %d" !seen)
+    true
+    (!seen <= n && !seen >= n - (n / 10))
+
+let test_fold_until () =
+  let _, t = mk () in
+  for i = 0 to 49 do
+    Blink.insert t ~key:(key i) ~value:"v"
+  done;
+  let c = Cursor.first t in
+  let batch = Cursor.fold_until c ~limit:20 ~init:0 ~f:(fun n _ _ -> n + 1) in
+  Alcotest.(check int) "first batch" 20 batch;
+  let rest = Cursor.fold_until c ~limit:100 ~init:0 ~f:(fun n _ _ -> n + 1) in
+  Alcotest.(check int) "remainder resumes where it left off" 30 rest
+
+let test_concurrent_cursor_and_writers () =
+  let env, t = mk () in
+  for i = 0 to 499 do
+    Blink.insert t ~key:(key (2 * i)) ~value:"base"
+  done;
+  ignore (Env.drain env);
+  let writer =
+    Domain.spawn (fun () ->
+        let rng = Rng.create 77L in
+        for _ = 1 to 1_000 do
+          Blink.insert t ~key:(key (Rng.int rng 2_000)) ~value:"w"
+        done)
+  in
+  (* Scan repeatedly while the writer runs. *)
+  for _ = 1 to 5 do
+    let c = Cursor.first t in
+    let prev = ref "" in
+    let rec walk () =
+      match Cursor.next c with
+      | None -> ()
+      | Some (k, _) ->
+          if String.compare k !prev <= 0 then
+            Alcotest.failf "order violated: %s after %s" k !prev;
+          prev := k;
+          walk ()
+    in
+    walk ()
+  done;
+  Domain.join writer;
+  ignore (Env.drain env)
+
+(* Property: cursor scan = range fold = sorted model, for arbitrary
+   insert/delete scripts. *)
+let prop_cursor_equals_range =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (4, map2 (fun k v -> `Insert (k mod 300, v)) small_nat small_nat);
+          (2, map (fun k -> `Delete (k mod 300)) small_nat);
+        ])
+  in
+  Test.make ~name:"cursor = range = model" ~count:25
+    (make Gen.(list_size (int_range 20 250) op_gen))
+    (fun ops ->
+      let env, t = mk () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert (k, v) ->
+              Blink.insert t ~key:(key k) ~value:(string_of_int v);
+              Hashtbl.replace model (key k) (string_of_int v)
+          | `Delete k ->
+              ignore (Blink.delete t (key k));
+              Hashtbl.remove model (key k))
+        ops;
+      ignore (Env.drain env);
+      let via_cursor =
+        let c = Cursor.first t in
+        let rec go acc =
+          match Cursor.next c with None -> List.rev acc | Some kv -> go (kv :: acc)
+        in
+        go []
+      in
+      let via_range =
+        Blink.range t ?low:None ?high:None ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+        |> List.rev
+      in
+      let via_model =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare
+      in
+      via_cursor = via_range && via_range = via_model)
+
+let suites =
+  [
+    ( "cursor",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "full scan" `Quick test_full_scan;
+        Alcotest.test_case "seek" `Quick test_seek;
+        Alcotest.test_case "peek" `Quick test_peek_does_not_advance;
+        Alcotest.test_case "sees new tail" `Quick test_sees_new_tail;
+        Alcotest.test_case "stable under splits" `Quick test_stable_under_splits;
+        Alcotest.test_case "stable under consolidation" `Quick
+          test_stable_under_consolidation;
+        Alcotest.test_case "fold_until" `Quick test_fold_until;
+        Alcotest.test_case "concurrent with writers" `Slow
+          test_concurrent_cursor_and_writers;
+        QCheck_alcotest.to_alcotest prop_cursor_equals_range;
+      ] );
+  ]

@@ -1,0 +1,376 @@
+(* Tests for the hB-tree (multiattribute) engine — section 2.2.3 / Figure 2. *)
+
+module Env = Pitree_env.Env
+module Hb = Pitree_hb.Hb
+module Hkd = Pitree_hb.Hkd
+module Hb_space = Pitree_hb.Hb_space
+module Wellformed = Pitree_core.Wellformed
+module Rng = Pitree_util.Rng
+
+let cfg () =
+  {
+    Env.page_size = 512;
+    pool_capacity = 8192;
+    page_oriented_undo = false;
+    consolidation = false;
+  }
+
+let mk ?(dims = 2) () =
+  let env = Env.create (cfg ()) in
+  (env, Hb.create env ~name:"h" ~dims)
+
+let check_wf t =
+  let report = Hb.verify t in
+  if not (Wellformed.ok report) then
+    Alcotest.failf "hb not well-formed: %a" Wellformed.pp_report report
+
+let pt x y = [| x; y |]
+
+let random_points n seed =
+  let rng = Rng.create seed in
+  Array.init n (fun i ->
+      ignore i;
+      pt (Rng.float rng 1.0) (Rng.float rng 1.0))
+
+(* --- kd-tree unit tests --- *)
+
+let test_kd_codec () =
+  let kd =
+    Hkd.Split
+      {
+        dim = 0;
+        coord = 0.5;
+        left = Hkd.Leaf (Hkd.Child 3);
+        right =
+          Hkd.Split
+            {
+              dim = 1;
+              coord = 0.25;
+              left = Hkd.Leaf Hkd.Here;
+              right = Hkd.Leaf (Hkd.Sibling 9);
+            };
+      }
+  in
+  Alcotest.(check bool) "roundtrip" true (Hkd.decode (Hkd.encode kd) = kd);
+  Alcotest.(check int) "size" 3 (Hkd.size kd);
+  Alcotest.(check bool) "walk left" true (Hkd.walk kd (pt 0.1 0.9) = Hkd.Child 3);
+  Alcotest.(check bool) "walk here" true (Hkd.walk kd (pt 0.7 0.1) = Hkd.Here);
+  Alcotest.(check bool) "walk sibling" true (Hkd.walk kd (pt 0.7 0.7) = Hkd.Sibling 9)
+
+let test_kd_carve_simple () =
+  let region = Hb_space.whole_brick 2 in
+  let b = { Hb_space.low = [| 0.25; 0.25 |]; high = [| 0.5; 0.5 |] } in
+  let kd = Hkd.carve (Hkd.Leaf Hkd.Here) ~region ~brick:b (Hkd.Sibling 7) in
+  Alcotest.(check bool) "inside goes to sibling" true
+    (Hkd.walk kd (pt 0.3 0.3) = Hkd.Sibling 7);
+  Alcotest.(check bool) "outside stays here" true (Hkd.walk kd (pt 0.7 0.7) = Hkd.Here);
+  Alcotest.(check bool) "boundary high excluded" true
+    (Hkd.walk kd (pt 0.5 0.3) = Hkd.Here);
+  (* Leaf regions must still tile the region. *)
+  let leaves = Hkd.leaf_regions kd region in
+  let rng = Rng.create 42L in
+  for _ = 1 to 500 do
+    let p = pt (Rng.float rng 1.0) (Rng.float rng 1.0) in
+    let owners = List.filter (fun (r, _) -> Hb_space.brick_contains r p) leaves in
+    Alcotest.(check int) "exactly one leaf owns each point" 1 (List.length owners)
+  done
+
+let test_kd_carve_clips () =
+  (* Carving a brick across an existing split clips it: the target appears
+     in both subtrees (section 3.2.2). *)
+  let region = Hb_space.whole_brick 2 in
+  let kd0 =
+    Hkd.Split
+      { dim = 0; coord = 0.5; left = Hkd.Leaf (Hkd.Child 1); right = Hkd.Leaf (Hkd.Child 2) }
+  in
+  let b = { Hb_space.low = [| 0.4; 0.4 |]; high = [| 0.6; 0.6 |] } in
+  let kd = Hkd.carve kd0 ~region ~brick:b (Hkd.Child 9) in
+  let count9 =
+    Hkd.leaf_regions kd region
+    |> List.filter (fun (_, tgt) -> tgt = Hkd.Child 9)
+    |> List.length
+  in
+  Alcotest.(check bool) "clipped into both halves" true (count9 >= 2);
+  Alcotest.(check bool) "routes inside" true (Hkd.walk kd (pt 0.45 0.5) = Hkd.Child 9);
+  Alcotest.(check bool) "routes inside right" true (Hkd.walk kd (pt 0.55 0.5) = Hkd.Child 9);
+  Alcotest.(check bool) "old children intact" true
+    (Hkd.walk kd (pt 0.1 0.1) = Hkd.Child 1 && Hkd.walk kd (pt 0.9 0.9) = Hkd.Child 2)
+
+let test_kd_region_of_target () =
+  let region = Hb_space.whole_brick 2 in
+  let b = { Hb_space.low = [| 0.5; 0.0 |]; high = [| 1.0; 0.5 |] } in
+  let kd = Hkd.carve (Hkd.Leaf Hkd.Here) ~region ~brick:b (Hkd.Sibling 4) in
+  match Hkd.region_of_target kd region (Hkd.Sibling 4) with
+  | None -> Alcotest.fail "sibling region not found"
+  | Some r ->
+      Alcotest.(check bool) "region matches" true
+        (Hb_space.brick_contains r (pt 0.7 0.2) && not (Hb_space.brick_contains r (pt 0.2 0.2)))
+
+(* --- engine tests --- *)
+
+let test_insert_find () =
+  let _, t = mk () in
+  Hb.insert t ~point:(pt 0.1 0.2) ~value:"a";
+  Hb.insert t ~point:(pt 0.9 0.8) ~value:"b";
+  Alcotest.(check (option string)) "a" (Some "a") (Hb.find t (pt 0.1 0.2));
+  Alcotest.(check (option string)) "b" (Some "b") (Hb.find t (pt 0.9 0.8));
+  Alcotest.(check (option string)) "miss" None (Hb.find t (pt 0.5 0.5));
+  Hb.insert t ~point:(pt 0.1 0.2) ~value:"a2";
+  Alcotest.(check (option string)) "overwrite" (Some "a2") (Hb.find t (pt 0.1 0.2));
+  Alcotest.(check int) "count" 2 (Hb.count t);
+  check_wf t
+
+let test_dims_checked () =
+  let _, t = mk () in
+  Alcotest.(check bool) "bad dims rejected" true
+    (match Hb.insert t ~point:[| 0.5 |] ~value:"x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_many_points () =
+  let env, t = mk () in
+  let pts = random_points 1200 11L in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  check_wf t;
+  Alcotest.(check int) "count" 1200 (Hb.count t);
+  Array.iteri
+    (fun i p ->
+      match Hb.find t p with
+      | Some v when v = string_of_int i -> ()
+      | _ -> Alcotest.failf "lost point %d" i)
+    pts;
+  let s = Hb.stats t in
+  Alcotest.(check bool) "data splits" true (s.Hb.data_splits > 5);
+  Alcotest.(check bool) "postings" true (s.Hb.postings_completed > 0)
+
+let test_tree_grows () =
+  let env, t = mk () in
+  let pts = random_points 3000 12L in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  check_wf t;
+  let s = Hb.stats t in
+  Alcotest.(check bool) "root split" true (s.Hb.root_splits > 0);
+  Alcotest.(check int) "count" 3000 (Hb.count t)
+
+let test_region_query () =
+  let env, t = mk () in
+  let pts = random_points 800 13L in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  let low = [| 0.25; 0.25 |] and high = [| 0.75; 0.75 |] in
+  let inside p = p.(0) >= 0.25 && p.(0) < 0.75 && p.(1) >= 0.25 && p.(1) < 0.75 in
+  let expected =
+    Array.to_list pts |> List.filter inside |> List.length
+  in
+  let got = Hb.query t ~low ~high ~init:0 ~f:(fun n p _ ->
+      if not (inside p) then Alcotest.fail "query returned outside point";
+      n + 1)
+  in
+  Alcotest.(check int) "region count" expected got
+
+let test_delete () =
+  let env, t = mk () in
+  let pts = random_points 400 14L in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  Array.iteri
+    (fun i p -> if i mod 2 = 0 then Alcotest.(check bool) "deleted" true (Hb.delete t p))
+    pts;
+  Alcotest.(check bool) "absent" false (Hb.delete t (pt 2.0 2.0));
+  Alcotest.(check int) "half left" 200 (Hb.count t);
+  check_wf t
+
+let test_clipping_and_multiparent () =
+  (* Heavy load in 3 dims reliably produces postings whose bricks straddle
+     parent partitions (clipping) and, as index nodes split, multi-parent
+     children. *)
+  let env, t = mk ~dims:3 () in
+  let rng = Rng.create 15L in
+  for i = 0 to 4999 do
+    let p = [| Rng.float rng 1.0; Rng.float rng 1.0; Rng.float rng 1.0 |] in
+    Hb.insert t ~point:p ~value:(string_of_int i)
+  done;
+  ignore (Env.drain env);
+  check_wf t;
+  let s = Hb.stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "clipping occurred (%d)" s.Hb.clipped_postings)
+    true (s.Hb.clipped_postings > 0);
+  Alcotest.(check int) "count" 5000 (Hb.count t)
+
+let test_crash_recovery () =
+  let env, t = mk () in
+  let pts = random_points 700 16L in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  (* Crash with postings pending (queue drained on autocommit, so force
+     some pending state by crashing right after a burst). *)
+  Env.crash env;
+  ignore (Env.recover env);
+  let t =
+    match Hb.open_existing env ~name:"h" with
+    | Some t -> t
+    | None -> Alcotest.fail "hb tree lost"
+  in
+  check_wf t;
+  Array.iteri
+    (fun i p ->
+      match Hb.find t p with
+      | Some v when v = string_of_int i -> ()
+      | _ -> Alcotest.failf "lost point %d after crash" i)
+    pts;
+  (* Keep working after recovery. *)
+  Hb.insert t ~point:(pt 0.123 0.456) ~value:"post-crash";
+  Alcotest.(check (option string)) "post-crash insert" (Some "post-crash")
+    (Hb.find t (pt 0.123 0.456))
+
+let test_lazy_posting_after_crash () =
+  (* Same protocol as the B-link engine: a split whose posting was lost to
+     a crash is completed by later traversals through the sibling marker. *)
+  Pitree_txn.Crash_point.disarm_all ();
+  let env, t = mk () in
+  let mgr = Env.txns env in
+  let txn = Pitree_txn.Txn_mgr.begin_txn mgr Pitree_txn.Txn.User in
+  let pts = random_points 700 17L in
+  Array.iteri
+    (fun i p ->
+      Hb.insert t ~point:p ~value:(string_of_int i);
+      ignore (txn, i))
+    pts;
+  Pitree_txn.Txn_mgr.commit mgr txn;
+  Env.crash env;
+  ignore (Env.recover env);
+  let t = Option.get (Hb.open_existing env ~name:"h") in
+  check_wf t;
+  Array.iteri
+    (fun i p ->
+      match Hb.find t p with
+      | Some v when v = string_of_int i -> ()
+      | _ -> Alcotest.failf "lost point %d" i)
+    pts
+
+(* Property: hB matches a list model for random inserts/deletes/queries. *)
+let prop_hb_model =
+  let open QCheck in
+  Test.make ~name:"hb matches model" ~count:15
+    (make Gen.(pair (int_range 100 400) (int_bound 1000)))
+    (fun (n, seed) ->
+      let env, t = mk () in
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let model = Hashtbl.create 64 in
+      for i = 0 to n - 1 do
+        let p = pt (Rng.float rng 1.0) (Rng.float rng 1.0) in
+        if Rng.int rng 10 < 8 then begin
+          Hb.insert t ~point:p ~value:(string_of_int i);
+          Hashtbl.replace model p (string_of_int i)
+        end
+        else begin
+          let del_tree = Hb.delete t p in
+          let del_model = Hashtbl.mem model p in
+          if del_tree <> del_model then Test.fail_report "delete disagreement";
+          Hashtbl.remove model p
+        end
+      done;
+      ignore (Env.drain env);
+      if not (Wellformed.ok (Hb.verify t)) then Test.fail_report "not well-formed";
+      Hashtbl.iter
+        (fun p v ->
+          match Hb.find t p with
+          | Some v' when v' = v -> ()
+          | _ -> Test.fail_report "lost point")
+        model;
+      Hb.count t = Hashtbl.length model)
+
+let test_empty_node_consolidation () =
+  (* Section 3.3: an emptied data node folds back into its containing
+     sibling — but only when a single parent references it. *)
+  let env = Env.create { (cfg ()) with Env.consolidation = true } in
+  let t = Hb.create env ~name:"h" ~dims:2 in
+  let pts = random_points 1500 21L in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  let nodes_full =
+    (* node count via a full query walk is awkward; use verify's visit
+       count. *)
+    (Hb.verify t).Wellformed.nodes_visited
+  in
+  (* Delete everything; empty nodes schedule consolidations. *)
+  Array.iter (fun p -> ignore (Hb.delete t p)) pts;
+  for _ = 1 to 20 do
+    ignore (Env.drain env)
+  done;
+  check_wf t;
+  Alcotest.(check int) "empty" 0 (Hb.count t);
+  let s = Hb.stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "consolidations ran (%d, skipped %d)" s.Hb.consolidations
+       s.Hb.consolidations_skipped)
+    true
+    (s.Hb.consolidations > 0);
+  let nodes_after = (Hb.verify t).Wellformed.nodes_visited in
+  Alcotest.(check bool)
+    (Printf.sprintf "nodes reclaimed (%d -> %d)" nodes_full nodes_after)
+    true
+    (nodes_after < nodes_full);
+  (* The tree keeps working. *)
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  check_wf t;
+  Alcotest.(check int) "reinsert works" 1500 (Hb.count t)
+
+let test_consolidation_respects_multi_parent () =
+  (* Multi-parent nodes must never be consolidated; we can at least check
+     that a heavy 3-d workload with deletes stays well-formed and that
+     skips were recorded when constraints failed. *)
+  let env = Env.create { (cfg ()) with Env.consolidation = true } in
+  let t = Hb.create env ~name:"h" ~dims:3 in
+  let rng = Rng.create 22L in
+  let pts =
+    Array.init 3000 (fun _ ->
+        [| Rng.float rng 1.0; Rng.float rng 1.0; Rng.float rng 1.0 |])
+  in
+  Array.iteri (fun i p -> Hb.insert t ~point:p ~value:(string_of_int i)) pts;
+  ignore (Env.drain env);
+  Array.iteri (fun i p -> if i mod 2 = 0 then ignore (Hb.delete t p)) pts;
+  for _ = 1 to 10 do
+    ignore (Env.drain env)
+  done;
+  check_wf t;
+  Alcotest.(check int) "half remain" 1500 (Hb.count t)
+
+let suites =
+  [
+    ( "hb.kd",
+      [
+        Alcotest.test_case "codec+walk" `Quick test_kd_codec;
+        Alcotest.test_case "carve simple" `Quick test_kd_carve_simple;
+        Alcotest.test_case "carve clips" `Quick test_kd_carve_clips;
+        Alcotest.test_case "region of target" `Quick test_kd_region_of_target;
+      ] );
+    ( "hb.basic",
+      [
+        Alcotest.test_case "insert/find" `Quick test_insert_find;
+        Alcotest.test_case "dims checked" `Quick test_dims_checked;
+        Alcotest.test_case "many points" `Quick test_many_points;
+        Alcotest.test_case "tree grows" `Quick test_tree_grows;
+        Alcotest.test_case "region query" `Quick test_region_query;
+        Alcotest.test_case "delete" `Quick test_delete;
+      ] );
+    ( "hb.protocol",
+      [
+        Alcotest.test_case "clipping + multi-parent" `Slow
+          test_clipping_and_multiparent;
+        Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+        Alcotest.test_case "lazy posting after crash" `Quick
+          test_lazy_posting_after_crash;
+        QCheck_alcotest.to_alcotest prop_hb_model;
+      ] );
+    ( "hb.consolidation",
+      [
+        Alcotest.test_case "empty-node consolidation" `Quick
+          test_empty_node_consolidation;
+        Alcotest.test_case "multi-parent constraint" `Slow
+          test_consolidation_respects_multi_parent;
+      ] );
+  ]

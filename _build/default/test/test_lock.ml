@@ -1,0 +1,252 @@
+(* Unit tests for pitree.lock: compatibility matrix (incl. move locks),
+   lock manager, waits-for deadlock detection. *)
+
+module Lock_mode = Pitree_lock.Lock_mode
+module Lock_manager = Pitree_lock.Lock_manager
+
+let m = Lock_mode.compatible
+
+let test_matrix_standard () =
+  (* Standard S/X/U/IS/IX relationships. *)
+  Alcotest.(check bool) "S+S" true (m Lock_mode.S Lock_mode.S);
+  Alcotest.(check bool) "S+X" false (m Lock_mode.S Lock_mode.X);
+  Alcotest.(check bool) "X+X" false (m Lock_mode.X Lock_mode.X);
+  Alcotest.(check bool) "U+S" true (m Lock_mode.U Lock_mode.S);
+  Alcotest.(check bool) "S+U" true (m Lock_mode.S Lock_mode.U);
+  Alcotest.(check bool) "U+U" false (m Lock_mode.U Lock_mode.U);
+  Alcotest.(check bool) "IS+IX" true (m Lock_mode.IS Lock_mode.IX);
+  Alcotest.(check bool) "IX+IX" true (m Lock_mode.IX Lock_mode.IX);
+  Alcotest.(check bool) "IX+S" false (m Lock_mode.IX Lock_mode.S)
+
+let test_matrix_move () =
+  (* Section 4.2.2: move locks tolerate readers, conflict with updates. *)
+  Alcotest.(check bool) "Move+S compatible (reads tolerated)" true
+    (m Lock_mode.Move Lock_mode.S);
+  Alcotest.(check bool) "Move+IS compatible" true (m Lock_mode.Move Lock_mode.IS);
+  Alcotest.(check bool) "Move+X conflicts" false (m Lock_mode.Move Lock_mode.X);
+  Alcotest.(check bool) "Move+U conflicts" false (m Lock_mode.Move Lock_mode.U);
+  Alcotest.(check bool) "Move+IX conflicts (updaters blocked)" false
+    (m Lock_mode.Move Lock_mode.IX);
+  Alcotest.(check bool) "Move+Move conflicts" false (m Lock_mode.Move Lock_mode.Move)
+
+let test_matrix_symmetric () =
+  let all = [ Lock_mode.IS; IX; S; U; X; Move ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if m a b <> m b a then
+            Alcotest.failf "asymmetric: %s vs %s" (Lock_mode.to_string a)
+              (Lock_mode.to_string b))
+        all)
+    all
+
+let res k = Lock_manager.Record { tree = 1; key = k }
+let node p = Lock_manager.Node { tree = 1; page = p }
+
+let test_grant_and_conflict () =
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.S;
+  Alcotest.(check bool) "S shares" true
+    (Lock_manager.try_acquire lm ~owner:2 (res "a") Lock_mode.S);
+  Alcotest.(check bool) "X blocked" false
+    (Lock_manager.try_acquire lm ~owner:3 (res "a") Lock_mode.X);
+  Lock_manager.release lm ~owner:1 (res "a");
+  Lock_manager.release lm ~owner:2 (res "a");
+  Alcotest.(check bool) "X after releases" true
+    (Lock_manager.try_acquire lm ~owner:3 (res "a") Lock_mode.X)
+
+let test_reentrant_and_conversion () =
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.S;
+  (* Same mode again: no-op. *)
+  Alcotest.(check bool) "re-grant" true
+    (Lock_manager.try_acquire lm ~owner:1 (res "a") Lock_mode.S);
+  (* Upgrade S->X with no other holders. *)
+  Alcotest.(check bool) "upgrade" true
+    (Lock_manager.try_acquire lm ~owner:1 (res "a") Lock_mode.X);
+  Alcotest.(check (option string)) "held X" (Some "X")
+    (Option.map Lock_mode.to_string (Lock_manager.held lm ~owner:1 (res "a")));
+  (* Downgrade request is absorbed (sup X S = X). *)
+  Alcotest.(check bool) "absorbed" true
+    (Lock_manager.try_acquire lm ~owner:1 (res "a") Lock_mode.S);
+  Alcotest.(check (option string)) "still X" (Some "X")
+    (Option.map Lock_mode.to_string (Lock_manager.held lm ~owner:1 (res "a")))
+
+let test_conversion_blocked_by_others () =
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.S;
+  Lock_manager.acquire lm ~owner:2 (res "a") Lock_mode.S;
+  Alcotest.(check bool) "upgrade blocked by second reader" false
+    (Lock_manager.try_acquire lm ~owner:1 (res "a") Lock_mode.X)
+
+let test_ix_then_move_conversion () =
+  (* The in-transaction split path: IX + Move converts to X. *)
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (node 5) Lock_mode.IX;
+  Alcotest.(check bool) "convert to move" true
+    (Lock_manager.try_acquire lm ~owner:1 (node 5) Lock_mode.Move);
+  Alcotest.(check (option string)) "escalated to X" (Some "X")
+    (Option.map Lock_mode.to_string (Lock_manager.held lm ~owner:1 (node 5)));
+  (* Another updater's IX must now wait. *)
+  Alcotest.(check bool) "other IX blocked" false
+    (Lock_manager.try_acquire lm ~owner:2 (node 5) Lock_mode.IX)
+
+let test_release_all () =
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.X;
+  Lock_manager.acquire lm ~owner:1 (res "b") Lock_mode.S;
+  Lock_manager.acquire lm ~owner:1 (node 2) Lock_mode.IX;
+  Lock_manager.release_all lm ~owner:1;
+  Alcotest.(check bool) "a free" true
+    (Lock_manager.try_acquire lm ~owner:2 (res "a") Lock_mode.X);
+  Alcotest.(check bool) "b free" true
+    (Lock_manager.try_acquire lm ~owner:2 (res "b") Lock_mode.X);
+  Alcotest.(check bool) "node free" true
+    (Lock_manager.try_acquire lm ~owner:2 (node 2) Lock_mode.Move)
+
+let test_blocking_grant () =
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.X;
+  let granted = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Lock_manager.acquire lm ~owner:2 (res "a") Lock_mode.S;
+        Atomic.set granted true)
+      ()
+  in
+  Thread.delay 0.02;
+  Alcotest.(check bool) "waiting" false (Atomic.get granted);
+  Lock_manager.release lm ~owner:1 (res "a");
+  Thread.join th;
+  Alcotest.(check bool) "granted after release" true (Atomic.get granted);
+  let s = Lock_manager.stats lm in
+  Alcotest.(check bool) "wait counted" true (s.Lock_manager.waits >= 1)
+
+let test_fifo_no_starvation () =
+  (* A waiting X must not be starved by later S requests. *)
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.S;
+  let x_granted = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Lock_manager.acquire lm ~owner:2 (res "a") Lock_mode.X;
+        Atomic.set x_granted true)
+      ()
+  in
+  Thread.delay 0.02;
+  (* A later S (fresh request) must queue behind the waiting X. *)
+  Alcotest.(check bool) "later S queues" false
+    (Lock_manager.try_acquire lm ~owner:3 (res "a") Lock_mode.S);
+  Lock_manager.release lm ~owner:1 (res "a");
+  Thread.join th;
+  Alcotest.(check bool) "X got it" true (Atomic.get x_granted);
+  Lock_manager.release lm ~owner:2 (res "a")
+
+let test_deadlock_detection () =
+  let lm = Lock_manager.create () in
+  Lock_manager.acquire lm ~owner:1 (res "a") Lock_mode.X;
+  Lock_manager.acquire lm ~owner:2 (res "b") Lock_mode.X;
+  (* owner 2 waits for a (held by 1). *)
+  let t2 =
+    Thread.create (fun () ->
+        try Lock_manager.acquire lm ~owner:2 (res "a") Lock_mode.X
+        with Lock_manager.Deadlock _ -> ())
+      ()
+  in
+  Thread.delay 0.02;
+  (* owner 1 requesting b closes the cycle: must raise, not hang. *)
+  let deadlocked =
+    match Lock_manager.acquire lm ~owner:1 (res "b") Lock_mode.X with
+    | () -> false
+    | exception Lock_manager.Deadlock { owner } -> owner = 1
+  in
+  Alcotest.(check bool) "deadlock detected on requester" true deadlocked;
+  (* Clean up: release everything so the blocked thread can finish. *)
+  Lock_manager.release_all lm ~owner:1;
+  Thread.join t2;
+  Lock_manager.release_all lm ~owner:2;
+  let s = Lock_manager.stats lm in
+  Alcotest.(check bool) "deadlock counted" true (s.Lock_manager.deadlocks >= 1)
+
+let test_move_lock_protocol () =
+  (* The end-to-end section 4.2.2 story at the lock-manager level: a mover
+     waits for updaters, tolerates readers, blocks new updaters. *)
+  let lm = Lock_manager.create () in
+  (* Updater holds IX (it updated a record in the node). *)
+  Lock_manager.acquire lm ~owner:10 (node 7) Lock_mode.IX;
+  (* Mover cannot take the move lock yet. *)
+  Alcotest.(check bool) "mover waits for updater" false
+    (Lock_manager.try_acquire lm ~owner:20 (node 7) Lock_mode.Move);
+  Lock_manager.release_all lm ~owner:10;
+  Alcotest.(check bool) "mover proceeds" true
+    (Lock_manager.try_acquire lm ~owner:20 (node 7) Lock_mode.Move);
+  (* Readers tolerated during the move. *)
+  Alcotest.(check bool) "reader tolerated" true
+    (Lock_manager.try_acquire lm ~owner:30 (node 7) Lock_mode.S);
+  (* New updaters blocked during the move. *)
+  Alcotest.(check bool) "new updater blocked" false
+    (Lock_manager.try_acquire lm ~owner:40 (node 7) Lock_mode.IX)
+
+(* Property: random acquire/release sequences never grant two incompatible
+   holds simultaneously. *)
+let prop_no_incompatible_grants =
+  let open QCheck in
+  let mode_gen =
+    Gen.oneofl [ Lock_mode.IS; Lock_mode.IX; Lock_mode.S; Lock_mode.U; Lock_mode.X; Lock_mode.Move ]
+  in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          map3 (fun o r md -> `Try (o mod 5, r mod 3, md)) small_nat small_nat mode_gen;
+          map2 (fun o r -> `Release (o mod 5, r mod 3)) small_nat small_nat;
+        ])
+  in
+  Test.make ~name:"lock manager grants stay compatible" ~count:200
+    (make Gen.(list_size (int_range 10 80) op_gen))
+    (fun ops ->
+      let lm = Lock_manager.create () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Try (o, r, md) -> ignore (Lock_manager.try_acquire lm ~owner:o (res (string_of_int r)) md)
+          | `Release (o, r) -> Lock_manager.release lm ~owner:o (res (string_of_int r)))
+        ops;
+      for r = 0 to 2 do
+        let holders = Lock_manager.holders lm (res (string_of_int r)) in
+        List.iteri
+          (fun i (o1, m1) ->
+            List.iteri
+              (fun j (o2, m2) ->
+                if i < j && o1 <> o2 && not (Lock_mode.compatible m1 m2) then ok := false)
+              holders)
+          holders
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "lock.matrix",
+      [
+        Alcotest.test_case "standard modes" `Quick test_matrix_standard;
+        Alcotest.test_case "move lock row" `Quick test_matrix_move;
+        Alcotest.test_case "symmetric" `Quick test_matrix_symmetric;
+      ] );
+    ( "lock.manager",
+      [
+        Alcotest.test_case "grant and conflict" `Quick test_grant_and_conflict;
+        Alcotest.test_case "re-entrant + conversion" `Quick test_reentrant_and_conversion;
+        Alcotest.test_case "conversion blocked" `Quick test_conversion_blocked_by_others;
+        Alcotest.test_case "IX->Move conversion" `Quick test_ix_then_move_conversion;
+        Alcotest.test_case "release all" `Quick test_release_all;
+        Alcotest.test_case "blocking grant" `Quick test_blocking_grant;
+        Alcotest.test_case "FIFO no starvation" `Quick test_fifo_no_starvation;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "move lock protocol" `Quick test_move_lock_protocol;
+        QCheck_alcotest.to_alcotest prop_no_incompatible_grants;
+      ] );
+  ]

@@ -1,0 +1,146 @@
+(* Move-lock granularity (section 4.2.2): the node-granule realization
+   blocks a split behind ANY updater of the node; the record-set
+   realization only waits for updaters of records actually being moved. *)
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Wellformed = Pitree_core.Wellformed
+
+let cfg () =
+  {
+    Env.page_size = 256;
+    pool_capacity = 4096;
+    page_oriented_undo = true;
+    consolidation = true;
+  }
+
+(* Build a tree of height >= 2 and return it with one leaf nearly full:
+   keys key000000.. ascending, 24-byte values. Returns the max key index
+   loaded. *)
+let build () =
+  let env = Env.create (cfg ()) in
+  let t = Blink.create env ~name:"t" in
+  let i = ref 0 in
+  while Blink.height t < 2 do
+    Blink.insert t ~key:(Printf.sprintf "key%06d" !i) ~value:(String.make 24 'v');
+    incr i
+  done;
+  ignore (Env.drain env);
+  (env, t, !i)
+
+let test_record_granularity_allows_unrelated_split () =
+  let env, t, _ = build () in
+  Blink.set_move_granularity t `Record;
+  (* T1 updates the SMALLEST key of the leaf at "key000001..." — a record
+     that stays in the lower half of any split. *)
+  let mgr = Env.txns env in
+  let t1 = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn:t1 t ~key:"key000000" ~value:(String.make 24 'w');
+  (* Concurrent inserts of large upper-half keys force a split of that
+     leaf. Under `Record the mover only U-locks the moved (upper) records,
+     so it must NOT wait for T1. *)
+  let done_ = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        for j = 0 to 5 do
+          Blink.insert t
+            ~key:(Printf.sprintf "key000000z%d" j)
+            ~value:(String.make 48 'z')
+        done;
+        Atomic.set done_ true)
+  in
+  (* Give it a moment; it must complete while T1 is still open. *)
+  let rec wait n = if n > 0 && not (Atomic.get done_) then (Thread.delay 0.02; wait (n-1)) in
+  wait 100;
+  Alcotest.(check bool) "split proceeded despite open updater of lower half"
+    true (Atomic.get done_);
+  Txn_mgr.commit mgr t1;
+  Domain.join d;
+  ignore (Env.drain env);
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t))
+
+let test_node_granularity_blocks_same_case () =
+  let env, t, _ = build () in
+  Blink.set_move_granularity t `Node;
+  let mgr = Env.txns env in
+  let t1 = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn:t1 t ~key:"key000000" ~value:(String.make 24 'w');
+  let done_ = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        for j = 0 to 5 do
+          Blink.insert t
+            ~key:(Printf.sprintf "key000000z%d" j)
+            ~value:(String.make 48 'z')
+        done;
+        Atomic.set done_ true)
+  in
+  Thread.delay 0.08;
+  Alcotest.(check bool) "node-granule lock blocks the split behind T1" false
+    (Atomic.get done_);
+  Txn_mgr.commit mgr t1;
+  Domain.join d;
+  Alcotest.(check bool) "completed after commit" true (Atomic.get done_);
+  ignore (Env.drain env);
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t))
+
+let test_record_granularity_still_waits_for_moved_records () =
+  let env, t, _ = build () in
+  Blink.set_move_granularity t `Record;
+  let mgr = Env.txns env in
+  (* T1 updates a key that WILL be in the moved (upper) half: make it the
+     largest key of the target leaf ("...zz" sorts after the splitter's
+     "...z0".."z5"), and the top entry always moves in a split. *)
+  let t1 = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn:t1 t ~key:"key000000zz" ~value:(String.make 24 'w');
+  let done_ = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        for j = 0 to 5 do
+          Blink.insert t
+            ~key:(Printf.sprintf "key000000z%d" j)
+            ~value:(String.make 48 'z')
+        done;
+        Atomic.set done_ true)
+  in
+  Thread.delay 0.08;
+  Alcotest.(check bool) "split waits for updater of a moved record" false
+    (Atomic.get done_);
+  Txn_mgr.commit mgr t1;
+  Domain.join d;
+  Alcotest.(check bool) "completed after commit" true (Atomic.get done_);
+  ignore (Env.drain env);
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t));
+  Alcotest.(check (option string)) "all records correct" (Some (String.make 24 'w'))
+    (Blink.find t "key000000zz")
+
+let test_record_granularity_correctness_under_load () =
+  let env, t, _ = build () in
+  Blink.set_move_granularity t `Record;
+  for i = 0 to 1_499 do
+    Blink.insert t ~key:(Printf.sprintf "key%06d" i) ~value:(Printf.sprintf "v%d" i)
+  done;
+  ignore (Env.drain env);
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t));
+  for i = 0 to 1_499 do
+    match Blink.find t (Printf.sprintf "key%06d" i) with
+    | Some v when v = Printf.sprintf "v%d" i -> ()
+    | _ -> Alcotest.failf "lost key%06d" i
+  done
+
+let suites =
+  [
+    ( "movelock.granularity",
+      [
+        Alcotest.test_case "record locks allow unrelated split" `Slow
+          test_record_granularity_allows_unrelated_split;
+        Alcotest.test_case "node lock blocks same case" `Slow
+          test_node_granularity_blocks_same_case;
+        Alcotest.test_case "record locks still protect moved records" `Slow
+          test_record_granularity_still_waits_for_moved_records;
+        Alcotest.test_case "correctness under load" `Quick
+          test_record_granularity_correctness_under_load;
+      ] );
+  ]

@@ -1,0 +1,288 @@
+(* Tests for pitree.storage: slotted pages, disks, buffer pool. *)
+
+module Page = Pitree_storage.Page
+module Disk = Pitree_storage.Disk
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Latch = Pitree_sync.Latch
+
+let mk_page () = Page.create ~size:512 ~id:7 ~kind:Page.Data ~level:0
+
+let test_page_fresh () =
+  let p = mk_page () in
+  Alcotest.(check int) "id" 7 (Page.id p);
+  Alcotest.(check int) "level" 0 (Page.level p);
+  Alcotest.(check int) "slots" 0 (Page.slot_count p);
+  Alcotest.(check int) "lsn" 0 (Page.lsn p);
+  Alcotest.(check int) "side nil" Page.nil (Page.side_ptr p)
+
+let test_page_insert_get () =
+  let p = mk_page () in
+  Page.insert p 0 "bbb";
+  Page.insert p 0 "aaa";
+  Page.insert p 2 "ccc";
+  Alcotest.(check int) "count" 3 (Page.slot_count p);
+  Alcotest.(check string) "slot0" "aaa" (Page.get p 0);
+  Alcotest.(check string) "slot1" "bbb" (Page.get p 1);
+  Alcotest.(check string) "slot2" "ccc" (Page.get p 2)
+
+let test_page_delete () =
+  let p = mk_page () in
+  List.iteri (fun i c -> Page.insert p i c) [ "a"; "b"; "c" ];
+  let removed = Page.delete p 1 in
+  Alcotest.(check string) "removed" "b" removed;
+  Alcotest.(check int) "count" 2 (Page.slot_count p);
+  Alcotest.(check string) "shifted" "c" (Page.get p 1)
+
+let test_page_replace () =
+  let p = mk_page () in
+  Page.insert p 0 "short";
+  Page.replace p 0 "muchlongercell";
+  Alcotest.(check string) "grown" "muchlongercell" (Page.get p 0);
+  Page.replace p 0 "s";
+  Alcotest.(check string) "shrunk" "s" (Page.get p 0)
+
+let test_page_full () =
+  let p = mk_page () in
+  Alcotest.check_raises "too big" Page.Page_full (fun () ->
+      Page.insert p 0 (String.make 600 'x'))
+
+let test_page_fill_and_compact () =
+  let p = mk_page () in
+  (* Fill with 20-byte cells, delete every other one, then insert a cell
+     that only fits after compaction. *)
+  let cell i = Printf.sprintf "%020d" i in
+  let n = ref 0 in
+  (try
+     while true do
+       Page.insert p (Page.slot_count p) (cell !n);
+       incr n
+     done
+   with Page.Page_full -> ());
+  Alcotest.(check bool) "filled several" true (!n > 10);
+  let before = Page.slot_count p in
+  for i = before - 1 downto 0 do
+    if i mod 2 = 0 then ignore (Page.delete p i)
+  done;
+  let big = String.make 60 'y' in
+  Page.insert p 0 big;
+  Alcotest.(check string) "compaction made room" big (Page.get p 0)
+
+let test_page_of_bytes_roundtrip () =
+  let p = mk_page () in
+  Page.insert p 0 "persist";
+  Page.set_side_ptr p 33;
+  Page.set_lsn p 99;
+  let copy = Page.of_bytes ~id:7 (Bytes.copy (Page.raw p)) in
+  Alcotest.(check string) "cell" "persist" (Page.get copy 0);
+  Alcotest.(check int) "side" 33 (Page.side_ptr copy);
+  Alcotest.(check int) "lsn" 99 (Page.lsn copy)
+
+let test_page_bad_magic () =
+  Alcotest.(check bool) "bad magic raises" true
+    (match Page.of_bytes ~id:1 (Bytes.make 512 '\000') with
+    | exception Pitree_util.Codec.Corrupt _ -> true
+    | _ -> false)
+
+let test_page_bounds () =
+  let p = mk_page () in
+  Alcotest.(check bool) "get oob" true
+    (match Page.get p 0 with exception Invalid_argument _ -> true | _ -> false);
+  Alcotest.(check bool) "insert oob" true
+    (match Page.insert p 1 "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Property: a page behaves like a list of cells under random
+   insert/delete/replace. *)
+let prop_page_model =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (4, map2 (fun i s -> `Insert (i, s)) small_nat (string_size (int_range 1 20)));
+          (2, map (fun i -> `Delete i) small_nat);
+          (2, map2 (fun i s -> `Replace (i, s)) small_nat (string_size (int_range 1 20)));
+        ])
+  in
+  Test.make ~name:"page = list model" ~count:300
+    (make Gen.(list_size (int_range 0 60) op_gen))
+    (fun ops ->
+      let p = Page.create ~size:2048 ~id:1 ~kind:Page.Data ~level:0 in
+      let model = ref [] in
+      let apply op =
+        match op with
+        | `Insert (i, s) ->
+            let n = List.length !model in
+            let i = if n = 0 then 0 else i mod (n + 1) in
+            (match Page.insert p i s with
+            | () ->
+                let before = List.filteri (fun j _ -> j < i) !model in
+                let after = List.filteri (fun j _ -> j >= i) !model in
+                model := before @ (s :: after)
+            | exception Page.Page_full -> ())
+        | `Delete i ->
+            let n = List.length !model in
+            if n > 0 then begin
+              let i = i mod n in
+              ignore (Page.delete p i);
+              model := List.filteri (fun j _ -> j <> i) !model
+            end
+        | `Replace (i, s) ->
+            let n = List.length !model in
+            if n > 0 then begin
+              let i = i mod n in
+              match Page.replace p i s with
+              | () -> model := List.mapi (fun j old -> if j = i then s else old) !model
+              | exception Page.Page_full -> ()
+            end
+      in
+      List.iter apply ops;
+      let actual = Page.fold p ~init:[] ~f:(fun acc _ c -> c :: acc) in
+      List.rev actual = !model)
+
+let test_mem_disk () =
+  let d = Disk.in_memory ~page_size:128 in
+  let buf = Bytes.make 128 'a' in
+  d.Disk.write 3 buf;
+  let out = Bytes.make 128 '\000' in
+  d.Disk.read 3 out;
+  Alcotest.(check bytes) "roundtrip" buf out;
+  Alcotest.(check bool) "missing page" true
+    (match d.Disk.read 9 out with exception Not_found -> true | _ -> false);
+  Alcotest.(check int) "write count" 1 (d.Disk.write_count ())
+
+let test_file_disk () =
+  let path = Filename.temp_file "pitree" ".db" in
+  let d = Disk.file ~page_size:256 ~path in
+  let mk c =
+    let p = Page.create ~size:256 ~id:2 ~kind:Page.Data ~level:0 in
+    Page.insert p 0 (String.make 5 c);
+    Page.raw p
+  in
+  d.Disk.write 2 (mk 'q');
+  d.Disk.write 5 (mk 'r');
+  d.Disk.sync ();
+  d.Disk.close ();
+  (* Reopen and read back. *)
+  let d2 = Disk.file ~page_size:256 ~path in
+  let out = Bytes.make 256 '\000' in
+  d2.Disk.read 5 out;
+  let p = Page.of_bytes ~id:5 out in
+  Alcotest.(check string) "cell from file" "rrrrr" (Page.get p 0);
+  Alcotest.(check bool) "hole is missing" true
+    (match d2.Disk.read 3 out with exception Not_found -> true | _ -> false);
+  d2.Disk.close ();
+  Sys.remove path
+
+let mk_pool ?(capacity = 8) ?(wal_flush = fun _ -> ()) () =
+  let disk = Disk.in_memory ~page_size:256 in
+  (disk, Buffer_pool.create ~capacity ~disk ~wal_flush ())
+
+let write_page pool pid content =
+  let fr = Buffer_pool.pin_new pool pid in
+  let fresh = Page.create ~size:256 ~id:pid ~kind:Page.Data ~level:0 in
+  Bytes.blit (Page.raw fresh) 0 (Page.raw fr.Buffer_pool.page) 0 256;
+  Page.insert fr.Buffer_pool.page 0 content;
+  Buffer_pool.mark_dirty fr;
+  Buffer_pool.unpin pool fr;
+  fr
+
+let test_pool_pin_hit () =
+  let _, pool = mk_pool () in
+  ignore (write_page pool 2 "x");
+  let fr = Buffer_pool.pin pool 2 in
+  Alcotest.(check string) "cached content" "x" (Page.get fr.Buffer_pool.page 0);
+  Buffer_pool.unpin pool fr;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one miss (initial pin_new)" 1 s.Buffer_pool.misses;
+  Alcotest.(check int) "one hit" 1 s.Buffer_pool.hits
+
+let test_pool_eviction_writes_back () =
+  let disk, pool = mk_pool ~capacity:8 () in
+  for pid = 2 to 20 do
+    ignore (write_page pool pid (Printf.sprintf "p%d" pid))
+  done;
+  (* Early pages were evicted; they must be readable from disk again. *)
+  let fr = Buffer_pool.pin pool 2 in
+  Alcotest.(check string) "evicted page reloaded" "p2" (Page.get fr.Buffer_pool.page 0);
+  Buffer_pool.unpin pool fr;
+  Alcotest.(check bool) "disk saw writes" true (disk.Disk.write_count () > 0);
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check bool) "evictions happened" true (s.Buffer_pool.evictions > 0)
+
+let test_pool_exhausted () =
+  let _, pool = mk_pool ~capacity:8 () in
+  let frames = List.init 8 (fun i -> Buffer_pool.pin_new pool (i + 2)) in
+  Alcotest.check_raises "all pinned" Buffer_pool.Pool_exhausted (fun () ->
+      ignore (Buffer_pool.pin_new pool 100));
+  List.iter (Buffer_pool.unpin pool) frames
+
+let test_pool_wal_barrier () =
+  (* Dirty pages must trigger wal_flush(page lsn) before reaching disk. *)
+  let flushed = ref (-1) in
+  let disk = Disk.in_memory ~page_size:256 in
+  let pool =
+    Buffer_pool.create ~capacity:8 ~disk ~wal_flush:(fun lsn -> flushed := lsn) ()
+  in
+  let fr = Buffer_pool.pin_new pool 2 in
+  let fresh = Page.create ~size:256 ~id:2 ~kind:Page.Data ~level:0 in
+  Bytes.blit (Page.raw fresh) 0 (Page.raw fr.Buffer_pool.page) 0 256;
+  Page.set_lsn fr.Buffer_pool.page 77;
+  Buffer_pool.mark_dirty fr;
+  Buffer_pool.flush_page pool fr;
+  Buffer_pool.unpin pool fr;
+  Alcotest.(check int) "wal flushed to page lsn" 77 !flushed
+
+let test_pool_crash_loses_unflushed () =
+  let disk, pool = mk_pool ~capacity:64 () in
+  ignore (write_page pool 2 "will-be-lost");
+  Buffer_pool.crash pool;
+  let out = Bytes.make 256 '\000' in
+  Alcotest.(check bool) "never reached disk" true
+    (match disk.Disk.read 2 out with exception Not_found -> true | _ -> false);
+  Alcotest.(check bool) "pool dead" true
+    (match Buffer_pool.pin pool 2 with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_pool_flush_all_persists () =
+  let disk, pool = mk_pool ~capacity:64 () in
+  ignore (write_page pool 2 "durable");
+  Buffer_pool.flush_all pool;
+  Buffer_pool.crash pool;
+  let pool2 = Buffer_pool.create ~capacity:8 ~disk ~wal_flush:(fun _ -> ()) () in
+  let fr = Buffer_pool.pin pool2 2 in
+  Alcotest.(check string) "survived crash" "durable" (Page.get fr.Buffer_pool.page 0);
+  Buffer_pool.unpin pool2 fr
+
+let suites =
+  [
+    ( "storage.page",
+      [
+        Alcotest.test_case "fresh" `Quick test_page_fresh;
+        Alcotest.test_case "insert/get" `Quick test_page_insert_get;
+        Alcotest.test_case "delete" `Quick test_page_delete;
+        Alcotest.test_case "replace" `Quick test_page_replace;
+        Alcotest.test_case "page full" `Quick test_page_full;
+        Alcotest.test_case "fill and compact" `Quick test_page_fill_and_compact;
+        Alcotest.test_case "bytes roundtrip" `Quick test_page_of_bytes_roundtrip;
+        Alcotest.test_case "bad magic" `Quick test_page_bad_magic;
+        Alcotest.test_case "bounds" `Quick test_page_bounds;
+        QCheck_alcotest.to_alcotest prop_page_model;
+      ] );
+    ( "storage.disk",
+      [
+        Alcotest.test_case "in-memory" `Quick test_mem_disk;
+        Alcotest.test_case "file-backed" `Quick test_file_disk;
+      ] );
+    ( "storage.pool",
+      [
+        Alcotest.test_case "pin hit" `Quick test_pool_pin_hit;
+        Alcotest.test_case "eviction writes back" `Quick test_pool_eviction_writes_back;
+        Alcotest.test_case "exhaustion" `Quick test_pool_exhausted;
+        Alcotest.test_case "wal barrier" `Quick test_pool_wal_barrier;
+        Alcotest.test_case "crash loses unflushed" `Quick test_pool_crash_loses_unflushed;
+        Alcotest.test_case "flush_all persists" `Quick test_pool_flush_all_persists;
+      ] );
+  ]

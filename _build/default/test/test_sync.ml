@@ -1,0 +1,185 @@
+(* Tests for pitree.sync: S/U/X latches and the latch-order checker. *)
+
+module Latch = Pitree_sync.Latch
+module Latch_order = Pitree_sync.Latch_order
+
+let test_s_shared () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.S;
+  Alcotest.(check bool) "second S granted" true (Latch.try_acquire l Latch.S);
+  Alcotest.(check bool) "X blocked by readers" false (Latch.try_acquire l Latch.X);
+  Latch.release l Latch.S;
+  Latch.release l Latch.S;
+  Alcotest.(check bool) "X after drain" true (Latch.try_acquire l Latch.X);
+  Latch.release l Latch.X
+
+let test_u_mode () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.U;
+  Alcotest.(check bool) "S compatible with U" true (Latch.try_acquire l Latch.S);
+  Alcotest.(check bool) "second U blocked" false (Latch.try_acquire l Latch.U);
+  Alcotest.(check bool) "X blocked" false (Latch.try_acquire l Latch.X);
+  Latch.release l Latch.S;
+  Latch.release l Latch.U
+
+let test_x_exclusive () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.X;
+  Alcotest.(check bool) "S blocked" false (Latch.try_acquire l Latch.S);
+  Alcotest.(check bool) "U blocked" false (Latch.try_acquire l Latch.U);
+  Alcotest.(check bool) "X blocked" false (Latch.try_acquire l Latch.X);
+  Latch.release l Latch.X
+
+let test_promote_immediate () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.U;
+  Latch.promote l;
+  Alcotest.(check bool) "now exclusive" false (Latch.try_acquire l Latch.S);
+  Latch.release l Latch.X
+
+let test_promote_waits_for_readers () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.U;
+  Latch.acquire l Latch.S;
+  let promoted = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Latch.promote l;
+        Atomic.set promoted true;
+        Latch.release l Latch.X)
+      ()
+  in
+  Thread.delay 0.02;
+  Alcotest.(check bool) "promotion blocked by reader" false (Atomic.get promoted);
+  (* Promotion pending blocks NEW readers (no starvation). *)
+  Alcotest.(check bool) "new S blocked during promotion" false
+    (Latch.try_acquire l Latch.S);
+  Latch.release l Latch.S;
+  Thread.join th;
+  Alcotest.(check bool) "promoted after reader left" true (Atomic.get promoted)
+
+let test_promote_without_u () =
+  let l = Latch.create () in
+  Alcotest.check_raises "promote without U"
+    (Invalid_argument "Latch.promote: caller does not hold a U latch")
+    (fun () -> Latch.promote l)
+
+let test_demote () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.X;
+  Latch.demote l;
+  Alcotest.(check bool) "readers allowed after demote" true
+    (Latch.try_acquire l Latch.S);
+  Latch.release l Latch.S;
+  Latch.release l Latch.U
+
+let test_release_unheld () =
+  let l = Latch.create () in
+  Alcotest.check_raises "bad release" (Invalid_argument "Latch.release: no S hold")
+    (fun () -> Latch.release l Latch.S)
+
+let test_blocking_acquire () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.X;
+  let got = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Latch.acquire l Latch.S;
+        Atomic.set got true;
+        Latch.release l Latch.S)
+      ()
+  in
+  Thread.delay 0.02;
+  Alcotest.(check bool) "still blocked" false (Atomic.get got);
+  Latch.release l Latch.X;
+  Thread.join th;
+  Alcotest.(check bool) "granted after release" true (Atomic.get got)
+
+let test_stats () =
+  let l = Latch.create () in
+  Latch.reset_stats l;
+  Latch.acquire l Latch.X;
+  Latch.release l Latch.X;
+  Latch.acquire l Latch.S;
+  Latch.release l Latch.S;
+  let s = Latch.stats l in
+  Alcotest.(check int) "acquisitions" 2 s.Latch.acquisitions;
+  Alcotest.(check bool) "hold time recorded" true (s.Latch.hold_ns >= 0)
+
+let test_mutual_exclusion_stress () =
+  (* Many threads incrementing a counter under X latches must not lose
+     updates. *)
+  let l = Latch.create () in
+  let counter = ref 0 in
+  let per_thread = 2000 and threads = 8 in
+  let worker () =
+    for _ = 1 to per_thread do
+      Latch.acquire l Latch.X;
+      counter := !counter + 1;
+      Latch.release l Latch.X
+    done
+  in
+  let ths = List.init threads (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join ths;
+  Alcotest.(check int) "no lost updates" (threads * per_thread) !counter
+
+let test_latch_order_checker () =
+  Latch_order.enable true;
+  Latch_order.reset ();
+  (* Correct order: rank 0 then rank 1. *)
+  Latch_order.acquired 0;
+  Latch_order.acquired 1;
+  Latch_order.released 1;
+  Latch_order.released 0;
+  Alcotest.(check int) "no violations" 0 (Latch_order.violations ());
+  (* Wrong order: child (rank 2) then parent (rank 1). *)
+  Latch_order.acquired 2;
+  Latch_order.acquired 1;
+  Alcotest.(check int) "violation detected" 1 (Latch_order.violations ());
+  Latch_order.released 1;
+  Latch_order.released 2;
+  (* Promotion while holding a higher-ordered resource violates 4.1.1. *)
+  Latch_order.reset ();
+  Latch_order.acquired 1;
+  Latch_order.acquired 5;
+  Latch_order.promoting 1;
+  Alcotest.(check int) "promotion violation" 1 (Latch_order.violations ());
+  Latch_order.released 5;
+  Latch_order.released 1;
+  Latch_order.enable false;
+  Latch_order.reset ()
+
+let test_rank_of_level () =
+  (* Root (highest level) must rank before (less than) leaves. *)
+  let root = Latch_order.rank_of_level ~root_level:3 3 in
+  let leaf = Latch_order.rank_of_level ~root_level:3 0 in
+  Alcotest.(check bool) "root first" true (root < leaf);
+  Alcotest.(check bool) "space map last" true
+    (Latch_order.space_map_rank > leaf)
+
+let suites =
+  [
+    ( "sync.latch",
+      [
+        Alcotest.test_case "S shared" `Quick test_s_shared;
+        Alcotest.test_case "U mode" `Quick test_u_mode;
+        Alcotest.test_case "X exclusive" `Quick test_x_exclusive;
+        Alcotest.test_case "promote immediate" `Quick test_promote_immediate;
+        Alcotest.test_case "promote waits for readers" `Quick
+          test_promote_waits_for_readers;
+        Alcotest.test_case "promote without U" `Quick test_promote_without_u;
+        Alcotest.test_case "demote" `Quick test_demote;
+        Alcotest.test_case "release unheld" `Quick test_release_unheld;
+        Alcotest.test_case "blocking acquire" `Quick test_blocking_acquire;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "mutual exclusion stress" `Slow
+          test_mutual_exclusion_stress;
+      ] );
+    ( "sync.latch_order",
+      [
+        Alcotest.test_case "order checker" `Quick test_latch_order_checker;
+        Alcotest.test_case "rank of level" `Quick test_rank_of_level;
+      ] );
+  ]

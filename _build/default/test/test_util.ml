@@ -1,0 +1,213 @@
+(* Tests for pitree.util: PRNG, Zipf, histogram, codec. *)
+
+module Rng = Pitree_util.Rng
+module Zipf = Pitree_util.Zipf
+module Histogram = Pitree_util.Histogram
+module Codec = Pitree_util.Codec
+module Bits = Pitree_util.Bits
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let f = Rng.float r 3.5 in
+    if f < 0.0 || f >= 3.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1L in
+  let b = Rng.split a in
+  let xs = List.init 32 (fun _ -> Rng.int64 a) in
+  let ys = List.init 32 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_uniformity () =
+  let r = Rng.create 99L in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d wildly off: %d vs %d" i c expected)
+    counts
+
+let test_shuffle_permutes () =
+  let r = Rng.create 3L in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let test_zipf_uniform_theta0 () =
+  let z = Zipf.create ~n:100 ~theta:0.0 in
+  let r = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let v = Zipf.sample z r in
+    if v < 0 || v >= 100 then Alcotest.failf "zipf out of range: %d" v
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let r = Rng.create 6L in
+  let hot = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Zipf.sample z r < 10 then incr hot
+  done;
+  (* With theta=0.99 the top-10 of 1000 ranks should absorb far more than
+     the uniform 1%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "top-10 ranks hot (%d/%d)" !hot n)
+    true
+    (float_of_int !hot /. float_of_int n > 0.2)
+
+let test_zipf_bounds_high_skew () =
+  let z = Zipf.create ~n:10 ~theta:1.2 in
+  let r = Rng.create 11L in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z r in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 4; 8; 1000 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "total" 1015 (Histogram.total h);
+  Alcotest.(check int) "max" 1000 (Histogram.max_value h);
+  Alcotest.(check bool) "mean" true (abs_float (Histogram.mean h -. 203.0) < 0.01)
+
+let test_histogram_percentile () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.record h i
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  Alcotest.(check bool) (Printf.sprintf "p50=%d in [256,1024]" p50) true (p50 >= 256 && p50 <= 1024);
+  Alcotest.(check bool) (Printf.sprintf "p99=%d >= p50" p99) true (p99 >= p50)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 5;
+  Histogram.record b 500;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Histogram.count m);
+  Alcotest.(check int) "merged total" 505 (Histogram.total m);
+  Alcotest.(check int) "a unchanged" 1 (Histogram.count a)
+
+let test_codec_roundtrip () =
+  let b = Buffer.create 64 in
+  Codec.put_u8 b 200;
+  Codec.put_u16 b 40000;
+  Codec.put_u32 b 3_000_000_000;
+  Codec.put_i64 b (-42L);
+  Codec.put_int b 123456789;
+  Codec.put_bytes b "hello \x00 world";
+  Codec.put_float b 3.14159;
+  let r = Codec.reader (Buffer.contents b) in
+  Alcotest.(check int) "u8" 200 (Codec.get_u8 r);
+  Alcotest.(check int) "u16" 40000 (Codec.get_u16 r);
+  Alcotest.(check int) "u32" 3_000_000_000 (Codec.get_u32 r);
+  Alcotest.(check int64) "i64" (-42L) (Codec.get_i64 r);
+  Alcotest.(check int) "int" 123456789 (Codec.get_int r);
+  Alcotest.(check string) "bytes" "hello \x00 world" (Codec.get_bytes r);
+  Alcotest.(check (float 0.000001)) "float" 3.14159 (Codec.get_float r);
+  Alcotest.(check int) "consumed all" 0 (Codec.remaining r)
+
+let test_codec_short_read () =
+  let r = Codec.reader "ab" in
+  Alcotest.check_raises "short" (Codec.Corrupt "short read: need 4 at 0, have 2")
+    (fun () -> ignore (Codec.get_u32 r))
+
+let test_codec_bytes_inplace () =
+  let b = Bytes.make 16 '\000' in
+  Codec.set_u16 b 0 513;
+  Codec.set_u32 b 2 70000;
+  Codec.set_i64 b 6 99L;
+  Alcotest.(check int) "u16" 513 (Codec.read_u16 b 0);
+  Alcotest.(check int) "u32" 70000 (Codec.read_u32 b 2);
+  Alcotest.(check int64) "i64" 99L (Codec.read_i64 b 6)
+
+let test_crc32_known () =
+  (* Standard test vector: crc32("123456789") = 0xCBF43926 *)
+  Alcotest.(check int32) "crc32 vector" 0xCBF43926l (Codec.crc32 "123456789");
+  Alcotest.(check bool) "differs" true (Codec.crc32 "a" <> Codec.crc32 "b")
+
+let test_bits () =
+  Alcotest.(check int) "clz 0" 64 (Bits.clz 0);
+  Alcotest.(check int) "clz 1" 63 (Bits.clz 1);
+  Alcotest.(check int) "clz 255" 56 (Bits.clz 255);
+  Alcotest.(check int) "next_pow2 1" 1 (Bits.next_pow2 1);
+  Alcotest.(check int) "next_pow2 5" 8 (Bits.next_pow2 5);
+  Alcotest.(check int) "next_pow2 64" 64 (Bits.next_pow2 64)
+
+(* Property: codec string roundtrip for arbitrary payloads. *)
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"codec bytes roundtrip" ~count:500
+    QCheck.(small_list string)
+    (fun ss ->
+      let b = Buffer.create 64 in
+      List.iter (Codec.put_bytes b) ss;
+      let r = Codec.reader (Buffer.contents b) in
+      List.for_all (fun s -> String.equal s (Codec.get_bytes r)) ss)
+
+let prop_crc_detects_flip =
+  QCheck.Test.make ~name:"crc32 detects single-byte flip" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 64)) small_nat)
+    (fun (s, i) ->
+      QCheck.assume (String.length s > 0);
+      let i = i mod String.length s in
+      let flipped = Bytes.of_string s in
+      Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x01));
+      Codec.crc32 s <> Codec.crc32 (Bytes.to_string flipped))
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+      ] );
+    ( "util.zipf",
+      [
+        Alcotest.test_case "theta 0 uniform" `Quick test_zipf_uniform_theta0;
+        Alcotest.test_case "skew" `Quick test_zipf_skew;
+        Alcotest.test_case "bounds at high skew" `Quick test_zipf_bounds_high_skew;
+      ] );
+    ( "util.histogram",
+      [
+        Alcotest.test_case "basic" `Quick test_histogram_basic;
+        Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+      ] );
+    ( "util.codec",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+        Alcotest.test_case "short read" `Quick test_codec_short_read;
+        Alcotest.test_case "in-place bytes" `Quick test_codec_bytes_inplace;
+        Alcotest.test_case "crc32 vector" `Quick test_crc32_known;
+        Alcotest.test_case "bits" `Quick test_bits;
+        QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+        QCheck_alcotest.to_alcotest prop_crc_detects_flip;
+      ] );
+  ]

@@ -1,0 +1,362 @@
+(* Unit tests for pitree.wal: log records, page ops, log manager, recovery. *)
+
+module Page = Pitree_storage.Page
+module Disk = Pitree_storage.Disk
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Lsn = Pitree_wal.Lsn
+module Page_op = Pitree_wal.Page_op
+module Log_record = Pitree_wal.Log_record
+module Log_manager = Pitree_wal.Log_manager
+module Logical = Pitree_wal.Logical
+module Recovery = Pitree_wal.Recovery
+
+let sample_ops =
+  [
+    Page_op.Format { kind = Page.Data; level = 0 };
+    Page_op.Reformat
+      { old_kind = Page.Data; new_kind = Page.Index; old_level = 0; new_level = 1 };
+    Page_op.Insert_slot { slot = 3; cell = "hello" };
+    Page_op.Delete_slot { slot = 0; cell = "bye\x00bye" };
+    Page_op.Replace_slot { slot = 7; old_cell = "a"; new_cell = "bb" };
+    Page_op.Set_side_ptr { old_ptr = 0; new_ptr = 42 };
+    Page_op.Set_aux_ptr { old_ptr = 9; new_ptr = 0 };
+    Page_op.Set_flags { old_flags = 0; new_flags = 257 };
+    Page_op.Clear { cells = [ "x"; "yy"; "zzz" ] };
+    Page_op.Restore { cells = [ ""; "q" ] };
+  ]
+
+let test_page_op_codec () =
+  List.iter
+    (fun op ->
+      let b = Buffer.create 32 in
+      Page_op.encode b op;
+      let decoded = Page_op.decode (Pitree_util.Codec.reader (Buffer.contents b)) in
+      if decoded <> op then
+        Alcotest.failf "page op roundtrip failed: %a" Page_op.pp op)
+    sample_ops
+
+let test_page_op_invert_involution () =
+  List.iter
+    (fun op ->
+      let original = Page_op.invert (Page_op.invert op) in
+      (* invert is an involution except Format (whose inverse is lossy by
+         design: fresh allocations only). *)
+      match op with
+      | Page_op.Format _ -> ()
+      | _ ->
+          if original <> op then
+            Alcotest.failf "invert not involutive on %a" Page_op.pp op)
+    sample_ops
+
+let test_page_op_undo_restores () =
+  (* Applying op then its inverse restores the page content. *)
+  let p = Page.create ~size:512 ~id:1 ~kind:Page.Data ~level:0 in
+  Page.insert p 0 "zero";
+  Page.insert p 1 "one";
+  Page.set_side_ptr p 5;
+  let snapshot () = Bytes.to_string (Bytes.copy (Page.raw p)) in
+  let ops =
+    [
+      Page_op.Insert_slot { slot = 1; cell = "inserted" };
+      Page_op.Delete_slot { slot = 0; cell = "zero" };
+      Page_op.Replace_slot { slot = 0; old_cell = "zero"; new_cell = "ZERO!" };
+      Page_op.Set_side_ptr { old_ptr = 5; new_ptr = 77 };
+      Page_op.Clear { cells = [ "zero"; "one" ] };
+    ]
+  in
+  List.iter
+    (fun op ->
+      let before = snapshot () in
+      Page_op.redo p op;
+      Page_op.redo p (Page_op.invert op);
+      (* Compare logical content, not raw bytes (heap layout may differ). *)
+      let restored = Page.fold p ~init:[] ~f:(fun acc _ c -> c :: acc) in
+      let q = Page.of_bytes ~id:1 (Bytes.of_string before) in
+      let original = Page.fold q ~init:[] ~f:(fun acc _ c -> c :: acc) in
+      if restored <> original || Page.side_ptr p <> Page.side_ptr q then
+        Alcotest.failf "undo failed to restore after %a" Page_op.pp op)
+    ops
+
+let roundtrip_record r =
+  let decoded = Log_record.decode (Log_record.encode r) in
+  if decoded <> r then Alcotest.failf "log record roundtrip: %a" Log_record.pp r
+
+let test_log_record_codec () =
+  List.iter roundtrip_record
+    [
+      { Log_record.lsn = 1; prev = 0; txn = 5; body = Log_record.Begin { kind = Log_record.User } };
+      { lsn = 2; prev = 1; txn = 5; body = Log_record.Commit };
+      { lsn = 3; prev = 2; txn = 5; body = Log_record.Abort };
+      { lsn = 4; prev = 3; txn = 5; body = Log_record.End };
+      {
+        lsn = 5;
+        prev = 4;
+        txn = 5;
+        body =
+          Log_record.Update
+            { page = 9; op = Page_op.Insert_slot { slot = 1; cell = "x" }; lundo = None };
+      };
+      {
+        lsn = 6;
+        prev = 5;
+        txn = 5;
+        body =
+          Log_record.Update
+            {
+              page = 9;
+              op = Page_op.Delete_slot { slot = 1; cell = "x" };
+              lundo =
+                Some { Log_record.tree = 2; comp = Logical.Put { cell = "x" } };
+            };
+      };
+      {
+        lsn = 7;
+        prev = 6;
+        txn = 5;
+        body =
+          Log_record.Clr
+            { page = 9; op = Page_op.Insert_slot { slot = 1; cell = "x" }; undo_next = 3 };
+      };
+      { lsn = 8; prev = 0; txn = 0; body = Log_record.Checkpoint { active = [ (5, 6); (7, 2) ] } };
+    ]
+
+let test_log_record_crc () =
+  let r =
+    { Log_record.lsn = 1; prev = 0; txn = 1; body = Log_record.Commit }
+  in
+  let encoded = Bytes.of_string (Log_record.encode r) in
+  Bytes.set encoded 6 (Char.chr (Char.code (Bytes.get encoded 6) lxor 1));
+  Alcotest.(check bool) "corruption detected" true
+    (match Log_record.decode (Bytes.to_string encoded) with
+    | exception Pitree_util.Codec.Corrupt _ -> true
+    | _ -> false)
+
+let test_log_manager_basics () =
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log ~prev:0 ~txn:1 (Log_record.Begin { kind = Log_record.User }) in
+  let l2 = Log_manager.append log ~prev:l1 ~txn:1 Log_record.Commit in
+  Alcotest.(check int) "dense lsns" (l1 + 1) l2;
+  Alcotest.(check int) "last" l2 (Log_manager.last_lsn log);
+  Alcotest.(check int) "nothing durable yet" 0 (Log_manager.flushed_lsn log);
+  Log_manager.flush log l1;
+  Alcotest.(check int) "durable to l1" l1 (Log_manager.flushed_lsn log);
+  let r = Log_manager.read log l2 in
+  Alcotest.(check bool) "read back" true (r.Log_record.body = Log_record.Commit);
+  let seen = ref [] in
+  Log_manager.iter_from log 1 (fun r -> seen := r.Log_record.lsn :: !seen);
+  Alcotest.(check (list int)) "iteration order" [ l2; l1 ] !seen
+
+let test_log_crash_truncates () =
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log ~prev:0 ~txn:1 (Log_record.Begin { kind = Log_record.User }) in
+  let _l2 = Log_manager.append log ~prev:l1 ~txn:1 Log_record.Commit in
+  Log_manager.flush log l1;
+  let log' = Log_manager.crash log in
+  Alcotest.(check int) "volatile tail lost" l1 (Log_manager.last_lsn log');
+  Alcotest.(check int) "durable kept" l1 (Log_manager.flushed_lsn log');
+  (* Appending continues with dense LSNs. *)
+  let l3 = Log_manager.append log' ~prev:0 ~txn:2 (Log_record.Begin { kind = Log_record.System }) in
+  Alcotest.(check int) "dense after crash" (l1 + 1) l3
+
+let test_truncation () =
+  let log = Log_manager.create () in
+  let lsns =
+    List.init 10 (fun i ->
+        Log_manager.append log ~prev:0 ~txn:(i + 1)
+          (Log_record.Begin { kind = Log_record.User }))
+  in
+  let l5 = List.nth lsns 4 in
+  (* Nothing durable yet: truncation is clamped to a no-op. *)
+  Alcotest.(check int) "clamped to durable" 0 (Log_manager.truncate log ~keep_from:l5);
+  Log_manager.flush_all log;
+  Log_manager.set_redo_start log l5;
+  Alcotest.(check int) "discards prefix" 4 (Log_manager.truncate log ~keep_from:l5);
+  (* Truncated reads fail loudly; surviving reads fine. *)
+  Alcotest.(check bool) "read below truncation raises" true
+    (match Log_manager.read log 2 with exception Invalid_argument _ -> true | _ -> false);
+  Alcotest.(check int) "surviving record" l5 (Log_manager.read log l5).Log_record.lsn;
+  (* Iteration skips the discarded prefix. *)
+  let seen = ref 0 in
+  Log_manager.iter_from log 1 (fun _ -> incr seen);
+  Alcotest.(check int) "iter over window" 6 !seen;
+  (* Appends continue with dense LSNs and max txn id survives. *)
+  let l11 = Log_manager.append log ~prev:0 ~txn:99 Log_record.Commit in
+  Alcotest.(check int) "dense" 11 l11;
+  Alcotest.(check int) "max txn tracked" 99 (Log_manager.max_txn_id log);
+  (* Crash keeps the truncation offset. *)
+  Log_manager.flush_all log;
+  let log' = Log_manager.crash log in
+  Alcotest.(check int) "count preserved" 11 (Log_manager.last_lsn log');
+  Alcotest.(check int) "still truncated" l5 (Log_manager.read log' l5).Log_record.lsn
+
+let test_truncation_respects_active_txn () =
+  (* End to end: a long-running transaction across a checkpoint keeps its
+     undo chain readable; abort after the checkpoint still works. *)
+  let module Env = Pitree_env.Env in
+  let module Blink = Pitree_blink.Blink in
+  let env =
+    Env.create
+      { Env.page_size = 256; pool_capacity = 2048; page_oriented_undo = false; consolidation = true }
+  in
+  let t = Blink.create env ~name:"t" in
+  let mgr = Pitree_env.Env.txns env in
+  let txn = Pitree_txn.Txn_mgr.begin_txn mgr Pitree_txn.Txn.User in
+  for i = 0 to 99 do
+    Blink.insert ~txn t ~key:(Printf.sprintf "old%03d" i) ~value:"x"
+  done;
+  (* Checkpoint + lots of unrelated committed traffic: truncation must stop
+     at the open transaction's Begin. *)
+  Env.checkpoint env;
+  for i = 0 to 399 do
+    Blink.insert t ~key:(Printf.sprintf "new%03d" i) ~value:"y"
+  done;
+  Env.checkpoint env;
+  Pitree_txn.Txn_mgr.abort mgr txn;
+  ignore (Env.drain env);
+  Alcotest.(check bool) "well-formed after late abort" true
+    (Pitree_core.Wellformed.ok (Blink.verify t));
+  Alcotest.(check int) "only committed rows remain" 400 (Blink.count t)
+
+let test_force_counting () =
+  let log = Log_manager.create () in
+  let l1 = Log_manager.append log ~prev:0 ~txn:1 Log_record.Commit in
+  Log_manager.flush log l1;
+  Log_manager.flush log l1;
+  (* second is a no-op *)
+  let s = Log_manager.stats log in
+  Alcotest.(check int) "one force" 1 s.Log_manager.forces
+
+(* Recovery micro-scenario without any engine: two pages, one winner and
+   one loser transaction. *)
+let test_recovery_redo_undo () =
+  let disk = Disk.in_memory ~page_size:256 in
+  let log = Log_manager.create () in
+  let pool =
+    Buffer_pool.create ~capacity:16 ~disk ~wal_flush:(fun l -> Log_manager.flush log l) ()
+  in
+  let apply txn prev fr op =
+    let lsn =
+      Log_manager.append log ~prev ~txn
+        (Log_record.Update { page = Page.id fr.Buffer_pool.page; op; lundo = None })
+    in
+    Pitree_wal.Page_op.redo fr.Buffer_pool.page op;
+    Page.set_lsn fr.Buffer_pool.page lsn;
+    Buffer_pool.mark_dirty fr;
+    lsn
+  in
+  (* Winner txn 1 formats page 5 and inserts; loser txn 2 inserts into it
+     but never commits. *)
+  let fr = Buffer_pool.pin_new pool 5 in
+  let b1 = Log_manager.append log ~prev:0 ~txn:1 (Log_record.Begin { kind = Log_record.User }) in
+  let u1 = apply 1 b1 fr (Page_op.Format { kind = Page.Data; level = 0 }) in
+  let u2 = apply 1 u1 fr (Page_op.Insert_slot { slot = 0; cell = "winner" }) in
+  let c1 = Log_manager.append log ~prev:u2 ~txn:1 Log_record.Commit in
+  ignore (Log_manager.append log ~prev:c1 ~txn:1 Log_record.End);
+  let b2 = Log_manager.append log ~prev:0 ~txn:2 (Log_record.Begin { kind = Log_record.User }) in
+  ignore (apply 2 b2 fr (Page_op.Insert_slot { slot = 1; cell = "loser" }));
+  Buffer_pool.unpin pool fr;
+  (* Crash with everything in the durable log but nothing flushed to disk. *)
+  Log_manager.flush_all log;
+  Buffer_pool.crash pool;
+  let log = Log_manager.crash log in
+  let pool2 =
+    Buffer_pool.create ~capacity:16 ~disk ~wal_flush:(fun l -> Log_manager.flush log l) ()
+  in
+  let report = Recovery.run ~log ~pool:pool2 in
+  Alcotest.(check (list int)) "loser identified" [ 2 ] report.Recovery.loser_txns;
+  Alcotest.(check bool) "redo happened" true (report.Recovery.redone > 0);
+  let fr = Buffer_pool.pin pool2 5 in
+  Alcotest.(check int) "one cell" 1 (Page.slot_count fr.Buffer_pool.page);
+  Alcotest.(check string) "winner survived" "winner" (Page.get fr.Buffer_pool.page 0);
+  Buffer_pool.unpin pool2 fr
+
+let test_recovery_idempotent () =
+  (* Running recovery twice (double crash during restart) is harmless. *)
+  let disk = Disk.in_memory ~page_size:256 in
+  let log = Log_manager.create () in
+  let pool =
+    Buffer_pool.create ~capacity:16 ~disk ~wal_flush:(fun l -> Log_manager.flush log l) ()
+  in
+  let fr = Buffer_pool.pin_new pool 3 in
+  let b = Log_manager.append log ~prev:0 ~txn:1 (Log_record.Begin { kind = Log_record.System }) in
+  let u =
+    Log_manager.append log ~prev:b ~txn:1
+      (Log_record.Update
+         { page = 3; op = Page_op.Format { kind = Page.Data; level = 0 }; lundo = None })
+  in
+  Pitree_wal.Page_op.redo fr.Buffer_pool.page (Page_op.Format { kind = Page.Data; level = 0 });
+  Page.set_lsn fr.Buffer_pool.page u;
+  Buffer_pool.mark_dirty fr;
+  Buffer_pool.unpin pool fr;
+  Log_manager.flush_all log;
+  Buffer_pool.crash pool;
+  let log = Log_manager.crash log in
+  let pool2 =
+    Buffer_pool.create ~capacity:16 ~disk ~wal_flush:(fun l -> Log_manager.flush log l) ()
+  in
+  let r1 = Recovery.run ~log ~pool:pool2 in
+  Alcotest.(check (list int)) "system action rolled back" [ 1 ] r1.Recovery.loser_txns;
+  (* Crash again mid-restart (after recovery's CLRs are durable). *)
+  Buffer_pool.crash pool2;
+  let log = Log_manager.crash log in
+  let pool3 =
+    Buffer_pool.create ~capacity:16 ~disk ~wal_flush:(fun l -> Log_manager.flush log l) ()
+  in
+  let r2 = Recovery.run ~log ~pool:pool3 in
+  Alcotest.(check (list int)) "no losers second time" [] r2.Recovery.loser_txns
+
+(* Property: encode/decode of random log records. *)
+let prop_log_record_roundtrip =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          map2 (fun slot cell -> Page_op.Insert_slot { slot; cell }) small_nat string;
+          map2 (fun slot cell -> Page_op.Delete_slot { slot; cell }) small_nat string;
+          map2
+            (fun o n -> Page_op.Set_side_ptr { old_ptr = o; new_ptr = n })
+            small_nat small_nat;
+          map (fun cells -> Page_op.Clear { cells }) (small_list string);
+        ])
+  in
+  let record_gen =
+    Gen.(
+      map2
+        (fun (lsn, prev, txn) (page, op) ->
+          { Log_record.lsn; prev; txn; body = Log_record.Update { page; op; lundo = None } })
+        (triple small_nat small_nat small_nat)
+        (pair small_nat op_gen))
+  in
+  Test.make ~name:"log record roundtrip" ~count:300 (make record_gen) (fun r ->
+      Log_record.decode (Log_record.encode r) = r)
+
+let suites =
+  [
+    ( "wal.page_op",
+      [
+        Alcotest.test_case "codec" `Quick test_page_op_codec;
+        Alcotest.test_case "invert involution" `Quick test_page_op_invert_involution;
+        Alcotest.test_case "undo restores" `Quick test_page_op_undo_restores;
+      ] );
+    ( "wal.log_record",
+      [
+        Alcotest.test_case "codec" `Quick test_log_record_codec;
+        Alcotest.test_case "crc detects corruption" `Quick test_log_record_crc;
+        QCheck_alcotest.to_alcotest prop_log_record_roundtrip;
+      ] );
+    ( "wal.log_manager",
+      [
+        Alcotest.test_case "basics" `Quick test_log_manager_basics;
+        Alcotest.test_case "crash truncates" `Quick test_log_crash_truncates;
+        Alcotest.test_case "log truncation" `Quick test_truncation;
+        Alcotest.test_case "truncation respects active txn" `Quick
+          test_truncation_respects_active_txn;
+        Alcotest.test_case "force counting" `Quick test_force_counting;
+      ] );
+    ( "wal.recovery",
+      [
+        Alcotest.test_case "redo + undo" `Quick test_recovery_redo_undo;
+        Alcotest.test_case "idempotent restart" `Quick test_recovery_idempotent;
+      ] );
+  ]
