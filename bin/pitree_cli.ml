@@ -9,6 +9,7 @@
      pitree crash-test -p POINT     # inject a crash at a named point
      pitree workload --domains 4    # mixed workload throughput
      pitree dump -n 50              # print a small tree's structure
+     pitree chaos --seed 42         # crash-sweep + randomized fault runs
      pitree persist --dir DIR       # file-backed DB; --reopen recovers it
                                     # in a fresh process *)
 
@@ -199,6 +200,51 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a small tree's node structure.")
     Term.(const dump $ dump_n_arg)
 
+(* --- chaos --- *)
+
+let chaos seed iters ops sweep_only quiet =
+  let trace = if quiet then fun _ -> () else print_endline in
+  let module Chaos = Pitree_harness.Chaos in
+  let sweep_summary = Chaos.sweep ~trace ~ops () in
+  Format.printf "%a@." Chaos.pp_summary sweep_summary;
+  let random_summary =
+    if sweep_only then None
+    else begin
+      let s = Chaos.random_runs ~trace ~ops ~iters ~seed:(Int64.of_int seed) () in
+      Format.printf "%a@." Chaos.pp_summary s;
+      Some s
+    end
+  in
+  if Chaos.ok sweep_summary && Option.fold ~none:true ~some:Chaos.ok random_summary
+  then 0
+  else 1
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed for the randomized runs.")
+
+let iters_arg =
+  Arg.(value & opt int 25 & info [ "iters" ] ~docv:"N" ~doc:"Randomized runs after the deterministic sweep.")
+
+let chaos_ops_arg =
+  Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Workload operations per run.")
+
+let sweep_only_arg =
+  Arg.(value & flag & info [ "sweep" ] ~doc:"Deterministic sweep only; skip the randomized runs.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the per-run trace lines.")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Crash-sweep every registered crash point across all engines, then \
+          randomized crash x fault-plan runs (torn writes, transient errors, \
+          bit flips); exits non-zero if any run fails recovery checks. Each \
+          trace line carries the (point, after, seed, plan) tuple that \
+          reproduces the run.")
+    Term.(const chaos $ seed_arg $ iters_arg $ chaos_ops_arg $ sweep_only_arg $ quiet_arg)
+
 (* --- persist --- *)
 
 let persist dir n reopen =
@@ -261,6 +307,6 @@ let main =
   Cmd.group
     (Cmd.info "pitree" ~version:"1.0.0"
        ~doc:"Pi-tree index structures with concurrency and recovery (Lomet & Salzberg, SIGMOD 1992).")
-    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; persist_cmd ]
+    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd ]
 
 let () = exit (Cmd.eval' main)

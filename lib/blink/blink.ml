@@ -18,6 +18,20 @@ module Saved_path = Pitree_core.Saved_path
 module Wellformed = Pitree_core.Wellformed
 module Keyspace = Pitree_core.Keyspace
 
+(* Every Crash_point.hit site in this engine, pre-registered so sweep
+   harnesses can enumerate them before any fires. *)
+let () =
+  List.iter Crash_point.register
+    [
+      "blink.split.linked";
+      "blink.split.committed";
+      "blink.root.grown";
+      "blink.post.latched";
+      "blink.post.updated";
+      "blink.post.done";
+      "blink.consolidate.linked";
+    ]
+
 type stats = {
   searches : int;
   inserts : int;

@@ -1,0 +1,544 @@
+module Env = Pitree_env.Env
+module Disk = Pitree_storage.Disk
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Blink = Pitree_blink.Blink
+module Tsb = Pitree_tsb.Tsb
+module Hb = Pitree_hb.Hb
+module Crash_point = Pitree_txn.Crash_point
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Log_manager = Pitree_wal.Log_manager
+module Recovery = Pitree_wal.Recovery
+module Wellformed = Pitree_core.Wellformed
+module Rng = Pitree_util.Rng
+
+type outcome = {
+  point : string;
+  after : int;
+  seed : int64;
+  plan : Disk.Faulty.plan;
+  fired : bool;
+  torn_injected : bool;
+  torn_pages : int;
+  retried_reads : int;
+  errors : string list;
+}
+
+type summary = {
+  runs : int;
+  fired : int;
+  torn_recoveries : int;
+  retried_reads : int;
+  failures : outcome list;
+}
+
+let pp_plan ppf (p : Disk.Faulty.plan) =
+  Format.fprintf ppf "{tr=%.2f tw=%.2f bf=%.3f torn=%.2f fs=%s}"
+    p.Disk.Faulty.transient_read p.Disk.Faulty.transient_write
+    p.Disk.Faulty.bit_flip p.Disk.Faulty.torn_write
+    (match p.Disk.Faulty.fail_stop_after with
+    | None -> "-"
+    | Some n -> string_of_int n)
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>point=%s after=%d seed=%Ld plan=%a fired=%b torn_injected=%b \
+     torn_pages=%d retried_reads=%d %s@]"
+    o.point o.after o.seed pp_plan o.plan o.fired o.torn_injected o.torn_pages
+    o.retried_reads
+    (match o.errors with
+    | [] -> "ok"
+    | es -> "FAIL: " ^ String.concat "; " es)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>chaos: runs=%d crashes_fired=%d torn_recoveries=%d \
+     retried_reads=%d failures=%d%a@]"
+    s.runs s.fired s.torn_recoveries s.retried_reads (List.length s.failures)
+    (fun ppf fs ->
+      List.iter (fun o -> Format.fprintf ppf "@,  %a" pp_outcome o) fs)
+    s.failures
+
+let ok s = s.failures = []
+
+(* The meta page (catalog + allocation state) is formatted before the
+   initial checkpoint, so its pre-checkpoint history is not in the log:
+   a torn image of it cannot be rebuilt by redo. Real systems ditto —
+   they keep such pages in duplexed/battery-backed storage. We exempt it
+   from torn-write injection. *)
+let meta_pid = 1
+
+let cfg =
+  {
+    Env.page_size = 256;
+    (* Small pool: evictions during the workload push reads and writes
+       through the faulty disk instead of staying cache-resident. *)
+    pool_capacity = 64;
+    page_oriented_undo = false;
+    consolidation = true;
+  }
+
+(* --- per-run machinery shared by the three engine runners --- *)
+
+type 'tree run_ctx = {
+  env : Env.t;
+  ctl : Disk.Faulty.ctl;
+  rng : Rng.t;
+  errs : string list ref;
+  mutable fired : bool;
+  mutable dead : bool;  (* device fail-stopped during the workload *)
+}
+
+let err ctx fmt = Printf.ksprintf (fun s -> ctx.errs := s :: !(ctx.errs)) fmt
+
+let opt_str = function None -> "<none>" | Some s -> s
+
+(* Run [workload] until the armed point fires, the device dies, or it
+   completes. *)
+let guarded ctx workload =
+  try workload () with
+  | Crash_point.Crash_requested _ -> ctx.fired <- true
+  | Disk.Disk_error { transient = false; _ } -> ctx.dead <- true
+
+(* The operation the workload was inside when the crash fired is in-doubt:
+   engines commit the user transaction and then drain pending structure
+   changes before returning, so a crash raised during that drain escapes
+   the call after the commit — the model never saw an op the database
+   legitimately remembers (the classic commit-vs-lost-acknowledgment
+   window). Verification accepts either state for that one key. *)
+let in_doubt inflight k =
+  match !inflight with Some k' -> k' = k | None -> false
+
+(* Flush the log (making everything so far — including any open loser
+   transaction — durable), optionally tear one dirty page on its way out,
+   then power-fail and recover with the plan's read faults still active. *)
+let crash_and_recover ctx ~plan ~inject_torn =
+  Crash_point.disarm_all ();
+  Log_manager.flush_all (Env.log ctx.env);
+  let torn_injected =
+    if inject_torn && not ctx.dead then begin
+      Disk.Faulty.set_plan ctx.ctl
+        {
+          Disk.Faulty.no_faults with
+          Disk.Faulty.torn_write = 1.0;
+          protected_pids = [ meta_pid ];
+        };
+      let before = (Disk.Faulty.counters ctx.ctl).Disk.Faulty.torn_writes in
+      (try Buffer_pool.flush_all (Env.pool ctx.env)
+       with Disk.Disk_error _ -> ());
+      (Disk.Faulty.counters ctx.ctl).Disk.Faulty.torn_writes > before
+    end
+    else false
+  in
+  (* Read-side faults stay on through restart (recovery must absorb them);
+     write-side and fail-stop faults are lifted — the replacement device
+     spins, the platters keep their scars. *)
+  Disk.Faulty.set_plan ctx.ctl
+    {
+      Disk.Faulty.no_faults with
+      Disk.Faulty.transient_read = plan.Disk.Faulty.transient_read;
+      bit_flip = plan.Disk.Faulty.bit_flip;
+    };
+  let workload_retried =
+    (Buffer_pool.stats (Env.pool ctx.env)).Buffer_pool.retried_reads
+  in
+  Env.crash ctx.env;
+  let report = Env.recover ctx.env in
+  Disk.Faulty.set_plan ctx.ctl Disk.Faulty.no_faults;
+  (report, torn_injected, workload_retried)
+
+let finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
+    ~workload_retried =
+  let final_retried =
+    (Buffer_pool.stats (Env.pool ctx.env)).Buffer_pool.retried_reads
+  in
+  {
+    point;
+    after;
+    seed;
+    plan;
+    fired = ctx.fired;
+    torn_injected;
+    torn_pages = report.Recovery.torn_pages;
+    retried_reads = workload_retried + final_retried;
+    errors = List.rev !(ctx.errs);
+  }
+
+let mk_ctx ~seed =
+  Crash_point.disarm_all ();
+  Crash_point.reset_counts ();
+  let rng = Rng.create seed in
+  let base = Disk.in_memory ~page_size:cfg.Env.page_size in
+  let disk, ctl = Disk.Faulty.wrap ~seed:(Rng.int64 rng) base in
+  let env = Env.create ~disk cfg in
+  { env; ctl; rng; errs = ref []; fired = false; dead = false }
+
+(* --- B-link runner: full model (inserts, deletes, reads), plus a
+   durable-but-uncommitted transaction that recovery must roll back. --- *)
+
+let run_blink ~point ~after ~seed ~ops ~plan ~inject_torn =
+  let ctx = mk_ctx ~seed in
+  let t = Blink.create ctx.env ~name:"chaos" in
+  let present = Hashtbl.create 512 in
+  let deleted = Hashtbl.create 128 in
+  let key i = Printf.sprintf "key%06d" i in
+  (* Durable-but-uncommitted user transaction, left open across the crash:
+     recovery must roll it back in full. *)
+  let mgr = Env.txns ctx.env in
+  let unc = Txn_mgr.begin_txn mgr Txn.User in
+  let unc_keys = List.init 24 (fun i -> Printf.sprintf "unc%04d" i) in
+  List.iter (fun k -> Blink.insert ~txn:unc t ~key:k ~value:"doomed") unc_keys;
+  let inflight = ref None in
+  Disk.Faulty.set_plan ctx.ctl plan;
+  Crash_point.arm point ~after;
+  guarded ctx (fun () ->
+      for j = 0 to ops - 1 do
+        let i = Rng.int ctx.rng 900 in
+        let r = Rng.int ctx.rng 100 in
+        if r < 70 then begin
+          let v = Printf.sprintf "val%06d.%d" i j in
+          inflight := Some (key i);
+          Blink.insert t ~key:(key i) ~value:v;
+          Hashtbl.replace present (key i) v;
+          Hashtbl.remove deleted (key i);
+          inflight := None
+        end
+        else if r < 85 then begin
+          inflight := Some (key i);
+          let was = Blink.delete t (key i) in
+          if was <> Hashtbl.mem present (key i) then
+            err ctx "delete %s returned %b, model says %b" (key i) was
+              (Hashtbl.mem present (key i));
+          Hashtbl.remove present (key i);
+          Hashtbl.replace deleted (key i) ();
+          inflight := None
+        end
+        else begin
+          let got = Blink.find t (key i) in
+          let want = Hashtbl.find_opt present (key i) in
+          if got <> want then
+            err ctx "find %s saw %s, model %s" (key i) (opt_str got)
+              (opt_str want)
+        end;
+        if j mod 64 = 63 then ignore (Env.drain ctx.env)
+      done);
+  let report, torn_injected, workload_retried =
+    crash_and_recover ctx ~plan ~inject_torn
+  in
+  (match Blink.open_existing ctx.env ~name:"chaos" with
+  | None -> err ctx "tree vanished from catalog after recovery"
+  | Some t ->
+      let wf tag =
+        let r = Blink.verify t in
+        if not (Wellformed.ok r) then
+          err ctx "%s: not well-formed: %s" tag
+            (Format.asprintf "%a" Wellformed.pp_report r)
+      in
+      wf "post-recovery";
+      Hashtbl.iter
+        (fun k v ->
+          if not (in_doubt inflight k) then
+            match Blink.find t k with
+            | Some v' when v' = v -> ()
+            | got ->
+                err ctx "committed %s: expected %s, got %s" k v (opt_str got))
+        present;
+      Hashtbl.iter
+        (fun k () ->
+          if not (in_doubt inflight k) then
+            match Blink.find t k with
+            | None -> ()
+            | Some _ -> err ctx "committed delete of %s resurrected" k)
+        deleted;
+      List.iter
+        (fun k ->
+          match Blink.find t k with
+          | None -> ()
+          | Some _ -> err ctx "uncommitted key %s survived rollback" k)
+        unc_keys;
+      (* Traversals re-discover interrupted structure changes; drain must
+         complete them all. *)
+      Hashtbl.iter (fun k _ -> ignore (Blink.find t k)) present;
+      ignore (Env.drain ctx.env);
+      if Env.pending ctx.env <> 0 then
+        err ctx "completion queue not empty after drain";
+      wf "post-drain";
+      for i = 0 to 19 do
+        let k = Printf.sprintf "fresh%04d" i in
+        Blink.insert t ~key:k ~value:"post-crash";
+        match Blink.find t k with
+        | Some "post-crash" -> ()
+        | got -> err ctx "post-crash insert %s read back %s" k (opt_str got)
+      done;
+      ignore (Env.drain ctx.env);
+      wf "post-insert");
+  finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
+    ~workload_retried
+
+(* --- TSB runner: versioned puts/removes over a small key space (forcing
+   time splits), plus an uncommitted transaction. --- *)
+
+let run_tsb ~point ~after ~seed ~ops ~plan ~inject_torn =
+  let ctx = mk_ctx ~seed in
+  let t = Tsb.create ctx.env ~name:"chaos" in
+  let current = Hashtbl.create 256 in
+  let tombstoned = Hashtbl.create 64 in
+  let key i = Printf.sprintf "tk%04d" i in
+  let mgr = Env.txns ctx.env in
+  let unc = Txn_mgr.begin_txn mgr Txn.User in
+  let unc_keys = List.init 12 (fun i -> Printf.sprintf "unc%04d" i) in
+  List.iter
+    (fun k -> ignore (Tsb.put ~txn:unc t ~key:k ~value:"doomed"))
+    unc_keys;
+  let inflight = ref None in
+  Disk.Faulty.set_plan ctx.ctl plan;
+  Crash_point.arm point ~after;
+  guarded ctx (fun () ->
+      for j = 0 to ops - 1 do
+        let i = Rng.int ctx.rng 120 in
+        let r = Rng.int ctx.rng 100 in
+        if r < 70 then begin
+          let v = Printf.sprintf "v%06d.%d" i j in
+          inflight := Some (key i);
+          ignore (Tsb.put t ~key:(key i) ~value:v);
+          Hashtbl.replace current (key i) v;
+          Hashtbl.remove tombstoned (key i);
+          inflight := None
+        end
+        else if r < 85 then begin
+          inflight := Some (key i);
+          ignore (Tsb.remove t (key i));
+          Hashtbl.remove current (key i);
+          Hashtbl.replace tombstoned (key i) ();
+          inflight := None
+        end
+        else begin
+          let got = Tsb.get t (key i) in
+          let want = Hashtbl.find_opt current (key i) in
+          if got <> want then
+            err ctx "get %s saw %s, model %s" (key i) (opt_str got)
+              (opt_str want)
+        end;
+        if j mod 64 = 63 then ignore (Env.drain ctx.env)
+      done);
+  let report, torn_injected, workload_retried =
+    crash_and_recover ctx ~plan ~inject_torn
+  in
+  (match Tsb.open_existing ctx.env ~name:"chaos" with
+  | None -> err ctx "tree vanished from catalog after recovery"
+  | Some t ->
+      let wf tag =
+        let r = Tsb.verify t in
+        if not (Wellformed.ok r) then
+          err ctx "%s: not well-formed: %s" tag
+            (Format.asprintf "%a" Wellformed.pp_report r)
+      in
+      wf "post-recovery";
+      Hashtbl.iter
+        (fun k v ->
+          if not (in_doubt inflight k) then
+            match Tsb.get t k with
+            | Some v' when v' = v -> ()
+            | got ->
+                err ctx "committed %s: expected %s, got %s" k v (opt_str got))
+        current;
+      Hashtbl.iter
+        (fun k () ->
+          if not (in_doubt inflight k) then
+            match Tsb.get t k with
+            | None -> ()
+            | Some _ -> err ctx "committed tombstone of %s resurrected" k)
+        tombstoned;
+      List.iter
+        (fun k ->
+          match Tsb.get t k with
+          | None -> ()
+          | Some _ -> err ctx "uncommitted key %s survived rollback" k)
+        unc_keys;
+      Hashtbl.iter (fun k _ -> ignore (Tsb.get t k)) current;
+      ignore (Env.drain ctx.env);
+      if Env.pending ctx.env <> 0 then
+        err ctx "completion queue not empty after drain";
+      wf "post-drain";
+      ignore (Tsb.put t ~key:"fresh" ~value:"post-crash");
+      (match Tsb.get t "fresh" with
+      | Some "post-crash" -> ()
+      | got -> err ctx "post-crash put read back %s" (opt_str got));
+      wf "post-insert");
+  finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
+    ~workload_retried
+
+(* --- hB runner: multiattribute points in the unit square. The engine
+   auto-commits every operation (no [?txn]), so there is no uncommitted
+   phase here; rollback of losers is covered by the other two engines. --- *)
+
+let run_hb ~point ~after ~seed ~ops ~plan ~inject_torn =
+  let ctx = mk_ctx ~seed in
+  let t = Hb.create ctx.env ~name:"chaos" ~dims:2 in
+  let present : (float array, string) Hashtbl.t = Hashtbl.create 512 in
+  let live = ref [] in
+  let inflight = ref None in
+  Disk.Faulty.set_plan ctx.ctl plan;
+  Crash_point.arm point ~after;
+  guarded ctx (fun () ->
+      for j = 0 to ops - 1 do
+        let r = Rng.int ctx.rng 100 in
+        if r < 75 || !live = [] then begin
+          let p = [| Rng.float ctx.rng 1.0; Rng.float ctx.rng 1.0 |] in
+          let v = Printf.sprintf "p%d" j in
+          inflight := Some p;
+          Hb.insert t ~point:p ~value:v;
+          Hashtbl.replace present p v;
+          live := p :: !live;
+          inflight := None
+        end
+        else if r < 85 then begin
+          let n = List.length !live in
+          let p = List.nth !live (Rng.int ctx.rng n) in
+          inflight := Some p;
+          let was = Hb.delete t p in
+          if was <> Hashtbl.mem present p then
+            err ctx "hb delete returned %b, model says %b" was
+              (Hashtbl.mem present p);
+          Hashtbl.remove present p;
+          live := List.filter (fun q -> q != p) !live;
+          inflight := None
+        end
+        else begin
+          let n = List.length !live in
+          let p = List.nth !live (Rng.int ctx.rng n) in
+          let got = Hb.find t p in
+          let want = Hashtbl.find_opt present p in
+          if got <> want then
+            err ctx "hb find saw %s, model %s" (opt_str got) (opt_str want)
+        end;
+        if j mod 64 = 63 then ignore (Env.drain ctx.env)
+      done);
+  let report, torn_injected, workload_retried =
+    crash_and_recover ctx ~plan ~inject_torn
+  in
+  (match Hb.open_existing ctx.env ~name:"chaos" with
+  | None -> err ctx "tree vanished from catalog after recovery"
+  | Some t ->
+      let wf tag =
+        let r = Hb.verify t in
+        if not (Wellformed.ok r) then
+          err ctx "%s: not well-formed: %s" tag
+            (Format.asprintf "%a" Wellformed.pp_report r)
+      in
+      wf "post-recovery";
+      Hashtbl.iter
+        (fun p v ->
+          if not (in_doubt inflight p) then
+            match Hb.find t p with
+            | Some v' when v' = v -> ()
+            | got ->
+                err ctx "committed point (%f,%f): expected %s, got %s" p.(0)
+                  p.(1) v (opt_str got))
+        present;
+      Hashtbl.iter (fun p _ -> ignore (Hb.find t p)) present;
+      ignore (Env.drain ctx.env);
+      if Env.pending ctx.env <> 0 then
+        err ctx "completion queue not empty after drain";
+      wf "post-drain";
+      let p = [| 0.123; 0.456 |] in
+      Hb.insert t ~point:p ~value:"post-crash";
+      (match Hb.find t p with
+      | Some "post-crash" -> ()
+      | got -> err ctx "post-crash insert read back %s" (opt_str got));
+      wf "post-insert");
+  finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
+    ~workload_retried
+
+(* --- dispatch + drivers --- *)
+
+let engine_of_point point =
+  match String.index_opt point '.' with
+  | Some i -> String.sub point 0 i
+  | None -> point
+
+(* The registry is global and other users (tests, future engines) may add
+   points we have no runner for; enumerate only the ones we can drive. *)
+let known_points () =
+  List.filter
+    (fun p ->
+      match engine_of_point p with "blink" | "tsb" | "hb" -> true | _ -> false)
+    (Crash_point.all_names ())
+
+let run_one ~point ~after ~seed ~ops ~plan ~inject_torn =
+  let runner =
+    match engine_of_point point with
+    | "blink" -> Some run_blink
+    | "tsb" -> Some run_tsb
+    | "hb" -> Some run_hb
+    | _ -> None
+  in
+  match runner with
+  | Some run -> Some (run ~point ~after ~seed ~ops ~plan ~inject_torn)
+  | None -> None
+
+let empty_summary =
+  { runs = 0; fired = 0; torn_recoveries = 0; retried_reads = 0; failures = [] }
+
+let add s (o : outcome) =
+  {
+    runs = s.runs + 1;
+    fired = (s.fired + if o.fired then 1 else 0);
+    torn_recoveries = (s.torn_recoveries + if o.torn_pages > 0 then 1 else 0);
+    retried_reads = s.retried_reads + o.retried_reads;
+    failures = (if o.errors = [] then s.failures else s.failures @ [ o ]);
+  }
+
+let trace_outcome trace o = trace (Format.asprintf "%a" pp_outcome o)
+
+let sweep ?(trace = fun _ -> ()) ?(hits = [ 0; 1; 2 ]) ?(ops = 500)
+    ?(seed = 1L) () =
+  let points = known_points () in
+  let rng = Rng.create seed in
+  List.fold_left
+    (fun acc point ->
+      List.fold_left
+        (fun acc after ->
+          match
+            run_one ~point ~after ~seed:(Rng.int64 rng) ~ops
+              ~plan:Disk.Faulty.no_faults ~inject_torn:false
+          with
+          | None ->
+              trace (Printf.sprintf "skip %s: no engine runner" point);
+              acc
+          | Some o ->
+              trace_outcome trace o;
+              add acc o)
+        acc hits)
+    empty_summary points
+
+let random_plan rng =
+  {
+    Disk.Faulty.no_faults with
+    Disk.Faulty.transient_read = Rng.float rng 0.3;
+    transient_write = Rng.float rng 0.1;
+    bit_flip = Rng.float rng 0.05;
+    fail_stop_after =
+      (if Rng.int rng 4 = 0 then Some (500 + Rng.int rng 4000) else None);
+  }
+
+let random_runs ?(trace = fun _ -> ()) ?(ops = 500) ~iters ~seed () =
+  let rng = Rng.create seed in
+  let points = Array.of_list (known_points ()) in
+  if Array.length points = 0 then empty_summary
+  else
+    let rec go acc i =
+      if i >= iters then acc
+      else
+        let point = points.(Rng.int rng (Array.length points)) in
+        let after = Rng.int rng 5 in
+        let run_seed = Rng.int64 rng in
+        let plan = random_plan rng in
+        let inject_torn = Rng.bool rng in
+        match run_one ~point ~after ~seed:run_seed ~ops ~plan ~inject_torn with
+        | None -> go acc (i + 1)
+        | Some o ->
+            trace_outcome trace o;
+            go (add acc o) (i + 1)
+    in
+    go empty_summary 0

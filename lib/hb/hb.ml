@@ -12,6 +12,17 @@ module Atomic_action = Pitree_txn.Atomic_action
 module Crash_point = Pitree_txn.Crash_point
 module Env = Pitree_env.Env
 module Wellformed = Pitree_core.Wellformed
+
+(* Every Crash_point.hit site in this engine, pre-registered so sweep
+   harnesses can enumerate them before any fires. *)
+let () =
+  List.iter Crash_point.register
+    [
+      "hb.split.linked";
+      "hb.root.grown";
+      "hb.post.updated";
+      "hb.consolidate.linked";
+    ]
 module Codec = Pitree_util.Codec
 open Hb_space
 

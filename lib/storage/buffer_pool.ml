@@ -8,11 +8,20 @@ type frame = {
   mutable tick : int;
 }
 
-type stats = { hits : int; misses : int; evictions : int; flushes : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;
+  retried_reads : int;
+  retried_writes : int;
+}
 
 type t = {
   disk : Disk.t;
   cap : int;
+  max_retries : int;
+  backoff_base : float;
   table : (int, frame) Hashtbl.t;
   mu : Mutex.t;
   wal_flush : int -> unit;
@@ -22,15 +31,20 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable flushes : int;
+  mutable retried_reads : int;
+  mutable retried_writes : int;
 }
 
 exception Pool_exhausted
 
-let create ?(capacity = 1024) ~disk ~wal_flush () =
+let create ?(capacity = 1024) ?(max_retries = 12) ?(backoff_base = 0.0002)
+    ~disk ~wal_flush () =
   if capacity < 8 then invalid_arg "Buffer_pool.create: capacity < 8";
   {
     disk;
     cap = capacity;
+    max_retries;
+    backoff_base;
     table = Hashtbl.create capacity;
     mu = Mutex.create ();
     wal_flush;
@@ -40,17 +54,62 @@ let create ?(capacity = 1024) ~disk ~wal_flush () =
     misses = 0;
     evictions = 0;
     flushes = 0;
+    retried_reads = 0;
+    retried_writes = 0;
   }
 
 let capacity t = t.cap
 
 let check_alive t = if t.dead then failwith "Buffer_pool: used after crash"
 
+(* Capped exponential backoff before retry [attempt] (0-based). *)
+let backoff t attempt =
+  let d = t.backoff_base *. (2.0 ** float_of_int (min attempt 4)) in
+  Thread.delay (min d 0.002)
+
+(* Read page [pid]'s durable image, absorbing transient disk errors (with
+   backoff) and transient read-path corruption (immediate re-read). A
+   corrupt image that reads back byte-identical twice is persistent — the
+   durable image itself is torn or rotten — so we stop retrying and let
+   [Page.Corrupt] surface (recovery treats it as "no durable image"). *)
+let read_durable t pid =
+  let buf = Bytes.make t.disk.Disk.page_size '\000' in
+  let rec go attempt last_corrupt =
+    match
+      t.disk.Disk.read pid buf;
+      Page.of_durable ~id:pid buf
+    with
+    | page -> page
+    | exception Disk.Disk_error { transient = true; _ }
+      when attempt < t.max_retries ->
+        t.retried_reads <- t.retried_reads + 1;
+        backoff t attempt;
+        go (attempt + 1) last_corrupt
+    | exception (Page.Corrupt _ as e) when attempt < t.max_retries ->
+        let image = Bytes.copy buf in
+        (match last_corrupt with
+        | Some prev when Bytes.equal prev image -> raise e
+        | _ ->
+            t.retried_reads <- t.retried_reads + 1;
+            go (attempt + 1) (Some image))
+  in
+  go 0 None
+
 (* Caller holds [t.mu]. *)
 let write_out t fr =
   if fr.dirty then begin
     t.wal_flush (Page.lsn fr.page);
-    t.disk.Disk.write (Page.id fr.page) (Page.raw fr.page);
+    Page.stamp_checksum fr.page;
+    let rec put attempt =
+      match t.disk.Disk.write (Page.id fr.page) (Page.raw fr.page) with
+      | () -> ()
+      | exception Disk.Disk_error { transient = true; _ }
+        when attempt < t.max_retries ->
+          t.retried_writes <- t.retried_writes + 1;
+          backoff t attempt;
+          put (attempt + 1)
+    in
+    put 0;
     fr.dirty <- false;
     t.flushes <- t.flushes + 1
   end
@@ -102,11 +161,7 @@ let pin_common t pid ~read =
       t.misses <- t.misses + 1;
       let build_and_install () =
         let page =
-          if read then begin
-            let buf = Bytes.make t.disk.Disk.page_size '\000' in
-            t.disk.Disk.read pid buf;
-            Page.of_bytes ~id:pid buf
-          end
+          if read then read_durable t pid
           else
             (* Freshly allocated page: pre-format minimally so Page accessors
                are safe until the caller's logged Format operation runs. *)
@@ -136,15 +191,19 @@ let mark_dirty fr = fr.dirty <- true
 
 let flush_page t fr =
   Mutex.lock t.mu;
-  check_alive t;
-  write_out t fr;
-  Mutex.unlock t.mu
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      check_alive t;
+      write_out t fr)
 
 let flush_all t =
   Mutex.lock t.mu;
-  check_alive t;
-  Hashtbl.iter (fun _ fr -> write_out t fr) t.table;
-  Mutex.unlock t.mu
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      check_alive t;
+      Hashtbl.iter (fun _ fr -> write_out t fr) t.table)
 
 let crash t =
   Mutex.lock t.mu;
@@ -155,7 +214,14 @@ let crash t =
 let stats t =
   Mutex.lock t.mu;
   let s =
-    { hits = t.hits; misses = t.misses; evictions = t.evictions; flushes = t.flushes }
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      flushes = t.flushes;
+      retried_reads = t.retried_reads;
+      retried_writes = t.retried_writes;
+    }
   in
   Mutex.unlock t.mu;
   s

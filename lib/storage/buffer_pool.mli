@@ -11,7 +11,19 @@
       LSN has not been flushed by calling the [wal_flush] callback first
       (the WAL protocol).
 
-    [crash] models power failure: every frame vanishes, clean or dirty. *)
+    [crash] models power failure: every frame vanishes, clean or dirty.
+
+    {2 Storage-fault resilience}
+
+    The pool is the checksum boundary: every flush stamps the page's CRC32
+    ([Page.stamp_checksum]) and every fetch verifies it ([Page.of_durable]).
+    Transient disk errors ([Disk.Disk_error] with [transient = true]) and
+    transient read-path corruption (a fetched image failing its checksum)
+    are absorbed by retrying with capped exponential backoff, observable
+    via [stats.retried_reads] / [stats.retried_writes]. A corrupt image
+    that reads back identically twice is persistent — the durable image is
+    torn or rotten — and surfaces as [Page.Corrupt]; recovery rebuilds such
+    pages purely from redo history. *)
 
 type t
 
@@ -28,15 +40,28 @@ exception Pool_exhausted
     Size the pool above the maximum number of simultaneously pinned pages
     (ops pin O(tree height) pages). *)
 
-val create : ?capacity:int -> disk:Disk.t -> wal_flush:(int -> unit) -> unit -> t
+val create :
+  ?capacity:int ->
+  ?max_retries:int ->
+  ?backoff_base:float ->
+  disk:Disk.t ->
+  wal_flush:(int -> unit) ->
+  unit ->
+  t
 (** [wal_flush lsn] must make the log durable up to and including [lsn]
-    before returning; the pool invokes it before writing any dirty page. *)
+    before returning; the pool invokes it before writing any dirty page.
+    [max_retries] (default 12) bounds re-issues of a failed disk op;
+    [backoff_base] (default 0.2ms) seeds the exponential backoff, capped
+    at 2ms per wait. *)
 
 val capacity : t -> int
 
 val pin : t -> int -> frame
 (** Pin page [pid], reading it from disk on a miss. Raises [Not_found] if
-    the page does not exist on disk (caller bug or corrupt pointer). *)
+    the page does not exist on disk (caller bug or corrupt pointer);
+    [Page.Corrupt] if its durable image is torn or fails its checksum
+    persistently (media damage — recovery rebuilds it from the log);
+    [Disk.Disk_error] if the disk keeps failing past the retry budget. *)
 
 val pin_new : t -> int -> frame
 (** Pin a frame for a page known not to require a disk read (freshly
@@ -58,6 +83,15 @@ val crash : t -> unit
 (** Discard all frames without flushing. The pool is unusable afterwards;
     open a fresh one to recover. *)
 
-type stats = { hits : int; misses : int; evictions : int; flushes : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;
+  retried_reads : int;
+      (** disk reads re-issued after a transient error or a transiently
+          corrupt image *)
+  retried_writes : int;  (** disk writes re-issued after a transient error *)
+}
 
 val stats : t -> stats

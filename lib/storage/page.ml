@@ -15,7 +15,7 @@ let pp_kind ppf k =
   Format.pp_print_string ppf
     (match k with Free -> "free" | Meta -> "meta" | Data -> "data" | Index -> "index")
 
-(* Header layout (32 bytes):
+(* Header layout (40 bytes):
    0  u16 magic
    2  u8  kind
    3  u8  level
@@ -26,16 +26,39 @@ let pp_kind ppf k =
    20 u32 side_ptr
    24 u32 aux_ptr
    28 u16 flags
-   30 u16 reserved *)
+   30 u16 reserved
+   32 u32 checksum (CRC32 of the whole page with this field zeroed)
+   36 u32 reserved *)
 
 let magic = 0x5049
-let header_size = 32
+let header_size = 40
+let checksum_off = 32
 let slot_overhead = 4
 let nil = 0
 
 type t = { id : int; buf : bytes }
 
 exception Page_full
+
+type corruption =
+  | Torn  (** header invalid: the write never completed past the header *)
+  | Checksum of { stored : int32; computed : int32 }
+      (** header valid but body mismatched: a torn interior or bit rot *)
+
+exception Corrupt of { pid : int; what : corruption }
+
+let pp_corruption ppf = function
+  | Torn -> Format.pp_print_string ppf "torn (bad header)"
+  | Checksum { stored; computed } ->
+      Format.fprintf ppf "checksum mismatch (stored %08lx, computed %08lx)"
+        stored computed
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { pid; what } ->
+        Some
+          (Format.asprintf "Page.Corrupt (page %d: %a)" pid pp_corruption what)
+    | _ -> None)
 
 let size t = Bytes.length t.buf
 let id t = t.id
@@ -83,6 +106,41 @@ let of_bytes ~id buf =
   let t = { id; buf } in
   if Codec.read_u16 buf 0 <> magic then
     raise (Codec.Corrupt (Printf.sprintf "page %d: bad magic" id));
+  t
+
+(* --- checksums ---
+
+   The CRC covers the entire page image with the checksum field itself
+   read as zero, so stamping is: zero the field, CRC, store. The buffer
+   pool stamps on every flush and verifies on every fetch; the field is
+   meaningless (stale) while the page is dirty in memory. *)
+
+let checksum t = Codec.read_u32 t.buf checksum_off
+
+let compute_checksum t =
+  let saved = Codec.read_u32 t.buf checksum_off in
+  Codec.set_u32 t.buf checksum_off 0;
+  let crc = Codec.crc32 (Bytes.unsafe_to_string t.buf) in
+  Codec.set_u32 t.buf checksum_off saved;
+  crc
+
+let stamp_checksum t =
+  Codec.set_u32 t.buf checksum_off 0;
+  let crc = Codec.crc32 (Bytes.unsafe_to_string t.buf) in
+  Codec.set_u32 t.buf checksum_off (Int32.to_int crc land 0xFFFFFFFF)
+
+let checksum_ok t =
+  Int32.equal (compute_checksum t)
+    (Int32.of_int (checksum t))
+
+let of_durable ~id buf =
+  if Codec.read_u16 buf 0 <> magic then
+    raise (Corrupt { pid = id; what = Torn });
+  let t = { id; buf } in
+  let computed = compute_checksum t in
+  let stored = Int32.of_int (checksum t) in
+  if not (Int32.equal computed stored) then
+    raise (Corrupt { pid = id; what = Checksum { stored; computed } });
   t
 
 let copy t = { id = t.id; buf = Bytes.copy t.buf }

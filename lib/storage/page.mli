@@ -2,13 +2,19 @@
 
     Every node of every index in the library lives on one of these pages, so
     that trees survive (simulated) crashes byte-for-byte. The layout is the
-    classic slotted page: a fixed 32-byte header, a slot directory growing
+    classic slotted page: a fixed 40-byte header, a slot directory growing
     upward, and cell payloads growing downward from the end of the page.
 
     The header carries the {b page LSN}, which doubles as the paper's node
     {e state identifier} (section 5.2): any logged change to the page
     advances it, so a traversal can detect "has this node changed since I
     remembered it?" with one comparison.
+
+    The header also reserves a {b CRC32 checksum} of the whole page image.
+    The buffer pool stamps it on every flush and verifies it on every
+    fetch, so torn writes and bit rot on the durable medium are detected
+    at the storage boundary ({!Corrupt}) instead of surfacing as tree
+    corruption. While a page is dirty in memory the field is stale.
 
     Mutations here are raw, unlogged primitives. Code above the WAL never
     calls them directly: it goes through [Pitree_wal.Page_ops] so that every
@@ -28,6 +34,23 @@ type t
 
 exception Page_full
 
+type corruption =
+  | Torn
+      (** the header is invalid (bad magic): the write that should have
+          produced this image never completed past the header, or the page
+          was never fully written at all *)
+  | Checksum of { stored : int32; computed : int32 }
+      (** the header is valid but the body does not match the stamped
+          checksum: a torn interior (old tail behind a new header) or
+          silent corruption (bit rot) *)
+
+exception Corrupt of { pid : int; what : corruption }
+(** Raised by {!of_durable} when a durable image fails verification.
+    Recovery treats this as "no durable image" and rebuilds the page
+    purely from redo history. *)
+
+val pp_corruption : Format.formatter -> corruption -> unit
+
 val header_size : int
 val slot_overhead : int
 (** Bytes of slot-directory space consumed per cell (4). *)
@@ -40,7 +63,29 @@ val create : size:int -> id:int -> kind:kind -> level:int -> t
 
 val of_bytes : id:int -> bytes -> t
 (** Adopt [bytes] (not copied) as page [id]'s image. Raises
-    [Pitree_util.Codec.Corrupt] on a bad magic number. *)
+    [Pitree_util.Codec.Corrupt] on a bad magic number. Does {e not} verify
+    the checksum (for in-memory copies and debugging); durable images read
+    from disk go through {!of_durable}. *)
+
+val of_durable : id:int -> bytes -> t
+(** Adopt [bytes] (not copied) as page [id]'s durable image, verifying
+    header magic and checksum. Raises {!Corrupt} — [Torn] on a bad header,
+    [Checksum] on a body mismatch. *)
+
+(** {2 Checksums} *)
+
+val checksum : t -> int
+(** The stamped checksum field (meaningless while the page is dirty). *)
+
+val compute_checksum : t -> int32
+(** CRC32 of the current image with the checksum field read as zero. *)
+
+val stamp_checksum : t -> unit
+(** Store {!compute_checksum} into the header (done by the buffer pool on
+    every flush). *)
+
+val checksum_ok : t -> bool
+(** Does the stamped checksum match the current image? *)
 
 val raw : t -> bytes
 (** The live underlying buffer (for disk I/O). *)

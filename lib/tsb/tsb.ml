@@ -18,6 +18,12 @@ module Keyspace = Pitree_core.Keyspace
 module Ordkey = Pitree_util.Ordkey
 module Bnode = Pitree_blink.Node
 
+(* Every Crash_point.hit site in this engine, pre-registered so sweep
+   harnesses can enumerate them before any fires. *)
+let () =
+  List.iter Crash_point.register
+    [ "tsb.timesplit.linked"; "tsb.keysplit.linked" ]
+
 type stats = {
   puts : int;
   time_splits : int;

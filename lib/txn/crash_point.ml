@@ -3,6 +3,18 @@ exception Crash_requested of string
 let mu = Mutex.create ()
 let armed : (string, int ref) Hashtbl.t = Hashtbl.create 8
 let counts : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+let register name =
+  Mutex.lock mu;
+  Hashtbl.replace registry name ();
+  Mutex.unlock mu
+
+let all_names () =
+  Mutex.lock mu;
+  let names = Hashtbl.fold (fun name () acc -> name :: acc) registry [] in
+  Mutex.unlock mu;
+  List.sort String.compare names
 
 let arm name ~after =
   Mutex.lock mu;
@@ -21,6 +33,7 @@ let disarm_all () =
 
 let hit name =
   Mutex.lock mu;
+  Hashtbl.replace registry name ();
   (match Hashtbl.find_opt counts name with
   | Some c -> incr c
   | None -> Hashtbl.replace counts name (ref 1));

@@ -11,6 +11,15 @@
 
 exception Crash_requested of string
 
+val register : string -> unit
+(** Add [name] to the global registry without hitting it. Engines register
+    their points at module-initialization time so sweep harnesses can
+    enumerate every site ({!all_names}) before any has fired; {!hit} also
+    registers implicitly. Idempotent. *)
+
+val all_names : unit -> string list
+(** Every registered point, sorted. *)
+
 val arm : string -> after:int -> unit
 (** [arm name ~after:n]: the [n+1]-th subsequent {!hit} of [name] raises. *)
 

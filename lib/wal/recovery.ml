@@ -9,21 +9,35 @@ type report = {
   loser_txns : int list;
   clrs_written : int;
   committed_unended : int;
+  torn_pages : int;
+  retried_reads : int;
 }
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>recovery: analyzed=%d redone=%d skipped=%d losers=[%a] clrs=%d ended=%d@]"
+    "@[<v>recovery: analyzed=%d redone=%d skipped=%d losers=[%a] clrs=%d \
+     ended=%d torn=%d retried_reads=%d@]"
     r.analyzed r.redone r.skipped
     Fmt.(list ~sep:(any ",") int)
-    r.loser_txns r.clrs_written r.committed_unended
+    r.loser_txns r.clrs_written r.committed_unended r.torn_pages
+    r.retried_reads
+
+(* Pages whose durable image failed verification during this restart: they
+   were rebuilt from scratch by redo (repeating history from their Format
+   record), exactly as if they had never reached disk. *)
+let torn_count = Atomic.make 0
 
 (* Pin the page, creating an empty frame when it has no durable image yet
-   (its Format record is about to be redone). *)
+   (its Format record is about to be redone) — or when the durable image is
+   torn or corrupt: a page that cannot be trusted is a page that was never
+   written, and redo rebuilds it from the log. *)
 let pin_or_new pool pid =
   match Buffer_pool.pin pool pid with
   | fr -> fr
   | exception Not_found -> Buffer_pool.pin_new pool pid
+  | exception Page.Corrupt _ ->
+      Atomic.incr torn_count;
+      Buffer_pool.pin_new pool pid
 
 (* Apply one undo step for [record] (an Update), writing a CLR. Returns the
    CLR's lsn. [prev] is the transaction's latest log record, to backchain. *)
@@ -85,6 +99,8 @@ let rollback ?prev ~log ~pool ~txn ~from_lsn () =
 type att_entry = { mutable last : Lsn.t; mutable committed : bool }
 
 let run ~log ~pool =
+  let torn_before = Atomic.get torn_count in
+  let pool_stats_before = Buffer_pool.stats pool in
   (* --- Analysis --- *)
   let att : (int, att_entry) Hashtbl.t = Hashtbl.create 64 in
   let analyzed = ref 0 in
@@ -143,17 +159,79 @@ let run ~log ~pool =
       else losers := (txn, e) :: !losers)
     att;
   let clr_count_before = Log_manager.last_lsn log in
+  (* Undo all losers in a single merged backward scan, always taking the
+     globally greatest not-yet-undone LSN (ARIES). Per-transaction order
+     would be wrong: page-oriented undo of a record is valid only while
+     the page still holds the exact state that op left, and undoing an
+     earlier-LSN loser first (say a user transaction whose logical undo
+     re-traverses the tree) can shift cells out from under a dangling
+     system transaction's physical slot operations. *)
+  let cursors =
+    List.map
+      (fun (txn, e) ->
+        let abort_lsn =
+          Log_manager.append log ~prev:e.last ~txn Log_record.Abort
+        in
+        (txn, ref e.last, ref abort_lsn))
+      !losers
+  in
+  let rec undo_pass () =
+    let best =
+      List.fold_left
+        (fun acc ((_, next, _) as c) ->
+          if Lsn.is_null !next then acc
+          else
+            match acc with
+            | Some (_, n, _) when !n >= !next -> acc
+            | _ -> Some c)
+        None cursors
+    in
+    match best with
+    | None -> ()
+    | Some (txn, next, prev) ->
+        let r = Log_manager.read log !next in
+        assert (r.Log_record.txn = txn);
+        (match r.Log_record.body with
+        | Log_record.Update { page; op; lundo = None } ->
+            let clr =
+              undo_update ~log ~pool ~txn ~prev:!prev ~page ~op
+                ~undo_next:r.Log_record.prev
+            in
+            prev := clr;
+            next := r.Log_record.prev
+        | Log_record.Update { lundo = Some { Log_record.tree; comp }; _ } ->
+            let h =
+              match Logical.handler_for tree with
+              | Some h -> h
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "Recovery: logical-undo record for tree %d but no \
+                        access-method handler registered"
+                       tree)
+            in
+            let clr =
+              h ~tree ~comp ~txn ~prev:!prev ~undo_next:r.Log_record.prev
+            in
+            if not (Lsn.is_null clr) then prev := clr;
+            next := r.Log_record.prev
+        | Log_record.Clr { undo_next; _ } ->
+            (* Already-undone tail: jump past it. *)
+            next := undo_next
+        | Log_record.Begin _ -> next := Lsn.null
+        | Log_record.Commit | Log_record.Abort | Log_record.End
+        | Log_record.Checkpoint _ ->
+            next := r.Log_record.prev);
+        undo_pass ()
+  in
+  undo_pass ();
   List.iter
-    (fun (txn, e) ->
-      let abort_lsn = Log_manager.append log ~prev:e.last ~txn Log_record.Abort in
-      let last_clr =
-        rollback ~prev:abort_lsn ~log ~pool ~txn ~from_lsn:e.last ()
-      in
-      let end_prev = if Lsn.is_null last_clr then abort_lsn else last_clr in
-      ignore (Log_manager.append log ~prev:end_prev ~txn Log_record.End))
-    !losers;
+    (fun (txn, _, prev) ->
+      ignore (Log_manager.append log ~prev:!prev ~txn Log_record.End))
+    cursors;
   clrs := Log_manager.last_lsn log - clr_count_before - (2 * List.length !losers);
   Log_manager.flush_all log;
+  let pool_stats_after = Buffer_pool.stats pool in
   {
     analyzed = !analyzed;
     redone = !redone;
@@ -161,4 +239,8 @@ let run ~log ~pool =
     loser_txns = List.map fst !losers;
     clrs_written = !clrs;
     committed_unended = !ended;
+    torn_pages = Atomic.get torn_count - torn_before;
+    retried_reads =
+      pool_stats_after.Buffer_pool.retried_reads
+      - pool_stats_before.Buffer_pool.retried_reads;
   }

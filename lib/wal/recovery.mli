@@ -22,6 +22,12 @@ type report = {
   loser_txns : int list;  (** transactions rolled back *)
   clrs_written : int;
   committed_unended : int;  (** winners that just needed an End record *)
+  torn_pages : int;
+      (** pages whose durable image failed checksum verification (torn
+          write or bit rot) and were rebuilt purely from redo history *)
+  retried_reads : int;
+      (** disk reads the buffer pool re-issued during this restart to
+          absorb transient errors *)
 }
 
 val pp_report : Format.formatter -> report -> unit
