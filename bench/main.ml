@@ -24,8 +24,19 @@ module Table = Pitree_harness.Table
 module Rng = Pitree_util.Rng
 
 let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
-    ?(consolidation = true) () =
-  Env.create { Env.page_size; pool_capacity = pool; page_oriented_undo; consolidation }
+    ?(consolidation = true) ?log_path ?wal_group_commit () =
+  Env.create ?log_path ?wal_group_commit
+    { Env.page_size; pool_capacity = pool; page_oriented_undo; consolidation }
+
+(* A file-backed WAL in a scratch location, so force counts are real fsyncs
+   (an in-memory log advances durability without forcing anything). *)
+let with_file_log f =
+  let log_path = Filename.temp_file "pitree_bench" ".wal" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove log_path with Sys_error _ -> ());
+      try Sys.remove (log_path ^ ".ckpt") with Sys_error _ -> ())
+    (fun () -> f log_path)
 
 type engine = Eblink | Ecoupling | Etreelatch
 
@@ -412,19 +423,20 @@ let e9 () =
 
 let e10 () =
   let count_forces ~relative =
-    let env = mk_env () in
-    let mgr = Env.txns env in
-    let log = Env.log env in
-    let before = (Log_manager.stats log).Log_manager.forces in
-    for _ = 1 to 1000 do
-      let kind = if relative then Txn.System else Txn.User in
-      let txn = Txn_mgr.begin_txn mgr kind in
-      Txn_mgr.commit mgr txn
-    done;
-    (* One closing user commit carries the batch to durability. *)
-    let txn = Txn_mgr.begin_txn mgr Txn.User in
-    Txn_mgr.commit mgr txn;
-    (Log_manager.stats log).Log_manager.forces - before
+    with_file_log (fun log_path ->
+        let env = mk_env ~log_path () in
+        let mgr = Env.txns env in
+        let log = Env.log env in
+        let before = (Log_manager.stats log).Log_manager.forces in
+        for _ = 1 to 1000 do
+          let kind = if relative then Txn.System else Txn.User in
+          let txn = Txn_mgr.begin_txn mgr kind in
+          Txn_mgr.commit mgr txn
+        done;
+        (* One closing user commit carries the batch to durability. *)
+        let txn = Txn_mgr.begin_txn mgr Txn.User in
+        Txn_mgr.commit mgr txn;
+        (Log_manager.stats log).Log_manager.forces - before)
   in
   let sys = count_forces ~relative:true in
   let usr = count_forces ~relative:false in
@@ -647,12 +659,136 @@ let micro () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* WAL group commit: a commit-heavy storm of user transactions across
+   domains, group-commit pipeline vs the serial hold-the-mutex-across-fsync
+   baseline. Emits BENCH_wal.json so the perf trajectory has data points.   *)
+(* ------------------------------------------------------------------ *)
+
+type wal_run = {
+  w_mode : string;
+  w_domains : int;
+  w_committed : int;
+  w_elapsed_s : float;
+  w_commits_per_s : float;
+  w_stats : Log_manager.stats;
+}
+
+let wal_commit_storm ~group_commit ~domains ~txns_per_domain =
+  with_file_log (fun log_path ->
+      let env = mk_env ~log_path ~wal_group_commit:group_commit () in
+      let t = Blink.create env ~name:"wal" in
+      let mgr = Env.txns env in
+      let log = Env.log env in
+      let forces0 = (Log_manager.stats log).Log_manager.forces in
+      let t0 = Unix.gettimeofday () in
+      let work d =
+        for i = 0 to txns_per_domain - 1 do
+          let txn = Txn_mgr.begin_txn mgr Txn.User in
+          Blink.insert ~txn t
+            ~key:(Printf.sprintf "d%02d-%06d" d i)
+            ~value:"v";
+          Txn_mgr.commit mgr txn
+        done
+      in
+      (if domains = 1 then work 0
+       else
+         List.init domains (fun d -> Domain.spawn (fun () -> work d))
+         |> List.iter Domain.join);
+      let dt = Unix.gettimeofday () -. t0 in
+      ignore (Env.drain env);
+      let s = Log_manager.stats log in
+      let committed = domains * txns_per_domain in
+      {
+        w_mode = (if group_commit then "group" else "serial");
+        w_domains = domains;
+        w_committed = committed;
+        w_elapsed_s = dt;
+        w_commits_per_s = float_of_int committed /. dt;
+        w_stats = { s with Log_manager.forces = s.Log_manager.forces - forces0 };
+      })
+
+let wal_json_of_runs ~txns_per_domain runs =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"wal_group_commit\",\n";
+  Printf.bprintf b "  \"txns_per_domain\": %d,\n" txns_per_domain;
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      let s = r.w_stats in
+      Printf.bprintf b
+        "    {\"mode\": %S, \"domains\": %d, \"committed\": %d, \
+         \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"forces\": %d, \
+         \"flushes\": %d, \"flush_requests\": %d, \"appends\": %d, \
+         \"batch_mean\": %.2f, \"batch_p99\": %d, \"batch_max\": %d, \
+         \"wait_mean_ns\": %.0f, \"wait_p50_ns\": %d, \"wait_p99_ns\": %d, \
+         \"batching_observed\": %b}%s\n"
+        r.w_mode r.w_domains r.w_committed r.w_elapsed_s r.w_commits_per_s
+        s.Log_manager.forces s.Log_manager.flushes s.Log_manager.flush_requests
+        s.Log_manager.appends s.Log_manager.batch_mean s.Log_manager.batch_p99
+        s.Log_manager.batch_max s.Log_manager.wait_mean_ns
+        s.Log_manager.wait_p50_ns s.Log_manager.wait_p99_ns
+        (s.Log_manager.forces < r.w_committed)
+        (if i = List.length runs - 1 then "" else ",")
+    )
+    runs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let wal_impl ~txns_per_domain ~domain_counts ~out () =
+  let runs =
+    List.concat_map
+      (fun group_commit ->
+        List.map
+          (fun domains -> wal_commit_storm ~group_commit ~domains ~txns_per_domain)
+          domain_counts)
+      [ false; true ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let s = r.w_stats in
+        [
+          r.w_mode;
+          string_of_int r.w_domains;
+          string_of_int r.w_committed;
+          fmt_ops r.w_commits_per_s;
+          string_of_int s.Log_manager.forces;
+          Printf.sprintf "%.2f" s.Log_manager.batch_mean;
+          string_of_int s.Log_manager.batch_p99;
+          string_of_int s.Log_manager.wait_p50_ns;
+          string_of_int s.Log_manager.wait_p99_ns;
+        ])
+      runs
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "WAL group commit: user-commit storm (%d txns/domain, file-backed \
+          log); serial = pre-group-commit baseline"
+         txns_per_domain)
+    ~header:
+      [ "mode"; "domains"; "commits"; "commits/s"; "forces"; "batch mean";
+        "batch p99"; "wait p50 ns"; "wait p99 ns" ]
+    rows;
+  let oc = open_out out in
+  output_string oc (wal_json_of_runs ~txns_per_domain runs);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let wal () = wal_impl ~txns_per_domain:1000 ~domain_counts:[ 1; 2; 4; 8 ] ~out:"BENCH_wal.json" ()
+
+let wal_smoke () =
+  wal_impl ~txns_per_domain:100 ~domain_counts:[ 4 ] ~out:"BENCH_wal.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14);
+    ("wal", wal); ("wal-smoke", wal_smoke);
     ("micro", micro);
   ]
 
@@ -660,14 +796,15 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "--help" ] | [ "-h" ] ->
-      print_endline "usage: bench/main.exe [e1 .. e14 | micro | all]";
+      print_endline "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | micro | all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter
         (fun (name, f) ->
           Printf.printf "\n### running %s ...\n%!" name;
           f ())
-        experiments
+        (* the smoke variant would overwrite the full run's BENCH_wal.json *)
+        (List.filter (fun (n, _) -> n <> "wal-smoke") experiments)
   | names ->
       List.iter
         (fun name ->

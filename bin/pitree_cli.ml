@@ -161,7 +161,10 @@ let workload domains ops reads inserts deletes zipf =
   in
   Driver.preload inst spec ~n:20_000;
   ignore (Env.drain env);
-  let r = Driver.run ~domains ~ops_per_domain:(ops / domains) ~seed:1L inst spec in
+  let r =
+    Driver.run ~log:(Env.log env) ~domains ~ops_per_domain:(ops / domains)
+      ~seed:1L inst spec
+  in
   Format.printf "%a@." Driver.pp_result r;
   verify_and_report t
 

@@ -125,11 +125,13 @@ let make_skeleton disk log_ref cfg =
     completions = 0;
   }
 
-let create ?disk ?log_path cfg =
+let create ?disk ?log_path ?wal_group_commit cfg =
   let disk =
     match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
   in
-  let log_ref = ref (Log_manager.create ?path:log_path ()) in
+  let log_ref =
+    ref (Log_manager.create ?path:log_path ?group_commit:wal_group_commit ())
+  in
   let t = make_skeleton disk log_ref cfg in
   (* Format the meta page inside an atomic action. *)
   Atomic_action.run t.txns_v (fun txn ->

@@ -30,12 +30,19 @@ val default_config : config
 
 type t
 
-val create : ?disk:Pitree_storage.Disk.t -> ?log_path:string -> config -> t
+val create :
+  ?disk:Pitree_storage.Disk.t ->
+  ?log_path:string ->
+  ?wal_group_commit:bool ->
+  config ->
+  t
 (** Fresh database: formats the meta page and takes an initial checkpoint.
     [disk] defaults to a new crash-faithful in-memory disk; [log_path]
     backs the write-ahead log with an append-only file, making the
     database recoverable across process restarts (pair it with
-    [Pitree_storage.Disk.file]). *)
+    [Pitree_storage.Disk.file]). [wal_group_commit] (default true) selects
+    the log's batched force pipeline; [false] keeps the serial
+    one-fsync-per-commit path as a measurable baseline. *)
 
 val open_from : ?disk:Pitree_storage.Disk.t -> log_path:string -> config -> t
 (** Reattach to a database persisted by a previous process: the log is

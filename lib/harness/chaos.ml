@@ -458,17 +458,23 @@ let engine_of_point point =
   | None -> point
 
 (* The registry is global and other users (tests, future engines) may add
-   points we have no runner for; enumerate only the ones we can drive. *)
+   points we have no runner for; enumerate only the ones we can drive.
+   "wal" points (the group-commit pipeline, e.g. the window between a batch
+   fsync and its waiter wakeup) fire from inside any workload that forces
+   the log — buffer-pool evictions under the small chaos pool do — so the
+   B-link runner drives them. *)
 let known_points () =
   List.filter
     (fun p ->
-      match engine_of_point p with "blink" | "tsb" | "hb" -> true | _ -> false)
+      match engine_of_point p with
+      | "blink" | "tsb" | "hb" | "wal" -> true
+      | _ -> false)
     (Crash_point.all_names ())
 
 let run_one ~point ~after ~seed ~ops ~plan ~inject_torn =
   let runner =
     match engine_of_point point with
-    | "blink" -> Some run_blink
+    | "blink" | "wal" -> Some run_blink
     | "tsb" -> Some run_tsb
     | "hb" -> Some run_hb
     | _ -> None

@@ -1,4 +1,5 @@
 module Histogram = Pitree_util.Histogram
+module Log_manager = Pitree_wal.Log_manager
 
 type result = {
   domains : int;
@@ -8,11 +9,16 @@ type result = {
   mean_ns : float;
   p50_ns : int;
   p99_ns : int;
+  wal : Log_manager.stats option;
 }
 
 let pp_result ppf r =
   Fmt.pf ppf "%d domains: %.0f ops/s (mean %.0fns p50 %dns p99 %dns, %d ops in %.2fs)"
-    r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.total_ops r.elapsed_s
+    r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.total_ops r.elapsed_s;
+  match r.wal with
+  | None -> ()
+  | Some w ->
+      Fmt.pf ppf "@\n%a" Log_manager.pp_stats w
 
 let now () = Unix.gettimeofday ()
 
@@ -39,7 +45,22 @@ let worker inst spec ~seed ~worker:w ~workers ~ops =
   done;
   h
 
-let run ~domains ~ops_per_domain ~seed inst spec =
+(* Counter fields are reported as the delta across the run; the batch/wait
+   distributions are cumulative for the log's lifetime (histograms are not
+   subtractable), which matches the common fresh-env-per-run usage. *)
+let wal_delta (before : Log_manager.stats) (after : Log_manager.stats) =
+  {
+    after with
+    Log_manager.appends = after.Log_manager.appends - before.Log_manager.appends;
+    forces = after.Log_manager.forces - before.Log_manager.forces;
+    flushes = after.Log_manager.flushes - before.Log_manager.flushes;
+    flush_requests =
+      after.Log_manager.flush_requests - before.Log_manager.flush_requests;
+    bytes = after.Log_manager.bytes - before.Log_manager.bytes;
+  }
+
+let run ?log ~domains ~ops_per_domain ~seed inst spec =
+  let wal_before = Option.map Log_manager.stats log in
   let t0 = now () in
   let hists =
     if domains = 1 then [ worker inst spec ~seed ~worker:0 ~workers:1 ~ops:ops_per_domain ]
@@ -56,6 +77,11 @@ let run ~domains ~ops_per_domain ~seed inst spec =
   let elapsed = now () -. t0 in
   let h = List.fold_left Histogram.merge (Histogram.create ()) hists in
   let total = domains * ops_per_domain in
+  let wal =
+    match (log, wal_before) with
+    | Some log, Some before -> Some (wal_delta before (Log_manager.stats log))
+    | _ -> None
+  in
   {
     domains;
     total_ops = total;
@@ -64,4 +90,5 @@ let run ~domains ~ops_per_domain ~seed inst spec =
     mean_ns = Histogram.mean h;
     p50_ns = Histogram.percentile h 50.0;
     p99_ns = Histogram.percentile h 99.0;
+    wal;
   }

@@ -13,6 +13,10 @@ type result = {
   mean_ns : float;
   p50_ns : int;
   p99_ns : int;
+  wal : Pitree_wal.Log_manager.stats option;
+      (** present when [run] was given the environment's log: forces,
+          flushes and bytes as deltas across the run; batch/commit-wait
+          distributions cumulative for the log's lifetime *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -22,9 +26,12 @@ val preload : Kv.instance -> Workload.spec -> n:int -> unit
     run against a warm tree. *)
 
 val run :
+  ?log:Pitree_wal.Log_manager.t ->
   domains:int ->
   ops_per_domain:int ->
   seed:int64 ->
   Kv.instance ->
   Workload.spec ->
   result
+(** Pass [?log] (usually [Env.log env]) to capture the WAL's group-commit
+    stats alongside throughput. *)

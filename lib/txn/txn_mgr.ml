@@ -22,6 +22,7 @@ let create ?(first_id = 1) ~log ~pool ~locks () =
 let log t = t.log
 let pool t = t.pool
 let locks t = t.locks
+let wal_stats t = Log_manager.stats t.log
 
 let begin_txn t kind =
   Mutex.lock t.mu;

@@ -23,6 +23,10 @@ val log : t -> Pitree_wal.Log_manager.t
 val pool : t -> Pitree_storage.Buffer_pool.t
 val locks : t -> Pitree_lock.Lock_manager.t
 
+val wal_stats : t -> Pitree_wal.Log_manager.stats
+(** The log's group-commit record: forces (real fsyncs), flush batching and
+    commit-wait latency (time blocked in the force pipeline). *)
+
 val begin_txn : t -> Txn.kind -> Txn.t
 
 val update :

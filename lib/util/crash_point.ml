@@ -1,0 +1,65 @@
+exception Crash_requested of string
+
+let mu = Mutex.create ()
+let armed : (string, int ref) Hashtbl.t = Hashtbl.create 8
+let counts : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+let register name =
+  Mutex.lock mu;
+  Hashtbl.replace registry name ();
+  Mutex.unlock mu
+
+let all_names () =
+  Mutex.lock mu;
+  let names = Hashtbl.fold (fun name () acc -> name :: acc) registry [] in
+  Mutex.unlock mu;
+  List.sort String.compare names
+
+let arm name ~after =
+  Mutex.lock mu;
+  Hashtbl.replace armed name (ref after);
+  Mutex.unlock mu
+
+let disarm name =
+  Mutex.lock mu;
+  Hashtbl.remove armed name;
+  Mutex.unlock mu
+
+let disarm_all () =
+  Mutex.lock mu;
+  Hashtbl.reset armed;
+  Mutex.unlock mu
+
+let hit name =
+  Mutex.lock mu;
+  Hashtbl.replace registry name ();
+  (match Hashtbl.find_opt counts name with
+  | Some c -> incr c
+  | None -> Hashtbl.replace counts name (ref 1));
+  let fire =
+    match Hashtbl.find_opt armed name with
+    | Some remaining ->
+        if !remaining <= 0 then begin
+          Hashtbl.remove armed name;
+          true
+        end
+        else begin
+          decr remaining;
+          false
+        end
+    | None -> false
+  in
+  Mutex.unlock mu;
+  if fire then raise (Crash_requested name)
+
+let hit_count name =
+  Mutex.lock mu;
+  let n = match Hashtbl.find_opt counts name with Some c -> !c | None -> 0 in
+  Mutex.unlock mu;
+  n
+
+let reset_counts () =
+  Mutex.lock mu;
+  Hashtbl.reset counts;
+  Mutex.unlock mu

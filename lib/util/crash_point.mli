@@ -1,0 +1,35 @@
+(** Named crash-injection points.
+
+    Engines call {!hit} at interesting instants of a structure change (e.g.
+    between the split action and the posting action). Tests and the E5
+    benchmark {!arm} a point; when its countdown expires, {!hit} raises
+    {!Crash_requested}, which the database layer converts into a simulated
+    power failure (buffer pool, lock tables and live transactions all
+    discarded; only flushed pages and the durable log prefix survive).
+
+    Points are global and thread-safe; unknown points are always silent. *)
+
+exception Crash_requested of string
+
+val register : string -> unit
+(** Add [name] to the global registry without hitting it. Engines register
+    their points at module-initialization time so sweep harnesses can
+    enumerate every site ({!all_names}) before any has fired; {!hit} also
+    registers implicitly. Idempotent. *)
+
+val all_names : unit -> string list
+(** Every registered point, sorted. *)
+
+val arm : string -> after:int -> unit
+(** [arm name ~after:n]: the [n+1]-th subsequent {!hit} of [name] raises. *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+val hit : string -> unit
+(** Record a hit; raise {!Crash_requested} if armed and due. *)
+
+val hit_count : string -> int
+(** Total hits of this point since the last {!reset_counts} (armed or not). *)
+
+val reset_counts : unit -> unit

@@ -24,16 +24,28 @@ let total t = t.sum
 let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
 let max_value t = t.max_v
 
+(* Bucket 0 holds only zeros; bucket i >= 1 covers [2^(i-1), 2^i). Returning
+   the exclusive upper bound 2^i overestimated every percentile by up to 2x;
+   the geometric midpoint 2^(i-1/2) is the unbiased point estimate for a
+   log-bucketed sample. *)
+let bucket_mid i = if i = 0 then 0 else int_of_float (Float.round (2.0 ** (float_of_int i -. 0.5)))
+
 let percentile t p =
   if t.n = 0 then 0
   else begin
-    let target = int_of_float (Float.of_int t.n *. p /. 100.0) in
-    let target = if target >= t.n then t.n - 1 else target in
+    (* Nearest-rank: the smallest rank (1-based) such that at least
+       ceil(p/100 * n) samples are at or below it. Truncating instead of
+       taking the ceiling shifted the rank up by one whenever p*n/100 was
+       integral (and float noise could shift it either way). *)
+    let rank =
+      max 1 (int_of_float (Float.ceil (Float.of_int t.n *. p /. 100.0)))
+    in
+    let rank = min rank t.n in
     let rec go i seen =
       if i >= buckets then t.max_v
       else
         let seen = seen + t.counts.(i) in
-        if seen > target then (if i = 0 then 0 else 1 lsl i) else go (i + 1) seen
+        if seen >= rank then bucket_mid i else go (i + 1) seen
     in
     go 0 0
   end

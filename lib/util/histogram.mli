@@ -15,7 +15,9 @@ val total : t -> int
 val mean : t -> float
 val max_value : t -> int
 val percentile : t -> float -> int
-(** [percentile t p] with [p] in [0,100]; approximate (bucket upper bound). *)
+(** [percentile t p] with [p] in [0,100]; nearest-rank over the power-of-two
+    buckets, reported as the chosen bucket's geometric midpoint
+    [2^(i-1/2)] (0 for the zero bucket). *)
 
 val merge : t -> t -> t
 (** Pure merge of two histograms (inputs unchanged). *)

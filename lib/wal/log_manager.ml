@@ -1,3 +1,6 @@
+module Histogram = Pitree_util.Histogram
+module Crash_point = Pitree_util.Crash_point
+
 type backing = {
   fd : Unix.file_descr;
   path : string;
@@ -6,6 +9,8 @@ type backing = {
 
 type t = {
   mu : Mutex.t;
+  cond : Condition.t;  (* signalled when [durable] advances or a leader retires *)
+  group_commit : bool;
   mutable records : string array;
       (* encoded window; lsn n at index n-1-purged *)
   mutable count : int;  (* total LSNs ever appended *)
@@ -13,10 +18,26 @@ type t = {
   mutable max_txn : int;  (* highest txn id ever appended (survives purges) *)
   mutable durable : Lsn.t;
   mutable redo_from : Lsn.t;
-  mutable forces : int;
+  (* --- group-commit pipeline state (all under [mu]) --- *)
+  mutable flushing : bool;  (* a leader currently owns the write path *)
+  mutable flush_target : Lsn.t;  (* highest durability anyone has asked for *)
+  mutable pending : Lsn.t list;  (* enrolled requests not yet durable *)
+  (* --- stats (all under [mu]) --- *)
+  mutable forces : int;  (* real fsyncs only *)
+  mutable flushes : int;  (* durability-advance events (incl. in-memory) *)
+  mutable flush_requests : int;  (* flush calls that found undurable records *)
   mutable bytes : int;
+  batch_hist : Histogram.t;  (* enrolled requests covered per flush event *)
+  wait_hist : Histogram.t;  (* ns a committer spent blocked in [flush] *)
   backing : backing option;
 }
+
+(* Registered up front so sweep harnesses can enumerate it before it ever
+   fires. It sits between the batch reaching disk and the waiters being
+   woken: the classic lost-acknowledgment window of group commit. *)
+let crash_point_synced = "wal.group.synced"
+
+let () = Crash_point.register crash_point_synced
 
 let ckpt_path path = path ^ ".ckpt"
 
@@ -54,19 +75,28 @@ let load_file path =
   if !off < got then Unix.ftruncate fd !off;
   (fd, List.rev !records, !off)
 
-let create ?path () =
+let create ?path ?(group_commit = true) () =
   match path with
   | None ->
       {
         mu = Mutex.create ();
+        cond = Condition.create ();
+        group_commit;
         records = Array.make 1024 "";
         count = 0;
         purged = 0;
         max_txn = 0;
         durable = Lsn.null;
         redo_from = 1;
+        flushing = false;
+        flush_target = Lsn.null;
+        pending = [];
         forces = 0;
+        flushes = 0;
+        flush_requests = 0;
         bytes = 0;
+        batch_hist = Histogram.create ();
+        wait_hist = Histogram.create ();
         backing = None;
       }
   | Some path ->
@@ -84,6 +114,8 @@ let create ?path () =
       in
       {
         mu = Mutex.create ();
+        cond = Condition.create ();
+        group_commit;
         records = arr;
         count = n;
         purged = 0;
@@ -93,8 +125,15 @@ let create ?path () =
             0 recs;
         durable = n;
         redo_from;
+        flushing = false;
+        flush_target = Lsn.null;
+        pending = [];
         forces = 0;
+        flushes = 0;
+        flush_requests = 0;
         bytes = List.fold_left (fun a s -> a + String.length s) 0 recs;
+        batch_hist = Histogram.create ();
+        wait_hist = Histogram.create ();
         backing = Some { fd; path; file_end };
       }
 
@@ -117,46 +156,124 @@ let append t ~prev ~txn body =
   Mutex.unlock t.mu;
   lsn
 
-(* Caller holds [t.mu]. Push records (durable, upto] to the backing file. *)
-let write_out t upto =
-  match t.backing with
-  | None -> ()
-  | Some b ->
-      let buf = Buffer.create 4096 in
-      for i = t.durable to upto - 1 do
-        Buffer.add_string buf t.records.(i - t.purged)
-      done;
-      let s = Buffer.contents buf in
-      if String.length s > 0 then begin
-        ignore (Unix.lseek b.fd b.file_end Unix.SEEK_SET);
-        let bytes = Bytes.of_string s in
-        let rec push off =
-          if off < Bytes.length bytes then
-            push (off + Unix.write b.fd bytes off (Bytes.length bytes - off))
-        in
-        push 0;
-        Unix.fsync b.fd;
-        b.file_end <- b.file_end + String.length s
-      end
+(* Caller holds [t.mu]. Concatenate the frames (durable, upto]. *)
+let gather t upto =
+  let buf = Buffer.create 4096 in
+  for i = t.durable to upto - 1 do
+    Buffer.add_string buf t.records.(i - t.purged)
+  done;
+  Buffer.contents buf
+
+(* One sequential write + one fsync for the whole batch. Only the leader
+   (flushing = true) reaches this, so the fd and [file_end] are private to
+   it for the duration. Returns true iff a real fsync happened. *)
+let write_payload b payload =
+  if String.length payload = 0 then false
+  else begin
+    ignore (Unix.lseek b.fd b.file_end Unix.SEEK_SET);
+    let bytes = Bytes.of_string payload in
+    let rec push off =
+      if off < Bytes.length bytes then
+        push (off + Unix.write b.fd bytes off (Bytes.length bytes - off))
+    in
+    push 0;
+    Unix.fsync b.fd;
+    b.file_end <- b.file_end + String.length payload;
+    true
+  end
+
+(* Group-commit core. [mu] is held on entry and exit. The calling thread
+   either waits for a leader to cover its LSN or becomes the leader itself:
+   it snapshots everything requested so far, performs one write + fsync
+   with [mu] released (serial mode keeps it held, reproducing the
+   pre-group-commit force path for baseline measurement), publishes the new
+   durability horizon and wakes every covered waiter. Requests that arrive
+   while the leader is in the write path accumulate for the next leader —
+   the pipeline that lets N concurrent committers share O(1) fsyncs. *)
+let rec flush_locked t target =
+  if t.durable >= target then ()
+  else if t.flushing then begin
+    Condition.wait t.cond t.mu;
+    flush_locked t target
+  end
+  else begin
+    t.flushing <- true;
+    let upto = min t.flush_target t.count in
+    let payload = match t.backing with None -> "" | Some _ -> gather t upto in
+    let synced =
+      match t.backing with
+      | None -> false
+      | Some b ->
+          if t.group_commit then begin
+            Mutex.unlock t.mu;
+            let synced =
+              match write_payload b payload with
+              | synced -> synced
+              | exception e ->
+                  (* Leave the pipeline electable before re-raising. *)
+                  Mutex.lock t.mu;
+                  t.flushing <- false;
+                  Condition.broadcast t.cond;
+                  Mutex.unlock t.mu;
+                  raise e
+            in
+            Mutex.lock t.mu;
+            synced
+          end
+          else begin
+            match write_payload b payload with
+            | synced -> synced
+            | exception e ->
+                t.flushing <- false;
+                Condition.broadcast t.cond;
+                Mutex.unlock t.mu;
+                raise e
+          end
+    in
+    t.durable <- upto;
+    t.flushes <- t.flushes + 1;
+    if synced then t.forces <- t.forces + 1;
+    let covered, rest = List.partition (fun l -> l <= upto) t.pending in
+    t.pending <- rest;
+    if covered <> [] then Histogram.record t.batch_hist (List.length covered);
+    t.flushing <- false;
+    (* The batch is durable but its waiters have not been woken yet: a crash
+       here loses acknowledgments, never committed work. The hook runs
+       outside [mu] so a simulated crash unwinds with the manager unlocked
+       and electable. *)
+    Mutex.unlock t.mu;
+    (try Crash_point.hit crash_point_synced
+     with e ->
+       Mutex.lock t.mu;
+       Condition.broadcast t.cond;
+       Mutex.unlock t.mu;
+       raise e);
+    Mutex.lock t.mu;
+    Condition.broadcast t.cond;
+    (* [upto >= target] (the target was folded into [flush_target] before
+       election), so this returns immediately. *)
+    flush_locked t target
+  end
 
 let flush t lsn =
   Mutex.lock t.mu;
-  if lsn > t.durable then begin
-    let upto = min lsn t.count in
-    write_out t upto;
-    t.durable <- upto;
-    t.forces <- t.forces + 1
+  let target = min lsn t.count in
+  if target > t.durable then begin
+    let t0 = Unix.gettimeofday () in
+    t.flush_requests <- t.flush_requests + 1;
+    if target > t.flush_target then t.flush_target <- target;
+    t.pending <- target :: t.pending;
+    flush_locked t target;
+    Histogram.record t.wait_hist
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
   end;
   Mutex.unlock t.mu
 
 let flush_all t =
   Mutex.lock t.mu;
-  if t.count > t.durable then begin
-    write_out t t.count;
-    t.durable <- t.count;
-    t.forces <- t.forces + 1
-  end;
-  Mutex.unlock t.mu
+  let target = t.count in
+  Mutex.unlock t.mu;
+  flush t target
 
 let last_lsn t =
   Mutex.lock t.mu;
@@ -211,7 +328,10 @@ let max_txn_id t =
 
 (* Discard records with lsn < keep_from from the in-memory window. Only
    durable, pre-redo-point records may go (a file-backed log keeps its file
-   as the archive). Returns how many records were discarded. *)
+   as the archive). Returns how many records were discarded. The clamp to
+   [durable] also protects a concurrent leader: the batch it is writing is
+   entirely above [durable], so truncation never slides records out from
+   under it. *)
 let truncate t ~keep_from =
   Mutex.lock t.mu;
   let keep_from = min keep_from (min (t.durable + 1) t.redo_from) in
@@ -241,7 +361,7 @@ let crash t =
   let fresh =
     match t.backing with
     | None ->
-        let fresh = create () in
+        let fresh = create ~group_commit:t.group_commit () in
         let kept = t.durable - t.purged in
         fresh.count <- t.durable;
         fresh.purged <- t.purged;
@@ -257,15 +377,48 @@ let crash t =
     | Some b ->
         (* Power failure: only the file survives. Reopen it. *)
         Unix.close b.fd;
-        create ~path:b.path ()
+        create ~path:b.path ~group_commit:t.group_commit ()
   in
   Mutex.unlock t.mu;
   fresh
 
-type stats = { appends : int; forces : int; bytes : int }
+type stats = {
+  appends : int;
+  forces : int;
+  flushes : int;
+  flush_requests : int;
+  bytes : int;
+  batch_mean : float;
+  batch_p99 : int;
+  batch_max : int;
+  wait_mean_ns : float;
+  wait_p50_ns : int;
+  wait_p99_ns : int;
+}
 
 let stats t =
   Mutex.lock t.mu;
-  let s = { appends = t.count; forces = t.forces; bytes = t.bytes } in
+  let s =
+    {
+      appends = t.count;
+      forces = t.forces;
+      flushes = t.flushes;
+      flush_requests = t.flush_requests;
+      bytes = t.bytes;
+      batch_mean = Histogram.mean t.batch_hist;
+      batch_p99 = Histogram.percentile t.batch_hist 99.0;
+      batch_max = Histogram.max_value t.batch_hist;
+      wait_mean_ns = Histogram.mean t.wait_hist;
+      wait_p50_ns = Histogram.percentile t.wait_hist 50.0;
+      wait_p99_ns = Histogram.percentile t.wait_hist 99.0;
+    }
+  in
   Mutex.unlock t.mu;
   s
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "wal: appends=%d forces=%d flushes=%d requests=%d bytes=%d \
+     batch{mean=%.2f p99=%d max=%d} wait_ns{mean=%.0f p50=%d p99=%d}"
+    s.appends s.forces s.flushes s.flush_requests s.bytes s.batch_mean
+    s.batch_p99 s.batch_max s.wait_mean_ns s.wait_p50_ns s.wait_p99_ns

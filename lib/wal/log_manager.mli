@@ -7,22 +7,44 @@
     (relative durability, section 4.3.1) — the force counter feeds
     experiment E10.
 
+    {2 Group commit}
+
+    {!flush} is a group-commit pipeline rather than a
+    mutex-across-fsync: a committer enrolls its LSN and blocks until the
+    durability horizon covers it. The first enrolled committer with no
+    flush in flight becomes the {e leader}: it snapshots every request
+    accumulated so far, performs one sequential write and one [fsync] for
+    the whole batch with the manager unlocked, publishes the new horizon
+    and wakes every covered waiter. Committers arriving while the leader is
+    in the write path accumulate for the next leader — N concurrent
+    committers share O(1) fsyncs instead of serializing on one each.
+    Crash semantics are unchanged: {!flush} returns only after the
+    requested LSN is durable, so an acknowledged commit survives a crash at
+    any instant, including the window between the batch write and the
+    waiter wakeup (crash point ["wal.group.synced"], registered at module
+    initialization).
+
     LSNs are 1-based and dense: record [n] is the [n]-th append. *)
 
 type t
 
-val create : ?path:string -> unit -> t
+val create : ?path:string -> ?group_commit:bool -> unit -> t
 (** In-memory by default. With [path], the durable prefix is backed by an
     append-only file: [flush] writes and fsyncs, restart ({!create} on the
     same path) reloads the prefix (discarding a torn tail), and the redo
     point persists in a [path ^ ".ckpt"] sidecar — so recovery works across
-    process restarts, not just simulated crashes. *)
+    process restarts, not just simulated crashes. [group_commit] (default
+    true) selects the batched force pipeline; [false] reproduces the
+    serial hold-the-mutex-across-fsync path, kept as the measured baseline
+    for the group-commit benchmark. *)
 
 val append : t -> prev:Lsn.t -> txn:int -> Log_record.body -> Lsn.t
-(** Assigns the next LSN, encodes and stores the record. *)
+(** Assigns the next LSN, encodes and stores the record. Short critical
+    section; never does IO. *)
 
 val flush : t -> Lsn.t -> unit
-(** Make everything up to [lsn] durable. No-op if already durable. *)
+(** Make everything up to [lsn] durable (group commit, see above). No-op if
+    already durable. Returns only once durability covers [lsn]. *)
 
 val flush_all : t -> unit
 
@@ -58,6 +80,23 @@ val crash : t -> t
     file-backed log this literally reopens the file. The old manager must
     not be used afterwards. *)
 
-type stats = { appends : int; forces : int; bytes : int }
+type stats = {
+  appends : int;
+  forces : int;
+      (** real fsyncs only — an in-memory log or an empty batch advances
+          durability without counting a force (the §4.3.1 counter must not
+          be skewed by no-op flushes) *)
+  flushes : int;  (** durability-advance events, including in-memory ones *)
+  flush_requests : int;
+      (** flush calls that found undurable records and had to wait *)
+  bytes : int;  (** encoded bytes ever appended *)
+  batch_mean : float;  (** mean flush requests coalesced per flush event *)
+  batch_p99 : int;
+  batch_max : int;
+  wait_mean_ns : float;  (** time a committer spent blocked in {!flush} *)
+  wait_p50_ns : int;
+  wait_p99_ns : int;
+}
 
 val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -103,6 +103,35 @@ let test_histogram_percentile () =
   Alcotest.(check bool) (Printf.sprintf "p50=%d in [256,1024]" p50) true (p50 >= 256 && p50 <= 1024);
   Alcotest.(check bool) (Printf.sprintf "p99=%d >= p50" p99) true (p99 >= p50)
 
+let test_histogram_percentile_exact () =
+  (* A single sample of 100 lands in bucket [64,128); every percentile
+     reports that bucket's geometric midpoint round(2^6.5) = 91, never the
+     exclusive upper bound 128 that used to overestimate by up to 2x. *)
+  let h = Histogram.create () in
+  Histogram.record h 100;
+  Alcotest.(check int) "p50 of singleton" 91 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p99 of singleton" 91 (Histogram.percentile h 99.0);
+  (* 1..1000: rank ceil(500) falls in [256,512) -> 362; rank 990 falls in
+     [512,1024) -> 724. *)
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.record h i
+  done;
+  Alcotest.(check int) "p50 of 1..1000" 362 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p99 of 1..1000" 724 (Histogram.percentile h 99.0);
+  (* Nearest-rank: with samples {1, 1000}, p50 is rank ceil(0.5*2) = 1, the
+     FIRST sample — the old truncation skipped to the second bucket and
+     returned 1024. *)
+  let h = Histogram.create () in
+  Histogram.record h 1;
+  Histogram.record h 1000;
+  Alcotest.(check int) "p50 of {1,1000}" 1 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p100 of {1,1000}" 724 (Histogram.percentile h 100.0);
+  (* The zero bucket reports 0, not a midpoint. *)
+  let h = Histogram.create () in
+  Histogram.record h 0;
+  Alcotest.(check int) "zero bucket" 0 (Histogram.percentile h 99.0)
+
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.record a 5;
@@ -198,6 +227,8 @@ let suites =
       [
         Alcotest.test_case "basic" `Quick test_histogram_basic;
         Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+        Alcotest.test_case "percentile exact midpoints" `Quick
+          test_histogram_percentile_exact;
         Alcotest.test_case "merge" `Quick test_histogram_merge;
       ] );
     ( "util.codec",

@@ -218,13 +218,36 @@ let test_truncation_respects_active_txn () =
   Alcotest.(check int) "only committed rows remain" 400 (Blink.count t)
 
 let test_force_counting () =
+  (* Forces count real fsyncs only. An in-memory log advances the
+     durability horizon without syncing anything — charging it a force
+     skewed the §4.3.1 counter. *)
   let log = Log_manager.create () in
   let l1 = Log_manager.append log ~prev:0 ~txn:1 Log_record.Commit in
   Log_manager.flush log l1;
   Log_manager.flush log l1;
   (* second is a no-op *)
   let s = Log_manager.stats log in
-  Alcotest.(check int) "one force" 1 s.Log_manager.forces
+  Alcotest.(check int) "in-memory: no real fsyncs" 0 s.Log_manager.forces;
+  Alcotest.(check int) "in-memory: one durability advance" 1 s.Log_manager.flushes;
+  Alcotest.(check int) "durable anyway" l1 (Log_manager.flushed_lsn log);
+  (* File-backed: exactly one fsync for the commit; the no-op repeat and a
+     flush aimed past the appended tail write zero bytes and add none. *)
+  let path = Filename.temp_file "pitree_force" ".wal" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".ckpt") with Sys_error _ -> ())
+    (fun () ->
+      let log = Log_manager.create ~path () in
+      let l1 = Log_manager.append log ~prev:0 ~txn:1 Log_record.Commit in
+      Log_manager.flush log l1;
+      Log_manager.flush log l1;
+      Log_manager.flush log (l1 + 5);
+      let s = Log_manager.stats log in
+      Alcotest.(check int) "file-backed: exactly one fsync" 1 s.Log_manager.forces;
+      Alcotest.(check int) "one request coalesced" 1 s.Log_manager.flush_requests;
+      Alcotest.(check bool) "batch mean is 1" true
+        (abs_float (s.Log_manager.batch_mean -. 1.0) < 1e-9))
 
 (* Recovery micro-scenario without any engine: two pages, one winner and
    one loser transaction. *)
