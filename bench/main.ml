@@ -22,6 +22,10 @@ module Workload = Pitree_harness.Workload
 module Driver = Pitree_harness.Driver
 module Table = Pitree_harness.Table
 module Rng = Pitree_util.Rng
+module Zipf = Pitree_util.Zipf
+module Page = Pitree_storage.Page
+module Disk = Pitree_storage.Disk
+module Buffer_pool = Pitree_storage.Buffer_pool
 
 let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
     ?(consolidation = true) ?log_path ?wal_group_commit () =
@@ -782,6 +786,245 @@ let wal_smoke () =
   wal_impl ~txns_per_domain:100 ~domain_counts:[ 4 ] ~out:"BENCH_wal.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* Buffer pool: direct pin/unpin workloads against the pool alone (no
+   engine, no WAL noise), sharded vs the legacy single-mutex baseline
+   (?shards:1). Emits BENCH_pool.json.                                   *)
+(* ------------------------------------------------------------------ *)
+
+type pool_run = {
+  b_workload : string;
+  b_mode : string;
+  b_domains : int;
+  b_ops : int;
+  b_elapsed_s : float;
+  b_ops_per_s : float;
+  b_stats : Buffer_pool.stats;
+}
+
+(* A disk image of [npages] checksummed pages with distinguishable content.
+   [delay] simulates device latency on every read and write (an in-memory
+   disk is otherwise instantaneous, which hides exactly the serialization
+   this bench exists to measure). *)
+let pool_disk ~page_size ~npages ~delay =
+  let disk = Disk.in_memory ~page_size in
+  for pid = 0 to npages - 1 do
+    let p = Page.create ~size:page_size ~id:pid ~kind:Page.Data ~level:0 in
+    Page.insert p 0 (Printf.sprintf "payload-%06d" pid);
+    Page.stamp_checksum p;
+    disk.Disk.write pid (Page.raw p)
+  done;
+  if delay <= 0.0 then disk
+  else
+    {
+      disk with
+      Disk.read = (fun pid buf -> Thread.delay delay; disk.Disk.read pid buf);
+      write = (fun pid buf -> Thread.delay delay; disk.Disk.write pid buf);
+    }
+
+type pool_workload = Ppoint | Pscan | Pmixed | Phot
+
+let pool_workload_name = function
+  | Ppoint -> "point"
+  | Pscan -> "scan"
+  | Pmixed -> "mixed"
+  | Phot -> "hot"
+
+let pool_npages = 4096
+let pool_disk_delay = 0.00005 (* 50us: NVMe-ish device latency *)
+
+(* point: uniform point reads over a working set twice the pool — a steady
+   miss stream against a 50us device. scan: sequential sweeps through a
+   pool an eighth of the working set — eviction churn. mixed: zipf(0.9)
+   reads with 10% dirtying against a quarter-size pool — clock quality
+   plus write-back. hot: all-resident uniform reads on an instant disk —
+   isolates pin-path mutex arithmetic.
+
+   The "single" baseline reproduces the pre-sharding discipline: ?shards:1
+   AND one mutex held across every pool call — so a miss's device read (and
+   an eviction's write-back) blocks every other pin, which is exactly what
+   the seed pool's global mutex did. The sharded arm requests shards
+   explicitly (2x the domain count, at least 8) so the comparison is
+   meaningful even where [Domain.recommended_domain_count] is low (CI
+   containers). *)
+let pool_run ~workload ~sharded ~domains ~ops_per_domain =
+  let page_size = 512 in
+  let npages = pool_npages in
+  let delay = if workload = Phot then 0.0 else pool_disk_delay in
+  let disk = pool_disk ~page_size ~npages ~delay in
+  let capacity =
+    match workload with
+    | Ppoint -> npages / 2
+    | Pscan -> npages / 8
+    | Pmixed -> npages / 4
+    | Phot -> npages
+  in
+  let shards = if sharded then max 8 (2 * domains) else 1 in
+  let pool = Buffer_pool.create ~capacity ~shards ~disk ~wal_flush:(fun _ -> ()) () in
+  let legacy_mu = Mutex.create () in
+  let with_legacy f =
+    if sharded then f ()
+    else begin
+      Mutex.lock legacy_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock legacy_mu) f
+    end
+  in
+  (if workload = Phot then
+     (* Warm the pool so the measured phase is all hits. *)
+     for pid = 0 to npages - 1 do
+       Buffer_pool.unpin pool (Buffer_pool.pin pool pid)
+     done);
+  let work d =
+    let rng = Rng.create (Int64.of_int ((d * 7919) + 13)) in
+    let zipf = Zipf.create ~n:npages ~theta:0.9 in
+    let next_scan = ref (d * npages / max 1 domains) in
+    for _ = 1 to ops_per_domain do
+      let pid =
+        match workload with
+        | Ppoint | Phot -> Rng.int rng npages
+        | Pscan ->
+            let p = !next_scan in
+            next_scan := (p + 1) mod npages;
+            p
+        | Pmixed -> Zipf.sample zipf rng
+      in
+      let fr = with_legacy (fun () -> Buffer_pool.pin pool pid) in
+      ignore (Page.get fr.Buffer_pool.page 0);
+      if workload = Pmixed && Rng.int rng 10 = 0 then Buffer_pool.mark_dirty fr;
+      with_legacy (fun () -> Buffer_pool.unpin pool fr)
+    done
+  in
+  let s0 = Buffer_pool.stats pool in
+  let t0 = Unix.gettimeofday () in
+  (if domains = 1 then work 0
+   else List.init domains (fun d -> Domain.spawn (fun () -> work d)) |> List.iter Domain.join);
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Buffer_pool.stats pool in
+  let ops = domains * ops_per_domain in
+  let hits = s1.Buffer_pool.hits - s0.Buffer_pool.hits in
+  let misses = s1.Buffer_pool.misses - s0.Buffer_pool.misses in
+  let pins = hits + misses in
+  let stats =
+    {
+      s1 with
+      Buffer_pool.hits;
+      misses;
+      evictions = s1.Buffer_pool.evictions - s0.Buffer_pool.evictions;
+      flushes = s1.Buffer_pool.flushes - s0.Buffer_pool.flushes;
+      hit_ratio = (if pins = 0 then 0.0 else float_of_int hits /. float_of_int pins);
+    }
+  in
+  {
+    b_workload = pool_workload_name workload;
+    b_mode = (if sharded then "sharded" else "single");
+    b_domains = domains;
+    b_ops = ops;
+    b_elapsed_s = dt;
+    b_ops_per_s = float_of_int ops /. dt;
+    b_stats = stats;
+  }
+
+let pool_json_of_runs runs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"pool_sharded\",\n";
+  Printf.bprintf b "  \"npages\": %d,\n" pool_npages;
+  (* The headline acceptance number: sharded vs single-mutex throughput on
+     the most contended configuration present (point reads, max domains). *)
+  let point_at mode =
+    List.filter (fun r -> r.b_workload = "point" && r.b_mode = mode) runs
+    |> List.fold_left (fun best r -> match best with
+         | Some b when b.b_domains >= r.b_domains -> Some b
+         | _ -> Some r) None
+  in
+  (match (point_at "sharded", point_at "single") with
+  | Some s, Some g when g.b_ops_per_s > 0.0 && s.b_domains = g.b_domains ->
+      Printf.bprintf b
+        "  \"point_speedup_domains\": %d,\n  \"point_speedup\": %.2f,\n"
+        s.b_domains (s.b_ops_per_s /. g.b_ops_per_s)
+  | _ -> ());
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      let s = r.b_stats in
+      Printf.bprintf b
+        "    {\"workload\": %S, \"mode\": %S, \"domains\": %d, \"shards\": %d, \
+         \"ops\": %d, \"elapsed_s\": %.4f, \"ops_per_s\": %.1f, \"hits\": %d, \
+         \"misses\": %d, \"hit_ratio\": %.4f, \"evictions\": %d, \"flushes\": %d, \
+         \"miss_wait_mean_ns\": %.0f, \"miss_wait_p99_ns\": %d}%s\n"
+        r.b_workload r.b_mode r.b_domains s.Buffer_pool.shards r.b_ops
+        r.b_elapsed_s r.b_ops_per_s s.Buffer_pool.hits s.Buffer_pool.misses
+        s.Buffer_pool.hit_ratio s.Buffer_pool.evictions s.Buffer_pool.flushes
+        s.Buffer_pool.miss_wait_mean_ns s.Buffer_pool.miss_wait_p99_ns
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let pool_impl ~workloads ~domain_counts ~ops_per_domain ~out () =
+  let runs =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun domains ->
+            List.map
+              (fun sharded ->
+                pool_run ~workload ~sharded ~domains
+                  ~ops_per_domain:(ops_per_domain workload))
+              [ false; true ])
+          domain_counts)
+      workloads
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let s = r.b_stats in
+        [
+          r.b_workload;
+          r.b_mode;
+          string_of_int r.b_domains;
+          string_of_int s.Buffer_pool.shards;
+          fmt_ops r.b_ops_per_s;
+          Printf.sprintf "%.1f%%" (100.0 *. s.Buffer_pool.hit_ratio);
+          string_of_int s.Buffer_pool.evictions;
+          Printf.sprintf "%.0f" s.Buffer_pool.miss_wait_mean_ns;
+          string_of_int s.Buffer_pool.miss_wait_p99_ns;
+        ])
+      runs
+  in
+  Table.print
+    ~title:
+      "Buffer pool: direct pin/unpin throughput, sharded (off-mutex miss \
+       I/O) vs single-mutex-held-across-I/O baseline (4096 pages, 50us \
+       simulated device latency except hot)"
+    ~header:
+      [ "workload"; "mode"; "domains"; "shards"; "pins/s"; "hit%"; "evict";
+        "missI/O ns"; "p99 ns" ]
+    rows;
+  let oc = open_out out in
+  output_string oc (pool_json_of_runs runs);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+(* Budgets differ by two orders of magnitude because point/scan/mixed run
+   against the 50us-latency disk (miss-bound) while hot is all-resident. *)
+let pool_ops_full = function
+  | Ppoint -> 2_000
+  | Pscan -> 1_000
+  | Pmixed -> 2_000
+  | Phot -> 50_000
+
+let pool_bench () =
+  pool_impl
+    ~workloads:[ Ppoint; Pscan; Pmixed; Phot ]
+    ~domain_counts:[ 1; 2; 4; 8 ]
+    ~ops_per_domain:pool_ops_full ~out:"BENCH_pool.json" ()
+
+let pool_smoke () =
+  pool_impl ~workloads:[ Ppoint ] ~domain_counts:[ 4 ]
+    ~ops_per_domain:(fun _ -> 500)
+    ~out:"BENCH_pool.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -789,22 +1032,27 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14);
     ("wal", wal); ("wal-smoke", wal_smoke);
+    ("pool", pool_bench); ("pool-smoke", pool_smoke);
     ("micro", micro);
   ]
+
+(* smoke variants would overwrite the full runs' JSON artifacts *)
+let smoke_variants = [ "wal-smoke"; "pool-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "--help" ] | [ "-h" ] ->
-      print_endline "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | micro | all]";
+      print_endline
+        "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
+         pool-smoke | micro | all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter
         (fun (name, f) ->
           Printf.printf "\n### running %s ...\n%!" name;
           f ())
-        (* the smoke variant would overwrite the full run's BENCH_wal.json *)
-        (List.filter (fun (n, _) -> n <> "wal-smoke") experiments)
+        (List.filter (fun (n, _) -> not (List.mem n smoke_variants)) experiments)
   | names ->
       List.iter
         (fun name ->

@@ -162,8 +162,8 @@ let workload domains ops reads inserts deletes zipf =
   Driver.preload inst spec ~n:20_000;
   ignore (Env.drain env);
   let r =
-    Driver.run ~log:(Env.log env) ~domains ~ops_per_domain:(ops / domains)
-      ~seed:1L inst spec
+    Driver.run ~log:(Env.log env) ~pool:(Env.pool env) ~domains
+      ~ops_per_domain:(ops / domains) ~seed:1L inst spec
   in
   Format.printf "%a@." Driver.pp_result r;
   verify_and_report t

@@ -32,6 +32,7 @@ type stats = {
 
 type t = {
   cfg : config;
+  pool_shards : int option;  (* None: Buffer_pool picks (domain count) *)
   disk : Disk.t;
   log_ref : Log_manager.t ref;
   mutable pool_v : Buffer_pool.t;
@@ -78,7 +79,8 @@ let dec_catalog s =
 
 let fresh_volatile t =
   t.pool_v <-
-    Buffer_pool.create ~capacity:t.cfg.pool_capacity ~disk:t.disk
+    Buffer_pool.create ~capacity:t.cfg.pool_capacity ?shards:t.pool_shards
+      ~disk:t.disk
       ~wal_flush:(fun lsn -> Log_manager.flush !(t.log_ref) lsn)
       ();
   t.locks_v <- Lock_manager.create ();
@@ -102,9 +104,9 @@ let checkpoint t =
   in
   ignore (Log_manager.truncate log ~keep_from)
 
-let make_skeleton disk log_ref cfg =
+let make_skeleton ?pool_shards disk log_ref cfg =
   let pool =
-    Buffer_pool.create ~capacity:cfg.pool_capacity ~disk
+    Buffer_pool.create ~capacity:cfg.pool_capacity ?shards:pool_shards ~disk
       ~wal_flush:(fun lsn -> Log_manager.flush !log_ref lsn)
       ()
   in
@@ -112,6 +114,7 @@ let make_skeleton disk log_ref cfg =
   let txns = Txn_mgr.create ~log:!log_ref ~pool ~locks () in
   {
     cfg;
+    pool_shards;
     disk;
     log_ref;
     pool_v = pool;
@@ -125,14 +128,14 @@ let make_skeleton disk log_ref cfg =
     completions = 0;
   }
 
-let create ?disk ?log_path ?wal_group_commit cfg =
+let create ?disk ?log_path ?wal_group_commit ?pool_shards cfg =
   let disk =
     match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
   in
   let log_ref =
     ref (Log_manager.create ?path:log_path ?group_commit:wal_group_commit ())
   in
-  let t = make_skeleton disk log_ref cfg in
+  let t = make_skeleton ?pool_shards disk log_ref cfg in
   (* Format the meta page inside an atomic action. *)
   Atomic_action.run t.txns_v (fun txn ->
       let fr = Buffer_pool.pin_new t.pool_v meta_pid in
@@ -146,12 +149,12 @@ let create ?disk ?log_path ?wal_group_commit cfg =
   checkpoint t;
   t
 
-let open_from ?disk ~log_path cfg =
+let open_from ?disk ?pool_shards ~log_path cfg =
   let disk =
     match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
   in
   let log_ref = ref (Log_manager.create ~path:log_path ()) in
-  let t = make_skeleton disk log_ref cfg in
+  let t = make_skeleton ?pool_shards disk log_ref cfg in
   t.crashed <- true;
   t
 

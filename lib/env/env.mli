@@ -34,6 +34,7 @@ val create :
   ?disk:Pitree_storage.Disk.t ->
   ?log_path:string ->
   ?wal_group_commit:bool ->
+  ?pool_shards:int ->
   config ->
   t
 (** Fresh database: formats the meta page and takes an initial checkpoint.
@@ -42,9 +43,14 @@ val create :
     database recoverable across process restarts (pair it with
     [Pitree_storage.Disk.file]). [wal_group_commit] (default true) selects
     the log's batched force pipeline; [false] keeps the serial
-    one-fsync-per-commit path as a measurable baseline. *)
+    one-fsync-per-commit path as a measurable baseline. [pool_shards]
+    overrides the buffer pool's shard count ([1] = legacy single-mutex
+    pool; default: domain count, see [Buffer_pool.create]) and survives
+    crash/recover cycles. *)
 
-val open_from : ?disk:Pitree_storage.Disk.t -> log_path:string -> config -> t
+val open_from :
+  ?disk:Pitree_storage.Disk.t -> ?pool_shards:int -> log_path:string ->
+  config -> t
 (** Reattach to a database persisted by a previous process: the log is
     reloaded from [log_path] and the environment starts in the crashed
     state — call {!recover} (which replays the log against [disk]) before

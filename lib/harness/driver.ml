@@ -1,5 +1,7 @@
 module Histogram = Pitree_util.Histogram
 module Log_manager = Pitree_wal.Log_manager
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Clock = Pitree_sync.Clock
 
 type result = {
   domains : int;
@@ -10,15 +12,28 @@ type result = {
   p50_ns : int;
   p99_ns : int;
   wal : Log_manager.stats option;
+  pool : Buffer_pool.stats option;
 }
+
+let pp_pool_stats ppf (p : Buffer_pool.stats) =
+  Fmt.pf ppf
+    "pool: %d shards, %.1f%% hit (%d hits / %d misses), %d evictions, %d \
+     flushes, miss I/O mean %.0fns p99 %dns"
+    p.Buffer_pool.shards
+    (100. *. p.Buffer_pool.hit_ratio)
+    p.Buffer_pool.hits p.Buffer_pool.misses p.Buffer_pool.evictions
+    p.Buffer_pool.flushes p.Buffer_pool.miss_wait_mean_ns
+    p.Buffer_pool.miss_wait_p99_ns
 
 let pp_result ppf r =
   Fmt.pf ppf "%d domains: %.0f ops/s (mean %.0fns p50 %dns p99 %dns, %d ops in %.2fs)"
     r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.total_ops r.elapsed_s;
-  match r.wal with
+  (match r.wal with
   | None -> ()
-  | Some w ->
-      Fmt.pf ppf "@\n%a" Log_manager.pp_stats w
+  | Some w -> Fmt.pf ppf "@\n%a" Log_manager.pp_stats w);
+  match r.pool with
+  | None -> ()
+  | Some p -> Fmt.pf ppf "@\n%a" pp_pool_stats p
 
 let now () = Unix.gettimeofday ()
 
@@ -38,10 +53,9 @@ let worker inst spec ~seed ~worker:w ~workers ~ops =
   let h = Histogram.create () in
   for _ = 1 to ops do
     let op = Workload.next g in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ns () in
     apply inst op;
-    let dt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
-    Histogram.record h dt
+    Histogram.record h (Clock.now_ns () - t0)
   done;
   h
 
@@ -59,8 +73,36 @@ let wal_delta (before : Log_manager.stats) (after : Log_manager.stats) =
     bytes = after.Log_manager.bytes - before.Log_manager.bytes;
   }
 
-let run ?log ~domains ~ops_per_domain ~seed inst spec =
+(* Same policy for pool stats: counters are run deltas (with the hit ratio
+   recomputed over them); the miss-I/O wait distribution is cumulative. *)
+let pool_delta (before : Buffer_pool.stats) (after : Buffer_pool.stats) =
+  let hits = after.Buffer_pool.hits - before.Buffer_pool.hits in
+  let misses = after.Buffer_pool.misses - before.Buffer_pool.misses in
+  let pins = hits + misses in
+  {
+    after with
+    Buffer_pool.hits;
+    misses;
+    evictions = after.Buffer_pool.evictions - before.Buffer_pool.evictions;
+    flushes = after.Buffer_pool.flushes - before.Buffer_pool.flushes;
+    retried_reads =
+      after.Buffer_pool.retried_reads - before.Buffer_pool.retried_reads;
+    retried_writes =
+      after.Buffer_pool.retried_writes - before.Buffer_pool.retried_writes;
+    shard_evictions =
+      Array.mapi
+        (fun i e ->
+          if i < Array.length before.Buffer_pool.shard_evictions then
+            e - before.Buffer_pool.shard_evictions.(i)
+          else e)
+        after.Buffer_pool.shard_evictions;
+    hit_ratio =
+      (if pins = 0 then 0. else float_of_int hits /. float_of_int pins);
+  }
+
+let run ?log ?pool ~domains ~ops_per_domain ~seed inst spec =
   let wal_before = Option.map Log_manager.stats log in
+  let pool_before = Option.map Buffer_pool.stats pool in
   let t0 = now () in
   let hists =
     if domains = 1 then [ worker inst spec ~seed ~worker:0 ~workers:1 ~ops:ops_per_domain ]
@@ -82,6 +124,11 @@ let run ?log ~domains ~ops_per_domain ~seed inst spec =
     | Some log, Some before -> Some (wal_delta before (Log_manager.stats log))
     | _ -> None
   in
+  let pool =
+    match (pool, pool_before) with
+    | Some pool, Some before -> Some (pool_delta before (Buffer_pool.stats pool))
+    | _ -> None
+  in
   {
     domains;
     total_ops = total;
@@ -91,4 +138,5 @@ let run ?log ~domains ~ops_per_domain ~seed inst spec =
     p50_ns = Histogram.percentile h 50.0;
     p99_ns = Histogram.percentile h 99.0;
     wal;
+    pool;
   }

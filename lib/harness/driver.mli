@@ -17,6 +17,11 @@ type result = {
       (** present when [run] was given the environment's log: forces,
           flushes and bytes as deltas across the run; batch/commit-wait
           distributions cumulative for the log's lifetime *)
+  pool : Pitree_storage.Buffer_pool.stats option;
+      (** present when [run] was given the environment's buffer pool:
+          hits/misses/evictions/flushes as deltas across the run (hit
+          ratio recomputed over the deltas); the miss-I/O wait
+          distribution is cumulative for the pool's lifetime *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -27,6 +32,7 @@ val preload : Kv.instance -> Workload.spec -> n:int -> unit
 
 val run :
   ?log:Pitree_wal.Log_manager.t ->
+  ?pool:Pitree_storage.Buffer_pool.t ->
   domains:int ->
   ops_per_domain:int ->
   seed:int64 ->
@@ -34,4 +40,5 @@ val run :
   Workload.spec ->
   result
 (** Pass [?log] (usually [Env.log env]) to capture the WAL's group-commit
-    stats alongside throughput. *)
+    stats alongside throughput, and [?pool] (usually [Env.pool env]) for
+    the buffer pool's hit/eviction/miss-wait stats. *)

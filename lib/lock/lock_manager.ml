@@ -23,38 +23,85 @@ type queue = {
   cond : Condition.t;
 }
 
+(* Lock traffic is striped: a resource hashes to one of [stripes], each
+   with its own mutex and queue table, so acquisitions on distinct
+   resources rarely contend. Two small global structures remain:
+
+   - [blocked_on] (the waits-for graph) behind [graph_mu]. A blocking
+     requester PUBLISHES its edge under [graph_mu] before running cycle
+     detection there; since publications are serialized, at least one of
+     any two mutually-deadlocking requesters sees the other's edge.
+   - [owned] (owner -> held-resource set, a hashtable per owner so
+     acquisition bookkeeping is O(1) rather than O(holds)) behind
+     [owners_mu].
+
+   Lock ordering: graph_mu -> stripe (cycle detection snapshots queues);
+   stripe and owners_mu are never held together; never stripe -> graph_mu. *)
+type stripe = { mu : Mutex.t; table : (resource, queue) Hashtbl.t }
+
 type t = {
-  mu : Mutex.t;
-  table : (resource, queue) Hashtbl.t;
-  owned : (int, resource list) Hashtbl.t;  (* owner -> resources held *)
+  stripes : stripe array;
+  smask : int;  (* Array.length stripes - 1; stripe count is a power of two *)
+  graph_mu : Mutex.t;
   blocked_on : (int, resource) Hashtbl.t;  (* waiting owner -> resource *)
-  mutable acquisitions : int;
-  mutable wait_events : int;
-  mutable deadlock_count : int;
+  owners_mu : Mutex.t;
+  owned : (int, (resource, unit) Hashtbl.t) Hashtbl.t;
+  acquisitions : int Atomic.t;
+  wait_events : int Atomic.t;
+  deadlock_count : int Atomic.t;
 }
 
-let create () =
+let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
+
+let create ?(stripes = 16) () =
+  if stripes < 1 then invalid_arg "Lock_manager.create: stripes < 1";
+  let n = next_pow2 stripes in
   {
-    mu = Mutex.create ();
-    table = Hashtbl.create 256;
-    owned = Hashtbl.create 64;
+    stripes =
+      Array.init n (fun _ ->
+          { mu = Mutex.create (); table = Hashtbl.create 64 });
+    smask = n - 1;
+    graph_mu = Mutex.create ();
     blocked_on = Hashtbl.create 16;
-    acquisitions = 0;
-    wait_events = 0;
-    deadlock_count = 0;
+    owners_mu = Mutex.create ();
+    owned = Hashtbl.create 64;
+    acquisitions = Atomic.make 0;
+    wait_events = Atomic.make 0;
+    deadlock_count = Atomic.make 0;
   }
 
-let queue_of t res =
-  match Hashtbl.find_opt t.table res with
+let stripe_of t res = t.stripes.(Hashtbl.hash res land t.smask)
+
+let queue_of st res =
+  match Hashtbl.find_opt st.table res with
   | Some q -> q
   | None ->
       let q = { granted = []; waiting = []; cond = Condition.create () } in
-      Hashtbl.replace t.table res q;
+      Hashtbl.replace st.table res q;
       q
 
+(* O(1) held-set bookkeeping (owner -> resource set). *)
 let note_owned t owner res =
-  let l = Option.value (Hashtbl.find_opt t.owned owner) ~default:[] in
-  if not (List.mem res l) then Hashtbl.replace t.owned owner (res :: l)
+  Mutex.lock t.owners_mu;
+  let set =
+    match Hashtbl.find_opt t.owned owner with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 16 in
+        Hashtbl.replace t.owned owner s;
+        s
+  in
+  Hashtbl.replace set res ();
+  Mutex.unlock t.owners_mu
+
+let forget_owned t owner res =
+  Mutex.lock t.owners_mu;
+  (match Hashtbl.find_opt t.owned owner with
+  | Some s ->
+      Hashtbl.remove s res;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.owned owner
+  | None -> ());
+  Mutex.unlock t.owners_mu
 
 (* Compatibility of [mode] with every granted hold except [owner]'s own. *)
 let compatible_with_granted q ~owner mode =
@@ -67,30 +114,52 @@ let compatible_with_granted q ~owner mode =
 let no_earlier_waiter q ~owner =
   not (List.exists (fun w -> (not w.w_granted) && w.w_owner <> owner) q.waiting)
 
-(* Would owner [o], by waiting on [res], create a cycle in the waits-for
-   graph? Caller holds [t.mu]. *)
+(* Would [owner], by waiting on [res], create a cycle in the waits-for
+   graph? Caller holds [t.graph_mu] (NOT any stripe): queue state is read
+   via per-resource snapshots taken under the owning stripe, respecting the
+   graph_mu -> stripe lock order. The requester's own waiter is already
+   enqueued; a granted-but-not-yet-unpublished waiter is harmless because
+   traversal requires an UNgranted waiter entry in the queue. *)
 let creates_cycle t ~owner res mode =
-  (* Owners that [owner] would wait for: incompatible granted holders plus
-     earlier waiters it may not overtake. *)
-  let direct_blockers res mode ~owner =
-    match Hashtbl.find_opt t.table res with
+  let snapshot res =
+    let st = stripe_of t res in
+    Mutex.lock st.mu;
+    let r =
+      match Hashtbl.find_opt st.table res with
+      | None -> None
+      | Some q ->
+          Some
+            ( q.granted,
+              List.map (fun w -> (w.w_owner, w.w_mode, w.w_granted)) q.waiting
+            )
+    in
+    Mutex.unlock st.mu;
+    r
+  in
+  (* Owners that [o] waits for at [res]: incompatible granted holders plus
+     ungranted waiters AHEAD of [o]'s own entry in the FIFO queue (which it
+     may not overtake). Positional, because [o] is already enqueued when
+     this runs: two waiters on the same resource must not each count the
+     other as a blocker, or every queue of depth two would read as a
+     deadlock. *)
+  let direct_blockers res mode ~owner:o =
+    match snapshot res with
     | None -> []
-    | Some q ->
+    | Some (granted, waiting) ->
         let holders =
           List.filter_map
-            (fun (o, m) ->
-              if o <> owner && not (Lock_mode.compatible mode m) then Some o
+            (fun (h, m) ->
+              if h <> o && not (Lock_mode.compatible mode m) then Some h
               else None)
-            q.granted
+            granted
         in
-        let earlier =
-          List.filter_map
-            (fun w ->
-              if (not w.w_granted) && w.w_owner <> owner then Some w.w_owner
-              else None)
-            q.waiting
+        let rec ahead acc = function
+          | [] -> acc (* [o] not enqueued: everyone ungranted is ahead *)
+          | (wo, _, g) :: rest ->
+              if wo = o && not g then acc
+              else ahead (if (not g) && wo <> o then wo :: acc else acc) rest
         in
-        holders @ earlier
+        holders @ ahead [] waiting
   in
   let rec dfs visited o =
     if o = owner then true
@@ -99,95 +168,30 @@ let creates_cycle t ~owner res mode =
       match Hashtbl.find_opt t.blocked_on o with
       | None -> false
       | Some res' -> (
-          match Hashtbl.find_opt t.table res' with
+          match snapshot res' with
           | None -> false
-          | Some q' -> (
-              match List.find_opt (fun w -> w.w_owner = o && not w.w_granted) q'.waiting with
+          | Some (_, waiting) -> (
+              match
+                List.find_opt
+                  (fun (wo, _, granted) -> wo = o && not granted)
+                  waiting
+              with
               | None -> false
-              | Some w ->
-                  let next = direct_blockers res' w.w_mode ~owner:o in
+              | Some (_, mode', _) ->
+                  let next = direct_blockers res' mode' ~owner:o in
                   List.exists (dfs (o :: visited)) next))
   in
   List.exists (dfs []) (direct_blockers res mode ~owner)
 
-let current_hold q owner =
-  List.assoc_opt owner q.granted
+let current_hold q owner = List.assoc_opt owner q.granted
 
 let set_hold q owner mode =
   q.granted <- (owner, mode) :: List.remove_assoc owner q.granted
 
-let acquire_inner t ~owner res mode ~block =
-  Mutex.lock t.mu;
-  let q = queue_of t res in
-  let requested =
-    match current_hold q owner with
-    | Some held ->
-        if Lock_mode.strength held >= Lock_mode.strength (Lock_mode.sup held mode)
-        then None  (* already strong enough *)
-        else Some (Lock_mode.sup held mode)
-    | None -> Some mode
-  in
-  match requested with
-  | None ->
-      Mutex.unlock t.mu;
-      true
-  | Some want ->
-      let is_conversion = current_hold q owner <> None in
-      let grantable () =
-        compatible_with_granted q ~owner want
-        && (is_conversion || no_earlier_waiter q ~owner)
-      in
-      if grantable () then begin
-        set_hold q owner want;
-        note_owned t owner res;
-        t.acquisitions <- t.acquisitions + 1;
-        Mutex.unlock t.mu;
-        true
-      end
-      else if not block then begin
-        Mutex.unlock t.mu;
-        false
-      end
-      else begin
-        (* Deadlock check before waiting. *)
-        if creates_cycle t ~owner res want then begin
-          t.deadlock_count <- t.deadlock_count + 1;
-          Mutex.unlock t.mu;
-          raise (Deadlock { owner })
-        end;
-        let w = { w_owner = owner; w_mode = want; w_granted = false; w_aborted = false } in
-        (* Conversions wait at the head so they are considered first. *)
-        if is_conversion then q.waiting <- w :: q.waiting
-        else q.waiting <- q.waiting @ [ w ];
-        Hashtbl.replace t.blocked_on owner res;
-        t.wait_events <- t.wait_events + 1;
-        let rec wait_loop () =
-          if w.w_granted then ()
-          else begin
-            Condition.wait q.cond t.mu;
-            wait_loop ()
-          end
-        in
-        (* The releaser performs the grant (sets w_granted and updates
-           q.granted) so that FIFO order is respected at wake-up time. *)
-        (try wait_loop ()
-         with e ->
-           q.waiting <- List.filter (fun w' -> w' != w) q.waiting;
-           Hashtbl.remove t.blocked_on owner;
-           Mutex.unlock t.mu;
-           raise e);
-        Hashtbl.remove t.blocked_on owner;
-        note_owned t owner res;
-        t.acquisitions <- t.acquisitions + 1;
-        Mutex.unlock t.mu;
-        true
-      end
-
-(* Caller holds [t.mu]: grant every waiter that can now proceed, in FIFO
-   order, stopping at the first fresh request that must keep waiting. *)
-let pump t res q =
-  ignore t;
-  ignore res;
+(* Caller holds the stripe mutex: grant every waiter that can now proceed,
+   in FIFO order, stopping at the first fresh request that must keep
+   waiting. *)
+let pump q =
   let rec go = function
     | [] -> []
     | w :: rest ->
@@ -211,62 +215,159 @@ let pump t res q =
   q.waiting <- List.filter (fun w -> not w.w_granted) (go q.waiting);
   Condition.broadcast q.cond
 
+let unpublish t owner =
+  Mutex.lock t.graph_mu;
+  Hashtbl.remove t.blocked_on owner;
+  Mutex.unlock t.graph_mu
+
+let acquire_inner t ~owner res mode ~block =
+  let st = stripe_of t res in
+  Mutex.lock st.mu;
+  let q = queue_of st res in
+  let requested =
+    match current_hold q owner with
+    | Some held ->
+        if Lock_mode.strength held >= Lock_mode.strength (Lock_mode.sup held mode)
+        then None  (* already strong enough *)
+        else Some (Lock_mode.sup held mode)
+    | None -> Some mode
+  in
+  match requested with
+  | None ->
+      Mutex.unlock st.mu;
+      true
+  | Some want ->
+      let is_conversion = current_hold q owner <> None in
+      let grantable () =
+        compatible_with_granted q ~owner want
+        && (is_conversion || no_earlier_waiter q ~owner)
+      in
+      if grantable () then begin
+        set_hold q owner want;
+        Mutex.unlock st.mu;
+        note_owned t owner res;
+        Atomic.incr t.acquisitions;
+        true
+      end
+      else if not block then begin
+        Mutex.unlock st.mu;
+        false
+      end
+      else begin
+        let w =
+          { w_owner = owner; w_mode = want; w_granted = false; w_aborted = false }
+        in
+        (* Conversions wait at the head so they are considered first. *)
+        if is_conversion then q.waiting <- w :: q.waiting
+        else q.waiting <- q.waiting @ [ w ];
+        Mutex.unlock st.mu;
+        Atomic.incr t.wait_events;
+        (* Publish the waits-for edge BEFORE checking for a cycle, both
+           under [graph_mu]: of two requesters deadlocking against each
+           other, whoever publishes second is guaranteed to see the first's
+           edge, so at least one detects the cycle. *)
+        Mutex.lock t.graph_mu;
+        Hashtbl.replace t.blocked_on owner res;
+        let cycle = creates_cycle t ~owner res want in
+        Mutex.unlock t.graph_mu;
+        Mutex.lock st.mu;
+        if cycle && not w.w_granted then begin
+          (* Victim: withdraw the waiter (waking anyone it was holding up)
+             and abort the request. *)
+          w.w_aborted <- true;
+          q.waiting <- List.filter (fun w' -> w' != w) q.waiting;
+          pump q;
+          Mutex.unlock st.mu;
+          unpublish t owner;
+          Atomic.incr t.deadlock_count;
+          raise (Deadlock { owner })
+        end;
+        let rec wait_loop () =
+          if w.w_granted then ()
+          else begin
+            Condition.wait q.cond st.mu;
+            wait_loop ()
+          end
+        in
+        (* The releaser performs the grant (sets w_granted and updates
+           q.granted) so that FIFO order is respected at wake-up time. *)
+        (try wait_loop ()
+         with e ->
+           q.waiting <- List.filter (fun w' -> w' != w) q.waiting;
+           Mutex.unlock st.mu;
+           unpublish t owner;
+           raise e);
+        Mutex.unlock st.mu;
+        unpublish t owner;
+        note_owned t owner res;
+        Atomic.incr t.acquisitions;
+        true
+      end
+
 let acquire t ~owner res mode = ignore (acquire_inner t ~owner res mode ~block:true)
 let try_acquire t ~owner res mode = acquire_inner t ~owner res mode ~block:false
 
-let release_one t owner res =
-  match Hashtbl.find_opt t.table res with
+(* Caller holds the stripe mutex for [res]. *)
+let release_one st owner res =
+  match Hashtbl.find_opt st.table res with
   | None -> ()
   | Some q ->
       q.granted <- List.remove_assoc owner q.granted;
-      pump t res q;
-      if q.granted = [] && q.waiting = [] then Hashtbl.remove t.table res
+      pump q;
+      if q.granted = [] && q.waiting = [] then Hashtbl.remove st.table res
 
 let release t ~owner res =
-  Mutex.lock t.mu;
-  release_one t owner res;
-  (match Hashtbl.find_opt t.owned owner with
-  | Some l -> Hashtbl.replace t.owned owner (List.filter (fun r -> r <> res) l)
-  | None -> ());
-  Mutex.unlock t.mu
+  let st = stripe_of t res in
+  Mutex.lock st.mu;
+  release_one st owner res;
+  Mutex.unlock st.mu;
+  forget_owned t owner res
 
 let release_all t ~owner =
-  Mutex.lock t.mu;
-  (match Hashtbl.find_opt t.owned owner with
-  | Some l ->
-      List.iter (fun res -> release_one t owner res) l;
-      Hashtbl.remove t.owned owner
-  | None -> ());
-  Mutex.unlock t.mu
+  (* Detach the owner's whole held-set first (owners_mu only), then walk
+     it stripe by stripe — owners_mu and stripe mutexes are never nested. *)
+  Mutex.lock t.owners_mu;
+  let resources =
+    match Hashtbl.find_opt t.owned owner with
+    | Some s ->
+        Hashtbl.remove t.owned owner;
+        Hashtbl.fold (fun r () acc -> r :: acc) s []
+    | None -> []
+  in
+  Mutex.unlock t.owners_mu;
+  List.iter
+    (fun res ->
+      let st = stripe_of t res in
+      Mutex.lock st.mu;
+      release_one st owner res;
+      Mutex.unlock st.mu)
+    resources
 
 let held t ~owner res =
-  Mutex.lock t.mu;
+  let st = stripe_of t res in
+  Mutex.lock st.mu;
   let r =
-    match Hashtbl.find_opt t.table res with
+    match Hashtbl.find_opt st.table res with
     | None -> None
     | Some q -> current_hold q owner
   in
-  Mutex.unlock t.mu;
+  Mutex.unlock st.mu;
   r
 
 let holders t res =
-  Mutex.lock t.mu;
+  let st = stripe_of t res in
+  Mutex.lock st.mu;
   let r =
-    match Hashtbl.find_opt t.table res with None -> [] | Some q -> q.granted
+    match Hashtbl.find_opt st.table res with None -> [] | Some q -> q.granted
   in
-  Mutex.unlock t.mu;
+  Mutex.unlock st.mu;
   r
 
 type stats = { acquisitions : int; waits : int; deadlocks : int }
 
-let stats t =
-  Mutex.lock t.mu;
-  let s =
-    {
-      acquisitions = t.acquisitions;
-      waits = t.wait_events;
-      deadlocks = t.deadlock_count;
-    }
-  in
-  Mutex.unlock t.mu;
-  s
+let stats (t : t) =
+  {
+    acquisitions = Atomic.get t.acquisitions;
+    waits = Atomic.get t.wait_events;
+    deadlocks = Atomic.get t.deadlock_count;
+  }

@@ -10,7 +10,12 @@
     back off on failure.
 
     Deadlocks are detected with a waits-for graph at block time; the
-    requester is chosen as victim and receives {!Deadlock}. *)
+    requester is chosen as victim and receives {!Deadlock}.
+
+    Internally the manager is {e striped}: resources hash to one of N
+    per-stripe mutex/table pairs, so acquisitions on distinct resources
+    rarely contend. Only blocking requests touch the two small global
+    structures (the waits-for graph and the per-owner held-set index). *)
 
 type resource =
   | Record of { tree : int; key : string }
@@ -24,7 +29,9 @@ exception Deadlock of { owner : int }
 
 type t
 
-val create : unit -> t
+val create : ?stripes:int -> unit -> t
+(** [stripes] (default 16) is rounded up to a power of two; [?stripes:1]
+    degenerates to a single global table for comparison or debugging. *)
 
 val acquire : t -> owner:int -> resource -> Lock_mode.t -> unit
 (** Blocks until granted. Re-entrant: if [owner] already holds the resource

@@ -1,66 +1,119 @@
 module Latch = Pitree_sync.Latch
+module Clock = Pitree_sync.Clock
+module Histogram = Pitree_util.Histogram
+
+(* The pool is hash-sharded: each shard has its own mutex, frame table and
+   second-chance clock ring, so pins of unrelated pages never serialize on
+   one lock. The shard mutex is never held across disk I/O — a miss
+   installs a [Loading] placeholder and reads off-mutex; eviction of a
+   dirty victim flips it to [Writing] and writes off-mutex. Concurrent
+   requesters of an in-flight page wait on the frame's own condition
+   variable, not the shard, so one slow read cannot freeze hits. *)
+
+type state = Loading | Ready | Writing
 
 type frame = {
-  page : Page.t;
+  pid : int;
+  mutable page : Page.t;
   latch : Latch.t;
   mutable dirty : bool;
-  mutable pins : int;
-  mutable tick : int;
+  pins : int Atomic.t;
+  cond : Condition.t;
+  mutable state : state;
+  mutable referenced : bool;
+  mutable waiters : int;
+  slot : int;
 }
 
-type stats = {
-  hits : int;
-  misses : int;
-  evictions : int;
-  flushes : int;
-  retried_reads : int;
-  retried_writes : int;
-}
-
-type t = {
-  disk : Disk.t;
-  cap : int;
-  max_retries : int;
-  backoff_base : float;
-  table : (int, frame) Hashtbl.t;
+type shard = {
   mu : Mutex.t;
-  wal_flush : int -> unit;
-  mutable clock : int;
-  mutable dead : bool;
+  table : (int, frame) Hashtbl.t;
+  ring : frame option array;
+  mutable hand : int;
+  mutable free : int list; (* unoccupied ring slots *)
+  mutable used : int;
+  miss_wait : Histogram.t; (* ns spent in off-mutex miss I/O *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable flushes : int;
-  mutable retried_reads : int;
-  mutable retried_writes : int;
+}
+
+type t = {
+  disk : Disk.t;
+  shards : shard array;
+  mask : int; (* Array.length shards - 1; shard count is a power of two *)
+  shard_cap : int;
+  max_retries : int;
+  backoff_base : float;
+  wal_flush : int -> unit;
+  mutable dead : bool; (* written under every shard mutex, read under one *)
+  retried_reads : int Atomic.t;
+  retried_writes : int Atomic.t;
 }
 
 exception Pool_exhausted
 
-let create ?(capacity = 1024) ?(max_retries = 12) ?(backoff_base = 0.0002)
-    ~disk ~wal_flush () =
+(* Bounded retries when every frame in the target shard is pinned: total
+   sleep is ~40ms with the default backoff, enough to ride out transient
+   fan-in spikes without masking a genuinely undersized pool. *)
+let pin_attempts = 20
+
+let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
+
+let create ?(capacity = 1024) ?shards ?(max_retries = 12)
+    ?(backoff_base = 0.0002) ~disk ~wal_flush () =
   if capacity < 8 then invalid_arg "Buffer_pool.create: capacity < 8";
+  let requested =
+    match shards with
+    | Some s ->
+        if s < 1 then invalid_arg "Buffer_pool.create: shards < 1";
+        next_pow2 s
+    | None -> min 64 (next_pow2 (Domain.recommended_domain_count ()))
+  in
+  (* Tiny pools keep fewer shards so each ring still has room to breathe
+     (and [?shards:1] with a small capacity reproduces the legacy
+     single-mutex pool exactly). *)
+  let nshards = ref requested in
+  while !nshards > 1 && capacity / !nshards < 8 do
+    nshards := !nshards / 2
+  done;
+  let nshards = !nshards in
+  let shard_cap = max 8 ((capacity + nshards - 1) / nshards) in
+  let mk_shard _ =
+    {
+      mu = Mutex.create ();
+      table = Hashtbl.create shard_cap;
+      ring = Array.make shard_cap None;
+      hand = 0;
+      free = List.init shard_cap Fun.id;
+      used = 0;
+      miss_wait = Histogram.create ();
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      flushes = 0;
+    }
+  in
   {
     disk;
-    cap = capacity;
+    shards = Array.init nshards mk_shard;
+    mask = nshards - 1;
+    shard_cap;
     max_retries;
     backoff_base;
-    table = Hashtbl.create capacity;
-    mu = Mutex.create ();
     wal_flush;
-    clock = 0;
     dead = false;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    flushes = 0;
-    retried_reads = 0;
-    retried_writes = 0;
+    retried_reads = Atomic.make 0;
+    retried_writes = Atomic.make 0;
   }
 
-let capacity t = t.cap
+let capacity t = Array.length t.shards * t.shard_cap
+let shards t = Array.length t.shards
 
-let check_alive t = if t.dead then failwith "Buffer_pool: used after crash"
+(* Fibonacci-hash the pid so adjacent pages (siblings under one parent)
+   spread across shards instead of clustering. *)
+let shard_of t pid = t.shards.((pid * 0x9E3779B1) land t.mask)
 
 (* Capped exponential backoff before retry [attempt] (0-based). *)
 let backoff t attempt =
@@ -71,7 +124,8 @@ let backoff t attempt =
    backoff) and transient read-path corruption (immediate re-read). A
    corrupt image that reads back byte-identical twice is persistent — the
    durable image itself is torn or rotten — so we stop retrying and let
-   [Page.Corrupt] surface (recovery treats it as "no durable image"). *)
+   [Page.Corrupt] surface (recovery treats it as "no durable image").
+   Called without any shard mutex held. *)
 let read_durable t pid =
   let buf = Bytes.make t.disk.Disk.page_size '\000' in
   let rec go attempt last_corrupt =
@@ -82,7 +136,7 @@ let read_durable t pid =
     | page -> page
     | exception Disk.Disk_error { transient = true; _ }
       when attempt < t.max_retries ->
-        t.retried_reads <- t.retried_reads + 1;
+        Atomic.incr t.retried_reads;
         backoff t attempt;
         go (attempt + 1) last_corrupt
     | exception (Page.Corrupt _ as e) when attempt < t.max_retries ->
@@ -90,138 +144,318 @@ let read_durable t pid =
         (match last_corrupt with
         | Some prev when Bytes.equal prev image -> raise e
         | _ ->
-            t.retried_reads <- t.retried_reads + 1;
+            Atomic.incr t.retried_reads;
             go (attempt + 1) (Some image))
   in
   go 0 None
 
-(* Caller holds [t.mu]. *)
-let write_out t fr =
-  if fr.dirty then begin
-    t.wal_flush (Page.lsn fr.page);
-    Page.stamp_checksum fr.page;
-    let rec put attempt =
-      match t.disk.Disk.write (Page.id fr.page) (Page.raw fr.page) with
-      | () -> ()
-      | exception Disk.Disk_error { transient = true; _ }
-        when attempt < t.max_retries ->
-          t.retried_writes <- t.retried_writes + 1;
-          backoff t attempt;
-          put (attempt + 1)
-    in
-    put 0;
-    fr.dirty <- false;
-    t.flushes <- t.flushes + 1
-  end
-
-(* Caller holds [t.mu]. Evict the least-recently-used unpinned frame. *)
-let evict_one t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun pid fr ->
-      if fr.pins = 0 then
-        match !victim with
-        | Some (_, best) when best.tick <= fr.tick -> ()
-        | _ -> victim := Some (pid, fr))
-    t.table;
-  match !victim with
-  | None -> raise Pool_exhausted
-  | Some (pid, fr) ->
-      write_out t fr;
-      Hashtbl.remove t.table pid;
-      t.evictions <- t.evictions + 1
-
-(* Caller holds [t.mu]. *)
-let install t pid page =
-  if Hashtbl.length t.table >= t.cap then evict_one t;
-  let fr =
-    {
-      page;
-      latch = Latch.create ~name:(Printf.sprintf "page-%d" pid) ();
-      dirty = false;
-      pins = 1;
-      tick = t.clock;
-    }
+(* WAL-then-write one frame's image. The WAL protocol: the log must be
+   durable up to the page's LSN before the page image may reach disk.
+   Callers guarantee no concurrent mutator (the frame is [Writing] with no
+   pins, or the caller holds the shard mutex on a pinned frame it owns). *)
+let write_frame t fr =
+  t.wal_flush (Page.lsn fr.page);
+  Page.stamp_checksum fr.page;
+  let rec put attempt =
+    match t.disk.Disk.write (Page.id fr.page) (Page.raw fr.page) with
+    | () -> ()
+    | exception Disk.Disk_error { transient = true; _ }
+      when attempt < t.max_retries ->
+        Atomic.incr t.retried_writes;
+        backoff t attempt;
+        put (attempt + 1)
   in
-  Hashtbl.replace t.table pid fr;
-  fr
+  put 0
+
+(* Caller holds [sh.mu]. *)
+let remove_frame sh fr =
+  Hashtbl.remove sh.table fr.pid;
+  sh.ring.(fr.slot) <- None;
+  sh.free <- fr.slot :: sh.free;
+  sh.used <- sh.used - 1
+
+(* Second-chance clock sweep. Caller holds [sh.mu]; the mutex is RELEASED
+   and re-taken around the write-out of a dirty victim, so the caller must
+   re-validate anything it learned before calling (the sweep budget of two
+   full revolutions bounds the scan: pass one strips referenced bits, pass
+   two finds a victim). Returns [true] if a slot was freed. On exception
+   (e.g. a crash point firing inside [wal_flush]) the victim is restored
+   to [Ready], waiters are woken, and [sh.mu] is UNLOCKED. *)
+let try_evict_one t sh =
+  let n = Array.length sh.ring in
+  let budget = ref (2 * n) in
+  let freed = ref false in
+  while (not !freed) && !budget > 0 do
+    decr budget;
+    let slot = sh.hand in
+    sh.hand <- (sh.hand + 1) mod n;
+    match sh.ring.(slot) with
+    | None -> ()
+    | Some fr ->
+        if fr.state <> Ready || Atomic.get fr.pins > 0 || fr.waiters > 0 then
+          ()
+        else if fr.referenced then fr.referenced <- false
+        else if not fr.dirty then begin
+          remove_frame sh fr;
+          sh.evictions <- sh.evictions + 1;
+          freed := true
+        end
+        else begin
+          (* Dirty victim: write it out off-mutex. [Writing] bars new pins
+             (they wait on [fr.cond]), and pins cannot appear from thin air
+             because increments only happen under [sh.mu]. *)
+          fr.state <- Writing;
+          Mutex.unlock sh.mu;
+          match write_frame t fr with
+          | () ->
+              Mutex.lock sh.mu;
+              fr.dirty <- false;
+              fr.state <- Ready;
+              sh.flushes <- sh.flushes + 1;
+              (* Someone may have started waiting for this page while we
+                 wrote: resurrect the (now clean) frame instead of
+                 evicting it out from under them. *)
+              if Atomic.get fr.pins = 0 && fr.waiters = 0 then begin
+                remove_frame sh fr;
+                sh.evictions <- sh.evictions + 1;
+                freed := true
+              end;
+              Condition.broadcast fr.cond
+          | exception e ->
+              Mutex.lock sh.mu;
+              fr.state <- Ready;
+              Condition.broadcast fr.cond;
+              Mutex.unlock sh.mu;
+              raise e
+        end
+  done;
+  !freed
+
+(* Invariant for [pin_loop]: entered holding [sh.mu]; returns or raises
+   with [sh.mu] unlocked. *)
+let rec pin_loop t sh pid ~read ~attempt =
+  if t.dead then begin
+    Mutex.unlock sh.mu;
+    failwith "Buffer_pool: used after crash"
+  end;
+  match Hashtbl.find_opt sh.table pid with
+  | Some fr when fr.state = Ready ->
+      Atomic.incr fr.pins;
+      fr.referenced <- true;
+      sh.hits <- sh.hits + 1;
+      Mutex.unlock sh.mu;
+      fr
+  | Some fr ->
+      (* Loading or Writing: wait on the frame, not the shard, then
+         re-lookup (the frame may have been replaced or removed). *)
+      fr.waiters <- fr.waiters + 1;
+      Condition.wait fr.cond sh.mu;
+      fr.waiters <- fr.waiters - 1;
+      pin_loop t sh pid ~read ~attempt
+  | None ->
+      if sh.used >= t.shard_cap then begin
+        if try_evict_one t sh then
+          (* A slot was freed, but the mutex may have been dropped during
+             a dirty write-out: re-run the lookup from scratch. *)
+          pin_loop t sh pid ~read ~attempt
+        else if attempt >= pin_attempts then begin
+          Mutex.unlock sh.mu;
+          raise Pool_exhausted
+        end
+        else begin
+          (* Every frame transiently pinned: back off off-mutex and
+             retry a bounded number of times before giving up. *)
+          Mutex.unlock sh.mu;
+          backoff t attempt;
+          Mutex.lock sh.mu;
+          pin_loop t sh pid ~read ~attempt:(attempt + 1)
+        end
+      end
+      else begin
+        sh.misses <- sh.misses + 1;
+        let slot =
+          match sh.free with
+          | s :: rest ->
+              sh.free <- rest;
+              s
+          | [] -> assert false (* used < shard_cap *)
+        in
+        let fresh_page () =
+          (* Pre-format minimally so Page accessors are safe until the
+             caller's logged Format operation (pin_new) or the durable
+             image (miss read) replaces it. *)
+          Page.create ~size:t.disk.Disk.page_size ~id:pid ~kind:Page.Free
+            ~level:0
+        in
+        let fr =
+          {
+            pid;
+            page = fresh_page ();
+            latch = Latch.create ~name:(Printf.sprintf "page-%d" pid) ();
+            dirty = false;
+            pins = Atomic.make 1;
+            cond = Condition.create ();
+            state = (if read then Loading else Ready);
+            referenced = true;
+            waiters = 0;
+            slot;
+          }
+        in
+        sh.ring.(slot) <- Some fr;
+        sh.used <- sh.used + 1;
+        Hashtbl.replace sh.table pid fr;
+        if not read then begin
+          Mutex.unlock sh.mu;
+          fr
+        end
+        else begin
+          (* The expensive part — the durable read with its retry/backoff
+             ladder — runs with no shard mutex held. Concurrent
+             requesters of [pid] queue on [fr.cond]; hits on other pages
+             in this shard proceed unimpeded. *)
+          Mutex.unlock sh.mu;
+          let t0 = Clock.now_ns () in
+          match read_durable t pid with
+          | page ->
+              Mutex.lock sh.mu;
+              Histogram.record sh.miss_wait (Clock.now_ns () - t0);
+              fr.page <- page;
+              fr.state <- Ready;
+              Condition.broadcast fr.cond;
+              Mutex.unlock sh.mu;
+              fr
+          | exception e ->
+              (* Failed load: withdraw the placeholder so waiters retry
+                 (and observe the failure themselves if it persists). *)
+              Mutex.lock sh.mu;
+              remove_frame sh fr;
+              Condition.broadcast fr.cond;
+              Mutex.unlock sh.mu;
+              raise e
+        end
+      end
 
 let pin_common t pid ~read =
-  Mutex.lock t.mu;
-  check_alive t;
-  t.clock <- t.clock + 1;
-  match Hashtbl.find_opt t.table pid with
-  | Some fr ->
-      fr.pins <- fr.pins + 1;
-      fr.tick <- t.clock;
-      t.hits <- t.hits + 1;
-      Mutex.unlock t.mu;
-      fr
-  | None -> (
-      t.misses <- t.misses + 1;
-      let build_and_install () =
-        let page =
-          if read then read_durable t pid
-          else
-            (* Freshly allocated page: pre-format minimally so Page accessors
-               are safe until the caller's logged Format operation runs. *)
-            Page.create ~size:t.disk.Disk.page_size ~id:pid ~kind:Page.Free
-              ~level:0
-        in
-        install t pid page
-      in
-      match build_and_install () with
-      | fr ->
-          Mutex.unlock t.mu;
-          fr
-      | exception e ->
-          Mutex.unlock t.mu;
-          raise e)
+  let sh = shard_of t pid in
+  Mutex.lock sh.mu;
+  pin_loop t sh pid ~read ~attempt:0
 
 let pin t pid = pin_common t pid ~read:true
 let pin_new t pid = pin_common t pid ~read:false
 
-let unpin t fr =
-  Mutex.lock t.mu;
-  assert (fr.pins > 0);
-  fr.pins <- fr.pins - 1;
-  Mutex.unlock t.mu
+(* Lock-free: the release of a pin is a plain atomic decrement. A dirtying
+   writer's [mark_dirty] (plain store) precedes its decrement, and the
+   evictor reads [pins] with [Atomic.get] before reading [dirty], so the
+   dirty bit is always visible to whoever sees the pin drop. *)
+let unpin _t fr =
+  let old = Atomic.fetch_and_add fr.pins (-1) in
+  assert (old > 0)
 
 let mark_dirty fr = fr.dirty <- true
 
+let check_alive t = if t.dead then failwith "Buffer_pool: used after crash"
+
+(* Caller holds the shard mutex of [fr] and [fr] is Ready (checkpoint
+   paths hold the mutex across the write; simplicity over concurrency —
+   these are not hot paths). *)
+let write_locked t sh fr =
+  if fr.dirty then begin
+    write_frame t fr;
+    fr.dirty <- false;
+    sh.flushes <- sh.flushes + 1
+  end
+
 let flush_page t fr =
-  Mutex.lock t.mu;
+  let sh = shard_of t fr.pid in
+  Mutex.lock sh.mu;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mu)
+    ~finally:(fun () -> Mutex.unlock sh.mu)
     (fun () ->
       check_alive t;
-      write_out t fr)
+      write_locked t sh fr)
 
 let flush_all t =
-  Mutex.lock t.mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mu)
-    (fun () ->
-      check_alive t;
-      Hashtbl.iter (fun _ fr -> write_out t fr) t.table)
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sh.mu)
+        (fun () ->
+          check_alive t;
+          let frames = Hashtbl.fold (fun _ fr acc -> fr :: acc) sh.table [] in
+          List.iter
+            (fun fr ->
+              (* An in-flight eviction write-out owns the image; wait it
+                 out rather than double-writing. *)
+              while fr.state = Writing do
+                Condition.wait fr.cond sh.mu
+              done;
+              (* The cond-wait released the mutex: only flush the frame if
+                 it still backs this pid (Loading frames are clean). *)
+              match Hashtbl.find_opt sh.table fr.pid with
+              | Some fr' when fr' == fr && fr.state = Ready ->
+                  write_locked t sh fr
+              | _ -> ())
+            frames))
+    t.shards
 
 let crash t =
-  Mutex.lock t.mu;
-  Hashtbl.reset t.table;
+  Array.iter (fun sh -> Mutex.lock sh.mu) t.shards;
+  Array.iter
+    (fun sh ->
+      Hashtbl.reset sh.table;
+      Array.fill sh.ring 0 (Array.length sh.ring) None;
+      sh.free <- List.init (Array.length sh.ring) Fun.id;
+      sh.used <- 0;
+      sh.hand <- 0)
+    t.shards;
   t.dead <- true;
-  Mutex.unlock t.mu
+  Array.iter (fun sh -> Mutex.unlock sh.mu) t.shards
 
-let stats t =
-  Mutex.lock t.mu;
-  let s =
-    {
-      hits = t.hits;
-      misses = t.misses;
-      evictions = t.evictions;
-      flushes = t.flushes;
-      retried_reads = t.retried_reads;
-      retried_writes = t.retried_writes;
-    }
-  in
-  Mutex.unlock t.mu;
-  s
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;
+  retried_reads : int;
+  retried_writes : int;
+  shards : int;
+  shard_evictions : int array;
+  hit_ratio : float;
+  miss_wait_mean_ns : float;
+  miss_wait_p99_ns : int;
+}
+
+let stats (t : t) =
+  let hits = ref 0
+  and misses = ref 0
+  and evictions = ref 0
+  and flushes = ref 0 in
+  let shard_evictions = Array.make (Array.length t.shards) 0 in
+  let hist = ref (Histogram.create ()) in
+  Array.iteri
+    (fun i sh ->
+      Mutex.lock sh.mu;
+      hits := !hits + sh.hits;
+      misses := !misses + sh.misses;
+      evictions := !evictions + sh.evictions;
+      flushes := !flushes + sh.flushes;
+      shard_evictions.(i) <- sh.evictions;
+      hist := Histogram.merge !hist sh.miss_wait;
+      Mutex.unlock sh.mu)
+    t.shards;
+  let h = !hist in
+  let pins = !hits + !misses in
+  {
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    flushes = !flushes;
+    retried_reads = Atomic.get t.retried_reads;
+    retried_writes = Atomic.get t.retried_writes;
+    shards = Array.length t.shards;
+    shard_evictions;
+    hit_ratio = (if pins = 0 then 0. else float_of_int !hits /. float_of_int pins);
+    miss_wait_mean_ns = (if Histogram.count h = 0 then 0. else Histogram.mean h);
+    miss_wait_p99_ns = Histogram.percentile h 99.;
+  }

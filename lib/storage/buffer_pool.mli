@@ -1,5 +1,16 @@
 (** Buffer pool: the volatile page cache, enforcing write-ahead logging.
 
+    The pool is hash-sharded (LeanStore-style): each shard owns a mutex, a
+    frame table and a second-chance clock ring, so pins of unrelated pages
+    contend only when they hash to the same shard, and eviction is
+    O(1) amortized instead of a full-table scan. No shard mutex is ever
+    held across disk I/O: a miss installs a [Loading] placeholder and
+    reads off-mutex; eviction of a dirty victim flips the frame to
+    [Writing] and writes off-mutex. Concurrent requesters of an in-flight
+    page wait on the frame's own condition variable — one slow or
+    retrying read never blocks hits on other pages. [unpin] is a plain
+    atomic decrement with no lock at all.
+
     Frames hold page images plus the page's latch. The discipline callers
     must follow:
 
@@ -27,21 +38,35 @@
 
 type t
 
+(** Life cycle of a resident frame. [Loading]: a miss is reading the
+    durable image off-mutex; the page field is a placeholder. [Writing]:
+    eviction is writing the (formerly dirty) image off-mutex. Pins are
+    granted only on [Ready] frames; requesters of a frame in either
+    transitional state wait on its condition variable. *)
+type state = Loading | Ready | Writing
+
 type frame = private {
-  page : Page.t;
+  pid : int;
+  mutable page : Page.t;
   latch : Pitree_sync.Latch.t;
   mutable dirty : bool;
-  mutable pins : int;
-  mutable tick : int;  (** LRU clock *)
+  pins : int Atomic.t;
+  cond : Condition.t;
+  mutable state : state;
+  mutable referenced : bool;  (** second-chance bit, set on every pin *)
+  mutable waiters : int;  (** threads blocked on [cond] for this frame *)
+  slot : int;  (** position in the owning shard's clock ring *)
 }
 
 exception Pool_exhausted
-(** Raised when every frame is pinned and a new page must be brought in.
-    Size the pool above the maximum number of simultaneously pinned pages
-    (ops pin O(tree height) pages). *)
+(** Raised when every frame in the target shard stays pinned through the
+    full bounded-backoff retry ladder (~40ms by default). Size the pool
+    above the maximum number of simultaneously pinned pages (ops pin
+    O(tree height) pages). *)
 
 val create :
   ?capacity:int ->
+  ?shards:int ->
   ?max_retries:int ->
   ?backoff_base:float ->
   disk:Disk.t ->
@@ -50,11 +75,18 @@ val create :
   t
 (** [wal_flush lsn] must make the log durable up to and including [lsn]
     before returning; the pool invokes it before writing any dirty page.
-    [max_retries] (default 12) bounds re-issues of a failed disk op;
-    [backoff_base] (default 0.2ms) seeds the exponential backoff, capped
-    at 2ms per wait. *)
+    [shards] (default: the domain count rounded up to a power of two,
+    capped at 64) is rounded up to a power of two and reduced until every
+    shard holds at least 8 frames; [?shards:1] reproduces the legacy
+    single-mutex pool for baseline comparison. [max_retries] (default 12)
+    bounds re-issues of a failed disk op; [backoff_base] (default 0.2ms)
+    seeds the exponential backoff, capped at 2ms per wait. *)
 
 val capacity : t -> int
+(** Total frames across all shards (shard count × per-shard capacity;
+    may round the requested capacity up). *)
+
+val shards : t -> int
 
 val pin : t -> int -> frame
 (** Pin page [pid], reading it from disk on a miss. Raises [Not_found] if
@@ -69,6 +101,7 @@ val pin_new : t -> int -> frame
     logged operation. *)
 
 val unpin : t -> frame -> unit
+(** Drop one pin. Lock-free (an atomic decrement). *)
 
 val mark_dirty : frame -> unit
 
@@ -92,6 +125,12 @@ type stats = {
       (** disk reads re-issued after a transient error or a transiently
           corrupt image *)
   retried_writes : int;  (** disk writes re-issued after a transient error *)
+  shards : int;
+  shard_evictions : int array;  (** evictions per shard, index = shard *)
+  hit_ratio : float;  (** hits / (hits + misses); 0 when no pins yet *)
+  miss_wait_mean_ns : float;
+      (** mean nanoseconds a missing pin spent in off-mutex disk I/O *)
+  miss_wait_p99_ns : int;  (** 99th percentile of the same *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,13 @@
+(** Monotonic nanosecond clock for latency accounting.
+
+    [Unix.gettimeofday] is a wall clock: it is subject to NTP slews and
+    leap-second steps, returns a float (so differencing two readings costs
+    precision exactly where it matters, in the nanoseconds), and boxes.
+    Every hot-path timing site in the library — latch wait/hold intervals,
+    buffer-pool miss I/O, per-operation workload latency — goes through
+    this module instead: a monotonic [CLOCK_MONOTONIC] source read by a
+    no-allocation C stub, returned as integer nanoseconds. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary (boot-time) origin; strictly usable only
+    for differences. Monotonic: never steps backwards. *)

@@ -17,7 +17,10 @@ let g_contended = Atomic.make 0
 let g_wait_ns = Atomic.make 0
 let g_hold_ns = Atomic.make 0
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic int-ns. The wall clock ([Unix.gettimeofday]) used here
+   previously cost two float syscalls per U/X acquisition on the
+   uncontended fast path and could run backwards under NTP slew. *)
+let now_ns = Clock.now_ns
 
 type t = {
   name : string;
@@ -57,15 +60,19 @@ let grantable t = function
   | U -> (not t.u_held) && not t.x_held
   | X -> t.readers = 0 && (not t.u_held) && not t.x_held
 
-let grant t mode =
+(* Hold timestamps are sampled only when the acquisition contended
+   ([acquired_at = 0] means "untimed"): an uncontended acquire/release pair
+   — the overwhelmingly common case under the paper's short-latch
+   discipline — never reads the clock at all. *)
+let grant ?(contended = false) t mode =
   (match mode with
   | S -> t.readers <- t.readers + 1
   | U ->
       t.u_held <- true;
-      t.acquired_at <- now_ns ()
+      t.acquired_at <- (if contended then now_ns () else 0)
   | X ->
       t.x_held <- true;
-      t.acquired_at <- now_ns ());
+      t.acquired_at <- (if contended then now_ns () else 0));
   t.acquisitions <- t.acquisitions + 1;
   Atomic.incr g_acquisitions
 
@@ -82,7 +89,7 @@ let acquire t mode =
     let dt = now_ns () - t0 in
     t.wait_ns <- t.wait_ns + dt;
     ignore (Atomic.fetch_and_add g_wait_ns dt);
-    grant t mode
+    grant ~contended:true t mode
   end;
   Mutex.unlock t.mu
 
@@ -109,13 +116,16 @@ let promote t =
     done;
     let dt = now_ns () - t0 in
     t.wait_ns <- t.wait_ns + dt;
-    ignore (Atomic.fetch_and_add g_wait_ns dt)
+    ignore (Atomic.fetch_and_add g_wait_ns dt);
+    (* Promotion contended: the hold is now interesting even if the original
+       U grant was uncontended (untimed). Start the clock here in that case;
+       otherwise keep [acquired_at] from the U grant so hold time covers
+       U-then-X as one critical section. *)
+    if t.acquired_at = 0 then t.acquired_at <- t0 + dt
   end;
   t.u_held <- false;
   t.x_held <- true;
   t.u_wants_x <- false;
-  (* The hold interval continues: keep [acquired_at] from the U grant so
-     hold time covers U-then-X as one critical section. *)
   Mutex.unlock t.mu
 
 let demote t =
@@ -130,9 +140,12 @@ let demote t =
   Mutex.unlock t.mu
 
 let finish_hold t =
-  let dt = now_ns () - t.acquired_at in
-  t.hold_ns <- t.hold_ns + dt;
-  ignore (Atomic.fetch_and_add g_hold_ns dt)
+  if t.acquired_at <> 0 then begin
+    let dt = now_ns () - t.acquired_at in
+    t.acquired_at <- 0;
+    t.hold_ns <- t.hold_ns + dt;
+    ignore (Atomic.fetch_and_add g_hold_ns dt)
+  end
 
 let release t mode =
   Mutex.lock t.mu;

@@ -52,7 +52,11 @@ type stats = {
   acquisitions : int;
   contended : int;       (** acquisitions that had to wait *)
   wait_ns : int;         (** total nanoseconds spent waiting *)
-  hold_ns : int;         (** total nanoseconds X or U latches were held *)
+  hold_ns : int;
+      (** total nanoseconds {e contended} X or U latches were held. Hold
+          timestamps are sampled (from the monotonic [Clock]) only when the
+          acquisition had to wait — uncontended grant/release pairs never
+          touch the clock, keeping the fast path free of syscalls. *)
 }
 
 val stats : t -> stats

@@ -256,6 +256,173 @@ let test_pool_flush_all_persists () =
   Alcotest.(check string) "survived crash" "durable" (Page.get fr.Buffer_pool.page 0);
   Buffer_pool.unpin pool2 fr
 
+(* ---- sharded pool: eviction policy, WAL ordering, concurrency ---- *)
+
+let stamp_disk_pages disk ~n =
+  for pid = 0 to n - 1 do
+    let p = Page.create ~size:256 ~id:pid ~kind:Page.Data ~level:0 in
+    Page.insert p 0 (Printf.sprintf "d%d" pid);
+    Page.stamp_checksum p;
+    disk.Disk.write pid (Page.raw p)
+  done
+
+let test_pool_evict_wal_before_data () =
+  (* A dirty page picked by the eviction clock must have its LSN forced to
+     the WAL before its bytes reach the disk. *)
+  let flushed = ref [] in
+  let inner = Disk.in_memory ~page_size:256 in
+  let writes = ref [] in
+  let disk =
+    {
+      inner with
+      Disk.write =
+        (fun pid buf ->
+          (* Snapshot the WAL high-water marks seen at write time. *)
+          writes := (pid, !flushed) :: !writes;
+          inner.Disk.write pid buf);
+    }
+  in
+  let pool =
+    Buffer_pool.create ~capacity:8 ~shards:1 ~disk
+      ~wal_flush:(fun lsn -> flushed := lsn :: !flushed)
+      ()
+  in
+  for pid = 0 to 7 do
+    let fr = Buffer_pool.pin_new pool pid in
+    let fresh = Page.create ~size:256 ~id:pid ~kind:Page.Data ~level:0 in
+    Bytes.blit (Page.raw fresh) 0 (Page.raw fr.Buffer_pool.page) 0 256;
+    Page.set_lsn fr.Buffer_pool.page (100 + pid);
+    Buffer_pool.mark_dirty fr;
+    Buffer_pool.unpin pool fr
+  done;
+  (* One more install forces the clock to evict (and write back) a dirty
+     victim. *)
+  Buffer_pool.unpin pool (Buffer_pool.pin_new pool 99);
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check bool) "eviction happened" true (s.Buffer_pool.evictions >= 1);
+  Alcotest.(check bool) "a write-back happened" true (!writes <> []);
+  List.iter
+    (fun (pid, flushed_then) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "wal covered page %d before its data write" pid)
+        true
+        (List.mem (100 + pid) flushed_then))
+    !writes
+
+let test_pool_never_evicts_pinned () =
+  let _, pool = mk_pool ~capacity:8 () in
+  (* Keep 7 frames pinned; leave a single victim candidate. *)
+  let pinned = List.init 7 (fun i -> Buffer_pool.pin_new pool i) in
+  Buffer_pool.unpin pool (Buffer_pool.pin_new pool 7);
+  (* Repeated installs can only ever recycle the one unpinned slot. *)
+  for pid = 100 to 120 do
+    Buffer_pool.unpin pool (Buffer_pool.pin_new pool pid)
+  done;
+  let before = (Buffer_pool.stats pool).Buffer_pool.misses in
+  (* Every pinned page must still be resident, in its original frame. *)
+  List.iter
+    (fun (fr : Buffer_pool.frame) ->
+      let fr2 = Buffer_pool.pin pool fr.Buffer_pool.pid in
+      Alcotest.(check bool) "same frame" true (fr2 == fr);
+      Buffer_pool.unpin pool fr2)
+    pinned;
+  let after = (Buffer_pool.stats pool).Buffer_pool.misses in
+  Alcotest.(check int) "no pinned frame was evicted" before after;
+  List.iter (Buffer_pool.unpin pool) pinned
+
+let test_pool_clock_second_chance () =
+  (* A re-referenced frame survives the sweep that evicts its unreferenced
+     neighbors. *)
+  let _, pool = mk_pool ~capacity:8 () in
+  for pid = 0 to 7 do
+    Buffer_pool.unpin pool (Buffer_pool.pin_new pool pid)
+  done;
+  (* Every frame is referenced: the first install strips all the reference
+     bits on its first revolution and takes slot 0 (page 0). *)
+  Buffer_pool.unpin pool (Buffer_pool.pin_new pool 100);
+  (* Re-reference page 2; it must now outlive the next sweeps... *)
+  Buffer_pool.unpin pool (Buffer_pool.pin pool 2);
+  (* ...which take pages 1 and 3 instead. *)
+  Buffer_pool.unpin pool (Buffer_pool.pin_new pool 101);
+  Buffer_pool.unpin pool (Buffer_pool.pin_new pool 102);
+  let resident pid =
+    let before = (Buffer_pool.stats pool).Buffer_pool.misses in
+    Buffer_pool.unpin pool (Buffer_pool.pin_new pool pid);
+    (Buffer_pool.stats pool).Buffer_pool.misses = before
+  in
+  Alcotest.(check bool) "page 2 survived (second chance)" true (resident 2);
+  Alcotest.(check bool) "page 0 was the first victim" false (resident 0);
+  Alcotest.(check bool) "page 1 evicted" false (resident 1)
+
+let test_pool_miss_does_not_block_hits () =
+  (* Acceptance: even with a single shard, a slow miss on one page must not
+     block hits on other resident pages — the shard mutex is released
+     around the device read. *)
+  let inner = Disk.in_memory ~page_size:256 in
+  stamp_disk_pages inner ~n:9;
+  let disk =
+    {
+      inner with
+      Disk.read =
+        (fun pid buf ->
+          if pid = 8 then Thread.delay 0.3;
+          inner.Disk.read pid buf);
+    }
+  in
+  let pool =
+    Buffer_pool.create ~capacity:8 ~shards:1 ~disk ~wal_flush:(fun _ -> ()) ()
+  in
+  for pid = 0 to 3 do
+    Buffer_pool.unpin pool (Buffer_pool.pin pool pid)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let slow =
+    Domain.spawn (fun () -> Buffer_pool.unpin pool (Buffer_pool.pin pool 8))
+  in
+  Thread.delay 0.02 (* let the miss reach the (slow) device *);
+  for _ = 1 to 1_000 do
+    for pid = 0 to 3 do
+      Buffer_pool.unpin pool (Buffer_pool.pin pool pid)
+    done
+  done;
+  let hits_done = Unix.gettimeofday () -. t0 in
+  Domain.join slow;
+  let miss_done = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "4000 hits completed while the miss was in flight"
+    true
+    (hits_done < 0.25);
+  Alcotest.(check bool) "slow miss completed" true (miss_done >= 0.3)
+
+let pool_storm ~shards () =
+  let domains = 4 and per = 2_000 and npages = 128 in
+  let disk = Disk.in_memory ~page_size:256 in
+  stamp_disk_pages disk ~n:npages;
+  let pool =
+    Buffer_pool.create ~capacity:64 ~shards ~disk ~wal_flush:(fun _ -> ()) ()
+  in
+  let work d =
+    let st = ref ((d * 7919) + 13) in
+    for _ = 1 to per do
+      st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+      let fr = Buffer_pool.pin pool (!st mod npages) in
+      Alcotest.(check int) "frame pid" (!st mod npages) fr.Buffer_pool.pid;
+      Buffer_pool.unpin pool fr
+    done
+  in
+  List.init domains (fun d -> Domain.spawn (fun () -> work d))
+  |> List.iter Domain.join;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "hits + misses = pins" (domains * per)
+    (s.Buffer_pool.hits + s.Buffer_pool.misses);
+  (* All pins were released: every resident page can be flushed and the
+     whole capacity can be repinned without exhaustion. *)
+  Buffer_pool.flush_all pool;
+  let frames = List.init 64 (fun pid -> Buffer_pool.pin pool pid) in
+  List.iter (Buffer_pool.unpin pool) frames
+
+let test_pool_storm_sharded () = pool_storm ~shards:8 ()
+let test_pool_storm_single () = pool_storm ~shards:1 ()
+
 let suites =
   [
     ( "storage.page",
@@ -284,5 +451,17 @@ let suites =
         Alcotest.test_case "wal barrier" `Quick test_pool_wal_barrier;
         Alcotest.test_case "crash loses unflushed" `Quick test_pool_crash_loses_unflushed;
         Alcotest.test_case "flush_all persists" `Quick test_pool_flush_all_persists;
+        Alcotest.test_case "evict: WAL before data" `Quick
+          test_pool_evict_wal_before_data;
+        Alcotest.test_case "evict: never pinned" `Quick
+          test_pool_never_evicts_pinned;
+        Alcotest.test_case "clock second chance" `Quick
+          test_pool_clock_second_chance;
+        Alcotest.test_case "slow miss doesn't block hits" `Quick
+          test_pool_miss_does_not_block_hits;
+        Alcotest.test_case "4-domain storm (sharded)" `Quick
+          test_pool_storm_sharded;
+        Alcotest.test_case "4-domain storm (single)" `Quick
+          test_pool_storm_single;
       ] );
   ]
