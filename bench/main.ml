@@ -15,7 +15,7 @@ module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Log_manager = Pitree_wal.Log_manager
 module Recovery = Pitree_wal.Recovery
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Wellformed = Pitree_core.Wellformed
 module Kv = Pitree_harness.Kv
 module Workload = Pitree_harness.Workload
@@ -28,9 +28,19 @@ module Disk = Pitree_storage.Disk
 module Buffer_pool = Pitree_storage.Buffer_pool
 
 let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
-    ?(consolidation = true) ?log_path ?wal_group_commit () =
-  Env.create ?log_path ?wal_group_commit
-    { Env.page_size; pool_capacity = pool; page_oriented_undo; consolidation }
+    ?(consolidation = true) ?log_path ?(wal_group_commit = true)
+    ?ckpt_log_bytes () =
+  Env.create
+    {
+      Env.default_config with
+      page_size;
+      pool_capacity = pool;
+      page_oriented_undo;
+      consolidation;
+      log_path;
+      wal_group_commit;
+      ckpt_log_bytes;
+    }
 
 (* A file-backed WAL in a scratch location, so force counts are real fsyncs
    (an in-memory log advances durability without forcing anything). *)
@@ -1025,6 +1035,238 @@ let pool_smoke () =
     ~out:"BENCH_pool.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzy checkpoints: restart work bounded by work-since-checkpoint (not
+   total history), log file space reclaimed by truncation, and the
+   reader-observed write-back stall of sharp vs fuzzy modes. Emits
+   BENCH_ckpt.json.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type ckpt_run = {
+  c_mode : string;
+  c_history : int;
+  c_log_records : int;  (* records retained in the log at crash time *)
+  c_file_bytes : int;  (* WAL file size at crash time *)
+  c_ckpts : int;
+  c_trunc_records : int;
+  c_trunc_bytes : int;
+  c_restart_ms : float;
+  c_analyzed : int;
+  c_redone : int;
+}
+
+(* Load [history] autocommit inserts — with the log-bytes fuzzy-checkpoint
+   trigger on or off — then crash with the whole log tail durable (the
+   worst case for restart work) and measure recovery. *)
+let ckpt_history_run ~fuzzy ~history =
+  with_file_log (fun log_path ->
+      let env =
+        mk_env ~page_size:512 ~pool:1024 ~log_path
+          ?ckpt_log_bytes:(if fuzzy then Some 65_536 else None) ()
+      in
+      let t = Blink.create env ~name:"ckpt" in
+      for i = 0 to history - 1 do
+        Blink.insert t
+          ~key:(Printf.sprintf "key%08d" i)
+          ~value:(String.make 16 'v')
+      done;
+      ignore (Env.drain env);
+      let log = Env.log env in
+      let es = Env.stats env in
+      let file_bytes = Option.value (Log_manager.file_bytes log) ~default:0 in
+      let log_records =
+        Log_manager.last_lsn log - Log_manager.first_lsn log + 1
+      in
+      Log_manager.flush_all log;
+      Env.crash env;
+      let t0 = Unix.gettimeofday () in
+      let report = Env.recover env in
+      let restart_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let t = Option.get (Blink.open_existing env ~name:"ckpt") in
+      (match Blink.find t (Printf.sprintf "key%08d" (history - 1)) with
+      | Some _ -> ()
+      | None -> failwith "ckpt bench: committed key lost across recovery");
+      if not (Wellformed.ok (Blink.verify t)) then
+        failwith "ckpt bench: tree not well-formed after recovery";
+      {
+        c_mode = (if fuzzy then "fuzzy" else "none");
+        c_history = history;
+        c_log_records = log_records;
+        c_file_bytes = file_bytes;
+        c_ckpts = es.Env.checkpoints;
+        c_trunc_records = es.Env.ckpt_records_truncated;
+        c_trunc_bytes = es.Env.ckpt_bytes_truncated;
+        c_restart_ms = restart_ms;
+        c_analyzed = report.Recovery.analyzed;
+        c_redone = report.Recovery.redone;
+      })
+
+(* Reader-observed stall: two domains run point reads while one explicit
+   checkpoint per round writes back freshly dirtied pages. Sharp write-back
+   holds each shard's mutex across its flushes, so concurrent pins block;
+   fuzzy write-back holds only one page's S latch at a time. (Writers are
+   quiesced during the checkpoint itself — sharp mode requires that.) *)
+let ckpt_stall_run ~mode ~rounds ~dirty_per_round =
+  let env = mk_env ~page_size:512 ~pool:8192 () in
+  let t = Blink.create env ~name:"stall" in
+  for i = 0 to 9_999 do
+    Blink.insert t ~key:(Printf.sprintf "key%08d" i) ~value:(String.make 16 'v')
+  done;
+  ignore (Env.drain env);
+  let next = ref 10_000 in
+  let max_find_ns = ref 0 and ckpt_s = ref 0.0 and finds = ref 0 in
+  for _ = 1 to rounds do
+    for _ = 1 to dirty_per_round do
+      let i = !next in
+      incr next;
+      Blink.insert t
+        ~key:(Printf.sprintf "key%08d" i)
+        ~value:(String.make 16 'v')
+    done;
+    ignore (Env.drain env);
+    let key_hi = !next in
+    let running = Atomic.make true in
+    let readers =
+      List.init 2 (fun d ->
+          Domain.spawn (fun () ->
+              let rng = Rng.create (Int64.of_int (d + 1)) in
+              let worst = ref 0 and n = ref 0 in
+              while Atomic.get running do
+                let k = Printf.sprintf "key%08d" (Rng.int rng key_hi) in
+                let t0 = Pitree_sync.Clock.now_ns () in
+                ignore (Blink.find t k);
+                let dt = Pitree_sync.Clock.now_ns () - t0 in
+                if dt > !worst then worst := dt;
+                incr n
+              done;
+              (!worst, !n)))
+    in
+    let t0 = Unix.gettimeofday () in
+    Env.checkpoint ~mode env;
+    ckpt_s := !ckpt_s +. (Unix.gettimeofday () -. t0);
+    Atomic.set running false;
+    List.iter
+      (fun d ->
+        let worst, n = Domain.join d in
+        if worst > !max_find_ns then max_find_ns := worst;
+        finds := !finds + n)
+      readers
+  done;
+  ( (match mode with `Sharp -> "sharp" | `Fuzzy -> "fuzzy"),
+    rounds,
+    !ckpt_s,
+    !max_find_ns,
+    !finds )
+
+let ckpt_json ~runs ~stalls =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"bench\": \"ckpt\",\n";
+  (* Headline acceptance: at the largest history, restart analysis with
+     checkpoints is a fraction of analysis without them. *)
+  let at mode =
+    List.filter (fun r -> r.c_mode = mode) runs
+    |> List.fold_left
+         (fun best r ->
+           match best with
+           | Some b when b.c_history >= r.c_history -> Some b
+           | _ -> Some r)
+         None
+  in
+  (match (at "fuzzy", at "none") with
+  | Some f, Some n when n.c_analyzed > 0 && f.c_history = n.c_history ->
+      Printf.bprintf b
+        "  \"history_ops\": %d,\n  \"analyzed_fuzzy\": %d,\n  \
+         \"analyzed_none\": %d,\n  \"bounded_restart\": %b,\n"
+        f.c_history f.c_analyzed n.c_analyzed (f.c_analyzed < n.c_analyzed / 2)
+  | _ -> ());
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"mode\": %S, \"history_ops\": %d, \"log_records\": %d, \
+         \"log_file_bytes\": %d, \"checkpoints\": %d, \
+         \"records_truncated\": %d, \"bytes_truncated\": %d, \
+         \"restart_ms\": %.2f, \"analyzed\": %d, \"redone\": %d}%s\n"
+        r.c_mode r.c_history r.c_log_records r.c_file_bytes r.c_ckpts
+        r.c_trunc_records r.c_trunc_bytes r.c_restart_ms r.c_analyzed
+        r.c_redone
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string b "  ],\n  \"stall\": [\n";
+  List.iteri
+    (fun i (mode, rounds, ck_s, max_ns, finds) ->
+      Printf.bprintf b
+        "    {\"mode\": %S, \"rounds\": %d, \"checkpoint_s\": %.4f, \
+         \"max_find_ns\": %d, \"finds\": %d}%s\n"
+        mode rounds ck_s max_ns finds
+        (if i = List.length stalls - 1 then "" else ","))
+    stalls;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let ckpt_impl ~histories ~stall_rounds ~stall_dirty ~out () =
+  let runs =
+    List.concat_map
+      (fun history ->
+        List.map (fun fuzzy -> ckpt_history_run ~fuzzy ~history) [ false; true ])
+      histories
+  in
+  Table.print
+    ~title:
+      "Fuzzy checkpoints: restart work and WAL file size vs history length \
+       (log-bytes trigger at 64KiB; crash with the full tail durable)"
+    ~header:
+      [ "mode"; "history"; "log records"; "WAL bytes"; "ckpts"; "trunc recs";
+        "restart ms"; "analyzed"; "redone" ]
+    (List.map
+       (fun r ->
+         [
+           r.c_mode;
+           string_of_int r.c_history;
+           string_of_int r.c_log_records;
+           string_of_int r.c_file_bytes;
+           string_of_int r.c_ckpts;
+           string_of_int r.c_trunc_records;
+           Printf.sprintf "%.1f" r.c_restart_ms;
+           string_of_int r.c_analyzed;
+           string_of_int r.c_redone;
+         ])
+       runs);
+  let stalls =
+    List.map
+      (fun mode ->
+        ckpt_stall_run ~mode ~rounds:stall_rounds ~dirty_per_round:stall_dirty)
+      [ `Sharp; `Fuzzy ]
+  in
+  Table.print
+    ~title:
+      "Checkpoint write-back stall seen by concurrent readers (2 domains of \
+       point reads during each checkpoint)"
+    ~header:[ "mode"; "rounds"; "ckpt total s"; "worst find ns"; "finds" ]
+    (List.map
+       (fun (mode, rounds, ck_s, max_ns, finds) ->
+         [
+           mode;
+           string_of_int rounds;
+           Printf.sprintf "%.4f" ck_s;
+           string_of_int max_ns;
+           string_of_int finds;
+         ])
+       stalls);
+  let oc = open_out out in
+  output_string oc (ckpt_json ~runs ~stalls);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let ckpt () =
+  ckpt_impl
+    ~histories:[ 2_000; 8_000; 16_000 ]
+    ~stall_rounds:10 ~stall_dirty:2_000 ~out:"BENCH_ckpt.json" ()
+
+let ckpt_smoke () =
+  ckpt_impl ~histories:[ 800 ] ~stall_rounds:2 ~stall_dirty:400
+    ~out:"BENCH_ckpt.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1033,11 +1275,12 @@ let experiments =
     ("e12", e12); ("e13", e13); ("e14", e14);
     ("wal", wal); ("wal-smoke", wal_smoke);
     ("pool", pool_bench); ("pool-smoke", pool_smoke);
+    ("ckpt", ckpt); ("ckpt-smoke", ckpt_smoke);
     ("micro", micro);
   ]
 
 (* smoke variants would overwrite the full runs' JSON artifacts *)
-let smoke_variants = [ "wal-smoke"; "pool-smoke" ]
+let smoke_variants = [ "wal-smoke"; "pool-smoke"; "ckpt-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1045,7 +1288,7 @@ let () =
   | [ "--help" ] | [ "-h" ] ->
       print_endline
         "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
-         pool-smoke | micro | all]";
+         pool-smoke | ckpt | ckpt-smoke | micro | all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter

@@ -18,7 +18,7 @@ open Cmdliner
 module Env = Pitree_env.Env
 module Blink = Pitree_blink.Blink
 module Wellformed = Pitree_core.Wellformed
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Kv = Pitree_harness.Kv
 module Workload = Pitree_harness.Workload
 module Driver = Pitree_harness.Driver
@@ -26,7 +26,8 @@ module Driver = Pitree_harness.Driver
 let mk_env page_size consolidation page_oriented_undo =
   Env.create
     {
-      Env.page_size;
+      Env.default_config with
+      page_size;
       pool_capacity = 65536;
       page_oriented_undo;
       consolidation;
@@ -110,7 +111,18 @@ let load_cmd =
 
 let crash_test point after n =
   Crash_point.disarm_all ();
-  let env = mk_env 512 true false in
+  (* The aggressive log-bytes trigger makes the ckpt.* points reachable:
+     fuzzy checkpoints fire on the committing thread during the insert
+     loop below, exactly as in the chaos harness. *)
+  let env =
+    Env.create
+      {
+        Env.default_config with
+        page_size = 512;
+        pool_capacity = 65536;
+        ckpt_log_bytes = Some 65_536;
+      }
+  in
   let t = Blink.create env ~name:"t" in
   Crash_point.arm point ~after;
   let crashed = ref false in
@@ -138,7 +150,8 @@ let point_arg =
         ~doc:
           "Crash point: blink.split.linked, blink.split.committed, \
            blink.root.grown, blink.post.latched, blink.post.updated, \
-           blink.post.done, blink.consolidate.linked.")
+           blink.post.done, blink.consolidate.linked, ckpt.begin.logged, \
+           ckpt.end.logged, ckpt.truncated.")
 
 let after_arg =
   Arg.(value & opt int 3 & info [ "after" ] ~doc:"Fire on the (N+1)-th hit.")
@@ -162,8 +175,7 @@ let workload domains ops reads inserts deletes zipf =
   Driver.preload inst spec ~n:20_000;
   ignore (Env.drain env);
   let r =
-    Driver.run ~log:(Env.log env) ~pool:(Env.pool env) ~domains
-      ~ops_per_domain:(ops / domains) ~seed:1L inst spec
+    Driver.run ~env ~domains ~ops_per_domain:(ops / domains) ~seed:1L inst spec
   in
   Format.printf "%a@." Driver.pp_result r;
   verify_and_report t
@@ -254,13 +266,13 @@ let persist dir n reopen =
   let pages = Filename.concat dir "pages.db" in
   let wal = Filename.concat dir "wal.log" in
   let cfg =
-    { Env.page_size = 4096; pool_capacity = 65536; page_oriented_undo = false; consolidation = true }
+    { Env.default_config with page_size = 4096; pool_capacity = 65536; page_oriented_undo = false; consolidation = true }
   in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   if reopen then begin
     let env =
       Env.open_from ~disk:(Pitree_storage.Disk.file ~page_size:4096 ~path:pages)
-        ~log_path:wal cfg
+        { cfg with Env.log_path = Some wal }
     in
     let report = Env.recover env in
     Format.printf "%a@." Pitree_wal.Recovery.pp_report report;
@@ -278,7 +290,7 @@ let persist dir n reopen =
   else begin
     let env =
       Env.create ~disk:(Pitree_storage.Disk.file ~page_size:4096 ~path:pages)
-        ~log_path:wal cfg
+        { cfg with Env.log_path = Some wal }
     in
     let t = Blink.create env ~name:"t" in
     for i = 0 to n - 1 do

@@ -12,7 +12,7 @@ module Lock_manager = Pitree_lock.Lock_manager
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Atomic_action = Pitree_txn.Atomic_action
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Env = Pitree_env.Env
 module Saved_path = Pitree_core.Saved_path
 module Wellformed = Pitree_core.Wellformed
@@ -1267,13 +1267,15 @@ let logical_undo t ~comp ~txn ~prev ~undo_next =
     let _, fr = descend t ~key ~target:0 ~mode:Latch.U in
     let p = page fr in
     let apply_clr op =
+      (* Dirty (and log the full-page image) before the CLR is appended:
+         the image must precede every record it covers. *)
+      Buffer_pool.mark_dirty fr;
       let lsn =
         Log_manager.append (Env.log t.env) ~prev ~txn
           (Log_record.Clr { page = Page.id p; op; undo_next })
       in
       Page_op.redo p op;
       Page.set_lsn p lsn;
-      Buffer_pool.mark_dirty fr;
       lsn
     in
     let finish_x lsn =

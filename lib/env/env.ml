@@ -13,26 +13,45 @@ module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Atomic_action = Pitree_txn.Atomic_action
 module Codec = Pitree_util.Codec
+module Crash_point = Pitree_util.Crash_point
 
 type config = {
   page_size : int;
   pool_capacity : int;
   page_oriented_undo : bool;
   consolidation : bool;
+  log_path : string option;
+  wal_group_commit : bool;
+  pool_shards : int option;  (* None: Buffer_pool picks (domain count) *)
+  ckpt_log_bytes : int option;
+  ckpt_interval_s : float option;
 }
 
 let default_config =
-  { page_size = 4096; pool_capacity = 4096; page_oriented_undo = false; consolidation = true }
+  {
+    page_size = 4096;
+    pool_capacity = 4096;
+    page_oriented_undo = false;
+    consolidation = true;
+    log_path = None;
+    wal_group_commit = true;
+    pool_shards = None;
+    ckpt_log_bytes = None;
+    ckpt_interval_s = None;
+  }
 
 type stats = {
   pages_allocated : int;
   pages_deallocated : int;
   completions_run : int;
+  checkpoints : int;
+  ckpt_pages_written : int;
+  ckpt_records_truncated : int;
+  ckpt_bytes_truncated : int;
 }
 
 type t = {
   cfg : config;
-  pool_shards : int option;  (* None: Buffer_pool picks (domain count) *)
   disk : Disk.t;
   log_ref : Log_manager.t ref;
   mutable pool_v : Buffer_pool.t;
@@ -44,6 +63,15 @@ type t = {
   mutable allocs : int;
   mutable deallocs : int;
   mutable completions : int;
+  (* --- checkpointer --- *)
+  ckpt_mu : Mutex.t;  (* serializes whole checkpoints *)
+  mutable ckpts : int;
+  mutable ckpt_pages : int;
+  mutable ckpt_records : int;
+  mutable ckpt_bytes : int;
+  mutable last_ckpt_bytes : int;  (* log bytes at the last checkpoint *)
+  mutable ckpt_thread : Thread.t option;
+  mutable ckpt_stop : bool;  (* read by the interval thread, under ckpt_mu *)
 }
 
 let meta_pid = 1
@@ -77,65 +105,210 @@ let dec_catalog s =
   let root = Codec.get_u32 r in
   (name, root)
 
+(* --- fuzzy / sharp checkpoints --- *)
+
+(* The three instants of the checkpoint protocol a crash can land on; the
+   chaos sweep drives all of them. Registered up front so harnesses can
+   enumerate them before any checkpoint runs. *)
+let crash_point_begin = "ckpt.begin.logged"
+let crash_point_end = "ckpt.end.logged"
+let crash_point_truncated = "ckpt.truncated"
+
+let () =
+  Crash_point.register crash_point_begin;
+  Crash_point.register crash_point_end;
+  Crash_point.register crash_point_truncated
+
+(* One protocol for both modes (ARIES section 5.4 shape):
+
+   1. fence: append Begin_checkpoint and snapshot the ATT atomically with
+      it (Txn_mgr.begin_checkpoint) — writers keep running;
+   2. write back dirty pages: [`Fuzzy] incrementally (one S latch at a
+      time — safe under concurrent writers), [`Sharp] via the
+      stop-the-shard flush_all (no page latches: callers must have no
+      concurrent page mutators, as in create/close);
+   3. snapshot the dirty-page table. Taken AFTER write-back on purpose:
+      any page still dirty here carries a rec_lsn bounding what redo must
+      replay, and any page cleaned by step 2 has everything below the
+      fence durably on disk — while updates appended after the fence are
+      covered because the redo point never exceeds begin_lsn;
+   4. append + force End_checkpoint {begin_lsn; dpt; att};
+   5. publish the master record (checkpoint LSN + redo floor);
+   6. truncate the log below min(redo floor, oldest live Begin).
+
+   A crash between any two steps recovers from the PREVIOUS complete
+   checkpoint: nothing is published until step 5, and truncation only
+   discards what the just-published checkpoint makes unreachable. *)
+let checkpoint ?(mode = `Sharp) t =
+  Mutex.lock t.ckpt_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.ckpt_mu)
+    (fun () ->
+      let log = !(t.log_ref) in
+      let begin_lsn, att = Txn_mgr.begin_checkpoint t.txns_v in
+      Crash_point.hit crash_point_begin;
+      let written =
+        match mode with
+        | `Fuzzy -> Buffer_pool.write_back t.pool_v
+        | `Sharp ->
+            let before = (Buffer_pool.stats t.pool_v).Buffer_pool.flushes in
+            Buffer_pool.flush_all t.pool_v;
+            (Buffer_pool.stats t.pool_v).Buffer_pool.flushes - before
+      in
+      let dpt = Buffer_pool.dirty_pages t.pool_v in
+      let end_lsn =
+        Log_manager.append log ~prev:Lsn.null ~txn:0
+          (Log_record.End_checkpoint { begin_lsn; dpt; att })
+      in
+      Log_manager.flush log end_lsn;
+      Crash_point.hit crash_point_end;
+      let redo =
+        List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) begin_lsn dpt
+      in
+      Log_manager.set_checkpoint log ~lsn:end_lsn ~redo;
+      (* Everything below the redo floor AND below the oldest live
+         transaction's Begin can never be read again. *)
+      let keep_from =
+        match Txn_mgr.oldest_first_lsn t.txns_v with
+        | Some oldest -> min redo oldest
+        | None -> redo
+      in
+      let wal_before = Log_manager.stats log in
+      let dropped = Log_manager.truncate log ~keep_from in
+      let wal_after = Log_manager.stats log in
+      t.ckpts <- t.ckpts + 1;
+      t.ckpt_pages <- t.ckpt_pages + written;
+      t.ckpt_records <- t.ckpt_records + dropped;
+      t.ckpt_bytes <-
+        t.ckpt_bytes
+        + (wal_after.Log_manager.truncated_bytes
+          - wal_before.Log_manager.truncated_bytes);
+      t.last_ckpt_bytes <- wal_after.Log_manager.bytes;
+      Crash_point.hit crash_point_truncated)
+
+(* Log-growth trigger, run on the committing thread after each user
+   commit: cheap check, and at most one checkpoint in flight (a busy
+   checkpointer makes this a no-op rather than a queue). Running inline —
+   not on a helper thread — means an armed ckpt.* crash point fires in the
+   workload thread, where the chaos harness can catch it. *)
+let maybe_checkpoint t =
+  match t.cfg.ckpt_log_bytes with
+  | None -> ()
+  | Some threshold ->
+      let bytes = (Log_manager.stats !(t.log_ref)).Log_manager.bytes in
+      if bytes - t.last_ckpt_bytes >= threshold then
+        if Mutex.try_lock t.ckpt_mu then begin
+          Mutex.unlock t.ckpt_mu;
+          (* Re-check after the race window: another thread may have just
+             checkpointed. *)
+          if bytes - t.last_ckpt_bytes >= threshold then
+            checkpoint ~mode:`Fuzzy t
+        end
+
+let start_ckpt_thread t =
+  match t.cfg.ckpt_interval_s with
+  | None -> ()
+  | Some period ->
+      t.ckpt_stop <- false;
+      t.ckpt_thread <-
+        Some
+          (Thread.create
+             (fun () ->
+               let rec sleep left =
+                 if left > 0. && not t.ckpt_stop then begin
+                   let d = min left 0.05 in
+                   Thread.delay d;
+                   sleep (left -. d)
+                 end
+               in
+               while not t.ckpt_stop do
+                 sleep period;
+                 if not t.ckpt_stop then
+                   (* The interval checkpointer is a background helper: a
+                      crash point firing here (or the env dying under it)
+                      must not take down the process — the workload
+                      threads drive crash simulation. *)
+                   try checkpoint ~mode:`Fuzzy t with _ -> ()
+               done)
+             ())
+
+let stop_ckpt_thread t =
+  match t.ckpt_thread with
+  | None -> ()
+  | Some th ->
+      t.ckpt_stop <- true;
+      Thread.join th;
+      t.ckpt_thread <- None
+
+let wire_triggers t =
+  Txn_mgr.set_on_user_commit t.txns_v (fun () -> maybe_checkpoint t);
+  (* Full-page writes: with log truncation, a page's durable image can be
+     the only copy of its pre-checkpoint history — log the image at each
+     clean→dirty transition so a torn copy stays rebuildable. *)
+  Buffer_pool.set_image_logger t.pool_v
+    (Some
+       (fun pid page ->
+         ignore
+           (Log_manager.append !(t.log_ref) ~prev:Lsn.null ~txn:0
+              (Log_record.Page_image
+                 { page = pid; image = Bytes.to_string (Page.raw page) }))))
+
 let fresh_volatile t =
   t.pool_v <-
-    Buffer_pool.create ~capacity:t.cfg.pool_capacity ?shards:t.pool_shards
+    Buffer_pool.create ~capacity:t.cfg.pool_capacity ?shards:t.cfg.pool_shards
       ~disk:t.disk
       ~wal_flush:(fun lsn -> Log_manager.flush !(t.log_ref) lsn)
       ();
   t.locks_v <- Lock_manager.create ();
-  t.txns_v <- Txn_mgr.create ~log:!(t.log_ref) ~pool:t.pool_v ~locks:t.locks_v ()
+  t.txns_v <- Txn_mgr.create ~log:!(t.log_ref) ~pool:t.pool_v ~locks:t.locks_v ();
+  wire_triggers t
 
-let checkpoint t =
-  Buffer_pool.flush_all t.pool_v;
-  let log = !(t.log_ref) in
-  let lsn =
-    Log_manager.append log ~prev:Lsn.null ~txn:0
-      (Log_record.Checkpoint { active = Txn_mgr.active t.txns_v })
-  in
-  Log_manager.flush log lsn;
-  Log_manager.set_redo_start log lsn;
-  (* Bound log memory: everything before the redo point AND before the
-     oldest live transaction's Begin can never be read again. *)
-  let keep_from =
-    match Txn_mgr.oldest_first_lsn t.txns_v with
-    | Some oldest -> min lsn oldest
-    | None -> lsn
-  in
-  ignore (Log_manager.truncate log ~keep_from)
-
-let make_skeleton ?pool_shards disk log_ref cfg =
+let make_skeleton disk log_ref cfg =
   let pool =
-    Buffer_pool.create ~capacity:cfg.pool_capacity ?shards:pool_shards ~disk
+    Buffer_pool.create ~capacity:cfg.pool_capacity ?shards:cfg.pool_shards
+      ~disk
       ~wal_flush:(fun lsn -> Log_manager.flush !log_ref lsn)
       ()
   in
   let locks = Lock_manager.create () in
   let txns = Txn_mgr.create ~log:!log_ref ~pool ~locks () in
-  {
-    cfg;
-    pool_shards;
-    disk;
-    log_ref;
-    pool_v = pool;
-    locks_v = locks;
-    txns_v = txns;
-    crashed = false;
-    tasks = Queue.create ();
-    tasks_mu = Mutex.create ();
-    allocs = 0;
-    deallocs = 0;
-    completions = 0;
-  }
+  let t =
+    {
+      cfg;
+      disk;
+      log_ref;
+      pool_v = pool;
+      locks_v = locks;
+      txns_v = txns;
+      crashed = false;
+      tasks = Queue.create ();
+      tasks_mu = Mutex.create ();
+      allocs = 0;
+      deallocs = 0;
+      completions = 0;
+      ckpt_mu = Mutex.create ();
+      ckpts = 0;
+      ckpt_pages = 0;
+      ckpt_records = 0;
+      ckpt_bytes = 0;
+      last_ckpt_bytes = 0;
+      ckpt_thread = None;
+      ckpt_stop = false;
+    }
+  in
+  wire_triggers t;
+  t
 
-let create ?disk ?log_path ?wal_group_commit ?pool_shards cfg =
+let create ?disk cfg =
   let disk =
     match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
   in
   let log_ref =
-    ref (Log_manager.create ?path:log_path ?group_commit:wal_group_commit ())
+    ref
+      (Log_manager.create ?path:cfg.log_path ~group_commit:cfg.wal_group_commit
+         ())
   in
-  let t = make_skeleton ?pool_shards disk log_ref cfg in
+  let t = make_skeleton disk log_ref cfg in
   (* Format the meta page inside an atomic action. *)
   Atomic_action.run t.txns_v (fun txn ->
       let fr = Buffer_pool.pin_new t.pool_v meta_pid in
@@ -147,14 +320,20 @@ let create ?disk ?log_path ?wal_group_commit ?pool_shards cfg =
            (Page_op.Insert_slot { slot = 0; cell = enc_u32 (meta_pid + 1) }));
       Buffer_pool.unpin t.pool_v fr);
   checkpoint t;
+  start_ckpt_thread t;
   t
 
-let open_from ?disk ?pool_shards ~log_path cfg =
+let open_from ?disk cfg =
+  let log_path =
+    match cfg.log_path with
+    | Some p -> p
+    | None -> invalid_arg "Env.open_from: config.log_path is required"
+  in
   let disk =
     match disk with Some d -> d | None -> Disk.in_memory ~page_size:cfg.page_size
   in
   let log_ref = ref (Log_manager.create ~path:log_path ()) in
-  let t = make_skeleton ?pool_shards disk log_ref cfg in
+  let t = make_skeleton disk log_ref cfg in
   t.crashed <- true;
   t
 
@@ -274,6 +453,7 @@ let find_tree t ~name =
 (* --- crash / recover --- *)
 
 let crash t =
+  stop_ckpt_thread t;
   Buffer_pool.crash t.pool_v;
   t.log_ref := Log_manager.crash !(t.log_ref);
   Txn_mgr.crash t.txns_v;
@@ -294,10 +474,14 @@ let recover t =
     Txn_mgr.create
       ~first_id:(Log_manager.max_txn_id !(t.log_ref) + 1)
       ~log:!(t.log_ref) ~pool:t.pool_v ~locks:t.locks_v ();
+  wire_triggers t;
   t.crashed <- false;
-  Recovery.run ~log:!(t.log_ref) ~pool:t.pool_v
+  let report = Recovery.run ~log:!(t.log_ref) ~pool:t.pool_v in
+  start_ckpt_thread t;
+  report
 
 let close t =
+  stop_ckpt_thread t;
   checkpoint t;
   t.disk.Disk.close ()
 
@@ -336,4 +520,8 @@ let stats t =
     pages_allocated = t.allocs;
     pages_deallocated = t.deallocs;
     completions_run = t.completions;
+    checkpoints = t.ckpts;
+    ckpt_pages_written = t.ckpt_pages;
+    ckpt_records_truncated = t.ckpt_records;
+    ckpt_bytes_truncated = t.ckpt_bytes;
   }

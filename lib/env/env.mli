@@ -24,37 +24,44 @@ type config = {
           to run inside the updating transaction (section 4.2) *)
   consolidation : bool;
       (** CP invariant (consolidation possible) vs CNS (section 5.2) *)
+  log_path : string option;
+      (** back the write-ahead log with an append-only file, making the
+          database recoverable across process restarts (pair it with
+          [Pitree_storage.Disk.file]); [None] keeps the log in memory *)
+  wal_group_commit : bool;
+      (** batched log-force pipeline (default [true]); [false] keeps the
+          serial one-fsync-per-commit path as a measurable baseline *)
+  pool_shards : int option;
+      (** buffer-pool shard count override ([Some 1] = legacy single-mutex
+          pool; [None]: domain count, see [Buffer_pool.create]); survives
+          crash/recover cycles *)
+  ckpt_log_bytes : int option;
+      (** take a fuzzy checkpoint (on the committing thread) whenever the
+          log has grown by this many bytes since the last one *)
+  ckpt_interval_s : float option;
+      (** run a background thread taking a fuzzy checkpoint every this many
+          seconds *)
 }
 
 val default_config : config
+(** 4 KiB pages, 4096-frame pool, CP invariant, in-memory log with group
+    commit, automatic shard count, no automatic checkpoints. Override with
+    record update syntax: [{ default_config with log_path = Some p }]. *)
 
 type t
 
-val create :
-  ?disk:Pitree_storage.Disk.t ->
-  ?log_path:string ->
-  ?wal_group_commit:bool ->
-  ?pool_shards:int ->
-  config ->
-  t
-(** Fresh database: formats the meta page and takes an initial checkpoint.
-    [disk] defaults to a new crash-faithful in-memory disk; [log_path]
-    backs the write-ahead log with an append-only file, making the
-    database recoverable across process restarts (pair it with
-    [Pitree_storage.Disk.file]). [wal_group_commit] (default true) selects
-    the log's batched force pipeline; [false] keeps the serial
-    one-fsync-per-commit path as a measurable baseline. [pool_shards]
-    overrides the buffer pool's shard count ([1] = legacy single-mutex
-    pool; default: domain count, see [Buffer_pool.create]) and survives
-    crash/recover cycles. *)
+val create : ?disk:Pitree_storage.Disk.t -> config -> t
+(** Fresh database: formats the meta page, takes an initial checkpoint and
+    starts the interval checkpointer if [cfg.ckpt_interval_s] is set.
+    [disk] defaults to a new crash-faithful in-memory disk; everything
+    else — log file, group commit, pool shards, checkpoint triggers — comes
+    from the config record. *)
 
-val open_from :
-  ?disk:Pitree_storage.Disk.t -> ?pool_shards:int -> log_path:string ->
-  config -> t
+val open_from : ?disk:Pitree_storage.Disk.t -> config -> t
 (** Reattach to a database persisted by a previous process: the log is
-    reloaded from [log_path] and the environment starts in the crashed
-    state — call {!recover} (which replays the log against [disk]) before
-    use. *)
+    reloaded from [cfg.log_path] (required — raises [Invalid_argument] if
+    [None]) and the environment starts in the crashed state — call
+    {!recover} (which replays the log against [disk]) before use. *)
 
 val config : t -> config
 val pool : t -> Pitree_storage.Buffer_pool.t
@@ -67,14 +74,34 @@ val crash : t -> unit
     until {!recover}. *)
 
 val recover : t -> Pitree_wal.Recovery.report
-(** Restart: rebuild volatile state and run recovery. *)
+(** Restart: rebuild volatile state, run recovery (analysis starts from the
+    last complete checkpoint, so the report's [analyzed]/[redone] are
+    bounded by the work since it, not by total history) and restart the
+    automatic checkpoint triggers. *)
 
-val checkpoint : t -> unit
-(** Sharp checkpoint: flush all dirty pages, log a checkpoint record, force
-    the log, move the redo point. *)
+val checkpoint : ?mode:[ `Sharp | `Fuzzy ] -> t -> unit
+(** Take a checkpoint and truncate the log below the new redo point.
+
+    Both modes follow the ARIES fuzzy protocol — log a [Begin_checkpoint]
+    fence with an exact snapshot of the active-transaction table, write
+    dirty pages back, log an [End_checkpoint] carrying the dirty-page
+    table (page id, rec_lsn) and the snapshot, force it, publish the
+    master record, truncate. They differ in how pages are written back:
+    [`Fuzzy] (the mode the automatic triggers use, and the only mode safe
+    under concurrent writers) flushes one page at a time under that page's
+    S latch, so an in-flux page is never captured and readers stall at
+    most one page write; [`Sharp] (default, used by {!close}) calls
+    [Buffer_pool.flush_all], which holds each shard's mutex across its
+    flushes and takes no page latches — it leaves the pool fully clean but
+    must not race page mutators (concurrent readers are fine; {!close} and
+    freshly-created environments are quiescent).
+
+    Crash points [ckpt.begin.logged], [ckpt.end.logged] and
+    [ckpt.truncated] fire at the protocol's three commit instants. *)
 
 val close : t -> unit
-(** Clean shutdown: checkpoint and release the disk. *)
+(** Clean shutdown: stop the checkpointer thread, checkpoint and release
+    the disk. *)
 
 (** {2 Page allocation}
 
@@ -131,6 +158,10 @@ type stats = {
   pages_allocated : int;
   pages_deallocated : int;
   completions_run : int;
+  checkpoints : int;  (** completed checkpoints, any mode or trigger *)
+  ckpt_pages_written : int;  (** dirty pages written back by checkpoints *)
+  ckpt_records_truncated : int;  (** log records discarded by truncation *)
+  ckpt_bytes_truncated : int;  (** log bytes discarded by truncation *)
 }
 
 val stats : t -> stats

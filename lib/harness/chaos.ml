@@ -4,7 +4,7 @@ module Buffer_pool = Pitree_storage.Buffer_pool
 module Blink = Pitree_blink.Blink
 module Tsb = Pitree_tsb.Tsb
 module Hb = Pitree_hb.Hb
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Log_manager = Pitree_wal.Log_manager
@@ -70,12 +70,19 @@ let meta_pid = 1
 
 let cfg =
   {
-    Env.page_size = 256;
+    Env.default_config with
+    page_size = 256;
     (* Small pool: evictions during the workload push reads and writes
        through the faulty disk instead of staying cache-resident. *)
     pool_capacity = 64;
     page_oriented_undo = false;
     consolidation = true;
+    (* Aggressive fuzzy checkpointing: the log-bytes trigger fires every
+       few dozen operations, so the ckpt.* crash points land inside the
+       guarded workload (the trigger runs on the committing thread) and
+       every run exercises recovery-from-a-checkpoint rather than
+       recovery-from-log-start. *)
+    ckpt_log_bytes = Some 16_384;
   }
 
 (* --- per-run machinery shared by the three engine runners --- *)
@@ -462,19 +469,22 @@ let engine_of_point point =
    "wal" points (the group-commit pipeline, e.g. the window between a batch
    fsync and its waiter wakeup) fire from inside any workload that forces
    the log — buffer-pool evictions under the small chaos pool do — so the
-   B-link runner drives them. *)
+   B-link runner drives them. "ckpt" points (the fuzzy-checkpoint protocol:
+   after the Begin_checkpoint fence, after the forced End_checkpoint, after
+   truncation) fire from the log-bytes trigger that [cfg] arms on every
+   user commit, so the B-link runner drives them too. *)
 let known_points () =
   List.filter
     (fun p ->
       match engine_of_point p with
-      | "blink" | "tsb" | "hb" | "wal" -> true
+      | "blink" | "tsb" | "hb" | "wal" | "ckpt" -> true
       | _ -> false)
     (Crash_point.all_names ())
 
 let run_one ~point ~after ~seed ~ops ~plan ~inject_torn =
   let runner =
     match engine_of_point point with
-    | "blink" | "wal" -> Some run_blink
+    | "blink" | "wal" | "ckpt" -> Some run_blink
     | "tsb" -> Some run_tsb
     | "hb" -> Some run_hb
     | _ -> None

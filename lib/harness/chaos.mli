@@ -2,7 +2,7 @@
 
     Each run builds a fresh environment on an {!Pitree_storage.Disk.Faulty}
     in-memory disk, drives a seeded mixed workload against one engine while a
-    {!Pitree_txn.Crash_point} is armed, power-fails the environment when the
+    {!Pitree_util.Crash_point} is armed, power-fails the environment when the
     point fires (or when the workload ends), recovers, and then checks:
 
     - every tree passes its {!Pitree_core.Wellformed} verifier (after
@@ -19,7 +19,7 @@
 
 type outcome = {
   point : string;  (** crash point armed for this run *)
-  after : int;  (** countdown passed to {!Pitree_txn.Crash_point.arm} *)
+  after : int;  (** countdown passed to {!Pitree_util.Crash_point.arm} *)
   seed : int64;  (** per-run seed; replay with the same tuple to reproduce *)
   plan : Pitree_storage.Disk.Faulty.plan;  (** fault plan for the workload *)
   fired : bool;  (** the armed point actually raised *)

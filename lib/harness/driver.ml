@@ -1,6 +1,4 @@
 module Histogram = Pitree_util.Histogram
-module Log_manager = Pitree_wal.Log_manager
-module Buffer_pool = Pitree_storage.Buffer_pool
 module Clock = Pitree_sync.Clock
 
 type result = {
@@ -11,29 +9,15 @@ type result = {
   mean_ns : float;
   p50_ns : int;
   p99_ns : int;
-  wal : Log_manager.stats option;
-  pool : Buffer_pool.stats option;
+  stats : Stats.t option;
 }
-
-let pp_pool_stats ppf (p : Buffer_pool.stats) =
-  Fmt.pf ppf
-    "pool: %d shards, %.1f%% hit (%d hits / %d misses), %d evictions, %d \
-     flushes, miss I/O mean %.0fns p99 %dns"
-    p.Buffer_pool.shards
-    (100. *. p.Buffer_pool.hit_ratio)
-    p.Buffer_pool.hits p.Buffer_pool.misses p.Buffer_pool.evictions
-    p.Buffer_pool.flushes p.Buffer_pool.miss_wait_mean_ns
-    p.Buffer_pool.miss_wait_p99_ns
 
 let pp_result ppf r =
   Fmt.pf ppf "%d domains: %.0f ops/s (mean %.0fns p50 %dns p99 %dns, %d ops in %.2fs)"
     r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.total_ops r.elapsed_s;
-  (match r.wal with
+  match r.stats with
   | None -> ()
-  | Some w -> Fmt.pf ppf "@\n%a" Log_manager.pp_stats w);
-  match r.pool with
-  | None -> ()
-  | Some p -> Fmt.pf ppf "@\n%a" pp_pool_stats p
+  | Some s -> Fmt.pf ppf "@\n%a" Stats.pp s
 
 let now () = Unix.gettimeofday ()
 
@@ -59,50 +43,8 @@ let worker inst spec ~seed ~worker:w ~workers ~ops =
   done;
   h
 
-(* Counter fields are reported as the delta across the run; the batch/wait
-   distributions are cumulative for the log's lifetime (histograms are not
-   subtractable), which matches the common fresh-env-per-run usage. *)
-let wal_delta (before : Log_manager.stats) (after : Log_manager.stats) =
-  {
-    after with
-    Log_manager.appends = after.Log_manager.appends - before.Log_manager.appends;
-    forces = after.Log_manager.forces - before.Log_manager.forces;
-    flushes = after.Log_manager.flushes - before.Log_manager.flushes;
-    flush_requests =
-      after.Log_manager.flush_requests - before.Log_manager.flush_requests;
-    bytes = after.Log_manager.bytes - before.Log_manager.bytes;
-  }
-
-(* Same policy for pool stats: counters are run deltas (with the hit ratio
-   recomputed over them); the miss-I/O wait distribution is cumulative. *)
-let pool_delta (before : Buffer_pool.stats) (after : Buffer_pool.stats) =
-  let hits = after.Buffer_pool.hits - before.Buffer_pool.hits in
-  let misses = after.Buffer_pool.misses - before.Buffer_pool.misses in
-  let pins = hits + misses in
-  {
-    after with
-    Buffer_pool.hits;
-    misses;
-    evictions = after.Buffer_pool.evictions - before.Buffer_pool.evictions;
-    flushes = after.Buffer_pool.flushes - before.Buffer_pool.flushes;
-    retried_reads =
-      after.Buffer_pool.retried_reads - before.Buffer_pool.retried_reads;
-    retried_writes =
-      after.Buffer_pool.retried_writes - before.Buffer_pool.retried_writes;
-    shard_evictions =
-      Array.mapi
-        (fun i e ->
-          if i < Array.length before.Buffer_pool.shard_evictions then
-            e - before.Buffer_pool.shard_evictions.(i)
-          else e)
-        after.Buffer_pool.shard_evictions;
-    hit_ratio =
-      (if pins = 0 then 0. else float_of_int hits /. float_of_int pins);
-  }
-
-let run ?log ?pool ~domains ~ops_per_domain ~seed inst spec =
-  let wal_before = Option.map Log_manager.stats log in
-  let pool_before = Option.map Buffer_pool.stats pool in
+let run ?env ~domains ~ops_per_domain ~seed inst spec =
+  let before = Option.map Stats.of_env env in
   let t0 = now () in
   let hists =
     if domains = 1 then [ worker inst spec ~seed ~worker:0 ~workers:1 ~ops:ops_per_domain ]
@@ -119,14 +61,9 @@ let run ?log ?pool ~domains ~ops_per_domain ~seed inst spec =
   let elapsed = now () -. t0 in
   let h = List.fold_left Histogram.merge (Histogram.create ()) hists in
   let total = domains * ops_per_domain in
-  let wal =
-    match (log, wal_before) with
-    | Some log, Some before -> Some (wal_delta before (Log_manager.stats log))
-    | _ -> None
-  in
-  let pool =
-    match (pool, pool_before) with
-    | Some pool, Some before -> Some (pool_delta before (Buffer_pool.stats pool))
+  let stats =
+    match (env, before) with
+    | Some env, Some before -> Some (Stats.delta ~before ~after:(Stats.of_env env))
     | _ -> None
   in
   {
@@ -137,6 +74,5 @@ let run ?log ?pool ~domains ~ops_per_domain ~seed inst spec =
     mean_ns = Histogram.mean h;
     p50_ns = Histogram.percentile h 50.0;
     p99_ns = Histogram.percentile h 99.0;
-    wal;
-    pool;
+    stats;
   }

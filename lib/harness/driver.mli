@@ -13,15 +13,10 @@ type result = {
   mean_ns : float;
   p50_ns : int;
   p99_ns : int;
-  wal : Pitree_wal.Log_manager.stats option;
-      (** present when [run] was given the environment's log: forces,
-          flushes and bytes as deltas across the run; batch/commit-wait
-          distributions cumulative for the log's lifetime *)
-  pool : Pitree_storage.Buffer_pool.stats option;
-      (** present when [run] was given the environment's buffer pool:
-          hits/misses/evictions/flushes as deltas across the run (hit
-          ratio recomputed over the deltas); the miss-I/O wait
-          distribution is cumulative for the pool's lifetime *)
+  stats : Stats.t option;
+      (** present when [run] was given the environment: WAL, buffer-pool
+          and env counters as deltas across the run (see {!Stats.delta}
+          for which fields stay cumulative) *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -31,14 +26,13 @@ val preload : Kv.instance -> Workload.spec -> n:int -> unit
     run against a warm tree. *)
 
 val run :
-  ?log:Pitree_wal.Log_manager.t ->
-  ?pool:Pitree_storage.Buffer_pool.t ->
+  ?env:Pitree_env.Env.t ->
   domains:int ->
   ops_per_domain:int ->
   seed:int64 ->
   Kv.instance ->
   Workload.spec ->
   result
-(** Pass [?log] (usually [Env.log env]) to capture the WAL's group-commit
-    stats alongside throughput, and [?pool] (usually [Env.pool env]) for
-    the buffer pool's hit/eviction/miss-wait stats. *)
+(** Pass [?env] to capture a {!Stats.t} delta (WAL group-commit counters,
+    buffer-pool hit/eviction/miss-wait, checkpoint activity) alongside
+    throughput. *)

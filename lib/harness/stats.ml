@@ -1,0 +1,170 @@
+module Log_manager = Pitree_wal.Log_manager
+module Buffer_pool = Pitree_storage.Buffer_pool
+module Env = Pitree_env.Env
+
+type t = {
+  wal : Log_manager.stats option;
+  pool : Buffer_pool.stats option;
+  env : Env.stats option;
+}
+
+let empty = { wal = None; pool = None; env = None }
+
+let of_env env =
+  {
+    wal = Some (Log_manager.stats (Env.log env));
+    pool = Some (Buffer_pool.stats (Env.pool env));
+    env = Some (Env.stats env);
+  }
+
+(* Counter fields are reported as the delta across the run; the batch/wait
+   distributions are cumulative for the component's lifetime (histograms
+   are not subtractable), which matches the common fresh-env-per-run
+   usage. *)
+let wal_delta (before : Log_manager.stats) (after : Log_manager.stats) =
+  {
+    after with
+    Log_manager.appends = after.Log_manager.appends - before.Log_manager.appends;
+    forces = after.Log_manager.forces - before.Log_manager.forces;
+    flushes = after.Log_manager.flushes - before.Log_manager.flushes;
+    flush_requests =
+      after.Log_manager.flush_requests - before.Log_manager.flush_requests;
+    bytes = after.Log_manager.bytes - before.Log_manager.bytes;
+    truncations = after.Log_manager.truncations - before.Log_manager.truncations;
+    truncated_records =
+      after.Log_manager.truncated_records - before.Log_manager.truncated_records;
+    truncated_bytes =
+      after.Log_manager.truncated_bytes - before.Log_manager.truncated_bytes;
+  }
+
+(* Same policy for pool stats: counters are run deltas (with the hit ratio
+   recomputed over them); the miss-I/O wait distribution is cumulative. *)
+let pool_delta (before : Buffer_pool.stats) (after : Buffer_pool.stats) =
+  let hits = after.Buffer_pool.hits - before.Buffer_pool.hits in
+  let misses = after.Buffer_pool.misses - before.Buffer_pool.misses in
+  let pins = hits + misses in
+  {
+    after with
+    Buffer_pool.hits;
+    misses;
+    evictions = after.Buffer_pool.evictions - before.Buffer_pool.evictions;
+    flushes = after.Buffer_pool.flushes - before.Buffer_pool.flushes;
+    retried_reads =
+      after.Buffer_pool.retried_reads - before.Buffer_pool.retried_reads;
+    retried_writes =
+      after.Buffer_pool.retried_writes - before.Buffer_pool.retried_writes;
+    shard_evictions =
+      Array.mapi
+        (fun i e ->
+          if i < Array.length before.Buffer_pool.shard_evictions then
+            e - before.Buffer_pool.shard_evictions.(i)
+          else e)
+        after.Buffer_pool.shard_evictions;
+    hit_ratio =
+      (if pins = 0 then 0. else float_of_int hits /. float_of_int pins);
+  }
+
+let env_delta (before : Env.stats) (after : Env.stats) =
+  {
+    Env.pages_allocated = after.Env.pages_allocated - before.Env.pages_allocated;
+    pages_deallocated =
+      after.Env.pages_deallocated - before.Env.pages_deallocated;
+    completions_run = after.Env.completions_run - before.Env.completions_run;
+    checkpoints = after.Env.checkpoints - before.Env.checkpoints;
+    ckpt_pages_written =
+      after.Env.ckpt_pages_written - before.Env.ckpt_pages_written;
+    ckpt_records_truncated =
+      after.Env.ckpt_records_truncated - before.Env.ckpt_records_truncated;
+    ckpt_bytes_truncated =
+      after.Env.ckpt_bytes_truncated - before.Env.ckpt_bytes_truncated;
+  }
+
+let map2 f a b = match (a, b) with Some a, Some b -> Some (f a b) | _ -> None
+
+let delta ~before ~after =
+  {
+    wal = map2 wal_delta before.wal after.wal;
+    pool = map2 pool_delta before.pool after.pool;
+    env = map2 env_delta before.env after.env;
+  }
+
+let pp_pool ppf (p : Buffer_pool.stats) =
+  Fmt.pf ppf
+    "pool: %d shards, %.1f%% hit (%d hits / %d misses), %d evictions, %d \
+     flushes, miss I/O mean %.0fns p99 %dns"
+    p.Buffer_pool.shards
+    (100. *. p.Buffer_pool.hit_ratio)
+    p.Buffer_pool.hits p.Buffer_pool.misses p.Buffer_pool.evictions
+    p.Buffer_pool.flushes p.Buffer_pool.miss_wait_mean_ns
+    p.Buffer_pool.miss_wait_p99_ns
+
+let pp_env ppf (e : Env.stats) =
+  Fmt.pf ppf
+    "env: %d alloc / %d dealloc pages, %d completions, %d checkpoints (%d \
+     pages written back, %d records / %d bytes truncated)"
+    e.Env.pages_allocated e.Env.pages_deallocated e.Env.completions_run
+    e.Env.checkpoints e.Env.ckpt_pages_written e.Env.ckpt_records_truncated
+    e.Env.ckpt_bytes_truncated
+
+let pp ppf s =
+  let sections =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun w -> fun ppf () -> Log_manager.pp_stats ppf w) s.wal;
+        Option.map (fun p -> fun ppf () -> pp_pool ppf p) s.pool;
+        Option.map (fun e -> fun ppf () -> pp_env ppf e) s.env;
+      ]
+  in
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf f -> f ppf ()))
+    sections
+
+let wal_json b (w : Log_manager.stats) =
+  Printf.bprintf b
+    "{\"appends\": %d, \"forces\": %d, \"flushes\": %d, \"flush_requests\": \
+     %d, \"bytes\": %d, \"batch_mean\": %.2f, \"batch_p99\": %d, \
+     \"batch_max\": %d, \"wait_mean_ns\": %.0f, \"wait_p50_ns\": %d, \
+     \"wait_p99_ns\": %d, \"truncations\": %d, \"truncated_records\": %d, \
+     \"truncated_bytes\": %d}"
+    w.Log_manager.appends w.Log_manager.forces w.Log_manager.flushes
+    w.Log_manager.flush_requests w.Log_manager.bytes w.Log_manager.batch_mean
+    w.Log_manager.batch_p99 w.Log_manager.batch_max w.Log_manager.wait_mean_ns
+    w.Log_manager.wait_p50_ns w.Log_manager.wait_p99_ns
+    w.Log_manager.truncations w.Log_manager.truncated_records
+    w.Log_manager.truncated_bytes
+
+let pool_json b (p : Buffer_pool.stats) =
+  Printf.bprintf b
+    "{\"shards\": %d, \"hits\": %d, \"misses\": %d, \"hit_ratio\": %.4f, \
+     \"evictions\": %d, \"flushes\": %d, \"retried_reads\": %d, \
+     \"retried_writes\": %d, \"miss_wait_mean_ns\": %.0f, \
+     \"miss_wait_p99_ns\": %d}"
+    p.Buffer_pool.shards p.Buffer_pool.hits p.Buffer_pool.misses
+    p.Buffer_pool.hit_ratio p.Buffer_pool.evictions p.Buffer_pool.flushes
+    p.Buffer_pool.retried_reads p.Buffer_pool.retried_writes
+    p.Buffer_pool.miss_wait_mean_ns p.Buffer_pool.miss_wait_p99_ns
+
+let env_json b (e : Env.stats) =
+  Printf.bprintf b
+    "{\"pages_allocated\": %d, \"pages_deallocated\": %d, \
+     \"completions_run\": %d, \"checkpoints\": %d, \"ckpt_pages_written\": \
+     %d, \"ckpt_records_truncated\": %d, \"ckpt_bytes_truncated\": %d}"
+    e.Env.pages_allocated e.Env.pages_deallocated e.Env.completions_run
+    e.Env.checkpoints e.Env.ckpt_pages_written e.Env.ckpt_records_truncated
+    e.Env.ckpt_bytes_truncated
+
+let to_json s =
+  let b = Buffer.create 1024 in
+  let field name opt j =
+    Printf.bprintf b "\"%s\": " name;
+    (match opt with None -> Buffer.add_string b "null" | Some v -> j b v)
+  in
+  Buffer.add_string b "{";
+  field "wal" s.wal wal_json;
+  Buffer.add_string b ", ";
+  field "pool" s.pool pool_json;
+  Buffer.add_string b ", ";
+  field "env" s.env env_json;
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Unified observability snapshot: the WAL's, buffer pool's and
+    environment's counters in one record, with one pretty-printer and one
+    JSON encoder shared by the bench harness and the CLI.
+
+    The composition rule everywhere: take [of_env] before and after the
+    measured region, then [delta] — counters become run deltas while the
+    non-subtractable latency/batch distributions stay cumulative for the
+    component's lifetime (which matches the common fresh-env-per-run
+    usage). *)
+
+type t = {
+  wal : Pitree_wal.Log_manager.stats option;
+  pool : Pitree_storage.Buffer_pool.stats option;
+  env : Pitree_env.Env.stats option;
+}
+(** Each component is optional so partial snapshots (e.g. a bare pool
+    bench with no environment) fit the same record. *)
+
+val empty : t
+
+val of_env : Pitree_env.Env.t -> t
+(** Snapshot all three components of a live environment. *)
+
+val delta : before:t -> after:t -> t
+(** Component-wise counter subtraction ([None] on either side stays
+    [None]). Ratio fields (pool hit ratio) are recomputed over the deltas;
+    histogram-derived fields (WAL batch/wait, pool miss-wait) are taken
+    from [after] unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per present component. *)
+
+val to_json : t -> string
+(** One JSON object [{"wal": .., "pool": .., "env": ..}] with [null] for
+    absent components. *)

@@ -17,12 +17,19 @@ type frame = {
   mutable page : Page.t;
   latch : Latch.t;
   mutable dirty : bool;
+  mutable rec_lsn : int;
+      (* recovery LSN: set at the clean->dirty transition to (page LSN + 1),
+         a lower bound on the first log record whose effect is not yet in
+         the durable image; meaningful only while [dirty] *)
   pins : int Atomic.t;
   cond : Condition.t;
   mutable state : state;
   mutable referenced : bool;
   mutable waiters : int;
   slot : int;
+  img_log : (int -> Page.t -> unit) option ref;
+      (* shared with the pool: full-page-write hook fired at each
+         clean->dirty transition, before [dirty] is set (see mark_dirty) *)
 }
 
 type shard = {
@@ -47,6 +54,7 @@ type t = {
   max_retries : int;
   backoff_base : float;
   wal_flush : int -> unit;
+  img_log : (int -> Page.t -> unit) option ref;
   mutable dead : bool; (* written under every shard mutex, read under one *)
   retried_reads : int Atomic.t;
   retried_writes : int Atomic.t;
@@ -103,6 +111,7 @@ let create ?(capacity = 1024) ?shards ?(max_retries = 12)
     max_retries;
     backoff_base;
     wal_flush;
+    img_log = ref None;
     dead = false;
     retried_reads = Atomic.make 0;
     retried_writes = Atomic.make 0;
@@ -293,12 +302,14 @@ let rec pin_loop t sh pid ~read ~attempt =
             page = fresh_page ();
             latch = Latch.create ~name:(Printf.sprintf "page-%d" pid) ();
             dirty = false;
+            rec_lsn = 0;
             pins = Atomic.make 1;
             cond = Condition.create ();
             state = (if read then Loading else Ready);
             referenced = true;
             waiters = 0;
             slot;
+            img_log = t.img_log;
           }
         in
         sh.ring.(slot) <- Some fr;
@@ -351,7 +362,32 @@ let unpin _t fr =
   let old = Atomic.fetch_and_add fr.pins (-1) in
   assert (old > 0)
 
-let mark_dirty fr = fr.dirty <- true
+(* Callers hold the frame's X latch (or are single-threaded recovery), so
+   the clean->dirty transition cannot race with another dirtier; write-back
+   paths clear [dirty] only while excluding mutators (shard mutex + no
+   pins, or an S latch). The update protocol calls this BEFORE appending
+   the log record, so at the instant any LSN is assigned to the change the
+   page is already in every dirty-page snapshot — rec_lsn = page LSN + 1 is
+   then a sound lower bound, because the record about to be appended will
+   receive a strictly greater LSN than the page currently carries. *)
+let mark_dirty fr =
+  if not fr.dirty then begin
+    (* Full-page write: a clean page with history (LSN > 0) has a durable
+       image that is about to become the only copy of everything below
+       rec_lsn once the log is truncated past it — capture the image in the
+       log first, so a torn durable copy can still be rebuilt. Fired before
+       [dirty] flips and before the caller's update record, under the
+       caller's X latch, so the image is the exact pre-update durable
+       state. Freshly created pages (LSN 0) have no history to protect. *)
+    (match !(fr.img_log) with
+    | Some logf when Page.lsn fr.page > 0 -> logf fr.pid fr.page
+    | _ -> ());
+    fr.rec_lsn <- Page.lsn fr.page + 1;
+    fr.dirty <- true
+  end
+
+let set_image_logger t hook = t.img_log := hook
+let image_logger t = !(t.img_log)
 
 let check_alive t = if t.dead then failwith "Buffer_pool: used after crash"
 
@@ -398,6 +434,80 @@ let flush_all t =
               | _ -> ())
             frames))
     t.shards
+
+(* Snapshot the dirty-page table — (page id, rec_lsn) for every dirty
+   frame — without stopping writers: each shard is visited under its own
+   mutex, one at a time. Frames mid-write-back ([Writing]) are still
+   reported (their dirty bit clears only once the write completes), which
+   is conservative: a stale entry can only lower the redo point. *)
+let dirty_pages t =
+  check_alive t;
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.mu;
+      let acc =
+        Hashtbl.fold
+          (fun _ fr l -> if fr.dirty then (fr.pid, fr.rec_lsn) :: l else l)
+          sh.table acc
+      in
+      Mutex.unlock sh.mu;
+      acc)
+    [] t.shards
+
+(* Incremental write-back for fuzzy checkpoints: flush currently-dirty
+   frames one at a time, holding no shard mutex across I/O and only an S
+   latch on the page being written — concurrent readers proceed, and a
+   writer blocks only for the one page's write, not the pool. Each frame is
+   pinned (under the shard mutex, so eviction cannot race) and re-validated
+   before writing. Returns the number of pages written. *)
+let write_back t =
+  check_alive t;
+  let written = ref 0 in
+  Array.iter
+    (fun sh ->
+      let candidates =
+        Mutex.lock sh.mu;
+        let l =
+          Hashtbl.fold
+            (fun _ fr l -> if fr.dirty then fr.pid :: l else l)
+            sh.table []
+        in
+        Mutex.unlock sh.mu;
+        l
+      in
+      List.iter
+        (fun pid ->
+          Mutex.lock sh.mu;
+          let fr =
+            match Hashtbl.find_opt sh.table pid with
+            | Some fr when fr.state = Ready && fr.dirty ->
+                Atomic.incr fr.pins;
+                Some fr
+            | _ -> None
+          in
+          Mutex.unlock sh.mu;
+          match fr with
+          | None -> ()
+          | Some fr ->
+              Latch.acquire fr.latch Latch.S;
+              Fun.protect
+                ~finally:(fun () ->
+                  Latch.release fr.latch Latch.S;
+                  ignore (Atomic.fetch_and_add fr.pins (-1)))
+                (fun () ->
+                  (* The S latch excludes mutators; an eviction write-out
+                     cannot be in flight (the frame is pinned). *)
+                  if fr.dirty then begin
+                    write_frame t fr;
+                    Mutex.lock sh.mu;
+                    fr.dirty <- false;
+                    sh.flushes <- sh.flushes + 1;
+                    Mutex.unlock sh.mu;
+                    incr written
+                  end))
+        candidates)
+    t.shards;
+  !written
 
 let crash t =
   Array.iter (fun sh -> Mutex.lock sh.mu) t.shards;

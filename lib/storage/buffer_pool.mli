@@ -50,12 +50,19 @@ type frame = private {
   mutable page : Page.t;
   latch : Pitree_sync.Latch.t;
   mutable dirty : bool;
+  mutable rec_lsn : int;
+      (** recovery LSN, captured at the clean→dirty transition: a lower
+          bound on the first log record whose effect is missing from the
+          page's durable image (meaningful only while [dirty]) *)
   pins : int Atomic.t;
   cond : Condition.t;
   mutable state : state;
   mutable referenced : bool;  (** second-chance bit, set on every pin *)
   mutable waiters : int;  (** threads blocked on [cond] for this frame *)
   slot : int;  (** position in the owning shard's clock ring *)
+  img_log : (int -> Page.t -> unit) option ref;
+      (** shared with the pool: full-page-write hook, see
+          {!set_image_logger} *)
 }
 
 exception Pool_exhausted
@@ -104,13 +111,46 @@ val unpin : t -> frame -> unit
 (** Drop one pin. Lock-free (an atomic decrement). *)
 
 val mark_dirty : frame -> unit
+(** Record that the page is about to diverge from its durable image. Call
+    BEFORE mutating the page (and before appending the log record for the
+    change), while holding the frame's X latch: the clean→dirty transition
+    captures [rec_lsn] from the page's current LSN, which is only a sound
+    redo lower bound if the page has not yet been touched. If an image
+    logger is installed (see {!set_image_logger}), the transition also
+    logs a full-page write of the pre-update image. *)
+
+val set_image_logger : t -> (int -> Page.t -> unit) option -> unit
+(** Install (or clear) the full-page-write hook fired at each clean→dirty
+    transition of a page with history (LSN > 0), before the dirty bit
+    flips. The environment wires this to append a [Page_image] log record:
+    its LSN necessarily exceeds the frame's [rec_lsn], so it survives any
+    log truncation that keeps the page recoverable — a torn durable image
+    can then be rebuilt from the logged image plus the retained suffix,
+    even though the page's older history has been truncated. Recovery
+    disables the hook during redo (replaying history must not re-log it). *)
+
+val image_logger : t -> (int -> Page.t -> unit) option
+(** The currently installed full-page-write hook. *)
 
 val flush_page : t -> frame -> unit
 (** WAL-flush then write this page to disk; clears [dirty]. *)
 
 val flush_all : t -> unit
-(** Flush every dirty resident page (used by checkpoints and clean
-    shutdown). *)
+(** Flush every dirty resident page while holding each shard's mutex (a
+    sharp checkpoint / clean shutdown: simple, stalls the shard). *)
+
+val dirty_pages : t -> (int * int) list
+(** Snapshot of the dirty-page table — (page id, [rec_lsn]) for every
+    dirty resident frame — collected shard by shard under each shard's
+    mutex, without stopping writers. The checkpoint input:
+    [min rec_lsn] bounds recovery's redo point. *)
+
+val write_back : t -> int
+(** Incremental write-back for fuzzy checkpoints: flush each currently
+    dirty frame one at a time, holding only that page's S latch (and no
+    shard mutex) across the I/O — readers proceed, writers wait at most
+    one page write. Frames that vanish or go clean concurrently are
+    skipped. Returns the number of pages written. *)
 
 val crash : t -> unit
 (** Discard all frames without flushing. The pool is unusable afterwards;

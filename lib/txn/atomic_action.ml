@@ -1,3 +1,5 @@
+module Crash_point = Pitree_util.Crash_point
+
 let run mgr f =
   let txn = Txn_mgr.begin_txn mgr Txn.System in
   match f txn with

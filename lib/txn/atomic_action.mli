@@ -15,7 +15,7 @@ val run : Txn_mgr.t -> (Txn.t -> 'a) -> 'a
 (** [run mgr f] executes [f] inside a fresh system transaction, committing
     on return (without forcing the log — relative durability). Any exception
     aborts the action (all its page updates are undone with CLRs) and is
-    re-raised. [Crash_point.Crash_requested] is NOT caught: it propagates
+    re-raised. [Pitree_util.Crash_point.Crash_requested] is NOT caught: it propagates
     with the action left {e unfinished} in the log, exactly like a power
     failure at that instant. *)
 

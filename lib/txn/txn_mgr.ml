@@ -7,29 +7,57 @@ module Page = Pitree_storage.Page
 module Buffer_pool = Pitree_storage.Buffer_pool
 module Lock_manager = Pitree_lock.Lock_manager
 
+(* Concurrency discipline for fuzzy checkpoints: every transaction
+   lifecycle append (Begin, Update, Commit, Abort, End) and the matching
+   [last_lsn]/live-table/state update happen inside one [t.mu] critical
+   section, and [begin_checkpoint] appends its Begin_checkpoint fence and
+   snapshots the active-transaction table in one such section too. Mutex
+   order therefore matches LSN order for these records, so the snapshot is
+   exactly the transaction state as of the fence's LSN — no Commit or
+   Update below the fence can be missing from it. CLRs written during a
+   live abort are the one exception (they are appended by the rollback
+   walk, outside [t.mu], without touching [last_lsn]); [begin_checkpoint]
+   simply waits until no abort is in flight ([undoing] = 0), which keeps
+   the snapshot exact without threading an append hook through every
+   logical-undo handler. *)
+
 type t = {
   log : Log_manager.t;
   pool : Buffer_pool.t;
   locks : Lock_manager.t;
   mu : Mutex.t;
+  undo_done : Condition.t;  (* signalled when [undoing] drops to zero *)
   mutable next_id : int;
   live : (int, Txn.t) Hashtbl.t;
+  mutable undoing : int;  (* live aborts currently writing CLRs *)
+  mutable on_user_commit : (unit -> unit) option;
 }
 
 let create ?(first_id = 1) ~log ~pool ~locks () =
-  { log; pool; locks; mu = Mutex.create (); next_id = first_id; live = Hashtbl.create 64 }
+  {
+    log;
+    pool;
+    locks;
+    mu = Mutex.create ();
+    undo_done = Condition.create ();
+    next_id = first_id;
+    live = Hashtbl.create 64;
+    undoing = 0;
+    on_user_commit = None;
+  }
 
 let log t = t.log
 let pool t = t.pool
 let locks t = t.locks
 let wal_stats t = Log_manager.stats t.log
 
+let set_on_user_commit t f = t.on_user_commit <- Some f
+
 let begin_txn t kind =
+  let lkind = match kind with Txn.User -> Log_record.User | Txn.System -> Log_record.System in
   Mutex.lock t.mu;
   let id = t.next_id in
   t.next_id <- id + 1;
-  Mutex.unlock t.mu;
-  let lkind = match kind with Txn.User -> Log_record.User | Txn.System -> Log_record.System in
   let lsn = Log_manager.append t.log ~prev:Lsn.null ~txn:id (Log_record.Begin { kind = lkind }) in
   let txn =
     {
@@ -42,7 +70,6 @@ let begin_txn t kind =
       on_commit = [];
     }
   in
-  Mutex.lock t.mu;
   Hashtbl.replace t.live id txn;
   Mutex.unlock t.mu;
   txn
@@ -50,64 +77,113 @@ let begin_txn t kind =
 let update ?lundo t txn fr op =
   assert (Txn.is_active txn);
   let pid = Page.id fr.Buffer_pool.page in
-  (* Apply before logging: a failing operation (e.g. Page_full from an
-     engine bug) must leave neither the page nor the log touched, or
-     rollback would try to undo an op that never happened. This does not
-     violate WAL: the caller holds the page pinned and X-latched, so the
-     page cannot reach disk between the in-buffer change and the append
-     below. *)
+  (* Dirty first: the clean→dirty transition must capture the page's
+     pre-update state — both rec_lsn and (when full-page writes are wired)
+     the logged page image, which must precede in the log every record it
+     covers. Then apply before logging the update record: a failing
+     operation (e.g. Page_full from an engine bug) must leave the update
+     unlogged, or rollback would try to undo an op that never happened
+     (the page ends merely marked dirty-but-unchanged, which is harmless).
+     This does not violate WAL: the caller holds the page pinned and
+     X-latched, so the page cannot reach disk between the in-buffer change
+     and the append below. *)
+  Buffer_pool.mark_dirty fr;
   Page_op.redo fr.Buffer_pool.page op;
+  Mutex.lock t.mu;
   let lsn =
     Log_manager.append t.log ~prev:txn.Txn.last_lsn ~txn:txn.Txn.id
       (Log_record.Update { page = pid; op; lundo })
   in
   txn.Txn.last_lsn <- lsn;
-  Page.set_lsn fr.Buffer_pool.page lsn;
-  Buffer_pool.mark_dirty fr;
-  lsn
-
-let finish t txn =
-  Mutex.lock t.mu;
-  Hashtbl.remove t.live txn.Txn.id;
   Mutex.unlock t.mu;
-  Lock_manager.release_all t.locks ~owner:txn.Txn.id
+  Page.set_lsn fr.Buffer_pool.page lsn;
+  lsn
 
 let commit t txn =
   assert (Txn.is_active txn);
+  Mutex.lock t.mu;
   let commit_lsn =
     Log_manager.append t.log ~prev:txn.Txn.last_lsn ~txn:txn.Txn.id Log_record.Commit
   in
+  txn.Txn.last_lsn <- commit_lsn;
+  (* Committed the moment the record exists: a checkpoint snapshot taken
+     from here on reports the transaction as committed, and log-prefix
+     durability guarantees the Commit record is durable whenever that
+     snapshot's End_checkpoint is. *)
+  txn.Txn.state <- Txn.Committed;
+  Mutex.unlock t.mu;
   (* Relative durability (section 4.3.1): an atomic action's commit record
      is NOT forced; it becomes durable with the next user-transaction commit
      that shares the log. *)
   (match txn.Txn.kind with
   | Txn.User -> Log_manager.flush t.log commit_lsn
   | Txn.System -> ());
+  Mutex.lock t.mu;
   let end_lsn =
     Log_manager.append t.log ~prev:commit_lsn ~txn:txn.Txn.id Log_record.End
   in
   txn.Txn.last_lsn <- end_lsn;
-  txn.Txn.state <- Txn.Committed;
-  finish t txn;
+  Hashtbl.remove t.live txn.Txn.id;
+  Mutex.unlock t.mu;
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id;
   (* Deferred work that was contingent on commit (e.g. scheduling the
      posting of an index term for an in-transaction leaf split). *)
   List.iter (fun f -> f ()) (List.rev txn.Txn.on_commit);
-  txn.Txn.on_commit <- []
+  txn.Txn.on_commit <- [];
+  match (txn.Txn.kind, t.on_user_commit) with
+  | Txn.User, Some f -> f ()
+  | _ -> ()
 
 let abort t txn =
   assert (Txn.is_active txn);
+  let from_lsn = txn.Txn.last_lsn in
+  Mutex.lock t.mu;
+  t.undoing <- t.undoing + 1;
   let abort_lsn =
     Log_manager.append t.log ~prev:txn.Txn.last_lsn ~txn:txn.Txn.id Log_record.Abort
   in
-  let last_clr =
-    Recovery.rollback ~prev:abort_lsn ~log:t.log ~pool:t.pool ~txn:txn.Txn.id
-      ~from_lsn:txn.Txn.last_lsn ()
+  txn.Txn.last_lsn <- abort_lsn;
+  Mutex.unlock t.mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.undoing <- t.undoing - 1;
+      if t.undoing = 0 then Condition.broadcast t.undo_done;
+      Mutex.unlock t.mu)
+    (fun () ->
+      let last_clr =
+        Recovery.rollback ~prev:abort_lsn ~log:t.log ~pool:t.pool ~txn:txn.Txn.id
+          ~from_lsn ()
+      in
+      let end_prev = if Lsn.is_null last_clr then abort_lsn else last_clr in
+      Mutex.lock t.mu;
+      let end_lsn = Log_manager.append t.log ~prev:end_prev ~txn:txn.Txn.id Log_record.End in
+      txn.Txn.last_lsn <- end_lsn;
+      txn.Txn.state <- Txn.Aborted;
+      Hashtbl.remove t.live txn.Txn.id;
+      Mutex.unlock t.mu);
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id
+
+let begin_checkpoint t =
+  Mutex.lock t.mu;
+  (* A live abort writes CLRs outside [t.mu] without advancing [last_lsn];
+     snapshotting mid-abort would seed recovery with a stale entry and
+     double-undo. Aborts are rare and bounded; wait them out. Aborts that
+     begin after the fence below are fine — all their records carry LSNs
+     above it, so analysis sees them. *)
+  while t.undoing > 0 do
+    Condition.wait t.undo_done t.mu
+  done;
+  let lsn =
+    Log_manager.append t.log ~prev:Lsn.null ~txn:0 Log_record.Begin_checkpoint
   in
-  let end_prev = if Lsn.is_null last_clr then abort_lsn else last_clr in
-  let end_lsn = Log_manager.append t.log ~prev:end_prev ~txn:txn.Txn.id Log_record.End in
-  txn.Txn.last_lsn <- end_lsn;
-  txn.Txn.state <- Txn.Aborted;
-  finish t txn
+  let att =
+    Hashtbl.fold
+      (fun id txn acc -> (id, txn.Txn.last_lsn, txn.Txn.state = Txn.Committed) :: acc)
+      t.live []
+  in
+  Mutex.unlock t.mu;
+  (lsn, att)
 
 let active t =
   Mutex.lock t.mu;
@@ -136,4 +212,6 @@ let active_count t =
 let crash t =
   Mutex.lock t.mu;
   Hashtbl.reset t.live;
+  t.undoing <- 0;
+  Condition.broadcast t.undo_done;
   Mutex.unlock t.mu

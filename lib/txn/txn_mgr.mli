@@ -46,8 +46,24 @@ val abort : t -> Txn.t -> unit
 (** Appends Abort, undoes all the transaction's updates (writing CLRs),
     appends End, releases locks. *)
 
+val begin_checkpoint : t -> Pitree_wal.Lsn.t * (int * Pitree_wal.Lsn.t * bool) list
+(** Open a fuzzy checkpoint: append the [Begin_checkpoint] fence record
+    and snapshot the active-transaction table — (txn id, last LSN,
+    committed?) — in one critical section, so the snapshot is exactly
+    consistent as of the fence's LSN (every lifecycle append shares the
+    same mutex). Waits until no live abort is writing CLRs. Returns the
+    fence LSN and the table, destined for the matching
+    [End_checkpoint]. *)
+
+val set_on_user_commit : t -> (unit -> unit) -> unit
+(** [f] runs after each user-transaction commit completes (locks
+    released, deferred work run), in the committing thread — the
+    checkpointer's log-growth trigger. Exceptions propagate to the
+    committer. *)
+
 val active : t -> (int * Pitree_wal.Lsn.t) list
-(** Live transactions and their last LSNs (checkpoint input). *)
+(** Live transactions and their last LSNs (informational; checkpoints use
+    {!begin_checkpoint}). *)
 
 val active_count : t -> int
 

@@ -7,7 +7,28 @@
     power failure (buffer pool, lock tables and live transactions all
     discarded; only flushed pages and the durable log prefix survive).
 
-    Points are global and thread-safe; unknown points are always silent. *)
+    Points are global and thread-safe; unknown points are always silent.
+
+    {2 The registry}
+
+    This module is the single registry — there is no per-layer alias.
+    Points are namespaced [<family>.<site>]; the chaos sweep harness maps
+    the family prefix to a workload that can drive the point. Families
+    registered at module-initialization time across the tree:
+
+    - [blink.*] — B-link structure changes (between the split atomic
+      action and the index-term posting, around consolidation, ...)
+    - [tsb.*] — TSB-tree time/key splits
+    - [hb.*] — hB-tree splits and path postings
+    - [wal.group.synced] — the group-commit lost-acknowledgment window,
+      between a batch reaching disk and its waiters being woken
+    - [ckpt.begin.logged], [ckpt.end.logged], [ckpt.truncated] — the
+      fuzzy-checkpoint protocol: after the Begin_checkpoint fence is
+      logged, after the End_checkpoint record is forced, and after the
+      log prefix below the redo point has been reclaimed
+
+    Use {!all_names} to enumerate whatever the linked-in modules have
+    registered. *)
 
 exception Crash_requested of string
 

@@ -2,7 +2,7 @@ module Histogram = Pitree_util.Histogram
 module Crash_point = Pitree_util.Crash_point
 
 type backing = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;  (* replaced when truncation rewrites the file *)
   path : string;
   mutable file_end : int;  (* byte offset of the durable tail *)
 }
@@ -18,6 +18,7 @@ type t = {
   mutable max_txn : int;  (* highest txn id ever appended (survives purges) *)
   mutable durable : Lsn.t;
   mutable redo_from : Lsn.t;
+  mutable ckpt_lsn : Lsn.t;  (* last complete End_checkpoint (null if none) *)
   (* --- group-commit pipeline state (all under [mu]) --- *)
   mutable flushing : bool;  (* a leader currently owns the write path *)
   mutable flush_target : Lsn.t;  (* highest durability anyone has asked for *)
@@ -27,6 +28,9 @@ type t = {
   mutable flushes : int;  (* durability-advance events (incl. in-memory) *)
   mutable flush_requests : int;  (* flush calls that found undurable records *)
   mutable bytes : int;
+  mutable truncations : int;
+  mutable truncated_records : int;
+  mutable truncated_bytes : int;
   batch_hist : Histogram.t;  (* enrolled requests covered per flush event *)
   wait_hist : Histogram.t;  (* ns a committer spent blocked in [flush] *)
   backing : backing option;
@@ -41,9 +45,36 @@ let () = Crash_point.register crash_point_synced
 
 let ckpt_path path = path ^ ".ckpt"
 
+(* The master record: where recovery finds the last complete checkpoint.
+   Two integers — the End_checkpoint record's LSN and the redo floor
+   (min rec_lsn over its dirty-page table) — kept in a tiny sidecar next to
+   the log file rather than in a logged page (a logged page's own recovery
+   would depend on the very pointer it stores). *)
+let write_master path ~ckpt ~redo =
+  let oc = open_out_bin (ckpt_path path) in
+  output_string oc (string_of_int ckpt);
+  output_char oc '\n';
+  output_string oc (string_of_int redo);
+  close_out oc
+
+let read_master path =
+  match open_in_bin (ckpt_path path) with
+  | ic ->
+      let line () = try Some (int_of_string (String.trim (input_line ic))) with _ -> None in
+      let ckpt = line () in
+      let redo = line () in
+      close_in ic;
+      (match (ckpt, redo) with
+      | Some c, Some r -> (c, r)
+      | Some c, None -> (c, c)  (* legacy single-int sidecar: redo at the record *)
+      | _ -> (Lsn.null, Lsn.null))
+  | exception Sys_error _ -> (Lsn.null, Lsn.null)
+
 (* Load the durable prefix of a log file: framed records back to back; a
    torn tail (short or CRC-corrupt final record) is discarded, exactly as a
-   real log manager does on restart. *)
+   real log manager does on restart. The file may start mid-history (after
+   a truncation); the first record's embedded LSN tells us how much of the
+   prefix was reclaimed. *)
 let load_file path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
@@ -88,6 +119,7 @@ let create ?path ?(group_commit = true) () =
         max_txn = 0;
         durable = Lsn.null;
         redo_from = 1;
+        ckpt_lsn = Lsn.null;
         flushing = false;
         flush_target = Lsn.null;
         pending = [];
@@ -95,6 +127,9 @@ let create ?path ?(group_commit = true) () =
         flushes = 0;
         flush_requests = 0;
         bytes = 0;
+        truncations = 0;
+        truncated_records = 0;
+        truncated_bytes = 0;
         batch_hist = Histogram.create ();
         wait_hist = Histogram.create ();
         backing = None;
@@ -104,27 +139,36 @@ let create ?path ?(group_commit = true) () =
       let n = List.length recs in
       let arr = Array.make (max 1024 n) "" in
       List.iteri (fun i s -> arr.(i) <- s) recs;
+      (* A truncated log starts mid-history: the purged prefix is implied
+         by the first surviving record's LSN. *)
+      let purged =
+        match recs with
+        | [] -> 0
+        | first :: _ -> (Log_record.decode first).Log_record.lsn - 1
+      in
+      let count = purged + n in
+      let master_ckpt, master_redo = read_master path in
+      let valid v = v >= purged + 1 && v <= count in
+      let ckpt_lsn = if valid master_ckpt then master_ckpt else Lsn.null in
       let redo_from =
-        match open_in_bin (ckpt_path path) with
-        | ic ->
-            let v = try int_of_string (input_line ic) with _ -> 1 in
-            close_in ic;
-            if v >= 1 && v <= n then v else 1
-        | exception Sys_error _ -> 1
+        if Lsn.is_null ckpt_lsn then purged + 1
+        else if valid master_redo then master_redo
+        else purged + 1
       in
       {
         mu = Mutex.create ();
         cond = Condition.create ();
         group_commit;
         records = arr;
-        count = n;
-        purged = 0;
+        count;
+        purged;
         max_txn =
           List.fold_left
             (fun acc s -> max acc (Log_record.decode s).Log_record.txn)
             0 recs;
-        durable = n;
+        durable = count;
         redo_from;
+        ckpt_lsn;
         flushing = false;
         flush_target = Lsn.null;
         pending = [];
@@ -132,6 +176,9 @@ let create ?path ?(group_commit = true) () =
         flushes = 0;
         flush_requests = 0;
         bytes = List.fold_left (fun a s -> a + String.length s) 0 recs;
+        truncations = 0;
+        truncated_records = 0;
+        truncated_bytes = 0;
         batch_hist = Histogram.create ();
         wait_hist = Histogram.create ();
         backing = Some { fd; path; file_end };
@@ -287,6 +334,18 @@ let flushed_lsn t =
   Mutex.unlock t.mu;
   v
 
+let first_lsn t =
+  Mutex.lock t.mu;
+  let v = t.purged + 1 in
+  Mutex.unlock t.mu;
+  v
+
+let file_bytes t =
+  Mutex.lock t.mu;
+  let v = Option.map (fun b -> b.file_end) t.backing in
+  Mutex.unlock t.mu;
+  v
+
 let read t lsn =
   Mutex.lock t.mu;
   if lsn < 1 || lsn > t.count then begin
@@ -326,35 +385,78 @@ let max_txn_id t =
   Mutex.unlock t.mu;
   v
 
-(* Discard records with lsn < keep_from from the in-memory window. Only
-   durable, pre-redo-point records may go (a file-backed log keeps its file
-   as the archive). Returns how many records were discarded. The clamp to
-   [durable] also protects a concurrent leader: the batch it is writing is
-   entirely above [durable], so truncation never slides records out from
-   under it. *)
+(* Discard records with lsn < keep_from, reclaiming their space. Only
+   durable, pre-redo-point records may go (the clamp is the safety net for
+   the documented contract: truncation never removes records at or above
+   the redo point, nor records a group-commit leader has yet to write).
+   For a file-backed log the surviving durable window is rewritten to a
+   temporary file which is fsynced and renamed over the log — the file
+   itself shrinks, and a crash during the rewrite leaves either the old or
+   the new file, both complete. Returns how many records were discarded. *)
 let truncate t ~keep_from =
   Mutex.lock t.mu;
+  (* An in-flight leader reads the fd and file offset with [mu] released;
+     wait until it retires before touching the file. While we hold [mu] no
+     new leader can be elected. *)
+  while t.flushing do
+    Condition.wait t.cond t.mu
+  done;
   let keep_from = min keep_from (min (t.durable + 1) t.redo_from) in
   let n = max 0 (keep_from - 1 - t.purged) in
   if n > 0 then begin
     let w = window t in
+    let dropped_bytes = ref 0 in
+    for i = 0 to n - 1 do
+      dropped_bytes := !dropped_bytes + String.length t.records.(i)
+    done;
     Array.blit t.records n t.records 0 (w - n);
     Array.fill t.records (w - n) n "";
-    t.purged <- t.purged + n
+    t.purged <- t.purged + n;
+    t.truncations <- t.truncations + 1;
+    t.truncated_records <- t.truncated_records + n;
+    t.truncated_bytes <- t.truncated_bytes + !dropped_bytes;
+    match t.backing with
+    | None -> ()
+    | Some b ->
+        (* Rewrite the durable window [keep_from, durable]; the volatile
+           tail above [durable] was never in the file. *)
+        let buf = Buffer.create 4096 in
+        for i = t.purged to t.durable - 1 do
+          Buffer.add_string buf t.records.(i - t.purged)
+        done;
+        let payload = Buffer.contents buf in
+        let tmp = b.path ^ ".tmp" in
+        let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+        let bytes = Bytes.of_string payload in
+        let rec push off =
+          if off < Bytes.length bytes then
+            push (off + Unix.write fd bytes off (Bytes.length bytes - off))
+        in
+        push 0;
+        Unix.fsync fd;
+        Unix.close fd;
+        Unix.rename tmp b.path;
+        Unix.close b.fd;
+        b.fd <- Unix.openfile b.path [ Unix.O_RDWR ] 0o644;
+        b.file_end <- String.length payload
   end;
   Mutex.unlock t.mu;
   n
 
 let redo_start t = t.redo_from
+let checkpoint_lsn t = t.ckpt_lsn
 
-let set_redo_start t lsn =
-  t.redo_from <- lsn;
-  match t.backing with
+(* Publish a completed checkpoint: [lsn] is its End_checkpoint record,
+   [redo] the redo floor recovery may start from. Persisted to the master
+   sidecar before returning, so a crash immediately after sees it. *)
+let set_checkpoint t ~lsn ~redo =
+  Mutex.lock t.mu;
+  t.ckpt_lsn <- lsn;
+  t.redo_from <- redo;
+  (match t.backing with
   | None -> ()
-  | Some b ->
-      let oc = open_out_bin (ckpt_path b.path) in
-      output_string oc (string_of_int lsn);
-      close_out oc
+  | Some b -> write_master b.path ~ckpt:lsn ~redo);
+  Mutex.unlock t.mu
 
 let crash t =
   Mutex.lock t.mu;
@@ -369,7 +471,9 @@ let crash t =
         fresh.durable <- t.durable;
         fresh.records <- Array.make (max 1024 kept) "";
         Array.blit t.records 0 fresh.records 0 kept;
-        fresh.redo_from <- (if t.redo_from <= t.durable then t.redo_from else 1);
+        fresh.redo_from <-
+          (if t.redo_from <= t.durable then t.redo_from else t.purged + 1);
+        fresh.ckpt_lsn <- (if t.ckpt_lsn <= t.durable then t.ckpt_lsn else Lsn.null);
         fresh.bytes <-
           Array.fold_left (fun acc s -> acc + String.length s) 0
             (Array.sub fresh.records 0 kept);
@@ -394,6 +498,9 @@ type stats = {
   wait_mean_ns : float;
   wait_p50_ns : int;
   wait_p99_ns : int;
+  truncations : int;
+  truncated_records : int;
+  truncated_bytes : int;
 }
 
 let stats t =
@@ -411,6 +518,9 @@ let stats t =
       wait_mean_ns = Histogram.mean t.wait_hist;
       wait_p50_ns = Histogram.percentile t.wait_hist 50.0;
       wait_p99_ns = Histogram.percentile t.wait_hist 99.0;
+      truncations = t.truncations;
+      truncated_records = t.truncated_records;
+      truncated_bytes = t.truncated_bytes;
     }
   in
   Mutex.unlock t.mu;
@@ -419,6 +529,8 @@ let stats t =
 let pp_stats ppf s =
   Format.fprintf ppf
     "wal: appends=%d forces=%d flushes=%d requests=%d bytes=%d \
-     batch{mean=%.2f p99=%d max=%d} wait_ns{mean=%.0f p50=%d p99=%d}"
+     batch{mean=%.2f p99=%d max=%d} wait_ns{mean=%.0f p50=%d p99=%d} \
+     trunc{n=%d records=%d bytes=%d}"
     s.appends s.forces s.flushes s.flush_requests s.bytes s.batch_mean
     s.batch_p99 s.batch_max s.wait_mean_ns s.wait_p50_ns s.wait_p99_ns
+    s.truncations s.truncated_records s.truncated_bytes

@@ -58,27 +58,47 @@ val iter_from : t -> Lsn.t -> (Log_record.t -> unit) -> unit
 (** [iter_from t lsn f] applies [f] to records [lsn], [lsn+1], ... in order. *)
 
 val redo_start : t -> Lsn.t
-(** Where recovery's redo pass begins: just after the last sharp
-    checkpoint, else LSN 1. *)
+(** The redo floor: the lowest LSN recovery's redo pass may need
+    (min rec_lsn over the last checkpoint's dirty-page table, or the first
+    retained LSN when no checkpoint has completed). *)
 
-val set_redo_start : t -> Lsn.t -> unit
+val checkpoint_lsn : t -> Lsn.t
+(** LSN of the last complete checkpoint's [End_checkpoint] record
+    ([Lsn.null] if none) — where recovery's analysis pass finds its
+    seed. This is the ARIES master record; for a file-backed log it is
+    persisted (together with the redo floor) in the [path ^ ".ckpt"]
+    sidecar. *)
+
+val set_checkpoint : t -> lsn:Lsn.t -> redo:Lsn.t -> unit
+(** Publish a completed checkpoint: [lsn] is its (already durable)
+    [End_checkpoint] record, [redo] the new redo floor. Persists the
+    master record before returning. *)
 
 val truncate : t -> keep_from:Lsn.t -> int
-(** Discard in-memory records with LSN below [keep_from], clamped so that
-    nothing undurable or at/after the redo point is lost; the caller must
-    also keep everything the oldest active transaction could still undo
-    (see [Txn_mgr.oldest_first_lsn]). Returns the number of records
-    discarded. Reading a truncated LSN raises [Invalid_argument]. A
-    file-backed log keeps its file intact as the archive. *)
+(** Discard records with LSN below [keep_from] and reclaim their space,
+    clamped so that nothing undurable or at/after the redo floor is lost;
+    the caller must also keep everything the oldest active transaction
+    could still undo (see [Txn_mgr.oldest_first_lsn]). Returns the number
+    of records discarded. Reading a truncated LSN raises
+    [Invalid_argument]. A file-backed log physically rewrites its file
+    (write surviving window to a temporary file, fsync, rename), so the
+    file shrinks; a crash mid-rewrite leaves a complete old or new file. *)
+
+val first_lsn : t -> Lsn.t
+(** Lowest LSN still readable (1 until a truncation discards a prefix). *)
+
+val file_bytes : t -> int option
+(** Current size in bytes of the backing file's durable prefix ([None]
+    for an in-memory log). Shrinks when {!truncate} reclaims space. *)
 
 val max_txn_id : t -> int
 (** Highest transaction id ever appended (tracked across truncation). *)
 
 val crash : t -> t
 (** A new manager holding only the durable prefix (the volatile tail is
-    discarded), preserving [redo_start] if it is still durable. For a
-    file-backed log this literally reopens the file. The old manager must
-    not be used afterwards. *)
+    discarded), preserving the checkpoint master record if it is still
+    durable. For a file-backed log this literally reopens the file. The
+    old manager must not be used afterwards. *)
 
 type stats = {
   appends : int;
@@ -96,6 +116,9 @@ type stats = {
   wait_mean_ns : float;  (** time a committer spent blocked in {!flush} *)
   wait_p50_ns : int;
   wait_p99_ns : int;
+  truncations : int;  (** truncate calls that discarded at least one record *)
+  truncated_records : int;
+  truncated_bytes : int;  (** encoded bytes reclaimed by truncation *)
 }
 
 val stats : t -> stats

@@ -14,7 +14,13 @@ type body =
   | End
   | Update of { page : int; op : Page_op.t; lundo : lundo option }
   | Clr of { page : int; op : Page_op.t; undo_next : Lsn.t }
-  | Checkpoint of { active : (int * Lsn.t) list }
+  | Page_image of { page : int; image : string }
+  | Begin_checkpoint
+  | End_checkpoint of {
+      begin_lsn : Lsn.t;
+      dpt : (int * Lsn.t) list;
+      att : (int * Lsn.t * bool) list;
+    }
 
 type t = { lsn : Lsn.t; prev : Lsn.t; txn : int; body : body }
 
@@ -25,7 +31,9 @@ let body_tag = function
   | End -> 4
   | Update _ -> 5
   | Clr _ -> 6
-  | Checkpoint _ -> 7
+  | Page_image _ -> 7
+  | Begin_checkpoint -> 8
+  | End_checkpoint _ -> 9
 
 let encode t =
   let b = Buffer.create 64 in
@@ -49,13 +57,25 @@ let encode t =
       Codec.put_u32 b page;
       Codec.put_int b undo_next;
       Page_op.encode b op
-  | Checkpoint { active } ->
-      Codec.put_u32 b (List.length active);
+  | Page_image { page; image } ->
+      Codec.put_u32 b page;
+      Codec.put_bytes b image
+  | Begin_checkpoint -> ()
+  | End_checkpoint { begin_lsn; dpt; att } ->
+      Codec.put_int b begin_lsn;
+      Codec.put_u32 b (List.length dpt);
       List.iter
-        (fun (txn, lsn) ->
+        (fun (page, rec_lsn) ->
+          Codec.put_u32 b page;
+          Codec.put_int b rec_lsn)
+        dpt;
+      Codec.put_u32 b (List.length att);
+      List.iter
+        (fun (txn, lsn, committed) ->
           Codec.put_int b txn;
-          Codec.put_int b lsn)
-        active);
+          Codec.put_int b lsn;
+          Codec.put_u8 b (if committed then 1 else 0))
+        att);
   let payload = Buffer.contents b in
   let framed = Buffer.create (String.length payload + 8) in
   Codec.put_u32 framed (String.length payload);
@@ -103,14 +123,28 @@ let decode s =
         let op = Page_op.decode r in
         Clr { page; op; undo_next }
     | 7 ->
-        let n = Codec.get_u32 r in
-        let active =
-          List.init n (fun _ ->
+        let page = Codec.get_u32 r in
+        let image = Codec.get_bytes r in
+        Page_image { page; image }
+    | 8 -> Begin_checkpoint
+    | 9 ->
+        let begin_lsn = Codec.get_int r in
+        let ndpt = Codec.get_u32 r in
+        let dpt =
+          List.init ndpt (fun _ ->
+              let page = Codec.get_u32 r in
+              let rec_lsn = Codec.get_int r in
+              (page, rec_lsn))
+        in
+        let natt = Codec.get_u32 r in
+        let att =
+          List.init natt (fun _ ->
               let txn = Codec.get_int r in
               let lsn = Codec.get_int r in
-              (txn, lsn))
+              let committed = Codec.get_u8 r = 1 in
+              (txn, lsn, committed))
         in
-        Checkpoint { active }
+        End_checkpoint { begin_lsn; dpt; att }
     | n -> raise (Codec.Corrupt (Printf.sprintf "bad log body tag %d" n))
   in
   { lsn; prev; txn; body }
@@ -126,6 +160,11 @@ let pp ppf t =
           (match lundo with None -> "" | Some _ -> " +lundo")
     | Clr { page; op; undo_next } ->
         Fmt.pf ppf "clr p%d %a undo_next=%d" page Page_op.pp op undo_next
-    | Checkpoint { active } -> Fmt.pf ppf "checkpoint(%d active)" (List.length active)
+    | Page_image { page; image } ->
+        Fmt.pf ppf "page_image p%d %dB" page (String.length image)
+    | Begin_checkpoint -> Fmt.string ppf "begin_checkpoint"
+    | End_checkpoint { begin_lsn; dpt; att } ->
+        Fmt.pf ppf "end_checkpoint(begin=%d %d dirty %d active)" begin_lsn
+          (List.length dpt) (List.length att)
   in
   Fmt.pf ppf "[%d txn=%d prev=%d %a]" t.lsn t.txn t.prev body t.body

@@ -30,9 +30,30 @@ type body =
   | End  (** rollback or commit processing finished *)
   | Update of { page : int; op : Page_op.t; lundo : lundo option }
   | Clr of { page : int; op : Page_op.t; undo_next : Lsn.t }
-  | Checkpoint of { active : (int * Lsn.t) list }
-      (** sharp checkpoint: all dirty pages were flushed first; [active]
-          lists live transactions and their last LSN *)
+  | Page_image of { page : int; image : string }
+      (** full-page write: the page's complete pre-update image, logged at
+          each clean→dirty transition (outside any transaction, redo-only).
+          Because it is appended after the transition computes the frame's
+          rec_lsn, its LSN is ≥ that rec_lsn and therefore ≥ every future
+          redo point — it survives log truncation. Redo uses it to rebuild
+          a page whose durable image is torn even though the page's older
+          history has been truncated away. *)
+  | Begin_checkpoint
+      (** fence for a fuzzy checkpoint: the ATT in the matching
+          [End_checkpoint] is exactly consistent as of this LSN, and
+          analysis scans forward from here *)
+  | End_checkpoint of {
+      begin_lsn : Lsn.t;  (** LSN of the matching [Begin_checkpoint] *)
+      dpt : (int * Lsn.t) list;
+          (** dirty-page table: page id → rec_lsn (a lower bound on the
+              first log record whose effect is not yet in the page's
+              durable image); recovery's redo point is
+              [min(begin_lsn, min rec_lsn)] *)
+      att : (int * Lsn.t * bool) list;
+          (** active-transaction table as of [begin_lsn]: txn id, last
+              LSN, and whether a Commit record was already logged (its
+              End is merely outstanding) *)
+    }
 
 type t = { lsn : Lsn.t; prev : Lsn.t; txn : int; body : body }
 

@@ -43,15 +43,19 @@ let pin_or_new pool pid =
    CLR's lsn. [prev] is the transaction's latest log record, to backchain. *)
 let undo_update ~log ~pool ~txn ~prev ~page:pid ~op ~undo_next =
   let inverse = Page_op.invert op in
+  let fr = pin_or_new pool pid in
+  Latch.acquire fr.Buffer_pool.latch Latch.X;
+  (* Dirty before the CLR is appended and before mutating: rec_lsn must be
+     captured from the pre-CLR page LSN (or a checkpoint's dirty-page table
+     would claim the CLR's effect is already durable), and the full-page
+     image the transition may log must precede the CLR it covers. *)
+  Buffer_pool.mark_dirty fr;
   let clr_lsn =
     Log_manager.append log ~prev ~txn
       (Log_record.Clr { page = pid; op = inverse; undo_next })
   in
-  let fr = pin_or_new pool pid in
-  Latch.acquire fr.Buffer_pool.latch Latch.X;
   Page_op.redo fr.Buffer_pool.page inverse;
   Page.set_lsn fr.Buffer_pool.page clr_lsn;
-  Buffer_pool.mark_dirty fr;
   Latch.release fr.Buffer_pool.latch Latch.X;
   Buffer_pool.unpin pool fr;
   clr_lsn
@@ -91,7 +95,8 @@ let rollback ?prev ~log ~pool ~txn ~from_lsn () =
           go undo_next prev last_clr
       | Log_record.Begin _ -> last_clr
       | Log_record.Commit | Log_record.Abort | Log_record.End
-      | Log_record.Checkpoint _ ->
+      | Log_record.Page_image _ | Log_record.Begin_checkpoint
+      | Log_record.End_checkpoint _ ->
           go r.Log_record.prev prev last_clr
   in
   go from_lsn (Option.value prev ~default:from_lsn) Lsn.null
@@ -104,16 +109,34 @@ let run ~log ~pool =
   (* --- Analysis --- *)
   let att : (int, att_entry) Hashtbl.t = Hashtbl.create 64 in
   let analyzed = ref 0 in
-  let start = Log_manager.redo_start log in
-  (* Seed the ATT from the checkpoint record, if redo starts at one. *)
-  (if start > 1 then
-     match (Log_manager.read log start).Log_record.body with
-     | Log_record.Checkpoint { active } ->
-         List.iter
-           (fun (txn, lsn) ->
-             Hashtbl.replace att txn { last = lsn; committed = false })
-           active
-     | _ -> ());
+  (* Start from the last complete checkpoint: seed the ATT from its
+     End_checkpoint record, then scan forward from the matching
+     Begin_checkpoint — Commit/End records logged between the two fence
+     records must still be observed, or a transaction that finished during
+     the checkpoint would be mistaken for a loser. The redo point is
+     min(begin_lsn, min rec_lsn over the dirty-page table): everything
+     below it was in some durable page image when the checkpoint
+     completed. *)
+  let ckpt = Log_manager.checkpoint_lsn log in
+  let start, redo_from =
+    if Lsn.is_null ckpt then
+      let s = Log_manager.redo_start log in
+      (s, s)
+    else
+      match (Log_manager.read log ckpt).Log_record.body with
+      | Log_record.End_checkpoint { begin_lsn; dpt; att = ckpt_att } ->
+          List.iter
+            (fun (txn, lsn, committed) ->
+              Hashtbl.replace att txn { last = lsn; committed })
+            ckpt_att;
+          let floor =
+            List.fold_left (fun acc (_, r) -> min acc r) begin_lsn dpt
+          in
+          (begin_lsn, floor)
+      | _ ->
+          let s = Log_manager.redo_start log in
+          (s, s)
+  in
   Log_manager.iter_from log start (fun r ->
       incr analyzed;
       let entry txn =
@@ -131,22 +154,40 @@ let run ~log ~pool =
       | Log_record.Commit -> (entry r.Log_record.txn).committed <- true
       | Log_record.Abort -> (entry r.Log_record.txn).last <- r.Log_record.lsn
       | Log_record.End -> Hashtbl.remove att r.Log_record.txn
-      | Log_record.Checkpoint _ -> ());
+      | Log_record.Page_image _ | Log_record.Begin_checkpoint
+      | Log_record.End_checkpoint _ ->
+          ());
   (* --- Redo (repeating history) --- *)
+  (* Replaying history must not re-log it: suppress the full-page-write
+     hook for the duration of redo (undo below re-enables it — a CLR that
+     dirties a still-clean page needs its image protected like any other
+     update). *)
+  let fpw = Buffer_pool.image_logger pool in
+  Buffer_pool.set_image_logger pool None;
   let redone = ref 0 and skipped = ref 0 in
-  Log_manager.iter_from log start (fun r ->
+  Log_manager.iter_from log redo_from (fun r ->
+      let apply page mutate =
+        let fr = pin_or_new pool page in
+        if Page.lsn fr.Buffer_pool.page < r.Log_record.lsn then begin
+          Buffer_pool.mark_dirty fr;
+          mutate fr.Buffer_pool.page;
+          Page.set_lsn fr.Buffer_pool.page r.Log_record.lsn;
+          incr redone
+        end
+        else incr skipped;
+        Buffer_pool.unpin pool fr
+      in
       match r.Log_record.body with
       | Log_record.Update { page; op; _ } | Log_record.Clr { page; op; _ } ->
-          let fr = pin_or_new pool page in
-          if Page.lsn fr.Buffer_pool.page < r.Log_record.lsn then begin
-            Page_op.redo fr.Buffer_pool.page op;
-            Page.set_lsn fr.Buffer_pool.page r.Log_record.lsn;
-            Buffer_pool.mark_dirty fr;
-            incr redone
-          end
-          else incr skipped;
-          Buffer_pool.unpin pool fr
+          apply page (fun p -> Page_op.redo p op)
+      | Log_record.Page_image { page; image } ->
+          (* Full-page write: rebuilds a page whose durable image is torn
+             and whose older history is truncated away. The LSN guard skips
+             it whenever the durable image is already at or past it. *)
+          apply page (fun p ->
+              Bytes.blit_string image 0 (Page.raw p) 0 (String.length image))
       | _ -> ());
+  Buffer_pool.set_image_logger pool fpw;
   (* --- Undo losers --- *)
   let losers = ref [] and ended = ref 0 and clrs = ref 0 in
   Hashtbl.iter
@@ -220,7 +261,8 @@ let run ~log ~pool =
             next := undo_next
         | Log_record.Begin _ -> next := Lsn.null
         | Log_record.Commit | Log_record.Abort | Log_record.End
-        | Log_record.Checkpoint _ ->
+        | Log_record.Page_image _ | Log_record.Begin_checkpoint
+        | Log_record.End_checkpoint _ ->
             next := r.Log_record.prev);
         undo_pass ()
   in

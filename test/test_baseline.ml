@@ -7,7 +7,8 @@ module Btl = Pitree_baseline.Bt_treelatch
 
 let cfg () =
   {
-    Env.page_size = 256;
+    Env.default_config with
+    page_size = 256;
     pool_capacity = 4096;
     page_oriented_undo = false;
     consolidation = false;

@@ -3,12 +3,13 @@
 module Env = Pitree_env.Env
 module Blink = Pitree_blink.Blink
 module Wellformed = Pitree_core.Wellformed
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 
 let small_cfg ?(page_oriented_undo = false) ?(consolidation = true) () =
   (* Tiny pages force deep trees and frequent structure changes. *)
   {
-    Env.page_size = 256;
+    Env.default_config with
+    page_size = 256;
     pool_capacity = 4096;
     page_oriented_undo;
     consolidation;

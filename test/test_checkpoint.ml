@@ -1,0 +1,314 @@
+(* Fuzzy checkpoints: exact ATT/DPT snapshots under live transactions,
+   truncation safety, bounded restart, and cross-process restart after the
+   log has been physically truncated. *)
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Disk = Pitree_storage.Disk
+module Log_manager = Pitree_wal.Log_manager
+module Recovery = Pitree_wal.Recovery
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Wellformed = Pitree_core.Wellformed
+
+let cfg =
+  {
+    Env.default_config with
+    page_size = 256;
+    pool_capacity = 256;
+    page_oriented_undo = false;
+    consolidation = true;
+  }
+
+let key d i = Printf.sprintf "d%dk%05d" d i
+
+(* Fuzzy checkpoints taken while writer domains commit and an uncommitted
+   transaction stays open: after a crash, recovery from the checkpoint must
+   keep exactly the committed updates — none lost (the checkpoint must not
+   claim undurable work as durable), none double-applied (redo is
+   LSN-guarded), losers rolled back. *)
+let test_fuzzy_concurrent_with_writers () =
+  let env = Env.create cfg in
+  let t = Blink.create env ~name:"t" in
+  let mgr = Env.txns env in
+  (* Uncommitted transaction spanning every checkpoint below. *)
+  let unc = Txn_mgr.begin_txn mgr Txn.User in
+  let unc_keys = List.init 16 (fun i -> Printf.sprintf "unc%04d" i) in
+  List.iter (fun k -> Blink.insert ~txn:unc t ~key:k ~value:"doomed") unc_keys;
+  let per = 400 in
+  let writers =
+    List.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Blink.insert t ~key:(key d i) ~value:(Printf.sprintf "v%d.%d" d i)
+            done))
+  in
+  (* Checkpoint repeatedly while the writers run. *)
+  for _ = 1 to 5 do
+    Env.checkpoint ~mode:`Fuzzy env;
+    Thread.delay 0.001
+  done;
+  List.iter Domain.join writers;
+  Env.checkpoint ~mode:`Fuzzy env;
+  let total_records = Log_manager.last_lsn (Env.log env) in
+  Log_manager.flush_all (Env.log env);
+  Env.crash env;
+  let report = Env.recover env in
+  let t = Option.get (Blink.open_existing env ~name:"t") in
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t));
+  for d = 0 to 1 do
+    for i = 0 to per - 1 do
+      Alcotest.(check (option string))
+        (key d i)
+        (Some (Printf.sprintf "v%d.%d" d i))
+        (Blink.find t (key d i))
+    done
+  done;
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) (k ^ " rolled back") None (Blink.find t k))
+    unc_keys;
+  Alcotest.(check bool)
+    (Printf.sprintf "analysis bounded (%d analyzed, %d total records)"
+       report.Recovery.analyzed total_records)
+    true
+    (report.Recovery.analyzed < total_records)
+
+(* Checkpoints racing live aborts: begin_checkpoint waits out in-flight
+   rollbacks (the [undoing] counter), so the snapshot never captures a
+   mid-abort transaction whose CLRs it cannot see. *)
+let test_fuzzy_concurrent_with_aborts () =
+  let env = Env.create cfg in
+  let t = Blink.create env ~name:"t" in
+  let mgr = Env.txns env in
+  let aborter =
+    Domain.spawn (fun () ->
+        for i = 0 to 149 do
+          let txn = Txn_mgr.begin_txn mgr Txn.User in
+          Blink.insert ~txn t ~key:(Printf.sprintf "ab%04d" i) ~value:"x";
+          Txn_mgr.abort mgr txn
+        done)
+  in
+  for _ = 1 to 8 do
+    Env.checkpoint ~mode:`Fuzzy env
+  done;
+  Domain.join aborter;
+  Env.checkpoint ~mode:`Fuzzy env;
+  Log_manager.flush_all (Env.log env);
+  Env.crash env;
+  ignore (Env.recover env);
+  let t = Option.get (Blink.open_existing env ~name:"t") in
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t));
+  for i = 0 to 149 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "aborted ab%04d stays gone" i)
+      None
+      (Blink.find t (Printf.sprintf "ab%04d" i))
+  done
+
+(* Truncation floor: after a checkpoint, every record at or above the redo
+   point — and the full backchain of any live transaction — survives. *)
+let test_truncation_floor () =
+  let env = Env.create cfg in
+  let t = Blink.create env ~name:"t" in
+  for i = 0 to 299 do
+    Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v"
+  done;
+  ignore (Env.drain env);
+  let mgr = Env.txns env in
+  (* A live transaction whose Begin predates the checkpoint: its records
+     must survive truncation so a later abort can roll it back. *)
+  let live = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn:live t ~key:"live0" ~value:"tentative";
+  let live_first = live.Txn.first_lsn in
+  Env.checkpoint ~mode:`Fuzzy env;
+  let log = Env.log env in
+  let first = Log_manager.first_lsn log in
+  let redo = Log_manager.redo_start log in
+  Alcotest.(check bool) "something was truncated" true (first > 1);
+  Alcotest.(check bool) "redo point survives" true (first <= redo);
+  Alcotest.(check bool) "live txn backchain survives" true (first <= live_first);
+  ignore (Log_manager.read log redo);
+  ignore (Log_manager.read log live_first);
+  Alcotest.(check bool) "below the floor is gone" true
+    (first = 1
+    || match Log_manager.read log (first - 1) with
+       | exception Invalid_argument _ -> true
+       | _ -> false);
+  (* The live transaction can still abort through the truncated log. *)
+  Txn_mgr.abort mgr live;
+  Alcotest.(check (option string)) "tentative update undone" None
+    (Blink.find t "live0");
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t))
+
+(* Restart work is bounded by work-since-checkpoint, not total history:
+   same workload with and without the log-bytes trigger. *)
+let test_bounded_restart () =
+  let run ~auto =
+    let env =
+      Env.create
+        { cfg with Env.ckpt_log_bytes = (if auto then Some 16_384 else None) }
+    in
+    let t = Blink.create env ~name:"t" in
+    for i = 0 to 1_499 do
+      Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v"
+    done;
+    ignore (Env.drain env);
+    Log_manager.flush_all (Env.log env);
+    Env.crash env;
+    let report = Env.recover env in
+    let t = Option.get (Blink.open_existing env ~name:"t") in
+    Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t));
+    Alcotest.(check (option string)) "data intact" (Some "v")
+      (Blink.find t "k00042");
+    (report.Recovery.analyzed, (Env.stats env).Env.checkpoints)
+  in
+  let with_ckpt, ckpts = run ~auto:true in
+  let without, _ = run ~auto:false in
+  Alcotest.(check bool) "trigger fired" true (ckpts > 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "analysis bounded: %d (ckpt) vs %d (none)" with_ckpt without)
+    true
+    (with_ckpt < without / 2)
+
+(* Cross-process restart after physical truncation: the WAL file was
+   rewritten (prefix dropped, fd swapped); a fresh process must reload it,
+   find the master record, and recover. The file must also have shrunk. *)
+let test_open_from_after_truncation () =
+  let dir = Filename.temp_file "pitree_ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let pages = Filename.concat dir "pages.db" in
+      let wal = Filename.concat dir "wal.log" in
+      let fcfg = { cfg with Env.log_path = Some wal } in
+      let env =
+        Env.create ~disk:(Disk.file ~page_size:256 ~path:pages) fcfg
+      in
+      let t = Blink.create env ~name:"t" in
+      for i = 0 to 599 do
+        Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v"
+      done;
+      ignore (Env.drain env);
+      let before = Option.get (Log_manager.file_bytes (Env.log env)) in
+      Env.checkpoint ~mode:`Fuzzy env;
+      let after = Option.get (Log_manager.file_bytes (Env.log env)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "WAL file shrank (%d -> %d bytes)" before after)
+        true (after < before);
+      (* More work after the truncation, then a clean close. *)
+      for i = 600 to 799 do
+        Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v"
+      done;
+      ignore (Env.drain env);
+      Env.close env;
+      (* "Process 2". *)
+      let env2 = Env.open_from ~disk:(Disk.file ~page_size:256 ~path:pages) fcfg in
+      let report = Env.recover env2 in
+      Alcotest.(check (list int)) "no losers" [] report.Recovery.loser_txns;
+      let t2 = Option.get (Blink.open_existing env2 ~name:"t") in
+      Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t2));
+      for i = 0 to 799 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "k%05d" i)
+          (Some "v")
+          (Blink.find t2 (Printf.sprintf "k%05d" i))
+      done;
+      Env.close env2)
+
+(* A torn durable image after truncation: the page's pre-checkpoint history
+   is no longer in the log, so rebuilding it depends on the full-page-write
+   record logged at its clean→dirty transition. Without full-page writes
+   redo would apply slot operations to an empty page and die (or lose the
+   page); with them, every committed update survives. *)
+let test_torn_page_after_truncation () =
+  let base = Disk.in_memory ~page_size:256 in
+  let disk, ctl = Disk.Faulty.wrap ~seed:7L base in
+  let env = Env.create ~disk cfg in
+  let t = Blink.create env ~name:"t" in
+  for i = 0 to 399 do
+    Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v1"
+  done;
+  ignore (Env.drain env);
+  (* Flushes every page clean and truncates their history out of the log. *)
+  Env.checkpoint ~mode:`Fuzzy env;
+  Alcotest.(check bool) "history truncated" true
+    (Log_manager.first_lsn (Env.log env) > 1);
+  (* Re-dirty the pages: each clean→dirty transition must log an image. *)
+  for i = 0 to 399 do
+    Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v2"
+  done;
+  ignore (Env.drain env);
+  Log_manager.flush_all (Env.log env);
+  (* Power failure mid-flush: every dirty page's durable image tears. *)
+  Disk.Faulty.set_plan ctl
+    {
+      Disk.Faulty.no_faults with
+      Disk.Faulty.torn_write = 1.0;
+      protected_pids = [ 1 ];
+    };
+  (try Pitree_storage.Buffer_pool.flush_all (Env.pool env)
+   with Disk.Disk_error _ -> ());
+  Disk.Faulty.set_plan ctl Disk.Faulty.no_faults;
+  Env.crash env;
+  let report = Env.recover env in
+  Alcotest.(check bool) "some pages were torn" true
+    (report.Recovery.torn_pages > 0);
+  let t = Option.get (Blink.open_existing env ~name:"t") in
+  Alcotest.(check bool) "well-formed" true (Wellformed.ok (Blink.verify t));
+  for i = 0 to 399 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "k%05d rebuilt from page image" i)
+      (Some "v2")
+      (Blink.find t (Printf.sprintf "k%05d" i))
+  done
+
+let test_open_from_requires_log_path () =
+  Alcotest.(check bool) "open_from without log_path rejected" true
+    (match Env.open_from cfg with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Checkpoint stats surface through Env.stats. *)
+let test_ckpt_stats () =
+  let env = Env.create cfg in
+  let t = Blink.create env ~name:"t" in
+  for i = 0 to 199 do
+    Blink.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v"
+  done;
+  ignore (Env.drain env);
+  let s0 = Env.stats env in
+  Env.checkpoint ~mode:`Fuzzy env;
+  let s1 = Env.stats env in
+  Alcotest.(check int) "checkpoint counted" (s0.Env.checkpoints + 1)
+    s1.Env.checkpoints;
+  Alcotest.(check bool) "pages written back" true
+    (s1.Env.ckpt_pages_written > s0.Env.ckpt_pages_written);
+  Alcotest.(check bool) "records truncated" true
+    (s1.Env.ckpt_records_truncated > s0.Env.ckpt_records_truncated)
+
+let suites =
+  [
+    ( "checkpoint",
+      [
+        Alcotest.test_case "fuzzy with concurrent writers" `Quick
+          test_fuzzy_concurrent_with_writers;
+        Alcotest.test_case "fuzzy with concurrent aborts" `Quick
+          test_fuzzy_concurrent_with_aborts;
+        Alcotest.test_case "truncation floor" `Quick test_truncation_floor;
+        Alcotest.test_case "bounded restart" `Quick test_bounded_restart;
+        Alcotest.test_case "open_from after truncation" `Quick
+          test_open_from_after_truncation;
+        Alcotest.test_case "torn page after truncation" `Quick
+          test_torn_page_after_truncation;
+        Alcotest.test_case "open_from requires log_path" `Quick
+          test_open_from_requires_log_path;
+        Alcotest.test_case "checkpoint stats" `Quick test_ckpt_stats;
+      ] );
+  ]

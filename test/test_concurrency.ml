@@ -11,7 +11,8 @@ module Rng = Pitree_util.Rng
 
 let cfg ?(consolidation = true) () =
   {
-    Env.page_size = 512;
+    Env.default_config with
+    page_size = 512;
     pool_capacity = 8192;
     page_oriented_undo = false;
     consolidation;

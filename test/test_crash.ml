@@ -8,12 +8,13 @@
 module Env = Pitree_env.Env
 module Blink = Pitree_blink.Blink
 module Wellformed = Pitree_core.Wellformed
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Log_manager = Pitree_wal.Log_manager
 
 let cfg ?(page_oriented_undo = false) () =
   {
-    Env.page_size = 256;
+    Env.default_config with
+    page_size = 256;
     pool_capacity = 4096;
     page_oriented_undo;
     consolidation = true;

@@ -1,6 +1,6 @@
 (* Tests for the crash-point registry and arming machinery. *)
 
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 
 (* The global registry is shared with the engine modules (which register
    their points at module-init time), so tests use a distinct namespace

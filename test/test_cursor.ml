@@ -7,7 +7,7 @@ module Cursor = Pitree_blink.Cursor
 module Rng = Pitree_util.Rng
 
 let cfg ?(consolidation = true) () =
-  { Env.page_size = 256; pool_capacity = 4096; page_oriented_undo = false; consolidation }
+  { Env.default_config with page_size = 256; pool_capacity = 4096; page_oriented_undo = false; consolidation }
 
 let key i = Printf.sprintf "key%06d" i
 

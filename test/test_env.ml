@@ -11,7 +11,8 @@ module Env = Pitree_env.Env
 
 let cfg =
   {
-    Env.page_size = 256;
+    Env.default_config with
+    page_size = 256;
     pool_capacity = 256;
     page_oriented_undo = false;
     consolidation = true;

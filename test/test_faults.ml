@@ -264,7 +264,8 @@ let test_pool_absorbs_transient_writes () =
 
 let cfg =
   {
-    Env.page_size;
+    Env.default_config with
+    page_size;
     pool_capacity = 64;
     page_oriented_undo = false;
     consolidation = true;

@@ -16,12 +16,13 @@ module Blink = Pitree_blink.Blink
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Log_manager = Pitree_wal.Log_manager
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Wellformed = Pitree_core.Wellformed
 
 let cfg =
   {
-    Env.page_size = 512;
+    Env.default_config with
+    page_size = 512;
     pool_capacity = 8192;
     page_oriented_undo = false;
     consolidation = true;
@@ -42,7 +43,7 @@ let commit_one mgr t k =
 
 let test_commit_storm_durability () =
   with_file_log (fun log_path ->
-      let env = Env.create ~log_path cfg in
+      let env = Env.create { cfg with Env.log_path = Some log_path } in
       let t = Blink.create env ~name:"t" in
       let mgr = Env.txns env in
       let domains = 4 and per = 150 in
@@ -85,7 +86,7 @@ let test_commit_storm_durability () =
 let test_crash_between_sync_and_wakeup () =
   with_file_log (fun log_path ->
       Crash_point.disarm_all ();
-      let env = Env.create ~log_path cfg in
+      let env = Env.create { cfg with Env.log_path = Some log_path } in
       let t = Blink.create env ~name:"t" in
       let mgr = Env.txns env in
       commit_one mgr t "acked0";

@@ -9,7 +9,8 @@ module Rng = Pitree_util.Rng
 
 let cfg () =
   {
-    Env.page_size = 512;
+    Env.default_config with
+    page_size = 512;
     pool_capacity = 8192;
     page_oriented_undo = false;
     consolidation = false;
@@ -228,7 +229,7 @@ let test_crash_recovery () =
 let test_lazy_posting_after_crash () =
   (* Same protocol as the B-link engine: a split whose posting was lost to
      a crash is completed by later traversals through the sibling marker. *)
-  Pitree_txn.Crash_point.disarm_all ();
+  Pitree_util.Crash_point.disarm_all ();
   let env, t = mk () in
   let mgr = Env.txns env in
   let txn = Pitree_txn.Txn_mgr.begin_txn mgr Pitree_txn.Txn.User in

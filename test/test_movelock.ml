@@ -10,7 +10,8 @@ module Wellformed = Pitree_core.Wellformed
 
 let cfg () =
   {
-    Env.page_size = 256;
+    Env.default_config with
+    page_size = 256;
     pool_capacity = 4096;
     page_oriented_undo = true;
     consolidation = true;

@@ -9,7 +9,7 @@ module Tsb = Pitree_tsb.Tsb
 module Log_manager = Pitree_wal.Log_manager
 module Wellformed = Pitree_core.Wellformed
 
-let cfg = { Env.page_size = 512; pool_capacity = 512; page_oriented_undo = false; consolidation = true }
+let cfg = { Env.default_config with page_size = 512; pool_capacity = 512; page_oriented_undo = false; consolidation = true }
 
 let with_tmpdir f =
   let dir = Filename.temp_file "pitree" "" in
@@ -30,7 +30,8 @@ let test_clean_close_reopen () =
       let pages, wal = paths dir in
       (* "Process 1": create, load, close cleanly. *)
       let env =
-        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       let t = Blink.create env ~name:"t" in
       for i = 0 to 999 do
@@ -40,7 +41,8 @@ let test_clean_close_reopen () =
       Env.close env;
       (* "Process 2": reopen from the files. *)
       let env2 =
-        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       let report = Env.recover env2 in
       Alcotest.(check (list int)) "clean close: no losers" []
@@ -68,7 +70,8 @@ let test_unclean_stop_replays_log () =
       (* "Process 1": load and just stop — no close, no checkpoint. Commits
          forced the log file; most pages never reached the page file. *)
       let env =
-        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       let t = Blink.create env ~name:"t" in
       for i = 0 to 499 do
@@ -78,7 +81,8 @@ let test_unclean_stop_replays_log () =
       (* no close: simulate the process dying *)
       (* "Process 2". *)
       let env2 =
-        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       let report = Env.recover env2 in
       Alcotest.(check bool) "log replayed" true (report.Pitree_wal.Recovery.redone > 0);
@@ -91,7 +95,8 @@ let test_torn_log_tail_discarded () =
   with_tmpdir (fun dir ->
       let pages, wal = paths dir in
       let env =
-        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       let t = Blink.create env ~name:"t" in
       for i = 0 to 199 do
@@ -105,7 +110,8 @@ let test_torn_log_tail_discarded () =
       Unix.ftruncate fd (size - 7);
       Unix.close fd;
       let env2 =
-        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       ignore (Env.recover env2);
       let t2 = Option.get (Blink.open_existing env2 ~name:"t") in
@@ -122,14 +128,16 @@ let test_tsb_persists () =
   with_tmpdir (fun dir ->
       let pages, wal = paths dir in
       let env =
-        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.create ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       let t = Tsb.create env ~name:"v" in
       let t1 = Tsb.put t ~key:"k" ~value:"old" in
       ignore (Tsb.put t ~key:"k" ~value:"new");
       Env.close env;
       let env2 =
-        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages) ~log_path:wal cfg
+        Env.open_from ~disk:(Disk.file ~page_size:512 ~path:pages)
+          { cfg with Env.log_path = Some wal }
       in
       ignore (Env.recover env2);
       let t2 = Option.get (Tsb.open_existing env2 ~name:"v") in

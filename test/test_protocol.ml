@@ -10,13 +10,13 @@ module Lock_manager = Pitree_lock.Lock_manager
 module Lock_mode = Pitree_lock.Lock_mode
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 module Log_manager = Pitree_wal.Log_manager
 module Rng = Pitree_util.Rng
 
 let cfg ?(page_size = 256) ?(pool = 4096) ?(page_oriented_undo = false)
     ?(consolidation = true) () =
-  { Env.page_size; pool_capacity = pool; page_oriented_undo; consolidation }
+  { Env.default_config with page_size; pool_capacity = pool; page_oriented_undo; consolidation }
 
 let key i = Printf.sprintf "key%06d" i
 

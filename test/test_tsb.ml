@@ -7,7 +7,8 @@ module Ordkey = Pitree_util.Ordkey
 
 let cfg () =
   {
-    Env.page_size = 512;
+    Env.default_config with
+    page_size = 512;
     pool_capacity = 8192;
     page_oriented_undo = false;
     consolidation = false;

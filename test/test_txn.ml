@@ -12,7 +12,7 @@ module Lock_mode = Pitree_lock.Lock_mode
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Atomic_action = Pitree_txn.Atomic_action
-module Crash_point = Pitree_txn.Crash_point
+module Crash_point = Pitree_util.Crash_point
 
 let setup () =
   let disk = Disk.in_memory ~page_size:256 in

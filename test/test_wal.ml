@@ -117,7 +117,25 @@ let test_log_record_codec () =
           Log_record.Clr
             { page = 9; op = Page_op.Insert_slot { slot = 1; cell = "x" }; undo_next = 3 };
       };
-      { lsn = 8; prev = 0; txn = 0; body = Log_record.Checkpoint { active = [ (5, 6); (7, 2) ] } };
+      {
+        lsn = 8;
+        prev = 0;
+        txn = 0;
+        body = Log_record.Page_image { page = 4; image = String.make 64 '\xAB' };
+      };
+      { lsn = 8; prev = 0; txn = 0; body = Log_record.Begin_checkpoint };
+      {
+        lsn = 9;
+        prev = 0;
+        txn = 0;
+        body =
+          Log_record.End_checkpoint
+            {
+              begin_lsn = 8;
+              dpt = [ (9, 4); (12, 7) ];
+              att = [ (5, 6, false); (7, 2, true) ];
+            };
+      };
     ]
 
 let test_log_record_crc () =
@@ -169,7 +187,7 @@ let test_truncation () =
   (* Nothing durable yet: truncation is clamped to a no-op. *)
   Alcotest.(check int) "clamped to durable" 0 (Log_manager.truncate log ~keep_from:l5);
   Log_manager.flush_all log;
-  Log_manager.set_redo_start log l5;
+  Log_manager.set_checkpoint log ~lsn:l5 ~redo:l5;
   Alcotest.(check int) "discards prefix" 4 (Log_manager.truncate log ~keep_from:l5);
   (* Truncated reads fail loudly; surviving reads fine. *)
   Alcotest.(check bool) "read below truncation raises" true
@@ -196,7 +214,7 @@ let test_truncation_respects_active_txn () =
   let module Blink = Pitree_blink.Blink in
   let env =
     Env.create
-      { Env.page_size = 256; pool_capacity = 2048; page_oriented_undo = false; consolidation = true }
+      { Env.default_config with page_size = 256; pool_capacity = 2048; page_oriented_undo = false; consolidation = true }
   in
   let t = Blink.create env ~name:"t" in
   let mgr = Pitree_env.Env.txns env in
