@@ -318,10 +318,171 @@ let persist_cmd =
        ~doc:"Create a file-backed database, or --reopen one from a previous run (cross-process recovery).")
     Term.(const persist $ dir_arg $ persist_n_arg $ reopen_arg)
 
+(* --- sim --- *)
+
+let sim engine threads ops keys preload seed walks systematic depth preemptions
+    max_schedules bug expect_bug replay_s quiet =
+  let module Scenario = Pitree_sim.Scenario in
+  let module Sim = Pitree_sim.Sim in
+  let engine =
+    match Scenario.engine_of_string engine with
+    | Some e -> e
+    | None -> failwith "unknown engine (blink|tsb|hb)"
+  in
+  let bug =
+    match bug with
+    | "none" -> Blink.Testing.No_bug
+    | "early-unlatch" -> Blink.Testing.Early_unlatch_split
+    | "bad-post-sep" -> Blink.Testing.Bad_post_sep
+    | _ -> failwith "unknown bug (none|early-unlatch|bad-post-sep)"
+  in
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.engine;
+      threads;
+      ops_per_thread = ops;
+      key_space = keys;
+      preload;
+      seed;
+      bug;
+    }
+  in
+  let say fmt =
+    if quiet then Format.ifprintf Format.std_formatter fmt
+    else Format.printf fmt
+  in
+  let report_failure what (r : Scenario.report) sched =
+    Format.printf "%s FOUND a failing schedule@." what;
+    Format.printf "  %a@." Scenario.pp_report r;
+    let minimized = Scenario.minimize cfg sched in
+    Format.printf
+      "  replay: pitree sim --engine %s --threads %d --ops %d --keys %d \
+       --preload %d --seed %Ld %s--replay '%s'@."
+      (Scenario.engine_to_string engine)
+      threads ops keys preload seed
+      (match bug with
+      | Blink.Testing.No_bug -> ""
+      | Blink.Testing.Early_unlatch_split -> "--bug early-unlatch "
+      | Blink.Testing.Bad_post_sep -> "--bug bad-post-sep ")
+      (Sim.schedule_to_string minimized)
+  in
+  let found = ref false in
+  (match replay_s with
+  | Some s ->
+      let sched = Sim.schedule_of_string s in
+      let r = Scenario.replay cfg sched in
+      Format.printf "replay: %a@." Scenario.pp_report r;
+      if Scenario.failed r then found := true
+  | None ->
+      if systematic then begin
+        let stats, failing =
+          Scenario.systematic ~max_preemptions:preemptions ~branch_depth:depth
+            ~max_schedules cfg
+        in
+        say "systematic: %d schedules run, %d branches pruned@."
+          stats.Sim.schedules_run stats.Sim.pruned;
+        match failing with
+        | Some (prefix, r) ->
+            found := true;
+            report_failure "systematic" r
+              (match (Scenario.outcome_of r).Sim.failure with
+              | Some _ -> r.Scenario.outcome.Sim.schedule
+              | None -> prefix)
+        | None -> ()
+      end;
+      if (not !found) && walks > 0 then begin
+        let done_, failing = Scenario.random_walks cfg ~walks ~seed in
+        say "random walks: %d run@." done_;
+        match failing with
+        | Some (wseed, r) ->
+            found := true;
+            Format.printf "walk seed %Ld failed@." wseed;
+            report_failure "random walk" r r.Scenario.outcome.Sim.schedule
+        | None -> ()
+      end);
+  if expect_bug then
+    if !found then begin
+      say "expected bug caught by the oracle@.";
+      0
+    end
+    else begin
+      Format.printf "EXPECTED a failure but every schedule passed@.";
+      1
+    end
+  else if !found then 1
+  else begin
+    say "all schedules passed (linearizable, well-formed)@.";
+    0
+  end
+
+let sim_engine_arg =
+  Arg.(value & opt string "blink" & info [ "engine" ] ~docv:"ENGINE" ~doc:"blink, tsb or hb.")
+
+let sim_threads_arg =
+  Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Logical threads (fibers).")
+
+let sim_ops_arg =
+  Arg.(value & opt int 4 & info [ "ops" ] ~doc:"Operations per thread.")
+
+let sim_keys_arg =
+  Arg.(value & opt int 24 & info [ "keys" ] ~doc:"Distinct keys in the op stream.")
+
+let sim_preload_arg =
+  Arg.(value & opt int 8 & info [ "preload" ] ~doc:"Keys inserted before the run.")
+
+let sim_seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Op-stream and walk master seed.")
+
+let sim_walks_arg =
+  Arg.(value & opt int 200 & info [ "walks" ] ~doc:"Random-walk schedules to try.")
+
+let sim_systematic_arg =
+  Arg.(value & flag & info [ "systematic" ] ~doc:"Run the preemption-bounded DFS first.")
+
+let sim_depth_arg =
+  Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Systematic branch depth (decisions).")
+
+let sim_preemptions_arg =
+  Arg.(value & opt int 2 & info [ "preemptions" ] ~doc:"Systematic preemption bound.")
+
+let sim_max_schedules_arg =
+  Arg.(value & opt int 2000 & info [ "max-schedules" ] ~doc:"Systematic schedule cap.")
+
+let sim_bug_arg =
+  Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG"
+         ~doc:"Inject a protocol bug: none, early-unlatch or bad-post-sep (blink only).")
+
+let sim_expect_bug_arg =
+  Arg.(value & flag & info [ "expect-bug" ]
+         ~doc:"Exit 0 iff a failing schedule IS found (oracle validation).")
+
+let sim_replay_arg =
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"SCHEDULE"
+         ~doc:"Replay a comma-separated decision list instead of exploring.")
+
+let sim_quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only report failures.")
+
+let sim_cmd =
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Deterministic schedule exploration: run N logical threads over a \
+          tree under controlled interleavings (seeded random walks and/or \
+          preemption-bounded systematic search), checking linearizability \
+          against a map model and well-formedness at quiesced yield points. \
+          Failures print a minimized, replayable schedule.")
+    Term.(
+      const sim $ sim_engine_arg $ sim_threads_arg $ sim_ops_arg $ sim_keys_arg
+      $ sim_preload_arg $ sim_seed_arg $ sim_walks_arg $ sim_systematic_arg
+      $ sim_depth_arg $ sim_preemptions_arg $ sim_max_schedules_arg
+      $ sim_bug_arg $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
+
 let main =
   Cmd.group
     (Cmd.info "pitree" ~version:"1.0.0"
        ~doc:"Pi-tree index structures with concurrency and recovery (Lomet & Salzberg, SIGMOD 1992).")
-    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd ]
+    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd; sim_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -147,6 +147,13 @@ let promote fr =
 
 let page fr = fr.Buffer_pool.page
 
+(* Test-only protocol-bug injection (validated by lib/sim's schedule
+   explorer): deliberately break the split protocol so the oracles —
+   linearizability and well-formedness — can be shown to catch it. *)
+type injected_bug = No_bug | Early_unlatch_split | Bad_post_sep
+
+let injected_bug = ref No_bug
+
 (* Logged page update under [txn]; caller holds the X latch. *)
 let update t txn fr op = ignore (Txn_mgr.update (mgr t) txn fr op)
 
@@ -414,6 +421,15 @@ let split_node t txn fr ~pending =
     let cell = Page.get p (Node.slot_of_entry i) in
     update t txn fr (Page_op.Delete_slot { slot = Node.slot_of_entry i; cell })
   done;
+  (* Injected bug 1: drop the X latch after moving the upper records out
+     but before shrinking the fence — a reader slipping into the window
+     sees the node still claiming [low, old high) with those records
+     gone, and wrongly reports their keys absent. *)
+  if !injected_bug = Early_unlatch_split then begin
+    unlatch fr Latch.X;
+    Pitree_util.Sched_hook.yield Point "blink.bug.window";
+    latch fr Latch.X
+  end;
   update t txn fr
     (Page_op.Replace_slot
        {
@@ -624,6 +640,14 @@ let do_post_action t ~level ~path ~address ~key =
               else begin
                 promote fr;
                 Crash_point.hit "blink.post.latched";
+                (* Injected bug 2: post a separator one byte short, so the
+                   index term claims space the child is not responsible
+                   for (well-formedness condition 3). *)
+                let sep =
+                  if !injected_bug = Bad_post_sep && String.length sep > 1
+                  then String.sub sep 0 (String.length sep - 1)
+                  else sep
+                in
                 (* 3. Space Test. *)
                 let cell = Node.index_term_cell ~sep ~child:sib in
                 let this_level = Page.level (page fr) in
@@ -1520,4 +1544,11 @@ module Internal = struct
       end;
       Some sfr
     end
+end
+
+module Testing = struct
+  type bug = injected_bug = No_bug | Early_unlatch_split | Bad_post_sep
+
+  let set_bug b = injected_bug := b
+  let bug () = !injected_bug
 end

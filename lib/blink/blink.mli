@@ -126,6 +126,27 @@ val pending_postings : t -> int
 val dump : t -> Format.formatter -> unit
 (** Debug rendering of the whole tree. *)
 
+(** {2 Test-only protocol-bug injection}
+
+    Used by the deterministic schedule explorer (lib/sim) to validate its
+    oracles: each bug deliberately violates the split protocol in a way
+    one of the checkers must catch. Global and sticky — callers reset to
+    [No_bug] when done. *)
+module Testing : sig
+  type bug =
+    | No_bug
+    | Early_unlatch_split
+        (** drop the X latch mid-split, after the upper records moved out
+            but before the fence shrinks (caught by the linearizability
+            checker: a reader in the window misses committed keys) *)
+    | Bad_post_sep
+        (** post the index term with a separator one byte short (caught
+            by [Wellformed.check] condition 3) *)
+
+  val set_bug : bug -> unit
+  val bug : unit -> bug
+end
+
 (**/**)
 
 (** Internal access for {!Cursor} (same library); not part of the public

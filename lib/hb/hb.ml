@@ -752,12 +752,21 @@ let rec logical_undo t ~comp ~txn ~prev ~undo_next =
             unpin t fr;
             Lsn.null
           end
-          else begin
+          else if
+            String.length cell <= String.length old_cell
+            || Page.will_fit p (String.length cell)
+          then begin
             promote fr;
             let lsn = apply_clr (Page_op.Replace_slot { slot; old_cell; new_cell = cell }) in
             unlatch fr Latch.X;
             unpin t fr;
             lsn
+          end
+          else begin
+            unlatch fr Latch.U;
+            unpin t fr;
+            split_for_insert t ~point ~need:(String.length cell);
+            logical_undo t ~comp ~txn ~prev ~undo_next
           end
       | None ->
           if Page.will_fit p (String.length cell + Page.slot_overhead) then begin
@@ -863,15 +872,26 @@ let insert t ~point ~value =
         in
         match find_record p point with
         | Some (slot, _) ->
-            promote fr;
             let old_cell = Page.get p slot in
-            ignore
-              (Txn_mgr.update
-                 ?lundo:(lundo (Logical.Put { cell = old_cell }))
-                 (mgr t) txn fr
-                 (Page_op.Replace_slot { slot; old_cell; new_cell = cell }));
-            unlatch fr Latch.X;
-            unpin t fr
+            if
+              String.length cell <= String.length old_cell
+              || Page.will_fit p (String.length cell)
+            then begin
+              promote fr;
+              ignore
+                (Txn_mgr.update
+                   ?lundo:(lundo (Logical.Put { cell = old_cell }))
+                   (mgr t) txn fr
+                   (Page_op.Replace_slot { slot; old_cell; new_cell = cell }));
+              unlatch fr Latch.X;
+              unpin t fr
+            end
+            else begin
+              unlatch fr Latch.U;
+              unpin t fr;
+              split_for_insert t ~point ~need:(String.length cell);
+              attempt (tries + 1)
+            end
         | None ->
             if Page.will_fit p (String.length cell + Page.slot_overhead) then begin
               promote fr;

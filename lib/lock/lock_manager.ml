@@ -289,6 +289,28 @@ let acquire_inner t ~owner res mode ~block =
             wait_loop ()
           end
         in
+        (* Under the simulator, park the fiber instead of sleeping on the
+           condvar: every fiber shares one thread, so a real wait would
+           hang the scheduler.  The grant protocol is unchanged — the
+           releaser's [pump] still sets [w_granted] in FIFO order. *)
+        let rec sim_wait_loop label =
+          if w.w_granted then ()
+          else begin
+            Mutex.unlock st.mu;
+            (try
+               Pitree_util.Sched_hook.wait Lock label (fun () -> w.w_granted)
+             with e ->
+               Mutex.lock st.mu;
+               raise e);
+            Mutex.lock st.mu;
+            sim_wait_loop label
+          end
+        in
+        let wait_loop () =
+          if Pitree_util.Sched_hook.active () then
+            sim_wait_loop (Fmt.str "%a" pp_resource res)
+          else wait_loop ()
+        in
         (* The releaser performs the grant (sets w_granted and updates
            q.granted) so that FIFO order is respected at wake-up time. *)
         (try wait_loop ()

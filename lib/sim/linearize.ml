@@ -1,0 +1,120 @@
+module SMap = Map.Make (String)
+
+type op =
+  | Get of string
+  | Put of string * string
+  | Del of string
+  | Blind_del of string
+  | Range of string option * string option
+
+type res =
+  | Value of string option
+  | Ok_put
+  | Deleted of bool
+  | Keys of (string * string) list
+
+type event = { fiber : int; op : op; res : res; inv : int; ret : int }
+
+type verdict = Linearizable | Illegal of string
+
+let apply op (m : string SMap.t) : res * string SMap.t =
+  match op with
+  | Get k -> (Value (SMap.find_opt k m), m)
+  | Put (k, v) -> (Ok_put, SMap.add k v m)
+  | Del k -> (Deleted (SMap.mem k m), SMap.remove k m)
+  | Blind_del k -> (Ok_put, SMap.remove k m)
+  | Range (lo, hi) ->
+      let inside k =
+        (match lo with None -> true | Some l -> String.compare l k <= 0)
+        && match hi with None -> true | Some h -> String.compare k h < 0
+      in
+      (Keys (List.filter (fun (k, _) -> inside k) (SMap.bindings m)), m)
+
+let pp_op ppf = function
+  | Get k -> Format.fprintf ppf "get %S" k
+  | Put (k, v) -> Format.fprintf ppf "put %S=%S" k v
+  | Del k -> Format.fprintf ppf "del %S" k
+  | Blind_del k -> Format.fprintf ppf "bdel %S" k
+  | Range (lo, hi) ->
+      let s = function None -> "-inf" | Some k -> Printf.sprintf "%S" k in
+      Format.fprintf ppf "range [%s,%s)" (s lo) (s hi)
+
+let pp_res ppf = function
+  | Value None -> Format.fprintf ppf "none"
+  | Value (Some v) -> Format.fprintf ppf "%S" v
+  | Ok_put -> Format.fprintf ppf "ok"
+  | Deleted b -> Format.fprintf ppf "deleted=%b" b
+  | Keys kvs -> Format.fprintf ppf "%d keys" (List.length kvs)
+
+let pp_event ppf e =
+  Format.fprintf ppf "[f%d %d..%d] %a -> %a" e.fiber e.inv e.ret pp_op e.op
+    pp_res e.res
+
+let pp_verdict ppf = function
+  | Linearizable -> Format.fprintf ppf "linearizable"
+  | Illegal m -> Format.fprintf ppf "NOT linearizable: %s" m
+
+exception Found
+
+let check ?(init = []) (hist : event list) : verdict =
+  let evs = Array.of_list hist in
+  let n = Array.length evs in
+  if n = 0 then Linearizable
+  else begin
+    let m0 = List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty init in
+    (* i must precede j iff i returned before j was invoked *)
+    let preds =
+      Array.init n (fun j ->
+          let acc = ref [] in
+          for i = n - 1 downto 0 do
+            if evs.(i).ret < evs.(j).inv then acc := i :: !acc
+          done;
+          !acc)
+    in
+    let seen = Hashtbl.create 1024 in
+    let serialize m =
+      SMap.fold (fun k v acc -> acc ^ k ^ "\001" ^ v ^ "\002") m ""
+    in
+    let bits = Bytes.make n '0' in
+    let deepest = ref 0 in
+    let stuck_example = ref None in
+    let rec go count m =
+      if count = n then raise Found;
+      if count > !deepest then begin
+        deepest := count;
+        stuck_example := None
+      end;
+      for i = 0 to n - 1 do
+        if
+          Bytes.get bits i = '0'
+          && List.for_all (fun p -> Bytes.get bits p = '1') preds.(i)
+        then begin
+          let r, m' = apply evs.(i).op m in
+          if r = evs.(i).res then begin
+            Bytes.set bits i '1';
+            let key = Bytes.to_string bits ^ "|" ^ serialize m' in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              go (count + 1) m'
+            end;
+            Bytes.set bits i '0'
+          end
+          else if count = !deepest && !stuck_example = None then
+            stuck_example := Some (evs.(i), r)
+        end
+      done
+    in
+    match go 0 m0 with
+    | () ->
+        let detail =
+          match !stuck_example with
+          | Some (e, model_res) ->
+              Format.asprintf "; e.g. %a but a legal map gives %a" pp_event e
+                pp_res model_res
+          | None -> ""
+        in
+        Illegal
+          (Printf.sprintf "no legal order for %d ops (best prefix %d)%s" n
+             !deepest detail)
+    | exception Found -> Linearizable
+  end

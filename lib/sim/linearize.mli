@@ -1,0 +1,35 @@
+(** Wing–Gong-style linearizability checker for key-value histories.
+
+    A history is a set of operations, each with an invocation and a
+    return stamp from {!Sim.stamp}. The checker searches for a total
+    order that (a) respects real time — an operation that returned before
+    another was invoked comes first — and (b) replays legally against a
+    sequential string map. The search places one minimal (unpreceded)
+    pending operation at a time, memoized on (placed-set, map state), per
+    Wing & Gong 1993. Exponential in the worst case; fine for the short
+    histories the schedule explorer produces (tens of operations). *)
+
+type op =
+  | Get of string
+  | Put of string * string
+  | Del of string  (** observed presence: result carries a bool *)
+  | Blind_del of string  (** tombstone write, no observed presence (TSB) *)
+  | Range of string option * string option  (** fold over [low, high) *)
+
+type res =
+  | Value of string option  (** for [Get] *)
+  | Ok_put  (** for [Put] and [Blind_del] *)
+  | Deleted of bool  (** for [Del] *)
+  | Keys of (string * string) list  (** for [Range], in key order *)
+
+type event = { fiber : int; op : op; res : res; inv : int; ret : int }
+
+type verdict = Linearizable | Illegal of string
+
+val check : ?init:(string * string) list -> event list -> verdict
+(** [init] is the map contents before any operation ran (the preload). *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_res : Format.formatter -> res -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,272 @@
+module Rng = Pitree_util.Rng
+module Env = Pitree_env.Env
+module Wellformed = Pitree_core.Wellformed
+module Blink = Pitree_blink.Blink
+module Tsb = Pitree_tsb.Tsb
+module Hb = Pitree_hb.Hb
+
+type engine = Blink | Tsb | Hb
+
+let engine_of_string = function
+  | "blink" -> Some Blink
+  | "tsb" -> Some Tsb
+  | "hb" -> Some Hb
+  | _ -> None
+
+let engine_to_string = function Blink -> "blink" | Tsb -> "tsb" | Hb -> "hb"
+
+type cfg = {
+  engine : engine;
+  threads : int;
+  ops_per_thread : int;
+  key_space : int;
+  preload : int;
+  seed : int64;
+  page_size : int;
+  consolidation : bool;
+  check_wellformed : bool;
+  check_every : int;
+  bug : Pitree_blink.Blink.Testing.bug;
+  max_steps : int;
+}
+
+let default =
+  {
+    engine = Blink;
+    threads = 3;
+    ops_per_thread = 4;
+    key_space = 24;
+    preload = 8;
+    seed = 1L;
+    page_size = 512;
+    consolidation = false;
+    check_wellformed = true;
+    check_every = 1;
+    bug = Pitree_blink.Blink.Testing.No_bug;
+    max_steps = 200_000;
+  }
+
+type report = {
+  outcome : Sim.outcome;
+  verdict : Linearize.verdict option;
+  history : Linearize.event list;
+  wf_errors : string option;
+}
+
+let failed r =
+  r.outcome.Sim.failure <> None
+  || r.wf_errors <> None
+  || match r.verdict with Some (Linearize.Illegal _) -> true | _ -> false
+
+let outcome_of r =
+  match r.outcome.Sim.failure with
+  | Some _ -> r.outcome
+  | None ->
+      let failure =
+        match (r.wf_errors, r.verdict) with
+        | Some m, _ ->
+            Some
+              (Sim.Invariant_violation
+                 { step = r.outcome.Sim.steps; message = "final wellformed: " ^ m })
+        | None, Some (Linearize.Illegal m) ->
+            Some
+              (Sim.Invariant_violation
+                 { step = r.outcome.Sim.steps; message = "linearizability: " ^ m })
+        | _ -> None
+      in
+      { r.outcome with Sim.failure }
+
+(* Deterministic substrate: in-memory disk and log, serial WAL (the
+   group-commit leader election reads real state), one pool shard, no
+   checkpoint triggers, pool big enough that eviction never runs. *)
+let make_env cfg =
+  Env.create
+    {
+      Env.default_config with
+      page_size = cfg.page_size;
+      pool_capacity = 4096;
+      consolidation = cfg.consolidation;
+      wal_group_commit = false;
+      pool_shards = Some 1;
+      log_path = None;
+      ckpt_log_bytes = None;
+      ckpt_interval_s = None;
+    }
+
+let key cfg i = Printf.sprintf "k%04d" (i mod cfg.key_space)
+
+(* hB points are derived from the key index: distinct keys map to
+   distinct points, deterministically. *)
+let point_of_key k =
+  let i = int_of_string (String.sub k 1 (String.length k - 1)) in
+  [| float_of_int i; float_of_int ((i * 7) mod 64) |]
+
+type handle = H_blink of Blink.t | H_tsb of Tsb.t | H_hb of Hb.t
+
+let make_tree cfg env =
+  match cfg.engine with
+  | Blink -> H_blink (Blink.create env ~name:"sim")
+  | Tsb -> H_tsb (Tsb.create env ~name:"sim")
+  | Hb -> H_hb (Hb.create env ~name:"sim" ~dims:2)
+
+let exec handle (op : Linearize.op) : Linearize.res =
+  match (handle, op) with
+  | H_blink t, Get k -> Value (Blink.find t k)
+  | H_blink t, Put (k, v) ->
+      Blink.insert t ~key:k ~value:v;
+      Ok_put
+  | H_blink t, Del k -> Deleted (Blink.delete t k)
+  | H_blink t, Blind_del k ->
+      ignore (Blink.delete t k);
+      Ok_put
+  | H_blink t, Range (lo, hi) ->
+      Keys
+        (List.rev
+           (Blink.range t ?low:lo ?high:hi ~init:[] ~f:(fun acc k v ->
+                (k, v) :: acc)))
+  | H_tsb t, Get k -> Value (Tsb.get t k)
+  | H_tsb t, Put (k, v) ->
+      ignore (Tsb.put t ~key:k ~value:v);
+      Ok_put
+  | H_tsb t, Blind_del k ->
+      ignore (Tsb.remove t k);
+      Ok_put
+  | H_tsb _, (Del _ | Range _) ->
+      invalid_arg "Scenario.exec: unsupported TSB op"
+  | H_hb t, Get k -> Value (Hb.find t (point_of_key k))
+  | H_hb t, Put (k, v) ->
+      Hb.insert t ~point:(point_of_key k) ~value:v;
+      Ok_put
+  | H_hb t, Del k -> Deleted (Hb.delete t (point_of_key k))
+  | H_hb t, Blind_del k ->
+      ignore (Hb.delete t (point_of_key k));
+      Ok_put
+  | H_hb _, Range _ -> invalid_arg "Scenario.exec: unsupported hB op"
+
+let verify_handle = function
+  | H_blink t -> Blink.verify t
+  | H_tsb t -> Tsb.verify t
+  | H_hb t -> Hb.verify t
+
+let wf_of_report r =
+  if Wellformed.ok r then None
+  else Some (Format.asprintf "%a" Wellformed.pp_report r)
+
+(* Scripts are fully generated before the run so the op stream depends
+   only on [cfg.seed], never on the schedule. Run-phase values are padded
+   well past the preload values so overwrites grow their leaf and splits
+   happen *during* the run — the interleavings of multi-action structure
+   changes are the whole point. *)
+let gen_script cfg rng tid : Linearize.op list =
+  List.init cfg.ops_per_thread (fun j ->
+      let r = Rng.int rng 100 in
+      let k = key cfg (Rng.int rng cfg.key_space) in
+      if r < 50 then
+        Linearize.Put (k, Printf.sprintf "t%d.%d.%s" tid j (String.make 60 'x'))
+      else if r < 75 then Linearize.Get k
+      else if r < 90 then
+        match cfg.engine with
+        | Tsb -> Linearize.Blind_del k
+        | Blink | Hb -> Linearize.Del k
+      else
+        match cfg.engine with
+        | Blink ->
+            let k2 = key cfg (Rng.int rng cfg.key_space) in
+            let lo, hi = if k <= k2 then (k, k2) else (k2, k) in
+            Linearize.Range (Some lo, Some hi)
+        | Tsb | Hb -> Linearize.Get k)
+
+let run cfg ~policy =
+  let env = make_env cfg in
+  Fun.protect ~finally:(fun () ->
+      Blink.Testing.set_bug Blink.Testing.No_bug;
+      try Env.close env with _ -> ())
+  @@ fun () ->
+  let handle = make_tree cfg env in
+  let init =
+    List.init cfg.preload (fun i -> (key cfg i, Printf.sprintf "init.%d" i))
+  in
+  List.iter (fun (k, v) -> ignore (exec handle (Linearize.Put (k, v)))) init;
+  ignore (Env.drain env);
+  Blink.Testing.set_bug cfg.bug;
+  let master = Rng.create cfg.seed in
+  let scripts = List.init cfg.threads (fun tid -> gen_script cfg (Rng.split master) tid) in
+  let histories = Array.make cfg.threads [] in
+  let bodies =
+    List.mapi
+      (fun tid script () ->
+        List.iter
+          (fun op ->
+            let inv = Sim.stamp () in
+            let res = exec handle op in
+            let ret = Sim.stamp () in
+            histories.(tid) <-
+              { Linearize.fiber = tid; op; res; inv; ret } :: histories.(tid))
+          script)
+      scripts
+  in
+  let invariant =
+    if cfg.check_wellformed then
+      Some (fun () -> wf_of_report (verify_handle handle))
+    else None
+  in
+  let outcome =
+    Sim.run
+      { Sim.policy; max_steps = cfg.max_steps; invariant; check_every = cfg.check_every }
+      bodies
+  in
+  (* The injected bug stays armed through the post-run drain: postings the
+     schedule left queued must misbehave the same way mid-run ones do. The
+     [Fun.protect] finally disarms it. *)
+  let history =
+    List.concat_map (fun h -> List.rev h) (Array.to_list histories)
+  in
+  match outcome.Sim.failure with
+  | Some _ -> { outcome; verdict = None; history; wf_errors = None }
+  | None ->
+      ignore (Env.drain env);
+      let wf_errors = wf_of_report (verify_handle handle) in
+      let verdict = Some (Linearize.check ~init history) in
+      { outcome; verdict; history; wf_errors }
+
+let replay cfg schedule = run cfg ~policy:(Sim.Replay schedule)
+
+let walk_seed base i =
+  Int64.add base (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (i + 1)))
+
+let random_walks cfg ~walks ~seed =
+  let rec go i =
+    if i >= walks then (walks, None)
+    else begin
+      let ws = walk_seed seed i in
+      let r = run cfg ~policy:(Sim.Walk ws) in
+      if failed r then (i + 1, Some (ws, r)) else go (i + 1)
+    end
+  in
+  go 0
+
+let systematic ?max_preemptions ?branch_depth ?max_schedules cfg =
+  let last = ref None in
+  let stats, failing =
+    Sim.explore ?max_preemptions ?branch_depth ?max_schedules
+      ~run:(fun prefix ->
+        let r = run cfg ~policy:(Sim.Replay prefix) in
+        last := Some r;
+        outcome_of r)
+      ()
+  in
+  match failing with
+  | None -> (stats, None)
+  | Some (prefix, _) -> (
+      match !last with
+      | Some r -> (stats, Some (prefix, r))
+      | None -> (stats, None))
+
+let minimize cfg schedule =
+  Sim.minimize ~run:(fun prefix -> outcome_of (replay cfg prefix)) schedule
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a" Sim.pp_outcome (outcome_of r);
+  match r.verdict with
+  | Some v -> Format.fprintf ppf "; history %d ops: %a" (List.length r.history) Linearize.pp_verdict v
+  | None -> ()

@@ -1,0 +1,71 @@
+(** Ready-made sim scenarios over the three tree engines.
+
+    A scenario builds a deterministic environment (in-memory disk, serial
+    WAL, single pool shard, no checkpoint triggers), preloads a tree,
+    generates per-fiber operation scripts from [cfg.seed], runs them under
+    {!Sim.run} with the requested policy, and judges the result with three
+    oracles: the per-step quiesced {!Pitree_core.Wellformed} invariant, a
+    final well-formedness check after draining pending postings, and the
+    {!Linearize} checker over the recorded history. *)
+
+type engine = Blink | Tsb | Hb
+
+val engine_of_string : string -> engine option
+val engine_to_string : engine -> string
+
+type cfg = {
+  engine : engine;
+  threads : int;
+  ops_per_thread : int;
+  key_space : int;  (** distinct keys: "k0000" .. *)
+  preload : int;  (** keys inserted (and modeled) before the run *)
+  seed : int64;  (** operation-stream seed (orthogonal to the walk seed) *)
+  page_size : int;
+  consolidation : bool;
+  check_wellformed : bool;  (** re-check §2.1.3 at quiesced yield points *)
+  check_every : int;
+  bug : Pitree_blink.Blink.Testing.bug;  (** blink only; ignored otherwise *)
+  max_steps : int;
+}
+
+val default : cfg
+(** 3 fibers x 4 ops, 24 keys, 8 preloaded, 512-byte pages, CNS, blink. *)
+
+type report = {
+  outcome : Sim.outcome;
+  verdict : Linearize.verdict option;  (** [None] if the run itself failed *)
+  history : Linearize.event list;
+  wf_errors : string option;  (** final well-formedness, post-drain *)
+}
+
+val failed : report -> bool
+(** Any oracle objected: run failure, final wf errors, or an illegal
+    history. *)
+
+val run : cfg -> policy:Sim.policy -> report
+
+val outcome_of : report -> Sim.outcome
+(** The run's outcome with post-run oracle verdicts folded into
+    [failure], so {!Sim.explore} / {!Sim.minimize} see them. *)
+
+val random_walks :
+  cfg -> walks:int -> seed:int64 -> int * (int64 * report) option
+(** Run up to [walks] seeded random schedules (walk i's seed derives from
+    [seed] and i, printed on failure). Returns (walks completed, first
+    failure as (walk seed, report)). *)
+
+val systematic :
+  ?max_preemptions:int ->
+  ?branch_depth:int ->
+  ?max_schedules:int ->
+  cfg ->
+  Sim.explore_stats * (int list * report) option
+(** Preemption-bounded DFS via {!Sim.explore}. *)
+
+val minimize : cfg -> int list -> int list
+(** Shrink a failing schedule to its shortest failing prefix. *)
+
+val replay : cfg -> int list -> report
+(** [run cfg ~policy:(Replay s)]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,405 @@
+module Sched_hook = Pitree_util.Sched_hook
+module Rng = Pitree_util.Rng
+
+type kind = Sched_hook.kind = Acquire | Release | Lock | Cond | Point
+
+exception Aborted
+
+type event = { step : int; fiber : int; kind : kind; label : string }
+
+type choice = {
+  enabled : (int * string) list;
+  chosen : int;
+  preempted : bool;
+}
+
+type failure =
+  | Deadlock of (int * string) list
+  | Invariant_violation of { step : int; message : string }
+  | Fiber_raised of { fiber : int; message : string }
+  | Replay_divergence of { at : int; message : string }
+  | Out_of_steps
+
+type outcome = {
+  schedule : int list;
+  choices : choice list;
+  events : event list;
+  steps : int;
+  failure : failure option;
+}
+
+type policy = Walk of int64 | Replay of int list
+
+type config = {
+  policy : policy;
+  max_steps : int;
+  invariant : (unit -> string option) option;
+  check_every : int;
+}
+
+let default_config =
+  { policy = Walk 1L; max_steps = 200_000; invariant = None; check_every = 1 }
+
+(* ---------- fibers ---------- *)
+
+type _ Effect.t +=
+  | Yield : (kind * string) -> unit Effect.t
+  | Park : (kind * string * (unit -> bool)) -> unit Effect.t
+
+type fstate =
+  | Ready of string  (* parked at a yield; label = where *)
+  | Waiting of string * (unit -> bool)
+  | Done
+  | Raised of exn
+
+type fiber = {
+  id : int;
+  mutable st : fstate;
+  mutable k : (unit, unit) Effect.Deep.continuation option;
+  mutable body : (unit -> unit) option;  (* not yet started *)
+}
+
+type state = {
+  fibers : fiber array;
+  mutable cur : int option;
+  mutable ticks : int;
+  mutable latches : int;  (* latches currently held across all fibers *)
+  mutable steps : int;
+  mutable aborting : bool;
+  mutable events : event list;  (* reversed *)
+  mutable choices : choice list;  (* reversed *)
+}
+
+let active_sim : state option ref = ref None
+
+let stamp () =
+  match !active_sim with
+  | Some st ->
+      st.ticks <- st.ticks + 1;
+      st.ticks
+  | None -> 0
+
+let tag_of = function
+  | Acquire -> "acq"
+  | Release -> "rel"
+  | Lock -> "lock"
+  | Cond -> "cond"
+  | Point -> "point"
+
+let label_of kind l = tag_of kind ^ ":" ^ l
+
+(* The handler fibers see through Sched_hook. During post-run cleanup
+   ([aborting]) nothing may suspend again: yields become no-ops and
+   unsatisfiable waits abort the fiber, so one [discontinue] fully
+   unwinds it. *)
+let handler st =
+  {
+    Sched_hook.yield =
+      (fun kind l -> if not st.aborting then Effect.perform (Yield (kind, l)));
+    wait =
+      (fun kind l pred ->
+        if st.aborting then begin
+          if not (pred ()) then raise Aborted
+        end
+        else
+          while not (pred ()) do
+            Effect.perform (Park (kind, l, pred))
+          done);
+    note_latch = (fun d -> st.latches <- st.latches + d);
+    fiber_id = (fun () -> st.cur);
+  }
+
+(* Run fiber [f] until it parks, finishes or raises. *)
+let resume st f =
+  st.cur <- Some f.id;
+  let record kind l =
+    st.events <- { step = st.steps; fiber = f.id; kind; label = l } :: st.events
+  in
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+      = function
+    | Yield (kind, l) ->
+        Some
+          (fun k ->
+            record kind l;
+            f.k <- Some k;
+            f.st <- Ready (label_of kind l))
+    | Park (kind, l, pred) ->
+        Some
+          (fun k ->
+            record kind l;
+            f.k <- Some k;
+            f.st <- Waiting (label_of kind l, pred))
+    | _ -> None
+  in
+  (match f.body with
+  | Some body ->
+      f.body <- None;
+      Effect.Deep.match_with body ()
+        {
+          retc = (fun () -> f.st <- Done);
+          exnc = (fun e -> f.st <- Raised e);
+          effc;
+        }
+  | None -> (
+      match f.k with
+      | Some k ->
+          f.k <- None;
+          Effect.Deep.continue k ()
+      | None -> assert false));
+  st.cur <- None
+
+exception Stop of failure
+
+let run cfg bodies =
+  if !active_sim <> None then invalid_arg "Sim.run: not reentrant";
+  let st =
+    {
+      fibers =
+        Array.of_list
+          (List.mapi
+             (fun i b -> { id = i; st = Ready "start"; k = None; body = Some b })
+             bodies);
+      cur = None;
+      ticks = 0;
+      latches = 0;
+      steps = 0;
+      aborting = false;
+      events = [];
+      choices = [];
+    }
+  in
+  Pitree_sync.Latch_order.reset_fibers ();
+  Sched_hook.install (handler st);
+  active_sim := Some st;
+  let finish failure =
+    st.aborting <- true;
+    Array.iter
+      (fun f ->
+        f.body <- None;
+        match f.k with
+        | Some k ->
+            f.k <- None;
+            st.cur <- Some f.id;
+            (try Effect.Deep.discontinue k Aborted with _ -> ());
+            st.cur <- None
+        | None -> ())
+      st.fibers;
+    active_sim := None;
+    Sched_hook.uninstall ();
+    {
+      schedule = List.rev_map (fun c -> c.chosen) st.choices;
+      choices = List.rev st.choices;
+      events = List.rev st.events;
+      steps = st.steps;
+      failure;
+    }
+  in
+  let enabled_of () =
+    Array.fold_right
+      (fun f acc ->
+        match f.st with
+        | Ready l -> (f.id, l) :: acc
+        | Waiting (l, p) -> if p () then (f.id, l) :: acc else acc
+        | Done | Raised _ -> acc)
+      st.fibers []
+  in
+  let blocked_of () =
+    Array.fold_right
+      (fun f acc ->
+        match f.st with Waiting (l, _) -> (f.id, l) :: acc | _ -> acc)
+      st.fibers []
+  in
+  let rng = match cfg.policy with Walk seed -> Some (Rng.create seed) | Replay _ -> None in
+  let replay = ref (match cfg.policy with Replay l -> l | Walk _ -> []) in
+  let prev = ref (-1) in
+  match
+    let rec loop () =
+      if
+        Array.for_all
+          (fun f -> match f.st with Done | Raised _ -> true | _ -> false)
+          st.fibers
+      then ()
+      else if st.steps >= cfg.max_steps then raise (Stop Out_of_steps)
+      else begin
+        let enabled = enabled_of () in
+        (match enabled with
+        | [] -> raise (Stop (Deadlock (blocked_of ())))
+        | _ ->
+            let chosen =
+              match !replay with
+              | c :: rest ->
+                  replay := rest;
+                  if List.mem_assoc c enabled then c
+                  else
+                    raise
+                      (Stop
+                         (Replay_divergence
+                            {
+                              at = st.steps;
+                              message =
+                                Printf.sprintf
+                                  "replay chose fiber %d but enabled = {%s}" c
+                                  (String.concat ","
+                                     (List.map
+                                        (fun (i, _) -> string_of_int i)
+                                        enabled));
+                            }))
+              | [] -> (
+                  match rng with
+                  | Some r -> fst (List.nth enabled (Rng.int r (List.length enabled)))
+                  | None ->
+                      if List.mem_assoc !prev enabled then !prev
+                      else fst (List.hd enabled))
+            in
+            let preempted =
+              !prev >= 0 && chosen <> !prev && List.mem_assoc !prev enabled
+            in
+            st.choices <- { enabled; chosen; preempted } :: st.choices;
+            st.steps <- st.steps + 1;
+            let f = st.fibers.(chosen) in
+            resume st f;
+            (match f.st with
+            | Raised e ->
+                raise
+                  (Stop
+                     (Fiber_raised
+                        { fiber = f.id; message = Printexc.to_string e }))
+            | _ -> ());
+            prev := chosen;
+            (match cfg.invariant with
+            | Some check when st.latches = 0 && st.steps mod cfg.check_every = 0
+              -> (
+                match check () with
+                | None -> ()
+                | Some message ->
+                    raise (Stop (Invariant_violation { step = st.steps; message }))
+                )
+            | _ -> ()));
+        loop ()
+      end
+    in
+    loop ()
+  with
+  | () -> finish None
+  | exception Stop f -> finish (Some f)
+  | exception e ->
+      (* Scheduler-level surprise (bug in the sim itself): clean up, then
+         let it propagate. *)
+      ignore (finish (Some (Fiber_raised { fiber = -1; message = Printexc.to_string e })));
+      raise e
+
+(* ---------- pretty-printing ---------- *)
+
+let pp_failure ppf = function
+  | Deadlock blocked ->
+      Format.fprintf ppf "deadlock: %s"
+        (String.concat ", "
+           (List.map (fun (i, l) -> Printf.sprintf "fiber %d at %s" i l) blocked))
+  | Invariant_violation { step; message } ->
+      Format.fprintf ppf "invariant violated at step %d: %s" step message
+  | Fiber_raised { fiber; message } ->
+      Format.fprintf ppf "fiber %d raised: %s" fiber message
+  | Replay_divergence { at; message } ->
+      Format.fprintf ppf "replay diverged at step %d: %s" at message
+  | Out_of_steps -> Format.fprintf ppf "step budget exhausted (livelock?)"
+
+let schedule_to_string s = String.concat "," (List.map string_of_int s)
+
+let schedule_of_string s =
+  if String.trim s = "" then []
+  else List.map (fun x -> int_of_string (String.trim x)) (String.split_on_char ',' s)
+
+let pp_outcome ppf (o : outcome) =
+  Format.fprintf ppf "steps=%d schedule=[%s]%a" o.steps
+    (schedule_to_string o.schedule)
+    (fun ppf -> function
+      | None -> Format.fprintf ppf " ok"
+      | Some f -> Format.fprintf ppf " FAILED: %a" pp_failure f)
+    o.failure
+
+(* ---------- systematic exploration ---------- *)
+
+type explore_stats = { schedules_run : int; pruned : int }
+
+(* DPOR-lite commutativity: two parked latch (or lock) actions on
+   different resources are treated as independent, so scheduling B before
+   A at a branch point is skipped. Heuristic: the *segment* each fiber
+   runs after the parked action may still touch shared state — random
+   walks cover what this prune skips. *)
+let independent a b =
+  let cls l =
+    match String.index_opt l ':' with
+    | None -> ("", l)
+    | Some i -> (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+  in
+  let ka, ra = cls a and kb, rb = cls b in
+  let latchish k = k = "acq" || k = "rel" in
+  (latchish ka && latchish kb && ra <> rb) || (ka = "lock" && kb = "lock" && ra <> rb)
+
+let explore ?(max_preemptions = 2) ?(branch_depth = 6) ?(max_schedules = 2000)
+    ~run () =
+  let seen = Hashtbl.create 97 in
+  let key p = schedule_to_string p in
+  let stack = Stack.create () in
+  Stack.push [] stack;
+  Hashtbl.replace seen (key []) ();
+  let schedules = ref 0 and pruned = ref 0 in
+  let failing = ref None in
+  while !failing = None && (not (Stack.is_empty stack)) && !schedules < max_schedules do
+    let prefix = Stack.pop stack in
+    let out = run prefix in
+    incr schedules;
+    if out.failure <> None then failing := Some (prefix, out)
+    else begin
+      let choices = Array.of_list out.choices in
+      let limit = min (Array.length choices) branch_depth in
+      (* preempts.(i) = preemptions among the first i decisions *)
+      let preempts = Array.make (limit + 1) 0 in
+      for i = 0 to limit - 1 do
+        preempts.(i + 1) <- preempts.(i) + (if choices.(i).preempted then 1 else 0)
+      done;
+      let taken = List.map (fun c -> c.chosen) out.choices in
+      for i = List.length prefix to limit - 1 do
+        let d = choices.(i) in
+        let prev_runner = if i = 0 then -1 else choices.(i - 1).chosen in
+        let chosen_label = List.assoc d.chosen d.enabled in
+        List.iter
+          (fun (fid, lbl) ->
+            if fid <> d.chosen then begin
+              let would_preempt =
+                prev_runner >= 0 && fid <> prev_runner
+                && List.mem_assoc prev_runner d.enabled
+              in
+              if preempts.(i) + (if would_preempt then 1 else 0) > max_preemptions
+              then ()
+              else if independent lbl chosen_label then incr pruned
+              else begin
+                let p = List.filteri (fun j _ -> j < i) taken @ [ fid ] in
+                let k = key p in
+                if not (Hashtbl.mem seen k) then begin
+                  Hashtbl.replace seen k ();
+                  Stack.push p stack
+                end
+              end
+            end)
+          d.enabled
+      done
+    end
+  done;
+  ({ schedules_run = !schedules; pruned = !pruned }, !failing)
+
+let minimize ~run schedule =
+  let fails p = (run p).failure <> None in
+  if fails [] then []
+  else if not (fails schedule) then schedule
+  else begin
+    let arr = Array.of_list schedule in
+    let take n = Array.to_list (Array.sub arr 0 n) in
+    (* fails (take hi) holds; shrink assuming rough monotonicity, verify. *)
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fails (take mid) then hi := mid else lo := mid
+    done;
+    take !hi
+  end

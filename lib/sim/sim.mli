@@ -1,0 +1,124 @@
+(** Deterministic cooperative scheduler for interleaving exploration.
+
+    Runs N logical threads (fibers, via OCaml effects) on one OS thread.
+    The synchronization primitives yield to this scheduler through
+    {!Pitree_util.Sched_hook} at every latch acquire/release, lock-manager
+    wait, buffer-pool frame wait and [Crash_point] hit, so the interleaving
+    of the fibers is chosen {e here} — replayable bit-for-bit from a seed
+    (policy {!Walk}) or from an explicit decision list (policy {!Replay}).
+
+    On top of [run] sit {!explore} (bounded systematic search:
+    preemption-bounded DFS over scheduling decisions with a DPOR-lite
+    commutativity prune) and {!minimize} (shortest failing decision
+    prefix).
+
+    A run is deterministic iff the fiber bodies are: the environment must
+    use an in-memory disk, serial WAL (no group commit), no checkpoint
+    triggers, and no [Domain.spawn] — see [Scenario.make_env]. *)
+
+type kind = Pitree_util.Sched_hook.kind =
+  | Acquire
+  | Release
+  | Lock
+  | Cond
+  | Point
+
+exception Aborted
+(** Raised {e into} parked fibers during post-run cleanup so their
+    protect/abort handlers run. Fiber bodies should not catch it. *)
+
+type event = { step : int; fiber : int; kind : kind; label : string }
+
+type choice = {
+  enabled : (int * string) list;
+      (** runnable fibers at this decision, with the label each is parked
+          at ("tag:resource", or "start" before the first step) *)
+  chosen : int;
+  preempted : bool;
+      (** the previous fiber could have continued but was switched away
+          from — the currency of preemption-bounded search *)
+}
+
+type failure =
+  | Deadlock of (int * string) list  (** every live fiber blocked *)
+  | Invariant_violation of { step : int; message : string }
+  | Fiber_raised of { fiber : int; message : string }
+  | Replay_divergence of { at : int; message : string }
+      (** a replayed decision named a fiber that is not enabled — a
+          determinism bug, never expected *)
+  | Out_of_steps
+
+type outcome = {
+  schedule : int list;  (** the fiber chosen at each step, in order *)
+  choices : choice list;
+  events : event list;
+  steps : int;
+  failure : failure option;
+}
+
+type policy =
+  | Walk of int64  (** uniform random among enabled fibers, seeded *)
+  | Replay of int list
+      (** follow the given decisions, then default policy: keep running
+          the current fiber while enabled, else lowest enabled id *)
+
+type config = {
+  policy : policy;
+  max_steps : int;
+  invariant : (unit -> string option) option;
+      (** checked between steps, only at quiesced instants (no latch held
+          by any fiber) — the paper's claim is that the structure is
+          well-formed exactly there *)
+  check_every : int;  (** run the invariant every n-th step (>= 1) *)
+}
+
+val default_config : config
+
+val run : config -> (unit -> unit) list -> outcome
+(** Execute the fiber bodies to completion under the policy. Installs the
+    {!Pitree_util.Sched_hook} handler for the duration; cleans up (aborts
+    parked fibers, uninstalls) on every path. Not reentrant. *)
+
+val stamp : unit -> int
+(** Monotone logical clock for history recording; increments per call.
+    Total-ordered with the run's execution order, so an operation that
+    returns before another is invoked gets a strictly smaller stamp.
+    Returns 0 outside a run. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val schedule_to_string : int list -> string
+(** Comma-separated, for printing replayable traces. *)
+
+val schedule_of_string : string -> int list
+
+(** {2 Systematic exploration} *)
+
+type explore_stats = {
+  schedules_run : int;
+  pruned : int;  (** branches skipped by the DPOR-lite commutativity rule *)
+}
+
+val explore :
+  ?max_preemptions:int ->
+  (* default 2 *)
+  ?branch_depth:int ->
+  (* branch only within the first n decisions; default 6 *)
+  ?max_schedules:int ->
+  (* default 2000 *)
+  run:(int list -> outcome) ->
+  unit ->
+  explore_stats * (int list * outcome) option
+(** Depth-first search over scheduling decisions: run the empty prefix,
+    then for every decision point within [branch_depth] try each enabled
+    alternative whose switch stays within [max_preemptions] preemptions,
+    skipping alternatives whose parked action is commutative with the
+    chosen one (two latch/lock steps on different resources — a heuristic
+    prune, documented in DESIGN.md §12). Stops at the first failing
+    outcome, returning its decision prefix. *)
+
+val minimize : run:(int list -> outcome) -> int list -> int list
+(** Shortest failing prefix of the given schedule (binary search, exact
+    thanks to deterministic replay; returns the input if it cannot
+    reproduce the failure). *)

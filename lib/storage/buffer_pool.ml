@@ -257,9 +257,23 @@ let rec pin_loop t sh pid ~read ~attempt =
   | Some fr ->
       (* Loading or Writing: wait on the frame, not the shard, then
          re-lookup (the frame may have been replaced or removed). *)
-      fr.waiters <- fr.waiters + 1;
-      Condition.wait fr.cond sh.mu;
-      fr.waiters <- fr.waiters - 1;
+      if Pitree_util.Sched_hook.active () then begin
+        Mutex.unlock sh.mu;
+        (* Ready, or removed/replaced after a failed load — either way the
+           re-lookup below resolves it. *)
+        Pitree_util.Sched_hook.wait Cond
+          (Printf.sprintf "frame-%d" pid)
+          (fun () ->
+            match Hashtbl.find_opt sh.table pid with
+            | Some fr' when fr' == fr -> fr.state = Ready
+            | _ -> true);
+        Mutex.lock sh.mu
+      end
+      else begin
+        fr.waiters <- fr.waiters + 1;
+        Condition.wait fr.cond sh.mu;
+        fr.waiters <- fr.waiters - 1
+      end;
       pin_loop t sh pid ~read ~attempt
   | None ->
       if sh.used >= t.shard_cap then begin
@@ -273,9 +287,14 @@ let rec pin_loop t sh pid ~read ~attempt =
         end
         else begin
           (* Every frame transiently pinned: back off off-mutex and
-             retry a bounded number of times before giving up. *)
+             retry a bounded number of times before giving up.  Under the
+             simulator, yield instead of sleeping so another fiber gets a
+             chance to unpin. *)
           Mutex.unlock sh.mu;
-          backoff t attempt;
+          if Pitree_util.Sched_hook.active () then
+            Pitree_util.Sched_hook.yield Cond
+              (Printf.sprintf "pool-full-%d" pid)
+          else backoff t attempt;
           Mutex.lock sh.mu;
           pin_loop t sh pid ~read ~attempt:(attempt + 1)
         end

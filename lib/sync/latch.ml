@@ -76,7 +76,52 @@ let grant ?(contended = false) t mode =
   t.acquisitions <- t.acquisitions + 1;
   Atomic.incr g_acquisitions
 
+module Sched_hook = Pitree_util.Sched_hook
+
+(* Under the deterministic simulator every acquisition is a scheduling
+   point and every would-block wait is a cooperative [Sched_hook.wait]
+   instead of a condvar sleep (the scheduler runs all fibers on one
+   thread, so a real [Condition.wait] would deadlock it).  Clock reads
+   are skipped entirely so schedules stay bit-for-bit replayable. *)
+let sim_acquire t mode =
+  Sched_hook.yield Acquire t.name;
+  let rec loop first =
+    Mutex.lock t.mu;
+    if grantable t mode then begin
+      grant t mode;
+      Mutex.unlock t.mu
+    end
+    else begin
+      if first then begin
+        t.contended <- t.contended + 1;
+        Atomic.incr g_contended
+      end;
+      Mutex.unlock t.mu;
+      Sched_hook.wait Acquire t.name (fun () -> grantable t mode);
+      loop false
+    end
+  in
+  loop true;
+  Sched_hook.note_latch 1
+
+let sim_promote t =
+  Mutex.lock t.mu;
+  if not t.u_held then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Latch.promote: caller does not hold a U latch"
+  end;
+  t.u_wants_x <- true;
+  Mutex.unlock t.mu;
+  Sched_hook.wait Acquire t.name (fun () -> t.readers = 0);
+  Mutex.lock t.mu;
+  t.u_held <- false;
+  t.x_held <- true;
+  t.u_wants_x <- false;
+  Mutex.unlock t.mu
+
 let acquire t mode =
+  if Sched_hook.active () then sim_acquire t mode
+  else begin
   Mutex.lock t.mu;
   if grantable t mode then grant t mode
   else begin
@@ -92,15 +137,19 @@ let acquire t mode =
     grant ~contended:true t mode
   end;
   Mutex.unlock t.mu
+  end
 
 let try_acquire t mode =
   Mutex.lock t.mu;
   let ok = grantable t mode in
   if ok then grant t mode;
   Mutex.unlock t.mu;
+  if ok then Sched_hook.note_latch 1;
   ok
 
 let promote t =
+  if Sched_hook.active () then sim_promote t
+  else begin
   Mutex.lock t.mu;
   if not t.u_held then begin
     Mutex.unlock t.mu;
@@ -127,6 +176,7 @@ let promote t =
   t.x_held <- true;
   t.u_wants_x <- false;
   Mutex.unlock t.mu
+  end
 
 let demote t =
   Mutex.lock t.mu;
@@ -171,7 +221,11 @@ let release t mode =
       t.x_held <- false;
       finish_hold t);
   Condition.broadcast t.cond;
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  if Sched_hook.active () then begin
+    Sched_hook.note_latch (-1);
+    Sched_hook.yield Release t.name
+  end
 
 let stats t =
   Mutex.lock t.mu;

@@ -13,11 +13,29 @@ let rank_of_level ~root_level level = root_level - level
 let held : int list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* Under the simulator many logical threads share one domain, so the
+   per-domain stack would cross-pollute; key by fiber instead.  The
+   table is only touched from the (single-threaded) simulator. *)
+let fiber_held : (int, int list ref) Hashtbl.t = Hashtbl.create 16
+
+let reset_fibers () = Hashtbl.reset fiber_held
+
+let stack_for () =
+  match Pitree_util.Sched_hook.fiber_id () with
+  | None -> Domain.DLS.get held
+  | Some f -> (
+      match Hashtbl.find_opt fiber_held f with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.replace fiber_held f s;
+          s)
+
 let violate () = Atomic.incr violation_count
 
 let acquired rank =
   if Atomic.get enabled_flag then begin
-    let stack = Domain.DLS.get held in
+    let stack = stack_for () in
     (* Non-decreasing rank required: acquiring a rank smaller than one
        already held means "child before parent" somewhere. *)
     if List.exists (fun r -> r > rank) !stack then violate ();
@@ -26,7 +44,7 @@ let acquired rank =
 
 let released rank =
   if Atomic.get enabled_flag then begin
-    let stack = Domain.DLS.get held in
+    let stack = stack_for () in
     let rec remove = function
       | [] -> []
       | r :: rest -> if r = rank then rest else r :: remove rest
@@ -36,7 +54,7 @@ let released rank =
 
 let promoting rank =
   if Atomic.get enabled_flag then begin
-    let stack = Domain.DLS.get held in
+    let stack = stack_for () in
     if List.exists (fun r -> r > rank) !stack then violate ()
   end
 

@@ -36,3 +36,8 @@ val promoting : int -> unit
 
 val violations : unit -> int
 val reset : unit -> unit
+
+val reset_fibers : unit -> unit
+(** Drop the per-fiber held-rank stacks. The simulator calls this at the
+    start of each run so aborted fibers from a previous run cannot leak
+    stale ranks into the next one. *)

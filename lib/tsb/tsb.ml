@@ -342,11 +342,8 @@ let split_current t ~ckey ~need =
           !acc
         in
         let garbage_heavy = 2 * dead_bytes >= Page.used_space p - dead_bytes in
-        let did_time = ref false in
-        if garbage_heavy && dead_bytes > 0 then begin
-          time_split t txn fr;
-          did_time := true
-        end
+        let hopeless = ref false in
+        if garbage_heavy && dead_bytes > 0 then time_split t txn fr
         else begin
           match key_split t txn fr with
           | Some (sep, q) ->
@@ -355,21 +352,19 @@ let split_current t ~ckey ~need =
                 Txn.add_on_commit txn (fun () ->
                     maybe_schedule_posting t ~level:0 ~sibling:q ~key:sep)
           | None ->
-              if n >= 1 && dead_bytes > 0 then begin
-                time_split t txn fr;
-                did_time := true
-              end
-              else if n >= 1 then begin
-                (* Single key, everything alive: push the whole node to
-                   history anyway; the current node retains the newest
-                   version only. *)
-                time_split t txn fr;
-                did_time := true
-              end
+              if n >= 1 && dead_bytes > 0 then time_split t txn fr
+              else
+                (* A lone alive version plus the incoming one exceed the
+                   page. A time split cannot trim alive versions and a key
+                   split needs a second key, so no split makes progress:
+                   the record is too large for this page size. Fail loudly
+                   rather than looping (each futile time split would leak a
+                   history node). *)
+                hopeless := true
         end;
-        ignore !did_time;
         unlatch fr Latch.X;
-        unpin t fr
+        unpin t fr;
+        if !hopeless then raise Page.Page_full
       end)
 
 (* ---------- index posting (section 5.3, simplified search) ---------- *)

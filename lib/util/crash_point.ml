@@ -51,7 +51,10 @@ let hit name =
     | None -> false
   in
   Mutex.unlock mu;
-  if fire then raise (Crash_requested name)
+  if fire then raise (Crash_requested name);
+  (* Crash points mark the instants between (and inside) atomic actions —
+     exactly where the simulator wants a chance to switch fibers. *)
+  Sched_hook.yield Point name
 
 let hit_count name =
   Mutex.lock mu;

@@ -1,0 +1,35 @@
+type kind = Acquire | Release | Lock | Cond | Point
+
+type handler = {
+  yield : kind -> string -> unit;
+  wait : kind -> string -> (unit -> bool) -> unit;
+  note_latch : int -> unit;
+  fiber_id : unit -> int option;
+}
+
+let current : handler option Atomic.t = Atomic.make None
+let install h = Atomic.set current (Some h)
+let uninstall () = Atomic.set current None
+
+let active () =
+  match Atomic.get current with
+  | None -> false
+  | Some h -> h.fiber_id () <> None
+
+let fiber_id () =
+  match Atomic.get current with None -> None | Some h -> h.fiber_id ()
+
+let yield kind label =
+  match Atomic.get current with
+  | None -> ()
+  | Some h -> if h.fiber_id () <> None then h.yield kind label
+
+let wait kind label pred =
+  match Atomic.get current with
+  | Some h when h.fiber_id () <> None -> h.wait kind label pred
+  | _ -> invalid_arg "Sched_hook.wait: no simulated fiber is running"
+
+let note_latch delta =
+  match Atomic.get current with
+  | None -> ()
+  | Some h -> if h.fiber_id () <> None then h.note_latch delta

@@ -1,0 +1,58 @@
+(** Scheduling hooks for deterministic interleaving control.
+
+    The cooperative simulator (lib/sim) installs a handler here; the
+    synchronization primitives (latches, lock-manager waits, buffer-pool
+    frame waits) and [Crash_point.hit] consult it at every would-block or
+    would-matter instant.  When no handler is installed — the normal,
+    multi-threaded production configuration — every entry point is a
+    single [Atomic.get] and a branch, so the hooks cost nothing.
+
+    A handler only ever fires for code running *inside* a simulated fiber
+    ([fiber_id] returns [Some _]); helper threads or scheduler-context
+    code (e.g. the invariant checker between steps) fall through to the
+    ordinary blocking paths. *)
+
+type kind =
+  | Acquire  (** about to acquire / blocked acquiring a latch *)
+  | Release  (** just released a latch *)
+  | Lock     (** blocked in the lock manager *)
+  | Cond     (** blocked on some other condition (pool frame, etc.) *)
+  | Point    (** a [Crash_point] was hit — the instants between atomic
+                 actions that the paper's argument cares about *)
+
+type handler = {
+  yield : kind -> string -> unit;
+      (** A scheduling point: the simulator may switch fibers here. *)
+  wait : kind -> string -> (unit -> bool) -> unit;
+      (** Block the calling fiber until the predicate holds.  The caller
+          must NOT hold the mutex protecting the predicate's state; the
+          predicate is re-evaluated by the scheduler between steps and
+          once more by the caller after this returns. *)
+  note_latch : int -> unit;
+      (** [+1] on every latch grant, [-1] on every release; the simulator
+          runs well-formedness checks only when the count is zero (the
+          quiesced instants between atomic actions). *)
+  fiber_id : unit -> int option;
+      (** Identity of the currently running fiber, if any.  Also used to
+          key per-"thread" state such as the latch-order stacks. *)
+}
+
+val install : handler -> unit
+val uninstall : unit -> unit
+
+val active : unit -> bool
+(** A handler is installed AND the caller is inside a simulated fiber. *)
+
+val fiber_id : unit -> int option
+(** The running fiber's id, or [None] outside the simulator. *)
+
+val yield : kind -> string -> unit
+(** No-op unless {!active}. *)
+
+val wait : kind -> string -> (unit -> bool) -> unit
+(** Cooperative block until the predicate holds.  Must only be called
+    when {!active}; raises [Invalid_argument] otherwise (a real thread
+    must use its normal condvar path instead). *)
+
+val note_latch : int -> unit
+(** No-op unless {!active}. *)

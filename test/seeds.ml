@@ -1,0 +1,54 @@
+(* Central seed control for randomized tests.
+
+   Default seeds are fixed, so a plain `dune runtest` is reproducible.
+   Setting PITREE_SEED=<int64> reseeds every randomized test from that
+   base — each test derives its own stream from the base and its name —
+   and any failure prints the PITREE_SEED value that replays it. *)
+
+let base, overridden =
+  match Sys.getenv_opt "PITREE_SEED" with
+  | None -> (0L, false)
+  | Some s -> (
+      match Int64.of_string_opt s with
+      | Some v -> (v, true)
+      | None ->
+          failwith (Printf.sprintf "PITREE_SEED=%S is not a valid int64" s))
+
+(* SplitMix64 finalizer over base + hash(name): distinct tests get
+   well-separated streams from the same base. *)
+let derive name =
+  let z = ref (Int64.add base (Int64.of_int (Hashtbl.hash name))) in
+  z := Int64.add !z 0x9E3779B97F4A7C15L;
+  z :=
+    Int64.mul
+      (Int64.logxor !z (Int64.shift_right_logical !z 30))
+      0xBF58476D1CE4E5B9L;
+  z :=
+    Int64.mul
+      (Int64.logxor !z (Int64.shift_right_logical !z 27))
+      0x94D049BB133111EBL;
+  Int64.logxor !z (Int64.shift_right_logical !z 31)
+
+let report name seed =
+  Printf.eprintf
+    "[seeds] %s failed (seed %Ld); replay with PITREE_SEED=%Ld%s\n%!" name seed
+    base
+    (if overridden then "" else " (the default)")
+
+(* Run [f seed] with the test's derived seed; print the replay line on any
+   failure. *)
+let with_seed name f =
+  let seed = derive name in
+  try f seed
+  with e ->
+    report name seed;
+    raise e
+
+(* For tests whose seeds are derived at module level (several fixed
+   sub-seeds offset from one derived base): just print the replay line on
+   failure. *)
+let guard name f =
+  try f ()
+  with e ->
+    report name (derive name);
+    raise e

@@ -51,11 +51,12 @@ let test_blink_partitioned_writers () =
 (* Contending writers on the same keys: last write wins nondeterministically,
    but the structure must stay well-formed, keys unique, values valid. *)
 let test_blink_contending_writers () =
+  Seeds.with_seed "concurrency.blink.contending" @@ fun seed ->
   let env = Env.create (cfg ()) in
   let t = Blink.create env ~name:"t" in
   let domains = 4 and ops = 1200 and space = 300 in
   let work d () =
-    let rng = Rng.create (Int64.of_int (100 + d)) in
+    let rng = Rng.create (Int64.add seed (Int64.of_int (100 + d))) in
     for _ = 1 to ops do
       let k = key (Rng.int rng space) in
       match Rng.int rng 3 with
@@ -84,6 +85,7 @@ let test_blink_contending_writers () =
          Hashtbl.replace seen k ()))
 
 let test_blink_readers_vs_writers () =
+  Seeds.with_seed "concurrency.blink.readers-vs-writers" @@ fun seed ->
   let env = Env.create (cfg ()) in
   let t = Blink.create env ~name:"t" in
   for i = 0 to 499 do
@@ -92,7 +94,7 @@ let test_blink_readers_vs_writers () =
   ignore (Env.drain env);
   let stop = Atomic.make false in
   let reader () =
-    let rng = Rng.create 7L in
+    let rng = Rng.create seed in
     let reads = ref 0 in
     while not (Atomic.get stop) do
       let k = key (Rng.int rng 500) in
@@ -161,6 +163,7 @@ let test_treelatch_parallel () =
   Alcotest.(check int) "all present" (domains * per) (Btl.count t)
 
 let test_driver_smoke () =
+  Seeds.with_seed "concurrency.driver.smoke" @@ fun seed ->
   (* The benchmark driver end to end on a small mixed workload. *)
   let env = Env.create (cfg ()) in
   let t = Blink.create env ~name:"t" in
@@ -170,7 +173,7 @@ let test_driver_smoke () =
       ~delete_pct:10 ~dist:(Pitree_harness.Workload.Zipf 0.9) ()
   in
   Pitree_harness.Driver.preload inst spec ~n:200;
-  let r = Pitree_harness.Driver.run ~domains:2 ~ops_per_domain:500 ~seed:3L inst spec in
+  let r = Pitree_harness.Driver.run ~domains:2 ~ops_per_domain:500 ~seed inst spec in
   ignore (Env.drain env);
   check_wf t;
   Alcotest.(check int) "ops counted" 1000 r.Pitree_harness.Driver.total_ops;

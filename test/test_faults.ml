@@ -13,8 +13,13 @@ module Chaos = Pitree_harness.Chaos
 
 let page_size = 256
 
+(* All fault seeds offset a PITREE_SEED-derived base, so the whole file
+   reseeds together while call sites keep distinct streams. *)
+let fault_base = Seeds.derive "faults"
+
 let mk_faulty ?(seed = 11L) ?(plan = Disk.Faulty.no_faults) () =
-  Disk.Faulty.wrap ~seed ~plan (Disk.in_memory ~page_size)
+  Disk.Faulty.wrap ~seed:(Int64.add fault_base seed) ~plan
+    (Disk.in_memory ~page_size)
 
 let image c = Bytes.make page_size c
 
@@ -358,7 +363,7 @@ let test_chaos_sweep () =
   Alcotest.(check bool) "ok" true (Chaos.ok s)
 
 let test_chaos_random () =
-  let s = Chaos.random_runs ~ops:300 ~iters:6 ~seed:9L () in
+  let s = Chaos.random_runs ~ops:300 ~iters:6 ~seed:(Int64.add fault_base 9L) () in
   Alcotest.(check int) "all runs executed" 6 s.Chaos.runs;
   (match s.Chaos.failures with
   | [] -> ()
@@ -366,46 +371,50 @@ let test_chaos_random () =
       Alcotest.failf "random failures: %a" (fun ppf -> Chaos.pp_outcome ppf) o);
   Alcotest.(check bool) "ok" true (Chaos.ok s)
 
+(* Every case prints the PITREE_SEED replay line if it fails. *)
+let tc name speed f =
+  Alcotest.test_case name speed (fun () -> Seeds.guard ("faults." ^ name) f)
+
 let suites =
   [
     ( "faults.disk",
       [
-        Alcotest.test_case "passthrough" `Quick test_no_faults_passthrough;
-        Alcotest.test_case "transient read" `Quick test_transient_read;
-        Alcotest.test_case "transient write" `Quick
+        tc "passthrough" `Quick test_no_faults_passthrough;
+        tc "transient read" `Quick test_transient_read;
+        tc "transient write" `Quick
           test_transient_write_writes_nothing;
-        Alcotest.test_case "bit flip" `Quick test_bit_flip_is_read_only;
-        Alcotest.test_case "torn write" `Quick test_torn_write;
-        Alcotest.test_case "fail stop" `Quick test_fail_stop;
-        Alcotest.test_case "protected pids" `Quick test_protected_pids;
+        tc "bit flip" `Quick test_bit_flip_is_read_only;
+        tc "torn write" `Quick test_torn_write;
+        tc "fail stop" `Quick test_fail_stop;
+        tc "protected pids" `Quick test_protected_pids;
       ] );
     ( "faults.checksum",
       [
-        Alcotest.test_case "roundtrip" `Quick test_checksum_roundtrip;
-        Alcotest.test_case "stale when dirty" `Quick
+        tc "roundtrip" `Quick test_checksum_roundtrip;
+        tc "stale when dirty" `Quick
           test_checksum_stale_after_mutation;
-        Alcotest.test_case "corrupt byte" `Quick test_corrupt_byte_detected;
-        Alcotest.test_case "torn header" `Quick test_torn_header_detected;
+        tc "corrupt byte" `Quick test_corrupt_byte_detected;
+        tc "torn header" `Quick test_torn_header_detected;
       ] );
     ( "faults.pool",
       [
-        Alcotest.test_case "transient reads absorbed" `Quick
+        tc "transient reads absorbed" `Quick
           test_pool_absorbs_transient_reads;
-        Alcotest.test_case "bit flips absorbed" `Quick
+        tc "bit flips absorbed" `Quick
           test_pool_absorbs_bit_flips;
-        Alcotest.test_case "transient writes absorbed" `Quick
+        tc "transient writes absorbed" `Quick
           test_pool_absorbs_transient_writes;
       ] );
     ( "faults.recovery",
       [
-        Alcotest.test_case "torn page rebuilt from log" `Quick
+        tc "torn page rebuilt from log" `Quick
           test_torn_page_recovery;
-        Alcotest.test_case "flaky reads across restart" `Quick
+        tc "flaky reads across restart" `Quick
           test_recovery_with_transient_reads;
       ] );
     ( "faults.chaos",
       [
-        Alcotest.test_case "crash-point sweep" `Slow test_chaos_sweep;
-        Alcotest.test_case "randomized runs" `Slow test_chaos_random;
+        tc "crash-point sweep" `Slow test_chaos_sweep;
+        tc "randomized runs" `Slow test_chaos_random;
       ] );
   ]

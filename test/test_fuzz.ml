@@ -1,0 +1,192 @@
+(* Differential fuzz: the three engines against a flat in-memory model,
+   sharing one environment, with a simulated crash + recovery mid-stream.
+   Every operation autocommits, so each call that returned before the crash
+   must survive it. Failures print the (seed, op count) pair that replays
+   them; PITREE_SEED reseeds the whole run. *)
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Tsb = Pitree_tsb.Tsb
+module Hb = Pitree_hb.Hb
+module Wellformed = Pitree_core.Wellformed
+module Rng = Pitree_util.Rng
+
+let cfg =
+  {
+    Env.default_config with
+    page_size = 256;
+    pool_capacity = 8192;
+    page_oriented_undo = false;
+    consolidation = true;
+  }
+
+let key i = Printf.sprintf "k%03d" i
+
+(* hB points mirror the key index, so the model can stay string-keyed. *)
+let point i = [| float_of_int i; float_of_int ((i * 7) mod 64) |]
+
+type trees = { blink : Blink.t; tsb : Tsb.t; hb : Hb.t }
+
+let attach_all env =
+  match
+    ( Blink.open_existing env ~name:"fb",
+      Tsb.open_existing env ~name:"ft",
+      Hb.open_existing env ~name:"fh" )
+  with
+  | Some blink, Some tsb, Some hb -> { blink; tsb; hb }
+  | _ -> Alcotest.fail "a tree vanished from the catalog after recovery"
+
+let check_wf what report =
+  if not (Wellformed.ok report) then
+    Alcotest.failf "%s not well-formed: %a" what Wellformed.pp_report report
+
+(* One random op applied to one engine and its model, results compared. *)
+let step rng trees models op_no ~fail =
+  let engine = Rng.int rng 3 in
+  let model = models.(engine) in
+  let i = Rng.int rng 120 in
+  let k = key i in
+  let die msg = fail op_no msg in
+  match Rng.int rng 100 with
+  | r when r < 55 ->
+      (* put, with growing values to exercise overwrite splits; sized so
+         two versions of a key fit in one tsb node (the engine's record
+         limit at this page size) *)
+      let v = Printf.sprintf "v%d.%s" op_no (String.make (Rng.int rng 40) 'y') in
+      (match engine with
+      | 0 -> Blink.insert trees.blink ~key:k ~value:v
+      | 1 -> ignore (Tsb.put trees.tsb ~key:k ~value:v)
+      | _ -> Hb.insert trees.hb ~point:(point i) ~value:v);
+      Hashtbl.replace model k v
+  | r when r < 80 -> (
+      let expect = Hashtbl.find_opt model k in
+      let got =
+        match engine with
+        | 0 -> Blink.find trees.blink k
+        | 1 -> Tsb.get trees.tsb k
+        | _ -> Hb.find trees.hb (point i)
+      in
+      if got <> expect then
+        die
+          (Printf.sprintf "engine %d: get %s = %S, model says %S" engine k
+             (Option.value got ~default:"<none>")
+             (Option.value expect ~default:"<none>")))
+  | _ -> (
+      let expect = Hashtbl.mem model k in
+      Hashtbl.remove model k;
+      match engine with
+      | 0 ->
+          let got = Blink.delete trees.blink k in
+          if got <> expect then
+            die
+              (Printf.sprintf "blink: delete %s = %b, model says %b" k got
+                 expect)
+      | 1 -> ignore (Tsb.remove trees.tsb k)
+      | _ ->
+          let got = Hb.delete trees.hb (point i) in
+          if got <> expect then
+            die
+              (Printf.sprintf "hb: delete %s = %b, model says %b" k got expect))
+
+let final_check trees models =
+  check_wf "blink" (Blink.verify trees.blink);
+  check_wf "tsb" (Tsb.verify trees.tsb);
+  check_wf "hb" (Hb.verify trees.hb);
+  Hashtbl.iter
+    (fun k v ->
+      if Blink.find trees.blink k <> Some v then
+        Alcotest.failf "blink lost %s" k)
+    models.(0);
+  Hashtbl.iter
+    (fun k v ->
+      if Tsb.get trees.tsb k <> Some v then Alcotest.failf "tsb lost %s" k)
+    models.(1);
+  Hashtbl.iter
+    (fun k v ->
+      let i = int_of_string (String.sub k 1 (String.length k - 1)) in
+      if Hb.find trees.hb (point i) <> Some v then
+        Alcotest.failf "hb lost %s" k)
+    models.(2);
+  (* blink's range scan must agree with the whole model, in order *)
+  let want =
+    List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) models.(0) [])
+  in
+  let got =
+    List.rev
+      (Blink.range trees.blink ?low:None ?high:None ~init:[]
+         ~f:(fun acc k v -> (k, v) :: acc))
+  in
+  if got <> want then
+    Alcotest.failf "blink range scan disagrees with model (%d vs %d entries)"
+      (List.length got) (List.length want)
+
+let test_differential_fuzz () =
+  let name = "fuzz.differential" in
+  let seed = Seeds.derive name in
+  let ops = 900 in
+  let fail op_no msg =
+    Alcotest.failf "%s (replay: seed=%Ld op=%d; PITREE_SEED=%Ld)" msg seed
+      op_no Seeds.base
+  in
+  Seeds.guard name @@ fun () ->
+  let rng = Rng.create seed in
+  let env = Env.create cfg in
+  Fun.protect ~finally:(fun () -> try Env.close env with _ -> ())
+  @@ fun () ->
+  let trees =
+    {
+      blink = Blink.create env ~name:"fb";
+      tsb = Tsb.create env ~name:"ft";
+      hb = Hb.create env ~name:"fh" ~dims:2;
+    }
+  in
+  let models = Array.init 3 (fun _ -> Hashtbl.create 256) in
+  let trees = ref trees in
+  let crash_at = (ops / 2) + Rng.int rng (ops / 4) in
+  for op_no = 1 to ops do
+    step rng !trees models op_no ~fail;
+    if op_no = crash_at then begin
+      ignore (Env.drain env);
+      Env.crash env;
+      ignore (Env.recover env);
+      trees := attach_all env;
+      (* everything that committed before the crash must have survived *)
+      final_check !trees models
+    end
+  done;
+  ignore (Env.drain env);
+  final_check !trees models
+
+(* Regression: a version too large for its tsb node used to send
+   [split_current] into a restart loop (each futile time split leaking a
+   history node) before dying with "too many restarts". It must now fail
+   fast with [Page_full] and leave the tree well-formed and usable. *)
+let test_tsb_oversized_record_fails_fast () =
+  let env = Env.create cfg in
+  Fun.protect ~finally:(fun () -> try Env.close env with _ -> ())
+  @@ fun () ->
+  let t = Tsb.create env ~name:"big" in
+  let big = String.make 90 'y' in
+  (match
+     for i = 1 to 12 do
+       ignore (Tsb.put t ~key:"k" ~value:(Printf.sprintf "%d%s" i big))
+     done
+   with
+  | () -> Alcotest.fail "oversized versions accepted"
+  | exception Pitree_storage.Page.Page_full -> ());
+  (* the failed put aborted cleanly; the tree still works *)
+  ignore (Tsb.put t ~key:"k2" ~value:"small");
+  Alcotest.(check (option string)) "tree usable" (Some "small")
+    (Tsb.get t "k2");
+  check_wf "tsb" (Tsb.verify t)
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "differential (blink+tsb+hb, crash mid-stream)"
+          `Slow test_differential_fuzz;
+        Alcotest.test_case "tsb oversized record fails fast" `Quick
+          test_tsb_oversized_record_fails_fast;
+      ] );
+  ]

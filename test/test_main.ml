@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "pitree"
-    (Test_util.suites @ Test_sync.suites @ Test_storage.suites @ Test_wal.suites @ Test_lock.suites @ Test_txn.suites @ Test_env.suites @ Test_core.suites @ Test_blink.suites @ Test_crash.suites @ Test_baseline.suites @ Test_concurrency.suites @ Test_tsb.suites @ Test_hb.suites @ Test_protocol.suites @ Test_persistence.suites @ Test_cursor.suites @ Test_movelock.suites @ Test_mv_concurrency.suites @ Test_crash_point.suites @ Test_faults.suites @ Test_group_commit.suites @ Test_checkpoint.suites)
+    (Test_util.suites @ Test_sync.suites @ Test_storage.suites @ Test_wal.suites @ Test_lock.suites @ Test_txn.suites @ Test_env.suites @ Test_core.suites @ Test_blink.suites @ Test_crash.suites @ Test_baseline.suites @ Test_concurrency.suites @ Test_tsb.suites @ Test_hb.suites @ Test_protocol.suites @ Test_persistence.suites @ Test_cursor.suites @ Test_movelock.suites @ Test_mv_concurrency.suites @ Test_crash_point.suites @ Test_faults.suites @ Test_group_commit.suites @ Test_checkpoint.suites @ Test_wellformed.suites @ Test_sim.suites @ Test_fuzz.suites)

@@ -51,6 +51,7 @@ let test_tsb_parallel_writers () =
     written
 
 let test_tsb_readers_during_writes () =
+  Seeds.with_seed "mv.tsb.readers-during-writes" @@ fun seed ->
   let env = Env.create (cfg ()) in
   let t = Tsb.create env ~name:"v" in
   for i = 0 to 39 do
@@ -59,7 +60,7 @@ let test_tsb_readers_during_writes () =
   let snap = Tsb.now t in
   let stop = Atomic.make false in
   let reader () =
-    let rng = Rng.create 3L in
+    let rng = Rng.create seed in
     let n = ref 0 in
     while not (Atomic.get stop) do
       let k = Printf.sprintf "k%02d" (Rng.int rng 40) in
@@ -90,11 +91,12 @@ let test_tsb_readers_during_writes () =
   Alcotest.(check bool) "well-formed" true (Wellformed.ok (Tsb.verify t))
 
 let test_hb_parallel_writers () =
+  Seeds.with_seed "mv.hb.parallel-writers" @@ fun seed ->
   let env = Env.create (cfg ()) in
   let t = Hb.create env ~name:"h" ~dims:2 in
   let domains = 4 and per = 400 in
   let work d () =
-    let rng = Rng.create (Int64.of_int (500 + d)) in
+    let rng = Rng.create (Int64.add seed (Int64.of_int (500 + d))) in
     let mine = ref [] in
     for i = 0 to per - 1 do
       (* Disjoint x-bands per domain keep final contents deterministic. *)

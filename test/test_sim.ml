@@ -1,0 +1,234 @@
+(* Tests for the deterministic scheduler (lib/sim): bit-for-bit replay,
+   deadlock detection, the linearizability checker, and the end-to-end
+   oracles catching deliberately injected protocol bugs. *)
+
+module Sim = Pitree_sim.Sim
+module Linearize = Pitree_sim.Linearize
+module Scenario = Pitree_sim.Scenario
+module Latch = Pitree_sync.Latch
+module Blink = Pitree_blink.Blink
+
+let event_sig (e : Sim.event) =
+  Printf.sprintf "%d:%d:%s" e.Sim.step e.Sim.fiber e.Sim.label
+
+let small_cfg engine =
+  { Scenario.default with Scenario.engine; threads = 3; ops_per_thread = 3 }
+
+(* --- determinism --- *)
+
+(* The same (cfg, walk seed) must produce the same schedule, the same event
+   trace and the same verdict; replaying the recorded schedule must
+   reproduce the trace again. *)
+let test_replay_determinism () =
+  let cfg = small_cfg Scenario.Blink in
+  let r1 = Scenario.run cfg ~policy:(Sim.Walk 42L) in
+  let r2 = Scenario.run cfg ~policy:(Sim.Walk 42L) in
+  let sched o = Sim.schedule_to_string o.Sim.schedule in
+  Alcotest.(check string) "same schedule" (sched r1.Scenario.outcome)
+    (sched r2.Scenario.outcome);
+  Alcotest.(check (list string)) "same events"
+    (List.map event_sig r1.Scenario.outcome.Sim.events)
+    (List.map event_sig r2.Scenario.outcome.Sim.events);
+  Alcotest.(check bool) "same verdict" true
+    (r1.Scenario.verdict = r2.Scenario.verdict);
+  Alcotest.(check bool) "walk passes" false (Scenario.failed r1);
+  let r3 = Scenario.replay cfg r1.Scenario.outcome.Sim.schedule in
+  Alcotest.(check (list string)) "replay reproduces events"
+    (List.map event_sig r1.Scenario.outcome.Sim.events)
+    (List.map event_sig r3.Scenario.outcome.Sim.events)
+
+let test_schedule_string_roundtrip () =
+  let s = [ 0; 2; 1; 1; 0 ] in
+  Alcotest.(check (list int)) "roundtrip" s
+    (Sim.schedule_of_string (Sim.schedule_to_string s));
+  Alcotest.(check (list int)) "empty" [] (Sim.schedule_of_string "")
+
+(* --- deadlock detection --- *)
+
+(* ABBA latch acquisition: some interleaving deadlocks, and the scheduler
+   must (a) find it under random walks, (b) report every live fiber as
+   blocked, (c) reproduce it from the recorded schedule. *)
+let test_deadlock_detected () =
+  let run seed_or_replay =
+    let a = Latch.create ~name:"A" () and b = Latch.create ~name:"B" () in
+    let grab x y () =
+      Latch.acquire x Latch.X;
+      Latch.acquire y Latch.X;
+      Latch.release y Latch.X;
+      Latch.release x Latch.X
+    in
+    Sim.run
+      { Sim.default_config with Sim.policy = seed_or_replay }
+      [ grab a b; grab b a ]
+  in
+  let rec hunt seed =
+    if seed > 64L then Alcotest.fail "no deadlock found in 64 walks"
+    else
+      let o = run (Sim.Walk seed) in
+      match o.Sim.failure with
+      | Some (Sim.Deadlock blocked) -> (o, blocked)
+      | Some f -> Alcotest.failf "unexpected failure: %a" Sim.pp_failure f
+      | None -> hunt (Int64.add seed 1L)
+  in
+  let o, blocked = hunt 1L in
+  Alcotest.(check int) "both fibers blocked" 2 (List.length blocked);
+  let o' = run (Sim.Replay o.Sim.schedule) in
+  match o'.Sim.failure with
+  | Some (Sim.Deadlock _) -> ()
+  | f ->
+      Alcotest.failf "replay did not reproduce the deadlock: %a"
+        Fmt.(option Sim.pp_failure)
+        f
+
+(* --- linearizability checker unit tests --- *)
+
+let ev fiber op res inv ret = { Linearize.fiber; op; res; inv; ret }
+
+let check_verdict name expected hist ~init =
+  let v = Linearize.check ~init hist in
+  let got = match v with Linearize.Linearizable -> true | _ -> false in
+  Alcotest.(check bool) name expected got
+
+let test_linearize_sequential () =
+  check_verdict "sequential legal" true ~init:[]
+    [
+      ev 0 (Linearize.Put ("k", "v")) Linearize.Ok_put 1 2;
+      ev 0 (Linearize.Get "k") (Linearize.Value (Some "v")) 3 4;
+      ev 0 (Linearize.Del "k") (Linearize.Deleted true) 5 6;
+      ev 0 (Linearize.Get "k") (Linearize.Value None) 7 8;
+    ]
+
+let test_linearize_concurrent_orders () =
+  (* get overlaps the put, so either order is a legal linearization; here
+     it must be placed after the put. *)
+  check_verdict "overlap resolved" true ~init:[]
+    [
+      ev 0 (Linearize.Put ("k", "new")) Linearize.Ok_put 1 5;
+      ev 1 (Linearize.Get "k") (Linearize.Value (Some "new")) 2 4;
+    ]
+
+let test_linearize_stale_read_illegal () =
+  (* put returned before the get was invoked: real-time order forces the
+     get to observe it. *)
+  check_verdict "stale read rejected" false ~init:[]
+    [
+      ev 0 (Linearize.Put ("k", "v")) Linearize.Ok_put 1 2;
+      ev 1 (Linearize.Get "k") (Linearize.Value None) 3 4;
+    ]
+
+let test_linearize_lost_update_illegal () =
+  check_verdict "lost update rejected" false
+    ~init:[ ("k", "init") ]
+    [
+      ev 0 (Linearize.Put ("k", "a")) Linearize.Ok_put 1 2;
+      ev 1 (Linearize.Put ("k", "b")) Linearize.Ok_put 3 4;
+      ev 0 (Linearize.Get "k") (Linearize.Value (Some "a")) 5 6;
+    ]
+
+let test_linearize_blind_del_and_range () =
+  check_verdict "blind delete + range" true
+    ~init:[ ("a", "1"); ("b", "2"); ("c", "3") ]
+    [
+      ev 0 (Linearize.Blind_del "b") Linearize.Ok_put 1 2;
+      ev 1
+        (Linearize.Range (Some "a", Some "z"))
+        (Linearize.Keys [ ("a", "1"); ("c", "3") ])
+        3 4;
+    ]
+
+(* --- the oracles catch injected protocol bugs --- *)
+
+(* Dropping the X latch mid-split (after records moved to the sibling,
+   before the fence shrinks) lets a concurrent reader miss committed keys:
+   the linearizability oracle must object within a few random walks, and
+   the minimized schedule must still fail. *)
+let test_injected_early_unlatch_caught () =
+  Seeds.guard "sim.bug.early-unlatch" @@ fun () ->
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.bug = Blink.Testing.Early_unlatch_split;
+    }
+  in
+  match Scenario.random_walks cfg ~walks:120 ~seed:(Seeds.derive "sim.walks") with
+  | _, None -> Alcotest.fail "oracle missed the injected early-unlatch bug"
+  | _, Some (wseed, r) ->
+      Alcotest.(check bool) "report failed" true (Scenario.failed r);
+      let sched = r.Scenario.outcome.Sim.schedule in
+      let small = Scenario.minimize cfg sched in
+      Alcotest.(check bool) "minimized no longer than original" true
+        (List.length small <= List.length sched);
+      let r' = Scenario.replay cfg small in
+      if not (Scenario.failed r') then
+        Alcotest.failf "minimized schedule of walk %Ld no longer fails" wseed
+
+(* A separator one byte short violates section 2.1.3 condition 3 (the index
+   term describes space the child is not responsible for): the
+   well-formedness oracle must reject the tree. *)
+let test_injected_bad_sep_caught () =
+  let cfg =
+    { Scenario.default with Scenario.bug = Blink.Testing.Bad_post_sep }
+  in
+  let r = Scenario.replay cfg [] in
+  Alcotest.(check bool) "oracle objects" true (Scenario.failed r)
+
+(* --- clean sweeps: no false positives --- *)
+
+let clean_sweep engine () =
+  Seeds.guard ("sim.sweep." ^ Scenario.engine_to_string engine) @@ fun () ->
+  let cfg = small_cfg engine in
+  let seed = Seeds.derive ("sim.sweep." ^ Scenario.engine_to_string engine) in
+  match Scenario.random_walks cfg ~walks:25 ~seed with
+  | n, None -> Alcotest.(check int) "all walks run" 25 n
+  | _, Some (wseed, r) ->
+      Alcotest.failf "clean %s run failed at walk seed %Ld: %a"
+        (Scenario.engine_to_string engine)
+        wseed Scenario.pp_report r
+
+let test_systematic_smoke () =
+  let cfg = small_cfg Scenario.Blink in
+  let stats, failing =
+    Scenario.systematic ~max_preemptions:2 ~branch_depth:5 ~max_schedules:120
+      cfg
+  in
+  Alcotest.(check bool) "ran schedules" true (stats.Sim.schedules_run >= 1);
+  match failing with
+  | None -> ()
+  | Some (prefix, r) ->
+      Alcotest.failf "systematic found a failure at prefix %s: %a"
+        (Sim.schedule_to_string prefix)
+        Scenario.pp_report r
+
+let suites =
+  [
+    ( "sim.scheduler",
+      [
+        Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+        Alcotest.test_case "schedule string roundtrip" `Quick
+          test_schedule_string_roundtrip;
+        Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+      ] );
+    ( "sim.linearize",
+      [
+        Alcotest.test_case "sequential" `Quick test_linearize_sequential;
+        Alcotest.test_case "concurrent overlap" `Quick
+          test_linearize_concurrent_orders;
+        Alcotest.test_case "stale read" `Quick test_linearize_stale_read_illegal;
+        Alcotest.test_case "lost update" `Quick
+          test_linearize_lost_update_illegal;
+        Alcotest.test_case "blind del + range" `Quick
+          test_linearize_blind_del_and_range;
+      ] );
+    ( "sim.oracle",
+      [
+        Alcotest.test_case "early unlatch caught" `Slow
+          test_injected_early_unlatch_caught;
+        Alcotest.test_case "bad separator caught" `Slow
+          test_injected_bad_sep_caught;
+        Alcotest.test_case "blink clean sweep" `Slow
+          (clean_sweep Scenario.Blink);
+        Alcotest.test_case "tsb clean sweep" `Slow (clean_sweep Scenario.Tsb);
+        Alcotest.test_case "hb clean sweep" `Slow (clean_sweep Scenario.Hb);
+        Alcotest.test_case "systematic smoke" `Slow test_systematic_smoke;
+      ] );
+  ]

@@ -1,0 +1,192 @@
+(* The generic well-formedness checker against hand-built trees: a legal
+   tree passes, and a dedicated violation of each section 2.1.3 condition
+   (plus the dangling-pointer rule) is rejected with the right condition
+   number. Node views are faked over the Interval keyspace — no pages, no
+   engine. *)
+
+module Wellformed = Pitree_core.Wellformed
+module Interval = Pitree_core.Keyspace.Interval
+module WF = Wellformed.Make (Interval)
+
+let itv low high = Interval.make ~low ~high
+let whole = itv None None
+
+let node ?(level = 0) ?(index = []) ?(siblings = []) id responsible
+    ?(directly = responsible) () =
+  {
+    WF.id;
+    level;
+    responsible;
+    directly_contained = directly;
+    index_terms = index;
+    sibling_terms = siblings;
+  }
+
+let check nodes ~root =
+  WF.check ~root ~read:(fun pid ->
+      List.find_opt (fun v -> v.WF.id = pid) nodes)
+
+let conditions r =
+  List.sort_uniq compare
+    (List.map (fun e -> e.Wellformed.condition) r.Wellformed.errors)
+
+let expect_violation name cond r =
+  if Wellformed.ok r then
+    Alcotest.failf "%s: malformed tree accepted" name
+  else if not (List.mem cond (conditions r)) then
+    Alcotest.failf "%s: expected condition %d among %a" name cond
+      Fmt.(Dump.list int)
+      (conditions r)
+
+(* A legal 2-level tree: root indexes two leaves; the left leaf delegates
+   part of its space to a third leaf through a sibling term (the B-link
+   shape after an unposted split). *)
+let legal_tree =
+  [
+    node 1 ~level:1 whole
+      ~index:[ (itv None (Some "m"), 2); (itv (Some "m") None, 3) ]
+      ();
+    node 2
+      (itv None (Some "m"))
+      ~directly:(itv None (Some "g"))
+      ~siblings:[ (itv (Some "g") (Some "m"), 4) ]
+      ();
+    node 3 (itv (Some "m") None) ();
+    node 4 (itv (Some "g") (Some "m")) ();
+  ]
+
+let test_legal_tree_passes () =
+  let r = check legal_tree ~root:1 in
+  if not (Wellformed.ok r) then
+    Alcotest.failf "legal tree rejected: %a" Wellformed.pp_report r;
+  Alcotest.(check int) "all nodes visited" 4 r.Wellformed.nodes_visited;
+  Alcotest.(check int) "levels" 2 r.Wellformed.levels
+
+(* Condition 1: a node must meet its responsibility directly or through
+   sibling delegation. Here the left leaf answers for [-inf,"m") but only
+   contains [-inf,"g") and delegates nothing. *)
+let test_condition1_uncovered_responsibility () =
+  let nodes =
+    [
+      node 1 ~level:1 whole
+        ~index:[ (itv None (Some "m"), 2); (itv (Some "m") None, 3) ]
+        ();
+      node 2 (itv None (Some "m")) ~directly:(itv None (Some "g")) ();
+      node 3 (itv (Some "m") None) ();
+    ]
+  in
+  expect_violation "condition 1" 1 (check nodes ~root:1)
+
+(* Condition 2: a sibling term must describe a subspace of its containing
+   node. This leaf delegates space beyond its own responsibility. *)
+let test_condition2_sibling_escapes () =
+  let nodes =
+    [
+      node 1 ~level:1 whole
+        ~index:[ (itv None (Some "m"), 2); (itv (Some "m") None, 3) ]
+        ();
+      node 2
+        (itv None (Some "m"))
+        ~directly:(itv None (Some "m"))
+        ~siblings:[ (itv (Some "m") (Some "z"), 3) ]
+        ();
+      node 3 (itv (Some "m") None) ();
+    ]
+  in
+  expect_violation "condition 2" 2 (check nodes ~root:1)
+
+(* Condition 3: an index term must describe space its child is responsible
+   for. The root claims child 2 answers for [-inf,"m"), but the child is
+   only responsible for ["c","m") — exactly what the Bad_post_sep injected
+   bug produces. *)
+let test_condition3_bad_separator () =
+  let nodes =
+    [
+      node 1 ~level:1 whole
+        ~index:[ (itv None (Some "m"), 2); (itv (Some "m") None, 3) ]
+        ();
+      node 2 (itv (Some "c") (Some "m")) ();
+      node 3 (itv (Some "m") None) ();
+    ]
+  in
+  expect_violation "condition 3" 3 (check nodes ~root:1)
+
+(* Condition 4: an index node's index+sibling terms must cover the space it
+   directly contains — otherwise a search can fall into a hole. *)
+let test_condition4_hole_in_index () =
+  let nodes =
+    [
+      node 1 ~level:1 whole ~index:[ (itv None (Some "m"), 2) ] ();
+      node 2 (itv None (Some "m")) ();
+    ]
+  in
+  expect_violation "condition 4" 4 (check nodes ~root:1)
+
+(* Condition 5: level-0 nodes are data nodes; one carrying index terms is
+   structurally corrupt. *)
+let test_condition5_data_node_with_index_terms () =
+  let nodes =
+    [
+      node 1 ~level:1 whole ~index:[ (whole, 2) ] ();
+      node 2 whole ~index:[ (itv None (Some "m"), 3) ] ();
+      node 3 (itv None (Some "m")) ();
+    ]
+  in
+  expect_violation "condition 5" 5 (check nodes ~root:1)
+
+(* Condition 6: the root must be responsible for the entire space. *)
+let test_condition6_root_not_whole () =
+  let nodes = [ node 1 (itv (Some "a") None) () ] in
+  expect_violation "condition 6" 6 (check nodes ~root:1)
+
+let test_root_deallocated () =
+  expect_violation "missing root" 6 (check [] ~root:1)
+
+(* Pointer rule: no term may reach a de-allocated node. *)
+let test_dangling_index_pointer () =
+  let nodes =
+    [
+      node 1 ~level:1 whole
+        ~index:[ (itv None (Some "m"), 99); (itv (Some "m") None, 3) ]
+        ();
+      node 3 (itv (Some "m") None) ();
+    ]
+  in
+  expect_violation "dangling pointer" 3 (check nodes ~root:1)
+
+let test_dangling_sibling_pointer () =
+  let nodes =
+    [
+      node 1 ~level:1 whole ~index:[ (whole, 2) ] ();
+      node 2 whole
+        ~directly:(itv None (Some "g"))
+        ~siblings:[ (itv (Some "g") None, 77) ]
+        ();
+    ]
+  in
+  expect_violation "dangling sibling" 2 (check nodes ~root:1)
+
+let suites =
+  [
+    ( "wellformed",
+      [
+        Alcotest.test_case "legal tree passes" `Quick test_legal_tree_passes;
+        Alcotest.test_case "condition 1: uncovered responsibility" `Quick
+          test_condition1_uncovered_responsibility;
+        Alcotest.test_case "condition 2: sibling escapes" `Quick
+          test_condition2_sibling_escapes;
+        Alcotest.test_case "condition 3: bad separator" `Quick
+          test_condition3_bad_separator;
+        Alcotest.test_case "condition 4: hole in index" `Quick
+          test_condition4_hole_in_index;
+        Alcotest.test_case "condition 5: data node with index terms" `Quick
+          test_condition5_data_node_with_index_terms;
+        Alcotest.test_case "condition 6: root not whole" `Quick
+          test_condition6_root_not_whole;
+        Alcotest.test_case "root de-allocated" `Quick test_root_deallocated;
+        Alcotest.test_case "dangling index pointer" `Quick
+          test_dangling_index_pointer;
+        Alcotest.test_case "dangling sibling pointer" `Quick
+          test_dangling_sibling_pointer;
+      ] );
+  ]
