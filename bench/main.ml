@@ -20,6 +20,7 @@ module Wellformed = Pitree_core.Wellformed
 module Kv = Pitree_harness.Kv
 module Workload = Pitree_harness.Workload
 module Driver = Pitree_harness.Driver
+module Endure = Pitree_harness.Endure
 module Table = Pitree_harness.Table
 module Rng = Pitree_util.Rng
 module Zipf = Pitree_util.Zipf
@@ -1268,6 +1269,37 @@ let ckpt_smoke () =
 
 (* ------------------------------------------------------------------ *)
 
+(* E18: the endurance rig (see lib/harness/endure.ml and the pitree
+   endure subcommand for the full-scale run). The smoke variant keeps CI
+   honest: mixed load, faults on, one crash cycle, all SLOs gated. *)
+let endure_impl cfg ~out =
+  let r = Endure.run ~log:(Printf.printf "%s\n%!") cfg in
+  Format.printf "%a@." Endure.pp_result r;
+  let oc = open_out out in
+  output_string oc (Endure.to_json r);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if not r.Endure.passed then exit 1
+
+let endure () =
+  endure_impl
+    { Endure.default_config with Endure.seconds = 30.0; keys = 200_000 }
+    ~out:"BENCH_endure.json"
+
+let endure_smoke () =
+  endure_impl
+    {
+      Endure.default_config with
+      Endure.keys = 20_000;
+      seconds = 4.0;
+      domains = 2;
+      pool_capacity = 1024;
+      ckpt_log_bytes = 262_144;
+      crash_cycles = 1;
+      verify_sample = 500;
+    }
+    ~out:"BENCH_endure.json"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1276,11 +1308,12 @@ let experiments =
     ("wal", wal); ("wal-smoke", wal_smoke);
     ("pool", pool_bench); ("pool-smoke", pool_smoke);
     ("ckpt", ckpt); ("ckpt-smoke", ckpt_smoke);
+    ("endure", endure); ("endure-smoke", endure_smoke);
     ("micro", micro);
   ]
 
 (* smoke variants would overwrite the full runs' JSON artifacts *)
-let smoke_variants = [ "wal-smoke"; "pool-smoke"; "ckpt-smoke" ]
+let smoke_variants = [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1288,7 +1321,8 @@ let () =
   | [ "--help" ] | [ "-h" ] ->
       print_endline
         "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
-         pool-smoke | ckpt | ckpt-smoke | micro | all]";
+         pool-smoke | ckpt | ckpt-smoke | endure | endure-smoke | micro | \
+         all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter

@@ -479,10 +479,141 @@ let sim_cmd =
       $ sim_depth_arg $ sim_preemptions_arg $ sim_max_schedules_arg
       $ sim_bug_arg $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
 
+(* --- endure --- *)
+
+let endure keys seconds domains mix theta value_len scan_len pool ckpt_kb
+    faults cycles sample seed dir out quiet slo_p99_ms slo_wal_mb =
+  let module Endure = Pitree_harness.Endure in
+  match Endure.mix_of_string mix with
+  | None ->
+      Printf.eprintf "endure: unknown mix %S (A..F or mixed)\n" mix;
+      2
+  | Some mix ->
+      let faults =
+        match String.lowercase_ascii faults with
+        | "on" | "true" | "1" -> true
+        | _ -> false
+      in
+      let cfg =
+        {
+          Endure.default_config with
+          Endure.keys;
+          seconds;
+          domains;
+          mix;
+          theta;
+          value_len;
+          scan_len;
+          pool_capacity = pool;
+          ckpt_log_bytes = ckpt_kb * 1024;
+          faults;
+          crash_cycles = cycles;
+          verify_sample = sample;
+          seed = Int64.of_int seed;
+          dir;
+          slo_p99_read_ns = slo_p99_ms * 1_000_000;
+          slo_wal_bytes = slo_wal_mb * 1024 * 1024;
+        }
+      in
+      let log =
+        if quiet then fun s ->
+          (* Quiet suppresses progress, not autopsies: on verification
+             failure the forensic dump is the only diagnostic artifact. *)
+          (if String.length s >= 9 && String.sub s 0 9 = "FORENSICS" then
+             Printf.eprintf "endure: %s\n%!" s)
+        else fun s -> Printf.printf "endure: %s\n%!" s
+      in
+      let r = Endure.run ~log cfg in
+      let oc = open_out out in
+      output_string oc (Endure.to_json r);
+      close_out oc;
+      if not quiet then Format.printf "%a@." Endure.pp_result r;
+      Printf.printf "wrote %s\n%!" out;
+      if r.Endure.passed then 0 else 1
+
+let e_keys_arg =
+  Arg.(value & opt int 1_000_000 & info [ "keys" ] ~doc:"Preloaded key-space size.")
+
+let e_seconds_arg =
+  Arg.(value & opt float 60. & info [ "seconds" ] ~doc:"Measured run duration.")
+
+let e_domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~doc:"Worker domains.")
+
+let e_mix_arg =
+  Arg.(value & opt string "mixed"
+       & info [ "mix" ] ~doc:"YCSB-shaped mix: A..F or mixed.")
+
+let e_theta_arg =
+  Arg.(value & opt float 0.99 & info [ "theta" ] ~doc:"Zipf theta (<=0 = uniform).")
+
+let e_value_len_arg =
+  Arg.(value & opt int 64 & info [ "value-len" ] ~doc:"Value bytes.")
+
+let e_scan_len_arg =
+  Arg.(value & opt int 50 & info [ "scan-len" ] ~doc:"Records per scan op.")
+
+let e_pool_arg =
+  Arg.(value & opt int 8192 & info [ "pool" ] ~doc:"Buffer-pool frames.")
+
+let e_ckpt_kb_arg =
+  Arg.(value & opt int 4096
+       & info [ "ckpt-kb" ] ~doc:"Checkpoint after this much log growth (KiB).")
+
+let e_faults_arg =
+  Arg.(value & opt string "on" & info [ "faults" ] ~doc:"Fault injection: on|off.")
+
+let e_cycles_arg =
+  Arg.(value & opt int 3 & info [ "cycles" ] ~doc:"Mid-run crash+recover cycles.")
+
+let e_sample_arg =
+  Arg.(value & opt int 2000
+       & info [ "sample" ] ~doc:"Model keys re-verified per recovery.")
+
+let e_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let e_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Directory for the page file and WAL (default: fresh temp \
+                 dir, removed afterwards).")
+
+let e_out_arg =
+  Arg.(value & opt string "BENCH_endure.json"
+       & info [ "out" ] ~doc:"Where to write the JSON report.")
+
+let e_quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only write the JSON report.")
+
+let e_slo_p99_arg =
+  Arg.(value & opt int 50
+       & info [ "slo-p99-read-ms" ] ~doc:"SLO: point-read p99 bound (ms).")
+
+let e_slo_wal_arg =
+  Arg.(value & opt int 64
+       & info [ "slo-wal-mb" ] ~doc:"SLO: WAL file size bound (MiB).")
+
+let endure_cmd =
+  Cmd.v
+    (Cmd.info "endure"
+       ~doc:
+         "Endurance rig: YCSB-shaped mixes against a file-backed database \
+          under fault injection, automatic checkpointing with log \
+          truncation, and mid-run crash+recover cycles — gated by SLOs \
+          (zero lost committed writes, complete scans, well-formedness, \
+          p99 point-read and WAL-size bounds). Exits 0 iff every SLO \
+          passes.")
+    Term.(
+      const endure $ e_keys_arg $ e_seconds_arg $ e_domains_arg $ e_mix_arg
+      $ e_theta_arg $ e_value_len_arg $ e_scan_len_arg $ e_pool_arg
+      $ e_ckpt_kb_arg $ e_faults_arg $ e_cycles_arg $ e_sample_arg
+      $ e_seed_arg $ e_dir_arg $ e_out_arg $ e_quiet_arg $ e_slo_p99_arg
+      $ e_slo_wal_arg)
+
 let main =
   Cmd.group
     (Cmd.info "pitree" ~version:"1.0.0"
        ~doc:"Pi-tree index structures with concurrency and recovery (Lomet & Salzberg, SIGMOD 1992).")
-    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd; sim_cmd ]
+    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd; sim_cmd; endure_cmd ]
 
 let () = exit (Cmd.eval' main)

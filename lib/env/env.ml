@@ -23,6 +23,8 @@ type config = {
   log_path : string option;
   wal_group_commit : bool;
   pool_shards : int option;  (* None: Buffer_pool picks (domain count) *)
+  pool_pin_attempts : int option;  (* None: Buffer_pool default (20) *)
+  pool_backoff_seed : int option;  (* seeds the pool's backoff jitter *)
   ckpt_log_bytes : int option;
   ckpt_interval_s : float option;
 }
@@ -36,6 +38,8 @@ let default_config =
     log_path = None;
     wal_group_commit = true;
     pool_shards = None;
+    pool_pin_attempts = None;
+    pool_backoff_seed = None;
     ckpt_log_bytes = None;
     ckpt_interval_s = None;
   }
@@ -251,12 +255,19 @@ let wire_triggers t =
          ignore
            (Log_manager.append !(t.log_ref) ~prev:Lsn.null ~txn:0
               (Log_record.Page_image
-                 { page = pid; image = Bytes.to_string (Page.raw page) }))))
+                 { page = pid; image = Bytes.to_string (Page.raw page) }))));
+  (* Dirtied pages take their rec_lsn from the WAL tail (their first
+     un-persisted record lands above it); without this, one update to a
+     cold or freshly created page floors the checkpoint redo point — and
+     truncation — below the retained log. *)
+  Buffer_pool.set_lsn_source t.pool_v
+    (Some (fun () -> Log_manager.last_lsn !(t.log_ref)))
 
 let fresh_volatile t =
   t.pool_v <-
     Buffer_pool.create ~capacity:t.cfg.pool_capacity ?shards:t.cfg.pool_shards
-      ~disk:t.disk
+      ?pin_attempts:t.cfg.pool_pin_attempts
+      ?backoff_seed:t.cfg.pool_backoff_seed ~disk:t.disk
       ~wal_flush:(fun lsn -> Log_manager.flush !(t.log_ref) lsn)
       ();
   t.locks_v <- Lock_manager.create ();
@@ -266,6 +277,7 @@ let fresh_volatile t =
 let make_skeleton disk log_ref cfg =
   let pool =
     Buffer_pool.create ~capacity:cfg.pool_capacity ?shards:cfg.pool_shards
+      ?pin_attempts:cfg.pool_pin_attempts ?backoff_seed:cfg.pool_backoff_seed
       ~disk
       ~wal_flush:(fun lsn -> Log_manager.flush !log_ref lsn)
       ()
@@ -477,6 +489,11 @@ let recover t =
   wire_triggers t;
   t.crashed <- false;
   let report = Recovery.run ~log:!(t.log_ref) ~pool:t.pool_v in
+  (* The reopened log's [bytes] counter restarts at zero; rebase the
+     log-growth watermark on it or the trigger compares fresh appends
+     against the pre-crash high-water mark and stalls checkpointing
+     (and truncation) until the new log outgrows the old one. *)
+  t.last_ckpt_bytes <- (Log_manager.stats !(t.log_ref)).Log_manager.bytes;
   start_ckpt_thread t;
   report
 

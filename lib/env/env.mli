@@ -35,6 +35,14 @@ type config = {
       (** buffer-pool shard count override ([Some 1] = legacy single-mutex
           pool; [None]: domain count, see [Buffer_pool.create]); survives
           crash/recover cycles *)
+  pool_pin_attempts : int option;
+      (** bound on the pool's full-shard retry ladder before
+          [Pool_exhausted] ([None]: Buffer_pool's default, 20); survives
+          crash/recover cycles *)
+  pool_backoff_seed : int option;
+      (** seed for the pool's backoff jitter ([None]: 0) — pin retries and
+          disk-op retries scale each wait by a seeded factor in [0.5, 1.5)
+          so fault-plan storms degrade without stampeding *)
   ckpt_log_bytes : int option;
       (** take a fuzzy checkpoint (on the committing thread) whenever the
           log has grown by this many bytes since the last one *)

@@ -9,12 +9,15 @@ type result = {
   mean_ns : float;
   p50_ns : int;
   p99_ns : int;
+  p999_ns : int;
   stats : Stats.t option;
 }
 
 let pp_result ppf r =
-  Fmt.pf ppf "%d domains: %.0f ops/s (mean %.0fns p50 %dns p99 %dns, %d ops in %.2fs)"
-    r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.total_ops r.elapsed_s;
+  Fmt.pf ppf
+    "%d domains: %.0f ops/s (mean %.0fns p50 %dns p99 %dns p999 %dns, %d ops in %.2fs)"
+    r.domains r.ops_per_s r.mean_ns r.p50_ns r.p99_ns r.p999_ns r.total_ops
+    r.elapsed_s;
   match r.stats with
   | None -> ()
   | Some s -> Fmt.pf ppf "@\n%a" Stats.pp s
@@ -31,6 +34,10 @@ let apply inst = function
   | Workload.Find k -> ignore (Kv.find inst k)
   | Workload.Insert (k, v) -> ignore (Kv.insert inst ~key:k ~value:v)
   | Workload.Delete k -> ignore (Kv.delete inst k)
+  | Workload.Scan (k, n) -> ignore (Kv.scan inst ~low:k ~n)
+  | Workload.Rmw (k, v) ->
+      ignore (Kv.find inst k);
+      Kv.insert inst ~key:k ~value:v
 
 let worker inst spec ~seed ~worker:w ~workers ~ops =
   let g = Workload.gen spec ~seed ~worker:w ~workers in
@@ -43,8 +50,8 @@ let worker inst spec ~seed ~worker:w ~workers ~ops =
   done;
   h
 
-let run ?env ~domains ~ops_per_domain ~seed inst spec =
-  let before = Option.map Stats.of_env env in
+let run ?env ?faults ~domains ~ops_per_domain ~seed inst spec =
+  let before = Option.map (Stats.of_env ?faults) env in
   let t0 = now () in
   let hists =
     if domains = 1 then [ worker inst spec ~seed ~worker:0 ~workers:1 ~ops:ops_per_domain ]
@@ -63,7 +70,8 @@ let run ?env ~domains ~ops_per_domain ~seed inst spec =
   let total = domains * ops_per_domain in
   let stats =
     match (env, before) with
-    | Some env, Some before -> Some (Stats.delta ~before ~after:(Stats.of_env env))
+    | Some env, Some before ->
+        Some (Stats.delta ~before ~after:(Stats.of_env ?faults env))
     | _ -> None
   in
   {
@@ -74,5 +82,6 @@ let run ?env ~domains ~ops_per_domain ~seed inst spec =
     mean_ns = Histogram.mean h;
     p50_ns = Histogram.percentile h 50.0;
     p99_ns = Histogram.percentile h 99.0;
+    p999_ns = Histogram.p999 h;
     stats;
   }

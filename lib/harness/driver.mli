@@ -13,6 +13,7 @@ type result = {
   mean_ns : float;
   p50_ns : int;
   p99_ns : int;
+  p999_ns : int;
   stats : Stats.t option;
       (** present when [run] was given the environment: WAL, buffer-pool
           and env counters as deltas across the run (see {!Stats.delta}
@@ -27,6 +28,7 @@ val preload : Kv.instance -> Workload.spec -> n:int -> unit
 
 val run :
   ?env:Pitree_env.Env.t ->
+  ?faults:Pitree_storage.Disk.Faulty.ctl ->
   domains:int ->
   ops_per_domain:int ->
   seed:int64 ->
@@ -35,4 +37,5 @@ val run :
   result
 (** Pass [?env] to capture a {!Stats.t} delta (WAL group-commit counters,
     buffer-pool hit/eviction/miss-wait, checkpoint activity) alongside
-    throughput. *)
+    throughput; add [?faults] (the env disk's [Faulty.ctl]) to include
+    injected-fault counters in the delta. *)

@@ -5,6 +5,7 @@ module type S = sig
   val insert : t -> key:string -> value:string -> unit
   val delete : t -> string -> bool
   val find : t -> string -> string option
+  val scan : t -> low:string -> n:int -> int
 end
 
 type instance = Inst : (module S with type t = 'a) * 'a -> instance
@@ -13,6 +14,7 @@ let name (Inst ((module M), _)) = M.engine_name
 let insert (Inst ((module M), t)) ~key ~value = M.insert t ~key ~value
 let delete (Inst ((module M), t)) key = M.delete t key
 let find (Inst ((module M), t)) key = M.find t key
+let scan (Inst ((module M), t)) ~low ~n = M.scan t ~low ~n
 
 module Blink_kv = struct
   type t = Pitree_blink.Blink.t
@@ -21,8 +23,19 @@ module Blink_kv = struct
   let insert t ~key ~value = Pitree_blink.Blink.insert t ~key ~value
   let delete t k = Pitree_blink.Blink.delete t k
   let find = Pitree_blink.Blink.find
+
+  let scan t ~low ~n =
+    let c = Pitree_blink.Cursor.seek t low in
+    let count =
+      Pitree_blink.Cursor.fold_until c ~limit:n ~init:0 ~f:(fun acc _ _ ->
+          acc + 1)
+    in
+    Pitree_blink.Cursor.close c;
+    count
 end
 
+(* The baselines expose no ordered iteration; [scan] reports 0 records so
+   mixed workloads still run against them, with scans as no-ops. *)
 module Coupling_kv = struct
   type t = Pitree_baseline.Bt_coupling.t
 
@@ -30,6 +43,7 @@ module Coupling_kv = struct
   let insert = Pitree_baseline.Bt_coupling.insert
   let delete = Pitree_baseline.Bt_coupling.delete
   let find = Pitree_baseline.Bt_coupling.find
+  let scan _ ~low:_ ~n:_ = 0
 end
 
 module Treelatch_kv = struct
@@ -39,6 +53,7 @@ module Treelatch_kv = struct
   let insert = Pitree_baseline.Bt_treelatch.insert
   let delete = Pitree_baseline.Bt_treelatch.delete
   let find = Pitree_baseline.Bt_treelatch.find
+  let scan _ ~low:_ ~n:_ = 0
 end
 
 let blink t = Inst ((module Blink_kv), t)

@@ -8,6 +8,11 @@ module type S = sig
   val insert : t -> key:string -> value:string -> unit
   val delete : t -> string -> bool
   val find : t -> string -> string option
+
+  val scan : t -> low:string -> n:int -> int
+  (** Count up to [n] records with key >= [low] in key order. The B-link
+      engine walks a latch-consistent cursor; the baselines expose no
+      ordered iteration and report 0. *)
 end
 
 type instance = Inst : (module S with type t = 'a) * 'a -> instance
@@ -16,6 +21,7 @@ val name : instance -> string
 val insert : instance -> key:string -> value:string -> unit
 val delete : instance -> string -> bool
 val find : instance -> string -> string option
+val scan : instance -> low:string -> n:int -> int
 
 val blink : Pitree_blink.Blink.t -> instance
 val coupling : Pitree_baseline.Bt_coupling.t -> instance

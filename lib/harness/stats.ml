@@ -1,20 +1,23 @@
 module Log_manager = Pitree_wal.Log_manager
 module Buffer_pool = Pitree_storage.Buffer_pool
+module Disk = Pitree_storage.Disk
 module Env = Pitree_env.Env
 
 type t = {
   wal : Log_manager.stats option;
   pool : Buffer_pool.stats option;
   env : Env.stats option;
+  faults : Disk.Faulty.counters option;
 }
 
-let empty = { wal = None; pool = None; env = None }
+let empty = { wal = None; pool = None; env = None; faults = None }
 
-let of_env env =
+let of_env ?faults env =
   {
     wal = Some (Log_manager.stats (Env.log env));
     pool = Some (Buffer_pool.stats (Env.pool env));
     env = Some (Env.stats env);
+    faults = Option.map Disk.Faulty.counters faults;
   }
 
 (* Counter fields are reported as the delta across the run; the batch/wait
@@ -79,6 +82,20 @@ let env_delta (before : Env.stats) (after : Env.stats) =
       after.Env.ckpt_bytes_truncated - before.Env.ckpt_bytes_truncated;
   }
 
+(* Injection counters are plain monotone counts, so the delta is exact. *)
+let faults_delta (before : Disk.Faulty.counters) (after : Disk.Faulty.counters)
+    =
+  {
+    Disk.Faulty.torn_writes =
+      after.Disk.Faulty.torn_writes - before.Disk.Faulty.torn_writes;
+    transient_reads =
+      after.Disk.Faulty.transient_reads - before.Disk.Faulty.transient_reads;
+    transient_writes =
+      after.Disk.Faulty.transient_writes - before.Disk.Faulty.transient_writes;
+    bit_flips = after.Disk.Faulty.bit_flips - before.Disk.Faulty.bit_flips;
+    fail_stops = after.Disk.Faulty.fail_stops - before.Disk.Faulty.fail_stops;
+  }
+
 let map2 f a b = match (a, b) with Some a, Some b -> Some (f a b) | _ -> None
 
 let delta ~before ~after =
@@ -86,6 +103,7 @@ let delta ~before ~after =
     wal = map2 wal_delta before.wal after.wal;
     pool = map2 pool_delta before.pool after.pool;
     env = map2 env_delta before.env after.env;
+    faults = map2 faults_delta before.faults after.faults;
   }
 
 let pp_pool ppf (p : Buffer_pool.stats) =
@@ -106,6 +124,14 @@ let pp_env ppf (e : Env.stats) =
     e.Env.checkpoints e.Env.ckpt_pages_written e.Env.ckpt_records_truncated
     e.Env.ckpt_bytes_truncated
 
+let pp_faults ppf (f : Disk.Faulty.counters) =
+  Fmt.pf ppf
+    "faults: injected %d torn / %d transient-read / %d transient-write / %d \
+     bit-flip / %d fail-stop"
+    f.Disk.Faulty.torn_writes f.Disk.Faulty.transient_reads
+    f.Disk.Faulty.transient_writes f.Disk.Faulty.bit_flips
+    f.Disk.Faulty.fail_stops
+
 let pp ppf s =
   let sections =
     List.filter_map
@@ -114,6 +140,7 @@ let pp ppf s =
         Option.map (fun w -> fun ppf () -> Log_manager.pp_stats ppf w) s.wal;
         Option.map (fun p -> fun ppf () -> pp_pool ppf p) s.pool;
         Option.map (fun e -> fun ppf () -> pp_env ppf e) s.env;
+        Option.map (fun f -> fun ppf () -> pp_faults ppf f) s.faults;
       ]
   in
   Fmt.pf ppf "@[<v>%a@]"
@@ -154,6 +181,14 @@ let env_json b (e : Env.stats) =
     e.Env.checkpoints e.Env.ckpt_pages_written e.Env.ckpt_records_truncated
     e.Env.ckpt_bytes_truncated
 
+let faults_json b (f : Disk.Faulty.counters) =
+  Printf.bprintf b
+    "{\"torn_writes\": %d, \"transient_reads\": %d, \"transient_writes\": %d, \
+     \"bit_flips\": %d, \"fail_stops\": %d}"
+    f.Disk.Faulty.torn_writes f.Disk.Faulty.transient_reads
+    f.Disk.Faulty.transient_writes f.Disk.Faulty.bit_flips
+    f.Disk.Faulty.fail_stops
+
 let to_json s =
   let b = Buffer.create 1024 in
   let field name opt j =
@@ -166,5 +201,7 @@ let to_json s =
   field "pool" s.pool pool_json;
   Buffer.add_string b ", ";
   field "env" s.env env_json;
+  Buffer.add_string b ", ";
+  field "faults" s.faults faults_json;
   Buffer.add_string b "}";
   Buffer.contents b

@@ -12,14 +12,19 @@ type t = {
   wal : Pitree_wal.Log_manager.stats option;
   pool : Pitree_storage.Buffer_pool.stats option;
   env : Pitree_env.Env.stats option;
+  faults : Pitree_storage.Disk.Faulty.counters option;
+      (** injected faults per kind, when the environment's disk is a
+          [Disk.Faulty] wrapper — the injection-side complement of the
+          pool's [retried_reads]/[retried_writes] absorption counters *)
 }
 (** Each component is optional so partial snapshots (e.g. a bare pool
     bench with no environment) fit the same record. *)
 
 val empty : t
 
-val of_env : Pitree_env.Env.t -> t
-(** Snapshot all three components of a live environment. *)
+val of_env : ?faults:Pitree_storage.Disk.Faulty.ctl -> Pitree_env.Env.t -> t
+(** Snapshot the components of a live environment. Pass the [Faulty.ctl]
+    of the env's wrapped disk to include injection counters. *)
 
 val delta : before:t -> after:t -> t
 (** Component-wise counter subtraction ([None] on either side stays
@@ -31,5 +36,5 @@ val pp : Format.formatter -> t -> unit
 (** One line per present component. *)
 
 val to_json : t -> string
-(** One JSON object [{"wal": .., "pool": .., "env": ..}] with [null] for
-    absent components. *)
+(** One JSON object [{"wal": .., "pool": .., "env": .., "faults": ..}]
+    with [null] for absent components. *)

@@ -1,7 +1,12 @@
 module Rng = Pitree_util.Rng
 module Zipf_s = Pitree_util.Zipf
 
-type op = Find of string | Insert of string * string | Delete of string
+type op =
+  | Find of string
+  | Insert of string * string
+  | Delete of string
+  | Scan of string * int
+  | Rmw of string * string
 
 type dist = Uniform | Zipf of float | Sequential
 
@@ -11,14 +16,29 @@ type spec = {
   read_pct : int;
   insert_pct : int;
   delete_pct : int;
+  scan_pct : int;
+  rmw_pct : int;
+  scan_len : int;
   dist : dist;
 }
 
 let spec ?(key_space = 100_000) ?(value_len = 16) ?(read_pct = 100)
-    ?(insert_pct = 0) ?(delete_pct = 0) ?(dist = Uniform) () =
-  if read_pct + insert_pct + delete_pct <> 100 then
+    ?(insert_pct = 0) ?(delete_pct = 0) ?(scan_pct = 0) ?(rmw_pct = 0)
+    ?(scan_len = 50) ?(dist = Uniform) () =
+  if read_pct + insert_pct + delete_pct + scan_pct + rmw_pct <> 100 then
     invalid_arg "Workload.spec: mix must sum to 100";
-  { key_space; value_len; read_pct; insert_pct; delete_pct; dist }
+  if scan_len < 1 then invalid_arg "Workload.spec: scan_len < 1";
+  {
+    key_space;
+    value_len;
+    read_pct;
+    insert_pct;
+    delete_pct;
+    scan_pct;
+    rmw_pct;
+    scan_len;
+    dist;
+  }
 
 let key_of i = Printf.sprintf "k%010d" i
 
@@ -51,8 +71,12 @@ let pick_key g =
 let value g = String.make g.spec.value_len (Char.chr (65 + Rng.int g.rng 26))
 
 let next g =
+  let s = g.spec in
   let r = Rng.int g.rng 100 in
   let k = key_of (pick_key g) in
-  if r < g.spec.read_pct then Find k
-  else if r < g.spec.read_pct + g.spec.insert_pct then Insert (k, value g)
-  else Delete k
+  if r < s.read_pct then Find k
+  else if r < s.read_pct + s.insert_pct then Insert (k, value g)
+  else if r < s.read_pct + s.insert_pct + s.delete_pct then Delete k
+  else if r < s.read_pct + s.insert_pct + s.delete_pct + s.scan_pct then
+    Scan (k, s.scan_len)
+  else Rmw (k, value g)

@@ -6,6 +6,9 @@ type op =
   | Find of string
   | Insert of string * string
   | Delete of string
+  | Scan of string * int  (** start key, record count (YCSB-E shape) *)
+  | Rmw of string * string
+      (** read-modify-write: point read then overwrite (YCSB-F shape) *)
 
 type dist =
   | Uniform
@@ -17,15 +20,20 @@ type spec = {
   value_len : int;
   read_pct : int;
   insert_pct : int;
-  delete_pct : int;  (** the three must sum to 100 *)
+  delete_pct : int;
+  scan_pct : int;
+  rmw_pct : int;  (** the five percentages must sum to 100 *)
+  scan_len : int;  (** records per [Scan] op *)
   dist : dist;
 }
 
 val spec :
   ?key_space:int -> ?value_len:int -> ?read_pct:int -> ?insert_pct:int ->
-  ?delete_pct:int -> ?dist:dist -> unit -> spec
-(** Defaults: 100k keys, 16-byte values, 100/0/0 read-only, uniform. Raises
-    [Invalid_argument] when the mix does not sum to 100. *)
+  ?delete_pct:int -> ?scan_pct:int -> ?rmw_pct:int -> ?scan_len:int ->
+  ?dist:dist -> unit -> spec
+(** Defaults: 100k keys, 16-byte values, 100/0/0/0/0 read-only, 50-record
+    scans, uniform. Raises [Invalid_argument] when the mix does not sum to
+    100. *)
 
 val key_of : int -> string
 (** The canonical fixed-width key encoding used by all experiments. *)

@@ -18,8 +18,9 @@ type frame = {
   latch : Latch.t;
   mutable dirty : bool;
   mutable rec_lsn : int;
-      (* recovery LSN: set at the clean->dirty transition to (page LSN + 1),
-         a lower bound on the first log record whose effect is not yet in
+      (* recovery LSN: set at the clean->dirty transition to (WAL tail + 1)
+         — falling back to (page LSN + 1) with no LSN source installed — a
+         lower bound on the first log record whose effect is not yet in
          the durable image; meaningful only while [dirty] *)
   pins : int Atomic.t;
   cond : Condition.t;
@@ -30,6 +31,10 @@ type frame = {
   img_log : (int -> Page.t -> unit) option ref;
       (* shared with the pool: full-page-write hook fired at each
          clean->dirty transition, before [dirty] is set (see mark_dirty) *)
+  lsn_src : (unit -> int) option ref;
+      (* shared with the pool: current WAL tail, consulted at the
+         clean->dirty transition of a page with no history (LSN 0), whose
+         own LSN cannot bound its first record (see mark_dirty) *)
 }
 
 type shard = {
@@ -53,8 +58,11 @@ type t = {
   shard_cap : int;
   max_retries : int;
   backoff_base : float;
+  pin_attempts : int;
+  jitter : int Atomic.t; (* shared splitmix-style state for backoff jitter *)
   wal_flush : int -> unit;
   img_log : (int -> Page.t -> unit) option ref;
+  lsn_src : (unit -> int) option ref;
   mutable dead : bool; (* written under every shard mutex, read under one *)
   retried_reads : int Atomic.t;
   retried_writes : int Atomic.t;
@@ -63,15 +71,17 @@ type t = {
 exception Pool_exhausted
 
 (* Bounded retries when every frame in the target shard is pinned: total
-   sleep is ~40ms with the default backoff, enough to ride out transient
-   fan-in spikes without masking a genuinely undersized pool. *)
-let pin_attempts = 20
+   sleep is ~40ms with the default budget and backoff, enough to ride out
+   transient fan-in spikes without masking a genuinely undersized pool. *)
+let default_pin_attempts = 20
 
 let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
 
 let create ?(capacity = 1024) ?shards ?(max_retries = 12)
-    ?(backoff_base = 0.0002) ~disk ~wal_flush () =
+    ?(backoff_base = 0.0002) ?(pin_attempts = default_pin_attempts)
+    ?(backoff_seed = 0) ~disk ~wal_flush () =
   if capacity < 8 then invalid_arg "Buffer_pool.create: capacity < 8";
+  if pin_attempts < 0 then invalid_arg "Buffer_pool.create: pin_attempts < 0";
   let requested =
     match shards with
     | Some s ->
@@ -110,8 +120,11 @@ let create ?(capacity = 1024) ?shards ?(max_retries = 12)
     shard_cap;
     max_retries;
     backoff_base;
+    pin_attempts;
+    jitter = Atomic.make (backoff_seed land max_int);
     wal_flush;
     img_log = ref None;
+    lsn_src = ref None;
     dead = false;
     retried_reads = Atomic.make 0;
     retried_writes = Atomic.make 0;
@@ -119,15 +132,34 @@ let create ?(capacity = 1024) ?shards ?(max_retries = 12)
 
 let capacity t = Array.length t.shards * t.shard_cap
 let shards t = Array.length t.shards
+let pin_attempts t = t.pin_attempts
 
 (* Fibonacci-hash the pid so adjacent pages (siblings under one parent)
    spread across shards instead of clustering. *)
 let shard_of t pid = t.shards.((pid * 0x9E3779B1) land t.mask)
 
-(* Capped exponential backoff before retry [attempt] (0-based). *)
-let backoff t attempt =
+(* Seeded jitter for the backoff ladder: a multiplicative factor in
+   [0.5, 1.5) drawn from a shared splitmix-style counter. Concurrent
+   waiters (many threads hitting a full shard or a flapping disk at once)
+   draw different factors and desynchronize instead of stampeding back in
+   lockstep. Interleaving of concurrent draws only permutes the sequence;
+   a fixed seed plus a deterministic draw order reproduces it exactly. *)
+let jitter_factor t =
+  let x = Atomic.fetch_and_add t.jitter 0x9E3779B9 in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x21F0AAAD land max_int in
+  let x = x lxor (x lsr 15) in
+  let x = x * 0x735A2D97 land max_int in
+  let x = x lxor (x lsr 15) in
+  0.5 +. (float_of_int (x land 0xFFFFF) /. 1_048_576.)
+
+(* Capped exponential backoff (with jitter) before retry [attempt]
+   (0-based). *)
+let backoff_duration t attempt =
   let d = t.backoff_base *. (2.0 ** float_of_int (min attempt 4)) in
-  Thread.delay (min d 0.002)
+  min d 0.002 *. jitter_factor t
+
+let backoff t attempt = Thread.delay (backoff_duration t attempt)
 
 (* Read page [pid]'s durable image, absorbing transient disk errors (with
    backoff) and transient read-path corruption (immediate re-read). A
@@ -281,7 +313,7 @@ let rec pin_loop t sh pid ~read ~attempt =
           (* A slot was freed, but the mutex may have been dropped during
              a dirty write-out: re-run the lookup from scratch. *)
           pin_loop t sh pid ~read ~attempt
-        else if attempt >= pin_attempts then begin
+        else if attempt >= t.pin_attempts then begin
           Mutex.unlock sh.mu;
           raise Pool_exhausted
         end
@@ -329,6 +361,7 @@ let rec pin_loop t sh pid ~read ~attempt =
             waiters = 0;
             slot;
             img_log = t.img_log;
+            lsn_src = t.lsn_src;
           }
         in
         sh.ring.(slot) <- Some fr;
@@ -386,9 +419,7 @@ let unpin _t fr =
    paths clear [dirty] only while excluding mutators (shard mutex + no
    pins, or an S latch). The update protocol calls this BEFORE appending
    the log record, so at the instant any LSN is assigned to the change the
-   page is already in every dirty-page snapshot — rec_lsn = page LSN + 1 is
-   then a sound lower bound, because the record about to be appended will
-   receive a strictly greater LSN than the page currently carries. *)
+   page is already in every dirty-page snapshot. *)
 let mark_dirty fr =
   if not fr.dirty then begin
     (* Full-page write: a clean page with history (LSN > 0) has a durable
@@ -398,15 +429,38 @@ let mark_dirty fr =
        [dirty] flips and before the caller's update record, under the
        caller's X latch, so the image is the exact pre-update durable
        state. Freshly created pages (LSN 0) have no history to protect. *)
+    (* At the clean->dirty instant the durable image holds every update the
+       page has ever seen, so the first record NOT yet in it is the one the
+       caller is about to append — which lands strictly above the current
+       WAL tail. [tail + 1] is therefore a sound rec_lsn, and a *tight*
+       one. The fallback [page LSN + 1] (used when no source is installed:
+       bare pools in tests, and recovery's redo pass) is equally sound but
+       arbitrarily loose: one update to a cold page whose LSN predates the
+       last checkpoint drags the redo floor — and with it the truncation
+       point — back below the retained log, and under steady traffic over
+       a large key space some checkpoint-interval always contains one, so
+       the log never shrinks. Same for freshly created pages (LSN 0), whose
+       fallback rec_lsn of 1 floors truncation at the log origin.
+
+       Read the tail BEFORE logging the full-page image: the image is
+       appended after the read, so image LSN >= rec_lsn and truncation
+       keeps the image exactly as long as the page needs it. *)
+    let bound =
+      match !(fr.lsn_src) with
+      | Some tail -> tail () + 1
+      | None -> Page.lsn fr.page + 1
+    in
     (match !(fr.img_log) with
     | Some logf when Page.lsn fr.page > 0 -> logf fr.pid fr.page
     | _ -> ());
-    fr.rec_lsn <- Page.lsn fr.page + 1;
+    fr.rec_lsn <- bound;
     fr.dirty <- true
   end
 
 let set_image_logger t hook = t.img_log := hook
 let image_logger t = !(t.img_log)
+let set_lsn_source t hook = t.lsn_src := hook
+let lsn_source t = !(t.lsn_src)
 
 let check_alive t = if t.dead then failwith "Buffer_pool: used after crash"
 
@@ -588,3 +642,7 @@ let stats (t : t) =
     miss_wait_mean_ns = (if Histogram.count h = 0 then 0. else Histogram.mean h);
     miss_wait_p99_ns = Histogram.percentile h 99.;
   }
+
+module Testing = struct
+  let backoff_duration t ~attempt = backoff_duration t attempt
+end

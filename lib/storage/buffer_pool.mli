@@ -63,19 +63,24 @@ type frame = private {
   img_log : (int -> Page.t -> unit) option ref;
       (** shared with the pool: full-page-write hook, see
           {!set_image_logger} *)
+  lsn_src : (unit -> int) option ref;
+      (** shared with the pool: WAL-tail source for fresh-page rec_lsns,
+          see {!set_lsn_source} *)
 }
 
 exception Pool_exhausted
 (** Raised when every frame in the target shard stays pinned through the
-    full bounded-backoff retry ladder (~40ms by default). Size the pool
-    above the maximum number of simultaneously pinned pages (ops pin
-    O(tree height) pages). *)
+    full bounded-backoff retry ladder ([pin_attempts] waits, ~40ms total by
+    default). Size the pool above the maximum number of simultaneously
+    pinned pages (ops pin O(tree height) pages). *)
 
 val create :
   ?capacity:int ->
   ?shards:int ->
   ?max_retries:int ->
   ?backoff_base:float ->
+  ?pin_attempts:int ->
+  ?backoff_seed:int ->
   disk:Disk.t ->
   wal_flush:(int -> unit) ->
   unit ->
@@ -87,13 +92,22 @@ val create :
     shard holds at least 8 frames; [?shards:1] reproduces the legacy
     single-mutex pool for baseline comparison. [max_retries] (default 12)
     bounds re-issues of a failed disk op; [backoff_base] (default 0.2ms)
-    seeds the exponential backoff, capped at 2ms per wait. *)
+    seeds the exponential backoff, capped at 2ms per wait. [pin_attempts]
+    (default 20) bounds the full-shard retry ladder before
+    {!Pool_exhausted}. Every backoff wait — pin retries and disk-op
+    retries alike — is scaled by a jitter factor in [0.5, 1.5) drawn from
+    a seeded generator ([backoff_seed], default 0), so a burst of waiters
+    desynchronizes instead of stampeding back in lockstep; equal seeds and
+    draw orders reproduce equal waits. *)
 
 val capacity : t -> int
 (** Total frames across all shards (shard count × per-shard capacity;
     may round the requested capacity up). *)
 
 val shards : t -> int
+
+val pin_attempts : t -> int
+(** The configured full-shard retry budget (see {!create}). *)
 
 val pin : t -> int -> frame
 (** Pin page [pid], reading it from disk on a miss. Raises [Not_found] if
@@ -114,8 +128,9 @@ val mark_dirty : frame -> unit
 (** Record that the page is about to diverge from its durable image. Call
     BEFORE mutating the page (and before appending the log record for the
     change), while holding the frame's X latch: the clean→dirty transition
-    captures [rec_lsn] from the page's current LSN, which is only a sound
-    redo lower bound if the page has not yet been touched. If an image
+    captures [rec_lsn] from the installed {!set_lsn_source} WAL tail (or
+    the page's current LSN without one), which is only a sound redo lower
+    bound if the page has not yet been touched. If an image
     logger is installed (see {!set_image_logger}), the transition also
     logs a full-page write of the pre-update image. *)
 
@@ -131,6 +146,25 @@ val set_image_logger : t -> (int -> Page.t -> unit) option -> unit
 
 val image_logger : t -> (int -> Page.t -> unit) option
 (** The currently installed full-page-write hook. *)
+
+val set_lsn_source : t -> (unit -> int) option -> unit
+(** Install (or clear) the WAL-tail source consulted at each clean→dirty
+    transition: the first record not yet in the durable image is the one
+    the dirtier is about to append, which lands strictly above the tail,
+    so [tail () + 1] is a sound [rec_lsn] — and a tight one. Without a
+    source the fallback is [page LSN + 1]: equally sound, but one update
+    to a page whose LSN predates the last checkpoint drags the redo floor
+    (hence the truncation point) below the retained log — under steady
+    traffic over a large key space the log then never shrinks, and a
+    freshly created page (LSN 0) floors it at the origin outright. The
+    tail is sampled before the full-page image is logged, keeping
+    [rec_lsn] at or below the image's LSN. The environment wires this to
+    [Log_manager.last_lsn]; recovery disables it during redo alongside
+    the image logger (rebuilt pages are flushed before restart completes,
+    so their conservative rec_lsn dies with the dirty bit). *)
+
+val lsn_source : t -> (unit -> int) option
+(** The currently installed WAL-tail source. *)
 
 val flush_page : t -> frame -> unit
 (** WAL-flush then write this page to disk; clears [dirty]. *)
@@ -174,3 +208,11 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Test-only introspection. *)
+module Testing : sig
+  val backoff_duration : t -> attempt:int -> float
+  (** The jittered sleep the pool would take before retry [attempt]
+      (0-based); advances the shared jitter state exactly like a real
+      backoff, without sleeping. *)
+end

@@ -50,6 +50,8 @@ let percentile t p =
     go 0 0
   end
 
+let p999 t = percentile t 99.9
+
 let merge a b =
   let r = create () in
   Array.blit a.counts 0 r.counts 0 buckets;

@@ -19,6 +19,11 @@ val percentile : t -> float -> int
     buckets, reported as the chosen bucket's geometric midpoint
     [2^(i-1/2)] (0 for the zero bucket). *)
 
+val p999 : t -> int
+(** [percentile t 99.9] — the endurance-rig tail percentile, named so the
+    convention (nearest-rank over geometric bucket midpoints) is fixed in
+    one place. *)
+
 val merge : t -> t -> t
 (** Pure merge of two histograms (inputs unchanged). *)
 

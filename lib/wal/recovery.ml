@@ -30,14 +30,23 @@ let torn_count = Atomic.make 0
 (* Pin the page, creating an empty frame when it has no durable image yet
    (its Format record is about to be redone) — or when the durable image is
    torn or corrupt: a page that cannot be trusted is a page that was never
-   written, and redo rebuilds it from the log. *)
-let pin_or_new pool pid =
+   written, and redo rebuilds it from the log. When [rebuilding] is given,
+   a page that fell back to an empty frame is recorded in it: redo must
+   withhold slot-level records from such a page until a base-establishing
+   record (full-page image or Format) re-creates its contents. *)
+let pin_or_new ?rebuilding pool pid =
+  let fresh () =
+    (match rebuilding with
+    | Some tbl -> Hashtbl.replace tbl pid ()
+    | None -> ());
+    Buffer_pool.pin_new pool pid
+  in
   match Buffer_pool.pin pool pid with
   | fr -> fr
-  | exception Not_found -> Buffer_pool.pin_new pool pid
+  | exception Not_found -> fresh ()
   | exception Page.Corrupt _ ->
       Atomic.incr torn_count;
-      Buffer_pool.pin_new pool pid
+      fresh ()
 
 (* Apply one undo step for [record] (an Update), writing a CLR. Returns the
    CLR's lsn. [prev] is the transaction's latest log record, to backchain. *)
@@ -164,11 +173,33 @@ let run ~log ~pool =
      update). *)
   let fpw = Buffer_pool.image_logger pool in
   Buffer_pool.set_image_logger pool None;
+  (* Likewise the WAL-tail rec_lsn source: during redo it would point past
+     the records being replayed, overstating what the durable image holds.
+     Rebuilt pages fall back to rec_lsn = 1 — conservative, and gone by the
+     end of restart, which flushes the pool. *)
+  let lsrc = Buffer_pool.lsn_source pool in
+  Buffer_pool.set_lsn_source pool None;
   let redone = ref 0 and skipped = ref 0 in
+  (* Pages whose durable image was lost (torn or never written): until a
+     base-establishing record rebuilds one, its retained slot-level records
+     are *orphans* — leftovers of an older dirty epoch whose protecting
+     full-page image was truncated after a successful flush made them
+     redundant. Against a valid durable image the LSN guard skips them; a
+     from-scratch frame has LSN 0 and would try to replay them against a
+     page that does not hold the state they assume (the observed failure:
+     Replace_slot on an empty page). The page the orphans describe is
+     covered by the base that must follow in the scan — a lost page was
+     dirty at the crash, and its last clean->dirty transition logged a
+     full-page image (or its Format is retained, for pages dirty since
+     birth: their rec_lsn — the WAL tail at creation — floors truncation
+     at or below the Format) at or above the redo point. *)
+  let rebuilding : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   Log_manager.iter_from log redo_from (fun r ->
-      let apply page mutate =
-        let fr = pin_or_new pool page in
-        if Page.lsn fr.Buffer_pool.page < r.Log_record.lsn then begin
+      let apply ~base page mutate =
+        let fr = pin_or_new ~rebuilding pool page in
+        if base then Hashtbl.remove rebuilding page;
+        if Hashtbl.mem rebuilding page then incr skipped
+        else if Page.lsn fr.Buffer_pool.page < r.Log_record.lsn then begin
           Buffer_pool.mark_dirty fr;
           mutate fr.Buffer_pool.page;
           Page.set_lsn fr.Buffer_pool.page r.Log_record.lsn;
@@ -179,15 +210,17 @@ let run ~log ~pool =
       in
       match r.Log_record.body with
       | Log_record.Update { page; op; _ } | Log_record.Clr { page; op; _ } ->
-          apply page (fun p -> Page_op.redo p op)
+          let base = match op with Page_op.Format _ -> true | _ -> false in
+          apply ~base page (fun p -> Page_op.redo p op)
       | Log_record.Page_image { page; image } ->
           (* Full-page write: rebuilds a page whose durable image is torn
              and whose older history is truncated away. The LSN guard skips
              it whenever the durable image is already at or past it. *)
-          apply page (fun p ->
+          apply ~base:true page (fun p ->
               Bytes.blit_string image 0 (Page.raw p) 0 (String.length image))
       | _ -> ());
   Buffer_pool.set_image_logger pool fpw;
+  Buffer_pool.set_lsn_source pool lsrc;
   (* --- Undo losers --- *)
   let losers = ref [] and ended = ref 0 and clrs = ref 0 in
   Hashtbl.iter
@@ -273,6 +306,13 @@ let run ~log ~pool =
     cursors;
   clrs := Log_manager.last_lsn log - clr_count_before - (2 * List.length !losers);
   Log_manager.flush_all log;
+  (* End-of-restart flush (ARIES takes a checkpoint here). Pages redone
+     above were dirtied with the image logger suppressed, so their old —
+     possibly torn — durable images are not protected by a logged full-page
+     write. Writing them back makes every durable image valid again; the
+     next clean→dirty transition then logs a fresh image, restoring
+     torn-page protection for the next crash. *)
+  Buffer_pool.flush_all pool;
   let pool_stats_after = Buffer_pool.stats pool in
   {
     analyzed = !analyzed;

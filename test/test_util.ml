@@ -132,6 +132,49 @@ let test_histogram_percentile_exact () =
   Histogram.record h 0;
   Alcotest.(check int) "zero bucket" 0 (Histogram.percentile h 99.0)
 
+let test_histogram_p999 () =
+  (* 1..10000: rank ceil(9990) falls in [8192,16384) -> round(2^13.5) =
+     11585; p999 sits at or above p99 and below max. *)
+  let h = Histogram.create () in
+  for i = 1 to 10_000 do
+    Histogram.record h i
+  done;
+  Alcotest.(check int) "p999 of 1..10000" 11585 (Histogram.p999 h);
+  Alcotest.(check bool) "p99 <= p999" true
+    (Histogram.percentile h 99.0 <= Histogram.p999 h);
+  (* With fewer than 1000 samples, nearest-rank p999 is the max sample's
+     bucket — same as p100. *)
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3 ];
+  Alcotest.(check int) "p999 of 3 samples = p100"
+    (Histogram.percentile h 100.0)
+    (Histogram.p999 h)
+
+let test_histogram_merge_assoc () =
+  (* merge is associative (and commutative): bucket-wise addition. Any
+     grouping of per-domain histograms must report identical percentiles,
+     count, total and max. *)
+  let mk seed n =
+    let st = Random.State.make [| seed |] in
+    let h = Histogram.create () in
+    for _ = 1 to n do
+      Histogram.record h (Random.State.int st 1_000_000)
+    done;
+    h
+  in
+  let a = mk 1 500 and b = mk 2 700 and c = mk 3 300 in
+  let l = Histogram.merge (Histogram.merge a b) c in
+  let r = Histogram.merge a (Histogram.merge b c) in
+  Alcotest.(check int) "count" (Histogram.count l) (Histogram.count r);
+  Alcotest.(check int) "total" (Histogram.total l) (Histogram.total r);
+  Alcotest.(check int) "max" (Histogram.max_value l) (Histogram.max_value r);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%.1f" p)
+        (Histogram.percentile l p) (Histogram.percentile r p))
+    [ 50.0; 90.0; 99.0; 99.9; 100.0 ]
+
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.record a 5;
@@ -230,6 +273,9 @@ let suites =
         Alcotest.test_case "percentile exact midpoints" `Quick
           test_histogram_percentile_exact;
         Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "p999" `Quick test_histogram_p999;
+        Alcotest.test_case "merge associativity" `Quick
+          test_histogram_merge_assoc;
       ] );
     ( "util.codec",
       [
