@@ -30,7 +30,7 @@ module Buffer_pool = Pitree_storage.Buffer_pool
 
 let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
     ?(consolidation = true) ?log_path ?(wal_group_commit = true)
-    ?ckpt_log_bytes () =
+    ?ckpt_log_bytes ?(olc_reads = true) () =
   Env.create
     {
       Env.default_config with
@@ -41,6 +41,7 @@ let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
       log_path;
       wal_group_commit;
       ckpt_log_bytes;
+      olc_reads;
     }
 
 (* A file-backed WAL in a scratch location, so force counts are real fsyncs
@@ -1300,6 +1301,163 @@ let endure_smoke () =
     }
     ~out:"BENCH_endure.json"
 
+(* ------------------------------------------------------------------ *)
+(* E19 / olc: optimistic latch-free read descents vs the S-latched
+   path. All-resident tree (pool >> data) so the comparison isolates
+   descent synchronization; read-only point and scan mixes measure the
+   latch-free win, the mixed workload measures the restart/fallback
+   ladder's cost under writers. Emits BENCH_olc.json.                   *)
+(* ------------------------------------------------------------------ *)
+
+type olc_run = {
+  o_workload : string;
+  o_mode : string;  (* "latched" | "optimistic" *)
+  o_domains : int;
+  o_result : Driver.result;
+  o_restarts : int;
+  o_fallbacks : int;
+}
+
+let olc_storm ~olc_reads ~workload ~spec ~domains ~ops_per_domain ~preload =
+  let env = mk_env ~olc_reads () in
+  let t = Blink.create env ~name:"bench" in
+  let inst = Kv.blink t in
+  Driver.preload inst spec ~n:preload;
+  ignore (Env.drain env);
+  let s0 = Blink.stats t in
+  let r = Driver.run ~domains ~ops_per_domain ~seed:7L inst spec in
+  let s1 = Blink.stats t in
+  {
+    o_workload = workload;
+    o_mode = (if olc_reads then "optimistic" else "latched");
+    o_domains = domains;
+    o_result = r;
+    o_restarts = s1.Blink.olc_restarts - s0.Blink.olc_restarts;
+    o_fallbacks = s1.Blink.olc_fallbacks - s0.Blink.olc_fallbacks;
+  }
+
+let olc_json_of_runs ~key_space ~headline runs =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"olc_reads\",\n";
+  Printf.bprintf b "  \"key_space\": %d,\n" key_space;
+  Buffer.add_string b "  \"headline\": {\n";
+  List.iteri
+    (fun i (w, sp) ->
+      Printf.bprintf b "    %S: %.2f%s\n" w sp
+        (if i = List.length headline - 1 then "" else ","))
+    headline;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"workload\": %S, \"mode\": %S, \"domains\": %d, \"ops\": %d, \
+         \"elapsed_s\": %.4f, \"ops_per_s\": %.1f, \"p50_ns\": %d, \
+         \"p99_ns\": %d, \"olc_restarts\": %d, \"olc_fallbacks\": %d}%s\n"
+        r.o_workload r.o_mode r.o_domains r.o_result.Driver.total_ops
+        r.o_result.Driver.elapsed_s r.o_result.Driver.ops_per_s
+        r.o_result.Driver.p50_ns r.o_result.Driver.p99_ns r.o_restarts
+        r.o_fallbacks
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let olc_impl ~key_space ~point_ops ~scan_ops ~mixed_ops ~domain_counts ~out () =
+  let specs =
+    [
+      ( "point-uniform",
+        Workload.spec ~key_space ~dist:Workload.Uniform (),
+        point_ops );
+      ( "point-zipf",
+        Workload.spec ~key_space ~dist:(Workload.Zipf 0.99) (),
+        point_ops );
+      ( "scan-uniform",
+        Workload.spec ~key_space ~read_pct:0 ~scan_pct:100 ~scan_len:50
+          ~dist:Workload.Uniform (),
+        scan_ops );
+      ( "scan-zipf",
+        Workload.spec ~key_space ~read_pct:0 ~scan_pct:100 ~scan_len:50
+          ~dist:(Workload.Zipf 0.99) (),
+        scan_ops );
+      ( "point-mixed",
+        Workload.spec ~key_space ~read_pct:80 ~insert_pct:10 ~delete_pct:10
+          ~dist:(Workload.Zipf 0.99) (),
+        mixed_ops );
+    ]
+  in
+  let runs =
+    List.concat_map
+      (fun (workload, spec, ops) ->
+        List.concat_map
+          (fun domains ->
+            List.map
+              (fun olc_reads ->
+                olc_storm ~olc_reads ~workload ~spec ~domains
+                  ~ops_per_domain:ops ~preload:key_space)
+              [ false; true ])
+          domain_counts)
+      specs
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.o_workload;
+          r.o_mode;
+          string_of_int r.o_domains;
+          fmt_ops r.o_result.Driver.ops_per_s;
+          string_of_int r.o_result.Driver.p50_ns;
+          string_of_int r.o_result.Driver.p99_ns;
+          string_of_int r.o_restarts;
+          string_of_int r.o_fallbacks;
+        ])
+      runs
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "OLC reads: latched vs optimistic descent (%d keys, all-resident)"
+         key_space)
+    ~header:
+      [ "workload"; "mode"; "domains"; "ops/s"; "p50 ns"; "p99 ns";
+        "restarts"; "fallbacks" ]
+    rows;
+  (* Headline: optimistic/latched speedup per workload at the highest
+     domain count. *)
+  let top = List.fold_left max 1 domain_counts in
+  let rate workload mode =
+    List.find_opt
+      (fun r -> r.o_workload = workload && r.o_mode = mode && r.o_domains = top)
+      runs
+    |> Option.map (fun r -> r.o_result.Driver.ops_per_s)
+  in
+  let headline =
+    List.filter_map
+      (fun (w, _, _) ->
+        match (rate w "latched", rate w "optimistic") with
+        | Some l, Some o when l > 0.0 -> Some (w, o /. l)
+        | _ -> None)
+      specs
+  in
+  Table.print
+    ~title:(Printf.sprintf "OLC speedup at %d domains (optimistic / latched)" top)
+    ~header:[ "workload"; "speedup" ]
+    (List.map (fun (w, sp) -> [ w; Printf.sprintf "%.2fx" sp ]) headline);
+  let oc = open_out out in
+  output_string oc (olc_json_of_runs ~key_space ~headline runs);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let olc () =
+  olc_impl ~key_space:50_000 ~point_ops:100_000 ~scan_ops:4_000
+    ~mixed_ops:50_000 ~domain_counts:[ 1; 2; 4; 8 ] ~out:"BENCH_olc.json" ()
+
+let olc_smoke () =
+  olc_impl ~key_space:5_000 ~point_ops:10_000 ~scan_ops:400 ~mixed_ops:5_000
+    ~domain_counts:[ 2 ] ~out:"BENCH_olc.json" ()
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1309,11 +1467,13 @@ let experiments =
     ("pool", pool_bench); ("pool-smoke", pool_smoke);
     ("ckpt", ckpt); ("ckpt-smoke", ckpt_smoke);
     ("endure", endure); ("endure-smoke", endure_smoke);
+    ("olc", olc); ("olc-smoke", olc_smoke);
     ("micro", micro);
   ]
 
 (* smoke variants would overwrite the full runs' JSON artifacts *)
-let smoke_variants = [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke" ]
+let smoke_variants =
+  [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke"; "olc-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1321,8 +1481,8 @@ let () =
   | [ "--help" ] | [ "-h" ] ->
       print_endline
         "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
-         pool-smoke | ckpt | ckpt-smoke | endure | endure-smoke | micro | \
-         all]";
+         pool-smoke | ckpt | ckpt-smoke | endure | endure-smoke | olc | \
+         olc-smoke | micro | all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter

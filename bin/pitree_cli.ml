@@ -321,7 +321,7 @@ let persist_cmd =
 (* --- sim --- *)
 
 let sim engine threads ops keys preload seed walks systematic depth preemptions
-    max_schedules bug expect_bug replay_s quiet =
+    max_schedules consolidation no_olc bug expect_bug replay_s quiet =
   let module Scenario = Pitree_sim.Scenario in
   let module Sim = Pitree_sim.Sim in
   let engine =
@@ -334,7 +334,13 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
     | "none" -> Blink.Testing.No_bug
     | "early-unlatch" -> Blink.Testing.Early_unlatch_split
     | "bad-post-sep" -> Blink.Testing.Bad_post_sep
-    | _ -> failwith "unknown bug (none|early-unlatch|bad-post-sep)"
+    | "no-version-bump" -> Blink.Testing.No_version_bump
+    | _ -> failwith "unknown bug (none|early-unlatch|bad-post-sep|no-version-bump)"
+  in
+  (* [No_version_bump] only misbehaves where a stale node can be acted
+     on, i.e. under CP de-allocation: force consolidation on. *)
+  let consolidation =
+    consolidation || bug = Blink.Testing.No_version_bump
   in
   let cfg =
     {
@@ -345,6 +351,8 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       key_space = keys;
       preload;
       seed;
+      consolidation;
+      olc = not no_olc;
       bug;
     }
   in
@@ -361,10 +369,14 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
        --preload %d --seed %Ld %s--replay '%s'@."
       (Scenario.engine_to_string engine)
       threads ops keys preload seed
-      (match bug with
+      ((if consolidation then "--consolidation " else "")
+      ^ (if no_olc then "--no-olc " else "")
+      ^
+      match bug with
       | Blink.Testing.No_bug -> ""
       | Blink.Testing.Early_unlatch_split -> "--bug early-unlatch "
-      | Blink.Testing.Bad_post_sep -> "--bug bad-post-sep ")
+      | Blink.Testing.Bad_post_sep -> "--bug bad-post-sep "
+      | Blink.Testing.No_version_bump -> "--bug no-version-bump ")
       (Sim.schedule_to_string minimized)
   in
   let found = ref false in
@@ -449,9 +461,19 @@ let sim_preemptions_arg =
 let sim_max_schedules_arg =
   Arg.(value & opt int 2000 & info [ "max-schedules" ] ~doc:"Systematic schedule cap.")
 
+let sim_consolidation_arg =
+  Arg.(value & flag & info [ "consolidation" ]
+         ~doc:"Run under the CP invariant (node consolidation/de-allocation enabled).")
+
+let sim_no_olc_arg =
+  Arg.(value & flag & info [ "no-olc" ]
+         ~doc:"Disable optimistic latch-free reads (always-latched descent).")
+
 let sim_bug_arg =
   Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG"
-         ~doc:"Inject a protocol bug: none, early-unlatch or bad-post-sep (blink only).")
+         ~doc:"Inject a protocol bug: none, early-unlatch, bad-post-sep or \
+               no-version-bump (blink only; no-version-bump implies \
+               --consolidation).")
 
 let sim_expect_bug_arg =
   Arg.(value & flag & info [ "expect-bug" ]
@@ -477,7 +499,8 @@ let sim_cmd =
       const sim $ sim_engine_arg $ sim_threads_arg $ sim_ops_arg $ sim_keys_arg
       $ sim_preload_arg $ sim_seed_arg $ sim_walks_arg $ sim_systematic_arg
       $ sim_depth_arg $ sim_preemptions_arg $ sim_max_schedules_arg
-      $ sim_bug_arg $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
+      $ sim_consolidation_arg $ sim_no_olc_arg $ sim_bug_arg
+      $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
 
 (* --- endure --- *)
 

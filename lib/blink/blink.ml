@@ -1,6 +1,8 @@
 module Page = Pitree_storage.Page
 module Buffer_pool = Pitree_storage.Buffer_pool
 module Latch = Pitree_sync.Latch
+module Version = Pitree_sync.Version
+module Olc = Pitree_storage.Olc
 module Latch_order = Pitree_sync.Latch_order
 module Page_op = Pitree_wal.Page_op
 module Lsn = Pitree_wal.Lsn
@@ -48,6 +50,8 @@ type stats = {
   path_reuse_hits : int;
   full_retraversals : int;
   lock_restarts : int;
+  olc_restarts : int;
+  olc_fallbacks : int;
 }
 
 (* Mutable atomic counters behind the frozen [stats] snapshot. *)
@@ -67,6 +71,8 @@ type counters = {
   c_path_reuse_hits : int Atomic.t;
   c_full_retraversals : int Atomic.t;
   c_lock_restarts : int Atomic.t;
+  c_olc_restarts : int Atomic.t;
+  c_olc_fallbacks : int Atomic.t;
 }
 
 let fresh_counters () =
@@ -86,6 +92,8 @@ let fresh_counters () =
     c_path_reuse_hits = Atomic.make 0;
     c_full_retraversals = Atomic.make 0;
     c_lock_restarts = Atomic.make 0;
+    c_olc_restarts = Atomic.make 0;
+    c_olc_fallbacks = Atomic.make 0;
   }
 
 let bump c = Atomic.incr c
@@ -104,6 +112,12 @@ type t = {
   (* How move locks are realized under page-oriented UNDO (section 4.2.2):
      one node-granule lock, or one U lock per record to be moved. *)
   mutable move_granularity : [ `Node | `Record ];
+  (* A permanently pinned root frame for latch-free descents: pinned
+     frames are never evicted, so optimistic readers skip the root's
+     shard mutex entirely (the hottest pin in the tree). Keyed by pool
+     identity — recovery replaces the pool object, invalidating the
+     cache. *)
+  root_cache : (Buffer_pool.t * Buffer_pool.frame) option Atomic.t;
 }
 
 let env t = t.env
@@ -150,7 +164,13 @@ let page fr = fr.Buffer_pool.page
 (* Test-only protocol-bug injection (validated by lib/sim's schedule
    explorer): deliberately break the split protocol so the oracles —
    linearizability and well-formedness — can be shown to catch it. *)
-type injected_bug = No_bug | Early_unlatch_split | Bad_post_sep
+type injected_bug =
+  | No_bug
+  | Early_unlatch_split
+  | Bad_post_sep
+  | No_version_bump
+      (* writers take and release X latches correctly but never touch the
+         node's version word, so optimistic readers validate stale reads *)
 
 let injected_bug = ref No_bug
 
@@ -188,6 +208,7 @@ let create e ~name =
       pending_mu = Mutex.create ();
       pending_consol = Hashtbl.create 16;
       move_granularity = `Node;
+      root_cache = Atomic.make None;
     }
   in
   (* Give the root its fence cell (responsible for the whole space). *)
@@ -215,6 +236,7 @@ let register_for_recovery e ~root =
       pending_mu = Mutex.create ();
       pending_consol = Hashtbl.create 4;
       move_granularity = `Node;
+      root_cache = Atomic.make None;
     }
 
 let open_existing e ~name =
@@ -231,6 +253,7 @@ let open_existing e ~name =
           pending_mu = Mutex.create ();
           pending_consol = Hashtbl.create 16;
           move_granularity = `Node;
+      root_cache = Atomic.make None;
         }
       in
       register_tree_hook t;
@@ -362,6 +385,127 @@ let rec descend t ~key ~target ~mode =
     descend t ~key ~target ~mode
   end
   else descend_from t ~key ~target ~mode fr Saved_path.empty
+
+(* ---------- optimistic (latch-free) descent ----------
+
+   Searches and range scans normally descend without taking a single
+   latch: each node's frame latch carries a version word (twice the page
+   LSN when quiescent, odd while a writer holds the X latch — see
+   Pitree_sync.Version), and a reader proves each node read was
+   consistent by snapshotting the word before reading and re-checking it
+   before acting on anything it read. A failed check raises
+   [Olc.Restart]; the whole descent restarts from the root, and after
+   [Olc.max_restarts] failures the reader falls back to the classic
+   S-latched path, so pathological write storms degrade to the paper's
+   protocol instead of livelocking.
+
+   Pins are still taken (frames must not be recycled under the reader),
+   but the root — the hottest pin in the tree, taken by every descent —
+   comes from a permanently pinned cached frame, so the root costs one
+   atomic increment instead of a shard mutex.
+
+   Under the CP invariant a node reached through a validated pointer can
+   still be de-allocated before the reader pins it ("de-allocation is a
+   node update", section 5.2.2 strategy (b), bumps the victim's LSN and
+   hence its version word — but the reader has not latched anything, so
+   nothing blocks the consolidator). Defence: after pinning the child,
+   re-validate the PARENT's word; unchanged means the index term (or
+   side pointer) still stood after the pin, and a pinned frame cannot be
+   recycled, so the child is (or safely was) the node the pointer named. *)
+
+let olc_enabled t = (cfg t).Env.olc_reads
+let olc_snapshot = Olc.snapshot
+let olc_validate = Olc.validate
+
+(* The permanently pinned root frame. Keyed by pool identity: [crash]
+   replaces the pool object, orphaning the old entry (and its pin) along
+   with the pool itself. The CAS race on first installation is benign —
+   the loser just drops the extra pin it took for the cache. *)
+let pin_root t =
+  let pl = pool t in
+  match Atomic.get t.root_cache with
+  | Some (p, fr) when p == pl ->
+      Buffer_pool.repin pl fr;
+      fr
+  | stale ->
+      let fr = pin t t.root in
+      Buffer_pool.repin pl fr (* the cache's own, permanent pin *);
+      if not (Atomic.compare_and_set t.root_cache stale (Some (pl, fr))) then
+        unpin t fr;
+      fr
+
+(* One node of the optimistic descent: decide where [key] routes without
+   holding any latch, proving every pointer read against the version word
+   before returning it. *)
+let olc_eval ~key fr =
+  let v = olc_snapshot fr in
+  let p = page fr in
+  if not (Node.contains p key) then begin
+    (* Capture everything the side chase will act on (the root's level
+       can change in place) BEFORE the validation that proves the reads
+       were not torn. *)
+    let sib = Page.side_ptr p in
+    let level = Page.level p in
+    olc_validate fr v;
+    if sib = Page.nil then raise Olc.Restart;
+    `Next (v, sib, `Side level)
+  end
+  else if Page.level p = 0 then begin
+    (* Prove this really is the leaf directly containing [key] before the
+       caller reads records out of it. *)
+    olc_validate fr v;
+    `Leaf v
+  end
+  else
+    match Node.floor_entry p key with
+    | None -> raise Olc.Restart (* torn read: index nodes have a least sep *)
+    | Some i ->
+        let _, child = Node.index_term p i in
+        olc_validate fr v;
+        `Next (v, child, `Child)
+
+(* Descend from the pinned [fr] to the leaf directly containing [key].
+   Returns the leaf pinned (never latched) with a validated snapshot of
+   its version word. Owns [fr]'s pin: every exit path, including every
+   raise, drops every pin this descent still holds. *)
+let rec olc_step t ~key fr =
+  match olc_eval ~key fr with
+  | exception e ->
+      unpin t fr;
+      raise e
+  | `Leaf v -> (fr, v)
+  | `Next (v, next, kind) -> (
+      let nfr =
+        match pin t next with
+        | nfr -> nfr
+        | exception e ->
+            unpin t fr;
+            raise e
+      in
+      (* CP de-allocation defence (see the section comment): re-validate
+         the parent now that the child is pinned. *)
+      match olc_validate fr v with
+      | exception e ->
+          unpin t nfr;
+          unpin t fr;
+          raise e
+      | () ->
+          (match kind with
+          | `Side level ->
+              bump t.c.c_side_traversals;
+              (* Only validated side chases reach here, so the posting
+                 queue never sees a pid (or level) from a torn read. *)
+              maybe_schedule_posting t ~level
+                ~container:(Page.id (page fr))
+                ~sibling:next ~path:Saved_path.empty ~key
+          | `Child -> ());
+          unpin t fr;
+          olc_step t ~key nfr)
+
+(* Counted restarts + latched fallback, on the shared Olc loop. *)
+let olc_protected t ~attempt ~fallback =
+  Olc.protect ~restarts:t.c.c_olc_restarts ~fallbacks:t.c.c_olc_fallbacks
+    ~attempt ~fallback ()
 
 (* ---------- node split (section 3.2.1) ---------- *)
 
@@ -517,6 +661,18 @@ let search_for_posting t ~key ~level ~path =
     | e :: rest -> (
         match pin t e.Saved_path.pid with
         | exception Not_found -> try_candidates rest
+        | fr
+          when consolidation
+               && (let w = Version.peek (Latch.version fr.Buffer_pool.latch) in
+                   (not (Version.is_locked w)) && not (Saved_path.matches e ~version:w))
+          ->
+            (* Latch-free rejection: an even version word that disagrees
+               with the remembered state identifier proves the node has
+               changed — no point latching it just to discover that. (An
+               odd word proves nothing either way; fall through to the
+               latched check.) *)
+            unpin t fr;
+            try_candidates rest
         | fr ->
             let m = if e.Saved_path.level = level then Latch.U else Latch.S in
             latch fr m;
@@ -1038,8 +1194,9 @@ let delete ?txn t key =
       in
       attempt 0)
 
-let find t key =
-  bump t.c.c_searches;
+(* The classic S-latched search — still the fallback when optimistic
+   descents keep failing, and the whole path when [olc_reads] is off. *)
+let find_latched t key =
   let _, fr = descend t ~key ~target:0 ~mode:Latch.S in
   let p = page fr in
   let r =
@@ -1049,6 +1206,38 @@ let find t key =
   in
   unlatch fr Latch.S;
   unpin t fr;
+  r
+
+let find_olc t key =
+  let fr, v = olc_step t ~key (pin_root t) in
+  match
+    let p = page fr in
+    let r =
+      match Node.find p key with
+      | `Found i -> Some (snd (Node.record p i))
+      | `Not_found _ -> None
+    in
+    (* The record bytes were copied out above; prove they were not torn
+       before anyone sees them. *)
+    olc_validate fr v;
+    r
+  with
+  | r ->
+      unpin t fr;
+      r
+  | exception e ->
+      unpin t fr;
+      raise e
+
+let find t key =
+  bump t.c.c_searches;
+  let r =
+    if olc_enabled t then
+      olc_protected t
+        ~attempt:(fun () -> find_olc t key)
+        ~fallback:(fun () -> find_latched t key)
+    else find_latched t key
+  in
   ignore (Env.drain t.env);
   r
 
@@ -1082,26 +1271,27 @@ let find_locked ~txn t key =
   in
   attempt 0
 
-let range t ?low ?high ~init ~f =
-  let start = Option.value low ~default:"" in
+(* Records of [p] in [[start, high)), in key order. *)
+let collect_batch ~start ~beyond p =
+  Node.(
+    let n = entry_count p in
+    let rec collect i acc =
+      if i >= n then List.rev acc
+      else
+        let k, v = record p i in
+        if String.compare k start < 0 then collect (i + 1) acc
+        else if beyond k then List.rev acc
+        else collect (i + 1) ((k, v) :: acc)
+    in
+    collect 0 [])
+
+let range_latched t ~start ~high ~init ~f =
   let beyond k = match high with None -> false | Some h -> String.compare k h >= 0 in
   let _, fr = descend t ~key:start ~target:0 ~mode:Latch.S in
   let rec walk fr acc =
     let p = page fr in
     (* Copy the in-range records out, then release before calling [f]. *)
-    let batch =
-      Node.(
-        let n = entry_count p in
-        let rec collect i acc =
-          if i >= n then List.rev acc
-          else
-            let k, v = record p i in
-            if String.compare k start < 0 then collect (i + 1) acc
-            else if beyond k then List.rev acc
-            else collect (i + 1) ((k, v) :: acc)
-        in
-        collect 0 [])
-    in
+    let batch = collect_batch ~start ~beyond p in
     let fence_high = (Node.fence p).Node.high in
     let sib = Page.side_ptr p in
     let continue_ =
@@ -1134,6 +1324,80 @@ let range t ?low ?high ~init ~f =
     match next with None -> acc | Some sfr -> walk sfr acc
   in
   walk fr init
+
+(* Latch-free scan. Per-leaf validation is not enough here: a scan that
+   commits leaf batches one at a time can miss a put into a leaf it has
+   passed while observing a later put into a leaf still ahead, an
+   inversion no single linearization point explains (the latched scan's
+   latch coupling forbids it for adjacent leaves, which is why it never
+   shows there). So the whole range is read as ONE optimistic unit:
+   every visited leaf stays pinned (pins block both eviction and frame
+   reuse, keeping each version word bound to its page) with the snapshot
+   its batch was read under, and after the last leaf the entire chain is
+   re-proved in one pass. Success means no visited leaf changed between
+   its read and that pass — every batch was simultaneously current at
+   the final validation, making the scan a point-in-time read. Any
+   failed proof restarts the scan from [start]; a chain too long for the
+   pool raises [Pool_exhausted] (dropping all pins) and, like every
+   other transient, falls back to the latched protocol after the retry
+   budget. *)
+let range_olc t ~start ~high ~init ~f =
+  let beyond k = match high with None -> false | Some h -> String.compare k h >= 0 in
+  let attempt () =
+    (* Visited leaves, pinned, newest first, each with the version its
+       batch must still match at the end. A frame enters the chain the
+       moment this attempt owns its pin, so the [exception] arm below
+       can always release everything. *)
+    let chain = ref [] in
+    let unpin_chain () = List.iter (fun (fr, _) -> unpin t fr) !chain in
+    let snapshot_into_chain fr =
+      chain := (fr, 0) :: !chain;
+      let v = olc_snapshot fr in
+      chain := (fr, v) :: List.tl !chain;
+      v
+    in
+    match
+      let fr0, _ = olc_step t ~key:start (pin_root t) in
+      let rec leaves fr pos batches =
+        ignore (snapshot_into_chain fr : int);
+        let p = page fr in
+        (* The descent (or the previous leaf's side pointer) proved [fr]
+           was the right leaf THEN; re-prove it under this snapshot — in
+           the window in between the root can grow (leaf becomes index,
+           in place) or a split can shrink the fence past [pos]. The
+           final chain pass would catch a stale read anyway; failing
+           here is just cheaper than scanning garbage. *)
+        if Page.level p <> 0 || not (Node.contains p pos) then
+          raise Olc.Restart;
+        let batches = collect_batch ~start:pos ~beyond p :: batches in
+        match (Node.fence p).Node.high with
+        | None -> batches
+        | Some h when beyond h || Page.side_ptr p = Page.nil -> batches
+        | Some h ->
+            bump t.c.c_side_traversals;
+            leaves (pin t (Page.side_ptr p)) h batches
+      in
+      let batches = leaves fr0 start [] in
+      List.iter (fun (fr, v) -> olc_validate fr v) !chain;
+      batches
+    with
+    | exception e ->
+        unpin_chain ();
+        raise e
+    | batches ->
+        unpin_chain ();
+        List.fold_left
+          (fun acc batch ->
+            List.fold_left (fun acc (k, v) -> f acc k v) acc batch)
+          init (List.rev batches)
+  in
+  olc_protected t ~attempt
+    ~fallback:(fun () -> range_latched t ~start ~high ~init ~f)
+
+let range t ?low ?high ~init ~f =
+  let start = Option.value low ~default:"" in
+  if olc_enabled t then range_olc t ~start ~high ~init ~f
+  else range_latched t ~start ~high ~init ~f
 
 let count t = range t ?low:None ?high:None ~init:0 ~f:(fun n _ _ -> n + 1)
 
@@ -1496,6 +1760,8 @@ let stats t =
     path_reuse_hits = Atomic.get t.c.c_path_reuse_hits;
     full_retraversals = Atomic.get t.c.c_full_retraversals;
     lock_restarts = Atomic.get t.c.c_lock_restarts;
+    olc_restarts = Atomic.get t.c.c_olc_restarts;
+    olc_fallbacks = Atomic.get t.c.c_olc_fallbacks;
   }
 
 let reset_stats t =
@@ -1507,7 +1773,7 @@ let reset_stats t =
       c.c_root_splits; c.c_side_traversals; c.c_postings_scheduled;
       c.c_postings_completed; c.c_postings_noop; c.c_consolidations;
       c.c_consolidations_skipped; c.c_path_reuse_hits; c.c_full_retraversals;
-      c.c_lock_restarts;
+      c.c_lock_restarts; c.c_olc_restarts; c.c_olc_fallbacks;
     ]
 
 module Internal = struct
@@ -1521,6 +1787,29 @@ module Internal = struct
     | fr ->
         latch fr Latch.S;
         Some fr
+
+  (* Pin + S-latch [pid] only if it still has the remembered state
+     identifier. The version word rejects stale frames without touching
+     the latch; a survivor is re-checked under the latch, since the word
+     can move between the peek and the acquire. *)
+  let pin_pid_if t pid ~state_id =
+    match pin t pid with
+    | exception Not_found -> None
+    | fr ->
+        let w = Version.peek (Latch.version fr.Buffer_pool.latch) in
+        if (not (Version.is_locked w)) && w <> 2 * state_id then begin
+          unpin t fr;
+          None
+        end
+        else begin
+          latch fr Latch.S;
+          if Page.lsn (page fr) = state_id then Some fr
+          else begin
+            unlatch fr Latch.S;
+            unpin t fr;
+            None
+          end
+        end
 
   let release_s t fr =
     unlatch fr Latch.S;
@@ -1547,8 +1836,18 @@ module Internal = struct
 end
 
 module Testing = struct
-  type bug = injected_bug = No_bug | Early_unlatch_split | Bad_post_sep
+  type bug = injected_bug =
+    | No_bug
+    | Early_unlatch_split
+    | Bad_post_sep
+    | No_version_bump
 
-  let set_bug b = injected_bug := b
+  let set_bug b =
+    injected_bug := b;
+    (* [No_version_bump] is realized one layer down: latches simply stop
+       maintaining their version words, which is exactly the mistake a
+       writer path would make by mutating without the bump discipline. *)
+    Latch.Testing.set_version_bumps (b <> No_version_bump)
+
   let bug () = !injected_bug
 end

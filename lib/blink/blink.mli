@@ -115,6 +115,12 @@ type stats = {
   path_reuse_hits : int;   (** posting searches satisfied by the saved path *)
   full_retraversals : int; (** posting searches that had to restart at the root *)
   lock_restarts : int;     (** no-wait rule backoffs (section 4.1.2) *)
+  olc_restarts : int;
+      (** optimistic descents abandoned by a failed version check (and
+          retried from the root) *)
+  olc_fallbacks : int;
+      (** reads that exhausted the optimistic retry budget and fell back
+          to the S-latched path *)
 }
 
 val stats : t -> stats
@@ -142,6 +148,12 @@ module Testing : sig
     | Bad_post_sep
         (** post the index term with a separator one byte short (caught
             by [Wellformed.check] condition 3) *)
+    | No_version_bump
+        (** writers latch correctly but never maintain the per-node
+            version words, so optimistic readers validate stale reads
+            (caught by the linearizability checker under the CP
+            invariant: a reader descends into a node de-allocated by a
+            consolidation and misses committed keys) *)
 
   val set_bug : bug -> unit
   val bug : unit -> bug
@@ -157,6 +169,12 @@ module Internal : sig
 
   val pin_pid : t -> int -> Pitree_storage.Buffer_pool.frame option
   (** Pin + S-latch an arbitrary page by pid ([None] if unreachable). *)
+
+  val pin_pid_if :
+    t -> int -> state_id:int -> Pitree_storage.Buffer_pool.frame option
+  (** Pin + S-latch [pid] only if its state identifier (page LSN) still
+      equals [state_id]; a latch-free version-word peek rejects stale
+      frames without blocking behind their latch. *)
 
   val release_s : t -> Pitree_storage.Buffer_pool.frame -> unit
 

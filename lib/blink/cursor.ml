@@ -55,14 +55,10 @@ let fetch t =
       scan_incl t.tree fr ~from_key:key
   | After { pid; state_id; key } -> (
       (* Saved-state fast path: unchanged state identifier means the leaf
-         (and our slot arithmetic) is exactly as we left it. *)
-      match Blink.Internal.pin_pid t.tree pid with
-      | Some fr when Page.lsn fr.Buffer_pool.page = state_id ->
-          scan_from t.tree fr ~admit:key
-      | Some fr ->
-          Blink.Internal.release_s t.tree fr;
-          let fr = Blink.Internal.leaf_for t.tree key in
-          scan_from t.tree fr ~admit:key
+         (and our slot arithmetic) is exactly as we left it. The version
+         word rejects a stale leaf without blocking behind its latch. *)
+      match Blink.Internal.pin_pid_if t.tree pid ~state_id with
+      | Some fr -> scan_from t.tree fr ~admit:key
       | None ->
           let fr = Blink.Internal.leaf_for t.tree key in
           scan_from t.tree fr ~admit:key)

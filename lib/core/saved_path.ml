@@ -8,6 +8,12 @@ let push t ~pid ~level ~state_id ~slot = { pid; level; state_id; slot } :: t
 
 let level t l = List.find_opt (fun e -> e.level = l) t
 
+(* Version-based verification: frame latches publish [2 * page LSN] in
+   their version word whenever no writer holds the X latch (see
+   Pitree_sync.Version), so an entry is still exact iff the word equals
+   twice its remembered state identifier — checkable without latching. *)
+let matches e ~version = version = 2 * e.state_id
+
 let above t l = List.filter (fun e -> e.level > l) t
 
 let pp ppf t =

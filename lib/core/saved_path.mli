@@ -29,6 +29,14 @@ val push : t -> pid:int -> level:int -> state_id:int -> slot:int -> t
 val level : t -> int -> entry option
 (** The remembered node at the given tree level, if recorded. *)
 
+val matches : entry -> version:int -> bool
+(** Latch-free verification: [matches e ~version] holds iff a node's
+    current version word (see [Pitree_sync.Version]; frame latches
+    publish twice the page LSN) proves the node is exactly as remembered
+    — the state identifier is unchanged and no writer is mid-mutation
+    (an odd word never matches). Callers that act on the node contents
+    must still re-validate the word afterwards, or take a latch. *)
+
 val above : t -> int -> t
 (** Entries for levels strictly greater than the argument. *)
 

@@ -27,6 +27,10 @@ type config = {
   pool_backoff_seed : int option;  (* seeds the pool's backoff jitter *)
   ckpt_log_bytes : int option;
   ckpt_interval_s : float option;
+  olc_reads : bool;
+      (* searches/scans descend latch-free, validating against per-node
+         version words and falling back to S latches under contention;
+         false restores the always-latched read path (baselines) *)
 }
 
 let default_config =
@@ -42,6 +46,7 @@ let default_config =
     pool_backoff_seed = None;
     ckpt_log_bytes = None;
     ckpt_interval_s = None;
+    olc_reads = true;
   }
 
 type stats = {

@@ -49,6 +49,11 @@ type config = {
   ckpt_interval_s : float option;
       (** run a background thread taking a fuzzy checkpoint every this many
           seconds *)
+  olc_reads : bool;
+      (** searches and range scans descend latch-free, validating against
+          per-node version words (optimistic latch coupling) and falling
+          back to the S-latched path after bounded retries; [false]
+          restores the always-latched read path (baselines, bisection) *)
 }
 
 val default_config : config

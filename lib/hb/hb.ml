@@ -1,5 +1,6 @@
 module Page = Pitree_storage.Page
 module Buffer_pool = Pitree_storage.Buffer_pool
+module Olc = Pitree_storage.Olc
 module Latch = Pitree_sync.Latch
 module Page_op = Pitree_wal.Page_op
 module Lsn = Pitree_wal.Lsn
@@ -210,6 +211,70 @@ let rec descend t ~point ~target ~mode =
     descend t ~point ~target ~mode
   end
   else descend_from t ~point ~target ~mode fr
+
+(* ---------- optimistic (latch-free) descent ----------
+
+   Same read-validate-retry protocol as Pitree_blink (see the section
+   comment there and Pitree_storage.Olc). The hB-tree runs under either
+   invariant, so like the latched descent it must defend against CP
+   de-allocation: after pinning a node reached through a validated
+   pointer, re-validate the node the pointer was read from — unchanged
+   means the pointer still stood once the pin made the target
+   un-recyclable. *)
+
+let olc_enabled t = (Env.config t.env).Env.olc_reads
+
+(* Descend pinned-only to the leaf holding [point]'s region; returns it
+   pinned with a validated version-word snapshot. Owns [fr]'s pin: every
+   exit, including every raise, drops every pin held. *)
+let rec olc_step t ~point fr =
+  match
+    let v = Olc.snapshot fr in
+    let p = page fr in
+    let level = Page.level p in
+    match Hkd.walk (node_kd p) point with
+    | Hkd.Sibling s ->
+        Olc.validate fr v;
+        `Next (v, s, `Side level)
+    | Hkd.Child c when level > 0 ->
+        Olc.validate fr v;
+        `Next (v, c, `Child)
+    | Hkd.Here | Hkd.Child _ ->
+        (* [Here] (or a level-0 kd-tree child marker) means this node:
+           the leaf, if the level read was not torn. *)
+        if level = 0 then begin
+          Olc.validate fr v;
+          `Leaf v
+        end
+        else raise Olc.Restart
+  with
+  | exception e ->
+      unpin t fr;
+      raise e
+  | `Leaf v -> (fr, v)
+  | `Next (v, next, kind) -> (
+      let nfr =
+        match pin t next with
+        | nfr -> nfr
+        | exception e ->
+            unpin t fr;
+            raise e
+      in
+      (* CP de-allocation defence (see the section comment). *)
+      match Olc.validate fr v with
+      | exception e ->
+          unpin t nfr;
+          unpin t fr;
+          raise e
+      | () ->
+          (match kind with
+          | `Side level ->
+              Atomic.incr t.c_side;
+              (* Validated side chase: pid and level proven un-torn. *)
+              maybe_schedule_posting t ~level ~sibling:next ~anchor:point
+          | `Child -> ());
+          unpin t fr;
+          olc_step t ~point nfr)
 
 (* ---------- splits ---------- *)
 
@@ -940,13 +1005,40 @@ let delete t point =
           unpin t fr;
           false)
 
-let find t point =
-  check_point t point;
-  Atomic.incr t.c_searches;
+let find_latched t point =
   let fr = descend t ~point ~target:0 ~mode:Latch.S in
   let r = Option.map snd (find_record (page fr) point) in
   unlatch fr Latch.S;
   unpin t fr;
+  r
+
+let find_olc t point =
+  let fr, v = olc_step t ~point (pin t t.root) in
+  match
+    let r = Option.map snd (find_record (page fr) point) in
+    (* The record bytes were copied out above; prove the reads were not
+       torn before anyone sees them. *)
+    Olc.validate fr v;
+    r
+  with
+  | r ->
+      unpin t fr;
+      r
+  | exception e ->
+      unpin t fr;
+      raise e
+
+let find t point =
+  check_point t point;
+  Atomic.incr t.c_searches;
+  let r =
+    if olc_enabled t then
+      Olc.protect
+        ~attempt:(fun () -> find_olc t point)
+        ~fallback:(fun () -> find_latched t point)
+        ()
+    else find_latched t point
+  in
   ignore (Env.drain t.env);
   r
 

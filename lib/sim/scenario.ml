@@ -24,6 +24,7 @@ type cfg = {
   seed : int64;
   page_size : int;
   consolidation : bool;
+  olc : bool;
   check_wellformed : bool;
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;
@@ -40,6 +41,7 @@ let default =
     seed = 1L;
     page_size = 512;
     consolidation = false;
+    olc = true;
     check_wellformed = true;
     check_every = 1;
     bug = Pitree_blink.Blink.Testing.No_bug;
@@ -86,6 +88,7 @@ let make_env cfg =
       page_size = cfg.page_size;
       pool_capacity = 4096;
       consolidation = cfg.consolidation;
+      olc_reads = cfg.olc;
       wal_group_commit = false;
       pool_shards = Some 1;
       log_path = None;

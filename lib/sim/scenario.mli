@@ -22,6 +22,10 @@ type cfg = {
   seed : int64;  (** operation-stream seed (orthogonal to the walk seed) *)
   page_size : int;
   consolidation : bool;
+  olc : bool;
+      (** optimistic latch-free reads ([Env.config.olc_reads]); the
+          version-word snapshot/validate yield points only exist on this
+          path *)
   check_wellformed : bool;  (** re-check §2.1.3 at quiesced yield points *)
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;  (** blink only; ignored otherwise *)

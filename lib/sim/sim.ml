@@ -1,7 +1,7 @@
 module Sched_hook = Pitree_util.Sched_hook
 module Rng = Pitree_util.Rng
 
-type kind = Sched_hook.kind = Acquire | Release | Lock | Cond | Point
+type kind = Sched_hook.kind = Acquire | Release | Lock | Cond | Point | Version
 
 exception Aborted
 
@@ -85,6 +85,7 @@ let tag_of = function
   | Lock -> "lock"
   | Cond -> "cond"
   | Point -> "point"
+  | Version -> "ver"
 
 let label_of kind l = tag_of kind ^ ":" ^ l
 

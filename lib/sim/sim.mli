@@ -22,6 +22,7 @@ type kind = Pitree_util.Sched_hook.kind =
   | Lock
   | Cond
   | Point
+  | Version
 
 exception Aborted
 (** Raised {e into} parked fibers during post-run cleanup so their

@@ -1,4 +1,5 @@
 module Latch = Pitree_sync.Latch
+module Version = Pitree_sync.Version
 module Clock = Pitree_sync.Clock
 module Histogram = Pitree_util.Histogram
 
@@ -364,6 +365,13 @@ let rec pin_loop t sh pid ~read ~attempt =
             lsn_src = t.lsn_src;
           }
         in
+        (* Optimistic readers validate against the latch's version word;
+           key it to the page LSN so the published value equals
+           2 * state_id for any saved-path entry naming this page,
+           across evictions and re-loads (DESIGN.md section 14). The
+           closure reads [fr.page] at publish time, so it tracks the
+           image installed by the off-mutex read below. *)
+        Latch.set_state_source fr.latch (fun () -> Page.lsn fr.page);
         sh.ring.(slot) <- Some fr;
         sh.used <- sh.used + 1;
         Hashtbl.replace sh.table pid fr;
@@ -383,6 +391,10 @@ let rec pin_loop t sh pid ~read ~attempt =
               Mutex.lock sh.mu;
               Histogram.record sh.miss_wait (Clock.now_ns () - t0);
               fr.page <- page;
+              (* Re-seed before [Ready] flips: a pin is granted only on
+                 Ready frames, so no optimistic reader can have
+                 snapshotted the placeholder's version. *)
+              Version.seed (Latch.version fr.latch) (Page.lsn page);
               fr.state <- Ready;
               Condition.broadcast fr.cond;
               Mutex.unlock sh.mu;
@@ -406,12 +418,40 @@ let pin_common t pid ~read =
 let pin t pid = pin_common t pid ~read:true
 let pin_new t pid = pin_common t pid ~read:false
 
-(* Lock-free: the release of a pin is a plain atomic decrement. A dirtying
-   writer's [mark_dirty] (plain store) precedes its decrement, and the
-   evictor reads [pins] with [Atomic.get] before reading [dirty], so the
-   dirty bit is always visible to whoever sees the pin drop. *)
+(* Lock-free: the release of a pin is a plain atomic decrement.
+
+   Memory-model audit (Multicore OCaml: all [Atomic] operations are
+   seqcst and carry the writer's full frontier — there is no relaxed
+   variant to get wrong). Two orderings matter here:
+
+   - dirty-bit publication: a dirtying writer's [mark_dirty] (plain
+     stores to [dirty]/[rec_lsn]) precedes its decrement in program
+     order, so the decrement's frontier includes them; the evictor reads
+     [pins] with [Atomic.get] before reading [dirty], acquiring that
+     frontier — the dirty bit is always visible to whoever sees the pin
+     drop. Were the decrement relaxed, the evictor could see pins = 0
+     with a stale clean bit and drop the only copy of the update.
+
+   - version-word publication: an X-latch release does
+     [Version.publish] (an [Atomic.set] of the latch's version word)
+     after the holder's last plain page write and before this unpin, so
+     an optimistic reader whose [Version.validate] observes the
+     published value also observes every page byte it covers. The sim
+     regression (test_sim: olc torn-read window) pins the schedule that
+     would expose a torn read if either edge were reorderable. *)
 let unpin _t fr =
   let old = Atomic.fetch_and_add fr.pins (-1) in
+  assert (old > 0)
+
+(* Lock-free second pin on a frame the caller already holds pinned. Sound
+   ONLY under that precondition: a pinned frame cannot be evicted or
+   reused (the clock hand skips pins > 0 and [Writing] bars transitions
+   while waiters exist), so the increment cannot race a victim selection
+   the way a from-scratch [pin] could — which is exactly why [pin] must
+   take the shard mutex and this must not. Used for the permanently
+   pinned root-frame cache in the latch-free read path. *)
+let repin _t fr =
+  let old = Atomic.fetch_and_add fr.pins 1 in
   assert (old > 0)
 
 (* Callers hold the frame's X latch (or are single-threaded recovery), so
@@ -482,31 +522,6 @@ let flush_page t fr =
     (fun () ->
       check_alive t;
       write_locked t sh fr)
-
-let flush_all t =
-  Array.iter
-    (fun sh ->
-      Mutex.lock sh.mu;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock sh.mu)
-        (fun () ->
-          check_alive t;
-          let frames = Hashtbl.fold (fun _ fr acc -> fr :: acc) sh.table [] in
-          List.iter
-            (fun fr ->
-              (* An in-flight eviction write-out owns the image; wait it
-                 out rather than double-writing. *)
-              while fr.state = Writing do
-                Condition.wait fr.cond sh.mu
-              done;
-              (* The cond-wait released the mutex: only flush the frame if
-                 it still backs this pid (Loading frames are clean). *)
-              match Hashtbl.find_opt sh.table fr.pid with
-              | Some fr' when fr' == fr && fr.state = Ready ->
-                  write_locked t sh fr
-              | _ -> ())
-            frames))
-    t.shards
 
 (* Snapshot the dirty-page table — (page id, rec_lsn) for every dirty
    frame — without stopping writers: each shard is visited under its own
@@ -581,6 +596,30 @@ let write_back t =
         candidates)
     t.shards;
   !written
+
+(* Sharp flush: drain until no resident page is dirty. The previous
+   implementation held each shard's mutex across the writes and took no
+   page latches, which was documented-unsafe against concurrent page
+   mutators: a writer holding a frame's X latch mid-mutation does not
+   touch the shard mutex, so the flusher could write a half-updated image
+   — and a torn durable image of a clean-looking page is invisible to
+   recovery. Each round now delegates to [write_back], which writes under
+   per-page S latches (excluding mutators) with no shard mutex held
+   across I/O; pages re-dirtied (or still [Writing] from an eviction)
+   during a round are picked up by the next, and the loop exits only when
+   a full sweep finds the dirty-page table empty. Termination requires
+   mutators to quiesce eventually — true at the sharp-checkpoint call
+   sites (environment create/close); a concurrent workload merely delays
+   completion and is flushed correctly (see test_pool's
+   flush_all-vs-mutator regression). *)
+let rec flush_all t =
+  ignore (write_back t : int);
+  if dirty_pages t <> [] then begin
+    (* An eviction's off-mutex write-out ([Writing]) keeps the dirty bit
+       until it completes; don't spin hot waiting for it. *)
+    Thread.yield ();
+    flush_all t
+  end
 
 let crash t =
   Array.iter (fun sh -> Mutex.lock sh.mu) t.shards;

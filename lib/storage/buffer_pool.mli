@@ -124,6 +124,12 @@ val pin_new : t -> int -> frame
 val unpin : t -> frame -> unit
 (** Drop one pin. Lock-free (an atomic decrement). *)
 
+val repin : t -> frame -> unit
+(** Add a pin to a frame the caller {e already holds pinned}. Lock-free
+    (an atomic increment), and sound only under that precondition —
+    pinned frames are never evicted, so the count cannot race a victim
+    selection. Pinning a frame from scratch must go through {!pin}. *)
+
 val mark_dirty : frame -> unit
 (** Record that the page is about to diverge from its durable image. Call
     BEFORE mutating the page (and before appending the log record for the
@@ -170,8 +176,13 @@ val flush_page : t -> frame -> unit
 (** WAL-flush then write this page to disk; clears [dirty]. *)
 
 val flush_all : t -> unit
-(** Flush every dirty resident page while holding each shard's mutex (a
-    sharp checkpoint / clean shutdown: simple, stalls the shard). *)
+(** Sharp flush: repeat {!write_back} sweeps until no resident page is
+    dirty. Each page is written under its own S latch with no shard mutex
+    held across I/O, so it is safe against concurrent page mutators (a
+    mutator's X latch excludes the flusher per page); pages re-dirtied
+    mid-sweep are caught by the next round, so termination assumes
+    writers eventually quiesce (the clean-shutdown / initial-checkpoint
+    call sites). Under sustained writes prefer {!write_back} (fuzzy). *)
 
 val dirty_pages : t -> (int * int) list
 (** Snapshot of the dirty-page table — (page id, [rec_lsn]) for every

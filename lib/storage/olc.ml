@@ -1,0 +1,70 @@
+(* Shared machinery for optimistic (latch-free) read descents.
+
+   Engines validate latch-free node reads against the version word each
+   frame latch maintains (see Pitree_sync.Version): snapshot the word,
+   read the node, prove the word unchanged before acting on anything
+   read. A failed proof raises [Restart]; [protect] turns counted
+   restarts into a bounded retry loop with a latched fallback, so write
+   storms degrade to the paper's latched protocol instead of livelocking
+   readers. *)
+
+module Latch = Pitree_sync.Latch
+module Version = Pitree_sync.Version
+
+exception Restart
+
+let vword (fr : Buffer_pool.frame) = Latch.version fr.Buffer_pool.latch
+
+(* Snapshot a node's version word, waiting out a mid-mutation writer for
+   a few re-reads before abandoning the whole descent. *)
+let snapshot fr =
+  let rec spin n =
+    let v = Version.snapshot (vword fr) in
+    if not (Version.is_locked v) then v
+    else if n = 0 then raise Restart
+    else spin (n - 1)
+  in
+  spin 3
+
+let validate fr v = if not (Version.validate (vword fr) v) then raise Restart
+
+(* Optimistic attempts abandoned (from every cause) before the reader
+   falls back to the S-latched path. *)
+let max_restarts = 8
+
+(* Exceptions that mean "this attempt read a torn state": a stale
+   pointer can name a free, re-used or never-allocated page, whose bytes
+   can fail anywhere inside the node accessors. Anything else — e.g.
+   [Crash_point.Crash_requested], [Disk.Disk_error] — propagates. *)
+let transient = function
+  | Restart | Not_found | Page.Corrupt _ | Pitree_util.Codec.Corrupt _
+  | Invalid_argument _ | Failure _ ->
+      true
+  | Buffer_pool.Pool_exhausted -> true
+  | _ -> false
+
+(* Run one optimistic [attempt] with counted restarts; after the budget,
+   [fallback] (the latched path). On [Pool_exhausted] the attempt's
+   cleanup has already dropped every pin it held — yield so the evictor
+   can actually make progress before piling back in (a reader retrying
+   here with pins still held is exactly the spurious-exhaustion bug the
+   optimistic path must avoid). *)
+let protect ?restarts ?fallbacks ~attempt ~fallback () =
+  let tick = function Some c -> Atomic.incr c | None -> () in
+  let rec go n =
+    if n >= max_restarts then begin
+      tick fallbacks;
+      fallback ()
+    end
+    else
+      match attempt () with
+      | r -> r
+      | exception Buffer_pool.Pool_exhausted ->
+          tick restarts;
+          Thread.yield ();
+          go (n + 1)
+      | exception e when transient e ->
+          tick restarts;
+          go (n + 1)
+  in
+  go 0

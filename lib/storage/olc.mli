@@ -1,0 +1,43 @@
+(** Shared machinery for optimistic (latch-free) read descents.
+
+    Engines validate latch-free node reads against the version word each
+    frame latch maintains (see {!Pitree_sync.Version}): {!snapshot} the
+    word, read the node, prove the word unchanged with {!validate}
+    before acting on anything read. A failed proof raises {!Restart};
+    {!protect} turns counted restarts into a bounded retry loop with a
+    latched fallback. *)
+
+exception Restart
+(** This optimistic attempt read a torn or superseded state; retry. *)
+
+val vword : Buffer_pool.frame -> Pitree_sync.Version.t
+(** The frame latch's version word. *)
+
+val snapshot : Buffer_pool.frame -> int
+(** Snapshot the frame's version word, spinning past a mid-mutation
+    writer for a few re-reads; raises {!Restart} if it stays odd. Emits
+    a [Sched_hook] yield point (kind [Version]). *)
+
+val validate : Buffer_pool.frame -> int -> unit
+(** Prove the word still equals the snapshot (and was not a writer's odd
+    mark); raises {!Restart} otherwise. Emits a yield point. *)
+
+val max_restarts : int
+(** Abandoned attempts (from every cause) before {!protect} falls back. *)
+
+val transient : exn -> bool
+(** Whether an exception means "this attempt read a torn state" (stale
+    pointers can name free, re-used or never-allocated pages) rather
+    than a real fault that must propagate. *)
+
+val protect :
+  ?restarts:int Atomic.t ->
+  ?fallbacks:int Atomic.t ->
+  attempt:(unit -> 'a) ->
+  fallback:(unit -> 'a) ->
+  unit ->
+  'a
+(** Run [attempt] with up to {!max_restarts} retries on {!transient}
+    exceptions (yielding first after [Pool_exhausted], whose cleanup
+    contract is that the attempt dropped every pin before raising), then
+    [fallback]. The optional counters tick per restart / per fallback. *)

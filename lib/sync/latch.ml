@@ -35,6 +35,10 @@ type t = {
   mutable contended : int;
   mutable wait_ns : int;
   mutable hold_ns : int;
+  version : Version.t;          (* optimistic readers' word: odd while X-held *)
+  mutable state_src : (unit -> int) option;
+      (* state identifier published on X exit (the page LSN for frame
+         latches); [None] falls back to a monotone bump *)
 }
 
 let create ?(name = "latch") () =
@@ -51,9 +55,33 @@ let create ?(name = "latch") () =
     contended = 0;
     wait_ns = 0;
     hold_ns = 0;
+    version = Version.make ~name 0;
+    state_src = None;
   }
 
 let name t = t.name
+let version t = t.version
+let set_state_source t f = t.state_src <- Some f
+
+(* Test-only: an injected "writer forgets to bump the version" protocol
+   bug (see Blink.Testing.No_version_bump). When disabled, X holds leave
+   the version word untouched, so an optimistic reader cannot tell that
+   the node changed under it — the lib/sim linearizability oracle must
+   catch the resulting stale reads. *)
+let version_bumps = ref true
+
+(* X entry: flip the word odd BEFORE any plain write the holder will make.
+   Called with [t.mu] held; never yields. *)
+let version_lock t = if !version_bumps then Version.lock t.version
+
+(* X exit: publish the node's (possibly advanced) state identifier.
+   Called with [t.mu] held, after the holder's last plain write and before
+   the next writer can be granted. *)
+let version_publish t =
+  if !version_bumps then
+    match t.state_src with
+    | Some f -> Version.publish t.version (f ())
+    | None -> Version.publish_bump t.version
 
 let grantable t = function
   | S -> (not t.x_held) && not t.u_wants_x
@@ -72,6 +100,7 @@ let grant ?(contended = false) t mode =
       t.acquired_at <- (if contended then now_ns () else 0)
   | X ->
       t.x_held <- true;
+      version_lock t;
       t.acquired_at <- (if contended then now_ns () else 0));
   t.acquisitions <- t.acquisitions + 1;
   Atomic.incr g_acquisitions
@@ -116,6 +145,7 @@ let sim_promote t =
   Mutex.lock t.mu;
   t.u_held <- false;
   t.x_held <- true;
+  version_lock t;
   t.u_wants_x <- false;
   Mutex.unlock t.mu
 
@@ -174,6 +204,7 @@ let promote t =
   end;
   t.u_held <- false;
   t.x_held <- true;
+  version_lock t;
   t.u_wants_x <- false;
   Mutex.unlock t.mu
   end
@@ -184,6 +215,7 @@ let demote t =
     Mutex.unlock t.mu;
     invalid_arg "Latch.demote: caller does not hold an X latch"
   end;
+  version_publish t;
   t.x_held <- false;
   t.u_held <- true;
   Condition.broadcast t.cond;
@@ -218,6 +250,7 @@ let release t mode =
         Mutex.unlock t.mu;
         invalid_arg "Latch.release: no X hold"
       end;
+      version_publish t;
       t.x_held <- false;
       finish_hold t);
   Condition.broadcast t.cond;
@@ -261,3 +294,8 @@ let reset_global_stats () =
   Atomic.set g_contended 0;
   Atomic.set g_wait_ns 0;
   Atomic.set g_hold_ns 0
+
+module Testing = struct
+  let set_version_bumps b = version_bumps := b
+  let version_bumps () = !version_bumps
+end

@@ -46,6 +46,32 @@ val release : t -> mode -> unit
 (** Release one hold in [mode]. Releasing a mode that is not held raises
     [Invalid_argument]. *)
 
+(** {2 Optimistic-read support}
+
+    Every latch carries a {!Version} word for latch-free readers: it goes
+    odd when an X latch is granted (or a U latch promoted) and is
+    republished even — as twice the {!set_state_source} state identifier —
+    when the X hold ends (release or demote). Readers snapshot it, read
+    the protected node without latching, and validate; see
+    {!Version} and DESIGN.md section 14. *)
+
+val version : t -> Version.t
+
+val set_state_source : t -> (unit -> int) -> unit
+(** Install the state identifier published on X exit. Frame latches wire
+    this to the page's LSN, making the word comparable across evictions
+    and equal to [2 * Saved_path.entry.state_id] exactly when the node is
+    unchanged since the path entry was saved. *)
+
+(** Test-only: globally suppress version bumping/publishing to model a
+    writer that "forgets" the protocol (driven by
+    [Blink.Testing.No_version_bump]; the lib/sim linearizability oracle
+    must catch the resulting stale optimistic reads). *)
+module Testing : sig
+  val set_version_bumps : bool -> unit
+  val version_bumps : unit -> bool
+end
+
 (** {2 Statistics} — feed experiment E4 (latch hold/wait times). *)
 
 type stats = {

@@ -1,0 +1,36 @@
+module Sched_hook = Pitree_util.Sched_hook
+
+type t = { name : string; word : int Atomic.t }
+
+let make ?(name = "version") state = { name; word = Atomic.make (2 * state) }
+let seed t state = Atomic.set t.word (2 * state)
+let peek t = Atomic.get t.word
+let is_locked v = v land 1 = 1
+
+(* The sim yield BEFORE the atomic read: the scheduler can run a writer to
+   completion (or mid-mutation) right where a real machine could, so
+   Sim.explore enumerates exactly the interleavings the protocol must
+   tolerate. Outside the simulator this is one Atomic.get — seqcst in
+   Multicore OCaml, so observing a publish also acquires every plain write
+   the publisher made before it. *)
+let snapshot t =
+  Sched_hook.yield Sched_hook.Version t.name;
+  Atomic.get t.word
+
+let validate t v =
+  Sched_hook.yield Sched_hook.Version t.name;
+  (not (is_locked v)) && Atomic.get t.word = v
+
+(* Writer side: called with the node's X latch held (and, for [lock] /
+   [publish], the latch's internal mutex) — so these must never yield to
+   the cooperative scheduler, which would deadlock a fiber spinning on the
+   same mutex. The X holder is unique, so get-then-set is race-free. *)
+let lock t =
+  let v = Atomic.get t.word in
+  if not (is_locked v) then Atomic.set t.word (v + 1)
+
+let publish t state = Atomic.set t.word (2 * state)
+
+let publish_bump t =
+  let v = Atomic.get t.word in
+  Atomic.set t.word ((v lor 1) + 1)

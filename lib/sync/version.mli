@@ -1,0 +1,58 @@
+(** Per-node version words for optimistic (latch-free) reads.
+
+    The word encodes the node's state identifier (section 5.2: the page
+    LSN) shifted left one bit: [2 * lsn] while the node is quiescent, odd
+    while a writer holds the X latch and may be mid-mutation. A reader
+    {!snapshot}s the word, reads the node without latching, then
+    {!validate}s: an unchanged even word proves the node was not mutated
+    in between — every mutation advances the page LSN, so the published
+    value is strictly monotone and immune to ABA, and it is comparable
+    across frame evictions and re-reads because it is derived from the
+    durable state identifier rather than a per-frame counter.
+
+    Memory ordering: OCaml [Atomic] operations are seqcst with full
+    fences. The writer bumps to odd {e before} its first plain write and
+    publishes the new even value {e after} its last one (both while
+    holding the X latch), so a validate that returns [true] orders the
+    reader's plain reads entirely outside any writer's plain-write window.
+    See DESIGN.md section 14 for the full argument.
+
+    Under the simulator, {!snapshot} and {!validate} are scheduling
+    points ([Sched_hook.Version]) so [Sim.explore] can interleave writers
+    into the read-validate window; {!lock}/{!publish} are driven from
+    inside the latch implementation and never yield. *)
+
+type t
+
+val make : ?name:string -> int -> t
+(** [make state] starts quiescent at [2 * state]. *)
+
+val seed : t -> int -> unit
+(** Reset to [2 * state] — used when a buffer frame is (re)loaded with a
+    page image, keying the word to that page's LSN. *)
+
+val peek : t -> int
+(** Raw read, no scheduling point (stats / assertions). *)
+
+val is_locked : int -> bool
+(** A snapshotted value is odd: a writer holds the X latch. *)
+
+val snapshot : t -> int
+(** Read the word (sim scheduling point). The caller must check
+    {!is_locked} — reading a node under an odd snapshot can only yield a
+    torn value. *)
+
+val validate : t -> int -> bool
+(** [validate t v] re-reads (sim scheduling point) and returns whether
+    the word is still exactly the even value [v]. *)
+
+val lock : t -> unit
+(** Writer entry: bump to odd. Caller holds the node's X latch. *)
+
+val publish : t -> int -> unit
+(** Writer exit: set to [2 * state] for the node's current state
+    identifier. Caller still holds the X latch. *)
+
+val publish_bump : t -> unit
+(** Writer exit without a state source: advance to the next even value
+    (strictly greater than any value seen during the hold). *)

@@ -1,5 +1,6 @@
 module Page = Pitree_storage.Page
 module Buffer_pool = Pitree_storage.Buffer_pool
+module Olc = Pitree_storage.Olc
 module Latch = Pitree_sync.Latch
 module Page_op = Pitree_wal.Page_op
 module Lsn = Pitree_wal.Lsn
@@ -134,6 +135,71 @@ let rec descend t ~ckey ~target ~mode =
     descend t ~ckey ~target ~mode
   end
   else descend_from t ~ckey ~target ~mode fr
+
+(* ---------- optimistic (latch-free) descent ----------
+
+   Same read-validate-retry protocol as Pitree_blink (see the section
+   comment there and Pitree_storage.Olc), simplified by the TSB-tree's
+   CNS discipline: nodes are immortal, so a validated pointer can be
+   de-referenced without re-validating the parent after the pin — a
+   stale (post-split) child is recovered by side-stepping, exactly as in
+   the latched single-latch descent above. *)
+
+let olc_enabled t = (Env.config t.env).Env.olc_reads
+
+(* Descend pinned-only to the current node directly containing [ckey];
+   returns it pinned with a validated version-word snapshot. Owns [fr]'s
+   pin: every exit, including every raise, drops every pin held. *)
+let rec olc_step t ~ckey fr =
+  match
+    let v = Olc.snapshot fr in
+    let p = page fr in
+    if not (Tnode.contains p ckey) then begin
+      let sib = Page.side_ptr p in
+      let level = Page.level p in
+      Olc.validate fr v;
+      if sib = Page.nil then raise Olc.Restart;
+      `Side (sib, level)
+    end
+    else if Page.level p = 0 then begin
+      Olc.validate fr v;
+      `Leaf v
+    end
+    else
+      match Tnode.floor_entry p ckey with
+      | None -> raise Olc.Restart
+      | Some i ->
+          let _, child = Tnode.index_term p i in
+          Olc.validate fr v;
+          `Child child
+  with
+  | exception e ->
+      unpin t fr;
+      raise e
+  | `Leaf v -> (fr, v)
+  | `Side (sib, level) ->
+      Atomic.incr t.c_side;
+      (* Validated side chase: the pid and level are proven un-torn. *)
+      maybe_schedule_posting t ~level ~sibling:sib ~key:ckey;
+      let sfr =
+        match pin t sib with
+        | sfr -> sfr
+        | exception e ->
+            unpin t fr;
+            raise e
+      in
+      unpin t fr;
+      olc_step t ~ckey sfr
+  | `Child child ->
+      let cfr =
+        match pin t child with
+        | cfr -> cfr
+        | exception e ->
+            unpin t fr;
+            raise e
+      in
+      unpin t fr;
+      olc_step t ~ckey cfr
 
 (* ---------- splits ---------- *)
 
@@ -738,7 +804,25 @@ let version_in_page p ~key ~time =
         Some (stamp, Tnode.version_of_payload payload)
       else None
 
-let lookup_asof t ~key ~time =
+(* Walk the history sibling chain, newest first (Figure 1: the current
+   node is responsible for all previous time through its historical
+   pointers). History nodes are immutable once linked, so plain pins
+   suffice regardless of how the caller reached [pid]. *)
+let walk_history t ~key ~time pid =
+  let rec walk pid =
+    if pid = Page.nil then None
+    else begin
+      let hfr = pin t pid in
+      let hp = page hfr in
+      let v = version_in_page hp ~key ~time in
+      let next = Page.aux_ptr hp in
+      unpin t hfr;
+      match v with Some _ -> v | None -> walk next
+    end
+  in
+  walk pid
+
+let lookup_asof_latched t ~key ~time =
   let ckey = Ordkey.composite key time in
   let fr = descend t ~ckey ~target:0 ~mode:Latch.S in
   let p = page fr in
@@ -748,22 +832,36 @@ let lookup_asof t ~key ~time =
   unpin t fr;
   match current with
   | Some v -> Some v
-  | None ->
-      (* Walk the history sibling chain, newest first (Figure 1: the
-         current node is responsible for all previous time through its
-         historical pointers). *)
-      let rec walk pid =
-        if pid = Page.nil then None
-        else begin
-          let hfr = pin t pid in
-          let hp = page hfr in
-          let v = version_in_page hp ~key ~time in
-          let next = Page.aux_ptr hp in
-          unpin t hfr;
-          match v with Some _ -> v | None -> walk next
-        end
-      in
-      walk chain
+  | None -> walk_history t ~key ~time chain
+
+(* Latch-free variant: the current node's version and history pointer
+   are read under a validated snapshot; the chain itself is immutable. *)
+let lookup_asof_olc t ~key ~time =
+  let ckey = Ordkey.composite key time in
+  let fr, v = olc_step t ~ckey (pin t t.root) in
+  match
+    let p = page fr in
+    let current = version_in_page p ~key ~time in
+    let chain = Page.aux_ptr p in
+    Olc.validate fr v;
+    (current, chain)
+  with
+  | exception e ->
+      unpin t fr;
+      raise e
+  | current, chain -> (
+      unpin t fr;
+      match current with
+      | Some v -> Some v
+      | None -> walk_history t ~key ~time chain)
+
+let lookup_asof t ~key ~time =
+  if olc_enabled t then
+    Olc.protect
+      ~attempt:(fun () -> lookup_asof_olc t ~key ~time)
+      ~fallback:(fun () -> lookup_asof_latched t ~key ~time)
+      ()
+  else lookup_asof_latched t ~key ~time
 
 let get_asof t key ~time =
   match lookup_asof t ~key ~time with

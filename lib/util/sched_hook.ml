@@ -1,4 +1,4 @@
-type kind = Acquire | Release | Lock | Cond | Point
+type kind = Acquire | Release | Lock | Cond | Point | Version
 
 type handler = {
   yield : kind -> string -> unit;

@@ -19,6 +19,9 @@ type kind =
   | Cond     (** blocked on some other condition (pool frame, etc.) *)
   | Point    (** a [Crash_point] was hit — the instants between atomic
                  actions that the paper's argument cares about *)
+  | Version  (** an optimistic reader is snapshotting or validating a
+                 node's version word — the instants where a torn read
+                 would slip in if the read-validate protocol were wrong *)
 
 type handler = {
   yield : kind -> string -> unit;

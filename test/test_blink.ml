@@ -227,6 +227,46 @@ let test_lazy_posting_via_search () =
   Alcotest.(check bool) "side traversals occurred" true (s0.Blink.side_traversals > 0);
   check_wf t
 
+let test_olc_scan_wider_than_pool () =
+  (* An optimistic scan pins every leaf it visits until its final
+     validation pass, so a scan wider than the pool must exhaust it,
+     drop every pin, and fall back to the latched protocol — never
+     leaking [Pool_exhausted] to the caller or pins to the pool. With
+     one frame of headroom a single leaked pin per attempt would wedge
+     the pool within a few iterations. *)
+  let env =
+    Env.create
+      {
+        (small_cfg ()) with
+        Env.pool_capacity = 8;
+        pool_shards = Some 1;
+      }
+  in
+  let t = Blink.create env ~name:"t" in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key i) ~value:(value i)
+  done;
+  ignore (Env.drain env);
+  Alcotest.(check bool) "tree much wider than the pool" true
+    ((Blink.stats t).Blink.leaf_splits > 16);
+  for _ = 1 to 20 do
+    Alcotest.(check int) "full scan correct at 1-frame headroom" n
+      (Blink.count t)
+  done;
+  Alcotest.(check bool) "scans fell back to the latched path" true
+    ((Blink.stats t).Blink.olc_fallbacks > 0);
+  (* Point reads (two pins at a time) still succeed optimistically. *)
+  let r0 = (Blink.stats t).Blink.olc_fallbacks in
+  for i = 0 to n - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "find %d" i)
+      (Some (value i))
+      (Blink.find t (key i))
+  done;
+  Alcotest.(check int) "no fallbacks on point reads" r0
+    (Blink.stats t).Blink.olc_fallbacks
+
 let test_find_locked_repeatable () =
   let env, t = mk () in
   Blink.insert t ~key:"a" ~value:"1";
@@ -345,6 +385,8 @@ let suites =
       [
         Alcotest.test_case "lazy posting via search" `Quick
           test_lazy_posting_via_search;
+        Alcotest.test_case "olc scan wider than pool" `Quick
+          test_olc_scan_wider_than_pool;
         QCheck_alcotest.to_alcotest prop_tree_matches_model;
       ] );
   ]

@@ -121,6 +121,60 @@ let test_blink_readers_vs_writers () =
   Alcotest.(check bool) "reader made progress" true (reads > 0);
   Alcotest.(check int) "all data" 1500 (Blink.count t)
 
+let test_blink_olc_storm_tight_pool () =
+  (* Optimistic readers hammering a pool with almost no headroom while a
+     writer churns the tree. Each abandoned attempt must drop its pins
+     before retrying: a single leaked pin per restart would wedge a
+     16-frame pool within seconds, surfacing as [Pool_exhausted] from
+     [find] — which must never escape the optimistic ladder. *)
+  Seeds.with_seed "concurrency.blink.olc-storm" @@ fun seed ->
+  let env =
+    Env.create { (cfg ()) with Env.pool_capacity = 16; pool_shards = Some 1 }
+  in
+  let t = Blink.create env ~name:"t" in
+  let n = 400 in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key i) ~value:"init"
+  done;
+  ignore (Env.drain env);
+  let stop = Atomic.make false in
+  let reader d () =
+    let rng = Rng.create (Int64.add seed (Int64.of_int d)) in
+    let reads = ref 0 in
+    while not (Atomic.get stop) do
+      let k = key (Rng.int rng n) in
+      (match Blink.find t k with
+      | Some _ -> ()
+      | None -> Alcotest.failf "reader lost pre-loaded key %s" k);
+      incr reads
+    done;
+    !reads
+  in
+  let writer () =
+    (* Overwrites bump versions (forcing restarts) without changing the
+       key population the readers assert on. *)
+    let rng = Rng.create (Int64.add seed 1000L) in
+    for i = 1 to 4_000 do
+      Blink.insert t ~key:(key (Rng.int rng n)) ~value:(string_of_int i)
+    done;
+    Atomic.set stop true
+  in
+  let rs = List.init 3 (fun d -> Domain.spawn (reader d)) in
+  let w = Domain.spawn writer in
+  Domain.join w;
+  Atomic.set stop true;
+  let reads = List.map Domain.join rs in
+  ignore (Env.drain env);
+  check_wf t;
+  List.iter
+    (fun r -> Alcotest.(check bool) "reader made progress" true (r > 0))
+    reads;
+  Alcotest.(check int) "population intact" n (Blink.count t);
+  (* The pool still has its full (tiny) capacity: nothing leaked. *)
+  for i = 0 to n - 1 do
+    ignore (Blink.find t (key i))
+  done
+
 let test_blink_cns_parallel () =
   let env = Env.create (cfg ~consolidation:false ()) in
   let t = Blink.create env ~name:"t" in
@@ -186,6 +240,8 @@ let suites =
         Alcotest.test_case "partitioned writers" `Slow test_blink_partitioned_writers;
         Alcotest.test_case "contending writers" `Slow test_blink_contending_writers;
         Alcotest.test_case "readers vs writers" `Slow test_blink_readers_vs_writers;
+        Alcotest.test_case "olc storm at tight pool" `Slow
+          test_blink_olc_storm_tight_pool;
         Alcotest.test_case "CNS parallel" `Slow test_blink_cns_parallel;
       ] );
     ( "concurrency.baselines",

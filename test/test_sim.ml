@@ -6,6 +6,8 @@ module Sim = Pitree_sim.Sim
 module Linearize = Pitree_sim.Linearize
 module Scenario = Pitree_sim.Scenario
 module Latch = Pitree_sync.Latch
+module Version = Pitree_sync.Version
+module Sched_hook = Pitree_util.Sched_hook
 module Blink = Pitree_blink.Blink
 
 let event_sig (e : Sim.event) =
@@ -136,6 +138,61 @@ let test_linearize_blind_del_and_range () =
         3 4;
     ]
 
+(* --- the version-word read-validate protocol (OLC) --- *)
+
+(* One writer mutates a two-field record under the version-word protocol
+   (lock; write a; write b; publish) while a reader runs the optimistic
+   side (snapshot; read a; read b; validate). Exhaustively explore the
+   interleavings: a successful validate must imply a consistent pair on
+   every schedule, and the torn-read window must actually be reachable
+   (some schedule reads a half-applied pair — and validate rejects it).
+   This pins the ordering contract the buffer pool's unpin audit and
+   [Olc] rely on. *)
+let test_version_torn_read_window () =
+  let torn_rejected = ref 0 and clean_reads = ref 0 in
+  let run decisions =
+    let w = Version.make ~name:"n" 0 in
+    let a = ref 0 and b = ref 0 in
+    let writer () =
+      Version.lock w;
+      incr a;
+      (* the mid-mutation instant a torn reader could observe *)
+      Sched_hook.yield Sched_hook.Version "ver:mid-write";
+      incr b;
+      Version.publish w 1
+    in
+    let reader () =
+      let v = Version.snapshot w in
+      if not (Version.is_locked v) then begin
+        let ra = !a in
+        Sched_hook.yield Sched_hook.Version "ver:mid-read";
+        let rb = !b in
+        if Version.validate w v then begin
+          incr clean_reads;
+          if ra <> rb then
+            failwith (Printf.sprintf "validated a torn read: a=%d b=%d" ra rb)
+        end
+        else if ra <> rb then incr torn_rejected
+      end
+    in
+    Sim.run
+      { Sim.default_config with Sim.policy = Sim.Replay decisions }
+      [ writer; reader ]
+  in
+  let stats, failing = Sim.explore ~max_preemptions:4 ~branch_depth:10 ~run () in
+  (match failing with
+  | None -> ()
+  | Some (prefix, o) ->
+      Alcotest.failf "torn read validated at prefix %s: %a"
+        (Sim.schedule_to_string prefix)
+        Fmt.(option Sim.pp_failure)
+        o.Sim.failure);
+  Alcotest.(check bool) "explored more than one schedule" true
+    (stats.Sim.schedules_run > 1);
+  Alcotest.(check bool) "the torn window is reachable (and rejected)" true
+    (!torn_rejected > 0);
+  Alcotest.(check bool) "some reads validated" true (!clean_reads > 0)
+
 (* --- the oracles catch injected protocol bugs --- *)
 
 (* Dropping the X latch mid-split (after records moved to the sibling,
@@ -161,6 +218,33 @@ let test_injected_early_unlatch_caught () =
       let r' = Scenario.replay cfg small in
       if not (Scenario.failed r') then
         Alcotest.failf "minimized schedule of walk %Ld no longer fails" wseed
+
+(* A writer that skips its version bump defeats optimistic validation:
+   readers can validate a read that raced a split or a consolidation and
+   return an answer no linearization explains. Only a workload heavy
+   enough to split and consolidate under contention exposes it, so this
+   runs the scenario at 4 fibers x 8 ops over 16 keys. *)
+let test_injected_no_version_bump_caught () =
+  Seeds.guard "sim.bug.no-version-bump" @@ fun () ->
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.bug = Blink.Testing.No_version_bump;
+      consolidation = true;
+      olc = true;
+      threads = 4;
+      ops_per_thread = 8;
+      key_space = 16;
+      preload = 12;
+    }
+  in
+  match
+    Scenario.random_walks cfg ~walks:400
+      ~seed:(Seeds.derive "sim.bug.no-version-bump")
+  with
+  | _, None -> Alcotest.fail "oracle missed the injected no-version-bump bug"
+  | _, Some (_, r) ->
+      Alcotest.(check bool) "report failed" true (Scenario.failed r)
 
 (* A separator one byte short violates section 2.1.3 condition 3 (the index
    term describes space the child is not responsible for): the
@@ -219,10 +303,17 @@ let suites =
         Alcotest.test_case "blind del + range" `Quick
           test_linearize_blind_del_and_range;
       ] );
+    ( "sim.version",
+      [
+        Alcotest.test_case "torn-read window rejected" `Quick
+          test_version_torn_read_window;
+      ] );
     ( "sim.oracle",
       [
         Alcotest.test_case "early unlatch caught" `Slow
           test_injected_early_unlatch_caught;
+        Alcotest.test_case "no version bump caught" `Slow
+          test_injected_no_version_bump_caught;
         Alcotest.test_case "bad separator caught" `Slow
           test_injected_bad_sep_caught;
         Alcotest.test_case "blink clean sweep" `Slow
