@@ -24,6 +24,7 @@ module Endure = Pitree_harness.Endure
 module Table = Pitree_harness.Table
 module Rng = Pitree_util.Rng
 module Zipf = Pitree_util.Zipf
+module Combine = Pitree_combine.Combine
 module Page = Pitree_storage.Page
 module Disk = Pitree_storage.Disk
 module Buffer_pool = Pitree_storage.Buffer_pool
@@ -1458,6 +1459,182 @@ let olc_smoke () =
   olc_impl ~key_space:5_000 ~point_ops:10_000 ~scan_ops:400 ~mixed_ops:5_000
     ~domain_counts:[ 2 ] ~out:"BENCH_olc.json" ()
 
+(* ------------------------------------------------------------------ *)
+(* E20 / combine: hot-key write combining under a skewed write storm.
+   Update-only Zipf(0.99) puts over a small key space, so the hottest
+   keys collide constantly; with combining on, colliding writers share
+   one descent, one leaf latch and one commit flush enrollment per
+   batch. Same op count with combining off is the baseline. Gated: the
+   funnel must actually reduce work (batch fan-in, leaf descents, WAL
+   flush requests), not just move it. Emits BENCH_combine.json.        *)
+(* ------------------------------------------------------------------ *)
+
+type combine_run = {
+  m_mode : string;  (* "direct" | "combined" *)
+  m_result : Driver.result;
+  m_descents : int;
+  m_flush_requests : int;
+  m_logical_commits : int;
+  m_combine : Combine.stats option;
+}
+
+let combine_storm ~combine ~window_us ~slots ~page_size ~domains
+    ~ops_per_domain ~key_space ~log_path =
+  let env =
+    Env.create
+      {
+        Env.default_config with
+        page_size;
+        pool_capacity = 32768;
+        log_path = Some log_path;
+        combine;
+        combine_slots = slots;
+        combine_window_us = window_us;
+      }
+  in
+  let t = Blink.create env ~name:"bench" in
+  let inst = Kv.blink t in
+  let spec =
+    Workload.spec ~key_space ~read_pct:0 ~insert_pct:100
+      ~dist:(Workload.Zipf 0.99) ()
+  in
+  Driver.preload inst spec ~n:key_space;
+  ignore (Env.drain env);
+  (* Exclude the single-threaded preload (batches of one) from the
+     combining distribution the gates judge. *)
+  Combine.reset_stats ();
+  let s0 = Blink.stats t in
+  let w0 = Log_manager.stats (Env.log env) in
+  let r = Driver.run ~env ~domains ~ops_per_domain ~seed:11L inst spec in
+  let s1 = Blink.stats t in
+  let w1 = Log_manager.stats (Env.log env) in
+  {
+    m_mode = (if combine then "combined" else "direct");
+    m_result = r;
+    m_descents = s1.Blink.descents - s0.Blink.descents;
+    m_flush_requests =
+      w1.Log_manager.flush_requests - w0.Log_manager.flush_requests;
+    m_logical_commits =
+      w1.Log_manager.logical_commits - w0.Log_manager.logical_commits;
+    m_combine = (if combine then Some (Combine.stats ()) else None);
+  }
+
+let combine_json ~key_space ~domains ~ops ~window_us ~slots ~runs
+    ~batch_mean ~descent_ratio ~flush_ratio ~gates ~passed =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"combine\",\n";
+  Printf.bprintf b
+    "  \"key_space\": %d, \"domains\": %d, \"ops\": %d, \"window_us\": %d, \
+     \"slots\": %d,\n"
+    key_space domains ops window_us slots;
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i m ->
+      let c_reqs, c_batches, c_handbacks, c_mean, c_max =
+        match m.m_combine with
+        | Some c ->
+            ( c.Combine.reqs, c.Combine.batches, c.Combine.handbacks,
+              c.Combine.batch_mean, c.Combine.batch_max )
+        | None -> (0, 0, 0, 0.0, 0)
+      in
+      Printf.bprintf b
+        "    {\"mode\": %S, \"ops\": %d, \"elapsed_s\": %.4f, \"ops_per_s\": \
+         %.1f, \"p99_ns\": %d, \"descents\": %d, \"flush_requests\": %d, \
+         \"logical_commits\": %d, \"combine_reqs\": %d, \"batches\": %d, \
+         \"handbacks\": %d, \"batch_mean\": %.2f, \"batch_max\": %d}%s\n"
+        m.m_mode m.m_result.Driver.total_ops m.m_result.Driver.elapsed_s
+        m.m_result.Driver.ops_per_s m.m_result.Driver.p99_ns m.m_descents
+        m.m_flush_requests m.m_logical_commits c_reqs c_batches c_handbacks
+        c_mean c_max
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b
+    "  \"headline\": {\"batch_mean\": %.2f, \"descent_reduction\": %.2f, \
+     \"flush_request_reduction\": %.2f},\n"
+    batch_mean descent_ratio flush_ratio;
+  let g_mean, g_descents, g_flush = gates in
+  Printf.bprintf b
+    "  \"gates\": {\"batch_mean_gt\": %.2f, \"descents_ratio_ge\": %.2f, \
+     \"flush_requests_ratio_ge\": %.2f, \"passed\": %b}\n"
+    g_mean g_descents g_flush passed;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let combine_impl ~key_space ~page_size ~domains ~ops_per_domain ~window_us
+    ~slots ~gates ~out () =
+  let storm combine =
+    with_file_log (fun log_path ->
+        combine_storm ~combine ~window_us ~slots ~page_size ~domains
+          ~ops_per_domain ~key_space ~log_path)
+  in
+  let direct = storm false in
+  let combined = storm true in
+  let runs = [ direct; combined ] in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Write combining: Zipf(0.99) update storm, %d keys, %d domains x %d \
+          ops (window %dus, %d slots)"
+         key_space domains ops_per_domain window_us slots)
+    ~header:
+      [ "mode"; "ops/s"; "p99 ns"; "descents"; "flush reqs"; "commits";
+        "batch mean"; "batch max"; "handbacks" ]
+    (List.map
+       (fun m ->
+         let c_mean, c_max, c_hb =
+           match m.m_combine with
+           | Some c -> (c.Combine.batch_mean, c.Combine.batch_max, c.Combine.handbacks)
+           | None -> (0.0, 0, 0)
+         in
+         [
+           m.m_mode;
+           fmt_ops m.m_result.Driver.ops_per_s;
+           string_of_int m.m_result.Driver.p99_ns;
+           string_of_int m.m_descents;
+           string_of_int m.m_flush_requests;
+           string_of_int m.m_logical_commits;
+           Printf.sprintf "%.2f" c_mean;
+           string_of_int c_max;
+           string_of_int c_hb;
+         ])
+       runs);
+  let ratio a b = if b = 0 then Float.infinity else float_of_int a /. float_of_int b in
+  let descent_ratio = ratio direct.m_descents combined.m_descents in
+  let flush_ratio = ratio direct.m_flush_requests combined.m_flush_requests in
+  let batch_mean =
+    match combined.m_combine with Some c -> c.Combine.batch_mean | None -> 0.0
+  in
+  let g_mean, g_descents, g_flush = gates in
+  let passed =
+    batch_mean > g_mean && descent_ratio >= g_descents
+    && flush_ratio >= g_flush
+  in
+  Printf.printf
+    "headline: batch_mean %.2f (gate > %.2f), descents %.2fx fewer (gate >= \
+     %.2fx), flush requests %.2fx fewer (gate >= %.2fx) -> %s\n%!"
+    batch_mean g_mean descent_ratio g_descents flush_ratio g_flush
+    (if passed then "PASS" else "FAIL");
+  let oc = open_out out in
+  output_string oc
+    (combine_json ~key_space ~domains ~ops:(domains * ops_per_domain)
+       ~window_us ~slots ~runs ~batch_mean ~descent_ratio ~flush_ratio ~gates
+       ~passed);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if not passed then exit 1
+
+let combine_bench () =
+  combine_impl ~key_space:256 ~page_size:8192 ~domains:8 ~ops_per_domain:5_000
+    ~window_us:1_500 ~slots:4 ~gates:(1.5, 2.0, 1.5) ~out:"BENCH_combine.json"
+    ()
+
+let combine_smoke () =
+  combine_impl ~key_space:64 ~page_size:4096 ~domains:4 ~ops_per_domain:1_500
+    ~window_us:1_000 ~slots:4 ~gates:(1.2, 1.2, 1.2) ~out:"BENCH_combine.json"
+    ()
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1468,12 +1645,14 @@ let experiments =
     ("ckpt", ckpt); ("ckpt-smoke", ckpt_smoke);
     ("endure", endure); ("endure-smoke", endure_smoke);
     ("olc", olc); ("olc-smoke", olc_smoke);
+    ("combine", combine_bench); ("combine-smoke", combine_smoke);
     ("micro", micro);
   ]
 
 (* smoke variants would overwrite the full runs' JSON artifacts *)
 let smoke_variants =
-  [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke"; "olc-smoke" ]
+  [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke"; "olc-smoke";
+    "combine-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1482,7 +1661,7 @@ let () =
       print_endline
         "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
          pool-smoke | ckpt | ckpt-smoke | endure | endure-smoke | olc | \
-         olc-smoke | micro | all]";
+         olc-smoke | combine | combine-smoke | micro | all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter

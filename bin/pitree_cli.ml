@@ -150,8 +150,8 @@ let point_arg =
         ~doc:
           "Crash point: blink.split.linked, blink.split.committed, \
            blink.root.grown, blink.post.latched, blink.post.updated, \
-           blink.post.done, blink.consolidate.linked, ckpt.begin.logged, \
-           ckpt.end.logged, ckpt.truncated.")
+           blink.post.done, blink.consolidate.linked, combine.applied, \
+           ckpt.begin.logged, ckpt.end.logged, ckpt.truncated.")
 
 let after_arg =
   Arg.(value & opt int 3 & info [ "after" ] ~doc:"Fire on the (N+1)-th hit.")
@@ -163,8 +163,16 @@ let crash_cmd =
 
 (* --- workload --- *)
 
-let workload domains ops reads inserts deletes zipf =
-  let env = mk_env 1024 true false in
+let workload domains ops reads inserts deletes zipf no_combine =
+  let env =
+    Env.create
+      {
+        Env.default_config with
+        page_size = 1024;
+        pool_capacity = 65536;
+        combine = not no_combine;
+      }
+  in
   let t = Blink.create env ~name:"t" in
   let inst = Kv.blink t in
   let dist = if zipf > 0.0 then Workload.Zipf zipf else Workload.Uniform in
@@ -189,11 +197,15 @@ let inserts_arg = Arg.(value & opt int 20 & info [ "inserts" ] ~doc:"Insert perc
 let deletes_arg = Arg.(value & opt int 10 & info [ "deletes" ] ~doc:"Delete percent.")
 let zipf_arg = Arg.(value & opt float 0.9 & info [ "zipf" ] ~doc:"Zipf theta (0 = uniform).")
 
+let w_no_combine_arg =
+  Arg.(value & flag & info [ "no-combine" ]
+       ~doc:"Disable hot-key write combining (one descent per write).")
+
 let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Run a mixed workload across domains.")
     Term.(
       const workload $ domains_arg $ ops_arg $ reads_arg $ inserts_arg
-      $ deletes_arg $ zipf_arg)
+      $ deletes_arg $ zipf_arg $ w_no_combine_arg)
 
 (* --- dump --- *)
 
@@ -321,7 +333,8 @@ let persist_cmd =
 (* --- sim --- *)
 
 let sim engine threads ops keys preload seed walks systematic depth preemptions
-    max_schedules consolidation no_olc bug expect_bug replay_s quiet =
+    max_schedules consolidation no_olc combine no_combine bug expect_bug
+    replay_s quiet =
   let module Scenario = Pitree_sim.Scenario in
   let module Sim = Pitree_sim.Sim in
   let engine =
@@ -335,12 +348,20 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
     | "early-unlatch" -> Blink.Testing.Early_unlatch_split
     | "bad-post-sep" -> Blink.Testing.Bad_post_sep
     | "no-version-bump" -> Blink.Testing.No_version_bump
-    | _ -> failwith "unknown bug (none|early-unlatch|bad-post-sep|no-version-bump)"
+    | "ack-before-durable" -> Blink.Testing.Ack_before_durable
+    | _ ->
+        failwith
+          "unknown bug \
+           (none|early-unlatch|bad-post-sep|no-version-bump|ack-before-durable)"
   in
   (* [No_version_bump] only misbehaves where a stale node can be acted
-     on, i.e. under CP de-allocation: force consolidation on. *)
+     on, i.e. under CP de-allocation: force consolidation on. Likewise
+     [Ack_before_durable] lives in the combining layer: force it on. *)
   let consolidation =
     consolidation || bug = Blink.Testing.No_version_bump
+  in
+  let combine =
+    (combine || bug = Blink.Testing.Ack_before_durable) && not no_combine
   in
   let cfg =
     {
@@ -353,6 +374,7 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       seed;
       consolidation;
       olc = not no_olc;
+      combine;
       bug;
     }
   in
@@ -371,12 +393,14 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       threads ops keys preload seed
       ((if consolidation then "--consolidation " else "")
       ^ (if no_olc then "--no-olc " else "")
+      ^ (if combine then "--combine " else "")
       ^
       match bug with
       | Blink.Testing.No_bug -> ""
       | Blink.Testing.Early_unlatch_split -> "--bug early-unlatch "
       | Blink.Testing.Bad_post_sep -> "--bug bad-post-sep "
-      | Blink.Testing.No_version_bump -> "--bug no-version-bump ")
+      | Blink.Testing.No_version_bump -> "--bug no-version-bump "
+      | Blink.Testing.Ack_before_durable -> "--bug ack-before-durable ")
       (Sim.schedule_to_string minimized)
   in
   let found = ref false in
@@ -469,11 +493,23 @@ let sim_no_olc_arg =
   Arg.(value & flag & info [ "no-olc" ]
          ~doc:"Disable optimistic latch-free reads (always-latched descent).")
 
+let sim_combine_arg =
+  Arg.(value & flag & info [ "combine" ]
+         ~doc:"Enable hot-key write combining (off by default in the \
+               simulator so the un-combined protocol keeps its compact \
+               schedule space; implied by --bug ack-before-durable).")
+
+let sim_no_combine_arg =
+  Arg.(value & flag & info [ "no-combine" ]
+         ~doc:"Force write combining off (overrides --combine; accepted \
+               for flag symmetry with workload/endure).")
+
 let sim_bug_arg =
   Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG"
-         ~doc:"Inject a protocol bug: none, early-unlatch, bad-post-sep or \
-               no-version-bump (blink only; no-version-bump implies \
-               --consolidation).")
+         ~doc:"Inject a protocol bug: none, early-unlatch, bad-post-sep, \
+               no-version-bump or ack-before-durable (blink only; \
+               no-version-bump implies --consolidation, ack-before-durable \
+               implies --combine).")
 
 let sim_expect_bug_arg =
   Arg.(value & flag & info [ "expect-bug" ]
@@ -499,17 +535,18 @@ let sim_cmd =
       const sim $ sim_engine_arg $ sim_threads_arg $ sim_ops_arg $ sim_keys_arg
       $ sim_preload_arg $ sim_seed_arg $ sim_walks_arg $ sim_systematic_arg
       $ sim_depth_arg $ sim_preemptions_arg $ sim_max_schedules_arg
-      $ sim_consolidation_arg $ sim_no_olc_arg $ sim_bug_arg
-      $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
+      $ sim_consolidation_arg $ sim_no_olc_arg $ sim_combine_arg
+      $ sim_no_combine_arg $ sim_bug_arg $ sim_expect_bug_arg $ sim_replay_arg
+      $ sim_quiet_arg)
 
 (* --- endure --- *)
 
 let endure keys seconds domains mix theta value_len scan_len pool ckpt_kb
-    faults cycles sample seed dir out quiet slo_p99_ms slo_wal_mb =
+    faults cycles sample seed dir out quiet no_combine slo_p99_ms slo_wal_mb =
   let module Endure = Pitree_harness.Endure in
   match Endure.mix_of_string mix with
   | None ->
-      Printf.eprintf "endure: unknown mix %S (A..F or mixed)\n" mix;
+      Printf.eprintf "endure: unknown mix %S (A..F, mixed or storm)\n" mix;
       2
   | Some mix ->
       let faults =
@@ -534,6 +571,7 @@ let endure keys seconds domains mix theta value_len scan_len pool ckpt_kb
           verify_sample = sample;
           seed = Int64.of_int seed;
           dir;
+          combine = not no_combine;
           slo_p99_read_ns = slo_p99_ms * 1_000_000;
           slo_wal_bytes = slo_wal_mb * 1024 * 1024;
         }
@@ -565,7 +603,7 @@ let e_domains_arg =
 
 let e_mix_arg =
   Arg.(value & opt string "mixed"
-       & info [ "mix" ] ~doc:"YCSB-shaped mix: A..F or mixed.")
+       & info [ "mix" ] ~doc:"YCSB-shaped mix: A..F, mixed, or storm (update-only skewed write storm).")
 
 let e_theta_arg =
   Arg.(value & opt float 0.99 & info [ "theta" ] ~doc:"Zipf theta (<=0 = uniform).")
@@ -608,6 +646,10 @@ let e_out_arg =
 let e_quiet_arg =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Only write the JSON report.")
 
+let e_no_combine_arg =
+  Arg.(value & flag & info [ "no-combine" ]
+       ~doc:"Disable hot-key write combining (one descent per write).")
+
 let e_slo_p99_arg =
   Arg.(value & opt int 50
        & info [ "slo-p99-read-ms" ] ~doc:"SLO: point-read p99 bound (ms).")
@@ -630,8 +672,8 @@ let endure_cmd =
       const endure $ e_keys_arg $ e_seconds_arg $ e_domains_arg $ e_mix_arg
       $ e_theta_arg $ e_value_len_arg $ e_scan_len_arg $ e_pool_arg
       $ e_ckpt_kb_arg $ e_faults_arg $ e_cycles_arg $ e_sample_arg
-      $ e_seed_arg $ e_dir_arg $ e_out_arg $ e_quiet_arg $ e_slo_p99_arg
-      $ e_slo_wal_arg)
+      $ e_seed_arg $ e_dir_arg $ e_out_arg $ e_quiet_arg $ e_no_combine_arg
+      $ e_slo_p99_arg $ e_slo_wal_arg)
 
 let main =
   Cmd.group

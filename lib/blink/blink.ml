@@ -15,6 +15,7 @@ module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
 module Atomic_action = Pitree_txn.Atomic_action
 module Crash_point = Pitree_util.Crash_point
+module Combine = Pitree_combine.Combine
 module Env = Pitree_env.Env
 module Saved_path = Pitree_core.Saved_path
 module Wellformed = Pitree_core.Wellformed
@@ -52,6 +53,7 @@ type stats = {
   lock_restarts : int;
   olc_restarts : int;
   olc_fallbacks : int;
+  descents : int;
 }
 
 (* Mutable atomic counters behind the frozen [stats] snapshot. *)
@@ -73,6 +75,7 @@ type counters = {
   c_lock_restarts : int Atomic.t;
   c_olc_restarts : int Atomic.t;
   c_olc_fallbacks : int Atomic.t;
+  c_descents : int Atomic.t;
 }
 
 let fresh_counters () =
@@ -94,6 +97,7 @@ let fresh_counters () =
     c_lock_restarts = Atomic.make 0;
     c_olc_restarts = Atomic.make 0;
     c_olc_fallbacks = Atomic.make 0;
+    c_descents = Atomic.make 0;
   }
 
 let bump c = Atomic.incr c
@@ -118,7 +122,14 @@ type t = {
      identity — recovery replaces the pool object, invalidating the
      cache. *)
   root_cache : (Buffer_pool.t * Buffer_pool.frame) option Atomic.t;
+  (* Hot-key write combining: non-transactional inserts funnel through
+     this per-tree combiner ([Env.config.combine]). A combined request
+     the batch could not serve is [Handback]: the caller re-runs it on
+     the normal single-op path. *)
+  mutable combiner : (string * string, comb_res) Combine.t option;
 }
+
+and comb_res = Applied | Handback
 
 let env t = t.env
 let name t = t.name
@@ -171,6 +182,9 @@ type injected_bug =
   | No_version_bump
       (* writers take and release X latches correctly but never touch the
          node's version word, so optimistic readers validate stale reads *)
+  | Ack_before_durable
+      (* the combining leader broadcasts success to its followers before
+         the batch is applied or committed (Combine.Testing) *)
 
 let injected_bug = ref No_bug
 
@@ -196,6 +210,11 @@ let update_record t txn fr op ~comp =
 let register_tree_fwd : (t -> unit) ref = ref (fun _ -> ())
 let register_tree_hook t = !register_tree_fwd t
 
+(* Forward declaration: the combiner's batch apply needs the whole
+   traversal/lock machinery below. *)
+let attach_combiner_fwd : (t -> unit) ref = ref (fun _ -> ())
+let attach_combiner t = !attach_combiner_fwd t
+
 let create e ~name =
   let root = Env.create_tree e ~name ~kind:Page.Data ~level:0 in
   let t =
@@ -209,6 +228,7 @@ let create e ~name =
       pending_consol = Hashtbl.create 16;
       move_granularity = `Node;
       root_cache = Atomic.make None;
+      combiner = None;
     }
   in
   (* Give the root its fence cell (responsible for the whole space). *)
@@ -220,6 +240,7 @@ let create e ~name =
       unlatch fr Latch.X;
       unpin t fr);
   register_tree_hook t;
+  attach_combiner t;
   t
 
 (* For file-persistent databases restarted in a fresh process: recovery may
@@ -237,6 +258,7 @@ let register_for_recovery e ~root =
       pending_consol = Hashtbl.create 4;
       move_granularity = `Node;
       root_cache = Atomic.make None;
+      combiner = None;
     }
 
 let open_existing e ~name =
@@ -253,10 +275,12 @@ let open_existing e ~name =
           pending_mu = Mutex.create ();
           pending_consol = Hashtbl.create 16;
           move_granularity = `Node;
-      root_cache = Atomic.make None;
+          root_cache = Atomic.make None;
+          combiner = None;
         }
       in
       register_tree_hook t;
+      attach_combiner t;
       Some t
 
 (* ---------- posting scheduling (section 5.1) ---------- *)
@@ -374,6 +398,7 @@ let rec descend_from t ~key ~target ~mode fr path =
 (* Entry point: latch the root with the right mode for its current level
    and descend. *)
 let rec descend t ~key ~target ~mode =
+  if target = 0 then bump t.c.c_descents;
   let fr = pin t t.root in
   let guess_above = Page.level (page fr) > target in
   let m = if guess_above then Latch.S else mode in
@@ -1066,8 +1091,23 @@ let with_autocommit t txn f =
           if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
           raise e)
 
-let rec insert ?txn t ~key ~value =
-  bump t.c.c_inserts;
+(* An autocommit operation picked as deadlock victim (its transaction is
+   aborted, its locks are gone) retries transparently: the client never
+   held a transaction to re-run. Explicit transactions surface the
+   exception — only the client knows what else the transaction did. *)
+let rec autocommit_deadlock_retry ?txn t ~tries op =
+  match op () with
+  | v -> v
+  | exception Lock_manager.Deadlock _ when txn = None ->
+      bump t.c.c_lock_restarts;
+      if tries > 100 then failwith "blink: autocommit deadlock livelock";
+      autocommit_deadlock_retry ?txn t ~tries:(tries + 1) op
+
+let rec insert_direct ?txn t ~key ~value =
+  autocommit_deadlock_retry ?txn t ~tries:0 (fun () ->
+      insert_direct_once ?txn t ~key ~value)
+
+and insert_direct_once ?txn t ~key ~value =
   let cell = Node.record_cell ~key ~value in
   with_autocommit t txn (fun txn ->
       let rec attempt tries =
@@ -1138,6 +1178,129 @@ and split_for t txn ~pid ~key ~need =
     split_leaf_independent t ~key ~need
   end
 
+(* ---------- hot-key write combining (ROADMAP item 3) ----------
+
+   The combining leader applies a whole batch of puts with ONE descent,
+   ONE X latch and ONE commit: a §2.1.3 well-formed atomic action (all
+   latches acquired inside, all released before it ends, every update
+   logged physiologically under one transaction), so crash recovery
+   already knows how to undo a half-applied batch. Per-key obstacles —
+   key outside the reached leaf, record lock busy, cell does not fit —
+   hand that request back to the caller's normal single-op path; the
+   no-wait rule is preserved because the leader NEVER blocks on a lock
+   while latched (it does not block on locks at all).
+
+   The batch transaction holds the X record locks of every applied key
+   until its commit, which precedes the followers' wake-up, so a handed
+   back follower re-running [insert_direct] never deadlocks against its
+   own batch. *)
+
+let apply_batch t (reqs : (string * string) array) =
+  let n = Array.length reqs in
+  let results = Array.make n Handback in
+  let txn = Txn_mgr.begin_txn (mgr t) Txn.User in
+  let applied = ref 0 in
+  match
+    let key0, _ = reqs.(0) in
+    let _, fr = descend t ~key:key0 ~target:0 ~mode:Latch.U in
+    let p = page fr in
+    let pid = Page.id p in
+    let f = Node.fence p in
+    (* [Node.contains] checks only the upper bound (descents approach from
+       the left); batch members other than [key0] need both. *)
+    let in_leaf key =
+      (match f.Node.low with None -> true | Some l -> String.compare key l >= 0)
+      && match f.Node.high with None -> true | Some h -> String.compare key h < 0
+    in
+    let locked = Hashtbl.create (min n 16) in
+    let promoted = ref false in
+    Array.iteri
+      (fun i (key, value) ->
+        let cell = Node.record_cell ~key ~value in
+        let lock_ok () =
+          Hashtbl.mem locked key
+          ||
+          if try_update_locks t txn ~pid ~key then begin
+            Hashtbl.replace locked key ();
+            true
+          end
+          else false
+        in
+        if in_leaf key && lock_ok () then begin
+          let ensure_x () =
+            if not !promoted then begin
+              promote fr;
+              promoted := true
+            end
+          in
+          match Node.find p key with
+          | `Found j ->
+              let old_cell = Page.get p (Node.slot_of_entry j) in
+              if
+                Page.will_fit p (String.length cell)
+                || String.length cell <= String.length old_cell
+              then begin
+                ensure_x ();
+                update_record t txn fr
+                  (Page_op.Replace_slot
+                     { slot = Node.slot_of_entry j; old_cell; new_cell = cell })
+                  ~comp:(Logical.Put { cell = old_cell });
+                if not (List.mem (t.root, pid) txn.Txn.updated_nodes) then
+                  txn.Txn.updated_nodes <- (t.root, pid) :: txn.Txn.updated_nodes;
+                results.(i) <- Applied;
+                incr applied
+              end
+          | `Not_found j ->
+              if Page.will_fit p (String.length cell + Page.slot_overhead) then begin
+                ensure_x ();
+                update_record t txn fr
+                  (Page_op.Insert_slot { slot = Node.slot_of_entry j; cell })
+                  ~comp:(Logical.Remove { key });
+                if not (List.mem (t.root, pid) txn.Txn.updated_nodes) then
+                  txn.Txn.updated_nodes <- (t.root, pid) :: txn.Txn.updated_nodes;
+                results.(i) <- Applied;
+                incr applied
+              end
+        end)
+      reqs;
+    unlatch fr (if !promoted then Latch.X else Latch.U);
+    unpin t fr
+  with
+  | () ->
+      (* Between the leaf updates and the commit: a crash here must roll
+         the whole batch back (no follower has been acked yet). *)
+      Crash_point.hit Combine.crash_point_applied;
+      Txn_mgr.commit ~commits:(max 1 !applied) (mgr t) txn;
+      ignore (Env.drain t.env);
+      results
+  | exception (Crash_point.Crash_requested _ as e) -> raise e
+  | exception e ->
+      if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
+      raise e
+
+let () =
+  attach_combiner_fwd :=
+    fun t ->
+      let c = cfg t in
+      if c.Env.combine then
+        t.combiner <-
+          Some
+            (Combine.create ~slots:c.Env.combine_slots
+               ~window_us:c.Env.combine_window_us ~early_res:Applied
+               ~apply:(fun reqs -> apply_batch t reqs)
+               ())
+
+let insert ?txn t ~key ~value =
+  bump t.c.c_inserts;
+  match (txn, t.combiner) with
+  | None, Some combiner ->
+      (match Combine.submit combiner ~hash:(Hashtbl.hash key) (key, value) with
+      | Applied -> ()
+      | Handback ->
+          Combine.note_handback ();
+          insert_direct t ~key ~value)
+  | _ -> insert_direct ?txn t ~key ~value
+
 let consolidate_action : (t -> key:string -> level:int -> unit) ref =
   ref (fun _ ~key:_ ~level:_ -> assert false)
 
@@ -1159,6 +1322,7 @@ let underutilized p = Node.utilization p < 0.25
 
 let delete ?txn t key =
   bump t.c.c_deletes;
+  autocommit_deadlock_retry ?txn t ~tries:0 @@ fun () ->
   with_autocommit t txn (fun txn ->
       let rec attempt tries =
         if tries > 200 then failwith "blink.delete: too many restarts";
@@ -1762,6 +1926,7 @@ let stats t =
     lock_restarts = Atomic.get t.c.c_lock_restarts;
     olc_restarts = Atomic.get t.c.c_olc_restarts;
     olc_fallbacks = Atomic.get t.c.c_olc_fallbacks;
+    descents = Atomic.get t.c.c_descents;
   }
 
 let reset_stats t =
@@ -1773,7 +1938,7 @@ let reset_stats t =
       c.c_root_splits; c.c_side_traversals; c.c_postings_scheduled;
       c.c_postings_completed; c.c_postings_noop; c.c_consolidations;
       c.c_consolidations_skipped; c.c_path_reuse_hits; c.c_full_retraversals;
-      c.c_lock_restarts; c.c_olc_restarts; c.c_olc_fallbacks;
+      c.c_lock_restarts; c.c_olc_restarts; c.c_olc_fallbacks; c.c_descents;
     ]
 
 module Internal = struct
@@ -1841,13 +2006,17 @@ module Testing = struct
     | Early_unlatch_split
     | Bad_post_sep
     | No_version_bump
+    | Ack_before_durable
 
   let set_bug b =
     injected_bug := b;
     (* [No_version_bump] is realized one layer down: latches simply stop
        maintaining their version words, which is exactly the mistake a
-       writer path would make by mutating without the bump discipline. *)
-    Latch.Testing.set_version_bumps (b <> No_version_bump)
+       writer path would make by mutating without the bump discipline.
+       [Ack_before_durable] likewise lives in the combining layer: the
+       leader broadcasts success before applying the batch. *)
+    Latch.Testing.set_version_bumps (b <> No_version_bump);
+    Combine.Testing.set_ack_before_durable (b = Ack_before_durable)
 
   let bug () = !injected_bug
 end

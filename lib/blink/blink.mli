@@ -71,7 +71,15 @@ val move_granularity : t -> [ `Node | `Record ]
 (** {2 Operations} *)
 
 val insert : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> unit
-(** Insert or overwrite. *)
+(** Insert or overwrite. A non-transactional insert (no [txn]) funnels
+    through the hot-key combining layer when [Env.config.combine] is on:
+    concurrent writers hashing to the same publication slot are batched by
+    an elected leader into one descent, one X latch and one log batch
+    committed with a single durability enrollment ([Pitree_combine]).
+    Requests the batch cannot serve (leaf overflow, busy record lock, key
+    outside the reached leaf) transparently re-run the normal single-op
+    path, which may split. Linearizability is unchanged: the leader acks
+    only after the batch transaction committed. *)
 
 val delete : ?txn:Pitree_txn.Txn.t -> t -> string -> bool
 (** Delete; [false] if the key was absent. *)
@@ -121,6 +129,9 @@ type stats = {
   olc_fallbacks : int;
       (** reads that exhausted the optimistic retry budget and fell back
           to the S-latched path *)
+  descents : int;
+      (** latched root-to-leaf descents (target level 0) — the work metric
+          write combining reduces: N combined puts cost one descent *)
 }
 
 val stats : t -> stats
@@ -154,6 +165,12 @@ module Testing : sig
             (caught by the linearizability checker under the CP
             invariant: a reader descends into a node de-allocated by a
             consolidation and misses committed keys) *)
+    | Ack_before_durable
+        (** the combining leader broadcasts success to its parked
+            followers before the batch is applied or committed (caught by
+            the linearizability checker with combining on: an acked
+            writer's own subsequent read misses its write, which no
+            linearization can explain) *)
 
   val set_bug : bug -> unit
   val bug : unit -> bug

@@ -1,0 +1,241 @@
+module Histogram = Pitree_util.Histogram
+module Sched_hook = Pitree_util.Sched_hook
+module Crash_point = Pitree_util.Crash_point
+
+let crash_point_applied = "combine.applied"
+
+let () = Crash_point.register crash_point_applied
+
+(* ---------- process-wide stats ----------
+
+   One stats block across every combiner, mirroring how the WAL's
+   group-commit metrics live on the log manager: counters are atomics,
+   histograms share one mutex (Histogram is not thread-safe). *)
+
+let n_reqs = Atomic.make 0
+let n_batches = Atomic.make 0
+let n_combined = Atomic.make 0
+let n_handbacks = Atomic.make 0
+let n_window_waits = Atomic.make 0
+let stats_mu = Mutex.create ()
+let batch_hist = Histogram.create ()
+let follower_wait_hist = Histogram.create ()
+
+let note_handback () = Atomic.incr n_handbacks
+
+type stats = {
+  reqs : int;
+  batches : int;
+  combined : int;
+  handbacks : int;
+  window_waits : int;
+  batch_mean : float;
+  batch_p99 : int;
+  batch_max : int;
+  follower_wait_mean_ns : float;
+  follower_wait_p99_ns : int;
+}
+
+let stats () =
+  Mutex.lock stats_mu;
+  let s =
+    {
+      reqs = Atomic.get n_reqs;
+      batches = Atomic.get n_batches;
+      combined = Atomic.get n_combined;
+      handbacks = Atomic.get n_handbacks;
+      window_waits = Atomic.get n_window_waits;
+      batch_mean = Histogram.mean batch_hist;
+      batch_p99 = Histogram.percentile batch_hist 99.0;
+      batch_max = Histogram.max_value batch_hist;
+      follower_wait_mean_ns = Histogram.mean follower_wait_hist;
+      follower_wait_p99_ns = Histogram.percentile follower_wait_hist 99.0;
+    }
+  in
+  Mutex.unlock stats_mu;
+  s
+
+let reset_stats () =
+  Mutex.lock stats_mu;
+  Atomic.set n_reqs 0;
+  Atomic.set n_batches 0;
+  Atomic.set n_combined 0;
+  Atomic.set n_handbacks 0;
+  Atomic.set n_window_waits 0;
+  Histogram.reset batch_hist;
+  Histogram.reset follower_wait_hist;
+  Mutex.unlock stats_mu
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "reqs %d  batches %d  combined %d  handbacks %d  window_waits %d@ \
+     batch mean %.2f  p99 %d  max %d@ follower wait mean %.0f ns  p99 %d ns"
+    s.reqs s.batches s.combined s.handbacks s.window_waits s.batch_mean
+    s.batch_p99 s.batch_max s.follower_wait_mean_ns s.follower_wait_p99_ns
+
+module Testing = struct
+  let ack_before_durable = ref false
+  let set_ack_before_durable b = ack_before_durable := b
+end
+
+(* ---------- the funnel ---------- *)
+
+type ('req, 'res) pending = {
+  req : 'req;
+  mutable res : 'res option;
+  mutable exn : exn option;
+  mutable done_ : bool;
+}
+
+type ('req, 'res) slot = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  (* [combining]: a leader owns the slot; arrivals queue behind it and
+     park. Invariant (both flipped under [mu]): a pending with
+     [not done_] while [not combining] is still in [queue] — a leader
+     marks its whole batch done before it clears [combining]. *)
+  mutable combining : bool;
+  mutable queue : ('req, 'res) pending list;  (* newest first *)
+}
+
+type ('req, 'res) t = {
+  slots : ('req, 'res) slot array;
+  mask : int;
+  window_us : int;
+  early_res : 'res option;
+  apply : 'req array -> 'res array;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(slots = 64) ?(window_us = 0) ?early_res ~apply () =
+  let n = next_pow2 (max 1 slots) in
+  {
+    slots =
+      Array.init n (fun _ ->
+          {
+            mu = Mutex.create ();
+            cond = Condition.create ();
+            combining = false;
+            queue = [];
+          });
+    mask = n - 1;
+    window_us;
+    early_res;
+    apply;
+  }
+
+(* Broadcast results (or the leader's exception) to the whole batch and
+   release the slot. *)
+let settle slot batch ~fill =
+  Mutex.lock slot.mu;
+  Array.iteri
+    (fun i p ->
+      if not p.done_ then begin
+        fill i p;
+        p.done_ <- true
+      end)
+    batch;
+  slot.combining <- false;
+  Condition.broadcast slot.cond;
+  Mutex.unlock slot.mu;
+  Sched_hook.yield Sched_hook.Point "combine.broadcast"
+
+let run_batch t slot batch =
+  let n = Array.length batch in
+  Atomic.incr n_batches;
+  if n >= 2 then ignore (Atomic.fetch_and_add n_combined n);
+  Mutex.lock stats_mu;
+  Histogram.record batch_hist n;
+  Mutex.unlock stats_mu;
+  let reqs = Array.map (fun p -> p.req) batch in
+  (match (!Testing.ack_before_durable, t.early_res) with
+  | true, Some er ->
+      (* Injected bug: ack every follower optimistically, then apply.
+         The acked writes are neither durable nor visible yet. *)
+      settle slot batch ~fill:(fun _ p -> p.res <- Some er);
+      Sched_hook.yield Sched_hook.Point "combine.apply";
+      ignore (t.apply reqs)
+  | _ -> (
+      Sched_hook.yield Sched_hook.Point "combine.apply";
+      match t.apply reqs with
+      | results ->
+          if Array.length results <> n then
+            invalid_arg "Combine: apply returned a short batch";
+          settle slot batch ~fill:(fun i p -> p.res <- Some results.(i))
+      | exception e ->
+          settle slot batch ~fill:(fun _ p -> p.exn <- Some e);
+          raise e))
+
+let submit t ~hash req =
+  Atomic.incr n_reqs;
+  let slot = t.slots.(hash land t.mask) in
+  let p = { req; res = None; exn = None; done_ = false } in
+  let sim = Sched_hook.active () in
+  Mutex.lock slot.mu;
+  slot.queue <- p :: slot.queue;
+  Mutex.unlock slot.mu;
+  Sched_hook.yield Sched_hook.Point "combine.publish";
+  let t0 = Unix.gettimeofday () in
+  let led = ref false in
+  let finish () =
+    if not !led then begin
+      let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      Mutex.lock stats_mu;
+      Histogram.record follower_wait_hist ns;
+      Mutex.unlock stats_mu
+    end;
+    match p.exn with
+    | Some e -> raise e
+    | None -> (
+        match p.res with
+        | Some r -> r
+        | None -> failwith "Combine: batch settled without a result")
+  in
+  let rec loop () =
+    Mutex.lock slot.mu;
+    if p.done_ then begin
+      Mutex.unlock slot.mu;
+      finish ()
+    end
+    else if slot.combining then begin
+      (* Follower: park holding nothing — no pins, latches or locks. *)
+      if sim then begin
+        Mutex.unlock slot.mu;
+        Sched_hook.wait Sched_hook.Cond "combine.follower" (fun () ->
+            p.done_ || not slot.combining)
+      end
+      else begin
+        while (not p.done_) && slot.combining do
+          Condition.wait slot.cond slot.mu
+        done;
+        Mutex.unlock slot.mu
+      end;
+      loop ()
+    end
+    else begin
+      (* Leader election: the slot is idle and p is still queued. *)
+      led := true;
+      slot.combining <- true;
+      if (not sim) && t.window_us > 0 then begin
+        (* Hold the election open so the storm can pile in. The slot is
+           already claimed, so arrivals during the wait park rather than
+           elect; [window_us] trades a bounded latency add for fan-in
+           (it defaults to 0 — group commit downstream remains the
+           no-added-latency batching layer). *)
+        Atomic.incr n_window_waits;
+        Mutex.unlock slot.mu;
+        Thread.delay (float_of_int t.window_us *. 1e-6);
+        Mutex.lock slot.mu
+      end;
+      let batch = Array.of_list (List.rev slot.queue) in
+      slot.queue <- [];
+      Mutex.unlock slot.mu;
+      Sched_hook.yield Sched_hook.Point "combine.elect";
+      run_batch t slot batch;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,93 @@
+(** Hot-key write combining (elimination funnel) for the engines' update
+    paths — ROADMAP open item 3, after "Elimination (a,b)-trees with fast,
+    durable updates" (PAPERS.md).
+
+    Writers hash their request to a {e publication slot}. The first arrival
+    on an idle slot becomes the {b combiner}: it drains the slot's queue and
+    applies the whole batch through the engine-supplied [apply] callback —
+    one descent, one X latch, one physiological log-record batch with one
+    durability enrollment — while later arrivals park on the slot's condvar
+    exactly like the group-commit followers in [Log_manager.flush]. The
+    leader then broadcasts per-request results. A request the batch could
+    not serve (key outside the reached leaf, record lock busy, cell does
+    not fit) is {e handed back}: the caller re-runs it through the normal
+    single-op path, so nothing is ever silently dropped.
+
+    The layer is engine-agnostic: ['req] and ['res] are chosen by the
+    caller, and [apply] must return one result per request, in order.
+    Under the deterministic scheduler ([Sched_hook.active ()]) followers
+    park on sim waits instead of condvars and the protocol exposes yield
+    points [combine.publish], [combine.elect], [combine.apply] and
+    [combine.broadcast], so the Wing–Gong oracle can check that combined
+    updates are atomic and acked only after they are durable. *)
+
+type ('req, 'res) t
+
+val create :
+  ?slots:int ->
+  ?window_us:int ->
+  ?early_res:'res ->
+  apply:('req array -> 'res array) ->
+  unit ->
+  ('req, 'res) t
+(** [create ~apply ()] builds a combiner.
+
+    [slots] is the number of publication slots, rounded up to a power of
+    two (default 64). [window_us] — a newly elected leader holds the
+    election open for this long so concurrent writers can publish into
+    the batch, trading a bounded latency add for fan-in; [0] (the
+    default) applies immediately, leaving the WAL's group commit as the
+    only deliberate batching delay. The window is skipped under the
+    deterministic scheduler. [early_res] is the
+    optimistic per-request result used only by the injected
+    ack-before-durable bug ({!Testing}); combiners that never participate
+    in that test may omit it. [apply batch] must return an array of the
+    same length: result [i] answers request [i]. If [apply] raises, every
+    request in the batch observes the exception. *)
+
+val submit : ('req, 'res) t -> hash:int -> 'req -> 'res
+(** Publish a request and wait for its result. The calling thread may be
+    elected leader and run [apply] itself; otherwise it parks (holding no
+    latches, pins or locks) until the leader broadcasts. Re-raises the
+    leader's exception if the batch failed wholesale. *)
+
+val crash_point_applied : string
+(** ["combine.applied"] — engines hit this inside [apply] after the leaf
+    updates but before the batch commit, so the chaos sweep can prove a
+    crash mid-batch recovers all-or-nothing and never acks a torn batch. *)
+
+val note_handback : unit -> unit
+(** Engines call this when a combined request is re-run through the
+    normal path, so the handback rate shows up in {!stats}. *)
+
+type stats = {
+  reqs : int;  (** requests submitted through any combiner *)
+  batches : int;  (** leader elections that applied a batch *)
+  combined : int;  (** requests that shared a batch of size >= 2 *)
+  handbacks : int;  (** requests re-run through the normal path *)
+  window_waits : int;  (** elections that held the combining window open *)
+  batch_mean : float;
+  batch_p99 : int;
+  batch_max : int;
+  follower_wait_mean_ns : float;
+  follower_wait_p99_ns : int;
+}
+
+val stats : unit -> stats
+(** Process-wide counters across every combiner (engines share them the
+    way [Buffer_pool] shards share one stats block). *)
+
+val reset_stats : unit -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+
+module Testing : sig
+  val set_ack_before_durable : bool -> unit
+  (** Injected bug: the leader broadcasts success to its followers {e
+      before} applying and committing the batch. A combined put is acked
+      while not yet durable — and not even visible — so a schedule where
+      the acked writer's later read misses its own write is linearizable
+      nowhere, and the sim oracle must flag it ([pitree sim --bug
+      ack-before-durable --expect-bug]). Requires the combiner to have
+      been created with [early_res]. *)
+end

@@ -31,6 +31,14 @@ type config = {
       (* searches/scans descend latch-free, validating against per-node
          version words and falling back to S latches under contention;
          false restores the always-latched read path (baselines) *)
+  combine : bool;
+      (* non-transactional puts funnel through the hot-key combining
+         layer (one descent / one latch / one log batch per hot slot);
+         false restores one descent per write *)
+  combine_slots : int;  (* publication slots per engine (pow2-rounded) *)
+  combine_window_us : int;
+      (* how long a hot slot's leader holds the election open so the
+         storm can pile into its batch; 0 applies immediately *)
 }
 
 let default_config =
@@ -47,6 +55,9 @@ let default_config =
     ckpt_log_bytes = None;
     ckpt_interval_s = None;
     olc_reads = true;
+    combine = true;
+    combine_slots = 64;
+    combine_window_us = 0;
   }
 
 type stats = {

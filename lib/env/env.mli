@@ -54,6 +54,19 @@ type config = {
           per-node version words (optimistic latch coupling) and falling
           back to the S-latched path after bounded retries; [false]
           restores the always-latched read path (baselines, bisection) *)
+  combine : bool;
+      (** non-transactional puts funnel through the hot-key combining layer
+          ([Pitree_combine.Combine]): concurrent writers to the same
+          publication slot are batched by an elected leader into one
+          descent, one X latch and one log batch with a single durability
+          enrollment; [false] restores one descent per write (baselines,
+          [--no-combine]) *)
+  combine_slots : int;
+      (** publication slots per engine, rounded up to a power of two *)
+  combine_window_us : int;
+      (** how long a hot slot's leader holds the election open so a write
+          storm can pile into its batch; [0] (default) applies immediately;
+          ignored under the deterministic scheduler *)
 }
 
 val default_config : config

@@ -472,19 +472,24 @@ let engine_of_point point =
    B-link runner drives them. "ckpt" points (the fuzzy-checkpoint protocol:
    after the Begin_checkpoint fence, after the forced End_checkpoint, after
    truncation) fire from the log-bytes trigger that [cfg] arms on every
-   user commit, so the B-link runner drives them too. *)
+   user commit, so the B-link runner drives them too. The "combine" point
+   (after a write-combining batch is applied, before its transaction
+   commits) fires from any non-txn insert since [cfg] leaves combining at
+   its default-on; a crash there must roll the whole batch back — no
+   request was acked, so the model treats the in-flight key as in-doubt
+   and recovery must leave no torn subset of the batch behind. *)
 let known_points () =
   List.filter
     (fun p ->
       match engine_of_point p with
-      | "blink" | "tsb" | "hb" | "wal" | "ckpt" -> true
+      | "blink" | "tsb" | "hb" | "wal" | "ckpt" | "combine" -> true
       | _ -> false)
     (Crash_point.all_names ())
 
 let run_one ~point ~after ~seed ~ops ~plan ~inject_torn =
   let runner =
     match engine_of_point point with
-    | "blink" | "wal" | "ckpt" -> Some run_blink
+    | "blink" | "wal" | "ckpt" | "combine" -> Some run_blink
     | "tsb" -> Some run_tsb
     | "hb" -> Some run_hb
     | _ -> None

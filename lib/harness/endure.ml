@@ -14,8 +14,9 @@ module Histogram = Pitree_util.Histogram
 module Rng = Pitree_util.Rng
 module Zipf = Pitree_util.Zipf
 module Clock = Pitree_sync.Clock
+module Combine = Pitree_combine.Combine
 
-type mix = A | B | C | D | E | F | Mixed
+type mix = A | B | C | D | E | F | Mixed | Storm
 
 let mix_to_string = function
   | A -> "A"
@@ -25,6 +26,7 @@ let mix_to_string = function
   | E -> "E"
   | F -> "F"
   | Mixed -> "mixed"
+  | Storm -> "storm"
 
 let mix_of_string s =
   match String.lowercase_ascii s with
@@ -35,11 +37,14 @@ let mix_of_string s =
   | "e" -> Some E
   | "f" -> Some F
   | "mixed" -> Some Mixed
+  | "storm" -> Some Storm
   | _ -> None
 
 (* Percentages (read, update, insert, scan, rmw). YCSB-D's "read latest"
    distribution is approximated by the configured skew over the whole key
-   space; its insert share is faithful. *)
+   space; its insert share is faithful. [Storm] is the update-only skewed
+   write storm the combining layer exists for (ROADMAP item 3): run it
+   with theta 0.99 to pile the domains onto a few hot leaves. *)
 let mix_pcts = function
   | A -> (50, 50, 0, 0, 0)
   | B -> (95, 5, 0, 0, 0)
@@ -48,6 +53,7 @@ let mix_pcts = function
   | E -> (0, 0, 5, 95, 0)
   | F -> (50, 0, 0, 0, 50)
   | Mixed -> (40, 20, 10, 10, 20)
+  | Storm -> (0, 100, 0, 0, 0)
 
 type config = {
   keys : int;
@@ -65,6 +71,7 @@ type config = {
   verify_sample : int;
   seed : int64;
   dir : string option;
+  combine : bool;
   slo_p99_read_ns : int;
   slo_wal_bytes : int;
 }
@@ -86,6 +93,7 @@ let default_config =
     verify_sample = 2000;
     seed = 42L;
     dir = None;
+    combine = true;
     slo_p99_read_ns = 50_000_000;
     slo_wal_bytes = 64 * 1024 * 1024;
   }
@@ -570,6 +578,27 @@ let faults_delta (b : Disk.Faulty.counters) (a : Disk.Faulty.counters) =
     fail_stops = a.Disk.Faulty.fail_stops - b.Disk.Faulty.fail_stops;
   }
 
+(* The env the rig runs against. Exposed so tests can check the derived
+   knobs without a full run. The pool shard count is pinned to the worker
+   count rather than left to the [Domain.recommended_domain_count] default:
+   on a 1-CPU host that default is 1 shard, silently serializing 8 workers
+   through one pool mutex (the `"shards": 1` BENCH_endure.json mystery). *)
+let env_config cfg ~wal_path =
+  {
+    Env.default_config with
+    Env.page_size = cfg.page_size;
+    pool_capacity = cfg.pool_capacity;
+    log_path = Some wal_path;
+    ckpt_log_bytes = Some cfg.ckpt_log_bytes;
+    (* A deeper pin ladder with seeded jitter: fault-plan bursts make
+       frames stay busy longer, and the jitter keeps a stampede of
+       retrying workers from re-colliding. *)
+    pool_pin_attempts = Some 30;
+    pool_backoff_seed = Some (Int64.to_int cfg.seed land 0x3FFFFFFF);
+    pool_shards = Some (max 8 (2 * cfg.domains));
+    combine = cfg.combine;
+  }
+
 let run ?(log = fun _ -> ()) cfg =
   if cfg.keys < cfg.domains * 2 then
     invalid_arg "Endure.run: keys must be at least 2x domains";
@@ -585,20 +614,7 @@ let run ?(log = fun _ -> ()) cfg =
   let wal_path = Filename.concat dir "wal.log" in
   let base = Disk.file ~page_size:cfg.page_size ~path:data_path in
   let disk, ctl = Disk.Faulty.wrap ~seed:cfg.seed base in
-  let env_cfg =
-    {
-      Env.default_config with
-      Env.page_size = cfg.page_size;
-      pool_capacity = cfg.pool_capacity;
-      log_path = Some wal_path;
-      ckpt_log_bytes = Some cfg.ckpt_log_bytes;
-      (* A deeper pin ladder with seeded jitter: fault-plan bursts make
-         frames stay busy longer, and the jitter keeps a stampede of
-         retrying workers from re-colliding. *)
-      pool_pin_attempts = Some 30;
-      pool_backoff_seed = Some (Int64.to_int cfg.seed land 0x3FFFFFFF);
-    }
-  in
+  let env_cfg = env_config cfg ~wal_path in
   let env = Env.create ~disk env_cfg in
   let tree = Blink.create env ~name:tree_name in
   log (Printf.sprintf "preloading %d keys across %d domains..." cfg.keys
@@ -875,6 +891,17 @@ let run ?(log = fun _ -> ()) cfg =
       mk "wal_file_bytes" "<=" (float_of_int cfg.slo_wal_bytes)
         (float_of_int wal_file_bytes);
     ]
+    @
+    (* With combining on and a write-bearing mix, the funnel must have
+       carried the writes (reqs counts every non-transactional put routed
+       through it — deterministic even on one CPU, unlike batch sizes). *)
+    let _, upd, ins, _, rmw = mix_pcts cfg.mix in
+    if cfg.combine && upd + ins + rmw > 0 then
+      let creqs =
+        match stats.Stats.combine with Some c -> c.Combine.reqs | None -> 0
+      in
+      [ mk "combine_reqs" ">=" 1. (float_of_int creqs) ]
+    else []
   in
   {
     config = cfg;

@@ -22,13 +22,15 @@
     writes, checked continuously by its own reads and sampled after every
     recovery. *)
 
-type mix = A | B | C | D | E | F | Mixed
+type mix = A | B | C | D | E | F | Mixed | Storm
 (** YCSB-shaped operation mixes (percentages read/update/insert/scan/rmw):
     A = 50/50/0/0/0, B = 95/5/0/0/0, C = 100 reads, D = 95/0/5/0/0
     (insert-fresh; the "latest" read distribution is approximated by the
     configured skew), E = 0/0/5/95/0 (scans), F = 50/0/0/0/50
     (read-modify-write), Mixed = 40/20/10/10/20 — the default, so every
-    op kind appears in the report. *)
+    op kind appears in the report. Storm = 0/100/0/0/0: an update-only
+    write storm, meant to be paired with a skewed [theta] so hot keys
+    collide and the write-combining funnel engages. *)
 
 val mix_of_string : string -> mix option
 val mix_to_string : mix -> string
@@ -51,6 +53,10 @@ type config = {
   dir : string option;
       (** directory for the page file and WAL ([None]: a fresh temp
           directory, removed when the run ends) *)
+  combine : bool;
+      (** hot-key write combining ([Env.config.combine]) for the run's
+          environments; when on and the mix has writes, the report gains a
+          [combine_reqs] SLO row asserting the funnel actually engaged *)
   slo_p99_read_ns : int;  (** point-read p99 bound *)
   slo_wal_bytes : int;  (** WAL file size bound at end of run *)
 }
@@ -104,6 +110,13 @@ type result = {
   slos : slo list;
   passed : bool;  (** all SLOs ok *)
 }
+
+val env_config : config -> wal_path:string -> Pitree_env.Env.config
+(** The environment configuration [run] builds for each lifetime,
+    exposed so tests can assert the derived knobs — notably that the
+    buffer pool's shard count is pinned to at least [2 * domains] rather
+    than left to the core-count default (which collapses to one shard on
+    single-CPU hosts and silently serializes every pin). *)
 
 val run : ?log:(string -> unit) -> config -> result
 (** Execute the rig: preload, checkpoint, then [config.seconds] of load

@@ -2,15 +2,17 @@ module Log_manager = Pitree_wal.Log_manager
 module Buffer_pool = Pitree_storage.Buffer_pool
 module Disk = Pitree_storage.Disk
 module Env = Pitree_env.Env
+module Combine = Pitree_combine.Combine
 
 type t = {
   wal : Log_manager.stats option;
   pool : Buffer_pool.stats option;
   env : Env.stats option;
   faults : Disk.Faulty.counters option;
+  combine : Combine.stats option;
 }
 
-let empty = { wal = None; pool = None; env = None; faults = None }
+let empty = { wal = None; pool = None; env = None; faults = None; combine = None }
 
 let of_env ?faults env =
   {
@@ -18,6 +20,7 @@ let of_env ?faults env =
     pool = Some (Buffer_pool.stats (Env.pool env));
     env = Some (Env.stats env);
     faults = Option.map Disk.Faulty.counters faults;
+    combine = Some (Combine.stats ());
   }
 
 (* Counter fields are reported as the delta across the run; the batch/wait
@@ -32,6 +35,8 @@ let wal_delta (before : Log_manager.stats) (after : Log_manager.stats) =
     flushes = after.Log_manager.flushes - before.Log_manager.flushes;
     flush_requests =
       after.Log_manager.flush_requests - before.Log_manager.flush_requests;
+    logical_commits =
+      after.Log_manager.logical_commits - before.Log_manager.logical_commits;
     bytes = after.Log_manager.bytes - before.Log_manager.bytes;
     truncations = after.Log_manager.truncations - before.Log_manager.truncations;
     truncated_records =
@@ -96,6 +101,18 @@ let faults_delta (before : Disk.Faulty.counters) (after : Disk.Faulty.counters)
     fail_stops = after.Disk.Faulty.fail_stops - before.Disk.Faulty.fail_stops;
   }
 
+(* Combining counters are process-wide monotone counts; the size/wait
+   distributions stay cumulative like the WAL's. *)
+let combine_delta (before : Combine.stats) (after : Combine.stats) =
+  {
+    after with
+    Combine.reqs = after.Combine.reqs - before.Combine.reqs;
+    batches = after.Combine.batches - before.Combine.batches;
+    combined = after.Combine.combined - before.Combine.combined;
+    handbacks = after.Combine.handbacks - before.Combine.handbacks;
+    window_waits = after.Combine.window_waits - before.Combine.window_waits;
+  }
+
 let map2 f a b = match (a, b) with Some a, Some b -> Some (f a b) | _ -> None
 
 let delta ~before ~after =
@@ -104,6 +121,7 @@ let delta ~before ~after =
     pool = map2 pool_delta before.pool after.pool;
     env = map2 env_delta before.env after.env;
     faults = map2 faults_delta before.faults after.faults;
+    combine = map2 combine_delta before.combine after.combine;
   }
 
 let pp_pool ppf (p : Buffer_pool.stats) =
@@ -141,6 +159,9 @@ let pp ppf s =
         Option.map (fun p -> fun ppf () -> pp_pool ppf p) s.pool;
         Option.map (fun e -> fun ppf () -> pp_env ppf e) s.env;
         Option.map (fun f -> fun ppf () -> pp_faults ppf f) s.faults;
+        Option.map
+          (fun c -> fun ppf () -> Fmt.pf ppf "combine: @[%a@]" Combine.pp_stats c)
+          s.combine;
       ]
   in
   Fmt.pf ppf "@[<v>%a@]"
@@ -150,12 +171,13 @@ let pp ppf s =
 let wal_json b (w : Log_manager.stats) =
   Printf.bprintf b
     "{\"appends\": %d, \"forces\": %d, \"flushes\": %d, \"flush_requests\": \
-     %d, \"bytes\": %d, \"batch_mean\": %.2f, \"batch_p99\": %d, \
+     %d, \"logical_commits\": %d, \"bytes\": %d, \"batch_mean\": %.2f, \"batch_p99\": %d, \
      \"batch_max\": %d, \"wait_mean_ns\": %.0f, \"wait_p50_ns\": %d, \
      \"wait_p99_ns\": %d, \"truncations\": %d, \"truncated_records\": %d, \
      \"truncated_bytes\": %d}"
     w.Log_manager.appends w.Log_manager.forces w.Log_manager.flushes
-    w.Log_manager.flush_requests w.Log_manager.bytes w.Log_manager.batch_mean
+    w.Log_manager.flush_requests w.Log_manager.logical_commits
+    w.Log_manager.bytes w.Log_manager.batch_mean
     w.Log_manager.batch_p99 w.Log_manager.batch_max w.Log_manager.wait_mean_ns
     w.Log_manager.wait_p50_ns w.Log_manager.wait_p99_ns
     w.Log_manager.truncations w.Log_manager.truncated_records
@@ -189,6 +211,17 @@ let faults_json b (f : Disk.Faulty.counters) =
     f.Disk.Faulty.transient_writes f.Disk.Faulty.bit_flips
     f.Disk.Faulty.fail_stops
 
+let combine_json b (c : Combine.stats) =
+  Printf.bprintf b
+    "{\"reqs\": %d, \"batches\": %d, \"combined\": %d, \"handbacks\": %d, \
+     \"window_waits\": %d, \"batch_mean\": %.2f, \"batch_p99\": %d, \
+     \"batch_max\": %d, \"follower_wait_mean_ns\": %.0f, \
+     \"follower_wait_p99_ns\": %d}"
+    c.Combine.reqs c.Combine.batches c.Combine.combined c.Combine.handbacks
+    c.Combine.window_waits c.Combine.batch_mean c.Combine.batch_p99
+    c.Combine.batch_max c.Combine.follower_wait_mean_ns
+    c.Combine.follower_wait_p99_ns
+
 let to_json s =
   let b = Buffer.create 1024 in
   let field name opt j =
@@ -203,5 +236,7 @@ let to_json s =
   field "env" s.env env_json;
   Buffer.add_string b ", ";
   field "faults" s.faults faults_json;
+  Buffer.add_string b ", ";
+  field "combine" s.combine combine_json;
   Buffer.add_string b "}";
   Buffer.contents b

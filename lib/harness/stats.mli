@@ -16,6 +16,10 @@ type t = {
       (** injected faults per kind, when the environment's disk is a
           [Disk.Faulty] wrapper — the injection-side complement of the
           pool's [retried_reads]/[retried_writes] absorption counters *)
+  combine : Pitree_combine.Combine.stats option;
+      (** hot-key write-combining funnel (process-wide across engines):
+          requests, batches, batch-size distribution, handbacks,
+          leader-election window holds and follower park times *)
 }
 (** Each component is optional so partial snapshots (e.g. a bare pool
     bench with no environment) fit the same record. *)
@@ -36,5 +40,5 @@ val pp : Format.formatter -> t -> unit
 (** One line per present component. *)
 
 val to_json : t -> string
-(** One JSON object [{"wal": .., "pool": .., "env": .., "faults": ..}]
-    with [null] for absent components. *)
+(** One JSON object [{"wal": .., "pool": .., "env": .., "faults": ..,
+    "combine": ..}] with [null] for absent components. *)

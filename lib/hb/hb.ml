@@ -25,6 +25,7 @@ let () =
       "hb.consolidate.linked";
     ]
 module Codec = Pitree_util.Codec
+module Combine = Pitree_combine.Combine
 open Hb_space
 
 type stats = {
@@ -41,11 +42,17 @@ type stats = {
   consolidations_skipped : int;
 }
 
+(* Outcome of a combined insert: applied inside the leader's batch
+   transaction, or handed back for the caller to retry on the ordinary
+   one-insert-one-txn path. *)
+type comb_res = Applied | Handback
+
 type t = {
   env : Env.t;
   name : string;
   root : int;
   k : int;
+  mutable combiner : (float array * string, comb_res) Combine.t option;
   c_inserts : int Atomic.t;
   c_searches : int Atomic.t;
   c_data_splits : int Atomic.t;
@@ -856,6 +863,7 @@ let attach env ~name ~root ~k =
     name;
     root;
     k;
+    combiner = None;
     c_inserts = Atomic.make 0;
     c_searches = Atomic.make 0;
     c_data_splits = Atomic.make 0;
@@ -877,10 +885,15 @@ let attach env ~name ~root ~k =
       logical_undo t ~comp ~txn ~prev ~undo_next);
   t
 
+(* Combiner construction needs the insert path below; wired up after
+   [apply_batch] is defined. *)
+let attach_combiner_fwd : (t -> unit) ref = ref (fun _ -> ())
+
 let create env ~name ~dims:k =
   if k < 1 || k > 8 then invalid_arg "Hb.create: dims must be in 1..8";
   let root = Env.create_tree env ~name:("hb:" ^ name) ~kind:Page.Data ~level:0 in
   let t = attach env ~name ~root ~k in
+  !attach_combiner_fwd t;
   Atomic_action.run (mgr t) (fun txn ->
       let fr = pin t root in
       latch fr Latch.X;
@@ -902,31 +915,37 @@ let open_existing env ~name =
       let fr = Buffer_pool.pin pool root in
       let k = Page.flags (page fr) lsr 8 in
       Buffer_pool.unpin pool fr;
-      if k = 0 then None else Some (attach env ~name ~root ~k)
+      if k = 0 then None
+      else begin
+        let t = attach env ~name ~root ~k in
+        !attach_combiner_fwd t;
+        Some t
+      end
 
 (* ---------- operations ---------- *)
 
-let with_autocommit t f =
-  let txn = Txn_mgr.begin_txn (mgr t) Txn.User in
-  match f txn with
-  | v ->
-      Txn_mgr.commit (mgr t) txn;
-      ignore (Env.drain t.env);
-      v
-  | exception (Crash_point.Crash_requested _ as e) -> raise e
-  | exception e ->
-      if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
-      raise e
+let with_autocommit ?txn t f =
+  match txn with
+  | Some txn -> f txn
+  | None -> (
+      let txn = Txn_mgr.begin_txn (mgr t) Txn.User in
+      match f txn with
+      | v ->
+          Txn_mgr.commit (mgr t) txn;
+          ignore (Env.drain t.env);
+          v
+      | exception (Crash_point.Crash_requested _ as e) -> raise e
+      | exception e ->
+          if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
+          raise e)
 
 let check_point t point =
   if Array.length point <> t.k then
     invalid_arg (Printf.sprintf "hb: expected %d dimensions" t.k)
 
-let insert t ~point ~value =
-  check_point t point;
-  Atomic.incr t.c_inserts;
+let insert_in_txn t txn ~point ~value =
   let cell = record_cell ~point ~value in
-  with_autocommit t (fun txn ->
+  (fun txn ->
       let rec attempt tries =
         if tries > 200 then failwith "hb.insert: too many restarts";
         let fr = descend t ~point ~target:0 ~mode:Latch.U in
@@ -976,6 +995,60 @@ let insert t ~point ~value =
             end
       in
       attempt 0)
+    txn
+
+(* Combined insert batch: the leader applies every request its slot
+   drained inside one User transaction, so one WAL flush enrollment
+   (credited with the batch's fan-in via [~commits]) covers them all.
+   Each point still takes its own CNS descent — spatial keys rarely share
+   a brick — but N commit flushes collapse into one. Any failure aborts
+   the batch transaction and hands every request back to the direct
+   path. *)
+let apply_batch t (reqs : (float array * string) array) =
+  let n = Array.length reqs in
+  let results = Array.make n Handback in
+  let txn = Txn_mgr.begin_txn (mgr t) Txn.User in
+  (try
+     Array.iteri
+       (fun i (point, value) ->
+         insert_in_txn t txn ~point ~value;
+         results.(i) <- Applied)
+       reqs;
+     Crash_point.hit Combine.crash_point_applied;
+     Txn_mgr.commit ~commits:n (mgr t) txn;
+     ignore (Env.drain t.env)
+   with
+   | Crash_point.Crash_requested _ as e -> raise e
+   | _ ->
+       if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
+       Array.fill results 0 n Handback);
+  results
+
+let () =
+  attach_combiner_fwd :=
+    fun t ->
+      let c = Env.config t.env in
+      if c.Env.combine then
+        t.combiner <-
+          Some
+            (Combine.create ~slots:c.Env.combine_slots
+               ~window_us:c.Env.combine_window_us
+               ~apply:(fun reqs -> apply_batch t reqs)
+               ())
+
+let insert ?txn t ~point ~value =
+  check_point t point;
+  Atomic.incr t.c_inserts;
+  match (txn, t.combiner) with
+  | None, Some combiner -> (
+      match
+        Combine.submit combiner ~hash:(Hashtbl.hash point) (point, value)
+      with
+      | Applied -> ()
+      | Handback ->
+          Combine.note_handback ();
+          with_autocommit t (fun txn -> insert_in_txn t txn ~point ~value))
+  | _ -> with_autocommit ?txn t (fun txn -> insert_in_txn t txn ~point ~value)
 
 let delete t point =
   check_point t point;

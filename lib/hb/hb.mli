@@ -30,7 +30,15 @@ val open_existing : Pitree_env.Env.t -> name:string -> t option
 val env : t -> Pitree_env.Env.t
 val dims : t -> int
 
-val insert : t -> point:float array -> value:string -> unit
+val insert :
+  ?txn:Pitree_txn.Txn.t -> t -> point:float array -> value:string -> unit
+(** Pass [?txn] to join a caller-managed transaction (the caller commits).
+    Without it, and with [Env.config.combine] on, the insert routes
+    through the hot-key combining funnel: concurrent writers hashing to
+    the same slot share one transaction and one WAL flush enrollment; a
+    batch that cannot complete hands the request back to the ordinary
+    autocommit path. *)
+
 val delete : t -> float array -> bool
 val find : t -> float array -> string option
 

@@ -25,6 +25,7 @@ type cfg = {
   page_size : int;
   consolidation : bool;
   olc : bool;
+  combine : bool;
   check_wellformed : bool;
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;
@@ -42,6 +43,10 @@ let default =
     page_size = 512;
     consolidation = false;
     olc = true;
+    (* Off by default: the un-combined protocol keeps its compact schedule
+       space (and its regression baselines); combining-enabled scenarios
+       opt in to the extra publish/elect/apply/broadcast yield points. *)
+    combine = false;
     check_wellformed = true;
     check_every = 1;
     bug = Pitree_blink.Blink.Testing.No_bug;
@@ -89,6 +94,11 @@ let make_env cfg =
       pool_capacity = 4096;
       consolidation = cfg.consolidation;
       olc_reads = cfg.olc;
+      combine = cfg.combine;
+      (* The combining window is a wall-clock heuristic; keep the
+         substrate deterministic (it is skipped under the scheduler
+         anyway). *)
+      combine_window_us = 0;
       wal_group_commit = false;
       pool_shards = Some 1;
       log_path = None;

@@ -26,6 +26,11 @@ type cfg = {
       (** optimistic latch-free reads ([Env.config.olc_reads]); the
           version-word snapshot/validate yield points only exist on this
           path *)
+  combine : bool;
+      (** hot-key write combining ([Env.config.combine]); default [false]
+          here — combining-enabled scenarios opt into the extra
+          publish/elect/apply/broadcast yield points so the baseline
+          schedule space stays compact *)
   check_wellformed : bool;  (** re-check §2.1.3 at quiesced yield points *)
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;  (** blink only; ignored otherwise *)

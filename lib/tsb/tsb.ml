@@ -18,6 +18,7 @@ module Wellformed = Pitree_core.Wellformed
 module Keyspace = Pitree_core.Keyspace
 module Ordkey = Pitree_util.Ordkey
 module Bnode = Pitree_blink.Node
+module Combine = Pitree_combine.Combine
 
 (* Every Crash_point.hit site in this engine, pre-registered so sweep
    harnesses can enumerate them before any fires. *)
@@ -35,10 +36,17 @@ type stats = {
   postings_completed : int;
 }
 
+(* What a combined put gets back: the version timestamp the leader's
+   batch assigned to it, or a handback when the batch aborted (lock
+   conflict past the deadlock detector, split pressure, ...) — the caller
+   retries on the direct path. *)
+type comb_res = Applied of int | Handback
+
 type t = {
   env : Env.t;
   name : string;
   root : int;
+  mutable combiner : (string * string, comb_res) Combine.t option;
   clock : int Atomic.t;
   c_puts : int Atomic.t;
   c_time_splits : int Atomic.t;
@@ -646,6 +654,7 @@ let attach env ~name ~root =
       env;
       name;
       root;
+      combiner = None;
       clock = Atomic.make 1;
       c_puts = Atomic.make 0;
       c_time_splits = Atomic.make 0;
@@ -693,9 +702,14 @@ let recover_clock t =
   let max_time = walk (leftmost top) 0 in
   Atomic.set t.clock (max_time + 1)
 
+(* Combiner construction needs the write path below; wired up after
+   [apply_batch] is defined. *)
+let attach_combiner_fwd : (t -> unit) ref = ref (fun _ -> ())
+
 let create env ~name =
   let root = Env.create_tree env ~name:("tsb:" ^ name) ~kind:Page.Data ~level:0 in
   let t = attach env ~name ~root in
+  !attach_combiner_fwd t;
   Atomic_action.run (mgr t) (fun txn ->
       let fr = pin t root in
       latch fr Latch.X;
@@ -714,6 +728,7 @@ let open_existing env ~name =
   | Some root ->
       let t = attach env ~name ~root in
       recover_clock t;
+      !attach_combiner_fwd t;
       Some t
 
 (* ---------- writes ---------- *)
@@ -778,9 +793,62 @@ let write_version t txn ~key version =
   attempt 0;
   time
 
+(* Combined write batch: one User transaction covers every request the
+   leader drained from its slot, so one WAL flush enrollment (with
+   [~commits] crediting the fan-in) makes the whole batch durable.
+   Unlike blink, each key still takes its own CNS descent here — versioned
+   keys are composites of (key, fresh timestamp) so two requests rarely
+   share a leaf — but the shared txn collapses N commit flushes into one.
+   Lock acquisition may block, which is safe because the lock manager's
+   wait-for graph raises [Deadlock] instead of hanging; any batch failure
+   aborts the txn and hands every request back to the direct path. *)
+let apply_batch t (reqs : (string * string) array) =
+  let n = Array.length reqs in
+  let results = Array.make n Handback in
+  let txn = Txn_mgr.begin_txn (mgr t) Txn.User in
+  (try
+     let applied = ref 0 in
+     Array.iteri
+       (fun i (key, value) ->
+         let time = write_version t txn ~key (Tnode.Value value) in
+         results.(i) <- Applied time;
+         incr applied)
+       reqs;
+     Crash_point.hit Combine.crash_point_applied;
+     Txn_mgr.commit ~commits:(max 1 !applied) (mgr t) txn;
+     ignore (Env.drain t.env)
+   with
+   | Crash_point.Crash_requested _ as e -> raise e
+   | _ ->
+       if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
+       Array.fill results 0 n Handback);
+  results
+
+let () =
+  attach_combiner_fwd :=
+    fun t ->
+      let c = Env.config t.env in
+      if c.Env.combine then
+        t.combiner <-
+          Some
+            (Combine.create ~slots:c.Env.combine_slots
+               ~window_us:c.Env.combine_window_us
+               ~apply:(fun reqs -> apply_batch t reqs)
+               ())
+
+let put_direct ?txn t ~key ~value =
+  with_autocommit t txn (fun txn -> write_version t txn ~key (Tnode.Value value))
+
 let put ?txn t ~key ~value =
   Atomic.incr t.c_puts;
-  with_autocommit t txn (fun txn -> write_version t txn ~key (Tnode.Value value))
+  match (txn, t.combiner) with
+  | None, Some combiner -> (
+      match Combine.submit combiner ~hash:(Hashtbl.hash key) (key, value) with
+      | Applied time -> time
+      | Handback ->
+          Combine.note_handback ();
+          put_direct t ~key ~value)
+  | _ -> put_direct ?txn t ~key ~value
 
 let remove ?txn t key =
   with_autocommit t txn (fun txn -> write_version t txn ~key Tnode.Tombstone)

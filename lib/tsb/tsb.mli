@@ -34,6 +34,13 @@ val env : t -> Pitree_env.Env.t
 (** {2 Writes} — each returns the version's timestamp. *)
 
 val put : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> int
+(** Without [?txn] and with [Env.config.combine] on, the put routes
+    through the hot-key combining funnel: concurrent writers hashing to
+    the same slot share one transaction and one WAL flush enrollment,
+    and each gets back the timestamp the leader's batch assigned to it.
+    A batch that cannot complete (lock cycle, split pressure) hands the
+    request back to the ordinary one-put-one-txn path. *)
+
 val remove : ?txn:Pitree_txn.Txn.t -> t -> string -> int
 (** Writes a deletion tombstone (the key's history remains queryable). *)
 

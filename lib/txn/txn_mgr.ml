@@ -99,7 +99,7 @@ let update ?lundo t txn fr op =
   Page.set_lsn fr.Buffer_pool.page lsn;
   lsn
 
-let commit t txn =
+let commit ?(commits = 1) t txn =
   assert (Txn.is_active txn);
   Mutex.lock t.mu;
   let commit_lsn =
@@ -116,7 +116,7 @@ let commit t txn =
      is NOT forced; it becomes durable with the next user-transaction commit
      that shares the log. *)
   (match txn.Txn.kind with
-  | Txn.User -> Log_manager.flush t.log commit_lsn
+  | Txn.User -> Log_manager.flush ~commits t.log commit_lsn
   | Txn.System -> ());
   Mutex.lock t.mu;
   let end_lsn =

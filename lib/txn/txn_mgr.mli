@@ -37,10 +37,12 @@ val update :
     now also the page's LSN. [lundo] attaches a logical-undo descriptor
     (non-page-oriented UNDO; see {!Pitree_wal.Logical}). *)
 
-val commit : t -> Txn.t -> unit
+val commit : ?commits:int -> t -> Txn.t -> unit
 (** Appends Commit (+End). Forces the log for [User] transactions only —
     a [System] commit is relatively durable. Releases the transaction's
-    locks. *)
+    locks. [commits] (default 1) is how many logical user commits this
+    transaction carries — a combined write batch commits once for N puts —
+    and is only forwarded to [Log_manager.flush]'s accounting. *)
 
 val abort : t -> Txn.t -> unit
 (** Appends Abort, undoes all the transaction's updates (writing CLRs),

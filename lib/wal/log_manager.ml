@@ -27,6 +27,10 @@ type t = {
   mutable forces : int;  (* real fsyncs only *)
   mutable flushes : int;  (* durability-advance events (incl. in-memory) *)
   mutable flush_requests : int;  (* flush calls that found undurable records *)
+  mutable logical_commits : int;
+      (* commits covered by those requests: a combined batch enrolls once
+         for N commits, so logical_commits / flush_requests is the
+         write-combining fan-in on top of group commit's *)
   mutable bytes : int;
   mutable truncations : int;
   mutable truncated_records : int;
@@ -126,6 +130,7 @@ let create ?path ?(group_commit = true) () =
         forces = 0;
         flushes = 0;
         flush_requests = 0;
+        logical_commits = 0;
         bytes = 0;
         truncations = 0;
         truncated_records = 0;
@@ -175,6 +180,7 @@ let create ?path ?(group_commit = true) () =
         forces = 0;
         flushes = 0;
         flush_requests = 0;
+        logical_commits = 0;
         bytes = List.fold_left (fun a s -> a + String.length s) 0 recs;
         truncations = 0;
         truncated_records = 0;
@@ -302,12 +308,13 @@ let rec flush_locked t target =
     flush_locked t target
   end
 
-let flush t lsn =
+let flush ?(commits = 1) t lsn =
   Mutex.lock t.mu;
   let target = min lsn t.count in
   if target > t.durable then begin
     let t0 = Unix.gettimeofday () in
     t.flush_requests <- t.flush_requests + 1;
+    t.logical_commits <- t.logical_commits + commits;
     if target > t.flush_target then t.flush_target <- target;
     t.pending <- target :: t.pending;
     flush_locked t target;
@@ -491,6 +498,7 @@ type stats = {
   forces : int;
   flushes : int;
   flush_requests : int;
+  logical_commits : int;
   bytes : int;
   batch_mean : float;
   batch_p99 : int;
@@ -511,6 +519,7 @@ let stats t =
       forces = t.forces;
       flushes = t.flushes;
       flush_requests = t.flush_requests;
+      logical_commits = t.logical_commits;
       bytes = t.bytes;
       batch_mean = Histogram.mean t.batch_hist;
       batch_p99 = Histogram.percentile t.batch_hist 99.0;
@@ -528,9 +537,10 @@ let stats t =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "wal: appends=%d forces=%d flushes=%d requests=%d bytes=%d \
+    "wal: appends=%d forces=%d flushes=%d requests=%d commits=%d bytes=%d \
      batch{mean=%.2f p99=%d max=%d} wait_ns{mean=%.0f p50=%d p99=%d} \
      trunc{n=%d records=%d bytes=%d}"
-    s.appends s.forces s.flushes s.flush_requests s.bytes s.batch_mean
+    s.appends s.forces s.flushes s.flush_requests s.logical_commits s.bytes
+    s.batch_mean
     s.batch_p99 s.batch_max s.wait_mean_ns s.wait_p50_ns s.wait_p99_ns
     s.truncations s.truncated_records s.truncated_bytes

@@ -42,9 +42,12 @@ val append : t -> prev:Lsn.t -> txn:int -> Log_record.body -> Lsn.t
 (** Assigns the next LSN, encodes and stores the record. Short critical
     section; never does IO. *)
 
-val flush : t -> Lsn.t -> unit
+val flush : ?commits:int -> t -> Lsn.t -> unit
 (** Make everything up to [lsn] durable (group commit, see above). No-op if
-    already durable. Returns only once durability covers [lsn]. *)
+    already durable. Returns only once durability covers [lsn]. [commits]
+    (default 1) is how many logical commits this single enrollment covers —
+    a combined write batch commits once for N user puts — and only feeds
+    the [logical_commits] counter. *)
 
 val flush_all : t -> unit
 
@@ -109,6 +112,10 @@ type stats = {
   flushes : int;  (** durability-advance events, including in-memory ones *)
   flush_requests : int;
       (** flush calls that found undurable records and had to wait *)
+  logical_commits : int;
+      (** logical commits covered by those requests ([flush ~commits]) —
+          [logical_commits / flush_requests] is the write-combining fan-in
+          stacked on top of group commit's [batch_mean] *)
   bytes : int;  (** encoded bytes ever appended *)
   batch_mean : float;  (** mean flush requests coalesced per flush event *)
   batch_p99 : int;

@@ -1,0 +1,409 @@
+(* Hot-key write combining: the elimination funnel itself, its blink
+   integration (visibility, durability, handback to the split path), the
+   crash point between batch apply and batch commit, follower/pool
+   interaction under a tight frame budget, and the endurance-rig knobs
+   that ride along (storm mix, pinned pool shards, logical commits). *)
+
+module Env = Pitree_env.Env
+module Blink = Pitree_blink.Blink
+module Combine = Pitree_combine.Combine
+module Wellformed = Pitree_core.Wellformed
+module Crash_point = Pitree_util.Crash_point
+module Log_manager = Pitree_wal.Log_manager
+module Txn = Pitree_txn.Txn
+module Txn_mgr = Pitree_txn.Txn_mgr
+module Endure = Pitree_harness.Endure
+module Stats = Pitree_harness.Stats
+module Buffer_pool = Pitree_storage.Buffer_pool
+
+let check_wf t =
+  let report = Blink.verify t in
+  if not (Wellformed.ok report) then
+    Alcotest.failf "tree not well-formed: %a" Wellformed.pp_report report
+
+let mk_cfg ?(page_size = 256) ?(pool = 4096) ?(combine = true)
+    ?(window_us = 0) () =
+  {
+    Env.default_config with
+    page_size;
+    pool_capacity = pool;
+    combine;
+    combine_window_us = window_us;
+  }
+
+(* --- the funnel in isolation --- *)
+
+(* One leader, three stragglers: the first submit elects itself and its
+   apply blocks on [gate]; the stragglers publish into the claimed slot
+   meanwhile, so once the gate opens they settle as one batch. *)
+let test_funnel_batches () =
+  Combine.reset_stats ();
+  let gate = Atomic.make false in
+  let first = Atomic.make true in
+  let c =
+    Combine.create ~slots:1
+      ~apply:(fun reqs ->
+        if Atomic.compare_and_set first true false then
+          while not (Atomic.get gate) do
+            Thread.yield ()
+          done;
+        Array.map (fun x -> x * 2) reqs)
+      ()
+  in
+  let results = Array.make 4 0 in
+  let spawn i = Thread.create (fun () -> results.(i) <- Combine.submit c ~hash:0 (i + 1)) () in
+  let t0 = spawn 0 in
+  (* The leader bumps the batch counter before it enters apply. *)
+  while (Combine.stats ()).Combine.batches < 1 do
+    Thread.yield ()
+  done;
+  let rest = List.map spawn [ 1; 2; 3 ] in
+  while (Combine.stats ()).Combine.reqs < 4 do
+    Thread.yield ()
+  done;
+  Thread.delay 0.2 (* let the stragglers publish into the slot *);
+  Atomic.set gate true;
+  List.iter Thread.join (t0 :: rest);
+  Array.iteri
+    (fun i r -> Alcotest.(check int) "result = req * 2" ((i + 1) * 2) r)
+    results;
+  let s = Combine.stats () in
+  Alcotest.(check int) "all requests funneled" 4 s.Combine.reqs;
+  Alcotest.(check bool) "stragglers settled as one batch" true
+    (s.Combine.batch_max >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "batches (%d) < reqs" s.Combine.batches)
+    true
+    (s.Combine.batches < s.Combine.reqs)
+
+(* --- blink integration --- *)
+
+let key i = Printf.sprintf "key%06d" i
+
+(* With combining on, non-transactional puts route through the funnel
+   even single-threaded (batches of one): every put must be visible
+   immediately and survive crash recovery. *)
+let test_combined_puts_visible_durable () =
+  Combine.reset_stats ();
+  let env = Env.create (mk_cfg ()) in
+  let t = Blink.create env ~name:"t" in
+  for i = 0 to 99 do
+    Blink.insert t ~key:(key i) ~value:(Printf.sprintf "v%d" i)
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check (option string)) "visible"
+      (Some (Printf.sprintf "v%d" i))
+      (Blink.find t (key i))
+  done;
+  Alcotest.(check bool) "puts went through the funnel" true
+    ((Combine.stats ()).Combine.reqs >= 100);
+  check_wf t;
+  Env.crash env;
+  ignore (Env.recover env);
+  match Blink.open_existing env ~name:"t" with
+  | None -> Alcotest.fail "tree vanished after recovery"
+  | Some t ->
+      for i = 0 to 99 do
+        Alcotest.(check (option string)) "durable"
+          (Some (Printf.sprintf "v%d" i))
+          (Blink.find t (key i))
+      done;
+      check_wf t
+
+(* A batched update that no longer fits its leaf is handed back to the
+   ordinary insert path (which splits), never silently dropped. Filling a
+   256-byte leaf and then growing one record forces exactly that. *)
+let test_handback_feeds_split_path () =
+  Combine.reset_stats ();
+  let env = Env.create (mk_cfg ()) in
+  let t = Blink.create env ~name:"t" in
+  for i = 0 to 199 do
+    Blink.insert t ~key:(key i) ~value:"small"
+  done;
+  let big = String.make 120 'B' in
+  let hb0 = (Combine.stats ()).Combine.handbacks in
+  for i = 0 to 199 do
+    Blink.insert t ~key:(key i) ~value:big
+  done;
+  let hb1 = (Combine.stats ()).Combine.handbacks in
+  Alcotest.(check bool)
+    (Printf.sprintf "handbacks grew (%d -> %d)" hb0 hb1)
+    true (hb1 > hb0);
+  for i = 0 to 199 do
+    Alcotest.(check (option string)) "grown value present" (Some big)
+      (Blink.find t (key i))
+  done;
+  check_wf t
+
+(* Multi-threaded write storm over disjoint per-thread key ranges with a
+   combining window: whatever the batching, every acked put must be the
+   key's final state and the tree must stay well-formed. *)
+let test_storm_correctness () =
+  Combine.reset_stats ();
+  let env = Env.create (mk_cfg ~window_us:1_000 ()) in
+  let t = Blink.create env ~name:"t" in
+  let threads = 4 and per = 120 in
+  let value w i = Printf.sprintf "w%d.%d" w i in
+  let workers =
+    List.init threads (fun w ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per - 1 do
+              Blink.insert t ~key:(key ((w * per) + i)) ~value:(value w i)
+            done)
+          ())
+  in
+  List.iter Thread.join workers;
+  for w = 0 to threads - 1 do
+    for i = 0 to per - 1 do
+      Alcotest.(check (option string)) "acked put is final state"
+        (Some (value w i))
+        (Blink.find t (key ((w * per) + i)))
+    done
+  done;
+  check_wf t;
+  let s = Combine.stats () in
+  Alcotest.(check int) "every put funneled" (threads * per) s.Combine.reqs
+
+(* --- crash at combine.applied: all-or-nothing batches --- *)
+
+(* The crash point sits after the batch is applied to the leaf but before
+   its transaction commits. A crash there must roll the whole batch back:
+   puts that raised [Crash_requested] leave no trace, puts acked before
+   the crash survive recovery bit-for-bit. *)
+let test_crash_at_combine_applied () =
+  Crash_point.disarm_all ();
+  Crash_point.reset_counts ();
+  let env = Env.create (mk_cfg ()) in
+  let t = Blink.create env ~name:"t" in
+  let acked = Hashtbl.create 32 and doomed = Hashtbl.create 4 in
+  Crash_point.arm Combine.crash_point_applied ~after:12;
+  (* Put until the armed point fires, then stop cold — the fault model is
+     a power failure at that instant, not a process that soldiers on. *)
+  (try
+     for i = 0 to 29 do
+       let v = Printf.sprintf "v%d" i in
+       try
+         Blink.insert t ~key:(key i) ~value:v;
+         Hashtbl.replace acked (key i) v
+       with Crash_point.Crash_requested _ as e ->
+         Hashtbl.replace doomed (key i) v;
+         raise e
+     done
+   with Crash_point.Crash_requested _ -> ());
+  Alcotest.(check bool) "the crash point fired" true (Hashtbl.length doomed > 0);
+  Env.crash env;
+  ignore (Env.recover env);
+  (match Blink.open_existing env ~name:"t" with
+  | None -> Alcotest.fail "tree vanished after recovery"
+  | Some t ->
+      Hashtbl.iter
+        (fun k v ->
+          Alcotest.(check (option string)) ("acked " ^ k) (Some v)
+            (Blink.find t k))
+        acked;
+      Hashtbl.iter
+        (fun k _ ->
+          Alcotest.(check (option string)) ("unacked " ^ k ^ " rolled back")
+            None (Blink.find t k))
+        doomed;
+      check_wf t);
+  Crash_point.disarm_all ()
+
+(* Same point under a concurrent storm, so the doomed batch can have real
+   fan-in: every member of it raises (no torn acks) and none of their
+   values survive recovery, while everything acked does. *)
+let test_crash_at_combine_applied_storm () =
+  Crash_point.disarm_all ();
+  Crash_point.reset_counts ();
+  let env = Env.create (mk_cfg ~window_us:1_000 ()) in
+  let t = Blink.create env ~name:"t" in
+  let mu = Mutex.create () in
+  let acked = Hashtbl.create 256 and doomed = Hashtbl.create 16 in
+  let note tbl k v =
+    Mutex.lock mu;
+    Hashtbl.replace tbl k v;
+    Mutex.unlock mu
+  in
+  Crash_point.arm Combine.crash_point_applied ~after:8;
+  let threads = 3 and per = 80 in
+  let workers =
+    List.init threads (fun w ->
+        Thread.create
+          (fun () ->
+            (* A worker that sees the crash (as doomed leader or doomed
+               follower) stops dead, like a domain losing power. *)
+            try
+              for i = 0 to per - 1 do
+                let k = key ((w * per) + i) in
+                let v = Printf.sprintf "w%d.%d" w i in
+                try
+                  Blink.insert t ~key:k ~value:v;
+                  note acked k v
+                with Crash_point.Crash_requested _ as e ->
+                  note doomed k v;
+                  raise e
+              done
+            with Crash_point.Crash_requested _ -> ())
+          ())
+  in
+  List.iter Thread.join workers;
+  Alcotest.(check bool) "the crash point fired" true (Hashtbl.length doomed > 0);
+  Env.crash env;
+  ignore (Env.recover env);
+  (match Blink.open_existing env ~name:"t" with
+  | None -> Alcotest.fail "tree vanished after recovery"
+  | Some t ->
+      Hashtbl.iter
+        (fun k v ->
+          Alcotest.(check (option string)) ("acked " ^ k) (Some v)
+            (Blink.find t k))
+        acked;
+      Hashtbl.iter
+        (fun k _ ->
+          Alcotest.(check (option string)) ("doomed " ^ k ^ " rolled back")
+            None (Blink.find t k))
+        doomed;
+      check_wf t);
+  Crash_point.disarm_all ()
+
+(* --- parked followers hold nothing --- *)
+
+(* A follower parks on its slot's condvar holding no pins, latches or
+   locks, so a storm with a long combining window stays live even when
+   the buffer pool barely fits one descent per thread. If followers
+   parked while pinned, the 16-frame pool would exhaust its bounded pin
+   attempts under four concurrent writers and deep 256-byte pages. *)
+let test_tight_pool_parked_followers () =
+  Combine.reset_stats ();
+  let env =
+    Env.create
+      {
+        (mk_cfg ~pool:16 ~window_us:1_500 ()) with
+        Env.pool_pin_attempts = Some 50;
+      }
+  in
+  let t = Blink.create env ~name:"t" in
+  let threads = 4 and per = 80 in
+  let workers =
+    List.init threads (fun w ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per - 1 do
+              Blink.insert t
+                ~key:(key (((w * per) + i) mod 64))
+                ~value:(Printf.sprintf "w%d.%d" w i)
+            done)
+          ())
+  in
+  List.iter Thread.join workers;
+  check_wf t;
+  for i = 0 to 63 do
+    Alcotest.(check bool) "key present" true (Blink.find t (key i) <> None)
+  done
+
+(* --- WAL accounting: one flush enrollment, N commits --- *)
+
+let test_logical_commits_credit () =
+  let env = Env.create (mk_cfg ~combine:false ()) in
+  let t = Blink.create env ~name:"t" in
+  let log = Env.log env in
+  let before = Log_manager.stats log in
+  let mgr = Env.txns env in
+  let txn = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn t ~key:"a" ~value:"1";
+  Txn_mgr.commit ~commits:5 mgr txn;
+  let after = Log_manager.stats log in
+  Alcotest.(check int) "one flush request"
+    1
+    (after.Log_manager.flush_requests - before.Log_manager.flush_requests);
+  Alcotest.(check int) "five logical commits credited" 5
+    (after.Log_manager.logical_commits - before.Log_manager.logical_commits);
+  let txn = Txn_mgr.begin_txn mgr Txn.User in
+  Blink.insert ~txn t ~key:"b" ~value:"2";
+  Txn_mgr.commit mgr txn;
+  let final = Log_manager.stats log in
+  Alcotest.(check int) "default credit is one" 6
+    (final.Log_manager.logical_commits - before.Log_manager.logical_commits)
+
+(* --- endurance rig satellites --- *)
+
+(* The pool's shard count must be pinned, not left to the core-count
+   default: on a single-CPU host [Domain.recommended_domain_count] is 1,
+   which silently serialized every pin behind one shard lock (the
+   "shards": 1 row BENCH_endure.json used to show at 8 domains). *)
+let test_endure_pool_shards_pinned () =
+  let cfg8 = { Endure.default_config with Endure.domains = 8 } in
+  let env_cfg = Endure.env_config cfg8 ~wal_path:"/tmp/pitree_test.wal" in
+  Alcotest.(check (option int)) "8 domains -> 16 shards" (Some 16)
+    env_cfg.Env.pool_shards;
+  let cfg1 = { Endure.default_config with Endure.domains = 1 } in
+  let env_cfg = Endure.env_config cfg1 ~wal_path:"/tmp/pitree_test.wal" in
+  Alcotest.(check (option int)) "never below 8 shards" (Some 8)
+    env_cfg.Env.pool_shards;
+  let off = { cfg8 with Endure.combine = false } in
+  let env_cfg = Endure.env_config off ~wal_path:"/tmp/pitree_test.wal" in
+  Alcotest.(check bool) "combine flag propagates" false env_cfg.Env.combine
+
+(* A miniature update-only write storm through the rig: combining on, so
+   the report must carry an ok [combine_reqs] SLO row proving the funnel
+   engaged, and the pool must show the pinned shard count. *)
+let test_endure_storm_mix () =
+  let cfg =
+    {
+      Endure.default_config with
+      Endure.keys = 2_000;
+      seconds = 1.5;
+      domains = 2;
+      mix = Endure.Storm;
+      theta = 0.99;
+      pool_capacity = 1024;
+      ckpt_log_bytes = 524_288;
+      faults = false;
+      crash_cycles = 0;
+      verify_sample = 200;
+    }
+  in
+  let r = Endure.run cfg in
+  if not r.Endure.passed then
+    Alcotest.failf "storm run failed SLOs: %a" Endure.pp_result r;
+  (match
+     List.find_opt (fun s -> s.Endure.name = "combine_reqs") r.Endure.slos
+   with
+  | None -> Alcotest.fail "no combine_reqs SLO row in a combining storm run"
+  | Some s ->
+      Alcotest.(check bool) "combine_reqs SLO ok" true s.Endure.ok;
+      Alcotest.(check bool) "funnel actually engaged" true (s.Endure.actual >= 1.));
+  match r.Endure.stats.Stats.pool with
+  | None -> Alcotest.fail "no pool stats in report"
+  | Some p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pool shards pinned (%d >= 8)" p.Buffer_pool.shards)
+        true
+        (p.Buffer_pool.shards >= 8)
+
+let suites =
+  [
+    ( "combine",
+      [
+        Alcotest.test_case "funnel batches stragglers" `Quick
+          test_funnel_batches;
+        Alcotest.test_case "combined puts visible + durable" `Quick
+          test_combined_puts_visible_durable;
+        Alcotest.test_case "handback feeds the split path" `Quick
+          test_handback_feeds_split_path;
+        Alcotest.test_case "storm correctness" `Quick test_storm_correctness;
+        Alcotest.test_case "crash at combine.applied" `Quick
+          test_crash_at_combine_applied;
+        Alcotest.test_case "crash at combine.applied under storm" `Quick
+          test_crash_at_combine_applied_storm;
+        Alcotest.test_case "tight pool: parked followers hold nothing" `Quick
+          test_tight_pool_parked_followers;
+        Alcotest.test_case "logical commits credited per batch" `Quick
+          test_logical_commits_credit;
+        Alcotest.test_case "endure pool shards pinned" `Quick
+          test_endure_pool_shards_pinned;
+        Alcotest.test_case "endure storm mix + combine SLO" `Slow
+          test_endure_storm_mix;
+      ] );
+  ]

@@ -246,6 +246,43 @@ let test_injected_no_version_bump_caught () =
   | _, Some (_, r) ->
       Alcotest.(check bool) "report failed" true (Scenario.failed r)
 
+(* With write combining on, concurrent puts collide on publication slots
+   and a leader applies whole batches as one atomic action; the extra
+   publish/elect/apply/broadcast yield points open those interleavings to
+   the scheduler and every schedule must still linearize. *)
+let test_combine_clean_walks () =
+  Seeds.guard "sim.combine.walks" @@ fun () ->
+  let cfg = { Scenario.default with Scenario.combine = true } in
+  match
+    Scenario.random_walks cfg ~walks:40 ~seed:(Seeds.derive "sim.combine.walks")
+  with
+  | _, None -> ()
+  | _, Some (wseed, r) ->
+      Alcotest.failf "combining schedule (walk seed %Ld) failed: %a" wseed
+        Scenario.pp_report r
+
+(* A combiner that acknowledges followers before the batch is applied and
+   committed hands out results for writes that are neither visible nor
+   durable: a follower's later read of its own key misses the write, and
+   the linearizability oracle must object. The bug only manifests through
+   the combining funnel, so the scenario forces [combine = true]. *)
+let test_injected_ack_before_durable_caught () =
+  Seeds.guard "sim.bug.ack-before-durable" @@ fun () ->
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.combine = true;
+      Scenario.bug = Blink.Testing.Ack_before_durable;
+    }
+  in
+  match
+    Scenario.random_walks cfg ~walks:200
+      ~seed:(Seeds.derive "sim.bug.ack-before-durable")
+  with
+  | _, None -> Alcotest.fail "oracle missed the injected ack-before-durable bug"
+  | _, Some (_, r) ->
+      Alcotest.(check bool) "report failed" true (Scenario.failed r)
+
 (* A separator one byte short violates section 2.1.3 condition 3 (the index
    term describes space the child is not responsible for): the
    well-formedness oracle must reject the tree. *)
@@ -314,6 +351,10 @@ let suites =
           test_injected_early_unlatch_caught;
         Alcotest.test_case "no version bump caught" `Slow
           test_injected_no_version_bump_caught;
+        Alcotest.test_case "combining clean walks" `Slow
+          test_combine_clean_walks;
+        Alcotest.test_case "ack before durable caught" `Slow
+          test_injected_ack_before_durable_caught;
         Alcotest.test_case "bad separator caught" `Slow
           test_injected_bad_sep_caught;
         Alcotest.test_case "blink clean sweep" `Slow
