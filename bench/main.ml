@@ -21,6 +21,7 @@ module Kv = Pitree_harness.Kv
 module Workload = Pitree_harness.Workload
 module Driver = Pitree_harness.Driver
 module Endure = Pitree_harness.Endure
+module Churn = Pitree_harness.Churn
 module Table = Pitree_harness.Table
 module Rng = Pitree_util.Rng
 module Zipf = Pitree_util.Zipf
@@ -1270,6 +1271,54 @@ let ckpt_smoke () =
     ~out:"BENCH_ckpt.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* E21 / churn: alternating insert/delete cycles over all three engines —
+   node deletion + online merge must keep the file bounded, with freed
+   pages cycling through the meta-page free list. Emits BENCH_churn.json
+   (gated: extent <= 1.5x live high-water mark, >= 80% of post-warmup
+   allocations served by the free list).                                 *)
+(* ------------------------------------------------------------------ *)
+
+let churn_impl cfg ~out =
+  let res = Churn.run ~log:(Printf.printf "%s\n%!") cfg in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E21: churn — %d insert/delete cycles per engine (%d keys, \
+          %d-key bands); merges must bound the file and feed the free list"
+         cfg.Churn.cycles cfg.Churn.keys cfg.Churn.band)
+    ~header:
+      [ "engine"; "cycles"; "cycles/s"; "used hwm"; "extent"; "ratio";
+        "reused/alloc"; "reuse%"; "freed"; "well-formed"; "gates" ]
+    (List.map
+       (fun r ->
+         [
+           r.Churn.r_engine;
+           string_of_int r.Churn.r_cycles;
+           fmt_ops r.Churn.r_cycles_per_s;
+           string_of_int r.Churn.r_used_hwm;
+           string_of_int r.Churn.r_extent_final;
+           Printf.sprintf "%.2f" r.Churn.r_extent_ratio;
+           Printf.sprintf "%d/%d" r.Churn.r_post_reused r.Churn.r_post_allocated;
+           Printf.sprintf "%.1f%%" (100.0 *. r.Churn.r_reuse_ratio);
+           string_of_int r.Churn.r_pages_freed;
+           (if r.Churn.r_well_formed then "yes" else "NO");
+           (if Churn.ok r then "pass" else "FAIL");
+         ])
+       res.Churn.runs);
+  let oc = open_out out in
+  output_string oc (Churn.to_json cfg res);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if not res.Churn.passed then exit 1
+
+let churn () = churn_impl Churn.default_config ~out:"BENCH_churn.json"
+
+let churn_smoke () =
+  churn_impl
+    { Churn.default_config with Churn.cycles = 20_000; keys = 2_048; band = 256 }
+    ~out:"BENCH_churn.json"
+
+(* ------------------------------------------------------------------ *)
 
 (* E18: the endurance rig (see lib/harness/endure.ml and the pitree
    endure subcommand for the full-scale run). The smoke variant keeps CI
@@ -1644,6 +1693,7 @@ let experiments =
     ("pool", pool_bench); ("pool-smoke", pool_smoke);
     ("ckpt", ckpt); ("ckpt-smoke", ckpt_smoke);
     ("endure", endure); ("endure-smoke", endure_smoke);
+    ("churn", churn); ("churn-smoke", churn_smoke);
     ("olc", olc); ("olc-smoke", olc_smoke);
     ("combine", combine_bench); ("combine-smoke", combine_smoke);
     ("micro", micro);
@@ -1652,7 +1702,7 @@ let experiments =
 (* smoke variants would overwrite the full runs' JSON artifacts *)
 let smoke_variants =
   [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke"; "olc-smoke";
-    "combine-smoke" ]
+    "combine-smoke"; "churn-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1661,7 +1711,8 @@ let () =
       print_endline
         "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
          pool-smoke | ckpt | ckpt-smoke | endure | endure-smoke | olc | \
-         olc-smoke | combine | combine-smoke | micro | all]";
+         olc-smoke | combine | combine-smoke | churn | churn-smoke | micro | \
+         all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter

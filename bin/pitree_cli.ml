@@ -333,8 +333,8 @@ let persist_cmd =
 (* --- sim --- *)
 
 let sim engine threads ops keys preload seed walks systematic depth preemptions
-    max_schedules consolidation no_olc combine no_combine bug expect_bug
-    replay_s quiet =
+    max_schedules consolidation no_olc combine no_combine del_heavy bug
+    expect_bug replay_s quiet =
   let module Scenario = Pitree_sim.Scenario in
   let module Sim = Pitree_sim.Sim in
   let engine =
@@ -346,19 +346,24 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
     match bug with
     | "none" -> Blink.Testing.No_bug
     | "early-unlatch" -> Blink.Testing.Early_unlatch_split
+    | "early-unlatch-merge" -> Blink.Testing.Early_unlatch_merge
     | "bad-post-sep" -> Blink.Testing.Bad_post_sep
     | "no-version-bump" -> Blink.Testing.No_version_bump
     | "ack-before-durable" -> Blink.Testing.Ack_before_durable
     | _ ->
         failwith
           "unknown bug \
-           (none|early-unlatch|bad-post-sep|no-version-bump|ack-before-durable)"
+           (none|early-unlatch|early-unlatch-merge|bad-post-sep|no-version-bump|ack-before-durable)"
   in
   (* [No_version_bump] only misbehaves where a stale node can be acted
-     on, i.e. under CP de-allocation: force consolidation on. Likewise
-     [Ack_before_durable] lives in the combining layer: force it on. *)
+     on, i.e. under CP de-allocation: force consolidation on — as does
+     [Early_unlatch_merge], which lives inside the consolidation action.
+     Likewise [Ack_before_durable] lives in the combining layer: force it
+     on. *)
   let consolidation =
-    consolidation || bug = Blink.Testing.No_version_bump
+    consolidation
+    || bug = Blink.Testing.No_version_bump
+    || bug = Blink.Testing.Early_unlatch_merge
   in
   let combine =
     (combine || bug = Blink.Testing.Ack_before_durable) && not no_combine
@@ -375,6 +380,7 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       consolidation;
       olc = not no_olc;
       combine;
+      del_heavy;
       bug;
     }
   in
@@ -394,10 +400,12 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       ((if consolidation then "--consolidation " else "")
       ^ (if no_olc then "--no-olc " else "")
       ^ (if combine then "--combine " else "")
+      ^ (if del_heavy then "--del-heavy " else "")
       ^
       match bug with
       | Blink.Testing.No_bug -> ""
       | Blink.Testing.Early_unlatch_split -> "--bug early-unlatch "
+      | Blink.Testing.Early_unlatch_merge -> "--bug early-unlatch-merge "
       | Blink.Testing.Bad_post_sep -> "--bug bad-post-sep "
       | Blink.Testing.No_version_bump -> "--bug no-version-bump "
       | Blink.Testing.Ack_before_durable -> "--bug ack-before-durable ")
@@ -504,12 +512,19 @@ let sim_no_combine_arg =
          ~doc:"Force write combining off (overrides --combine; accepted \
                for flag symmetry with workload/endure).")
 
+let sim_del_heavy_arg =
+  Arg.(value & flag & info [ "del-heavy" ]
+         ~doc:"Skew the op mix to 50% deletes so leaves drain below the \
+               consolidation threshold and merge/free actions run \
+               mid-schedule (pair with --consolidation).")
+
 let sim_bug_arg =
   Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG"
-         ~doc:"Inject a protocol bug: none, early-unlatch, bad-post-sep, \
-               no-version-bump or ack-before-durable (blink only; \
-               no-version-bump implies --consolidation, ack-before-durable \
-               implies --combine).")
+         ~doc:"Inject a protocol bug: none, early-unlatch, \
+               early-unlatch-merge, bad-post-sep, no-version-bump or \
+               ack-before-durable (blink only; no-version-bump and \
+               early-unlatch-merge imply --consolidation, \
+               ack-before-durable implies --combine).")
 
 let sim_expect_bug_arg =
   Arg.(value & flag & info [ "expect-bug" ]
@@ -536,8 +551,8 @@ let sim_cmd =
       $ sim_preload_arg $ sim_seed_arg $ sim_walks_arg $ sim_systematic_arg
       $ sim_depth_arg $ sim_preemptions_arg $ sim_max_schedules_arg
       $ sim_consolidation_arg $ sim_no_olc_arg $ sim_combine_arg
-      $ sim_no_combine_arg $ sim_bug_arg $ sim_expect_bug_arg $ sim_replay_arg
-      $ sim_quiet_arg)
+      $ sim_no_combine_arg $ sim_del_heavy_arg $ sim_bug_arg
+      $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
 
 (* --- endure --- *)
 
@@ -675,10 +690,78 @@ let endure_cmd =
       $ e_seed_arg $ e_dir_arg $ e_out_arg $ e_quiet_arg $ e_no_combine_arg
       $ e_slo_p99_arg $ e_slo_wal_arg)
 
+(* ---------- churn ---------- *)
+
+let churn cycles keys band value_len page_size pool out quiet =
+  let module Churn = Pitree_harness.Churn in
+  let cfg =
+    {
+      Churn.cycles;
+      keys;
+      band;
+      value_bytes = value_len;
+      page_size;
+      pool_capacity = pool;
+    }
+  in
+  let log =
+    if quiet then fun _ -> () else fun s -> Printf.printf "%s\n%!" s
+  in
+  let r = Churn.run ~log cfg in
+  let oc = open_out out in
+  output_string oc (Churn.to_json cfg r);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if r.Churn.passed then 0 else 1
+
+let ch_cycles_arg =
+  Arg.(value & opt int 1_000_000
+       & info [ "cycles" ] ~doc:"Insert/delete pairs per engine.")
+
+let ch_keys_arg =
+  Arg.(value & opt int 4_096 & info [ "keys" ] ~doc:"Fixed key population.")
+
+let ch_band_arg =
+  Arg.(value & opt int 256
+       & info [ "band" ] ~doc:"Contiguous keys deleted and re-inserted per \
+                               rotation.")
+
+let ch_value_len_arg =
+  Arg.(value & opt int 16 & info [ "value-len" ] ~doc:"Value bytes.")
+
+let ch_page_size_arg =
+  Arg.(value & opt int 512 & info [ "page-size" ] ~doc:"Page size in bytes.")
+
+let ch_pool_arg =
+  Arg.(value & opt int 4096 & info [ "pool" ] ~doc:"Buffer-pool frames.")
+
+let ch_out_arg =
+  Arg.(value & opt string "BENCH_churn.json"
+       & info [ "out" ] ~doc:"Where to write the JSON report.")
+
+let ch_quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only write the JSON report.")
+
+let churn_cmd =
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Churn rig: alternating insert/delete cycles over all three \
+          engines. Band deletes empty whole leaves, online merges push \
+          their pages onto the free list, and the re-insert splits must be \
+          served off it — gated on a bounded file (final extent within \
+          1.5x the live-page high-water mark) and on the free list serving \
+          at least 80% of steady-state allocations. Exits 0 iff every \
+          engine passes both gates well-formed.")
+    Term.(
+      const churn $ ch_cycles_arg $ ch_keys_arg $ ch_band_arg
+      $ ch_value_len_arg $ ch_page_size_arg $ ch_pool_arg $ ch_out_arg
+      $ ch_quiet_arg)
+
 let main =
   Cmd.group
     (Cmd.info "pitree" ~version:"1.0.0"
        ~doc:"Pi-tree index structures with concurrency and recovery (Lomet & Salzberg, SIGMOD 1992).")
-    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd; sim_cmd; endure_cmd ]
+    [ demo_cmd; load_cmd; crash_cmd; workload_cmd; dump_cmd; chaos_cmd; persist_cmd; sim_cmd; endure_cmd; churn_cmd ]
 
 let () = exit (Cmd.eval' main)

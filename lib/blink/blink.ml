@@ -33,6 +33,8 @@ let () =
       "blink.post.updated";
       "blink.post.done";
       "blink.consolidate.linked";
+      "blink.merge.moved";
+      "blink.merge.freed";
     ]
 
 type stats = {
@@ -178,6 +180,10 @@ let page fr = fr.Buffer_pool.page
 type injected_bug =
   | No_bug
   | Early_unlatch_split
+  | Early_unlatch_merge
+      (* drop every latch mid-merge, after the containing node took over
+         the contained node's space but before the parent's index term is
+         removed: two nodes directly claim the same key space *)
   | Bad_post_sep
   | No_version_bump
       (* writers take and release X latches correctly but never touch the
@@ -465,6 +471,10 @@ let pin_root t =
 let olc_eval ~key fr =
   let v = olc_snapshot fr in
   let p = page fr in
+  (* A stale pointer can land on a page a consolidation already freed
+     (free-listed pages keep their latch and version word): explicitly a
+     transient state — restart, don't decode free-list bytes as a node. *)
+  Olc.live p;
   if not (Node.contains p key) then begin
     (* Capture everything the side chase will act on (the root's level
        can change in place) BEFORE the validation that proves the reads
@@ -1393,22 +1403,13 @@ let find_olc t key =
       unpin t fr;
       raise e
 
-let find t key =
-  bump t.c.c_searches;
-  let r =
-    if olc_enabled t then
-      olc_protected t
-        ~attempt:(fun () -> find_olc t key)
-        ~fallback:(fun () -> find_latched t key)
-    else find_latched t key
-  in
-  ignore (Env.drain t.env);
-  r
-
-let find_locked ~txn t key =
-  bump t.c.c_searches;
+(* Locked read: the record's S lock is taken under the no-wait rule (only
+   try_acquire while latched; on failure wait latch-free, then revalidate
+   by re-descending) and held to the transaction's commit — repeatable
+   reads for explicit transactions. *)
+let find_in_txn ~txn t key =
   let rec attempt tries =
-    if tries > 200 then failwith "blink.find_locked: too many restarts";
+    if tries > 200 then failwith "blink.find: too many restarts";
     let _, fr = descend t ~key ~target:0 ~mode:Latch.S in
     if
       Lock_manager.try_acquire (locks t) ~owner:txn.Txn.id (record_res t key)
@@ -1434,6 +1435,21 @@ let find_locked ~txn t key =
     end
   in
   attempt 0
+
+let find ?txn t key =
+  bump t.c.c_searches;
+  match txn with
+  | Some txn -> find_in_txn ~txn t key
+  | None ->
+      let r =
+        if olc_enabled t then
+          olc_protected t
+            ~attempt:(fun () -> find_olc t key)
+            ~fallback:(fun () -> find_latched t key)
+        else find_latched t key
+      in
+      ignore (Env.drain t.env);
+      r
 
 (* Records of [p] in [[start, high)), in key order. *)
 let collect_batch ~start ~beyond p =
@@ -1531,6 +1547,7 @@ let range_olc t ~start ~high ~init ~f =
            in place) or a split can shrink the fence past [pos]. The
            final chain pass would catch a stale read anyway; failing
            here is just cheaper than scanning garbage. *)
+        Olc.live p;
         if Page.level p <> 0 || not (Node.contains p pos) then
           raise Olc.Restart;
         let batches = collect_batch ~start:pos ~beyond p :: batches in
@@ -1655,6 +1672,7 @@ let do_consolidate t ~key ~level =
                 update t txn cfr
                   (Page_op.Delete_slot { slot = Node.slot_of_entry j; cell })
               done;
+              Crash_point.hit "blink.merge.moved";
               (* LN takes over C's delegation boundary, responsibility and
                  sibling chain. *)
               let lnf = Node.fence lnp and cf = Node.fence cp in
@@ -1674,6 +1692,22 @@ let do_consolidate t ~key ~level =
               update t txn lnfr
                 (Page_op.Set_side_ptr
                    { old_ptr = c_pid; new_ptr = Page.side_ptr cp });
+              (* Injected bug: drop every latch after LN took over C's
+                 space but before C's index term leaves the parent — the
+                 tree transiently has two nodes directly claiming
+                 [c_low, c_high) (LN via its widened fence, C via its
+                 unshrunk one), which well-formedness condition 1 (spaces
+                 partition) must reject, and a reader routed to the
+                 emptied C misses committed keys. *)
+              if !injected_bug = Early_unlatch_merge then begin
+                unlatch_at c_rank0 cfr Latch.X;
+                unlatch lnfr Latch.X;
+                unlatch pfr Latch.X;
+                Pitree_util.Sched_hook.yield Point "blink.bug.window";
+                latch pfr Latch.X;
+                latch lnfr Latch.X;
+                latch cfr Latch.X
+              end;
               (* Delete C's index term from the parent and de-allocate C
                  (a logged node update, section 5.2.2 (b)). *)
               let term_cell = Page.get pp (Node.slot_of_entry i) in
@@ -1681,6 +1715,7 @@ let do_consolidate t ~key ~level =
                 (Page_op.Delete_slot { slot = Node.slot_of_entry i; cell = term_cell });
               Crash_point.hit "blink.consolidate.linked";
               Env.dealloc_page t.env txn cfr;
+              Crash_point.hit "blink.merge.freed";
               bump t.c.c_consolidations;
               release_all ();
               (* The parent may now be under-utilized: consolidation
@@ -2004,6 +2039,7 @@ module Testing = struct
   type bug = injected_bug =
     | No_bug
     | Early_unlatch_split
+    | Early_unlatch_merge
     | Bad_post_sep
     | No_version_bump
     | Ack_before_durable

@@ -84,12 +84,11 @@ val insert : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> unit
 val delete : ?txn:Pitree_txn.Txn.t -> t -> string -> bool
 (** Delete; [false] if the key was absent. *)
 
-val find : t -> string -> string option
-(** Latch-consistent point lookup (no database locks). *)
-
-val find_locked : txn:Pitree_txn.Txn.t -> t -> string -> string option
-(** Point lookup taking an S record lock held to end of [txn] (repeatable
-    read). *)
+val find : ?txn:Pitree_txn.Txn.t -> t -> string -> string option
+(** Point lookup. Without [?txn]: latch-consistent, no database locks
+    (optimistic latch-free descent when [Env.config.olc_reads]). With
+    [?txn]: takes the record's S lock under the no-wait rule and holds it
+    to the transaction's end — repeatable read. *)
 
 val range : t -> ?low:string -> ?high:string -> init:'a ->
   f:('a -> string -> string -> 'a) -> 'a
@@ -156,6 +155,13 @@ module Testing : sig
         (** drop the X latch mid-split, after the upper records moved out
             but before the fence shrinks (caught by the linearizability
             checker: a reader in the window misses committed keys) *)
+    | Early_unlatch_merge
+        (** drop every latch mid-merge, after the containing node took
+            over the contained node's records, fence and side pointer but
+            before the contained node's index term leaves the parent —
+            two nodes directly claim the same key space (caught by
+            [Wellformed.check] condition 1; a reader routed to the
+            emptied node also misses committed keys) *)
     | Bad_post_sep
         (** post the index term with a separator one byte short (caught
             by [Wellformed.check] condition 3) *)

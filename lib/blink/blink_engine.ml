@@ -1,0 +1,26 @@
+(* The B-link engine behind the uniform [Pitree_core.Engine.S] interface.
+   Lives next to [Cursor] (which [scan] needs) rather than inside [Blink]
+   itself. *)
+
+module Engine = Pitree_core.Engine
+
+module Impl = struct
+  type t = Blink.t
+
+  let engine_name = "pi-tree (b-link)"
+  let insert = Blink.insert
+  let delete = Blink.delete
+  let find = Blink.find
+
+  (* Cursors are latch-consistent point-in-time reads; they take no
+     database locks, so [?txn] adds nothing and is ignored. *)
+  let scan ?txn:_ t ~low ~n =
+    let c = Cursor.seek t low in
+    let count = Cursor.fold_until c ~limit:n ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+    Cursor.close c;
+    count
+end
+
+include Impl
+
+let inst t = Engine.Inst ((module Impl), t)

@@ -1,0 +1,7 @@
+(** [Pitree_core.Engine.S] over the B-link tree: [insert]/[delete]/[find]
+    pass through directly (all already honour [?txn]); [scan] counts via a
+    latch-consistent {!Cursor} (no locks, [?txn] ignored). *)
+
+include Pitree_core.Engine.S with type t = Blink.t
+
+val inst : Blink.t -> Pitree_core.Engine.instance

@@ -1,0 +1,17 @@
+module type S = sig
+  type t
+
+  val engine_name : string
+  val insert : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> unit
+  val delete : ?txn:Pitree_txn.Txn.t -> t -> string -> bool
+  val find : ?txn:Pitree_txn.Txn.t -> t -> string -> string option
+  val scan : ?txn:Pitree_txn.Txn.t -> t -> low:string -> n:int -> int
+end
+
+type instance = Inst : (module S with type t = 'a) * 'a -> instance
+
+let name (Inst ((module M), _)) = M.engine_name
+let insert ?txn (Inst ((module M), t)) ~key ~value = M.insert ?txn t ~key ~value
+let delete ?txn (Inst ((module M), t)) key = M.delete ?txn t key
+let find ?txn (Inst ((module M), t)) key = M.find ?txn t key
+let scan ?txn (Inst ((module M), t)) ~low ~n = M.scan ?txn t ~low ~n

@@ -1,0 +1,44 @@
+(** The uniform engine interface every index engine implements directly
+    (B-link, TSB, hB — and the harness baselines through an adapter).
+
+    One signature, four operations, [?txn] everywhere: without it an
+    operation autocommits (and may route through the combining funnel);
+    with it the operation joins the caller's transaction — reads take the
+    record's S lock, updates its X lock — and the caller commits. Engines
+    without a transactional variant of an operation ignore [?txn] rather
+    than fail, so mixed workloads run against every engine; their docs say
+    which.
+
+    Structure-maintenance machinery (splits, consolidation, deletion/merge,
+    free-list recycling) plugs in {e behind} this interface: the driver,
+    the endurance rig, the chaos harness and the simulator all speak
+    [Engine], so a protocol change in one engine is exercised by every
+    harness for free. *)
+
+module type S = sig
+  type t
+
+  val engine_name : string
+
+  val insert : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> unit
+  val delete : ?txn:Pitree_txn.Txn.t -> t -> string -> bool
+
+  val find : ?txn:Pitree_txn.Txn.t -> t -> string -> string option
+  (** With [?txn]: a locked read — the record's S lock is acquired under
+      the no-wait rule and held to commit (engines without record locks
+      ignore [?txn]). *)
+
+  val scan : ?txn:Pitree_txn.Txn.t -> t -> low:string -> n:int -> int
+  (** Count up to [n] records with key >= [low] in key order. Engines
+      without ordered string iteration (hB, the baselines) report 0. *)
+end
+
+type instance = Inst : (module S with type t = 'a) * 'a -> instance
+(** An engine packaged with a value of its handle type — the currency the
+    harnesses traffic in. *)
+
+val name : instance -> string
+val insert : ?txn:Pitree_txn.Txn.t -> instance -> key:string -> value:string -> unit
+val delete : ?txn:Pitree_txn.Txn.t -> instance -> string -> bool
+val find : ?txn:Pitree_txn.Txn.t -> instance -> string -> string option
+val scan : ?txn:Pitree_txn.Txn.t -> instance -> low:string -> n:int -> int

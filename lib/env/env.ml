@@ -62,7 +62,8 @@ let default_config =
 
 type stats = {
   pages_allocated : int;
-  pages_deallocated : int;
+  pages_freed : int;
+  pages_reused : int;
   completions_run : int;
   checkpoints : int;
   ckpt_pages_written : int;
@@ -82,6 +83,7 @@ type t = {
   tasks_mu : Mutex.t;
   mutable allocs : int;
   mutable deallocs : int;
+  mutable reuses : int;
   mutable completions : int;
   (* --- checkpointer --- *)
   ckpt_mu : Mutex.t;  (* serializes whole checkpoints *)
@@ -134,10 +136,19 @@ let crash_point_begin = "ckpt.begin.logged"
 let crash_point_end = "ckpt.end.logged"
 let crash_point_truncated = "ckpt.truncated"
 
+(* Free-list instants: a page just popped off the free list for reuse, and
+   a freed page just pushed onto it. Both sit inside the caller's atomic
+   action, so a crash on either leaves a well-formed structure (the action
+   rolls back whole). *)
+let crash_point_free_reused = "free.reused"
+let crash_point_free_pushed = "free.pushed"
+
 let () =
   Crash_point.register crash_point_begin;
   Crash_point.register crash_point_end;
-  Crash_point.register crash_point_truncated
+  Crash_point.register crash_point_truncated;
+  Crash_point.register crash_point_free_reused;
+  Crash_point.register crash_point_free_pushed
 
 (* One protocol for both modes (ARIES section 5.4 shape):
 
@@ -313,6 +324,7 @@ let make_skeleton disk log_ref cfg =
       tasks_mu = Mutex.create ();
       allocs = 0;
       deallocs = 0;
+      reuses = 0;
       completions = 0;
       ckpt_mu = Mutex.create ();
       ckpts = 0;
@@ -397,6 +409,8 @@ let alloc_page t txn ~kind ~level =
           (Txn_mgr.update mgr txn fr
              (Page_op.Reformat
                 { old_kind = Page.Free; new_kind = kind; old_level = 0; new_level = level }));
+        t.reuses <- t.reuses + 1;
+        Crash_point.hit crash_point_free_reused;
         fr
       end
       else begin
@@ -447,7 +461,31 @@ let dealloc_page t txn fr =
            (Page_op.Insert_slot { slot = 0; cell = enc_u32 head }));
       ignore
         (Txn_mgr.update mgr txn meta
-           (Page_op.Set_aux_ptr { old_ptr = head; new_ptr = Page.id page })))
+           (Page_op.Set_aux_ptr { old_ptr = head; new_ptr = Page.id page })));
+  Crash_point.hit crash_point_free_pushed
+
+(* Pages ever formatted on this disk (the next-unallocated-pid counter,
+   minus pids 0 and 1 which are reserved/meta). This is the file's
+   high-water extent: it only grows, so a churn workload whose extent
+   plateaus is provably reusing freed pages. *)
+let allocated_extent t =
+  with_meta_x t (fun meta -> dec_u32 (Page.get meta.Buffer_pool.page 0) - 2)
+
+(* Walk the free list and count it. Holds the meta X latch for the whole
+   walk so the list cannot change underfoot; intended for harness/bench
+   gating, not hot paths. *)
+let free_list_length t =
+  with_meta_x t (fun meta ->
+      let rec walk pid n =
+        if pid = Page.nil then n
+        else begin
+          let fr = Buffer_pool.pin t.pool_v pid in
+          let next = dec_u32 (Page.get fr.Buffer_pool.page 0) in
+          Buffer_pool.unpin t.pool_v fr;
+          walk next (n + 1)
+        end
+      in
+      walk (Page.aux_ptr meta.Buffer_pool.page) 0)
 
 (* --- catalog --- *)
 
@@ -551,7 +589,8 @@ let pending t =
 let stats t =
   {
     pages_allocated = t.allocs;
-    pages_deallocated = t.deallocs;
+    pages_freed = t.deallocs;
+    pages_reused = t.reuses;
     completions_run = t.completions;
     checkpoints = t.ckpts;
     ckpt_pages_written = t.ckpt_pages;

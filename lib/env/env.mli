@@ -148,7 +148,22 @@ val dealloc_page : t -> Pitree_txn.Txn.t -> Pitree_storage.Buffer_pool.frame -> 
 (** Reformat the page as free (a logged node update — its state identifier
     changes, per section 5.2.2 strategy (b)) and push it on the free list.
     Caller holds the frame's X latch and has already removed every pointer
-    to the page. *)
+    to the page.
+
+    The free list is threaded through the Meta page: meta [aux_ptr] is the
+    head, each free page's cell 0 the next link. {!alloc_page} pops it
+    before extending the file, so deletion/merge gives pages back for real.
+    Crash points [free.reused] (alloc pop) and [free.pushed] (dealloc push)
+    fire at the two free-list instants. *)
+
+val allocated_extent : t -> int
+(** Pages ever formatted on this disk, excluding the reserved and meta
+    pages — the file's high-water extent. Monotone: reuse from the free
+    list does not grow it. *)
+
+val free_list_length : t -> int
+(** Length of the free list (walked under the meta latch; for harnesses
+    and benches, not hot paths). *)
 
 (** {2 Catalog} *)
 
@@ -182,7 +197,8 @@ val pending : t -> int
 
 type stats = {
   pages_allocated : int;
-  pages_deallocated : int;
+  pages_freed : int;  (** pages deallocated onto the free list *)
+  pages_reused : int;  (** allocations served by popping the free list *)
   completions_run : int;
   checkpoints : int;  (** completed checkpoints, any mode or trigger *)
   ckpt_pages_written : int;  (** dirty pages written back by checkpoints *)

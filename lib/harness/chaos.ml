@@ -131,8 +131,12 @@ let crash_and_recover ctx ~plan ~inject_torn =
           protected_pids = [ meta_pid ];
         };
       let before = (Disk.Faulty.counters ctx.ctl).Disk.Faulty.torn_writes in
-      (try Buffer_pool.flush_all (Env.pool ctx.env)
-       with Disk.Disk_error _ -> ());
+      (* A power failure's cache write-back does not coordinate with the
+         application: the crash that armed this run may have unwound with
+         page latches still held, so a latched flush would self-deadlock
+         — and a clean flush is the wrong model anyway. [crash_flush]
+         writes the dirty frames as-is, latch-free. *)
+      Buffer_pool.crash_flush (Env.pool ctx.env);
       (Disk.Faulty.counters ctx.ctl).Disk.Faulty.torn_writes > before
     end
     else false
@@ -227,7 +231,21 @@ let run_blink ~point ~after ~seed ~ops ~plan ~inject_torn =
             err ctx "find %s saw %s, model %s" (key i) (opt_str got)
               (opt_str want)
         end;
-        if j mod 64 = 63 then ignore (Env.drain ctx.env)
+        if j mod 64 = 63 then ignore (Env.drain ctx.env);
+        if j mod 96 = 95 then begin
+          (* Delete a contiguous band of keys to empty whole leaves: this
+             is what makes the blink.merge.* and free.* crash points
+             reachable from the sweep — consolidation frees the emptied
+             leaves, and later splits re-use them off the free list. *)
+          let b = Rng.int ctx.rng 800 in
+          for i = b to b + 59 do
+            inflight := Some (key i);
+            ignore (Blink.delete t (key i) : bool);
+            Hashtbl.remove present (key i);
+            Hashtbl.replace deleted (key i) ();
+            inflight := None
+          done
+        end
       done);
   let report, torn_injected, workload_retried =
     crash_and_recover ctx ~plan ~inject_torn
@@ -326,7 +344,16 @@ let run_tsb ~point ~after ~seed ~ops ~plan ~inject_torn =
             err ctx "get %s saw %s, model %s" (key i) (opt_str got)
               (opt_str want)
         end;
-        if j mod 64 = 63 then ignore (Env.drain ctx.env)
+        if j mod 64 = 63 then ignore (Env.drain ctx.env);
+        if j mod 128 = 127 then begin
+          (* Periodic garbage collection makes the tsb.drain.* and
+             tsb.merge.* crash points reachable from the sweep. The
+             workload is single-threaded, so gc's quiesced-writers
+             contract holds trivially; gc never changes current-time
+             reads, so the model stays valid across the pulse. *)
+          Tsb.set_horizon t (Tsb.now t);
+          ignore (Tsb.gc t : int)
+        end
       done);
   let report, torn_injected, workload_retried =
     crash_and_recover ctx ~plan ~inject_torn
@@ -367,6 +394,11 @@ let run_tsb ~point ~after ~seed ~ops ~plan ~inject_torn =
       if Env.pending ctx.env <> 0 then
         err ctx "completion queue not empty after drain";
       wf "post-drain";
+      (* A gc pass over the recovered tree must also leave it well-formed,
+         including after a crash landed mid-drain or mid-merge above. *)
+      Tsb.set_horizon t (Tsb.now t);
+      ignore (Tsb.gc t : int);
+      wf "post-gc";
       ignore (Tsb.put t ~key:"fresh" ~value:"post-crash");
       (match Tsb.get t "fresh" with
       | Some "post-crash" -> ()
@@ -472,7 +504,11 @@ let engine_of_point point =
    B-link runner drives them. "ckpt" points (the fuzzy-checkpoint protocol:
    after the Begin_checkpoint fence, after the forced End_checkpoint, after
    truncation) fire from the log-bytes trigger that [cfg] arms on every
-   user commit, so the B-link runner drives them too. The "combine" point
+   user commit, so the B-link runner drives them too. "free" points (the
+   meta-page free list: after a freed page is re-used, after a page is
+   pushed) fire from any engine that both frees and allocates pages; the
+   B-link runner's delete-heavy mix with consolidation on does both, so
+   it drives them. The "combine" point
    (after a write-combining batch is applied, before its transaction
    commits) fires from any non-txn insert since [cfg] leaves combining at
    its default-on; a crash there must roll the whole batch back — no
@@ -482,14 +518,14 @@ let known_points () =
   List.filter
     (fun p ->
       match engine_of_point p with
-      | "blink" | "tsb" | "hb" | "wal" | "ckpt" | "combine" -> true
+      | "blink" | "tsb" | "hb" | "wal" | "ckpt" | "combine" | "free" -> true
       | _ -> false)
     (Crash_point.all_names ())
 
 let run_one ~point ~after ~seed ~ops ~plan ~inject_torn =
   let runner =
     match engine_of_point point with
-    | "blink" | "wal" | "ckpt" | "combine" -> Some run_blink
+    | "blink" | "wal" | "ckpt" | "combine" | "free" -> Some run_blink
     | "tsb" -> Some run_tsb
     | "hb" -> Some run_hb
     | _ -> None

@@ -1,0 +1,65 @@
+(** Churn rig: alternating insert/delete cycles over all three engines,
+    proving that symmetric node deletion and online merge keep the file
+    bounded.
+
+    A fixed key population is churned by a rotating band: delete [band]
+    contiguous keys — emptying whole leaves, which consolidation merges
+    away onto the free list — then re-insert them, whose splits must be
+    served off the free list. The tsb engine expires and collects
+    ({!Pitree_tsb.Tsb.gc}) between the halves of every band. Two gates
+    judge the steady state (after the initial population plus one full
+    rotation of warm-up): the file's final page count must stay within
+    {!extent_gate} times the live-page high-water mark, and at least
+    {!reuse_gate} of post-warm-up allocations must come from the free
+    list. *)
+
+type config = {
+  cycles : int;  (** insert/delete pairs per engine *)
+  keys : int;  (** fixed key population *)
+  band : int;  (** contiguous keys deleted/re-inserted per rotation *)
+  value_bytes : int;
+  page_size : int;
+  pool_capacity : int;
+}
+
+val default_config : config
+(** 1M cycles over 4096 keys, 256-key bands, 512-byte pages. *)
+
+val extent_gate : float
+(** Final extent must be <= this multiple of the live-page high-water
+    mark (1.5). *)
+
+val reuse_gate : float
+(** At least this fraction of post-warm-up allocations must pop the
+    free list (0.8). *)
+
+type run = {
+  r_engine : string;
+  r_cycles : int;
+  r_elapsed_s : float;
+  r_cycles_per_s : float;
+  r_used_hwm : int;  (** high-water mark of extent - free-list length *)
+  r_extent_hwm : int;
+  r_extent_final : int;
+  r_free_final : int;
+  r_post_allocated : int;  (** allocations after warm-up *)
+  r_post_reused : int;  (** of which served by the free list *)
+  r_reuse_ratio : float;
+  r_pages_freed : int;
+  r_extent_ratio : float;  (** extent_final / used_hwm *)
+  r_bounded : bool;
+  r_reuse_ok : bool;
+  r_well_formed : bool;
+}
+
+type result = { runs : run list; passed : bool }
+
+val ok : run -> bool
+(** Both gates plus well-formedness. *)
+
+val run : ?log:(string -> unit) -> config -> result
+(** Churn blink, tsb and hb in turn; [log] gets one summary line per
+    engine. *)
+
+val to_json : config -> result -> string
+(** The BENCH_churn.json payload: config, gates and per-engine runs. *)

@@ -6,7 +6,8 @@ module Log_manager = Pitree_wal.Log_manager
 module Log_record = Pitree_wal.Log_record
 module Lsn = Pitree_wal.Lsn
 module Blink = Pitree_blink.Blink
-module Cursor = Pitree_blink.Cursor
+module Blink_engine = Pitree_blink.Blink_engine
+module Engine = Pitree_core.Engine
 module Wellformed = Pitree_core.Wellformed
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
@@ -209,13 +210,12 @@ let k_insert = 2
 let k_scan = 3
 let k_rmw = 4
 
-let scan_count t ~low ~n =
-  let c = Cursor.seek t low in
-  let r = Cursor.fold_until c ~limit:n ~init:0 ~f:(fun acc _ _ -> acc + 1) in
-  Cursor.close c;
-  r
-
 (* ---------- worker ---------- *)
+
+(* Workers speak the uniform [Engine.S] interface, not [Blink] directly:
+   the rig exercises whatever structure-maintenance machinery (splits,
+   consolidation, merges, free-list recycling) the engine plugs in behind
+   it. Re-wrapped per op because recovery swaps the tree handle. *)
 
 let worker cfg env sh (st : wstate) ~w =
   let nd = cfg.domains in
@@ -255,9 +255,9 @@ let worker cfg env sh (st : wstate) ~w =
     let v = mk_value !version in
     match
       let t0 = Clock.now_ns () in
-      let tr = Atomic.get sh.tree in
-      pre tr key;
-      Blink.insert tr ~key ~value:v;
+      let e = Blink_engine.inst (Atomic.get sh.tree) in
+      pre e key;
+      Engine.insert e ~key ~value:v;
       Histogram.record st.hists.(kind) (Clock.now_ns () - t0)
     with
     | () -> Hashtbl.replace st.model k v
@@ -276,7 +276,7 @@ let worker cfg env sh (st : wstate) ~w =
       let k = pick () in
       let key = Workload.key_of k in
       let t0 = Clock.now_ns () in
-      let v = Blink.find (Atomic.get sh.tree) key in
+      let v = Engine.find (Blink_engine.inst (Atomic.get sh.tree)) key in
       Histogram.record st.hists.(k_read) (Clock.now_ns () - t0);
       match v with
       | None -> lost "worker %d: preloaded key %s missing" w key
@@ -299,7 +299,11 @@ let worker cfg env sh (st : wstate) ~w =
       let k = if span > 0 then Rng.int rng span else 0 in
       let expected = min cfg.scan_len (cfg.keys - k) in
       let t0 = Clock.now_ns () in
-      let n = scan_count (Atomic.get sh.tree) ~low:(Workload.key_of k) ~n:cfg.scan_len in
+      let n =
+        Engine.scan
+          (Blink_engine.inst (Atomic.get sh.tree))
+          ~low:(Workload.key_of k) ~n:cfg.scan_len
+      in
       Histogram.record st.hists.(k_scan) (Clock.now_ns () - t0);
       if n < expected then begin
         st.shortfalls <- st.shortfalls + 1;
@@ -312,8 +316,8 @@ let worker cfg env sh (st : wstate) ~w =
       (* read-modify-write: the read is part of the op's latency *)
       do_write ~kind:k_rmw
         (own (pick ()))
-        ~pre:(fun tr key ->
-          match Blink.find tr key with
+        ~pre:(fun e key ->
+          match Engine.find e key with
           | Some _ -> ()
           | None -> lost "worker %d: rmw key %s missing" w key)
   in
@@ -533,7 +537,8 @@ let preload cfg env tree =
               let txn = Txn_mgr.begin_txn mgr Txn.User in
               let stop = min cfg.keys (!i + (batch * nd)) in
               while !i < stop do
-                Blink.insert ~txn tree ~key:(Workload.key_of !i) ~value;
+                Engine.insert ~txn (Blink_engine.inst tree)
+                  ~key:(Workload.key_of !i) ~value;
                 i := !i + nd
               done;
               Txn_mgr.commit mgr txn;
@@ -557,7 +562,8 @@ let remove_dir d =
 let env_stats_delta (b : Env.stats) (a : Env.stats) =
   {
     Env.pages_allocated = a.Env.pages_allocated - b.Env.pages_allocated;
-    pages_deallocated = a.Env.pages_deallocated - b.Env.pages_deallocated;
+    pages_freed = a.Env.pages_freed - b.Env.pages_freed;
+    pages_reused = a.Env.pages_reused - b.Env.pages_reused;
     completions_run = a.Env.completions_run - b.Env.completions_run;
     checkpoints = a.Env.checkpoints - b.Env.checkpoints;
     ckpt_pages_written = a.Env.ckpt_pages_written - b.Env.ckpt_pages_written;

@@ -1,61 +1,40 @@
-module type S = sig
-  type t
+module Engine = Pitree_core.Engine
 
-  val engine_name : string
-  val insert : t -> key:string -> value:string -> unit
-  val delete : t -> string -> bool
-  val find : t -> string -> string option
-  val scan : t -> low:string -> n:int -> int
-end
+module type S = Engine.S
 
-type instance = Inst : (module S with type t = 'a) * 'a -> instance
+type instance = Engine.instance = Inst : (module S with type t = 'a) * 'a -> instance
 
-let name (Inst ((module M), _)) = M.engine_name
-let insert (Inst ((module M), t)) ~key ~value = M.insert t ~key ~value
-let delete (Inst ((module M), t)) key = M.delete t key
-let find (Inst ((module M), t)) key = M.find t key
-let scan (Inst ((module M), t)) ~low ~n = M.scan t ~low ~n
+let name = Engine.name
+let insert i ~key ~value = Engine.insert i ~key ~value
+let delete i key = Engine.delete i key
+let find i key = Engine.find i key
+let scan i ~low ~n = Engine.scan i ~low ~n
 
-module Blink_kv = struct
-  type t = Pitree_blink.Blink.t
-
-  let engine_name = "pi-tree (b-link)"
-  let insert t ~key ~value = Pitree_blink.Blink.insert t ~key ~value
-  let delete t k = Pitree_blink.Blink.delete t k
-  let find = Pitree_blink.Blink.find
-
-  let scan t ~low ~n =
-    let c = Pitree_blink.Cursor.seek t low in
-    let count =
-      Pitree_blink.Cursor.fold_until c ~limit:n ~init:0 ~f:(fun acc _ _ ->
-          acc + 1)
-    in
-    Pitree_blink.Cursor.close c;
-    count
-end
-
-(* The baselines expose no ordered iteration; [scan] reports 0 records so
-   mixed workloads still run against them, with scans as no-ops. *)
+(* The baselines are non-transactional by construction; [?txn] is ignored
+   so mixed workloads still run against them. They expose no ordered
+   iteration either — [scan] reports 0 records. *)
 module Coupling_kv = struct
   type t = Pitree_baseline.Bt_coupling.t
 
   let engine_name = "lock-coupling"
-  let insert = Pitree_baseline.Bt_coupling.insert
-  let delete = Pitree_baseline.Bt_coupling.delete
-  let find = Pitree_baseline.Bt_coupling.find
-  let scan _ ~low:_ ~n:_ = 0
+  let insert ?txn:_ t ~key ~value = Pitree_baseline.Bt_coupling.insert t ~key ~value
+  let delete ?txn:_ t k = Pitree_baseline.Bt_coupling.delete t k
+  let find ?txn:_ t k = Pitree_baseline.Bt_coupling.find t k
+  let scan ?txn:_ _ ~low:_ ~n:_ = 0
 end
 
 module Treelatch_kv = struct
   type t = Pitree_baseline.Bt_treelatch.t
 
   let engine_name = "tree-latch (serial SMO)"
-  let insert = Pitree_baseline.Bt_treelatch.insert
-  let delete = Pitree_baseline.Bt_treelatch.delete
-  let find = Pitree_baseline.Bt_treelatch.find
-  let scan _ ~low:_ ~n:_ = 0
+  let insert ?txn:_ t ~key ~value = Pitree_baseline.Bt_treelatch.insert t ~key ~value
+  let delete ?txn:_ t k = Pitree_baseline.Bt_treelatch.delete t k
+  let find ?txn:_ t k = Pitree_baseline.Bt_treelatch.find t k
+  let scan ?txn:_ _ ~low:_ ~n:_ = 0
 end
 
-let blink t = Inst ((module Blink_kv), t)
+let blink = Pitree_blink.Blink_engine.inst
+let tsb = Pitree_tsb.Tsb_engine.inst
+let hb = Pitree_hb.Hb_engine.inst
 let coupling t = Inst ((module Coupling_kv), t)
 let treelatch t = Inst ((module Treelatch_kv), t)

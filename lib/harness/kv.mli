@@ -1,28 +1,27 @@
-(** Uniform key-value interface over the three index engines, so the
-    benchmark driver and comparison experiments treat them identically. *)
+(** Harness-side face of {!Pitree_core.Engine}: the engines implement
+    [Engine.S] directly ([Blink_engine], [Tsb_engine], [Hb_engine]); this
+    module re-exports the interface, adapts the two locking baselines onto
+    it, and keeps the historical non-transactional dispatcher signatures
+    the benchmarks use. *)
 
-module type S = sig
-  type t
+module Engine = Pitree_core.Engine
 
-  val engine_name : string
-  val insert : t -> key:string -> value:string -> unit
-  val delete : t -> string -> bool
-  val find : t -> string -> string option
+module type S = Engine.S
 
-  val scan : t -> low:string -> n:int -> int
-  (** Count up to [n] records with key >= [low] in key order. The B-link
-      engine walks a latch-consistent cursor; the baselines expose no
-      ordered iteration and report 0. *)
-end
-
-type instance = Inst : (module S with type t = 'a) * 'a -> instance
+type instance = Engine.instance = Inst : (module S with type t = 'a) * 'a -> instance
 
 val name : instance -> string
 val insert : instance -> key:string -> value:string -> unit
 val delete : instance -> string -> bool
 val find : instance -> string -> string option
+
 val scan : instance -> low:string -> n:int -> int
+(** Count up to [n] records with key >= [low] in key order. The B-link
+    engine walks a latch-consistent cursor; hB and the baselines expose no
+    ordered string iteration and report 0. *)
 
 val blink : Pitree_blink.Blink.t -> instance
+val tsb : Pitree_tsb.Tsb.t -> instance
+val hb : Pitree_hb.Hb.t -> instance
 val coupling : Pitree_baseline.Bt_coupling.t -> instance
 val treelatch : Pitree_baseline.Bt_treelatch.t -> instance

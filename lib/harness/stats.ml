@@ -75,8 +75,8 @@ let pool_delta (before : Buffer_pool.stats) (after : Buffer_pool.stats) =
 let env_delta (before : Env.stats) (after : Env.stats) =
   {
     Env.pages_allocated = after.Env.pages_allocated - before.Env.pages_allocated;
-    pages_deallocated =
-      after.Env.pages_deallocated - before.Env.pages_deallocated;
+    pages_freed = after.Env.pages_freed - before.Env.pages_freed;
+    pages_reused = after.Env.pages_reused - before.Env.pages_reused;
     completions_run = after.Env.completions_run - before.Env.completions_run;
     checkpoints = after.Env.checkpoints - before.Env.checkpoints;
     ckpt_pages_written =
@@ -136,11 +136,11 @@ let pp_pool ppf (p : Buffer_pool.stats) =
 
 let pp_env ppf (e : Env.stats) =
   Fmt.pf ppf
-    "env: %d alloc / %d dealloc pages, %d completions, %d checkpoints (%d \
-     pages written back, %d records / %d bytes truncated)"
-    e.Env.pages_allocated e.Env.pages_deallocated e.Env.completions_run
-    e.Env.checkpoints e.Env.ckpt_pages_written e.Env.ckpt_records_truncated
-    e.Env.ckpt_bytes_truncated
+    "env: %d alloc (%d reused) / %d freed pages, %d completions, %d \
+     checkpoints (%d pages written back, %d records / %d bytes truncated)"
+    e.Env.pages_allocated e.Env.pages_reused e.Env.pages_freed
+    e.Env.completions_run e.Env.checkpoints e.Env.ckpt_pages_written
+    e.Env.ckpt_records_truncated e.Env.ckpt_bytes_truncated
 
 let pp_faults ppf (f : Disk.Faulty.counters) =
   Fmt.pf ppf
@@ -196,12 +196,12 @@ let pool_json b (p : Buffer_pool.stats) =
 
 let env_json b (e : Env.stats) =
   Printf.bprintf b
-    "{\"pages_allocated\": %d, \"pages_deallocated\": %d, \
+    "{\"pages_allocated\": %d, \"pages_freed\": %d, \"pages_reused\": %d, \
      \"completions_run\": %d, \"checkpoints\": %d, \"ckpt_pages_written\": \
      %d, \"ckpt_records_truncated\": %d, \"ckpt_bytes_truncated\": %d}"
-    e.Env.pages_allocated e.Env.pages_deallocated e.Env.completions_run
-    e.Env.checkpoints e.Env.ckpt_pages_written e.Env.ckpt_records_truncated
-    e.Env.ckpt_bytes_truncated
+    e.Env.pages_allocated e.Env.pages_freed e.Env.pages_reused
+    e.Env.completions_run e.Env.checkpoints e.Env.ckpt_pages_written
+    e.Env.ckpt_records_truncated e.Env.ckpt_bytes_truncated
 
 let faults_json b (f : Disk.Faulty.counters) =
   Printf.bprintf b

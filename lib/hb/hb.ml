@@ -23,6 +23,7 @@ let () =
       "hb.root.grown";
       "hb.post.updated";
       "hb.consolidate.linked";
+      "hb.merge.freed";
     ]
 module Codec = Pitree_util.Codec
 module Combine = Pitree_combine.Combine
@@ -602,6 +603,7 @@ let do_post_action t ~level ~address ~anchor =
                 Hkd.region_of_target (node_kd (page nfr)) (node_brick (page nfr))
                   (Hkd.Sibling address)
               in
+              let n_multi = Page.flags (page nfr) land multi_parent_flag <> 0 in
               unlatch nfr Latch.S;
               unpin t nfr;
               (match b with
@@ -609,6 +611,44 @@ let do_post_action t ~level ~address ~anchor =
                   unlatch fr Latch.U;
                   unpin t fr
               | Some b ->
+                  (* The delegated brick came from a splitting node that is
+                     itself multi-parent: descents arriving through its
+                     other parents side-step the same sibling marker and
+                     re-post [address] into THEIR parent, so the child is
+                     about to gain a second index term in a different
+                     node. It must carry the multi-parent flag before that
+                     second term can exist — consolidation re-tests the
+                     flag and would otherwise free the child behind the
+                     extra parent's back (section 3.3 forbids
+                     consolidating multi-parent nodes). *)
+                  let dead = ref false in
+                  if n_multi then begin
+                    let afr = pin t address in
+                    latch afr Latch.X;
+                    let ap = page afr in
+                    if Page.kind ap = Page.Free then dead := true
+                    else begin
+                      let flags = Page.flags ap in
+                      if flags land multi_parent_flag = 0 then begin
+                        update t txn afr
+                          (Page_op.Set_flags
+                             {
+                               old_flags = flags;
+                               new_flags = flags lor multi_parent_flag;
+                             });
+                        Atomic.incr t.c_multi
+                      end
+                    end;
+                    unlatch afr Latch.X;
+                    unpin t afr
+                  end;
+                  if !dead then begin
+                    (* The sibling was consolidated away while this
+                       posting was queued; nothing to index. *)
+                    unlatch fr Latch.U;
+                    unpin t fr
+                  end
+                  else begin
                   promote fr;
                   let brick = node_brick p in
                   let kd' = Hkd.carve kd ~region:brick ~brick:b (Hkd.Child address) in
@@ -651,6 +691,7 @@ let do_post_action t ~level ~address ~anchor =
                     unlatch fr Latch.X;
                     unpin t fr;
                     attempt (tries + 1)
+                  end
                   end)
         end
       in
@@ -773,6 +814,7 @@ let do_consolidate t ~pid ~anchor =
                         ~to_:(Hkd.Child n_pid)));
                 Crash_point.hit "hb.consolidate.linked";
                 Env.dealloc_page t.env txn cfr;
+                Crash_point.hit "hb.merge.freed";
                 Atomic.incr t.c_consol;
                 release_all ()
               end
@@ -1001,9 +1043,10 @@ let insert_in_txn t txn ~point ~value =
    drained inside one User transaction, so one WAL flush enrollment
    (credited with the batch's fan-in via [~commits]) covers them all.
    Each point still takes its own CNS descent — spatial keys rarely share
-   a brick — but N commit flushes collapse into one. Any failure aborts
-   the batch transaction and hands every request back to the direct
-   path. *)
+   a brick — but N commit flushes collapse into one. A failure aborts the
+   batch transaction and propagates (Combine broadcasts it to the parked
+   followers): retrying on the direct path instead would deadlock against
+   whatever latch the failed descent left behind, and mask the defect. *)
 let apply_batch t (reqs : (float array * string) array) =
   let n = Array.length reqs in
   let results = Array.make n Handback in
@@ -1019,9 +1062,9 @@ let apply_batch t (reqs : (float array * string) array) =
      ignore (Env.drain t.env)
    with
    | Crash_point.Crash_requested _ as e -> raise e
-   | _ ->
+   | e ->
        if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
-       Array.fill results 0 n Handback);
+       raise e);
   results
 
 let () =
@@ -1050,9 +1093,9 @@ let insert ?txn t ~point ~value =
           with_autocommit t (fun txn -> insert_in_txn t txn ~point ~value))
   | _ -> with_autocommit ?txn t (fun txn -> insert_in_txn t txn ~point ~value)
 
-let delete t point =
+let delete ?txn t point =
   check_point t point;
-  with_autocommit t (fun txn ->
+  with_autocommit ?txn t (fun txn ->
       let fr = descend t ~point ~target:0 ~mode:Latch.U in
       let p = page fr in
       match find_record p point with

@@ -39,7 +39,10 @@ val insert :
     batch that cannot complete hands the request back to the ordinary
     autocommit path. *)
 
-val delete : t -> float array -> bool
+val delete : ?txn:Pitree_txn.Txn.t -> t -> float array -> bool
+(** Delete the record at [point]; [false] if absent. With [?txn] the
+    delete joins the caller's transaction (the caller commits). *)
+
 val find : t -> float array -> string option
 
 val query :

@@ -1,0 +1,12 @@
+(** [Pitree_core.Engine.S] over the hB-tree: string keys are embedded as
+    deterministic points (coordinate [i] = hash of [(i, key)], uniform in
+    [0, 1)). Point operations pass through; ordered [scan] cannot be
+    served over hashed coordinates and reports 0. *)
+
+include Pitree_core.Engine.S with type t = Hb.t
+
+val inst : Hb.t -> Pitree_core.Engine.instance
+
+val point_of_key : dims:int -> string -> float array
+(** The embedding, exposed so tests can address the same records through
+    both the engine interface and the native point API. *)

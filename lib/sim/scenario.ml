@@ -1,6 +1,7 @@
 module Rng = Pitree_util.Rng
 module Env = Pitree_env.Env
 module Wellformed = Pitree_core.Wellformed
+module Engine = Pitree_core.Engine
 module Blink = Pitree_blink.Blink
 module Tsb = Pitree_tsb.Tsb
 module Hb = Pitree_hb.Hb
@@ -26,6 +27,9 @@ type cfg = {
   consolidation : bool;
   olc : bool;
   combine : bool;
+  del_heavy : bool;
+      (* skew the op mix toward deletes (50%) so leaves drain below the
+         consolidation threshold and merges run mid-schedule *)
   check_wellformed : bool;
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;
@@ -47,6 +51,7 @@ let default =
        space (and its regression baselines); combining-enabled scenarios
        opt in to the extra publish/elect/apply/broadcast yield points. *)
     combine = false;
+    del_heavy = false;
     check_wellformed = true;
     check_every = 1;
     bug = Pitree_blink.Blink.Testing.No_bug;
@@ -108,12 +113,6 @@ let make_env cfg =
 
 let key cfg i = Printf.sprintf "k%04d" (i mod cfg.key_space)
 
-(* hB points are derived from the key index: distinct keys map to
-   distinct points, deterministically. *)
-let point_of_key k =
-  let i = int_of_string (String.sub k 1 (String.length k - 1)) in
-  [| float_of_int i; float_of_int ((i * 7) mod 64) |]
-
 type handle = H_blink of Blink.t | H_tsb of Tsb.t | H_hb of Hb.t
 
 let make_tree cfg env =
@@ -122,39 +121,38 @@ let make_tree cfg env =
   | Tsb -> H_tsb (Tsb.create env ~name:"sim")
   | Hb -> H_hb (Hb.create env ~name:"sim" ~dims:2)
 
-let exec handle (op : Linearize.op) : Linearize.res =
-  match (handle, op) with
-  | H_blink t, Get k -> Value (Blink.find t k)
-  | H_blink t, Put (k, v) ->
-      Blink.insert t ~key:k ~value:v;
+let inst_of = function
+  | H_blink t -> Pitree_blink.Blink_engine.inst t
+  | H_tsb t -> Pitree_tsb.Tsb_engine.inst t
+  | H_hb t -> Pitree_hb.Hb_engine.inst t
+
+(* Point, update and blind-delete ops go through the uniform [Engine]
+   interface — the same code path the driver, endurance rig and chaos
+   harness exercise — so every engine's structure machinery (splits,
+   merges, frees) is reached from one place. [Del] (observed boolean) and
+   [Range] keep engine-specific dispatch: TSB's delete is a blind
+   tombstone and only the B-link engine serves ordered key-value ranges. *)
+let exec handle inst (op : Linearize.op) : Linearize.res =
+  match op with
+  | Get k -> Value (Engine.find inst k)
+  | Put (k, v) ->
+      Engine.insert inst ~key:k ~value:v;
       Ok_put
-  | H_blink t, Del k -> Deleted (Blink.delete t k)
-  | H_blink t, Blind_del k ->
-      ignore (Blink.delete t k);
+  | Blind_del k ->
+      ignore (Engine.delete inst k);
       Ok_put
-  | H_blink t, Range (lo, hi) ->
-      Keys
-        (List.rev
-           (Blink.range t ?low:lo ?high:hi ~init:[] ~f:(fun acc k v ->
-                (k, v) :: acc)))
-  | H_tsb t, Get k -> Value (Tsb.get t k)
-  | H_tsb t, Put (k, v) ->
-      ignore (Tsb.put t ~key:k ~value:v);
-      Ok_put
-  | H_tsb t, Blind_del k ->
-      ignore (Tsb.remove t k);
-      Ok_put
-  | H_tsb _, (Del _ | Range _) ->
-      invalid_arg "Scenario.exec: unsupported TSB op"
-  | H_hb t, Get k -> Value (Hb.find t (point_of_key k))
-  | H_hb t, Put (k, v) ->
-      Hb.insert t ~point:(point_of_key k) ~value:v;
-      Ok_put
-  | H_hb t, Del k -> Deleted (Hb.delete t (point_of_key k))
-  | H_hb t, Blind_del k ->
-      ignore (Hb.delete t (point_of_key k));
-      Ok_put
-  | H_hb _, Range _ -> invalid_arg "Scenario.exec: unsupported hB op"
+  | Del k -> (
+      match handle with
+      | H_tsb _ -> invalid_arg "Scenario.exec: unsupported TSB op"
+      | H_blink _ | H_hb _ -> Deleted (Engine.delete inst k))
+  | Range (lo, hi) -> (
+      match handle with
+      | H_blink t ->
+          Keys
+            (List.rev
+               (Blink.range t ?low:lo ?high:hi ~init:[] ~f:(fun acc k v ->
+                    (k, v) :: acc)))
+      | H_tsb _ | H_hb _ -> invalid_arg "Scenario.exec: unsupported Range op")
 
 let verify_handle = function
   | H_blink t -> Blink.verify t
@@ -171,13 +169,19 @@ let wf_of_report r =
    happen *during* the run — the interleavings of multi-action structure
    changes are the whole point. *)
 let gen_script cfg rng tid : Linearize.op list =
+  (* Default mix: half puts, a quarter reads. [del_heavy] flips the skew
+     to half deletes so leaves drain below the consolidation threshold
+     and merges (with their free-list pushes) run mid-schedule. *)
+  let put_below, get_below, del_below =
+    if cfg.del_heavy then (30, 45, 95) else (50, 75, 90)
+  in
   List.init cfg.ops_per_thread (fun j ->
       let r = Rng.int rng 100 in
       let k = key cfg (Rng.int rng cfg.key_space) in
-      if r < 50 then
+      if r < put_below then
         Linearize.Put (k, Printf.sprintf "t%d.%d.%s" tid j (String.make 60 'x'))
-      else if r < 75 then Linearize.Get k
-      else if r < 90 then
+      else if r < get_below then Linearize.Get k
+      else if r < del_below then
         match cfg.engine with
         | Tsb -> Linearize.Blind_del k
         | Blink | Hb -> Linearize.Del k
@@ -196,10 +200,11 @@ let run cfg ~policy =
       try Env.close env with _ -> ())
   @@ fun () ->
   let handle = make_tree cfg env in
+  let inst = inst_of handle in
   let init =
     List.init cfg.preload (fun i -> (key cfg i, Printf.sprintf "init.%d" i))
   in
-  List.iter (fun (k, v) -> ignore (exec handle (Linearize.Put (k, v)))) init;
+  List.iter (fun (k, v) -> ignore (exec handle inst (Linearize.Put (k, v)))) init;
   ignore (Env.drain env);
   Blink.Testing.set_bug cfg.bug;
   let master = Rng.create cfg.seed in
@@ -211,7 +216,7 @@ let run cfg ~policy =
         List.iter
           (fun op ->
             let inv = Sim.stamp () in
-            let res = exec handle op in
+            let res = exec handle inst op in
             let ret = Sim.stamp () in
             histories.(tid) <-
               { Linearize.fiber = tid; op; res; inv; ret } :: histories.(tid))

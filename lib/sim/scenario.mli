@@ -31,6 +31,10 @@ type cfg = {
           here — combining-enabled scenarios opt into the extra
           publish/elect/apply/broadcast yield points so the baseline
           schedule space stays compact *)
+  del_heavy : bool;
+      (** skew the generated op mix to 50% deletes (default: 15%) so
+          leaves drain below the consolidation threshold and merge/free
+          actions run mid-schedule *)
   check_wellformed : bool;  (** re-check §2.1.3 at quiesced yield points *)
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;  (** blink only; ignored otherwise *)

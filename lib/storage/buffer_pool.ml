@@ -612,6 +612,33 @@ let write_back t =
    sites (environment create/close); a concurrent workload merely delays
    completion and is flushed correctly (see test_pool's
    flush_all-vs-mutator regression). *)
+(* Power-failure image dump for crash simulation: write every dirty frame
+   as-is, taking no page latches. A dying machine's cache write-back does
+   not coordinate with the application — the workload may have unwound
+   with X latches still held (a latched flush would self-deadlock on
+   them), and a mid-mutation or torn image is precisely the durable state
+   a power failure produces. Dirty bits are left set and per-page disk
+   errors are swallowed (a fail-stopped device simply loses the rest);
+   only meaningful immediately before [crash]. *)
+let crash_flush t =
+  check_alive t;
+  Array.iter
+    (fun sh ->
+      let frames =
+        Mutex.lock sh.mu;
+        let l =
+          Hashtbl.fold
+            (fun _ fr l -> if fr.dirty then fr :: l else l)
+            sh.table []
+        in
+        Mutex.unlock sh.mu;
+        l
+      in
+      List.iter
+        (fun fr -> try write_frame t fr with Disk.Disk_error _ -> ())
+        frames)
+    t.shards
+
 let rec flush_all t =
   ignore (write_back t : int);
   if dirty_pages t <> [] then begin

@@ -197,6 +197,16 @@ val write_back : t -> int
     one page write. Frames that vanish or go clean concurrently are
     skipped. Returns the number of pages written. *)
 
+val crash_flush : t -> unit
+(** Power-failure image dump for crash simulation: write every dirty
+    frame as-is, taking {e no} page latches — a dying machine's cache
+    write-back does not coordinate with the application, so the crashing
+    workload may still hold X latches (a latched flush would
+    self-deadlock on them) and the images written may be mid-mutation
+    (and torn, through a faulty disk). Dirty bits are left set; per-page
+    disk errors are swallowed. Only meaningful immediately before
+    {!crash} — never a substitute for {!flush_all}. *)
+
 val crash : t -> unit
 (** Discard all frames without flushing. The pool is unusable afterwards;
     open a fresh one to recover. *)

@@ -28,6 +28,14 @@ let snapshot fr =
 
 let validate fr v = if not (Version.validate (vword fr) v) then raise Restart
 
+(* A validated pointer can still name a page that was de-allocated (and
+   maybe re-used) after the pointer was read: node deletion pushes pages
+   onto the free list, where their kind reads [Page.Free]. That is a
+   transient state of the optimistic protocol — the descent raced a
+   merge/free — not corruption: restart rather than decode free-list
+   bytes as a node. *)
+let live p = if Page.kind p = Page.Free then raise Restart
+
 (* Optimistic attempts abandoned (from every cause) before the reader
    falls back to the S-latched path. *)
 let max_restarts = 8

@@ -22,6 +22,12 @@ val validate : Buffer_pool.frame -> int -> unit
 (** Prove the word still equals the snapshot (and was not a writer's odd
     mark); raises {!Restart} otherwise. Emits a yield point. *)
 
+val live : Page.t -> unit
+(** Raise {!Restart} if the page's kind reads [Page.Free]: a latch-free
+    descent stepped onto a page a concurrent merge/consolidation freed
+    after the pointer was read — a transient state of the optimistic
+    protocol (the free list re-uses pages), not corruption. *)
+
 val max_restarts : int
 (** Abandoned attempts (from every cause) before {!protect} falls back. *)
 

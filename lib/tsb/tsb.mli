@@ -23,7 +23,9 @@
     engine: splits are independent atomic actions; index-term posting for
     key splits is a separate, lazily-completable atomic action; time splits
     change no parent, so they complete in one action. The engine runs under
-    the CNS invariant (history is never consolidated). *)
+    the CNS invariant — traversals never meet a consolidation — which the
+    quiesced {!gc} maintenance pass preserves by draining expired history
+    and merging emptied leaves only while writers are stopped. *)
 
 type t
 
@@ -56,12 +58,39 @@ val get_asof : t -> string -> time:int -> string option
 (** The value visible at [time] (inclusive). *)
 
 val history : t -> string -> (int * string option) list
-(** All versions of a key, oldest first; [None] marks a tombstone. *)
+(** All versions of a key, oldest first; [None] marks a tombstone.
+    Versions in history slices drained by {!gc} are gone. *)
 
 val range_asof :
   t -> time:int -> ?low:string -> ?high:string -> init:'a ->
   f:('a -> string -> string -> 'a) -> 'a
 (** Snapshot scan: fold over the keys with a live value as of [time]. *)
+
+(** {2 Garbage collection}
+
+    The TSB-tree retains every version forever by default. A GC horizon
+    bounds that: [set_horizon t h] declares that no future read will ask
+    for a time at or below [h], and {!gc} reclaims what such reads can no
+    longer reach — fully-expired history-chain tails are cut and their
+    nodes freed onto the environment free list; version runs ending in a
+    sufficiently old tombstone are purged from drained current leaves;
+    leaves left empty with no history are merged into their containing
+    (left) sibling and freed, the inverse of a key split. Every step is
+    its own atomic action, so a crash anywhere leaves a searchable,
+    recoverable tree (crash points [tsb.drain.cut], [tsb.drain.freed],
+    [tsb.merge.unlinked], [tsb.merge.freed]).
+
+    [gc] is a maintenance pass: callers must quiesce writers on this tree
+    while it runs (concurrent readers are safe). *)
+
+val set_horizon : t -> int -> unit
+(** Raise the GC horizon (monotone; lowering is ignored). *)
+
+val horizon : t -> int
+
+val gc : t -> int
+(** Drain, purge and merge per the module contract above; returns the
+    number of pages freed. *)
 
 (** {2 Inspection} *)
 
@@ -78,6 +107,9 @@ type stats = {
   history_nodes : int;  (** created since open *)
   side_traversals : int;
   postings_completed : int;
+  history_nodes_freed : int;  (** chain-tail nodes freed by {!gc} *)
+  tombstones_purged : int;  (** entries dropped from drained leaves by {!gc} *)
+  merges : int;  (** empty leaves merged away (and freed) by {!gc} *)
 }
 
 val stats : t -> stats

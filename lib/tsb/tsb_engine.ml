@@ -1,0 +1,40 @@
+(* The TSB-tree behind [Pitree_core.Engine.S]: the engine interface sees
+   the current state only — [insert] stamps a new version, [delete] a
+   tombstone, [find]/[scan] read as of now. The version store underneath
+   (history chains, as-of reads) stays reachable through [Tsb] directly. *)
+
+module Engine = Pitree_core.Engine
+
+module Impl = struct
+  type t = Tsb.t
+
+  let engine_name = "tsb-tree"
+  let insert ?txn t ~key ~value = ignore (Tsb.put ?txn t ~key ~value : int)
+
+  (* A tombstone for an absent key would create a version of nothing;
+     mirror the other engines' contract instead: write the tombstone only
+     when the key is currently live, and report whether it was. *)
+  let delete ?txn t key =
+    match Tsb.get t key with
+    | None -> false
+    | Some _ ->
+        ignore (Tsb.remove ?txn t key : int);
+        true
+
+  let find ?txn:_ t key = Tsb.get t key
+
+  exception Done of int
+
+  let scan ?txn:_ t ~low ~n =
+    if n <= 0 then 0
+    else
+      try
+        Tsb.range_asof t ~time:(Tsb.now t) ~low ?high:None ~init:0
+          ~f:(fun acc _ _ ->
+            if acc + 1 >= n then raise (Done (acc + 1)) else acc + 1)
+      with Done c -> c
+end
+
+include Impl
+
+let inst t = Engine.Inst ((module Impl), t)

@@ -1,0 +1,9 @@
+(** [Pitree_core.Engine.S] over the TSB-tree's {e current} state: [insert]
+    stamps a new version, [delete] writes a tombstone (only when the key is
+    live, so the boolean matches the other engines), [find] and [scan]
+    read as of now. Reads take no locks ([?txn] ignored — the version
+    store is the concurrency story here, not record locks). *)
+
+include Pitree_core.Engine.S with type t = Tsb.t
+
+val inst : Tsb.t -> Pitree_core.Engine.instance

@@ -227,6 +227,73 @@ let test_lazy_posting_via_search () =
   Alcotest.(check bool) "side traversals occurred" true (s0.Blink.side_traversals > 0);
   check_wf t
 
+let test_olc_free_whitelist () =
+  (* A latch-free descent can land on a page a merge already freed: the
+     OLC transient whitelist must classify it as a restart (free-listed
+     pages read kind [Free]), never decode free-list bytes as a node. *)
+  let module Olc = Pitree_storage.Olc in
+  let module Page = Pitree_storage.Page in
+  let module Bp = Pitree_storage.Buffer_pool in
+  let module Latch = Pitree_sync.Latch in
+  let env, _t = mk () in
+  let pid =
+    Pitree_txn.Atomic_action.run (Env.txns env) (fun txn ->
+        let fr = Env.alloc_page env txn ~kind:Page.Data ~level:0 in
+        let pid = Page.id fr.Bp.page in
+        Latch.acquire fr.Bp.latch Latch.X;
+        Env.dealloc_page env txn fr;
+        Latch.release fr.Bp.latch Latch.X;
+        Bp.unpin (Env.pool env) fr;
+        pid)
+  in
+  let fr = Bp.pin (Env.pool env) pid in
+  Alcotest.(check bool) "kind reads Free" true (Page.kind fr.Bp.page = Page.Free);
+  (match Olc.live fr.Bp.page with
+  | () -> Alcotest.fail "Olc.live accepted a free page"
+  | exception Olc.Restart -> ());
+  Alcotest.(check bool) "Restart is transient" true (Olc.transient Olc.Restart);
+  Bp.unpin (Env.pool env) fr
+
+let test_free_under_latchfree_scan () =
+  (* Consolidations free leaves onto the env free list while other
+     threads run latch-free scans and finds over the same tree: every
+     descent that steps onto a freed page must restart (or fall back),
+     never crash a reader or return garbage. *)
+  let env, t = mk () in
+  let n = 400 in
+  for i = 0 to n - 1 do
+    Blink.insert t ~key:(key i) ~value:(value i)
+  done;
+  ignore (Env.drain env);
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let reader () =
+    try
+      while not (Atomic.get stop) do
+        ignore (Blink.range t ?low:None ?high:None ~init:0 ~f:(fun a _ _ -> a + 1));
+        for i = 0 to 20 do
+          ignore (Blink.find t (key (i * 17 mod n)))
+        done
+      done
+    with _ -> Atomic.incr failures
+  in
+  let readers = List.init 3 (fun _ -> Thread.create reader ()) in
+  (* Keep a survivor prefix; deleting the rest drains leaves below the
+     consolidation threshold, and the auto-drained merges free them. *)
+  for i = 20 to n - 1 do
+    ignore (Blink.delete t (key i))
+  done;
+  ignore (Env.drain env);
+  Atomic.set stop true;
+  List.iter Thread.join readers;
+  Alcotest.(check int) "no reader died" 0 (Atomic.get failures);
+  Alcotest.(check bool) "leaves were freed under the scan storm" true
+    ((Env.stats env).Env.pages_freed > 0);
+  check_wf t;
+  for i = 0 to 19 do
+    Alcotest.(check (option string)) (key i) (Some (value i)) (Blink.find t (key i))
+  done
+
 let test_olc_scan_wider_than_pool () =
   (* An optimistic scan pins every leaf it visits until its final
      validation pass, so a scan wider than the pool must exhaust it,
@@ -272,9 +339,9 @@ let test_find_locked_repeatable () =
   Blink.insert t ~key:"a" ~value:"1";
   let mgr = Env.txns env in
   let txn = Pitree_txn.Txn_mgr.begin_txn mgr Pitree_txn.Txn.User in
-  Alcotest.(check (option string)) "read" (Some "1") (Blink.find_locked ~txn t "a");
+  Alcotest.(check (option string)) "read" (Some "1") (Blink.find ~txn t "a");
   (* S lock held: a concurrent writer would block; same-txn re-read works. *)
-  Alcotest.(check (option string)) "re-read" (Some "1") (Blink.find_locked ~txn t "a");
+  Alcotest.(check (option string)) "re-read" (Some "1") (Blink.find ~txn t "a");
   Pitree_txn.Txn_mgr.commit mgr txn
 
 let test_open_existing () =
@@ -377,7 +444,7 @@ let suites =
         Alcotest.test_case "commit" `Quick test_explicit_txn_commit;
         Alcotest.test_case "abort" `Quick test_explicit_txn_abort;
         Alcotest.test_case "abort with splits" `Quick test_txn_abort_with_split;
-        Alcotest.test_case "find_locked" `Quick test_find_locked_repeatable;
+        Alcotest.test_case "find ~txn" `Quick test_find_locked_repeatable;
         Alcotest.test_case "page-oriented undo mode" `Quick
           test_page_oriented_undo_mode;
       ] );
@@ -385,6 +452,10 @@ let suites =
       [
         Alcotest.test_case "lazy posting via search" `Quick
           test_lazy_posting_via_search;
+        Alcotest.test_case "olc free-page whitelist" `Quick
+          test_olc_free_whitelist;
+        Alcotest.test_case "free leaf under latch-free scan" `Quick
+          test_free_under_latchfree_scan;
         Alcotest.test_case "olc scan wider than pool" `Quick
           test_olc_scan_wider_than_pool;
         QCheck_alcotest.to_alcotest prop_tree_matches_model;

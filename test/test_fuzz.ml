@@ -157,6 +157,86 @@ let test_differential_fuzz () =
   ignore (Env.drain env);
   final_check !trees models
 
+(* Merge-heavy round: saturate all three engines, then alternate waves of
+   contiguous deletes — emptying whole leaves, so consolidation, index-term
+   removal and free-list pushes run constantly — with re-insert waves that
+   pull pages back off the free list, crashing mid-stream. Each engine must
+   recover every committed survivor and stay well-formed while pages cycle
+   through the free list; tsb additionally runs gc pulses so history drains
+   and empty-leaf merges happen between waves. *)
+let test_merge_heavy_fuzz () =
+  let name = "fuzz.merge_heavy" in
+  let seed = Seeds.derive name in
+  Seeds.guard name @@ fun () ->
+  let rng = Rng.create seed in
+  let env = Env.create cfg in
+  Fun.protect ~finally:(fun () -> try Env.close env with _ -> ())
+  @@ fun () ->
+  let trees =
+    ref
+      {
+        blink = Blink.create env ~name:"fb";
+        tsb = Tsb.create env ~name:"ft";
+        hb = Hb.create env ~name:"fh" ~dims:2;
+      }
+  in
+  let models = Array.init 3 (fun _ -> Hashtbl.create 256) in
+  let put engine i v =
+    let k = key i in
+    (match engine with
+    | 0 -> Blink.insert !trees.blink ~key:k ~value:v
+    | 1 -> ignore (Tsb.put !trees.tsb ~key:k ~value:v)
+    | _ -> Hb.insert !trees.hb ~point:(point i) ~value:v);
+    Hashtbl.replace models.(engine) k v
+  in
+  let del engine i =
+    let k = key i in
+    (match engine with
+    | 0 -> ignore (Blink.delete !trees.blink k : bool)
+    | 1 -> ignore (Tsb.remove !trees.tsb k)
+    | _ -> ignore (Hb.delete !trees.hb (point i) : bool));
+    Hashtbl.remove models.(engine) k
+  in
+  (* dense preload so band deletes hit populated leaves *)
+  for engine = 0 to 2 do
+    for i = 0 to 119 do
+      put engine i (Printf.sprintf "seed%d.%d" engine i)
+    done
+  done;
+  for wave = 1 to 8 do
+    (* a contiguous band of deletes empties whole leaves in every engine *)
+    let b = Rng.int rng 90 in
+    for engine = 0 to 2 do
+      for i = b to b + 29 do
+        del engine i
+      done
+    done;
+    (* tsb: expire everything and collect — drains history chains and
+       merges the leaves the band just emptied *)
+    Tsb.set_horizon !trees.tsb (Tsb.now !trees.tsb);
+    ignore (Tsb.gc !trees.tsb : int);
+    (* re-inserts pull freed pages back into service *)
+    for _ = 1 to 25 do
+      let engine = Rng.int rng 3 in
+      let i = Rng.int rng 120 in
+      put engine i (Printf.sprintf "w%d.%s" wave (String.make (Rng.int rng 40) 'z'))
+    done;
+    if wave = 4 then begin
+      ignore (Env.drain env);
+      Env.crash env;
+      ignore (Env.recover env);
+      trees := attach_all env;
+      (* everything that committed before the crash must have survived *)
+      final_check !trees models
+    end
+  done;
+  ignore (Env.drain env);
+  final_check !trees models;
+  (* the churn must really have cycled pages through the free list *)
+  let s = Env.stats env in
+  if s.Env.pages_freed = 0 then Alcotest.fail "no pages were freed";
+  if s.Env.pages_reused = 0 then Alcotest.fail "no freed pages were re-used"
+
 (* Regression: a version too large for its tsb node used to send
    [split_current] into a restart loop (each futile time split leaking a
    history node) before dying with "too many restarts". It must now fail
@@ -186,6 +266,8 @@ let suites =
       [
         Alcotest.test_case "differential (blink+tsb+hb, crash mid-stream)"
           `Slow test_differential_fuzz;
+        Alcotest.test_case "merge-heavy (band deletes, gc, crash mid-stream)"
+          `Slow test_merge_heavy_fuzz;
         Alcotest.test_case "tsb oversized record fails fast" `Quick
           test_tsb_oversized_record_fails_fast;
       ] );

@@ -256,6 +256,25 @@ let test_pool_flush_all_persists () =
   Alcotest.(check string) "survived crash" "durable" (Page.get fr.Buffer_pool.page 0);
   Buffer_pool.unpin pool2 fr
 
+let test_pool_crash_flush_ignores_latches () =
+  (* The chaos harness tears dirty pages on the way down from workloads
+     that crashed mid-atomic-action, with page X latches still held —
+     flush_all would self-deadlock on them (single thread, latched
+     flush). crash_flush must dump the dirty frames regardless. *)
+  let disk, pool = mk_pool ~capacity:8 () in
+  ignore (write_page pool 2 "torn-candidate");
+  let fr = Buffer_pool.pin pool 2 in
+  Latch.acquire fr.Buffer_pool.latch Latch.X;
+  Buffer_pool.crash_flush pool;
+  Latch.release fr.Buffer_pool.latch Latch.X;
+  Buffer_pool.unpin pool fr;
+  Buffer_pool.crash pool;
+  let pool2 = Buffer_pool.create ~capacity:8 ~disk ~wal_flush:(fun _ -> ()) () in
+  let fr = Buffer_pool.pin pool2 2 in
+  Alcotest.(check string) "X-latched dirty page reached disk" "torn-candidate"
+    (Page.get fr.Buffer_pool.page 0);
+  Buffer_pool.unpin pool2 fr
+
 (* ---- sharded pool: eviction policy, WAL ordering, concurrency ---- *)
 
 let stamp_disk_pages disk ~n =
@@ -527,6 +546,8 @@ let suites =
         Alcotest.test_case "wal barrier" `Quick test_pool_wal_barrier;
         Alcotest.test_case "crash loses unflushed" `Quick test_pool_crash_loses_unflushed;
         Alcotest.test_case "flush_all persists" `Quick test_pool_flush_all_persists;
+        Alcotest.test_case "crash_flush ignores held latches" `Quick
+          test_pool_crash_flush_ignores_latches;
         Alcotest.test_case "evict: WAL before data" `Quick
           test_pool_evict_wal_before_data;
         Alcotest.test_case "evict: never pinned" `Quick

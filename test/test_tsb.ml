@@ -215,6 +215,128 @@ let test_crash_recovery () =
   List.iter (fun (_, old, _) -> assert (ts > old)) !stamps;
   Alcotest.(check (option string)) "writes continue" (Some "fresh") (Tsb.get t "key00")
 
+let test_gc_drains_history () =
+  (* Build history via time splits, then raise the horizon to "now" and gc:
+     every chain tail is fully expired, so the chains are cut and their
+     nodes go back to the environment free list; surviving (current) reads
+     are unchanged. *)
+  let env, t = mk () in
+  for round = 1 to 120 do
+    List.iter
+      (fun k -> ignore (Tsb.put t ~key:k ~value:(Printf.sprintf "%s-%d" k round)))
+      [ "a"; "b"; "c"; "d" ]
+  done;
+  ignore (Env.drain env);
+  let s0 = Tsb.stats t in
+  Alcotest.(check bool) "history built" true (s0.Tsb.history_nodes > 0);
+  Tsb.set_horizon t (Tsb.now t);
+  let freed = Tsb.gc t in
+  check_wf t;
+  Alcotest.(check bool)
+    (Printf.sprintf "chain tails freed (%d)" freed)
+    true (freed > 0);
+  let s = Tsb.stats t in
+  Alcotest.(check bool) "drain counted" true (s.Tsb.history_nodes_freed > 0);
+  Alcotest.(check bool) "free list populated" true (Env.free_list_length env > 0);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        ("current " ^ k)
+        (Some (Printf.sprintf "%s-120" k))
+        (Tsb.get t k))
+    [ "a"; "b"; "c"; "d" ];
+  (* Freed pages are really reused by the next allocations. *)
+  let reused0 = (Env.stats env).Env.pages_reused in
+  for round = 1 to 120 do
+    List.iter
+      (fun k -> ignore (Tsb.put t ~key:k ~value:(Printf.sprintf "%s-bis-%d" k round)))
+      [ "a"; "b"; "c"; "d" ]
+  done;
+  Alcotest.(check bool) "free list reused" true
+    ((Env.stats env).Env.pages_reused > reused0)
+
+let test_gc_purges_and_merges () =
+  (* Delete a whole key range, then gc with horizon = now: the tombstone
+     runs purge, emptied leaves merge into their left siblings, and the
+     merged pages are freed. *)
+  let env, t = mk () in
+  let n = 400 in
+  for i = 0 to n - 1 do
+    ignore (Tsb.put t ~key:(Printf.sprintf "key%04d" i) ~value:(String.make 40 'v'))
+  done;
+  ignore (Env.drain env);
+  (* Tombstone everything except a survivor prefix. *)
+  for i = 40 to n - 1 do
+    ignore (Tsb.remove t (Printf.sprintf "key%04d" i))
+  done;
+  ignore (Env.drain env);
+  Tsb.set_horizon t (Tsb.now t);
+  let freed = Tsb.gc t in
+  check_wf t;
+  let s = Tsb.stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "purged tombstone runs (%d)" s.Tsb.tombstones_purged)
+    true
+    (s.Tsb.tombstones_purged > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "emptied leaves merged (%d merges, %d freed)" s.Tsb.merges freed)
+    true (s.Tsb.merges > 0);
+  (* Deleted keys read as absent at every surviving time; survivors live. *)
+  for i = 0 to 39 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "survivor %d" i)
+      (Some (String.make 40 'v'))
+      (Tsb.get t (Printf.sprintf "key%04d" i))
+  done;
+  for i = 40 to n - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "gone %d" i)
+      None
+      (Tsb.get t (Printf.sprintf "key%04d" i))
+  done;
+  (* Writes after gc still work and split normally. *)
+  for i = 0 to 99 do
+    ignore (Tsb.put t ~key:(Printf.sprintf "new%04d" i) ~value:"fresh")
+  done;
+  ignore (Env.drain env);
+  check_wf t
+
+let test_gc_crash_recovery () =
+  (* Crash right after gc and recover: the cut chains, purged runs and
+     merged leaves must all replay to a well-formed tree. *)
+  let env, t = mk () in
+  for round = 1 to 60 do
+    for i = 0 to 11 do
+      ignore (Tsb.put t ~key:(Printf.sprintf "key%02d" i) ~value:(Printf.sprintf "r%d" round))
+    done
+  done;
+  for i = 6 to 11 do
+    ignore (Tsb.remove t (Printf.sprintf "key%02d" i))
+  done;
+  ignore (Env.drain env);
+  Tsb.set_horizon t (Tsb.now t);
+  ignore (Tsb.gc t : int);
+  Env.crash env;
+  ignore (Env.recover env);
+  let t =
+    match Tsb.open_existing env ~name:"v" with
+    | Some t -> t
+    | None -> Alcotest.fail "tsb tree lost"
+  in
+  check_wf t;
+  for i = 0 to 5 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "survivor %d" i)
+      (Some "r60")
+      (Tsb.get t (Printf.sprintf "key%02d" i))
+  done;
+  for i = 6 to 11 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "gone %d" i)
+      None
+      (Tsb.get t (Printf.sprintf "key%02d" i))
+  done
+
 let test_txn_abort_discards_version () =
   let env, t = mk () in
   ignore (Tsb.put t ~key:"k" ~value:"keep");
@@ -252,6 +374,13 @@ let suites =
       [
         Alcotest.test_case "snapshot scan" `Quick test_snapshot_scan;
         Alcotest.test_case "range bounds" `Quick test_range_asof_bounds;
+      ] );
+    ( "tsb.gc",
+      [
+        Alcotest.test_case "horizon gc drains history" `Quick test_gc_drains_history;
+        Alcotest.test_case "gc purges tombstones and merges leaves" `Quick
+          test_gc_purges_and_merges;
+        Alcotest.test_case "gc then crash recovers" `Quick test_gc_crash_recovery;
       ] );
     ( "tsb.recovery",
       [
