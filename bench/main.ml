@@ -29,6 +29,12 @@ module Combine = Pitree_combine.Combine
 module Page = Pitree_storage.Page
 module Disk = Pitree_storage.Disk
 module Buffer_pool = Pitree_storage.Buffer_pool
+module Engine = Pitree_core.Engine
+module Blink_engine = Pitree_blink.Blink_engine
+module Tsb_engine = Pitree_tsb.Tsb_engine
+module Mvcc = Pitree_txn.Mvcc
+module Lock_manager = Pitree_lock.Lock_manager
+module Clock = Pitree_sync.Clock
 
 let mk_env ?(page_size = 1024) ?(pool = 32768) ?(page_oriented_undo = false)
     ?(consolidation = true) ?log_path ?(wal_group_commit = true)
@@ -1684,6 +1690,261 @@ let combine_smoke () =
     ~window_us:1_000 ~slots:4 ~gates:(1.2, 1.2, 1.2) ~out:"BENCH_combine.json"
     ()
 
+(* ------------------------------------------------------------------ *)
+(* E22 / mvcc: snapshot-isolation read storm. Readers run point reads
+   inside transactions while writers storm the same key space. "locked"
+   is the B-link engine's locked-read path (record S locks under the
+   no-wait rule); "si" is the TSB engine under [si_txns], where every
+   read is an as-of read against the version store. Gated: a quiescent
+   SI read phase must make zero lock-manager calls and suffer zero
+   latch contention, and all its reads must be served as snapshot
+   reads. Emits BENCH_mvcc.json.                                       *)
+(* ------------------------------------------------------------------ *)
+
+type mvcc_run = {
+  v_mode : string;  (* "locked" | "si" *)
+  v_reads : int;
+  v_read_p50 : int;
+  v_read_p99 : int;
+  v_reads_per_s : float;
+  v_write_commits : int;
+  v_conflicts : int;
+  v_lock_acq : int;
+  v_lock_waits : int;
+}
+
+type mvcc_gate = {
+  g_reads : int;
+  g_lock_calls : int;
+  g_lock_waits : int;
+  g_latch_contended : int;
+  g_si_reads : int;
+}
+
+let pct_of samples p =
+  let n = Array.length samples in
+  if n = 0 then 0
+  else begin
+    Array.sort compare samples;
+    samples.(min (n - 1) (int_of_float (float_of_int n *. p)))
+  end
+
+let mvcc_storm ~si ~keys ~reader_domains ~writer_domains ~read_txns
+    ~reads_per_txn ~writes_per_txn =
+  let env =
+    Env.create
+      {
+        Env.default_config with
+        page_size = 1024;
+        pool_capacity = 32768;
+        si_txns = si;
+        consolidation = false;
+      }
+  in
+  let key i = Printf.sprintf "key%06d" i in
+  let mgr = Env.txns env in
+  let inst =
+    if si then Tsb_engine.inst (Tsb.create env ~name:"bench")
+    else Blink_engine.inst (Blink.create env ~name:"bench")
+  in
+  for i = 0 to keys - 1 do
+    Engine.insert inst ~key:(key i) ~value:(String.make 16 'v')
+  done;
+  ignore (Env.drain env);
+  let begin_txn () =
+    if si then Mvcc.begin_snapshot mgr else Txn_mgr.begin_txn mgr Txn.User
+  in
+  let commit txn =
+    if si then ignore (Mvcc.commit mgr txn : int option)
+    else Txn_mgr.commit mgr txn
+  in
+  let stop = Atomic.make false in
+  let writer d =
+    let rng = Rng.create (Int64.of_int (1000 + d)) in
+    let commits = ref 0 and conflicts = ref 0 in
+    while not (Atomic.get stop) do
+      let txn = begin_txn () in
+      try
+        for _ = 1 to writes_per_txn do
+          Engine.insert ~txn inst ~key:(key (Rng.int rng keys))
+            ~value:(Printf.sprintf "w%d" d)
+        done;
+        commit txn;
+        incr commits
+      with Mvcc.Write_conflict _ -> incr conflicts
+    done;
+    (!commits, !conflicts)
+  in
+  let reader d =
+    let rng = Rng.create (Int64.of_int (1 + d)) in
+    let samples = Array.make (read_txns * reads_per_txn) 0 in
+    let i = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to read_txns do
+      let txn = begin_txn () in
+      for _ = 1 to reads_per_txn do
+        let k = key (Rng.int rng keys) in
+        let s = Clock.now_ns () in
+        ignore (Engine.find ~txn inst k : string option);
+        samples.(!i) <- Clock.now_ns () - s;
+        incr i
+      done;
+      commit txn
+    done;
+    (samples, Unix.gettimeofday () -. t0)
+  in
+  let l0 = Lock_manager.stats (Env.locks env) in
+  let ws = List.init writer_domains (fun d -> Domain.spawn (fun () -> writer d)) in
+  let rs = List.init reader_domains (fun d -> Domain.spawn (fun () -> reader d)) in
+  let reader_results = List.map Domain.join rs in
+  Atomic.set stop true;
+  let writer_results = List.map Domain.join ws in
+  let l1 = Lock_manager.stats (Env.locks env) in
+  ignore (Env.drain env);
+  let samples = Array.concat (List.map fst reader_results) in
+  let elapsed = List.fold_left (fun a (_, s) -> Float.max a s) 0.0 reader_results in
+  let commits = List.fold_left (fun a (c, _) -> a + c) 0 writer_results in
+  let conflicts = List.fold_left (fun a (_, c) -> a + c) 0 writer_results in
+  let run =
+    {
+      v_mode = (if si then "si" else "locked");
+      v_reads = Array.length samples;
+      v_read_p50 = pct_of samples 0.50;
+      v_read_p99 = pct_of samples 0.99;
+      v_reads_per_s =
+        (if elapsed > 0.0 then float_of_int (Array.length samples) /. elapsed
+         else 0.0);
+      v_write_commits = commits;
+      v_conflicts = conflicts;
+      v_lock_acq = l1.Lock_manager.acquisitions - l0.Lock_manager.acquisitions;
+      v_lock_waits = l1.Lock_manager.waits - l0.Lock_manager.waits;
+    }
+  in
+  (* Quiescent gate phase: with the writers gone, a pure SI read txn must
+     touch neither the lock manager nor a contended latch, and every read
+     must be served from the snapshot. *)
+  let gate =
+    if not si then None
+    else begin
+      let l0 = Lock_manager.stats (Env.locks env) in
+      let a0 = Latch.global_stats () in
+      let m0 = Mvcc.stats () in
+      let rng = Rng.create 99L in
+      let n = 2_000 in
+      let txn = Mvcc.begin_snapshot mgr in
+      for _ = 1 to n do
+        ignore (Engine.find ~txn inst (key (Rng.int rng keys)) : string option)
+      done;
+      ignore (Mvcc.commit mgr txn : int option);
+      let l1 = Lock_manager.stats (Env.locks env) in
+      let a1 = Latch.global_stats () in
+      let d = Mvcc.sub_stats (Mvcc.stats ()) m0 in
+      Some
+        {
+          g_reads = n;
+          g_lock_calls = l1.Lock_manager.acquisitions - l0.Lock_manager.acquisitions;
+          g_lock_waits = l1.Lock_manager.waits - l0.Lock_manager.waits;
+          g_latch_contended = a1.Latch.contended - a0.Latch.contended;
+          g_si_reads = d.Mvcc.si_reads;
+        }
+    end
+  in
+  (run, gate)
+
+let mvcc_json ~keys ~reader_domains ~writer_domains ~runs ~gate ~passed =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"mvcc\",\n";
+  Printf.bprintf b
+    "  \"keys\": %d, \"reader_domains\": %d, \"writer_domains\": %d,\n" keys
+    reader_domains writer_domains;
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      let denom = r.v_write_commits + r.v_conflicts in
+      Printf.bprintf b
+        "    {\"mode\": %S, \"reads\": %d, \"reads_per_s\": %.1f, \"p50_ns\": \
+         %d, \"p99_ns\": %d, \"write_commits\": %d, \"aborts\": %d, \
+         \"conflict_rate\": %.4f, \"lock_acquisitions\": %d, \"lock_waits\": \
+         %d}%s\n"
+        r.v_mode r.v_reads r.v_reads_per_s r.v_read_p50 r.v_read_p99
+        r.v_write_commits r.v_conflicts
+        (if denom = 0 then 0.0
+         else float_of_int r.v_conflicts /. float_of_int denom)
+        r.v_lock_acq r.v_lock_waits
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string b "  ],\n";
+  (match gate with
+  | Some g ->
+      Printf.bprintf b
+        "  \"gates\": {\"quiescent_si_reads\": %d, \"lock_calls\": %d, \
+         \"lock_waits\": %d, \"latch_contended\": %d, \"si_reads_served\": \
+         %d, \"passed\": %b}\n"
+        g.g_reads g.g_lock_calls g.g_lock_waits g.g_latch_contended
+        g.g_si_reads passed
+  | None -> Printf.bprintf b "  \"gates\": {\"passed\": %b}\n" passed);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let mvcc_impl ~keys ~reader_domains ~writer_domains ~read_txns ~reads_per_txn
+    ~writes_per_txn ~out () =
+  let locked, _ =
+    mvcc_storm ~si:false ~keys ~reader_domains ~writer_domains ~read_txns
+      ~reads_per_txn ~writes_per_txn
+  in
+  let si, gate =
+    mvcc_storm ~si:true ~keys ~reader_domains ~writer_domains ~read_txns
+      ~reads_per_txn ~writes_per_txn
+  in
+  let runs = [ locked; si ] in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "MVCC read storm: %d readers x %d txns x %d reads vs %d writers \
+          (%d keys)"
+         reader_domains read_txns reads_per_txn writer_domains keys)
+    ~header:
+      [ "mode"; "reads/s"; "p50 ns"; "p99 ns"; "write commits"; "aborts";
+        "lock acq"; "lock waits" ]
+    (List.map
+       (fun r ->
+         [
+           r.v_mode;
+           fmt_ops r.v_reads_per_s;
+           string_of_int r.v_read_p50;
+           string_of_int r.v_read_p99;
+           string_of_int r.v_write_commits;
+           string_of_int r.v_conflicts;
+           string_of_int r.v_lock_acq;
+           string_of_int r.v_lock_waits;
+         ])
+       runs);
+  let g = Option.get gate in
+  let passed =
+    g.g_lock_calls = 0 && g.g_lock_waits = 0 && g.g_latch_contended = 0
+    && g.g_si_reads >= g.g_reads
+  in
+  Printf.printf
+    "gate: quiescent SI phase made %d lock calls / %d waits / %d contended \
+     latches over %d reads (%d served as snapshot reads) -> %s\n%!"
+    g.g_lock_calls g.g_lock_waits g.g_latch_contended g.g_reads g.g_si_reads
+    (if passed then "PASS" else "FAIL");
+  let oc = open_out out in
+  output_string oc
+    (mvcc_json ~keys ~reader_domains ~writer_domains ~runs ~gate ~passed);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if not passed then exit 1
+
+let mvcc_bench () =
+  mvcc_impl ~keys:20_000 ~reader_domains:4 ~writer_domains:2 ~read_txns:400
+    ~reads_per_txn:16 ~writes_per_txn:4 ~out:"BENCH_mvcc.json" ()
+
+let mvcc_smoke () =
+  mvcc_impl ~keys:2_000 ~reader_domains:2 ~writer_domains:1 ~read_txns:100
+    ~reads_per_txn:8 ~writes_per_txn:4 ~out:"BENCH_mvcc.json" ()
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1696,13 +1957,14 @@ let experiments =
     ("churn", churn); ("churn-smoke", churn_smoke);
     ("olc", olc); ("olc-smoke", olc_smoke);
     ("combine", combine_bench); ("combine-smoke", combine_smoke);
+    ("mvcc", mvcc_bench); ("mvcc-smoke", mvcc_smoke);
     ("micro", micro);
   ]
 
 (* smoke variants would overwrite the full runs' JSON artifacts *)
 let smoke_variants =
   [ "wal-smoke"; "pool-smoke"; "ckpt-smoke"; "endure-smoke"; "olc-smoke";
-    "combine-smoke"; "churn-smoke" ]
+    "combine-smoke"; "churn-smoke"; "mvcc-smoke" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1711,8 +1973,8 @@ let () =
       print_endline
         "usage: bench/main.exe [e1 .. e14 | wal | wal-smoke | pool | \
          pool-smoke | ckpt | ckpt-smoke | endure | endure-smoke | olc | \
-         olc-smoke | combine | combine-smoke | churn | churn-smoke | micro | \
-         all]";
+         olc-smoke | combine | combine-smoke | churn | churn-smoke | mvcc | \
+         mvcc-smoke | micro | all]";
       List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
   | [] | [ "all" ] ->
       List.iter

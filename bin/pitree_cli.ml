@@ -333,27 +333,37 @@ let persist_cmd =
 (* --- sim --- *)
 
 let sim engine threads ops keys preload seed walks systematic depth preemptions
-    max_schedules consolidation no_olc combine no_combine del_heavy bug
+    max_schedules consolidation no_olc combine no_combine del_heavy si bug
     expect_bug replay_s quiet =
   let module Scenario = Pitree_sim.Scenario in
   let module Sim = Pitree_sim.Sim in
+  let module Mvcc = Pitree_txn.Mvcc in
+  (* SI protocol bugs select the snapshot-isolation scenario (and with it
+     the TSB engine); structure bugs stay on the blink injection arm. *)
+  let mvcc_bug, bug =
+    match Mvcc.Testing.of_name bug with
+    | Some b -> (b, Blink.Testing.No_bug)
+    | None -> (
+        ( Mvcc.Testing.No_bug,
+          match bug with
+          | "none" -> Blink.Testing.No_bug
+          | "early-unlatch" -> Blink.Testing.Early_unlatch_split
+          | "early-unlatch-merge" -> Blink.Testing.Early_unlatch_merge
+          | "bad-post-sep" -> Blink.Testing.Bad_post_sep
+          | "no-version-bump" -> Blink.Testing.No_version_bump
+          | "ack-before-durable" -> Blink.Testing.Ack_before_durable
+          | _ ->
+              failwith
+                "unknown bug \
+                 (none|early-unlatch|early-unlatch-merge|bad-post-sep|no-version-bump|ack-before-durable|stale-snapshot-read|lost-first-committer)"
+        ))
+  in
+  let si = si || mvcc_bug <> Mvcc.Testing.No_bug in
+  let engine = if si then "tsb" else engine in
   let engine =
     match Scenario.engine_of_string engine with
     | Some e -> e
     | None -> failwith "unknown engine (blink|tsb|hb)"
-  in
-  let bug =
-    match bug with
-    | "none" -> Blink.Testing.No_bug
-    | "early-unlatch" -> Blink.Testing.Early_unlatch_split
-    | "early-unlatch-merge" -> Blink.Testing.Early_unlatch_merge
-    | "bad-post-sep" -> Blink.Testing.Bad_post_sep
-    | "no-version-bump" -> Blink.Testing.No_version_bump
-    | "ack-before-durable" -> Blink.Testing.Ack_before_durable
-    | _ ->
-        failwith
-          "unknown bug \
-           (none|early-unlatch|early-unlatch-merge|bad-post-sep|no-version-bump|ack-before-durable)"
   in
   (* [No_version_bump] only misbehaves where a stale node can be acted
      on, i.e. under CP de-allocation: force consolidation on — as does
@@ -382,6 +392,8 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       combine;
       del_heavy;
       bug;
+      si;
+      mvcc_bug;
     }
   in
   let say fmt =
@@ -401,6 +413,11 @@ let sim engine threads ops keys preload seed walks systematic depth preemptions
       ^ (if no_olc then "--no-olc " else "")
       ^ (if combine then "--combine " else "")
       ^ (if del_heavy then "--del-heavy " else "")
+      ^ (if si && mvcc_bug = Mvcc.Testing.No_bug then "--si " else "")
+      ^ (match mvcc_bug with
+        | Mvcc.Testing.No_bug -> ""
+        | Mvcc.Testing.Stale_snapshot_read -> "--bug stale-snapshot-read "
+        | Mvcc.Testing.Lost_first_committer -> "--bug lost-first-committer ")
       ^
       match bug with
       | Blink.Testing.No_bug -> ""
@@ -518,13 +535,22 @@ let sim_del_heavy_arg =
                consolidation threshold and merge/free actions run \
                mid-schedule (pair with --consolidation).")
 
+let sim_si_arg =
+  Arg.(value & flag & info [ "si" ]
+         ~doc:"Run snapshot-isolation transactions (TSB engine forced): \
+               each fiber executes a sequence of SI transactions judged \
+               by the SI oracle (consistent-cut reads, \
+               first-committer-wins) instead of single linearizable ops.")
+
 let sim_bug_arg =
   Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG"
          ~doc:"Inject a protocol bug: none, early-unlatch, \
                early-unlatch-merge, bad-post-sep, no-version-bump or \
                ack-before-durable (blink only; no-version-bump and \
                early-unlatch-merge imply --consolidation, \
-               ack-before-durable implies --combine).")
+               ack-before-durable implies --combine), or an SI protocol \
+               bug: stale-snapshot-read or lost-first-committer (imply \
+               --si).")
 
 let sim_expect_bug_arg =
   Arg.(value & flag & info [ "expect-bug" ]
@@ -551,7 +577,7 @@ let sim_cmd =
       $ sim_preload_arg $ sim_seed_arg $ sim_walks_arg $ sim_systematic_arg
       $ sim_depth_arg $ sim_preemptions_arg $ sim_max_schedules_arg
       $ sim_consolidation_arg $ sim_no_olc_arg $ sim_combine_arg
-      $ sim_no_combine_arg $ sim_del_heavy_arg $ sim_bug_arg
+      $ sim_no_combine_arg $ sim_del_heavy_arg $ sim_si_arg $ sim_bug_arg
       $ sim_expect_bug_arg $ sim_replay_arg $ sim_quiet_arg)
 
 (* --- endure --- *)

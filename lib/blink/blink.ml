@@ -475,6 +475,10 @@ let olc_eval ~key fr =
      (free-listed pages keep their latch and version word): explicitly a
      transient state — restart, don't decode free-list bytes as a node. *)
   Olc.live p;
+  (* The routing reads below parse unvalidated bytes; [Olc.decoding]
+     turns a decode blow-up on a torn snapshot into a restart while
+     letting the same failure on stable bytes escape as a real bug. *)
+  Olc.decoding fr v @@ fun () ->
   if not (Node.contains p key) then begin
     (* Capture everything the side chase will act on (the root's level
        can change in place) BEFORE the validation that proves the reads
@@ -1387,9 +1391,10 @@ let find_olc t key =
   match
     let p = page fr in
     let r =
-      match Node.find p key with
-      | `Found i -> Some (snd (Node.record p i))
-      | `Not_found _ -> None
+      Olc.decoding fr v (fun () ->
+          match Node.find p key with
+          | `Found i -> Some (snd (Node.record p i))
+          | `Not_found _ -> None)
     in
     (* The record bytes were copied out above; prove they were not torn
        before anyone sees them. *)
@@ -1539,7 +1544,7 @@ let range_olc t ~start ~high ~init ~f =
     match
       let fr0, _ = olc_step t ~key:start (pin_root t) in
       let rec leaves fr pos batches =
-        ignore (snapshot_into_chain fr : int);
+        let v = snapshot_into_chain fr in
         let p = page fr in
         (* The descent (or the previous leaf's side pointer) proved [fr]
            was the right leaf THEN; re-prove it under this snapshot — in
@@ -1548,15 +1553,24 @@ let range_olc t ~start ~high ~init ~f =
            final chain pass would catch a stale read anyway; failing
            here is just cheaper than scanning garbage. *)
         Olc.live p;
-        if Page.level p <> 0 || not (Node.contains p pos) then
-          raise Olc.Restart;
-        let batches = collect_batch ~start:pos ~beyond p :: batches in
-        match (Node.fence p).Node.high with
+        (* Decode region for THIS leaf only (the recursion happens outside
+           it so a deeper failure is judged against its own frame). *)
+        let batches, next =
+          Olc.decoding fr v (fun () ->
+              if Page.level p <> 0 || not (Node.contains p pos) then
+                raise Olc.Restart;
+              let batches = collect_batch ~start:pos ~beyond p :: batches in
+              match (Node.fence p).Node.high with
+              | None -> (batches, None)
+              | Some h when beyond h || Page.side_ptr p = Page.nil ->
+                  (batches, None)
+              | Some h -> (batches, Some (Page.side_ptr p, h)))
+        in
+        match next with
         | None -> batches
-        | Some h when beyond h || Page.side_ptr p = Page.nil -> batches
-        | Some h ->
+        | Some (sib, h) ->
             bump t.c.c_side_traversals;
-            leaves (pin t (Page.side_ptr p)) h batches
+            leaves (pin t sib) h batches
       in
       let batches = leaves fr0 start [] in
       List.iter (fun (fr, v) -> olc_validate fr v) !chain;

@@ -11,6 +11,7 @@ module Recovery = Pitree_wal.Recovery
 module Lock_manager = Pitree_lock.Lock_manager
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
+module Snapshot = Pitree_txn.Snapshot
 module Atomic_action = Pitree_txn.Atomic_action
 module Codec = Pitree_util.Codec
 module Crash_point = Pitree_util.Crash_point
@@ -39,6 +40,12 @@ type config = {
   combine_window_us : int;
       (* how long a hot slot's leader holds the election open so the
          storm can pile into its batch; 0 applies immediately *)
+  si_txns : bool;
+      (* snapshot-isolation MVCC: version timestamps come from the
+         Txn_mgr's commit-ts allocator (so SI snapshots are consistent
+         cuts) and the TSB gc horizon is clamped to
+         min(oldest live snapshot - 1, checkpoint watermark);
+         false keeps per-tree clocks and unclamped gc *)
 }
 
 let default_config =
@@ -58,6 +65,7 @@ let default_config =
     combine = true;
     combine_slots = 64;
     combine_window_us = 0;
+    si_txns = false;
   }
 
 type stats = {
@@ -197,6 +205,11 @@ let checkpoint ?(mode = `Sharp) t =
         List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) begin_lsn dpt
       in
       Log_manager.set_checkpoint log ~lsn:end_lsn ~redo;
+      (* Snapshot-isolation GC floor: versions committed at or below the
+         allocator watermark as of this (now published) checkpoint become
+         eligible for retirement, subject to live snapshots
+         (Snapshot.gc_cap). *)
+      Snapshot.note_checkpoint (Txn_mgr.snapshots t.txns_v);
       (* Everything below the redo floor AND below the oldest live
          transaction's Begin can never be read again. *)
       let keep_from =
@@ -543,6 +556,11 @@ let recover t =
   wire_triggers t;
   t.crashed <- false;
   let report = Recovery.run ~log:!(t.log_ref) ~pool:t.pool_v in
+  (* Seed the reborn commit-ts allocator past every pre-crash timestamp
+     the log knows about; trees raise it further from their recovered
+     clocks when re-attached. Pre-crash snapshots hold the old allocator
+     and abort with Stale_snapshot on next use. *)
+  Snapshot.observe_floor (Txn_mgr.snapshots t.txns_v) report.Recovery.max_commit_ts;
   (* The reopened log's [bytes] counter restarts at zero; rebase the
      log-growth watermark on it or the trigger compares fresh appends
      against the pre-crash high-water mark and stalls checkpointing

@@ -67,6 +67,14 @@ type config = {
       (** how long a hot slot's leader holds the election open so a write
           storm can pile into its batch; [0] (default) applies immediately;
           ignored under the deterministic scheduler *)
+  si_txns : bool;
+      (** snapshot-isolation MVCC ({!Pitree_txn.Mvcc}): TSB version
+          timestamps come from the transaction manager's commit-ts
+          allocator instead of per-tree clocks — making
+          [Mvcc.begin_snapshot] reads consistent cuts — and the TSB gc
+          horizon is clamped to
+          [min (oldest live snapshot - 1) (checkpoint watermark)];
+          [false] (default) keeps per-tree clocks and unclamped gc *)
 }
 
 val default_config : config

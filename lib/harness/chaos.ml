@@ -3,7 +3,9 @@ module Disk = Pitree_storage.Disk
 module Buffer_pool = Pitree_storage.Buffer_pool
 module Blink = Pitree_blink.Blink
 module Tsb = Pitree_tsb.Tsb
+module Tsb_engine = Pitree_tsb.Tsb_engine
 module Hb = Pitree_hb.Hb
+module Mvcc = Pitree_txn.Mvcc
 module Crash_point = Pitree_util.Crash_point
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
@@ -175,20 +177,20 @@ let finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
     errors = List.rev !(ctx.errs);
   }
 
-let mk_ctx ~seed =
+let mk_ctx ?(config = cfg) ~seed () =
   Crash_point.disarm_all ();
   Crash_point.reset_counts ();
   let rng = Rng.create seed in
-  let base = Disk.in_memory ~page_size:cfg.Env.page_size in
+  let base = Disk.in_memory ~page_size:config.Env.page_size in
   let disk, ctl = Disk.Faulty.wrap ~seed:(Rng.int64 rng) base in
-  let env = Env.create ~disk cfg in
+  let env = Env.create ~disk config in
   { env; ctl; rng; errs = ref []; fired = false; dead = false }
 
 (* --- B-link runner: full model (inserts, deletes, reads), plus a
    durable-but-uncommitted transaction that recovery must roll back. --- *)
 
 let run_blink ~point ~after ~seed ~ops ~plan ~inject_torn =
-  let ctx = mk_ctx ~seed in
+  let ctx = mk_ctx ~seed () in
   let t = Blink.create ctx.env ~name:"chaos" in
   let present = Hashtbl.create 512 in
   let deleted = Hashtbl.create 128 in
@@ -304,7 +306,7 @@ let run_blink ~point ~after ~seed ~ops ~plan ~inject_torn =
    time splits), plus an uncommitted transaction. --- *)
 
 let run_tsb ~point ~after ~seed ~ops ~plan ~inject_torn =
-  let ctx = mk_ctx ~seed in
+  let ctx = mk_ctx ~seed () in
   let t = Tsb.create ctx.env ~name:"chaos" in
   let current = Hashtbl.create 256 in
   let tombstoned = Hashtbl.create 64 in
@@ -407,12 +409,182 @@ let run_tsb ~point ~after ~seed ~ops ~plan ~inject_torn =
   finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
     ~workload_retried
 
+(* --- MVCC runner: snapshot-isolation transactions over the TSB tree.
+   Commits funnel through [Mvcc.commit]'s validate/allocate/log window,
+   so the mvcc.commit.* crash points fire from here. All three points
+   precede the transaction manager's commit record, so the transaction
+   in flight at the crash is a loser: recovery must roll back its whole
+   buffered batch (no torn subset), while every acknowledged commit
+   keeps all of its writes and the rebuilt allocator stays past every
+   acknowledged timestamp. *)
+
+let si_cfg = { cfg with Env.si_txns = true; consolidation = false }
+
+let run_mvcc ~point ~after ~seed ~ops ~plan ~inject_torn =
+  let ctx = mk_ctx ~config:si_cfg ~seed () in
+  let t = Tsb.create ctx.env ~name:"chaos" in
+  let key i = Printf.sprintf "mk%04d" i in
+  let mgr = Env.txns ctx.env in
+  (* Committed state per the model; [committing] holds the write set of
+     the transaction inside [Mvcc.commit] when the crash fires. *)
+  let current : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let committing : (string * string option) list ref = ref [] in
+  let max_ts = ref 0 in
+  for i = 0 to 7 do
+    ignore (Tsb.put t ~key:(key i) ~value:"base");
+    Hashtbl.replace current (key i) "base"
+  done;
+  (* A snapshot pinned before the crash: recovery must invalidate it. *)
+  let straddler = Mvcc.begin_snapshot mgr in
+  ignore (Tsb_engine.find ~txn:straddler t (key 0));
+  let apply writes =
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Some v -> Hashtbl.replace current k v
+        | None -> Hashtbl.remove current k)
+      writes
+  in
+  let commit_model txn writes =
+    committing := writes;
+    let r = Mvcc.commit mgr txn in
+    committing := [];
+    (match r with
+    | Some ts ->
+        if ts <= !max_ts then
+          err ctx "commit ts %d not past previous max %d" ts !max_ts;
+        max_ts := ts;
+        apply writes
+    | None -> ());
+    r
+  in
+  Disk.Faulty.set_plan ctx.ctl plan;
+  Crash_point.arm point ~after;
+  guarded ctx (fun () ->
+      let txns = max 1 (ops / 4) in
+      for j = 0 to txns - 1 do
+        if Rng.int ctx.rng 4 = 0 then begin
+          (* First-committer-wins pair: both snapshots predate either
+             commit and write one shared key, so the second commit must
+             abort with [Write_conflict] and its writes never land. *)
+          let shared = key (Rng.int ctx.rng 120) in
+          let va = Printf.sprintf "a%d" j and vb = Printf.sprintf "b%d" j in
+          let a = Mvcc.begin_snapshot mgr in
+          let b = Mvcc.begin_snapshot mgr in
+          Tsb_engine.insert ~txn:a t ~key:shared ~value:va;
+          Tsb_engine.insert ~txn:b t ~key:shared ~value:vb;
+          ignore (commit_model a [ (shared, Some va) ]);
+          match commit_model b [ (shared, Some vb) ] with
+          | _ -> err ctx "rival commit of %s won against first committer" shared
+          | exception Mvcc.Write_conflict _ -> committing := []
+        end
+        else begin
+          let txn = Mvcc.begin_snapshot mgr in
+          let snap = Hashtbl.copy current in
+          let mine : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+          for _ = 1 to 2 + Rng.int ctx.rng 4 do
+            let k = key (Rng.int ctx.rng 120) in
+            let r = Rng.int ctx.rng 100 in
+            if r < 45 then begin
+              let v = Printf.sprintf "v%d.%d" j (Rng.int ctx.rng 1000) in
+              Tsb_engine.insert ~txn t ~key:k ~value:v;
+              Hashtbl.replace mine k (Some v)
+            end
+            else if r < 85 then begin
+              let want =
+                match Hashtbl.find_opt mine k with
+                | Some v -> v
+                | None -> Hashtbl.find_opt snap k
+              in
+              let got = Tsb_engine.find ~txn t k in
+              if got <> want then
+                err ctx "txn read %s saw %s, snapshot holds %s" k
+                  (opt_str got) (opt_str want)
+            end
+            else begin
+              let live =
+                match Hashtbl.find_opt mine k with
+                | Some v -> v <> None
+                | None -> Hashtbl.mem snap k
+              in
+              let was = Tsb_engine.delete ~txn t k in
+              if was <> live then
+                err ctx "txn delete %s returned %b, snapshot says %b" k was
+                  live;
+              if live then Hashtbl.replace mine k None
+            end
+          done;
+          let writes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) mine [] in
+          match commit_model txn writes with
+          | _ -> ()
+          | exception Mvcc.Write_conflict _ ->
+              committing := [];
+              err ctx "conflict with no rival committer (txn %d)" j
+        end;
+        if j mod 16 = 15 then ignore (Env.drain ctx.env)
+      done);
+  let report, torn_injected, workload_retried =
+    crash_and_recover ctx ~plan ~inject_torn
+  in
+  (match Tsb.open_existing ctx.env ~name:"chaos" with
+  | None -> err ctx "tree vanished from catalog after recovery"
+  | Some t ->
+      let wf tag =
+        let r = Tsb.verify t in
+        if not (Wellformed.ok r) then
+          err ctx "%s: not well-formed: %s" tag
+            (Format.asprintf "%a" Wellformed.pp_report r)
+      in
+      wf "post-recovery";
+      (* The crash fired before the in-flight commit's transaction-manager
+         record, so its whole batch rolls back — unless the device itself
+         died mid-call, which loses the acknowledgment and leaves those
+         keys in-doubt. *)
+      let doubted k = ctx.dead && List.mem_assoc k !committing in
+      Hashtbl.iter
+        (fun k v ->
+          if not (doubted k) then
+            match Tsb.get t k with
+            | Some v' when v' = v -> ()
+            | got ->
+                err ctx "committed %s: expected %s, got %s" k v (opt_str got))
+        current;
+      List.iter
+        (fun (k, _) ->
+          if (not ctx.dead) && not (Hashtbl.mem current k) then
+            match Tsb.get t k with
+            | None -> ()
+            | Some _ -> err ctx "crashed commit leaked key %s" k)
+        !committing;
+      (* The pre-crash snapshot's pin did not survive the restart. *)
+      (match Tsb_engine.find ~txn:straddler t (key 0) with
+      | _ -> err ctx "pre-crash snapshot survived recovery"
+      | exception Mvcc.Stale_snapshot -> ());
+      (* The rebuilt allocator resumes past every acknowledged commit. *)
+      let txn = Mvcc.begin_snapshot (Env.txns ctx.env) in
+      Tsb_engine.insert ~txn t ~key:"fresh" ~value:"post-crash";
+      (match Mvcc.commit (Env.txns ctx.env) txn with
+      | Some ts when ts > !max_ts -> ()
+      | Some ts ->
+          err ctx "recovered allocator reused ts %d (max acknowledged %d)" ts
+            !max_ts
+      | None -> err ctx "post-crash SI commit returned no timestamp");
+      (match Tsb.get t "fresh" with
+      | Some "post-crash" -> ()
+      | got -> err ctx "post-crash SI commit read back %s" (opt_str got));
+      ignore (Env.drain ctx.env);
+      if Env.pending ctx.env <> 0 then
+        err ctx "completion queue not empty after drain";
+      wf "post-drain");
+  finish ctx ~point ~after ~seed ~plan ~report ~torn_injected
+    ~workload_retried
+
 (* --- hB runner: multiattribute points in the unit square. The engine
    auto-commits every operation (no [?txn]), so there is no uncommitted
    phase here; rollback of losers is covered by the other two engines. --- *)
 
 let run_hb ~point ~after ~seed ~ops ~plan ~inject_torn =
-  let ctx = mk_ctx ~seed in
+  let ctx = mk_ctx ~seed () in
   let t = Hb.create ctx.env ~name:"chaos" ~dims:2 in
   let present : (float array, string) Hashtbl.t = Hashtbl.create 512 in
   let live = ref [] in
@@ -513,12 +685,18 @@ let engine_of_point point =
    commits) fires from any non-txn insert since [cfg] leaves combining at
    its default-on; a crash there must roll the whole batch back — no
    request was acked, so the model treats the in-flight key as in-doubt
-   and recovery must leave no torn subset of the batch behind. *)
+   and recovery must leave no torn subset of the batch behind. The
+   "mvcc" points (the snapshot-isolation commit window: after
+   first-committer-wins validation, after the timestamp allocation,
+   after the Commit_ts log record) fire from the dedicated SI runner,
+   which drives buffered transactions through [Mvcc.commit]. *)
 let known_points () =
   List.filter
     (fun p ->
       match engine_of_point p with
-      | "blink" | "tsb" | "hb" | "wal" | "ckpt" | "combine" | "free" -> true
+      | "blink" | "tsb" | "hb" | "wal" | "ckpt" | "combine" | "free" | "mvcc"
+        ->
+          true
       | _ -> false)
     (Crash_point.all_names ())
 
@@ -528,6 +706,7 @@ let run_one ~point ~after ~seed ~ops ~plan ~inject_torn =
     | "blink" | "wal" | "ckpt" | "combine" | "free" -> Some run_blink
     | "tsb" -> Some run_tsb
     | "hb" -> Some run_hb
+    | "mvcc" -> Some run_mvcc
     | _ -> None
   in
   match runner with

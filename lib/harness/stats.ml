@@ -3,6 +3,7 @@ module Buffer_pool = Pitree_storage.Buffer_pool
 module Disk = Pitree_storage.Disk
 module Env = Pitree_env.Env
 module Combine = Pitree_combine.Combine
+module Mvcc = Pitree_txn.Mvcc
 
 type t = {
   wal : Log_manager.stats option;
@@ -10,9 +11,18 @@ type t = {
   env : Env.stats option;
   faults : Disk.Faulty.counters option;
   combine : Combine.stats option;
+  mvcc : Mvcc.stats option;
 }
 
-let empty = { wal = None; pool = None; env = None; faults = None; combine = None }
+let empty =
+  {
+    wal = None;
+    pool = None;
+    env = None;
+    faults = None;
+    combine = None;
+    mvcc = None;
+  }
 
 let of_env ?faults env =
   {
@@ -21,6 +31,7 @@ let of_env ?faults env =
     env = Some (Env.stats env);
     faults = Option.map Disk.Faulty.counters faults;
     combine = Some (Combine.stats ());
+    mvcc = Some (Mvcc.stats ());
   }
 
 (* Counter fields are reported as the delta across the run; the batch/wait
@@ -122,6 +133,7 @@ let delta ~before ~after =
     env = map2 env_delta before.env after.env;
     faults = map2 faults_delta before.faults after.faults;
     combine = map2 combine_delta before.combine after.combine;
+    mvcc = map2 (fun b a -> Mvcc.sub_stats a b) before.mvcc after.mvcc;
   }
 
 let pp_pool ppf (p : Buffer_pool.stats) =
@@ -162,6 +174,9 @@ let pp ppf s =
         Option.map
           (fun c -> fun ppf () -> Fmt.pf ppf "combine: @[%a@]" Combine.pp_stats c)
           s.combine;
+        Option.map
+          (fun m -> fun ppf () -> Fmt.pf ppf "mvcc: @[%a@]" Mvcc.pp_stats m)
+          s.mvcc;
       ]
   in
   Fmt.pf ppf "@[<v>%a@]"
@@ -222,6 +237,13 @@ let combine_json b (c : Combine.stats) =
     c.Combine.batch_max c.Combine.follower_wait_mean_ns
     c.Combine.follower_wait_p99_ns
 
+let mvcc_json b (m : Mvcc.stats) =
+  Printf.bprintf b
+    "{\"begun\": %d, \"committed\": %d, \"conflicts\": %d, \"aborted\": %d, \
+     \"si_reads\": %d, \"stale_aborts\": %d}"
+    m.Mvcc.begun m.Mvcc.committed m.Mvcc.conflicts m.Mvcc.aborted
+    m.Mvcc.si_reads m.Mvcc.stale_aborts
+
 let to_json s =
   let b = Buffer.create 1024 in
   let field name opt j =
@@ -238,5 +260,7 @@ let to_json s =
   field "faults" s.faults faults_json;
   Buffer.add_string b ", ";
   field "combine" s.combine combine_json;
+  Buffer.add_string b ", ";
+  field "mvcc" s.mvcc mvcc_json;
   Buffer.add_string b "}";
   Buffer.contents b

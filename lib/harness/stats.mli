@@ -20,6 +20,10 @@ type t = {
       (** hot-key write-combining funnel (process-wide across engines):
           requests, batches, batch-size distribution, handbacks,
           leader-election window holds and follower park times *)
+  mvcc : Pitree_txn.Mvcc.stats option;
+      (** snapshot-isolation transactions (process-wide): snapshots begun
+          and committed, first-committer-wins conflicts, aborts, snapshot
+          reads, stale-snapshot aborts *)
 }
 (** Each component is optional so partial snapshots (e.g. a bare pool
     bench with no environment) fit the same record. *)
@@ -41,4 +45,4 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One JSON object [{"wal": .., "pool": .., "env": .., "faults": ..,
-    "combine": ..}] with [null] for absent components. *)
+    "combine": .., "mvcc": ..}] with [null] for absent components. *)

@@ -239,6 +239,10 @@ let rec olc_step t ~point fr =
   match
     let v = Olc.snapshot fr in
     let p = page fr in
+    (* Routing reads (level, kd-tree walk) parse unvalidated bytes;
+       [Olc.decoding] restarts a decode blow-up only when the version
+       word proves them torn. *)
+    Olc.decoding fr v @@ fun () ->
     let level = Page.level p in
     match Hkd.walk (node_kd p) point with
     | Hkd.Sibling s ->
@@ -1131,7 +1135,10 @@ let find_latched t point =
 let find_olc t point =
   let fr, v = olc_step t ~point (pin t t.root) in
   match
-    let r = Option.map snd (find_record (page fr) point) in
+    let r =
+      Olc.decoding fr v (fun () ->
+          Option.map snd (find_record (page fr) point))
+    in
     (* The record bytes were copied out above; prove the reads were not
        torn before anyone sees them. *)
     Olc.validate fr v;

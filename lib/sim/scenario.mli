@@ -38,6 +38,14 @@ type cfg = {
   check_wellformed : bool;  (** re-check §2.1.3 at quiesced yield points *)
   check_every : int;
   bug : Pitree_blink.Blink.Testing.bug;  (** blink only; ignored otherwise *)
+  si : bool;
+      (** run snapshot-isolation transactions instead of single ops: the
+          TSB engine is forced, [Env.config.si_txns] is on, each fiber's
+          script becomes a sequence of SI transactions, and the judge is
+          {!Si_oracle} (consistent-cut reads + first-committer-wins)
+          surfaced through the same {!Linearize.verdict} *)
+  mvcc_bug : Pitree_txn.Mvcc.Testing.bug;
+      (** SI protocol bug to inject (si runs only; ignored otherwise) *)
   max_steps : int;
 }
 

@@ -1,0 +1,152 @@
+(* Snapshot-isolation checker for multi-version transaction histories.
+
+   Unlike the linearizability checker there is no search: SI commits are
+   totally ordered by their commit timestamps and every read declares the
+   snapshot it ran against, so the legal outcome of each operation is
+   fully determined — the oracle just replays and compares.
+
+   Two obligations are checked:
+
+   - consistent-cut reads: every read inside a transaction must observe
+     the latest version committed at or before the transaction's read
+     timestamp, overlaid with the transaction's own earlier writes —
+     reads of aborted transactions included (their snapshots were valid
+     while they ran);
+
+   - first-committer-wins on committed writes: no two committed
+     transactions may write a common key when one's commit timestamp
+     falls inside the other's (read_ts, commit_ts] window.
+
+   Both properties hold because the watermark allocator only exposes a
+   read timestamp once every allocation at or below it has been retired,
+   so a version with ts <= read_ts was durably decided before the
+   snapshot began. *)
+
+type op =
+  | Read of string * string option
+      (** key and the value the transaction actually observed *)
+  | Write of string * string option  (** buffered put ([None] = delete) *)
+
+type outcome = Committed of int | Aborted
+
+type txn = { fiber : int; read_ts : int; ops : op list; outcome : outcome }
+
+type verdict = Ok | Violation of string
+
+(* Committed versions of one key, newest first: (commit_ts, value). *)
+let versions_of ~init txns =
+  let tbl : (string, (int * string option) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add key ts v =
+    let old = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+    Hashtbl.replace tbl key ((ts, v) :: old)
+  in
+  List.iter (fun (k, v, ts) -> add k ts (Some v)) init;
+  List.iter
+    (fun t ->
+      match t.outcome with
+      | Aborted -> ()
+      | Committed ts ->
+          (* Last buffered write per key is what commit installs. *)
+          let final = Hashtbl.create 8 in
+          List.iter
+            (function Write (k, v) -> Hashtbl.replace final k v | Read _ -> ())
+            t.ops;
+          Hashtbl.iter (fun k v -> add k ts v) final)
+    txns;
+  Hashtbl.iter
+    (fun k vs ->
+      Hashtbl.replace tbl k
+        (List.sort (fun (a, _) (b, _) -> compare b a) vs))
+    tbl;
+  tbl
+
+let visible versions ~read_ts key =
+  match Hashtbl.find_opt versions key with
+  | None -> None
+  | Some vs -> (
+      match List.find_opt (fun (ts, _) -> ts <= read_ts) vs with
+      | Some (_, v) -> v
+      | None -> None)
+
+let str = function None -> "<none>" | Some v -> v
+
+let check_reads versions t =
+  let own = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> Ok
+    | Write (k, v) :: rest ->
+        Hashtbl.replace own k v;
+        go rest
+    | Read (k, seen) :: rest ->
+        let expect =
+          match Hashtbl.find_opt own k with
+          | Some v -> v
+          | None -> visible versions ~read_ts:t.read_ts k
+        in
+        if seen <> expect then
+          Violation
+            (Printf.sprintf
+               "fiber %d (read_ts %d%s): read %S saw %s, snapshot holds %s"
+               t.fiber t.read_ts
+               (match t.outcome with
+               | Committed ts -> Printf.sprintf ", committed %d" ts
+               | Aborted -> ", aborted")
+               k (str seen) (str expect))
+        else go rest
+  in
+  go t.ops
+
+let write_set t =
+  List.filter_map (function Write (k, _) -> Some k | Read _ -> None) t.ops
+  |> List.sort_uniq compare
+
+(* First-committer-wins: a committed txn must not have a committed rival
+   writer of any of its keys inside its (read_ts, commit_ts) window. *)
+let check_fcw txns =
+  let committed =
+    List.filter_map
+      (fun t ->
+        match t.outcome with
+        | Committed ts -> Some (t, ts, write_set t)
+        | Aborted -> None)
+      txns
+  in
+  let rec go = function
+    | [] -> Ok
+    | (t, ts, ws) :: rest -> (
+        let rival =
+          List.find_opt
+            (fun (_, ts', ws') ->
+              ts' <> ts
+              && ts' > t.read_ts && ts' < ts
+              && List.exists (fun k -> List.mem k ws') ws)
+            committed
+        in
+        match rival with
+        | Some (t', ts', ws') ->
+            let k =
+              List.find (fun k -> List.mem k ws') ws
+            in
+            Violation
+              (Printf.sprintf
+                 "lost first committer: fiber %d (read_ts %d, committed %d) \
+                  and fiber %d (committed %d) both wrote %S"
+                 t.fiber t.read_ts ts t'.fiber ts' k)
+        | None -> go rest)
+  in
+  go committed
+
+let check ~init txns =
+  let versions = versions_of ~init txns in
+  let rec reads = function
+    | [] -> Ok
+    | t :: rest -> (
+        match check_reads versions t with Ok -> reads rest | v -> v)
+  in
+  match reads txns with Ok -> check_fcw txns | v -> v
+
+let pp_verdict ppf = function
+  | Ok -> Format.fprintf ppf "snapshot-consistent"
+  | Violation m -> Format.fprintf ppf "SI violation: %s" m

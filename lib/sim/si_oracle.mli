@@ -1,0 +1,31 @@
+(** Snapshot-isolation checker for multi-version transaction histories.
+
+    No search is needed: SI commits are totally ordered by commit
+    timestamp and every transaction declares the snapshot it read
+    against, so each operation's legal outcome is fully determined —
+    the oracle replays and compares. Checks consistent-cut reads
+    (every read observes the latest version committed at or before the
+    transaction's read timestamp, overlaid with its own earlier writes;
+    aborted transactions' reads included) and first-committer-wins on
+    committed writes. *)
+
+type op =
+  | Read of string * string option
+      (** key and the value the transaction actually observed *)
+  | Write of string * string option  (** buffered put ([None] = delete) *)
+
+type outcome = Committed of int  (** commit timestamp *) | Aborted
+
+type txn = {
+  fiber : int;
+  read_ts : int;  (** pinned snapshot timestamp *)
+  ops : op list;  (** program order *)
+  outcome : outcome;
+}
+
+type verdict = Ok | Violation of string
+
+val check : init:(string * string * int) list -> txn list -> verdict
+(** [init] is the preloaded state: (key, value, version timestamp). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -42,14 +42,28 @@ let max_restarts = 8
 
 (* Exceptions that mean "this attempt read a torn state": a stale
    pointer can name a free, re-used or never-allocated page, whose bytes
-   can fail anywhere inside the node accessors. Anything else — e.g.
-   [Crash_point.Crash_requested], [Disk.Disk_error] — propagates. *)
+   can fail the tagged structural checks ([Page.Corrupt], [Codec.Corrupt],
+   [Not_found] from a vanished pin). Anything else — including bare
+   [Invalid_argument]/[Failure], which are how genuine engine invariant
+   violations surface — propagates. Decode regions that can legitimately
+   blow up on a torn byte snapshot wrap themselves in {!decoding}, which
+   converts those exceptions to [Restart] only when the frame's version
+   word proves the state really was torn. *)
 let transient = function
-  | Restart | Not_found | Page.Corrupt _ | Pitree_util.Codec.Corrupt _
-  | Invalid_argument _ | Failure _ ->
-      true
+  | Restart | Not_found | Page.Corrupt _ | Pitree_util.Codec.Corrupt _ -> true
   | Buffer_pool.Pool_exhausted -> true
   | _ -> false
+
+(* Guard for accessor code parsing an unvalidated byte snapshot: decoding
+   a half-rewritten page can die deep inside string/cell accessors with
+   [Invalid_argument]/[Failure]. Re-check the version word at the point
+   of failure: if it moved, the state was torn and the attempt restarts;
+   if it is still valid, the bytes were stable and the failure is a real
+   bug that must escape the restart ladder. *)
+let decoding fr v f =
+  try f ()
+  with (Invalid_argument _ | Failure _) as e ->
+    if Version.validate (vword fr) v then raise e else raise Restart
 
 (* Run one optimistic [attempt] with counted restarts; after the budget,
    [fallback] (the latched path). On [Pool_exhausted] the attempt's

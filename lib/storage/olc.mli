@@ -34,7 +34,18 @@ val max_restarts : int
 val transient : exn -> bool
 (** Whether an exception means "this attempt read a torn state" (stale
     pointers can name free, re-used or never-allocated pages) rather
-    than a real fault that must propagate. *)
+    than a real fault that must propagate. Only tagged exceptions
+    ([Restart], [Not_found], [Page.Corrupt], [Codec.Corrupt],
+    [Pool_exhausted]) qualify; bare [Invalid_argument]/[Failure] are NOT
+    transient — wrap torn-prone decode regions in {!decoding} instead,
+    so a genuine invariant violation escapes the restart ladder. *)
+
+val decoding : Buffer_pool.frame -> int -> (unit -> 'a) -> 'a
+(** [decoding fr v f] runs [f] (accessor code over [fr]'s unvalidated
+    bytes, snapshotted at version [v]). An [Invalid_argument]/[Failure]
+    from [f] is converted to {!Restart} if the frame's version word no
+    longer validates against [v] (the bytes really were torn), and
+    re-raised unchanged if it still does (a real bug on stable bytes). *)
 
 val protect :
   ?restarts:int Atomic.t ->

@@ -11,6 +11,8 @@ module Lock_mode = Pitree_lock.Lock_mode
 module Lock_manager = Pitree_lock.Lock_manager
 module Txn = Pitree_txn.Txn
 module Txn_mgr = Pitree_txn.Txn_mgr
+module Snapshot = Pitree_txn.Snapshot
+module Mvcc = Pitree_txn.Mvcc
 module Atomic_action = Pitree_txn.Atomic_action
 module Crash_point = Pitree_util.Crash_point
 module Env = Pitree_env.Env
@@ -75,10 +77,34 @@ type t = {
 }
 
 let env t = t.env
+let tree_id t = t.root
 
 let pool t = Env.pool t.env
 let mgr t = Env.txns t.env
 let locks t = Env.locks t.env
+
+let si_enabled t = (Env.config t.env).Env.si_txns
+let snap t = Txn_mgr.snapshots (mgr t)
+
+(* Allocate the next version timestamp. Under snapshot isolation every
+   stamp — user writes and structural time splits alike — comes from the
+   transaction manager's commit-ts allocator and is tracked for
+   retirement, so the snapshot watermark cannot advance past a
+   still-uncommitted version. The per-tree clock is CAS-maxed along so
+   [now] and the clock-only paths stay monotone. *)
+let alloc_ts t txn =
+  if si_enabled t then begin
+    let ts = Snapshot.allocate (snap t) in
+    Txn.track_ts txn ts;
+    let rec bump () =
+      let c = Atomic.get t.clock in
+      if ts + 1 > c && not (Atomic.compare_and_set t.clock c (ts + 1)) then
+        bump ()
+    in
+    bump ();
+    ts
+  end
+  else Atomic.fetch_and_add t.clock 1
 
 let pin t pid = Buffer_pool.pin (pool t) pid
 let unpin t fr = Buffer_pool.unpin (pool t) fr
@@ -180,6 +206,9 @@ let rec olc_step t ~ckey fr =
     (* A stale pointer can land on a page the GC drain/merge already
        freed: a transient state of the optimistic protocol — restart. *)
     Olc.live p;
+    (* Routing reads parse unvalidated bytes; [Olc.decoding] restarts a
+       decode blow-up only when the version word proves them torn. *)
+    Olc.decoding fr v @@ fun () ->
     if not (Tnode.contains p ckey) then begin
       let sib = Page.side_ptr p in
       let level = Page.level p in
@@ -246,7 +275,7 @@ let alive_flags p =
    alive versions and a raised t_low. One atomic action, no index change. *)
 let time_split t txn fr =
   let p = page fr in
-  let ts = Atomic.fetch_and_add t.clock 1 in
+  let ts = alloc_ts t txn in
   let n = Tnode.entry_count p in
   let tc = Tnode.time_of p in
   let hfr = Env.alloc_page t.env txn ~kind:Page.Data ~level:0 in
@@ -695,7 +724,10 @@ let attach env ~name ~root =
   t
 
 (* The tree clock must move past every timestamp ever issued; scan the
-   current leaf level for the maximum on open. *)
+   current leaf level for the maximum on open. Structural stamps (time
+   splits) may exceed every entry stamp, but a time split raises the
+   current node's t_low to its stamp, so scanning both entry stamps and
+   time-cell floors covers them. *)
 let recover_clock t =
   let rec leftmost fr =
     let p = page fr in
@@ -715,6 +747,8 @@ let recover_clock t =
         let _, time = Ordkey.decompose (Tnode.entry_key p i) in
         if time > !m then m := time
       done;
+      let tl = (Tnode.time_of p).Tnode.t_low in
+      if tl > !m then m := tl;
       !m
     in
     let sib = Page.side_ptr p in
@@ -723,16 +757,21 @@ let recover_clock t =
   in
   let top = pin t t.root in
   let max_time = walk (leftmost top) 0 in
-  Atomic.set t.clock (max_time + 1)
+  Atomic.set t.clock (max_time + 1);
+  (* Under SI the allocator, not the tree clock, is the stamp source;
+     push it past everything this tree ever issued. *)
+  if si_enabled t then Snapshot.observe_floor (snap t) max_time
 
-(* Combiner construction needs the write path below; wired up after
-   [apply_batch] is defined. *)
+(* Combiner construction and the Mvcc vtable need the read/write paths
+   below; wired up after they are defined. *)
 let attach_combiner_fwd : (t -> unit) ref = ref (fun _ -> ())
+let register_mvcc_fwd : (t -> unit) ref = ref (fun _ -> ())
 
 let create env ~name =
   let root = Env.create_tree env ~name:("tsb:" ^ name) ~kind:Page.Data ~level:0 in
   let t = attach env ~name ~root in
   !attach_combiner_fwd t;
+  !register_mvcc_fwd t;
   Atomic_action.run (mgr t) (fun txn ->
       let fr = pin t root in
       latch fr Latch.X;
@@ -752,6 +791,7 @@ let open_existing env ~name =
       let t = attach env ~name ~root in
       recover_clock t;
       !attach_combiner_fwd t;
+      !register_mvcc_fwd t;
       Some t
 
 (* ---------- writes ---------- *)
@@ -771,8 +811,10 @@ let with_autocommit t txn f =
           if Txn.is_active txn then Txn_mgr.abort (mgr t) txn;
           raise e)
 
-let write_version t txn ~key version =
-  let time = Atomic.fetch_and_add t.clock 1 in
+let write_version ?time t txn ~key version =
+  (* [time] is given only by Mvcc's commit-time install: the whole SI
+     write set shares one already-allocated (and tracked) timestamp. *)
+  let time = match time with Some ts -> ts | None -> alloc_ts t txn in
   let ckey = Ordkey.composite key time in
   let cell = Tnode.version_cell ~composite:ckey version in
   let rec attempt tries =
@@ -952,16 +994,21 @@ let lookup_asof_olc t ~key ~time =
   let ckey = Ordkey.composite key time in
   let fr, v = olc_step t ~ckey (pin t t.root) in
   match
-    (let p = page fr in
-     let current = version_in_page p ~key ~time in
-     let chain = Page.aux_ptr p in
-     Olc.validate fr v;
-     match current with
-     | Some _ -> current
-     | None ->
-         let r = walk_history t ~key ~time chain in
-         Olc.validate fr v;
-         r)
+    (* The whole read — current-node decode AND chain walk — is guarded
+       by [fr]'s version word: the GC drain bumps it before cutting or
+       freeing chain pages, so [Olc.decoding] keyed to [fr] correctly
+       arbitrates decode blow-ups anywhere along the walk. *)
+    Olc.decoding fr v (fun () ->
+        let p = page fr in
+        let current = version_in_page p ~key ~time in
+        let chain = Page.aux_ptr p in
+        Olc.validate fr v;
+        match current with
+        | Some _ -> current
+        | None ->
+            let r = walk_history t ~key ~time chain in
+            Olc.validate fr v;
+            r)
   with
   | exception e ->
       unpin t fr;
@@ -984,6 +1031,27 @@ let get_asof t key ~time =
   | Some (_, Tnode.Tombstone) | None -> None
 
 let get t key = get_asof t key ~time:max_int
+
+(* Version-store vtable for snapshot-isolation commits (Mvcc): the FCW
+   check reads the newest stamp of a key (tombstones count — a delete is
+   a conflicting write), and [apply] installs the already-validated write
+   set at the transaction's single commit timestamp. *)
+let () =
+  register_mvcc_fwd :=
+    fun t ->
+      Mvcc.register_tree t.root
+        {
+          Mvcc.newest =
+            (fun key -> Option.map fst (lookup_asof t ~key ~time:max_int));
+          apply =
+            (fun txn ~time ~key ~value ->
+              Atomic.incr t.c_puts;
+              ignore
+                (write_version ~time t txn ~key
+                   (match value with
+                   | Some v -> Tnode.Value v
+                   | None -> Tnode.Tombstone)));
+        }
 
 let history t key =
   let ckey = Ordkey.composite key max_int in
@@ -1126,6 +1194,12 @@ let range_asof t ~time ?low ?high ~init ~f =
    and optimistic readers re-validate the current node after the walk. *)
 
 let set_horizon t time =
+  (* Under snapshot isolation the horizon may not pass what a live
+     snapshot can still read, nor the allocator watermark as of the last
+     completed checkpoint: min(oldest live snapshot - 1, checkpoint
+     floor). Requests beyond the cap are clamped, not rejected — callers
+     re-request as snapshots retire and checkpoints complete. *)
+  let time = if si_enabled t then min time (Snapshot.gc_cap (snap t)) else time in
   let rec bump () =
     let h = Atomic.get t.horizon in
     if time > h && not (Atomic.compare_and_set t.horizon h time) then bump ()

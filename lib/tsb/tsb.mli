@@ -33,6 +33,10 @@ val create : Pitree_env.Env.t -> name:string -> t
 val open_existing : Pitree_env.Env.t -> name:string -> t option
 val env : t -> Pitree_env.Env.t
 
+val tree_id : t -> int
+(** Root page id — the identifier {!Pitree_txn.Mvcc} keys this tree's
+    version-store vtable and buffered SI writes by. *)
+
 (** {2 Writes} — each returns the version's timestamp. *)
 
 val put : ?txn:Pitree_txn.Txn.t -> t -> key:string -> value:string -> int

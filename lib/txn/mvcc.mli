@@ -1,0 +1,104 @@
+(** Snapshot-isolation transactions over the version store.
+
+    [begin_snapshot] opens a transaction whose reads are as-of reads at a
+    pinned read timestamp (the {!Snapshot} watermark) — no lock-manager
+    calls, no latch waits on the OLC path. Writes are buffered in the
+    transaction and installed only at {!commit}, all stamped with one
+    freshly allocated commit timestamp, after a first-committer-wins
+    check: a committed version of any written key newer than the snapshot
+    aborts the transaction with {!Write_conflict}.
+
+    Write skew is permitted — SI validates write-write collisions only;
+    two transactions that read each other's written keys but write
+    disjoint keys both commit.
+
+    The layer is engine-agnostic: version-store trees register an {!ops}
+    vtable keyed by root page id (TSB trees do so at attach). *)
+
+exception Write_conflict of { txn : int; key : string }
+(** Commit-time first-committer-wins failure; the transaction has already
+    been aborted (versions were never installed). *)
+
+exception Stale_snapshot
+(** The snapshot was pinned against an allocator that a crash+recover has
+    since replaced; the transaction cannot proceed and holds nothing. *)
+
+type ops = {
+  newest : string -> int option;
+      (** newest version timestamp of a key, tombstones included *)
+  apply : Txn.t -> time:int -> key:string -> value:string option -> unit;
+      (** install a committed version ([None] = tombstone) at [time] *)
+}
+
+val register_tree : int -> ops -> unit
+(** Register the version-store vtable for tree [root]. Idempotent
+    (replaces). *)
+
+(** {2 Lifecycle} *)
+
+val begin_snapshot : Txn_mgr.t -> Txn.t
+(** Open an SI transaction: begins a [User] transaction and pins the
+    current allocator watermark as its read timestamp. *)
+
+val commit : Txn_mgr.t -> Txn.t -> int option
+(** Validate first-committer-wins, install the buffered writes at one
+    fresh commit timestamp, log [Commit_ts], and commit. Returns the
+    commit timestamp ([None] for a read-only transaction). Raises
+    {!Write_conflict} (transaction already aborted) or {!Stale_snapshot}.
+    On a transaction without SI state, delegates to {!Txn_mgr.commit}. *)
+
+val abort : Txn_mgr.t -> Txn.t -> unit
+(** Release the snapshot pin and abort (buffered writes are simply
+    dropped). Safe on already-finished transactions. *)
+
+(** {2 Engine read/write support}
+
+    Used by engine adapters (e.g. [Tsb_engine]) to dispatch [?txn]
+    operations through the snapshot. *)
+
+val si_of : Txn.t -> Txn.si option
+
+val check_current : Txn_mgr.t -> Txn.si -> unit
+(** Raise {!Stale_snapshot} (releasing the pin) if the snapshot's
+    allocator is no longer [mgr]'s — i.e. it straddles a crash. *)
+
+val read_time : Txn.si -> int
+(** The as-of timestamp reads must use. Normally [read_ts]; the injected
+    [Stale_snapshot_read] bug returns [max_int] instead. *)
+
+val note_read : Txn.si -> unit
+val buffered : Txn.si -> tree:int -> key:string -> string option option
+val buffer_write : Txn.si -> tree:int -> key:string -> string option -> unit
+
+val writes_for : Txn.si -> tree:int -> (string * string option) list
+(** All buffered writes against [tree], unordered. *)
+
+(** {2 Injected bugs} *)
+
+module Testing : sig
+  type bug = No_bug | Stale_snapshot_read | Lost_first_committer
+
+  val arm : bug -> unit
+  val current : unit -> bug
+
+  val of_name : string -> bug option
+  (** ["stale-snapshot-read"] / ["lost-first-committer"]. *)
+end
+
+(** {2 Stats} *)
+
+type stats = {
+  begun : int;
+  committed : int;
+  conflicts : int;
+  aborted : int;
+  si_reads : int;
+  stale_aborts : int;
+}
+
+val stats : unit -> stats
+(** Process-wide cumulative counters (compute deltas like the other
+    harness stats). *)
+
+val sub_stats : stats -> stats -> stats
+val pp_stats : Format.formatter -> stats -> unit

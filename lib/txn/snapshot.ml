@@ -1,0 +1,137 @@
+(* Commit-timestamp allocator and snapshot watermarks.
+
+   One instance lives in each Txn_mgr. Every version timestamp the TSB
+   engine stamps while [Env.config.si_txns] is on comes from [allocate],
+   and is retired (via [Txn.tracked_ts]) when its transaction commits or
+   aborts. The watermark [completed] is the largest timestamp T such that
+   every allocated timestamp <= T has been retired: a snapshot pinned at
+   [completed] can never observe a half-applied transaction, because an
+   SI transaction stamps its whole write set with one timestamp and that
+   timestamp stays in-flight until after the commit record is logged.
+
+   The allocator is volatile. Recovery builds a fresh one and seeds it
+   with [observe_floor] from the largest [Commit_ts] record seen during
+   analysis (plus each tree's recovered clock), so post-crash timestamps
+   never collide with pre-crash versions. In-flight snapshots from
+   before the crash hold a reference to the old allocator instance and
+   are detected by physical identity (see Mvcc). *)
+
+type t = {
+  mu : Mutex.t;
+  mutable next : int;  (* next timestamp to hand out *)
+  inflight : (int, unit) Hashtbl.t;  (* allocated, not yet retired *)
+  mutable completed : int;  (* every ts <= completed is retired *)
+  live : (int, int) Hashtbl.t;  (* pinned read_ts -> snapshot refcount *)
+  mutable ckpt_floor : int;  (* watermark at the last completed checkpoint *)
+  mutable allocated : int;  (* stats: timestamps handed out *)
+  mutable pinned : int;  (* stats: snapshots begun *)
+  commit_mu : Mutex.t;  (* serializes SI committers (held by Mvcc) *)
+  commit_busy : bool Atomic.t;  (* mirror of commit_mu for sim waits *)
+}
+
+let create ?(floor = 0) () =
+  {
+    mu = Mutex.create ();
+    next = floor + 1;
+    inflight = Hashtbl.create 64;
+    completed = floor;
+    live = Hashtbl.create 16;
+    ckpt_floor = 0;
+    allocated = 0;
+    pinned = 0;
+    commit_mu = Mutex.create ();
+    commit_busy = Atomic.make false;
+  }
+
+let commit_mu t = t.commit_mu
+let commit_busy t = t.commit_busy
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let allocate t =
+  with_mu t (fun () ->
+      let ts = t.next in
+      t.next <- ts + 1;
+      Hashtbl.replace t.inflight ts ();
+      t.allocated <- t.allocated + 1;
+      ts)
+
+(* Advance the watermark over the contiguous retired prefix. *)
+let advance t =
+  while t.completed + 1 < t.next && not (Hashtbl.mem t.inflight (t.completed + 1)) do
+    t.completed <- t.completed + 1
+  done
+
+let retire_all t ts_list =
+  if ts_list <> [] then
+    with_mu t (fun () ->
+        List.iter (Hashtbl.remove t.inflight) ts_list;
+        advance t)
+
+let completed t = with_mu t (fun () -> t.completed)
+
+let begin_snapshot t =
+  with_mu t (fun () ->
+      let ts = t.completed in
+      let n = try Hashtbl.find t.live ts with Not_found -> 0 in
+      Hashtbl.replace t.live ts (n + 1);
+      t.pinned <- t.pinned + 1;
+      ts)
+
+let release_snapshot t ts =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.live ts with
+      | Some n when n > 1 -> Hashtbl.replace t.live ts (n - 1)
+      | Some _ -> Hashtbl.remove t.live ts
+      | None -> ())
+
+let oldest_live t =
+  with_mu t (fun () ->
+      Hashtbl.fold
+        (fun ts _ acc ->
+          match acc with Some m when m <= ts -> acc | _ -> Some ts)
+        t.live None)
+
+let live_snapshots t =
+  with_mu t (fun () -> Hashtbl.fold (fun _ n acc -> acc + n) t.live 0)
+
+let observe_floor t ts =
+  with_mu t (fun () ->
+      if ts >= t.next then t.next <- ts + 1;
+      if ts > t.completed then begin
+        let none_below =
+          Hashtbl.fold (fun id () ok -> ok && id > ts) t.inflight true
+        in
+        if none_below then t.completed <- ts
+      end;
+      advance t)
+
+let note_checkpoint t = with_mu t (fun () -> t.ckpt_floor <- t.completed)
+let checkpoint_floor t = with_mu t (fun () -> t.ckpt_floor)
+
+(* Largest version time that garbage collection may retire: nothing a
+   live snapshot can still read, and nothing newer than the watermark of
+   the last completed checkpoint ("min(oldest live snapshot, checkpoint
+   redo point)" — versions younger than the checkpoint may still be
+   walked by recovery's logical undo after a crash). *)
+let gc_cap t =
+  with_mu t (fun () ->
+      let snap_cap =
+        Hashtbl.fold
+          (fun ts _ acc -> if ts - 1 < acc then ts - 1 else acc)
+          t.live max_int
+      in
+      min snap_cap t.ckpt_floor)
+
+type stats = { allocated : int; retired_watermark : int; live : int; pinned : int }
+
+let stats t =
+  with_mu t (fun () ->
+      {
+        allocated = t.allocated;
+        retired_watermark = t.completed;
+        live = Hashtbl.fold (fun _ n acc -> acc + n) t.live 0;
+        pinned = t.pinned;
+      })

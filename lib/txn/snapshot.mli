@@ -1,0 +1,77 @@
+(** Commit-timestamp allocator and snapshot watermarks for snapshot
+    isolation.
+
+    A monotone counter hands out version timestamps ([allocate]); each is
+    tracked as in-flight until its transaction retires it ([retire_all],
+    called from {!Txn_mgr} commit/abort via [Txn.tracked_ts]). The
+    watermark [completed] is the largest T with every allocated timestamp
+    <= T retired; snapshots pin it as their read timestamp, which makes a
+    snapshot a consistent cut: no committed-but-invisible or
+    visible-but-uncommitted version can exist at or below it, because an
+    SI transaction's entire write set shares one timestamp.
+
+    The allocator is volatile; recovery seeds a fresh one with
+    [observe_floor] from [Commit_ts] log records and recovered tree
+    clocks. *)
+
+type t
+
+val create : ?floor:int -> unit -> t
+(** Fresh allocator. The first [allocate] returns [floor + 1]
+    (default floor 0). *)
+
+val allocate : t -> int
+(** Hand out the next timestamp and mark it in-flight. *)
+
+val retire_all : t -> int list -> unit
+(** Atomically retire a transaction's tracked timestamps and advance the
+    watermark. Unknown timestamps are ignored. *)
+
+val completed : t -> int
+(** Watermark: largest T such that every allocated timestamp <= T has
+    been retired. *)
+
+val begin_snapshot : t -> int
+(** Pin the current watermark as a snapshot read timestamp (refcounted;
+    bounds {!gc_cap} until released). *)
+
+val release_snapshot : t -> int -> unit
+(** Drop one pin on [ts]. No-op if not pinned. *)
+
+val oldest_live : t -> int option
+(** Smallest pinned snapshot timestamp, if any. *)
+
+val live_snapshots : t -> int
+(** Number of currently pinned snapshots (counting refcounts). *)
+
+val observe_floor : t -> int -> unit
+(** Ensure future [allocate]s return > [ts], and advance the watermark to
+    [ts] when no older allocation is still in flight. Used to seed a
+    recovered allocator from [Commit_ts] records and tree clocks. *)
+
+val note_checkpoint : t -> unit
+(** Record the current watermark as the checkpoint floor; called when a
+    fuzzy checkpoint completes. *)
+
+val checkpoint_floor : t -> int
+
+val gc_cap : t -> int
+(** Largest version time GC may retire:
+    [min (oldest live snapshot - 1) checkpoint_floor]. *)
+
+val commit_mu : t -> Mutex.t
+(** Mutex serializing SI committers against this allocator; acquired and
+    released only by {!Mvcc}'s commit section. *)
+
+val commit_busy : t -> bool Atomic.t
+(** Mirrors whether {!commit_mu} is held — the predicate the simulator's
+    cooperative wait spins on. *)
+
+type stats = {
+  allocated : int;  (** timestamps handed out *)
+  retired_watermark : int;  (** current [completed] *)
+  live : int;  (** currently pinned snapshots *)
+  pinned : int;  (** snapshots begun, cumulative *)
+}
+
+val stats : t -> stats

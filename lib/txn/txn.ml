@@ -2,6 +2,15 @@ type kind = User | System
 
 type state = Active | Committed | Aborted
 
+type si = {
+  read_ts : int;
+  snap : Snapshot.t;  (* allocator the snapshot is pinned against *)
+  writes : (int * string, string option) Hashtbl.t;
+      (* (tree, key) -> value or tombstone; last write wins *)
+  mutable si_reads : int;
+  mutable released : bool;  (* snapshot pin dropped *)
+}
+
 type t = {
   id : int;
   kind : kind;
@@ -10,7 +19,11 @@ type t = {
   mutable state : state;
   mutable updated_nodes : (int * int) list;
   mutable on_commit : (unit -> unit) list;
+  mutable tracked_ts : int list;
+  mutable si : si option;
 }
+
+let track_ts t ts = t.tracked_ts <- ts :: t.tracked_ts
 
 let is_active t = t.state = Active
 

@@ -14,6 +14,24 @@ type kind = User | System
 
 type state = Active | Committed | Aborted
 
+type si = {
+  read_ts : int;
+      (** snapshot read timestamp: the allocator watermark at
+          [begin_snapshot]. Reads inside this transaction observe the
+          version store as of this time. *)
+  snap : Snapshot.t;
+      (** the allocator the snapshot is pinned against; compared by
+          physical identity to detect snapshots that straddle a crash *)
+  writes : (int * string, string option) Hashtbl.t;
+      (** buffered writes, [(tree, key) -> value or tombstone]; installed
+          into the version store only at commit, all stamped with one
+          commit timestamp *)
+  mutable si_reads : int;
+  mutable released : bool;  (** snapshot pin already dropped *)
+}
+(** Snapshot-isolation state carried by a transaction opened with
+    {!Mvcc.begin_snapshot}. *)
+
 type t = {
   id : int;
   kind : kind;
@@ -31,7 +49,16 @@ type t = {
       (** callbacks run after a successful commit — e.g. scheduling the
           index-term posting for a split performed inside this transaction
           (section 4.2.2: posting may not occur unless/until T commits). *)
+  mutable tracked_ts : int list;
+      (** version timestamps this transaction allocated from the
+          {!Snapshot} allocator; retired by {!Txn_mgr} at commit/abort so
+          the snapshot watermark can advance *)
+  mutable si : si option;  (** snapshot-isolation state, if any *)
 }
+
+val track_ts : t -> int -> unit
+(** Record an allocated version timestamp for retirement at end of
+    transaction. *)
 
 val is_active : t -> bool
 

@@ -31,9 +31,10 @@ type t = {
   live : (int, Txn.t) Hashtbl.t;
   mutable undoing : int;  (* live aborts currently writing CLRs *)
   mutable on_user_commit : (unit -> unit) option;
+  snap : Snapshot.t;  (* commit-timestamp allocator (si_txns) *)
 }
 
-let create ?(first_id = 1) ~log ~pool ~locks () =
+let create ?(first_id = 1) ?(ts_floor = 0) ~log ~pool ~locks () =
   {
     log;
     pool;
@@ -44,11 +45,13 @@ let create ?(first_id = 1) ~log ~pool ~locks () =
     live = Hashtbl.create 64;
     undoing = 0;
     on_user_commit = None;
+    snap = Snapshot.create ~floor:ts_floor ();
   }
 
 let log t = t.log
 let pool t = t.pool
 let locks t = t.locks
+let snapshots t = t.snap
 let wal_stats t = Log_manager.stats t.log
 
 let set_on_user_commit t f = t.on_user_commit <- Some f
@@ -68,6 +71,8 @@ let begin_txn t kind =
       state = Txn.Active;
       updated_nodes = [];
       on_commit = [];
+      tracked_ts = [];
+      si = None;
     }
   in
   Hashtbl.replace t.live id txn;
@@ -126,6 +131,12 @@ let commit ?(commits = 1) t txn =
   Hashtbl.remove t.live txn.Txn.id;
   Mutex.unlock t.mu;
   Lock_manager.release_all t.locks ~owner:txn.Txn.id;
+  (* The transaction's version timestamps become part of the retired
+     prefix only now, after the commit record exists (and, for User
+     transactions, is durable): a snapshot pinned at the watermark can
+     never observe an uncommitted version. *)
+  Snapshot.retire_all t.snap txn.Txn.tracked_ts;
+  txn.Txn.tracked_ts <- [];
   (* Deferred work that was contingent on commit (e.g. scheduling the
      posting of an index term for an in-transaction leaf split). *)
   List.iter (fun f -> f ()) (List.rev txn.Txn.on_commit);
@@ -162,7 +173,12 @@ let abort t txn =
       txn.Txn.state <- Txn.Aborted;
       Hashtbl.remove t.live txn.Txn.id;
       Mutex.unlock t.mu);
-  Lock_manager.release_all t.locks ~owner:txn.Txn.id
+  Lock_manager.release_all t.locks ~owner:txn.Txn.id;
+  (* Retire only after the undo walk removed the versions: the watermark
+     must never cover a timestamp whose (now aborted) version is still in
+     the tree. *)
+  Snapshot.retire_all t.snap txn.Txn.tracked_ts;
+  txn.Txn.tracked_ts <- []
 
 let begin_checkpoint t =
   Mutex.lock t.mu;

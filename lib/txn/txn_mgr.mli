@@ -11,17 +11,25 @@ type t
 
 val create :
   ?first_id:int ->
+  ?ts_floor:int ->
   log:Pitree_wal.Log_manager.t ->
   pool:Pitree_storage.Buffer_pool.t ->
   locks:Pitree_lock.Lock_manager.t ->
   unit ->
   t
 (** [first_id] (default 1) seeds the transaction-id counter; after recovery
-    it must exceed every id present in the log. *)
+    it must exceed every id present in the log. [ts_floor] (default 0)
+    seeds the commit-timestamp allocator; after recovery it must be at
+    least the largest [Commit_ts] in the log (tree clocks recovered later
+    raise it further via {!Snapshot.observe_floor}). *)
 
 val log : t -> Pitree_wal.Log_manager.t
 val pool : t -> Pitree_storage.Buffer_pool.t
 val locks : t -> Pitree_lock.Lock_manager.t
+
+val snapshots : t -> Snapshot.t
+(** The commit-timestamp allocator. Transactions retire their
+    [tracked_ts] here at commit/abort. *)
 
 val wal_stats : t -> Pitree_wal.Log_manager.stats
 (** The log's group-commit record: forces (real fsyncs), flush batching and

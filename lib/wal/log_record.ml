@@ -21,6 +21,7 @@ type body =
       dpt : (int * Lsn.t) list;
       att : (int * Lsn.t * bool) list;
     }
+  | Commit_ts of { ts : int }
 
 type t = { lsn : Lsn.t; prev : Lsn.t; txn : int; body : body }
 
@@ -34,6 +35,7 @@ let body_tag = function
   | Page_image _ -> 7
   | Begin_checkpoint -> 8
   | End_checkpoint _ -> 9
+  | Commit_ts _ -> 10
 
 let encode t =
   let b = Buffer.create 64 in
@@ -75,7 +77,8 @@ let encode t =
           Codec.put_int b txn;
           Codec.put_int b lsn;
           Codec.put_u8 b (if committed then 1 else 0))
-        att);
+        att
+  | Commit_ts { ts } -> Codec.put_int b ts);
   let payload = Buffer.contents b in
   let framed = Buffer.create (String.length payload + 8) in
   Codec.put_u32 framed (String.length payload);
@@ -145,6 +148,9 @@ let decode s =
               (txn, lsn, committed))
         in
         End_checkpoint { begin_lsn; dpt; att }
+    | 10 ->
+        let ts = Codec.get_int r in
+        Commit_ts { ts }
     | n -> raise (Codec.Corrupt (Printf.sprintf "bad log body tag %d" n))
   in
   { lsn; prev; txn; body }
@@ -166,5 +172,6 @@ let pp ppf t =
     | End_checkpoint { begin_lsn; dpt; att } ->
         Fmt.pf ppf "end_checkpoint(begin=%d %d dirty %d active)" begin_lsn
           (List.length dpt) (List.length att)
+    | Commit_ts { ts } -> Fmt.pf ppf "commit_ts %d" ts
   in
   Fmt.pf ppf "[%d txn=%d prev=%d %a]" t.lsn t.txn t.prev body t.body

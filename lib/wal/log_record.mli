@@ -54,6 +54,11 @@ type body =
               LSN, and whether a Commit record was already logged (its
               End is merely outstanding) *)
     }
+  | Commit_ts of { ts : int }
+      (** the single commit timestamp an SI transaction stamped its write
+          set with, logged just before its Commit record; analysis tracks
+          the maximum so recovery can seed the reborn commit-timestamp
+          allocator (see {!Pitree_txn.Snapshot}) *)
 
 type t = { lsn : Lsn.t; prev : Lsn.t; txn : int; body : body }
 

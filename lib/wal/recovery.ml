@@ -11,16 +11,17 @@ type report = {
   committed_unended : int;
   torn_pages : int;
   retried_reads : int;
+  max_commit_ts : int;
 }
 
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>recovery: analyzed=%d redone=%d skipped=%d losers=[%a] clrs=%d \
-     ended=%d torn=%d retried_reads=%d@]"
+     ended=%d torn=%d retried_reads=%d max_commit_ts=%d@]"
     r.analyzed r.redone r.skipped
     Fmt.(list ~sep:(any ",") int)
     r.loser_txns r.clrs_written r.committed_unended r.torn_pages
-    r.retried_reads
+    r.retried_reads r.max_commit_ts
 
 (* Pages whose durable image failed verification during this restart: they
    were rebuilt from scratch by redo (repeating history from their Format
@@ -105,7 +106,7 @@ let rollback ?prev ~log ~pool ~txn ~from_lsn () =
       | Log_record.Begin _ -> last_clr
       | Log_record.Commit | Log_record.Abort | Log_record.End
       | Log_record.Page_image _ | Log_record.Begin_checkpoint
-      | Log_record.End_checkpoint _ ->
+      | Log_record.End_checkpoint _ | Log_record.Commit_ts _ ->
           go r.Log_record.prev prev last_clr
   in
   go from_lsn (Option.value prev ~default:from_lsn) Lsn.null
@@ -118,6 +119,11 @@ let run ~log ~pool =
   (* --- Analysis --- *)
   let att : (int, att_entry) Hashtbl.t = Hashtbl.create 64 in
   let analyzed = ref 0 in
+  (* Largest commit timestamp seen during analysis: seeds the reborn
+     Snapshot allocator so post-restart timestamps never collide with
+     pre-crash versions. Losers' timestamps count too — their versions
+     are undone, but the allocator must still move past them. *)
+  let max_commit_ts = ref 0 in
   (* Start from the last complete checkpoint: seed the ATT from its
      End_checkpoint record, then scan forward from the matching
      Begin_checkpoint — Commit/End records logged between the two fence
@@ -163,6 +169,8 @@ let run ~log ~pool =
       | Log_record.Commit -> (entry r.Log_record.txn).committed <- true
       | Log_record.Abort -> (entry r.Log_record.txn).last <- r.Log_record.lsn
       | Log_record.End -> Hashtbl.remove att r.Log_record.txn
+      | Log_record.Commit_ts { ts } ->
+          max_commit_ts := max !max_commit_ts ts
       | Log_record.Page_image _ | Log_record.Begin_checkpoint
       | Log_record.End_checkpoint _ ->
           ());
@@ -295,7 +303,7 @@ let run ~log ~pool =
         | Log_record.Begin _ -> next := Lsn.null
         | Log_record.Commit | Log_record.Abort | Log_record.End
         | Log_record.Page_image _ | Log_record.Begin_checkpoint
-        | Log_record.End_checkpoint _ ->
+        | Log_record.End_checkpoint _ | Log_record.Commit_ts _ ->
             next := r.Log_record.prev);
         undo_pass ()
   in
@@ -325,4 +333,5 @@ let run ~log ~pool =
     retried_reads =
       pool_stats_after.Buffer_pool.retried_reads
       - pool_stats_before.Buffer_pool.retried_reads;
+    max_commit_ts = !max_commit_ts;
   }

@@ -28,6 +28,9 @@ type report = {
   retried_reads : int;
       (** disk reads the buffer pool re-issued during this restart to
           absorb transient errors *)
+  max_commit_ts : int;
+      (** largest [Commit_ts] timestamp seen during analysis (0 if none);
+          seeds the rebuilt {!Pitree_txn.Snapshot} allocator *)
 }
 
 val pp_report : Format.formatter -> report -> unit

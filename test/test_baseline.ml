@@ -27,10 +27,11 @@ let test_coupling_basic () =
   Alcotest.(check int) "count" 1 (Btc.count t)
 
 let test_coupling_many () =
+  Seeds.with_seed "baseline.coupling-many" @@ fun seed ->
   let env = Env.create (cfg ()) in
   let t = Btc.create env ~name:"c" in
   let n = 2000 in
-  let rng = Pitree_util.Rng.create 9L in
+  let rng = Pitree_util.Rng.create seed in
   let keys = Array.init n key in
   Pitree_util.Rng.shuffle rng keys;
   Array.iter (fun k -> Btc.insert t ~key:k ~value:("v" ^ k)) keys;
@@ -73,10 +74,11 @@ let test_treelatch_basic () =
   Alcotest.(check int) "count" 2 (Btl.count t)
 
 let test_treelatch_many () =
+  Seeds.with_seed "baseline.treelatch-many" @@ fun seed ->
   let env = Env.create (cfg ()) in
   let t = Btl.create env ~name:"l" in
   let n = 2000 in
-  let rng = Pitree_util.Rng.create 10L in
+  let rng = Pitree_util.Rng.create seed in
   let keys = Array.init n key in
   Pitree_util.Rng.shuffle rng keys;
   Array.iter (fun k -> Btl.insert t ~key:k ~value:("v" ^ k)) keys;

@@ -68,8 +68,9 @@ let test_many_sequential () =
   Alcotest.(check bool) "postings completed" true (s.Blink.postings_completed > 0)
 
 let test_many_random () =
+  Seeds.with_seed "blink.many-random" @@ fun seed ->
   let env, t = mk () in
-  let rng = Pitree_util.Rng.create 42L in
+  let rng = Pitree_util.Rng.create seed in
   let n = 2000 in
   let keys = Array.init n key in
   Pitree_util.Rng.shuffle rng keys;
@@ -252,6 +253,46 @@ let test_olc_free_whitelist () =
   | () -> Alcotest.fail "Olc.live accepted a free page"
   | exception Olc.Restart -> ());
   Alcotest.(check bool) "Restart is transient" true (Olc.transient Olc.Restart);
+  Bp.unpin (Env.pool env) fr
+
+let test_olc_decoding_guard () =
+  (* The transient whitelist admits only tagged exceptions: a bare
+     Failure/Invalid_argument is a genuine invariant violation and must
+     escape the restart ladder. Decode regions wrap themselves in
+     [Olc.decoding], which re-checks the version word at the point of
+     failure — stable bytes re-raise (real bug), torn bytes restart. *)
+  let module Olc = Pitree_storage.Olc in
+  let module Page = Pitree_storage.Page in
+  let module Bp = Pitree_storage.Buffer_pool in
+  let module Latch = Pitree_sync.Latch in
+  Alcotest.(check bool) "Failure not transient" false
+    (Olc.transient (Failure "bug"));
+  Alcotest.(check bool) "Invalid_argument not transient" false
+    (Olc.transient (Invalid_argument "index out of bounds"));
+  let env, _t = mk () in
+  let fr =
+    Pitree_txn.Atomic_action.run (Env.txns env) (fun txn ->
+        Env.alloc_page env txn ~kind:Page.Data ~level:0)
+  in
+  let v = Olc.snapshot fr in
+  (* Stable bytes: the failure is real and must escape unchanged. *)
+  (match Olc.decoding fr v (fun () -> failwith "bug") with
+  | _ -> Alcotest.fail "decoding returned"
+  | exception Failure m ->
+      Alcotest.(check string) "failure escapes on stable bytes" "bug" m
+  | exception Olc.Restart ->
+      Alcotest.fail "decoding converted a real bug to Restart");
+  (* Torn bytes (version word moved): the same failure is a restart. *)
+  Latch.acquire fr.Bp.latch Latch.X;
+  Latch.release fr.Bp.latch Latch.X;
+  (match Olc.decoding fr v (fun () -> failwith "bug") with
+  | _ -> Alcotest.fail "decoding returned"
+  | exception Olc.Restart -> ()
+  | exception Failure _ ->
+      Alcotest.fail "decoding let a torn-state failure escape");
+  (* A decode that succeeds passes its value through untouched. *)
+  Alcotest.(check int) "pass-through" 7
+    (Olc.decoding fr (Olc.snapshot fr) (fun () -> 7));
   Bp.unpin (Env.pool env) fr
 
 let test_free_under_latchfree_scan () =
@@ -454,6 +495,7 @@ let suites =
           test_lazy_posting_via_search;
         Alcotest.test_case "olc free-page whitelist" `Quick
           test_olc_free_whitelist;
+        Alcotest.test_case "olc decoding guard" `Quick test_olc_decoding_guard;
         Alcotest.test_case "free leaf under latch-free scan" `Quick
           test_free_under_latchfree_scan;
         Alcotest.test_case "olc scan wider than pool" `Quick

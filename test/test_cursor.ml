@@ -157,6 +157,7 @@ let test_fold_until () =
   Alcotest.(check int) "remainder resumes where it left off" 30 rest
 
 let test_concurrent_cursor_and_writers () =
+  Seeds.with_seed "cursor.concurrent-writers" @@ fun seed ->
   let env, t = mk () in
   for i = 0 to 499 do
     Blink.insert t ~key:(key (2 * i)) ~value:"base"
@@ -164,7 +165,7 @@ let test_concurrent_cursor_and_writers () =
   ignore (Env.drain env);
   let writer =
     Domain.spawn (fun () ->
-        let rng = Rng.create 77L in
+        let rng = Rng.create seed in
         for _ = 1 to 1_000 do
           Blink.insert t ~key:(key (Rng.int rng 2_000)) ~value:"w"
         done)

@@ -237,6 +237,146 @@ let test_merge_heavy_fuzz () =
   if s.Env.pages_freed = 0 then Alcotest.fail "no pages were freed";
   if s.Env.pages_reused = 0 then Alcotest.fail "no freed pages were re-used"
 
+(* Differential MVCC round: truly concurrent snapshot-isolation
+   transactions (4 domains) against the sequential multi-version model
+   the SI oracle replays — every read must match the latest version
+   committed at or before its snapshot, every committed write-write
+   overlap must have aborted, and a crash+recover between the two phases
+   must preserve the visibility of every committed version at its exact
+   commit timestamp while in-flight snapshots abort cleanly. *)
+let test_mvcc_differential_fuzz () =
+  let module Mvcc = Pitree_txn.Mvcc in
+  let module Tsb_engine = Pitree_tsb.Tsb_engine in
+  let module Si_oracle = Pitree_sim.Si_oracle in
+  let name = "fuzz.mvcc" in
+  let seed = Seeds.derive name in
+  Seeds.guard name @@ fun () ->
+  let env = Env.create { cfg with Env.consolidation = false; si_txns = true } in
+  Fun.protect ~finally:(fun () -> try Env.close env with _ -> ())
+  @@ fun () ->
+  let t = ref (Tsb.create env ~name:"fm") in
+  let keys = 24 in
+  let init =
+    List.init keys (fun i ->
+        let k = key i and v = Printf.sprintf "init.%d" i in
+        (k, v, Tsb.put !t ~key:k ~value:v))
+  in
+  ignore (Env.drain env);
+  let domains = 4 and txns_per = 50 in
+  (* One domain's phase: run [txns_per] SI transactions, recording what
+     each observed for the oracle. *)
+  let work phase d () =
+    let rng = Rng.create (Int64.add seed (Int64.of_int ((phase * 101) + d))) in
+    let mgr = Env.txns env in
+    let t = !t in
+    let recorded = ref [] in
+    for _ = 1 to txns_per do
+      let txn = Mvcc.begin_snapshot mgr in
+      let read_ts =
+        match Mvcc.si_of txn with
+        | Some si -> si.Pitree_txn.Txn.read_ts
+        | None -> assert false
+      in
+      let ops =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let k = key (Rng.int rng keys) in
+            match Rng.int rng 100 with
+            | r when r < 40 ->
+                let v = Printf.sprintf "p%d.d%d.%d" phase d (Rng.int rng 1000) in
+                Tsb_engine.insert ~txn t ~key:k ~value:v;
+                Si_oracle.Write (k, Some v)
+            | r when r < 85 -> Si_oracle.Read (k, Tsb_engine.find ~txn t k)
+            | _ ->
+                if Tsb_engine.delete ~txn t k then Si_oracle.Write (k, None)
+                else Si_oracle.Read (k, None))
+      in
+      let outcome =
+        match Mvcc.commit mgr txn with
+        | Some ts -> Si_oracle.Committed ts
+        | None -> Si_oracle.Committed read_ts (* read-only, empty write set *)
+        | exception Mvcc.Write_conflict _ -> Si_oracle.Aborted
+      in
+      recorded := { Si_oracle.fiber = d; read_ts; ops; outcome } :: !recorded
+    done;
+    !recorded
+  in
+  let run_phase phase =
+    List.init domains (fun d -> Domain.spawn (work phase d))
+    |> List.concat_map Domain.join
+  in
+  let judge what txns =
+    match Si_oracle.check ~init txns with
+    | Si_oracle.Ok -> ()
+    | Si_oracle.Violation m ->
+        Alcotest.failf "%s: %s (PITREE_SEED=%Ld)" what m Seeds.base
+  in
+  let phase1 = run_phase 1 in
+  judge "phase 1" phase1;
+  (* A snapshot in flight across the crash must abort, never misread. *)
+  let straddler = Mvcc.begin_snapshot (Env.txns env) in
+  ignore (Env.drain env);
+  Env.crash env;
+  ignore (Env.recover env);
+  t := (match Tsb.open_existing env ~name:"fm" with
+       | Some t -> t
+       | None -> Alcotest.fail "tsb tree vanished after recovery");
+  (match Tsb_engine.find ~txn:straddler !t (key 0) with
+  | _ -> Alcotest.fail "straddling snapshot served a read after recovery"
+  | exception Mvcc.Stale_snapshot -> ());
+  (* Every committed version must still be visible at its exact commit
+     timestamp — commit order and version stamps survived the crash. *)
+  let committed_writes txns =
+    List.concat_map
+      (fun tx ->
+        match tx.Si_oracle.outcome with
+        | Si_oracle.Aborted -> []
+        | Si_oracle.Committed ts ->
+            let final = Hashtbl.create 4 in
+            List.iter
+              (function
+                | Si_oracle.Write (k, v) -> Hashtbl.replace final k v
+                | Si_oracle.Read _ -> ())
+              tx.Si_oracle.ops;
+            Hashtbl.fold (fun k v acc -> (k, v, ts) :: acc) final [])
+      txns
+  in
+  List.iter
+    (fun (k, v, ts) ->
+      let got = Tsb.get_asof !t k ~time:ts in
+      if got <> v then
+        Alcotest.failf
+          "version %s@%d lost across crash: got %s, committed %s \
+           (PITREE_SEED=%Ld)"
+          k ts
+          (Option.value got ~default:"<none>")
+          (Option.value v ~default:"<none>")
+          Seeds.base)
+    (committed_writes phase1);
+  (* Phase 2 continues against the recovered allocator; the combined
+     history must still replay as one SI history (timestamps never
+     collide or regress across the crash). *)
+  let phase2 = run_phase 2 in
+  judge "phase 1 + recovery + phase 2" (phase1 @ phase2);
+  let all_ts =
+    List.filter_map
+      (fun tx ->
+        match tx.Si_oracle.outcome with
+        | Si_oracle.Committed ts
+          when List.exists
+                 (function Si_oracle.Write _ -> true | _ -> false)
+                 tx.Si_oracle.ops ->
+            Some ts
+        | _ -> None)
+      (phase1 @ phase2)
+  in
+  Alcotest.(check int)
+    "commit timestamps unique across crash"
+    (List.length all_ts)
+    (List.length (List.sort_uniq compare all_ts));
+  check_wf "tsb" (Tsb.verify !t)
+
 (* Regression: a version too large for its tsb node used to send
    [split_current] into a restart loop (each futile time split leaking a
    history node) before dying with "too many restarts". It must now fail
@@ -268,6 +408,9 @@ let suites =
           `Slow test_differential_fuzz;
         Alcotest.test_case "merge-heavy (band deletes, gc, crash mid-stream)"
           `Slow test_merge_heavy_fuzz;
+        Alcotest.test_case
+          "mvcc differential (concurrent SI vs model, crash mid-stream)" `Slow
+          test_mvcc_differential_fuzz;
         Alcotest.test_case "tsb oversized record fails fast" `Quick
           test_tsb_oversized_record_fails_fast;
       ] );

@@ -68,8 +68,9 @@ let test_kd_carve_simple () =
   Alcotest.(check bool) "boundary high excluded" true
     (Hkd.walk kd (pt 0.5 0.3) = Hkd.Here);
   (* Leaf regions must still tile the region. *)
+  Seeds.with_seed "hb.kd-carve-tiling" @@ fun seed ->
   let leaves = Hkd.leaf_regions kd region in
-  let rng = Rng.create 42L in
+  let rng = Rng.create seed in
   for _ = 1 to 500 do
     let p = pt (Rng.float rng 1.0) (Rng.float rng 1.0) in
     let owners = List.filter (fun (r, _) -> Hb_space.brick_contains r p) leaves in
@@ -187,8 +188,9 @@ let test_clipping_and_multiparent () =
   (* Heavy load in 3 dims reliably produces postings whose bricks straddle
      parent partitions (clipping) and, as index nodes split, multi-parent
      children. *)
+  Seeds.with_seed "hb.clipping-multiparent" @@ fun seed ->
   let env, t = mk ~dims:3 () in
-  let rng = Rng.create 15L in
+  let rng = Rng.create seed in
   for i = 0 to 4999 do
     let p = [| Rng.float rng 1.0; Rng.float rng 1.0; Rng.float rng 1.0 |] in
     Hb.insert t ~point:p ~value:(string_of_int i)
@@ -324,9 +326,10 @@ let test_consolidation_respects_multi_parent () =
   (* Multi-parent nodes must never be consolidated; we can at least check
      that a heavy 3-d workload with deletes stays well-formed and that
      skips were recorded when constraints failed. *)
+  Seeds.with_seed "hb.consolidation-multiparent" @@ fun seed ->
   let env = Env.create { (cfg ()) with Env.consolidation = true } in
   let t = Hb.create env ~name:"h" ~dims:3 in
-  let rng = Rng.create 22L in
+  let rng = Rng.create seed in
   let pts =
     Array.init 3000 (fun _ ->
         [| Rng.float rng 1.0; Rng.float rng 1.0; Rng.float rng 1.0 |])
